@@ -1,0 +1,80 @@
+// Ablation for Section IV-C / V-E3: instantiating the one-way function F.
+//
+// The paper names two candidates — a block cipher (AES, taken because
+// AES-NI makes it nearly free) and a hash (SHA-1, "prohibitively expensive
+// without hardware support"). Both are implemented behind the same
+// interface; this bench measures the per-call cost gap and verifies that
+// both instantiations deliver the exposure-resilience property (a leaked
+// canary cannot be replayed, even same-frame).
+
+#include "attack/leak_replay.hpp"
+#include "bench_util.hpp"
+#include "crypto/one_way.hpp"
+#include "workload/webserver.hpp"
+
+namespace {
+
+using namespace pssp;
+using core::scheme_kind;
+using core::scheme_options;
+
+double per_call_cycles(const scheme_options& options) {
+    compiler::ir_module mod;
+    mod.name = "micro";
+    auto& fn = mod.add_function("micro");
+    (void)compiler::add_local(fn, "buf", 16, /*is_buffer=*/true);
+    fn.body.push_back(compiler::return_stmt{compiler::const_ref{1}});
+    auto& main_fn = mod.add_function("main");
+    const int i = compiler::add_local(main_fn, "i");
+    const int r = compiler::add_local(main_fn, "r");
+    compiler::loop_stmt loop{i, 1000, {}};
+    loop.body.push_back(compiler::call_stmt{"micro", {}, r});
+    main_fn.body.push_back(loop);
+
+    const auto with = workload::measure_module(mod, scheme_kind::p_ssp_owf,
+                                               {.scheme_options = options});
+    const auto without = workload::measure_module(mod, scheme_kind::none, {});
+    return (static_cast<double>(with.cycles) - static_cast<double>(without.cycles)) /
+           1000.0;
+}
+
+bool replay_defeated(const scheme_options& options) {
+    const auto profile = workload::nginx_profile();
+    auto binary = compiler::build_module(
+        workload::make_server_module(profile),
+        core::make_scheme(scheme_kind::p_ssp_owf, options));
+    proc::fork_server server{binary,
+                             core::make_scheme(scheme_kind::p_ssp_owf, options), 71,
+                             workload::server_config_for(profile)};
+    attack::leak_replay_config cfg;
+    cfg.prefix_bytes = workload::attack_prefix_bytes(profile);
+    cfg.canary_bytes = 24;  // nonce + 16-byte ciphertext
+    cfg.leak_offset = workload::attack_prefix_bytes(profile);
+    attack::leak_replay atk{server, cfg};
+    const auto r = atk.run(binary.symbols.at("win"), binary.data_base);
+    return r.leak_succeeded && !r.hijacked;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Ablation — one-way function instantiation for P-SSP-OWF",
+                        "Section IV-C / V-E3 (AES-NI vs software hash)");
+
+    scheme_options aes;
+    aes.owf = crypto::owf_kind::aes128;
+    scheme_options sha;
+    sha.owf = crypto::owf_kind::sha1;
+
+    util::text_table table{{"instantiation", "cycles/call",
+                            "leak+replay defeated", "hardware assist"}};
+    table.add_row({"AES-128 (AES-NI analog)", util::fmt(per_call_cycles(aes), 0),
+                   replay_defeated(aes) ? "yes" : "NO", "yes (AES-NI)"});
+    table.add_row({"SHA-1 (software)", util::fmt(per_call_cycles(sha), 0),
+                   replay_defeated(sha) ? "yes" : "NO", "none"});
+    std::printf("%s\n", table.render("F = AES vs F = SHA-1").c_str());
+    std::printf("paper: \"without hardware support, it is prohibitively expensive to\n"
+                "evaluate F in every prologue and epilogue\" — visible above as the\n"
+                "cycle gap between the AES-NI path and the software hash.\n");
+    return 0;
+}

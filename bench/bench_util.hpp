@@ -1,0 +1,65 @@
+// Shared plumbing for the benchmark binaries: every bench regenerates one
+// of the paper's tables or figures and prints it via util::text_table /
+// util::bar_chart, plus a short "paper vs measured" note that
+// EXPERIMENTS.md quotes.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "compiler/codegen.hpp"
+#include "core/runtime.hpp"
+#include "core/scheme.hpp"
+#include "proc/fork_server.hpp"
+#include "rewriter/rewriter.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/harness.hpp"
+#include "workload/webserver.hpp"
+
+namespace pssp::bench {
+
+inline void print_header(const std::string& what, const std::string& paper_ref) {
+    std::printf("================================================================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("================================================================\n\n");
+}
+
+// Builds a fork server for `profile` under `kind`, compiler-based.
+struct server_under_test {
+    binfmt::linked_binary binary;
+    proc::fork_server server;
+
+    server_under_test(const workload::server_profile& profile, core::scheme_kind kind,
+                      std::uint64_t seed)
+        : binary{compiler::build_module(workload::make_server_module(profile),
+                                        core::make_scheme(kind))},
+          server{binary, core::make_scheme(kind), seed,
+                 workload::server_config_for(profile)} {}
+};
+
+// Same, but via the instrumentation path: SSP build -> rewriter -> P-SSP-32
+// with the preloaded runtime (dynamic linking).
+struct instrumented_server_under_test {
+    binfmt::linked_binary binary;
+    proc::fork_server server;
+
+    static binfmt::linked_binary make_binary(const workload::server_profile& profile) {
+        auto legacy = compiler::build_module(workload::make_server_module(profile),
+                                             core::make_scheme(core::scheme_kind::ssp));
+        rewriter::binary_rewriter rw;
+        (void)rw.upgrade_to_pssp(legacy);
+        core::bind_instrumented_stack_chk_fail(legacy);
+        return legacy;
+    }
+
+    instrumented_server_under_test(const workload::server_profile& profile,
+                                   std::uint64_t seed)
+        : binary{make_binary(profile)},
+          server{binary, core::make_scheme(core::scheme_kind::p_ssp32), seed,
+                 workload::server_config_for(profile)} {}
+};
+
+}  // namespace pssp::bench

@@ -1,0 +1,138 @@
+// Table I: comparison of brute-force-attack defence tools.
+//
+// Paper row:
+//   SSP        — BROP prevention: No;  correct: Yes; overhead: baseline
+//   RAF SSP    — Yes; correct: **No**; negligible / negligible
+//   DynaGuard  — Yes; Yes; 1.5% (compiler) / 156% (PIN instrumentation)
+//   DCR        — Yes; Yes; NA / >24%
+//   (P-SSP     — Yes; Yes; 0.24% / 1.01%  — Section VI's result, shown for
+//    context in the same format.)
+//
+// Every cell is *measured* here, not asserted:
+//   * BROP prevention — a byte-by-byte campaign against the nginx_m
+//     forking server (hijack within budget = "No" prevention);
+//   * correctness     — benign requests must survive the worker's return
+//     through frames inherited from the master;
+//   * overhead        — SPEC-like subset, relative to the SSP build
+//     (the paper's stated baseline for these numbers).
+
+#include <functional>
+#include <vector>
+
+#include "attack/byte_by_byte.hpp"
+#include "bench_util.hpp"
+#include "workload/spec.hpp"
+#include "workload/webserver.hpp"
+
+namespace {
+
+using namespace pssp;
+using core::scheme_kind;
+using workload::deployment;
+
+// DBI per-instruction tax modeling DynaGuard's PIN deployment: a typical
+// inline-analysis pintool multiplies instruction cost several-fold.
+constexpr std::uint64_t pin_tax_cycles = 2;
+
+bool brop_prevented(scheme_kind kind) {
+    const auto profile = workload::nginx_profile();
+    bench::server_under_test sut{profile, kind, 21};
+    attack::byte_by_byte_config cfg;
+    cfg.prefix_bytes = workload::attack_prefix_bytes(profile);
+    cfg.canary_bytes = 8;
+    cfg.max_trials = 3000;  // ~3x the budget that cracks SSP
+    attack::byte_by_byte atk{sut.server, cfg};
+    const auto campaign =
+        atk.run_campaign(sut.binary.symbols.at("win"), sut.binary.data_base);
+    return !campaign.hijacked;
+}
+
+bool fork_correct(scheme_kind kind) {
+    bench::server_under_test sut{workload::nginx_profile(), kind, 22};
+    for (int i = 0; i < 4; ++i)
+        if (sut.server.serve("GET /").outcome != proc::worker_outcome::ok) return false;
+    return true;
+}
+
+// Mean overhead vs the SSP build over a SPEC-like subset. The SSP
+// baselines are computed once and cached across schemes.
+double overhead_vs_ssp(const std::function<workload::run_measurement(
+                           const compiler::ir_module&)>& measure) {
+    const auto& profiles = workload::spec2006_profiles();
+    static std::vector<std::pair<compiler::ir_module, double>> baselines = [&] {
+        std::vector<std::pair<compiler::ir_module, double>> out;
+        for (std::size_t i = 0; i < profiles.size(); i += 4) {  // every 4th: 7 programs
+            auto mod = workload::make_spec_module(profiles[i]);
+            const auto base = workload::measure_module(mod, scheme_kind::ssp, {});
+            if (base.completed)
+                out.emplace_back(std::move(mod), static_cast<double>(base.cycles));
+        }
+        return out;
+    }();
+    std::vector<double> overheads;
+    for (const auto& [mod, base_cycles] : baselines) {
+        const auto m = measure(mod);
+        if (!m.completed) continue;
+        overheads.push_back(
+            util::overhead_percent(base_cycles, static_cast<double>(m.cycles)));
+    }
+    return util::mean(overheads);
+}
+
+double compiler_overhead(scheme_kind kind) {
+    return overhead_vs_ssp([kind](const compiler::ir_module& mod) {
+        return workload::measure_module(mod, kind, {});
+    });
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Table I — comparison of brute-force defence tools",
+                        "Table I (+ P-SSP's own row from Section VI)");
+
+    util::text_table table{{"Defence Tool", "BROP Prevention", "Correctness",
+                            "Overhead (compiler)", "Overhead (instrumentation)"}};
+
+    // ---- SSP ----
+    table.add_row({"SSP", brop_prevented(scheme_kind::ssp) ? "Yes" : "No",
+                   fork_correct(scheme_kind::ssp) ? "Yes" : "No", "baseline", "-"});
+
+    // ---- RAF SSP ----
+    table.add_row({"RAF SSP", brop_prevented(scheme_kind::raf_ssp) ? "Yes" : "No",
+                   fork_correct(scheme_kind::raf_ssp) ? "Yes" : "No",
+                   util::fmt_percent(compiler_overhead(scheme_kind::raf_ssp)), "-"});
+
+    // ---- DynaGuard ----
+    const double dg_pin = overhead_vs_ssp([](const compiler::ir_module& mod) {
+        workload::harness_options opt;
+        opt.dep = deployment::pin_dbi;
+        opt.dbi_tax_cycles = pin_tax_cycles;
+        return workload::measure_module(mod, scheme_kind::dynaguard, opt);
+    });
+    table.add_row({"DynaGuard", brop_prevented(scheme_kind::dynaguard) ? "Yes" : "No",
+                   fork_correct(scheme_kind::dynaguard) ? "Yes" : "No",
+                   util::fmt_percent(compiler_overhead(scheme_kind::dynaguard)),
+                   util::fmt_percent(dg_pin)});
+
+    // ---- DCR (static instrumentation only) ----
+    table.add_row({"DCR", brop_prevented(scheme_kind::dcr) ? "Yes" : "No",
+                   fork_correct(scheme_kind::dcr) ? "Yes" : "No", "NA",
+                   util::fmt_percent(compiler_overhead(scheme_kind::dcr))});
+
+    // ---- P-SSP ----
+    const double pssp_instr = overhead_vs_ssp([](const compiler::ir_module& mod) {
+        workload::harness_options opt;
+        opt.dep = deployment::instrumented_dynamic;
+        return workload::measure_module(mod, scheme_kind::p_ssp32, opt);
+    });
+    table.add_row({"P-SSP (this paper)", brop_prevented(scheme_kind::p_ssp) ? "Yes" : "No",
+                   fork_correct(scheme_kind::p_ssp) ? "Yes" : "No",
+                   util::fmt_percent(compiler_overhead(scheme_kind::p_ssp)),
+                   util::fmt_percent(pssp_instr)});
+
+    std::printf("%s\n", table.render("Table I — all cells measured").c_str());
+    std::printf("paper: SSP No/Yes/-, RAF Yes/No/negligible, DynaGuard Yes/Yes/1.5%%/156%%,\n"
+                "       DCR Yes/Yes/NA/>24%%, P-SSP Yes/Yes/0.24%%/1.01%%\n");
+    return 0;
+}

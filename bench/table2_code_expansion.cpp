@@ -1,0 +1,81 @@
+// Table II: code expansion rate of each P-SSP deployment.
+//
+// Paper row: compilation 0.27% | instrumentation (dynamic) 0 |
+//            instrumentation (static) 2.78%.
+// Method: for each of the 28 SPEC-like modules, compare .text bytes of
+//   * the P-SSP compiler build vs the default (SSP) build;
+//   * the rewritten dynamic binary vs its SSP original (must be 0 — every
+//     patch is same-length);
+//   * the rewritten static binary vs its SSP original (the appended
+//     Dyninst-style section with __pssp_stack_chk_fail + fork).
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workload/spec.hpp"
+
+namespace {
+
+using namespace pssp;
+using core::scheme_kind;
+
+std::uint64_t text_of(const compiler::ir_module& mod, scheme_kind kind,
+                      binfmt::link_mode mode) {
+    return compiler::build_module(mod, core::make_scheme(kind), mode).text_bytes();
+}
+
+std::uint64_t rewritten_text(const compiler::ir_module& mod, binfmt::link_mode mode) {
+    auto binary = compiler::build_module(mod, core::make_scheme(scheme_kind::ssp), mode);
+    rewriter::binary_rewriter rw;
+    (void)rw.upgrade_to_pssp(binary);
+    return binary.text_bytes();
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Table II — code expansion by P-SSP deployment",
+                        "Table II (0.27% / 0 / 2.78%)");
+
+    std::vector<double> comp, instr_dyn, instr_static;
+    util::text_table per_bench{{"benchmark", "SSP .text", "P-SSP compile",
+                                "instr dynamic", "instr static"}};
+
+    for (const auto& profile : workload::spec2006_profiles()) {
+        const auto mod = workload::make_spec_module(profile);
+
+        const auto base_dyn = text_of(mod, scheme_kind::ssp, binfmt::link_mode::dynamic_glibc);
+        const auto pssp_dyn = text_of(mod, scheme_kind::p_ssp, binfmt::link_mode::dynamic_glibc);
+        const auto rw_dyn = rewritten_text(mod, binfmt::link_mode::dynamic_glibc);
+        const auto base_static = text_of(mod, scheme_kind::ssp, binfmt::link_mode::static_glibc);
+        const auto rw_static = rewritten_text(mod, binfmt::link_mode::static_glibc);
+
+        const double c = util::overhead_percent(static_cast<double>(base_dyn),
+                                                static_cast<double>(pssp_dyn));
+        const double d = util::overhead_percent(static_cast<double>(base_dyn),
+                                                static_cast<double>(rw_dyn));
+        const double s = util::overhead_percent(static_cast<double>(base_static),
+                                                static_cast<double>(rw_static));
+        comp.push_back(c);
+        instr_dyn.push_back(d);
+        instr_static.push_back(s);
+        per_bench.add_row({profile.name, std::to_string(base_dyn),
+                           util::fmt_percent(c), util::fmt_percent(d),
+                           util::fmt_percent(s)});
+    }
+
+    std::printf("%s\n", per_bench.render("Per-benchmark .text expansion").c_str());
+
+    util::text_table summary{
+        {"Compilation", "Instrumentation (dynamic link)", "Instrumentation (static link)"}};
+    summary.add_row({util::fmt_percent(util::mean(comp)),
+                     util::fmt_percent(util::mean(instr_dyn)),
+                     util::fmt_percent(util::mean(instr_static))});
+    std::printf("%s\n", summary.render("Table II — average expansion rate").c_str());
+    std::printf("paper:    0.27%% / 0%% / 2.78%%\n");
+    std::printf("measured: %s / %s / %s\n",
+                util::fmt_percent(util::mean(comp)).c_str(),
+                util::fmt_percent(util::mean(instr_dyn)).c_str(),
+                util::fmt_percent(util::mean(instr_static)).c_str());
+    return 0;
+}

@@ -1,0 +1,79 @@
+// Table III: P-SSP's impact on web-server response time.
+//
+// Paper row (avg ms/request): Apache2 33.006 / 33.008 / 33.099;
+//                             Nginx    3.088 /  3.090 /  3.088.
+// Method: the apache2_m / nginx_m fork-per-request servers answer a batch
+// of benign requests under three builds — native, compiler P-SSP, and
+// instrumented P-SSP — and we report the mean per-request worker cost in
+// modeled cycles. The paper's point (the canary work is invisible inside a
+// full request) reproduces as near-identical columns.
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workload/webserver.hpp"
+
+namespace {
+
+using namespace pssp;
+using core::scheme_kind;
+
+constexpr int requests_per_server = 400;
+
+double mean_request_cycles(proc::fork_server& server) {
+    util::accumulator acc;
+    for (int i = 0; i < requests_per_server; ++i) {
+        const auto r = server.serve("GET /index.html HTTP/1.1");
+        if (r.outcome != proc::worker_outcome::ok) {
+            std::printf("!! worker failed: %s\n", to_string(r.outcome).c_str());
+            return -1.0;
+        }
+        acc.add(static_cast<double>(r.worker_cycles));
+    }
+    return acc.mean();
+}
+
+}  // namespace
+
+// The latency experiment uses full-transaction request weights (the paper
+// measures ~33 ms Apache and ~3 ms Nginx requests). The attack benches keep
+// the default lightweight profiles — the oracle only needs the overflow.
+workload::server_profile latency_profile(workload::server_profile base,
+                                         std::uint64_t scale) {
+    base.parse_iters *= scale;
+    base.response_iters *= scale;
+    return base;
+}
+
+int main() {
+    bench::print_header("Table III — web server response cost per request",
+                        "Table III (Apache 33.006/33.008/33.099 ms; Nginx ~3.09 ms)");
+
+    util::text_table table{{"server", "Native Execution", "Compiler based P-SSP",
+                            "Instrumentation based P-SSP"}};
+
+    for (const auto& profile :
+         {latency_profile(workload::apache_profile(), 40),
+          latency_profile(workload::nginx_profile(), 40)}) {
+        bench::server_under_test native{profile, scheme_kind::none, 11};
+        bench::server_under_test compiled{profile, scheme_kind::p_ssp, 12};
+        bench::instrumented_server_under_test instrumented{profile, 13};
+
+        const double n = mean_request_cycles(native.server);
+        const double c = mean_request_cycles(compiled.server);
+        const double i = mean_request_cycles(instrumented.server);
+        table.add_row({profile.name, util::fmt(n, 1), util::fmt(c, 1),
+                       util::fmt(i, 1)});
+        std::printf("%s: overhead compiler %s, instrumented %s\n",
+                    profile.name.c_str(),
+                    util::fmt_percent(util::overhead_percent(n, c)).c_str(),
+                    util::fmt_percent(util::overhead_percent(n, i)).c_str());
+    }
+
+    std::printf("\n%s\n",
+                table.render("Average per-request worker cost (modeled cycles)").c_str());
+    std::printf("paper: differences are in the per-mille range — the canary work\n"
+                "amortizes to noise inside a full web transaction. Expect the same\n"
+                "shape in the columns above.\n");
+    return 0;
+}

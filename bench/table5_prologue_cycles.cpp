@@ -1,0 +1,110 @@
+// Table V: average CPU cycles spent by the function prologue and epilogue
+// for P-SSP and its three extensions.
+//
+// Paper row:   P-SSP 6 | P-SSP-NT 343 | P-SSP-LV 343 (2 canaries) /
+//              986 (4 canaries) | P-SSP-OWF 278
+// Method here: a micro-function (one small buffer, immediate return) is
+// compiled under each scheme and under no protection; the per-call modeled
+// cycle delta isolates exactly the prologue + epilogue work. The same
+// microbenchmark is also registered with google-benchmark so host-side
+// interpreter timings are visible alongside the modeled cycles.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace pssp;
+using core::scheme_kind;
+using core::scheme_options;
+
+// A function whose body is as close to empty as a protected frame allows:
+// one buffer (to trigger protection) + `criticals` critical scalars (for
+// the LV rows), returning a constant.
+compiler::ir_module micro_module(int criticals) {
+    compiler::ir_module mod;
+    mod.name = "micro";
+    auto& fn = mod.add_function("micro");
+    (void)compiler::add_local(fn, "buf", 16, /*is_buffer=*/true);
+    for (int i = 0; i < criticals; ++i)
+        (void)compiler::add_local(fn, "crit" + std::to_string(i), 8,
+                                  /*is_buffer=*/false, /*is_critical=*/true);
+    fn.body.push_back(compiler::return_stmt{compiler::const_ref{1}});
+
+    auto& main_fn = mod.add_function("main");
+    const int i = compiler::add_local(main_fn, "i");
+    const int r = compiler::add_local(main_fn, "r");
+    compiler::loop_stmt loop{i, 1000, {}};
+    loop.body.push_back(compiler::call_stmt{"micro", {}, r});
+    main_fn.body.push_back(loop);
+    main_fn.body.push_back(compiler::return_stmt{compiler::local_ref{r}});
+    return mod;
+}
+
+// Per-call prologue+epilogue cycles of `kind` over the unprotected build.
+double per_call_cycles(scheme_kind kind, int criticals, scheme_options options = {}) {
+    const auto mod = micro_module(criticals);
+    workload::harness_options opt;
+    const auto with = workload::measure_module(mod, kind, {.scheme_options = options});
+    const auto without = workload::measure_module(mod, scheme_kind::none, opt);
+    return (static_cast<double>(with.cycles) - static_cast<double>(without.cycles)) /
+           1000.0;
+}
+
+// google-benchmark hook: host-side interpreter time per protected call.
+void bm_scheme(benchmark::State& state, scheme_kind kind, int criticals) {
+    const auto mod = micro_module(criticals);
+    const auto binary = compiler::build_module(mod, core::make_scheme(kind));
+    proc::process_manager manager{core::make_scheme(kind), 7};
+    auto m = manager.create_process(binary);
+    const auto entry = binary.symbols.at("main");
+    for (auto _ : state) {
+        m.call_function(entry);
+        benchmark::DoNotOptimize(m.run());
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::print_header("Table V — prologue+epilogue CPU cycles per scheme",
+                        "Table V (P-SSP 6, NT 343, LV 343/986, OWF 278)");
+
+    struct entry {
+        const char* label;
+        double paper;
+        double measured;
+    };
+    scheme_options sha_opt;
+    sha_opt.owf = crypto::owf_kind::sha1;
+    const entry entries[] = {
+        {"SSP (reference)", 0, per_call_cycles(scheme_kind::ssp, 0)},
+        {"P-SSP", 6, per_call_cycles(scheme_kind::p_ssp, 0)},
+        {"P-SSP-NT", 343, per_call_cycles(scheme_kind::p_ssp_nt, 0)},
+        {"P-SSP-LV (2 canaries)", 343, per_call_cycles(scheme_kind::p_ssp_lv, 1)},
+        {"P-SSP-LV (4 canaries)", 986, per_call_cycles(scheme_kind::p_ssp_lv, 3)},
+        {"P-SSP-OWF (AES-NI)", 278, per_call_cycles(scheme_kind::p_ssp_owf, 0)},
+        {"P-SSP-OWF (SHA-1, no HW)", -1,
+         per_call_cycles(scheme_kind::p_ssp_owf, 0, sha_opt)},
+        {"P-SSP-GB", -1, per_call_cycles(scheme_kind::p_ssp_gb, 0)},
+        {"P-SSP-32", -1, per_call_cycles(scheme_kind::p_ssp32, 0)},
+    };
+
+    util::text_table table{{"scheme", "paper (cycles)", "measured (modeled cycles)"}};
+    for (const auto& e : entries)
+        table.add_row({e.label, e.paper < 0 ? "-" : util::fmt(e.paper, 0),
+                       util::fmt(e.measured, 0)});
+    std::printf("%s\n", table.render("Prologue+epilogue cost per call").c_str());
+    std::printf("(SHA-1 row demonstrates the paper's point that F is\n"
+                " prohibitively expensive without hardware support.)\n\n");
+
+    benchmark::RegisterBenchmark("interp/ssp", bm_scheme, scheme_kind::ssp, 0);
+    benchmark::RegisterBenchmark("interp/p_ssp", bm_scheme, scheme_kind::p_ssp, 0);
+    benchmark::RegisterBenchmark("interp/p_ssp_nt", bm_scheme, scheme_kind::p_ssp_nt, 0);
+    benchmark::RegisterBenchmark("interp/p_ssp_owf", bm_scheme, scheme_kind::p_ssp_owf,
+                                 0);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

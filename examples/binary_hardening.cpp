@@ -1,0 +1,106 @@
+// Hardening a *legacy binary* without source: the instrumentation path of
+// Section V-C/D.
+//
+//   $ ./binary_hardening
+//
+// Takes an SSP-compiled program (we build one to stand in for the legacy
+// artifact), runs the binary rewriter over it, and shows:
+//   * the prologue patch (one TLS offset, Code 5);
+//   * the same-length epilogue replacement (Code 6);
+//   * for a statically linked build, the appended code section with the
+//     P-SSP-aware __stack_chk_fail and fork (the Dyninst trick);
+//   * that the hardened binary still runs, still catches overflows, and
+//     its addresses never moved.
+
+#include <cstdio>
+
+#include "compiler/codegen.hpp"
+#include "core/runtime.hpp"
+#include "proc/process.hpp"
+#include "rewriter/rewriter.hpp"
+#include "workload/database.hpp"
+
+using namespace pssp;
+
+namespace {
+
+void show_function(const binfmt::linked_binary& binary, const char* name,
+                   std::size_t first, std::size_t count) {
+    const auto* fn = binary.find(name);
+    if (fn == nullptr) return;
+    for (std::size_t i = first; i < first + count && i < fn->insns.size(); ++i)
+        std::printf("    %012llx  %s\n",
+                    static_cast<unsigned long long>(fn->addrs[i]),
+                    vm::to_string(fn->insns[i]).c_str());
+}
+
+void harden(binfmt::link_mode mode) {
+    std::printf("==== %s-linked legacy binary ====\n",
+                binfmt::to_string(mode).c_str());
+
+    // The "legacy" artifact: built with the default -fstack-protector.
+    auto binary = compiler::build_module(
+        workload::make_db_module(workload::mysql_profile()),
+        core::make_scheme(core::scheme_kind::ssp), mode);
+    const auto text_before = binary.text_bytes();
+    const auto entry_before = binary.symbols.at("handle_query");
+
+    std::printf("  SSP prologue before rewriting:\n");
+    show_function(binary, "handle_query", 0, 5);
+
+    rewriter::binary_rewriter rw;
+    const auto report = rw.upgrade_to_pssp(binary);
+    if (mode == binfmt::link_mode::dynamic_glibc)
+        core::bind_instrumented_stack_chk_fail(binary);  // LD_PRELOAD analog
+
+    std::printf("  P-SSP prologue after rewriting (only the %%fs offset moved):\n");
+    show_function(binary, "handle_query", 0, 5);
+
+    std::printf("  patched: %d prologues, %d epilogues; appended %llu bytes%s%s\n",
+                report.prologues_patched, report.epilogues_patched,
+                static_cast<unsigned long long>(report.bytes_added),
+                report.stack_chk_fail_hooked ? "; __stack_chk_fail hooked" : "",
+                report.fork_hooked ? "; fork hooked" : "");
+    std::printf("  .text: %llu -> %llu bytes; handle_query entry %s\n",
+                static_cast<unsigned long long>(text_before),
+                static_cast<unsigned long long>(binary.text_bytes()),
+                binary.symbols.at("handle_query") == entry_before
+                    ? "unchanged (layout preserved)"
+                    : "MOVED — bug!");
+
+    // Prove the hardened binary still works...
+    proc::process_manager manager{core::make_scheme(core::scheme_kind::p_ssp32), 5};
+    vm::machine m = manager.create_process(binary);
+    m.call_function(binary.symbols.at("db_main"));
+    m.set_fuel(50'000'000);
+    const auto ok = m.run();
+    std::printf("  hardened binary runs: %s (exit %lld)\n",
+                vm::to_string(ok.status).c_str(),
+                static_cast<long long>(ok.exit_code));
+
+    // ...and still detects a smashed canary: corrupt the packed pair on a
+    // live frame by writing through the query buffer's address range.
+    vm::machine smashed = manager.create_process(binary);
+    const std::uint64_t qbuf = binary.data_symbols.at("g_query");
+    std::vector<std::uint8_t> long_query(200, 'A');
+    long_query.push_back(0);
+    smashed.mem().write_bytes(qbuf, long_query);  // strcpy source, too long
+    smashed.call_function(binary.symbols.at("handle_query"));
+    smashed.set_fuel(1'000'000);
+    const auto trap = smashed.run();
+    std::printf("  overflowing query: %s (%s)\n\n",
+                vm::to_string(trap.status).c_str(), vm::to_string(trap.trap).c_str());
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Upgrading legacy SSP binaries to P-SSP, no source required\n\n");
+    harden(binfmt::link_mode::dynamic_glibc);
+    harden(binfmt::link_mode::static_glibc);
+    std::printf("Note the dynamic build added ZERO bytes (every patch is\n"
+                "same-length; the new __stack_chk_fail arrives via LD_PRELOAD),\n"
+                "while the static build grew by the appended section — Table II's\n"
+                "0%% vs 2.78%% split.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+// P-SSP-OWF (extension 3): surviving canary *exposure*, not just guessing
+// — Section IV-C's single-point-of-failure experiment.
+//
+//   $ ./exposure_resilience
+//
+// The server's handler has two bugs: an over-read that leaks the stack
+// around its buffer (canary included), and the usual unbounded copy. The
+// attack leaks a worker's canary, then replays it in an overflow against
+// the next worker.
+//
+// The paper is explicit that this breaks MORE than just SSP: "a common
+// drawback of P-SSP and SSP is its single point of failure ... the
+// exposure of one stack frame's canary leads to the exposure of the TLS
+// canary". Indeed:
+//   * SSP        — replayed verbatim: hijack.
+//   * P-SSP / NT — the leaked pair satisfies C0 xor C1 = C, and C never
+//                  changes: re-randomization defeats *guessing*, not
+//                  *exposure*. Hijack.
+//   * P-SSP-GB   — the matching C1 lives in a global buffer the overflow
+//                  cannot reach, and each frame's C0 is fresh: rejected.
+//   * P-SSP-OWF  — the canary is AES(ret || nonce) under a register-held
+//                  key, bound to the frame it was minted for: rejected.
+
+#include <cstdio>
+
+#include "attack/leak_replay.hpp"
+#include "compiler/codegen.hpp"
+#include "proc/fork_server.hpp"
+#include "util/bytes.hpp"
+#include "workload/webserver.hpp"
+
+using namespace pssp;
+
+namespace {
+
+void leak_and_replay(core::scheme_kind kind, unsigned canary_bytes) {
+    const auto profile = workload::nginx_profile();
+    const auto binary = compiler::build_module(workload::make_server_module(profile),
+                                               core::make_scheme(kind));
+    proc::fork_server server{binary, core::make_scheme(kind), /*seed=*/404,
+                             workload::server_config_for(profile)};
+
+    attack::leak_replay_config cfg;
+    cfg.prefix_bytes = workload::attack_prefix_bytes(profile);
+    cfg.canary_bytes = canary_bytes;
+    cfg.leak_offset = workload::attack_prefix_bytes(profile);
+    attack::leak_replay atk{server, cfg};
+    const auto r = atk.run(binary.symbols.at("win"), binary.data_base);
+
+    std::printf("---- %s ----\n", core::to_string(kind).c_str());
+    if (r.leak_succeeded)
+        std::printf("  leaked canary bytes: %s\n",
+                    util::to_hex(r.leaked_canary).c_str());
+    else
+        std::printf("  leak failed\n");
+    std::printf("  replay against next worker: %s\n\n",
+                r.hijacked ? ">>> HIJACKED — one leak broke the server <<<"
+                           : "rejected (stale / frame-bound canary)");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Leak one worker's canary, replay it against the next\n\n");
+    leak_and_replay(core::scheme_kind::ssp, 8);
+    leak_and_replay(core::scheme_kind::p_ssp, 16);
+    leak_and_replay(core::scheme_kind::p_ssp_nt, 16);
+    leak_and_replay(core::scheme_kind::p_ssp_gb, 8);
+    leak_and_replay(core::scheme_kind::p_ssp_owf, 24);
+    std::printf("Expected: SSP, P-SSP and P-SSP-NT all fall — the paper's Section\n"
+                "IV-C single point of failure (any pair XORing to the fixed TLS\n"
+                "canary passes). P-SSP-GB survives because the matching half lives\n"
+                "outside the overflow's reach; P-SSP-OWF because each canary is a\n"
+                "keyed MAC over (return address, nonce).\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+// The paper's motivating scenario, end to end: a forking network server
+// under the byte-by-byte attack (Section II-B), first compiled with stock
+// SSP (the attack wins in ~8*2^7 trials), then with P-SSP (the attack's
+// advantage never accumulates).
+//
+//   $ ./forking_server_attack
+
+#include <cstdio>
+
+#include "attack/byte_by_byte.hpp"
+#include "compiler/codegen.hpp"
+#include "proc/fork_server.hpp"
+#include "util/bytes.hpp"
+#include "workload/webserver.hpp"
+
+using namespace pssp;
+
+namespace {
+
+void attack_server(core::scheme_kind kind, unsigned canary_bytes,
+                   std::uint64_t trial_budget) {
+    const auto profile = workload::nginx_profile();
+    const auto binary = compiler::build_module(workload::make_server_module(profile),
+                                               core::make_scheme(kind));
+    proc::fork_server server{binary, core::make_scheme(kind), /*seed=*/7,
+                             workload::server_config_for(profile)};
+
+    std::printf("---- %s-compiled %s ----\n", core::to_string(kind).c_str(),
+                profile.name.c_str());
+    std::printf("  warm-up: 3 benign requests ... ");
+    for (int i = 0; i < 3; ++i) (void)server.serve("GET / HTTP/1.1");
+    std::printf("served, %llu crashes\n",
+                static_cast<unsigned long long>(server.crashes()));
+
+    attack::byte_by_byte_config cfg;
+    cfg.prefix_bytes = workload::attack_prefix_bytes(profile);
+    cfg.canary_bytes = canary_bytes;
+    cfg.max_trials = trial_budget;
+    attack::byte_by_byte atk{server, cfg};
+
+    const auto campaign =
+        atk.run_campaign(binary.symbols.at("win"), binary.data_base);
+    if (campaign.recovery.canary_recovered) {
+        std::printf("  canary recovered in %llu trials: %s\n",
+                    static_cast<unsigned long long>(campaign.recovery.trials),
+                    util::to_hex(campaign.recovery.canary).c_str());
+        std::printf("  per-byte trials:");
+        for (const auto t : campaign.recovery.trials_per_byte) std::printf(" %u", t);
+        std::printf("\n");
+    } else {
+        std::printf("  canary NOT recovered within %llu trials "
+                    "(%llu workers crashed underneath the attack)\n",
+                    static_cast<unsigned long long>(campaign.recovery.trials),
+                    static_cast<unsigned long long>(campaign.recovery.worker_crashes));
+    }
+    std::printf("  control-flow hijack: %s\n\n",
+                campaign.hijacked ? ">>> SUCCESS — attacker code ran <<<"
+                                  : "defeated");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Byte-by-byte attack vs a fork-per-request server\n");
+    std::printf("(the master forks a worker per request; crashed workers are\n");
+    std::printf(" reaped and replaced — a free crash oracle for the attacker)\n\n");
+
+    // SSP: every worker inherits the same canary; guesses accumulate.
+    attack_server(core::scheme_kind::ssp, 8, 4000);
+
+    // P-SSP: each fork re-randomizes the (C0, C1) split of the unchanged
+    // TLS canary; a surviving guess today says nothing about tomorrow.
+    attack_server(core::scheme_kind::p_ssp, 16, 4000);
+
+    std::printf("Expected: SSP falls in roughly 8*2^7 = 1024 trials;\n");
+    std::printf("P-SSP survives the full budget (Theorem 1: no accumulation).\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+// P-SSP-LV (extension 2): catching overflows that never touch the return
+// address — the "far more stealthy" non-control-data attack of Section
+// IV-B.
+//
+//   $ ./local_variable_protection
+//
+// The victim models an authentication routine:
+//
+//   int check_password(void) {
+//     char ok_flag[8];              // critical! (is_admin token)
+//     char password[32];            // overflowable
+//     ok_flag = 0;
+//     strcpy(password, g_input);    // the bug
+//     if (ok_flag != 0) grant();    // attacker's goal: no ret tampering
+//     return;
+//   }
+//
+// Stack layout (descending): [ret][saved rbp][canary?][ok_flag][password].
+// A 39-byte input overwrites password and flips ok_flag while stopping
+// *short of the classic canary* — so SSP never notices: the attacker gains
+// privilege and the function returns cleanly. P-SSP-LV plants a dedicated
+// canary directly below ok_flag, so the same payload is caught; with
+// write-site checks it is caught before the privileged branch executes.
+
+#include <cstdio>
+#include <string>
+
+#include "compiler/codegen.hpp"
+#include "core/scheme.hpp"
+#include "proc/process.hpp"
+
+using namespace pssp;
+
+namespace {
+
+compiler::ir_module make_module() {
+    compiler::ir_module mod;
+    mod.name = "auth";
+    mod.add_global("g_input", 512);
+    mod.add_global("g_granted_msg", 8, {'G', 'R', 'A', 'N', 'T', '!', '\n', 0});
+
+    auto& fn = mod.add_function("check_password");
+    // Declared first => placed nearest the frame top, above the password
+    // buffer (both are arrays, so the SSP planner does not reorder them).
+    const int ok_flag =
+        compiler::add_local(fn, "ok_flag", 8, /*is_buffer=*/true, /*is_critical=*/true);
+    const int password = compiler::add_local(fn, "password", 32, /*is_buffer=*/true);
+
+    fn.body.push_back(compiler::assign_stmt{ok_flag, compiler::const_ref{0}});
+    fn.body.push_back(compiler::call_stmt{
+        "strcpy", {compiler::addr_of{password}, compiler::global_addr{"g_input"}},
+        std::nullopt, /*writes_memory=*/true});
+    compiler::if_stmt gate{compiler::local_ref{ok_flag}, compiler::relop::ne,
+                           compiler::const_ref{0}, {}, {}};
+    gate.then_body.push_back(compiler::write_stmt{compiler::global_addr{"g_granted_msg"},
+                                                  compiler::const_ref{7}});
+    fn.body.push_back(gate);
+    fn.body.push_back(compiler::return_stmt{compiler::local_ref{ok_flag}});
+    return mod;
+}
+
+void attempt(core::scheme_kind kind, bool write_site_checks, const std::string& label) {
+    core::scheme_options options;
+    options.lv_check_after_write = write_site_checks;
+    const auto binary =
+        compiler::build_module(make_module(), core::make_scheme(kind, options));
+    proc::process_manager manager{core::make_scheme(kind, options), 99};
+    vm::machine m = manager.create_process(binary);
+
+    // 39 bytes + strcpy's NUL = 40: fills password (32), then flips the
+    // eight ok_flag bytes (or, under P-SSP-LV, smashes ok_flag's canary) —
+    // and stops before the classic return-address canary.
+    std::string payload(39, 0x41);
+    payload.push_back('\0');
+    m.mem().write_bytes(binary.data_symbols.at("g_input"),
+                        {reinterpret_cast<const std::uint8_t*>(payload.data()),
+                         payload.size()});
+    m.call_function(binary.symbols.at("check_password"));
+    m.set_fuel(100'000);
+    const auto r = m.run();
+
+    const bool granted = m.output().find("GRANT") != std::string::npos;
+    std::printf("  %-34s -> %-22s%s\n", label.c_str(),
+                (vm::to_string(r.status) +
+                 (r.status == vm::exec_status::trapped
+                      ? " (" + vm::to_string(r.trap) + ")"
+                      : ""))
+                    .c_str(),
+                granted ? "  *** PRIVILEGE ESCALATION ***" : "");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Non-control-data attack: flip ok_flag via buffer overflow,\n"
+                "without ever reaching the return-address canary\n\n");
+    attempt(core::scheme_kind::none, false, "native (no canary)");
+    attempt(core::scheme_kind::ssp, false, "SSP (return-address canary only)");
+    attempt(core::scheme_kind::p_ssp_nt, false, "P-SSP-NT (return guard only)");
+    attempt(core::scheme_kind::p_ssp_lv, false, "P-SSP-LV (epilogue check)");
+    attempt(core::scheme_kind::p_ssp_lv, true, "P-SSP-LV (+ write-site check)");
+    std::printf("\nSSP exits cleanly WITH the escalation — the overflow stopped\n"
+                "short of its only canary. P-SSP-LV's per-variable canary flags\n"
+                "the corruption; the write-site variant flags it before the\n"
+                "privileged branch ever runs.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+// Quickstart: protect a vulnerable function with P-SSP and watch it catch
+// an overflow.
+//
+//   $ ./quickstart
+//
+// Walks through the library's core loop:
+//   1. describe a function in the mini-IR (a 64-byte buffer + unbounded
+//      strcpy — the classic bug);
+//   2. compile it twice, natively and under P-SSP;
+//   3. run a benign and a malicious input through both and compare.
+
+#include <cstdio>
+#include <string>
+
+#include "compiler/codegen.hpp"
+#include "core/scheme.hpp"
+#include "proc/process.hpp"
+
+using namespace pssp;
+
+namespace {
+
+// uint64_t greet(void) { char buf[64]; strcpy(buf, g_input); return 1; }
+compiler::ir_module make_module() {
+    compiler::ir_module mod;
+    mod.name = "quickstart";
+    mod.add_global("g_input", 1024);
+
+    auto& fn = mod.add_function("greet");
+    const int buf = compiler::add_local(fn, "buf", 64, /*is_buffer=*/true);
+    fn.body.push_back(compiler::call_stmt{
+        "strcpy", {compiler::addr_of{buf}, compiler::global_addr{"g_input"}},
+        std::nullopt, /*writes_memory=*/true});
+    fn.body.push_back(compiler::return_stmt{compiler::const_ref{1}});
+    return mod;
+}
+
+void run_once(core::scheme_kind kind, const std::string& input) {
+    // Compile + link (the scheme is the "compiler pass")...
+    const auto binary = compiler::build_module(make_module(), core::make_scheme(kind));
+    // ...load a process (the runtime initializes the TLS canary)...
+    proc::process_manager manager{core::make_scheme(kind), /*seed=*/2024};
+    vm::machine m = manager.create_process(binary);
+    // ...deliver input and call the function.
+    std::string bytes = input;
+    bytes.push_back('\0');
+    m.mem().write_bytes(binary.data_symbols.at("g_input"),
+                        {reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size()});
+    m.call_function(binary.symbols.at("greet"));
+    m.set_fuel(100'000);
+    const vm::run_result r = m.run();
+
+    std::printf("  %-28s input=%3zu bytes  ->  %s%s\n",
+                core::to_string(kind).c_str(), input.size(),
+                vm::to_string(r.status).c_str(),
+                r.status == vm::exec_status::trapped
+                    ? (" (" + vm::to_string(r.trap) + ")").c_str()
+                    : "");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("P-SSP quickstart — compile, run, overflow, detect\n\n");
+
+    const std::string benign(30, 'h');
+    const std::string evil(120, 'A');
+
+    std::printf("benign 30-byte input:\n");
+    run_once(core::scheme_kind::none, benign);
+    run_once(core::scheme_kind::ssp, benign);
+    run_once(core::scheme_kind::p_ssp, benign);
+
+    std::printf("\nmalicious 120-byte input (overflows the 64-byte buffer):\n");
+    run_once(core::scheme_kind::none, evil);   // corrupts silently / crashes late
+    run_once(core::scheme_kind::ssp, evil);    // caught: stack smashing detected
+    run_once(core::scheme_kind::p_ssp, evil);  // caught, and leak-resilient
+
+    std::printf("\nThe P-SSP build stores a polymorphic pair (C0, C1) with\n"
+                "C0 xor C1 == TLS canary; see examples/forking_server_attack for\n"
+                "why that defeats the byte-by-byte attack that breaks plain SSP.\n");
+    return 0;
+}

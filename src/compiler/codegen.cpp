@@ -1,0 +1,252 @@
+#include "compiler/codegen.hpp"
+
+#include <stdexcept>
+
+#include "binfmt/stdlib.hpp"
+
+namespace pssp::compiler {
+
+using namespace vm::isa;
+using vm::reg;
+
+namespace {
+
+// Argument registers, SysV order (we support 4 parameters).
+constexpr reg arg_regs[] = {reg::rdi, reg::rsi, reg::rdx, reg::rcx};
+
+// movabs with a symbol relocation: the linker patches imm with the
+// symbol's address (code or data).
+[[nodiscard]] vm::instruction mov_sym(reg dst, std::uint32_t sym) {
+    auto insn = mov_ri(dst, 0);
+    insn.sym = sym;
+    return insn;
+}
+
+// Per-function lowering context.
+class function_lowering {
+  public:
+    function_lowering(const ir_function& fn, const core::scheme& sch,
+                      binfmt::image& img)
+        : fn_{fn}, scheme_{sch}, img_{img}, out_{img.add_function(fn.name)} {
+        std::vector<core::local_desc> descs;
+        descs.reserve(fn.locals.size());
+        for (const auto& local : fn.locals)
+            descs.push_back({local.size, local.is_buffer, local.is_critical});
+        plan_ = fn.never_protect ? unprotected_plan(descs) : scheme_.plan_frame(descs);
+    }
+
+    void lower() {
+        // Frame setup (Code 1, lines 1-3).
+        out_.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp)});
+        if (plan_.frame_bytes > 0) out_.emit(sub_ri(reg::rsp, plan_.frame_bytes));
+        if (plan_.protected_frame) scheme_.emit_prologue(out_, img_, plan_);
+
+        // Parameter spill: locals[0..param_count) receive rdi..rcx.
+        if (fn_.param_count > 4)
+            throw std::invalid_argument{fn_.name + ": more than 4 parameters"};
+        for (int i = 0; i < fn_.param_count; ++i)
+            out_.emit(mov_mr(mem(reg::rbp, slot(i)), arg_regs[i]));
+
+        lower_block(fn_.body);
+        if (!ends_with_return(fn_.body)) emit_return(const_ref{0});
+    }
+
+  private:
+    const ir_function& fn_;
+    const core::scheme& scheme_;
+    binfmt::image& img_;
+    binfmt::bin_function& out_;
+    core::frame_plan plan_;
+
+    [[nodiscard]] static core::frame_plan unprotected_plan(
+        const std::vector<core::local_desc>& descs) {
+        core::frame_plan plan;
+        plan.local_offsets.resize(descs.size());
+        std::int32_t cursor = 0;
+        for (std::size_t i = 0; i < descs.size(); ++i) {
+            cursor += static_cast<std::int32_t>((descs[i].size + 7) & ~7u);
+            plan.local_offsets[i] = -cursor;
+        }
+        plan.frame_bytes = (cursor + 15) & ~15;
+        return plan;
+    }
+
+    [[nodiscard]] std::int32_t slot(int local) const {
+        if (local < 0 || static_cast<std::size_t>(local) >= plan_.local_offsets.size())
+            throw std::out_of_range{fn_.name + ": bad local index"};
+        return plan_.local_offsets[static_cast<std::size_t>(local)];
+    }
+
+    [[nodiscard]] static bool ends_with_return(const std::vector<stmt>& body) {
+        return !body.empty() && std::holds_alternative<return_stmt>(body.back().node);
+    }
+
+    // Evaluates `op` into `dst` without touching any other register.
+    void eval(const operand& op, reg dst) {
+        if (const auto* l = std::get_if<local_ref>(&op)) {
+            out_.emit(mov_rm(dst, mem(reg::rbp, slot(l->index))));
+        } else if (const auto* c = std::get_if<const_ref>(&op)) {
+            out_.emit(mov_ri(dst, c->value));
+        } else if (const auto* a = std::get_if<addr_of>(&op)) {
+            out_.emit(lea(dst, mem(reg::rbp, slot(a->index))));
+        } else if (const auto* g = std::get_if<global_addr>(&op)) {
+            out_.emit(mov_sym(dst, img_.sym(g->name)));
+        }
+    }
+
+    void lower_block(const std::vector<stmt>& body) {
+        for (const auto& s : body) lower_stmt(s);
+    }
+
+    void lower_stmt(const stmt& s) {
+        std::visit([this](const auto& node) { lower_node(node); }, s.node);
+    }
+
+    void lower_node(const assign_stmt& s) {
+        eval(s.src, reg::rax);
+        out_.emit(mov_mr(mem(reg::rbp, slot(s.dst)), reg::rax));
+    }
+
+    void lower_node(const compute_stmt& s) {
+        eval(s.a, reg::rax);
+        switch (s.op) {
+            case binop::shl:
+            case binop::shr: {
+                const auto* c = std::get_if<const_ref>(&s.b);
+                if (c == nullptr)
+                    throw std::invalid_argument{fn_.name + ": shift needs const amount"};
+                const auto bits = static_cast<std::uint8_t>(c->value & 63);
+                out_.emit(s.op == binop::shl ? shl_ri(reg::rax, bits)
+                                             : shr_ri(reg::rax, bits));
+                break;
+            }
+            case binop::add:
+            case binop::sub:
+            case binop::mul:
+            case binop::xor_: {
+                eval(s.b, reg::r10);
+                switch (s.op) {
+                    case binop::add: out_.emit(add_rr(reg::rax, reg::r10)); break;
+                    case binop::sub: out_.emit(sub_rr(reg::rax, reg::r10)); break;
+                    case binop::mul: out_.emit(imul_rr(reg::rax, reg::r10)); break;
+                    default: out_.emit(xor_rr(reg::rax, reg::r10)); break;
+                }
+                break;
+            }
+        }
+        out_.emit(mov_mr(mem(reg::rbp, slot(s.dst)), reg::rax));
+    }
+
+    void lower_node(const load_global_stmt& s) {
+        out_.emit({mov_sym(reg::r10, img_.sym(s.global)),
+                   mov_rm(reg::rax, mem(reg::r10, s.offset)),
+                   mov_mr(mem(reg::rbp, slot(s.dst)), reg::rax)});
+    }
+
+    void lower_node(const store_global_stmt& s) {
+        eval(s.src, reg::rax);
+        out_.emit({mov_sym(reg::r10, img_.sym(s.global)),
+                   mov_mr(mem(reg::r10, s.offset), reg::rax)});
+    }
+
+    void lower_node(const call_stmt& s) {
+        if (s.args.size() > 4)
+            throw std::invalid_argument{fn_.name + ": more than 4 call arguments"};
+        for (std::size_t i = 0; i < s.args.size(); ++i) eval(s.args[i], arg_regs[i]);
+        out_.emit(call_sym(img_.sym(s.callee)));
+        if (s.result) out_.emit(mov_mr(mem(reg::rbp, slot(*s.result)), reg::rax));
+        if (s.writes_memory && plan_.protected_frame)
+            scheme_.emit_write_site_check(out_, img_, plan_);
+    }
+
+    void lower_node(const loop_stmt& s) {
+        const auto head = out_.new_label();
+        const auto done = out_.new_label();
+        out_.emit(mov_mi(mem(reg::rbp, slot(s.counter)), 0));
+        out_.place(head);
+        out_.emit({mov_rm(reg::rax, mem(reg::rbp, slot(s.counter))),
+                   cmp_ri(reg::rax, static_cast<std::int32_t>(s.iterations)), jae(done)});
+        lower_block(s.body);
+        out_.emit({mov_rm(reg::rax, mem(reg::rbp, slot(s.counter))),
+                   add_ri(reg::rax, 1),
+                   mov_mr(mem(reg::rbp, slot(s.counter)), reg::rax), jmp(head)});
+        out_.place(done);
+        out_.emit(nop());  // label anchor even when the loop ends the block
+    }
+
+    void lower_node(const if_stmt& s) {
+        const auto lbl_else = out_.new_label();
+        const auto lbl_end = out_.new_label();
+        eval(s.a, reg::rax);
+        eval(s.b, reg::r10);
+        out_.emit(cmp_rr(reg::rax, reg::r10));
+        // Branch to else when the condition is false.
+        switch (s.op) {
+            case relop::eq: out_.emit(jne(lbl_else)); break;
+            case relop::ne: out_.emit(je(lbl_else)); break;
+            case relop::lt_unsigned: out_.emit(jae(lbl_else)); break;
+            case relop::lt_signed: out_.emit(jge(lbl_else)); break;
+        }
+        lower_block(s.then_body);
+        out_.emit(jmp(lbl_end));
+        out_.place(lbl_else);
+        out_.emit(nop());
+        lower_block(s.else_body);
+        out_.place(lbl_end);
+        out_.emit(nop());
+    }
+
+    void lower_node(const write_stmt& s) {
+        eval(s.address, reg::rsi);
+        eval(s.length, reg::rdx);
+        out_.emit({mov_ri(reg::rdi, 1),
+                   syscall_i(static_cast<std::uint32_t>(vm::syscall_no::sys_write))});
+    }
+
+    void lower_node(const return_stmt& s) { emit_return(s.value); }
+
+    void emit_return(const operand& value) {
+        eval(value, reg::rax);
+        if (plan_.protected_frame) scheme_.emit_epilogue(out_, img_, plan_);
+        out_.emit({leave(), ret()});
+    }
+};
+
+}  // namespace
+
+codegen::codegen(std::shared_ptr<const core::scheme> sch) : scheme_{std::move(sch)} {
+    if (!scheme_) throw std::invalid_argument{"codegen requires a scheme"};
+}
+
+void codegen::compile_function(const ir_function& fn, binfmt::image& img) const {
+    function_lowering lowering{fn, *scheme_, img};
+    lowering.lower();
+}
+
+void codegen::compile_module(const ir_module& mod, binfmt::image& img) const {
+    for (const auto& g : mod.globals) img.add_data({g.name, g.size, g.init});
+    for (const auto& fn : mod.functions) compile_function(fn, img);
+}
+
+binfmt::linked_binary build_module(const ir_module& mod,
+                                   std::shared_ptr<const core::scheme> sch,
+                                   binfmt::link_mode mode) {
+    binfmt::image img;
+    codegen cg{std::move(sch)};
+    cg.compile_module(mod, img);
+    binfmt::add_standard_library(img, mode);
+    return img.link(mode);
+}
+
+binfmt::linked_binary build_mixed(const std::vector<module_under_scheme>& parts,
+                                  binfmt::link_mode mode) {
+    binfmt::image img;
+    for (const auto& part : parts) {
+        codegen cg{part.sch};
+        cg.compile_module(*part.mod, img);
+    }
+    binfmt::add_standard_library(img, mode);
+    return img.link(mode);
+}
+
+}  // namespace pssp::compiler

@@ -1,0 +1,58 @@
+// Code generation: lowers the mini-IR to VM instructions, invoking the
+// protection scheme at the paper's instrumentation points.
+//
+// Pipeline per function (mirroring the P-SSP-Pass structure of Section V-B):
+//   1. frame planning    — the scheme's plan_frame() decides slot offsets
+//                          and canary placement (this is where P-SSP-LV's
+//                          interleaved layout happens);
+//   2. function prologue — push rbp; mov rbp,rsp; sub rsp,N; then the
+//                          scheme's canary-install code (Codes 1/3/7/8);
+//   3. body lowering     — straightforward stack-slot code; after every
+//                          memory-writing libc call the scheme may insert
+//                          a write-site check (P-SSP-LV option);
+//   4. epilogue          — before *each* ret: the scheme's canary check
+//                          (Codes 2/4/9), then leave; ret.
+#pragma once
+
+#include <memory>
+
+#include "binfmt/image.hpp"
+#include "compiler/ir.hpp"
+#include "core/scheme.hpp"
+
+namespace pssp::compiler {
+
+class codegen {
+  public:
+    explicit codegen(std::shared_ptr<const core::scheme> sch);
+
+    // Compiles one function into `img`.
+    void compile_function(const ir_function& fn, binfmt::image& img) const;
+
+    // Compiles a whole module: globals first, then every function.
+    void compile_module(const ir_module& mod, binfmt::image& img) const;
+
+    [[nodiscard]] const core::scheme& protection() const noexcept { return *scheme_; }
+
+  private:
+    std::shared_ptr<const core::scheme> scheme_;
+};
+
+// Convenience one-stop build: compile `mod` under `sch`, add the standard
+// library, link. The returned binary is ready for process_manager.
+[[nodiscard]] binfmt::linked_binary build_module(
+    const ir_module& mod, std::shared_ptr<const core::scheme> sch,
+    binfmt::link_mode mode = binfmt::link_mode::dynamic_glibc);
+
+// Mixed-protection build (the Section VI-C compatibility experiments):
+// each module is compiled under its own scheme, all into one binary —
+// e.g. an application under P-SSP calling library code under stock SSP.
+struct module_under_scheme {
+    const ir_module* mod;
+    std::shared_ptr<const core::scheme> sch;
+};
+[[nodiscard]] binfmt::linked_binary build_mixed(
+    const std::vector<module_under_scheme>& parts,
+    binfmt::link_mode mode = binfmt::link_mode::dynamic_glibc);
+
+}  // namespace pssp::compiler

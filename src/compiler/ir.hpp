@@ -1,0 +1,162 @@
+// Mini-IR: the intermediate form our "LLVM pass" operates on.
+//
+// The paper's P-SSP-Pass is an LLVM FunctionPass whose runOnFunction
+// "decides whether to insert P-SSP canary according to the types and
+// lengths of local variables" and plants the prologue/epilogue around each
+// return. This IR carries exactly the information that decision needs —
+// locals with sizes, buffer-ness, criticality — plus enough statement
+// forms to express the paper's workloads: arithmetic kernels (SPEC-like),
+// request handlers with unbounded strcpy (the vulnerability), counted
+// loops, calls, conditionals, and output.
+//
+// Everything is index-based and value-typed: workloads build ir_modules
+// programmatically, and tests can introspect them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pssp::compiler {
+
+// ---- operands ---------------------------------------------------------------
+
+struct local_ref {       // value of a scalar local (64-bit load)
+    int index;
+};
+struct const_ref {       // 64-bit immediate
+    std::uint64_t value;
+};
+struct addr_of {         // address of a local (e.g. a buffer passed to strcpy)
+    int index;
+};
+struct global_addr {     // address of a named data object
+    std::string name;
+};
+
+using operand = std::variant<local_ref, const_ref, addr_of, global_addr>;
+
+enum class binop : std::uint8_t { add, sub, mul, xor_, shl, shr };
+enum class relop : std::uint8_t { eq, ne, lt_unsigned, lt_signed };
+
+// ---- statements -------------------------------------------------------------
+
+struct stmt;  // forward; bodies are vectors of stmt
+
+struct assign_stmt {             // locals[dst] = src
+    int dst;
+    operand src;
+};
+
+struct compute_stmt {            // locals[dst] = a (op) b
+    int dst;
+    operand a;
+    binop op;
+    operand b;                   // must be const_ref for shl/shr
+};
+
+struct load_global_stmt {        // locals[dst] = *(u64*)(global + offset)
+    int dst;
+    std::string global;
+    std::int32_t offset = 0;
+};
+
+struct store_global_stmt {       // *(u64*)(global + offset) = src
+    std::string global;
+    std::int32_t offset = 0;
+    operand src;
+};
+
+struct call_stmt {               // locals[result] = callee(args...)
+    std::string callee;
+    std::vector<operand> args;   // at most 4 (rdi, rsi, rdx, rcx)
+    std::optional<int> result;
+    // True for libc writers (strcpy/memcpy/memset/...): P-SSP-LV's
+    // write-site check is emitted right after such calls when enabled.
+    bool writes_memory = false;
+};
+
+struct loop_stmt {               // for (counter = 0; counter < iterations; ++counter)
+    int counter;                 // a scalar local dedicated to this loop
+    std::uint64_t iterations;
+    std::vector<stmt> body;
+};
+
+struct if_stmt {                 // if (a relop b) then_body else else_body
+    operand a;
+    relop op;
+    operand b;
+    std::vector<stmt> then_body;
+    std::vector<stmt> else_body;
+};
+
+struct write_stmt {              // sys_write(1, address, length)
+    operand address;             // addr_of or global_addr (or computed local)
+    operand length;
+};
+
+struct return_stmt {             // return value (defaults to 0)
+    operand value = const_ref{0};
+};
+
+using stmt_node = std::variant<assign_stmt, compute_stmt, load_global_stmt,
+                               store_global_stmt, call_stmt, loop_stmt, if_stmt,
+                               write_stmt, return_stmt>;
+
+struct stmt {
+    stmt_node node;
+    // NOLINTNEXTLINE(google-explicit-constructor): transparent wrapper
+    template <typename T>
+    stmt(T&& n) : node{std::forward<T>(n)} {}
+};
+
+// ---- functions / module -------------------------------------------------------
+
+struct ir_local {
+    std::string name;
+    std::uint32_t size = 8;      // bytes
+    bool is_buffer = false;      // array-like: triggers stack protection
+    bool is_critical = false;    // in V (Algorithm 2) for P-SSP-LV
+};
+
+struct ir_function {
+    std::string name;
+    std::vector<ir_local> locals;
+    int param_count = 0;         // first param_count locals receive rdi..rcx
+    std::vector<stmt> body;
+    bool never_protect = false;  // opt-out (libc-style leaves)
+};
+
+struct ir_global {
+    std::string name;
+    std::size_t size = 8;
+    std::vector<std::uint8_t> init;
+};
+
+struct ir_module {
+    std::string name;
+    std::vector<ir_function> functions;
+    std::vector<ir_global> globals;
+
+    ir_function& add_function(std::string fname) {
+        functions.push_back({});
+        functions.back().name = std::move(fname);
+        return functions.back();
+    }
+    void add_global(std::string gname, std::size_t size,
+                    std::vector<std::uint8_t> init = {}) {
+        globals.push_back({std::move(gname), size, std::move(init)});
+    }
+};
+
+// Convenience: add a local, returning its index.
+inline int add_local(ir_function& fn, std::string name, std::uint32_t size = 8,
+                     bool is_buffer = false, bool is_critical = false) {
+    fn.locals.push_back({std::move(name), size, is_buffer, is_critical});
+    return static_cast<int>(fn.locals.size()) - 1;
+}
+
+}  // namespace pssp::compiler

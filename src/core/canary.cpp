@@ -1,0 +1,17 @@
+#include "core/canary.hpp"
+
+namespace pssp::core {
+
+canary_pair re_randomize(std::uint64_t tls_canary, crypto::xoshiro256& rng) noexcept {
+    const std::uint64_t c0 = rng();
+    return {c0, c0 ^ tls_canary};
+}
+
+canary_pair32 re_randomize32(std::uint64_t tls_canary, crypto::xoshiro256& rng) noexcept {
+    const auto c0 = static_cast<std::uint32_t>(rng());
+    return {c0, c0 ^ static_cast<std::uint32_t>(tls_canary)};
+}
+
+std::uint64_t fresh_tls_canary(crypto::xoshiro256& rng) noexcept { return rng(); }
+
+}  // namespace pssp::core

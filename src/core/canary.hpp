@@ -1,0 +1,55 @@
+// Canary algebra: Algorithm 1 and the split/merge helpers shared by the
+// P-SSP family.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/prng.hpp"
+
+namespace pssp::core {
+
+// A canary pair (C0, C1) with C0 XOR C1 == C (Algorithm 1's output).
+struct canary_pair {
+    std::uint64_t c0 = 0;
+    std::uint64_t c1 = 0;
+
+    [[nodiscard]] constexpr std::uint64_t combined() const noexcept { return c0 ^ c1; }
+    friend bool operator==(const canary_pair&, const canary_pair&) = default;
+};
+
+// Algorithm 1, Re-Randomize(C): draws a fresh random C0 and returns
+// (C0, C0 XOR C). Each invocation yields a pair bound to C but independent
+// of every earlier pair — the property Theorem 1 rests on.
+[[nodiscard]] canary_pair re_randomize(std::uint64_t tls_canary,
+                                       crypto::xoshiro256& rng) noexcept;
+
+// 32-bit variant used by the binary-instrumentation deployment (Section
+// V-C): C0 and C1 are 32 bits each and pack into one 64-bit stack word, so
+// the SSP stack layout is preserved. The pair satisfies
+// c0 XOR c1 == low32(tls_canary).
+struct canary_pair32 {
+    std::uint32_t c0 = 0;
+    std::uint32_t c1 = 0;
+
+    [[nodiscard]] constexpr std::uint32_t combined() const noexcept { return c0 ^ c1; }
+    // Packed stack word: C0 in the low half, C1 in the high half.
+    [[nodiscard]] constexpr std::uint64_t packed() const noexcept {
+        return std::uint64_t{c0} | (std::uint64_t{c1} << 32);
+    }
+    friend bool operator==(const canary_pair32&, const canary_pair32&) = default;
+};
+
+[[nodiscard]] canary_pair32 re_randomize32(std::uint64_t tls_canary,
+                                           crypto::xoshiro256& rng) noexcept;
+
+// Unpacks a 64-bit stack word into the 32-bit pair (Fig 4's split of rdi).
+[[nodiscard]] constexpr canary_pair32 unpack32(std::uint64_t word) noexcept {
+    return {static_cast<std::uint32_t>(word), static_cast<std::uint32_t>(word >> 32)};
+}
+
+// Draws a full-width random TLS canary. Unlike glibc we do not force a NUL
+// guard byte: the paper's schemes do not either, and a zero byte would bias
+// the Theorem-1 uniformity tests.
+[[nodiscard]] std::uint64_t fresh_tls_canary(crypto::xoshiro256& rng) noexcept;
+
+}  // namespace pssp::core

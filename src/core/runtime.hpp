@@ -1,0 +1,57 @@
+// The libpoly_canary shared-library analog (Section V-A).
+//
+// The paper ships a ~358-line LD_PRELOAD library exporting three overrides:
+//   * setup_p-ssp       — a constructor-attribute function that initializes
+//                         the TLS shadow canary before main();
+//   * fork              — wraps glibc fork, refreshing the child's shadow
+//                         canary after its TLS is cloned;
+//   * pthread_create    — ditto for new threads.
+// This class is that library: the process layer invokes it at exactly the
+// same points in the process lifecycle. It also provides the native-handler
+// interposition used by the *instrumented dynamic* deployment, where the
+// modified __stack_chk_fail performs the Fig 4 split-xor check.
+#pragma once
+
+#include <memory>
+
+#include "binfmt/image.hpp"
+#include "core/scheme.hpp"
+#include "crypto/prng.hpp"
+#include "vm/machine.hpp"
+
+namespace pssp::core {
+
+class runtime {
+  public:
+    runtime(std::shared_ptr<const scheme> sch, std::uint64_t seed);
+
+    // setup_p-ssp: runs once per process image, before its main().
+    void setup_process(vm::machine& m);
+
+    // fork wrapper: runs in the child after the TLS clone.
+    void on_fork_child(vm::machine& child);
+
+    // pthread_create wrapper: runs in the new thread.
+    void on_thread_create(vm::machine& thread);
+
+    [[nodiscard]] const scheme& protection() const noexcept { return *scheme_; }
+    [[nodiscard]] std::shared_ptr<const scheme> protection_ptr() const noexcept {
+        return scheme_;
+    }
+    [[nodiscard]] crypto::xoshiro256& rng() noexcept { return rng_; }
+
+  private:
+    std::shared_ptr<const scheme> scheme_;
+    crypto::xoshiro256 rng_;
+};
+
+// Rebinds __stack_chk_fail in a *dynamically linked, instrumented* binary
+// to the P-SSP-aware check of Figs 3/4: rdi carries the packed 32-bit
+// (C0, C1) stack word; C0 XOR C1 must equal low32(C). On success the
+// handler returns with ZF set (the instrumented epilogue's `je` consumes
+// it, Code 6); on mismatch it aborts via the fortify path. SSP-compiled
+// callers that reach it with a genuinely smashed canary abort too, which
+// is the paper's SSP-compatibility argument.
+void bind_instrumented_stack_chk_fail(binfmt::linked_binary& binary);
+
+}  // namespace pssp::core

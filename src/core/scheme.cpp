@@ -1,0 +1,133 @@
+#include "core/scheme.hpp"
+
+#include <stdexcept>
+
+#include "binfmt/stdlib.hpp"
+#include "core/canary.hpp"
+#include "core/schemes/schemes_internal.hpp"
+#include "core/tls_layout.hpp"
+
+namespace pssp::core {
+
+std::string to_string(scheme_kind kind) {
+    switch (kind) {
+        case scheme_kind::none: return "native";
+        case scheme_kind::ssp: return "SSP";
+        case scheme_kind::raf_ssp: return "RAF-SSP";
+        case scheme_kind::dynaguard: return "DynaGuard";
+        case scheme_kind::dcr: return "DCR";
+        case scheme_kind::p_ssp: return "P-SSP";
+        case scheme_kind::p_ssp_nt: return "P-SSP-NT";
+        case scheme_kind::p_ssp_lv: return "P-SSP-LV";
+        case scheme_kind::p_ssp_owf: return "P-SSP-OWF";
+        case scheme_kind::p_ssp32: return "P-SSP-32";
+        case scheme_kind::p_ssp_gb: return "P-SSP-GB";
+        case scheme_kind::p_ssp_c0tls: return "P-SSP-C0TLS";
+    }
+    return "?";
+}
+
+bool scheme::wants_protection(const std::vector<local_desc>& locals) const {
+    // The -fstack-protector heuristic: protect any frame holding an array.
+    for (const auto& local : locals)
+        if (local.is_buffer) return true;
+    return false;
+}
+
+namespace {
+
+[[nodiscard]] constexpr std::int32_t round8(std::uint32_t bytes) noexcept {
+    return static_cast<std::int32_t>((bytes + 7) & ~7u);
+}
+
+[[nodiscard]] constexpr std::int32_t round16(std::int32_t bytes) noexcept {
+    return (bytes + 15) & ~15;
+}
+
+}  // namespace
+
+frame_plan scheme::plan_frame(const std::vector<local_desc>& locals) const {
+    frame_plan plan;
+    plan.local_offsets.resize(locals.size(), 0);
+    plan.protected_frame = wants_protection(locals);
+
+    std::int32_t cursor = 0;
+    if (plan.protected_frame && stack_canary_bytes() > 0) {
+        cursor = stack_canary_bytes();
+        plan.canaries.push_back({-cursor, stack_canary_bytes(), -1});
+    }
+
+    // Buffers sit immediately below the canary area so that any overflow
+    // out of a buffer must march through the canary before reaching the
+    // saved rbp / return address (gcc's array-reordering behavior).
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+        if (!locals[i].is_buffer) continue;
+        cursor += round8(locals[i].size);
+        plan.local_offsets[i] = -cursor;
+    }
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+        if (locals[i].is_buffer) continue;
+        cursor += round8(locals[i].size);
+        plan.local_offsets[i] = -cursor;
+    }
+
+    plan.frame_bytes = round16(cursor);
+    return plan;
+}
+
+void scheme::emit_write_site_check(binfmt::bin_function&, binfmt::image&,
+                                   const frame_plan&) const {
+    // Only P-SSP-LV opts into mid-function checks.
+}
+
+void scheme::runtime_setup(vm::machine& m, crypto::xoshiro256& rng) const {
+    tls_store(m, tls_canary, fresh_tls_canary(rng));
+}
+
+void scheme::runtime_on_fork_child(vm::machine&, crypto::xoshiro256&) const {
+    // Stock SSP semantics: the child inherits the parent's TLS untouched.
+}
+
+void scheme::runtime_on_thread_create(vm::machine& thread, crypto::xoshiro256& rng) const {
+    // By default a new thread gets the same treatment as a forked child:
+    // its TLS block was just cloned from the creator.
+    runtime_on_fork_child(thread, rng);
+}
+
+void scheme::emit_check_tail(binfmt::bin_function& f, binfmt::image& img) {
+    using namespace vm::isa;
+    const auto ok = f.new_label();
+    f.emit(je(ok));
+    f.emit(call_sym(img.sym(binfmt::sym_stack_chk_fail)));
+    f.place(ok);  // binds to whatever the codegen emits next (leave/ret)
+}
+
+std::unique_ptr<scheme> make_scheme(scheme_kind kind, const scheme_options& options) {
+    switch (kind) {
+        case scheme_kind::none: return detail::make_none();
+        case scheme_kind::ssp: return detail::make_ssp();
+        case scheme_kind::raf_ssp: return detail::make_raf_ssp();
+        case scheme_kind::dynaguard: return detail::make_dynaguard();
+        case scheme_kind::dcr: return detail::make_dcr(options);
+        case scheme_kind::p_ssp: return detail::make_p_ssp();
+        case scheme_kind::p_ssp_nt: return detail::make_p_ssp_nt();
+        case scheme_kind::p_ssp_lv: return detail::make_p_ssp_lv(options);
+        case scheme_kind::p_ssp_owf: return detail::make_p_ssp_owf(options);
+        case scheme_kind::p_ssp32: return detail::make_p_ssp32();
+        case scheme_kind::p_ssp_gb: return detail::make_p_ssp_gb();
+        case scheme_kind::p_ssp_c0tls: return detail::make_p_ssp_c0tls();
+    }
+    throw std::invalid_argument{"make_scheme: unknown kind"};
+}
+
+const std::vector<scheme_kind>& all_scheme_kinds() {
+    static const std::vector<scheme_kind> kinds = {
+        scheme_kind::none,     scheme_kind::ssp,      scheme_kind::raf_ssp,
+        scheme_kind::dynaguard, scheme_kind::dcr,      scheme_kind::p_ssp,
+        scheme_kind::p_ssp_nt, scheme_kind::p_ssp_lv, scheme_kind::p_ssp_owf,
+        scheme_kind::p_ssp32,  scheme_kind::p_ssp_gb, scheme_kind::p_ssp_c0tls,
+    };
+    return kinds;
+}
+
+}  // namespace pssp::core

@@ -1,0 +1,156 @@
+// The protection-scheme interface: the compiler-pass half and the
+// runtime-library half of each canary design, behind one abstraction.
+//
+// A scheme contributes three things:
+//   1. frame planning  — where locals and canary slots sit in the frame
+//      (P-SSP-LV interleaves per-variable canaries; everything else
+//      reserves a contiguous canary area below the saved rbp);
+//   2. code emission   — the prologue/epilogue instruction sequences of
+//      Codes 1-9, emitted into the function being compiled;
+//   3. runtime hooks   — the libpoly_canary analog: TLS initialization at
+//      program startup and the fork/pthread_create wrappers.
+//
+// Everything an attacker interacts with (stack bytes, TLS words, the
+// rdrand stream) is produced by the *emitted code executing in the VM*,
+// not by host-side shortcuts — the hooks only do what the paper's 358-line
+// shared library does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binfmt/image.hpp"
+#include "crypto/one_way.hpp"
+#include "crypto/prng.hpp"
+#include "vm/machine.hpp"
+
+namespace pssp::core {
+
+enum class scheme_kind : std::uint8_t {
+    none,       // no canary (the "native execution" baseline)
+    ssp,        // classic Stack Smashing Protection (Codes 1/2)
+    raf_ssp,    // renew-after-fork TLS canary (Marco-Gisbert & Ripoll)
+    dynaguard,  // canary-address buffer, rewritten on fork (Petsios et al.)
+    dcr,        // in-stack canary linked list (Hawkins et al.)
+    p_ssp,      // the paper's basic scheme (Codes 3/4)
+    p_ssp_nt,   // extension 1: per-call re-randomization, no TLS update
+    p_ssp_lv,   // extension 2: per-critical-local-variable canaries
+    p_ssp_owf,  // extension 3: one-way-function canary (AES-NI)
+    p_ssp32,    // Section V-C: 32-bit pair packed into one word
+    p_ssp_gb,   // Section VII-C: 64-bit pair via per-process global buffer
+    p_ssp_c0tls,  // Section VII-C's REJECTED design: C0 in TLS, C1 on the
+                  // stack. Layout-preserving but fork-incorrect — kept as a
+                  // measured negative result.
+};
+
+[[nodiscard]] std::string to_string(scheme_kind kind);
+
+// Local-variable descriptor as seen by the frame planner.
+struct local_desc {
+    std::uint32_t size = 8;     // bytes
+    bool is_buffer = false;     // char-array-like; triggers protection
+    bool is_critical = false;   // member of V in Algorithm 2 (P-SSP-LV)
+};
+
+// One canary word (or word group) in a planned frame.
+struct canary_slot {
+    std::int32_t offset = 0;   // rbp-relative (negative), lowest byte
+    std::int32_t bytes = 8;    // 8, 16 (P-SSP pair) or 24 (OWF nonce+ct)
+    std::int32_t guards = -1;  // local index it guards; -1 = return address
+};
+
+// Where everything in a frame lives. Offsets are rbp-relative.
+struct frame_plan {
+    std::int32_t frame_bytes = 0;            // rsp adjustment (16-aligned)
+    std::vector<std::int32_t> local_offsets; // per local_desc index
+    std::vector<canary_slot> canaries;       // empty => unprotected function
+    bool protected_frame = false;
+
+    // The slot guarding the return address (first canary by convention).
+    [[nodiscard]] const canary_slot& return_guard() const { return canaries.front(); }
+};
+
+// Tuning knobs for scheme construction.
+struct scheme_options {
+    crypto::owf_kind owf = crypto::owf_kind::aes128;  // P-SSP-OWF instantiation
+    // P-SSP-LV: also re-check canaries immediately after calls to libc
+    // writers (strcpy/memcpy/...), not only in the epilogue — the paper's
+    // "timing of canary checking" discussion in Section V-E2.
+    bool lv_check_after_write = false;
+    // DCR deployment modeling: cycles charged per prologue/epilogue for the
+    // Dyninst trampoline + register spills of its static rewriting.
+    // Calibrated so the Table I bench lands in the paper's ">24%" band on
+    // the SPEC-like suite (see DESIGN.md §5).
+    std::uint32_t dcr_trampoline_cycles = 450;
+};
+
+class scheme {
+  public:
+    virtual ~scheme() = default;
+
+    [[nodiscard]] virtual scheme_kind kind() const noexcept = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    // True if a function with these locals should get a canary at all
+    // (the -fstack-protector heuristic: any buffer-like local).
+    [[nodiscard]] virtual bool wants_protection(
+        const std::vector<local_desc>& locals) const;
+
+    // Lays out locals and canary slots. Default: contiguous canary area of
+    // stack_canary_bytes() at the frame top, buffers placed directly below
+    // it (so overflows must cross the canary), scalars below the buffers.
+    [[nodiscard]] virtual frame_plan plan_frame(
+        const std::vector<local_desc>& locals) const;
+
+    // Bytes of the contiguous return-address canary area (8 for SSP-likes,
+    // 16 for the P-SSP pair, 24 for OWF).
+    [[nodiscard]] virtual std::int32_t stack_canary_bytes() const noexcept = 0;
+
+    // Emits canary installation code. Called right after the frame is set
+    // up (push rbp; mov rbp,rsp; sub rsp,N).
+    virtual void emit_prologue(binfmt::bin_function& f, binfmt::image& img,
+                               const frame_plan& plan) const = 0;
+
+    // Emits the canary check. Called immediately before leave/ret.
+    virtual void emit_epilogue(binfmt::bin_function& f, binfmt::image& img,
+                               const frame_plan& plan) const = 0;
+
+    // Optional mid-function check after a libc write call (P-SSP-LV).
+    virtual void emit_write_site_check(binfmt::bin_function& f, binfmt::image& img,
+                                       const frame_plan& plan) const;
+
+    // ---- Runtime half (libpoly_canary analog) ----
+    // Program startup (the setup_p-ssp constructor): installs the TLS
+    // canary C and any scheme-specific TLS/register state.
+    virtual void runtime_setup(vm::machine& m, crypto::xoshiro256& rng) const;
+
+    // Runs in the child after fork clones the TLS (the fork() wrapper).
+    virtual void runtime_on_fork_child(vm::machine& child,
+                                       crypto::xoshiro256& rng) const;
+
+    // Runs in a newly spawned thread (the pthread_create wrapper).
+    // Default: same treatment as a forked child.
+    virtual void runtime_on_thread_create(vm::machine& thread,
+                                          crypto::xoshiro256& rng) const;
+
+    // Whether the scheme's fork wrapper touches the TLS at all — P-SSP does
+    // (shadow refresh), P-SSP-NT does not (its whole point), RAF renews C
+    // itself. Used by the deployment matrix in the compat bench.
+    [[nodiscard]] virtual bool updates_tls_on_fork() const noexcept { return false; }
+
+  protected:
+    // Shared epilogue tail: je ok; call __stack_chk_fail; ok: — the ZF must
+    // already reflect the canary comparison.
+    static void emit_check_tail(binfmt::bin_function& f, binfmt::image& img);
+};
+
+// Constructs a scheme implementation.
+[[nodiscard]] std::unique_ptr<scheme> make_scheme(scheme_kind kind,
+                                                  const scheme_options& options = {});
+
+// All kinds, in presentation order (handy for benches and tests).
+[[nodiscard]] const std::vector<scheme_kind>& all_scheme_kinds();
+
+}  // namespace pssp::core

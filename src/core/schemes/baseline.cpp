@@ -1,0 +1,82 @@
+// Baseline schemes: no protection, classic SSP, and RAF-SSP.
+//
+// RAF-SSP (Marco-Gisbert & Ripoll, "renew-after-fork") shares SSP's code
+// generation entirely; it differs only in the fork wrapper, which installs
+// a *fresh TLS canary* in the child. That stops the byte-by-byte attack but
+// re-introduces the correctness bug the paper's Section II-C caveat
+// describes: frames inherited from the parent still hold the old canary,
+// so the child crashes as soon as control returns into them. We reproduce
+// the bug faithfully — Table I's "Correctness: No" row is measured.
+
+#include "binfmt/stdlib.hpp"
+#include "core/canary.hpp"
+#include "core/schemes/schemes_internal.hpp"
+#include "core/tls_layout.hpp"
+
+namespace pssp::core::detail {
+
+using namespace vm::isa;
+using vm::reg;
+
+namespace {
+
+class none_scheme final : public scheme {
+  public:
+    scheme_kind kind() const noexcept override { return scheme_kind::none; }
+    std::string name() const override { return "native (no canary)"; }
+    bool wants_protection(const std::vector<local_desc>&) const override { return false; }
+    std::int32_t stack_canary_bytes() const noexcept override { return 0; }
+    void emit_prologue(binfmt::bin_function&, binfmt::image&,
+                       const frame_plan&) const override {}
+    void emit_epilogue(binfmt::bin_function&, binfmt::image&,
+                       const frame_plan&) const override {}
+    void runtime_setup(vm::machine&, crypto::xoshiro256&) const override {
+        // Not even a TLS canary: pure native execution.
+    }
+};
+
+class ssp_scheme : public scheme {
+  public:
+    scheme_kind kind() const noexcept override { return scheme_kind::ssp; }
+    std::string name() const override { return "SSP (stock stack protector)"; }
+    std::int32_t stack_canary_bytes() const noexcept override { return 8; }
+
+    // Code 1, lines 4-5: copy the TLS canary into the frame.
+    void emit_prologue(binfmt::bin_function& f, binfmt::image&,
+                       const frame_plan& plan) const override {
+        const std::int32_t slot = plan.return_guard().offset;
+        f.emit({mov_rm(reg::rax, fs(tls_canary)), mov_mr(mem(reg::rbp, slot), reg::rax)});
+    }
+
+    // Code 2: xor against the TLS canary; mismatch calls __stack_chk_fail.
+    void emit_epilogue(binfmt::bin_function& f, binfmt::image& img,
+                       const frame_plan& plan) const override {
+        const std::int32_t slot = plan.return_guard().offset;
+        f.emit({mov_rm(reg::rdx, mem(reg::rbp, slot)), xor_rm(reg::rdx, fs(tls_canary))});
+        emit_check_tail(f, img);
+    }
+};
+
+class raf_ssp_scheme final : public ssp_scheme {
+  public:
+    scheme_kind kind() const noexcept override { return scheme_kind::raf_ssp; }
+    std::string name() const override { return "RAF-SSP (renew canary after fork)"; }
+
+    void runtime_on_fork_child(vm::machine& child, crypto::xoshiro256& rng) const override {
+        // The whole scheme: a new TLS canary for the child. Frames created
+        // before the fork keep the parent's canary and will now fail their
+        // epilogue check — the documented incorrectness.
+        tls_store(child, tls_canary, fresh_tls_canary(rng));
+        child.charge(4);
+    }
+
+    bool updates_tls_on_fork() const noexcept override { return true; }
+};
+
+}  // namespace
+
+std::unique_ptr<scheme> make_none() { return std::make_unique<none_scheme>(); }
+std::unique_ptr<scheme> make_ssp() { return std::make_unique<ssp_scheme>(); }
+std::unique_ptr<scheme> make_raf_ssp() { return std::make_unique<raf_ssp_scheme>(); }
+
+}  // namespace pssp::core::detail

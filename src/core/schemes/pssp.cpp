@@ -1,0 +1,265 @@
+// The P-SSP family: the paper's basic scheme (Codes 3/4) and three of its
+// deployment variants —
+//   * p_ssp      : TLS shadow pair (C0, C1) refreshed per fork; 16-byte
+//                  stack canary; TLS canary C itself never changes.
+//   * p_ssp_nt   : extension 1 (Code 7) — rdrand in every prologue, no TLS
+//                  shadow, no fork/pthread hooks.
+//   * p_ssp32    : Section V-C — 32-bit pair packed in one 64-bit word so a
+//                  binary rewriter can keep the SSP stack layout.
+//   * p_ssp_gb   : Section VII-C — full 64-bit entropy with the SSP layout,
+//                  via a per-process global buffer holding every C1.
+
+#include "binfmt/stdlib.hpp"
+#include "core/canary.hpp"
+#include "core/schemes/schemes_internal.hpp"
+#include "core/tls_layout.hpp"
+
+namespace pssp::core::detail {
+
+using namespace vm::isa;
+using vm::reg;
+
+namespace {
+
+// ---- P-SSP (basic) ----------------------------------------------------------
+
+class p_ssp_scheme : public scheme {
+  public:
+    scheme_kind kind() const noexcept override { return scheme_kind::p_ssp; }
+    std::string name() const override { return "P-SSP (fork-refreshed shadow pair)"; }
+    std::int32_t stack_canary_bytes() const noexcept override { return 16; }
+
+    // Code 3: copy both shadow words into the frame. C0 lands at the higher
+    // address (rbp-8), C1 below it (rbp-16), exactly as in the listing.
+    void emit_prologue(binfmt::bin_function& f, binfmt::image&,
+                       const frame_plan& plan) const override {
+        const std::int32_t c1_slot = plan.return_guard().offset;  // rbp-16
+        const std::int32_t c0_slot = c1_slot + 8;                 // rbp-8
+        f.emit({mov_rm(reg::rax, fs(tls_shadow_c0)),
+                mov_mr(mem(reg::rbp, c0_slot), reg::rax),
+                mov_rm(reg::rax, fs(tls_shadow_c1)),
+                mov_mr(mem(reg::rbp, c1_slot), reg::rax)});
+    }
+
+    // Code 4: C0 XOR C1 must equal the TLS canary C.
+    void emit_epilogue(binfmt::bin_function& f, binfmt::image& img,
+                       const frame_plan& plan) const override {
+        const std::int32_t c1_slot = plan.return_guard().offset;
+        const std::int32_t c0_slot = c1_slot + 8;
+        f.emit({mov_rm(reg::rdx, mem(reg::rbp, c0_slot)),
+                mov_rm(reg::rdi, mem(reg::rbp, c1_slot)),
+                xor_rr(reg::rdx, reg::rdi), xor_rm(reg::rdx, fs(tls_canary))});
+        emit_check_tail(f, img);
+    }
+
+    // setup_p-ssp constructor: C plus the initial shadow split.
+    void runtime_setup(vm::machine& m, crypto::xoshiro256& rng) const override {
+        const std::uint64_t c = fresh_tls_canary(rng);
+        tls_store(m, tls_canary, c);
+        const canary_pair shadow = re_randomize(c, rng);
+        tls_store(m, tls_shadow_c0, shadow.c0);
+        tls_store(m, tls_shadow_c1, shadow.c1);
+    }
+
+    // The fork wrapper: refresh only the *shadow* pair in the child. C is
+    // untouched, so frames inherited from the parent stay verifiable.
+    void runtime_on_fork_child(vm::machine& child, crypto::xoshiro256& rng) const override {
+        const std::uint64_t c = tls_load(child, tls_canary);
+        const canary_pair shadow = re_randomize(c, rng);
+        tls_store(child, tls_shadow_c0, shadow.c0);
+        tls_store(child, tls_shadow_c1, shadow.c1);
+        child.charge(12);  // the wrapper's Algorithm-1 split: O(1), depth-free
+    }
+
+    bool updates_tls_on_fork() const noexcept override { return true; }
+};
+
+// ---- P-SSP-NT ---------------------------------------------------------------
+
+class p_ssp_nt_scheme final : public scheme {
+  public:
+    scheme_kind kind() const noexcept override { return scheme_kind::p_ssp_nt; }
+    std::string name() const override { return "P-SSP-NT (per-call rdrand, no TLS update)"; }
+    std::int32_t stack_canary_bytes() const noexcept override { return 16; }
+
+    // Code 7: a fresh split on every invocation; the TLS holds only C.
+    // rdrand can transiently fail (CF=0, destination untouched) — real
+    // deployments retry, and so do we: installing a stale register as the
+    // canary would be a silent correctness *and* security bug.
+    void emit_prologue(binfmt::bin_function& f, binfmt::image&,
+                       const frame_plan& plan) const override {
+        const std::int32_t c1_slot = plan.return_guard().offset;
+        const std::int32_t c0_slot = c1_slot + 8;
+        const auto retry = f.new_label();
+        f.place(retry);
+        f.emit({rdrand(reg::rax), jnc(retry),
+                mov_mr(mem(reg::rbp, c0_slot), reg::rax),
+                mov_rm(reg::rcx, fs(tls_canary)), xor_rr(reg::rcx, reg::rax),
+                mov_mr(mem(reg::rbp, c1_slot), reg::rcx)});
+    }
+
+    void emit_epilogue(binfmt::bin_function& f, binfmt::image& img,
+                       const frame_plan& plan) const override {
+        const std::int32_t c1_slot = plan.return_guard().offset;
+        const std::int32_t c0_slot = c1_slot + 8;
+        f.emit({mov_rm(reg::rdx, mem(reg::rbp, c0_slot)),
+                mov_rm(reg::rdi, mem(reg::rbp, c1_slot)),
+                xor_rr(reg::rdx, reg::rdi), xor_rm(reg::rdx, fs(tls_canary))});
+        emit_check_tail(f, img);
+    }
+
+    // No shadow canary, no fork hook, no pthread hook: deployment is just
+    // the compiler flag. (runtime_setup inherits the default: set C.)
+};
+
+// ---- P-SSP-32 (instrumentation downgrade, Section V-C) ----------------------
+
+class p_ssp32_scheme final : public scheme {
+  public:
+    scheme_kind kind() const noexcept override { return scheme_kind::p_ssp32; }
+    std::string name() const override { return "P-SSP-32 (packed 32-bit pair)"; }
+    std::int32_t stack_canary_bytes() const noexcept override { return 8; }
+
+    // Code 5's shape: identical to the SSP prologue except the TLS offset —
+    // the packed shadow pair at %fs:0x2a8 instead of C at %fs:0x28.
+    void emit_prologue(binfmt::bin_function& f, binfmt::image&,
+                       const frame_plan& plan) const override {
+        const std::int32_t slot = plan.return_guard().offset;
+        f.emit({mov_rm(reg::rax, fs(tls_shadow_c0)),
+                mov_mr(mem(reg::rbp, slot), reg::rax)});
+    }
+
+    // Fig 4's check, inlined (the rewriter hides the same logic inside the
+    // patched __stack_chk_fail): split the word, xor halves, compare
+    // against low32(C).
+    void emit_epilogue(binfmt::bin_function& f, binfmt::image& img,
+                       const frame_plan& plan) const override {
+        const std::int32_t slot = plan.return_guard().offset;
+        f.emit({mov_rm(reg::rdx, mem(reg::rbp, slot)), mov_rr(reg::rdi, reg::rdx),
+                shr_ri(reg::rdi, 32),            // C1
+                shl_ri(reg::rdx, 32), shr_ri(reg::rdx, 32),  // C0
+                xor_rr(reg::rdx, reg::rdi),      // C0 ^ C1
+                mov_rm(reg::rdi, fs(tls_canary)), shl_ri(reg::rdi, 32),
+                shr_ri(reg::rdi, 32),            // low32(C)
+                xor_rr(reg::rdx, reg::rdi)});
+        emit_check_tail(f, img);
+    }
+
+    void runtime_setup(vm::machine& m, crypto::xoshiro256& rng) const override {
+        const std::uint64_t c = fresh_tls_canary(rng);
+        tls_store(m, tls_canary, c);
+        tls_store(m, tls_shadow_c0, re_randomize32(c, rng).packed());
+    }
+
+    void runtime_on_fork_child(vm::machine& child, crypto::xoshiro256& rng) const override {
+        const std::uint64_t c = tls_load(child, tls_canary);
+        tls_store(child, tls_shadow_c0, re_randomize32(c, rng).packed());
+        child.charge(10);  // constant-time wrapper work
+    }
+
+    bool updates_tls_on_fork() const noexcept override { return true; }
+};
+
+// ---- P-SSP-GB (global-buffer variant, Section VII-C) ------------------------
+
+class p_ssp_gb_scheme final : public scheme {
+  public:
+    scheme_kind kind() const noexcept override { return scheme_kind::p_ssp_gb; }
+    std::string name() const override { return "P-SSP-GB (C1 in per-process global buffer)"; }
+    std::int32_t stack_canary_bytes() const noexcept override { return 8; }
+
+    // Only C0 goes on the stack (SSP layout preserved); C1 = C0 XOR C is
+    // pushed into the global canary buffer whose top pointer lives in TLS.
+    void emit_prologue(binfmt::bin_function& f, binfmt::image&,
+                       const frame_plan& plan) const override {
+        const std::int32_t slot = plan.return_guard().offset;
+        const auto retry = f.new_label();
+        f.place(retry);
+        f.emit({rdrand(reg::rax), jnc(retry),
+                mov_mr(mem(reg::rbp, slot), reg::rax),
+                mov_rm(reg::rcx, fs(tls_canary)), xor_rr(reg::rcx, reg::rax),
+                mov_rm(reg::rdx, fs(tls_gbuf_top)), mov_mr(mem(reg::rdx, 0), reg::rcx),
+                add_ri(reg::rdx, 8), mov_mr(fs(tls_gbuf_top), reg::rdx)});
+    }
+
+    void emit_epilogue(binfmt::bin_function& f, binfmt::image& img,
+                       const frame_plan& plan) const override {
+        const std::int32_t slot = plan.return_guard().offset;
+        f.emit({mov_rm(reg::rcx, fs(tls_gbuf_top)), sub_ri(reg::rcx, 8),
+                mov_mr(fs(tls_gbuf_top), reg::rcx),
+                mov_rm(reg::rdi, mem(reg::rcx, 0)),          // C1
+                mov_rm(reg::rdx, mem(reg::rbp, slot)),       // C0
+                xor_rr(reg::rdx, reg::rdi), xor_rm(reg::rdx, fs(tls_canary))});
+        emit_check_tail(f, img);
+    }
+
+    void runtime_setup(vm::machine& m, crypto::xoshiro256& rng) const override {
+        tls_store(m, tls_canary, fresh_tls_canary(rng));
+        tls_store(m, tls_gbuf_top, gbuf_base(m));
+    }
+
+    // fork: nothing to do — the child's memory clone already duplicated the
+    // global buffer and the TLS top pointer ("the child processes clones
+    // their parent process' global buffer", Section VII-C). Freshness of
+    // *new* frames comes from rdrand in the prologue.
+};
+
+// ---- P-SSP-C0TLS (Section VII-C's rejected strawman) -------------------------
+// "One might suggest to place C0 in the TLS as the TLS shadow canary and
+// compute C1 in every function prologue so that only C1 is used as the
+// stack canary... Unfortunately, it is not satisfactory": when a fork
+// replaces the child's C0, frames inherited from the parent hold C1 values
+// derived from the OLD C0, and "the program is doomed to crash". We build
+// it anyway so the failure is a measured result, not a rhetorical one.
+class p_ssp_c0tls_scheme final : public scheme {
+  public:
+    scheme_kind kind() const noexcept override { return scheme_kind::p_ssp_c0tls; }
+    std::string name() const override {
+        return "P-SSP-C0TLS (rejected Section VII-C design)";
+    }
+    std::int32_t stack_canary_bytes() const noexcept override { return 8; }
+
+    // Stack canary = C1 = C0 ^ C, with C0 living only in the TLS shadow.
+    void emit_prologue(binfmt::bin_function& f, binfmt::image&,
+                       const frame_plan& plan) const override {
+        const std::int32_t slot = plan.return_guard().offset;
+        f.emit({mov_rm(reg::rax, fs(tls_shadow_c0)), xor_rm(reg::rax, fs(tls_canary)),
+                mov_mr(mem(reg::rbp, slot), reg::rax)});
+    }
+
+    // Check: C1 ^ C0 ^ C == 0.
+    void emit_epilogue(binfmt::bin_function& f, binfmt::image& img,
+                       const frame_plan& plan) const override {
+        const std::int32_t slot = plan.return_guard().offset;
+        f.emit({mov_rm(reg::rdx, mem(reg::rbp, slot)),
+                xor_rm(reg::rdx, fs(tls_shadow_c0)), xor_rm(reg::rdx, fs(tls_canary))});
+        emit_check_tail(f, img);
+    }
+
+    void runtime_setup(vm::machine& m, crypto::xoshiro256& rng) const override {
+        tls_store(m, tls_canary, fresh_tls_canary(rng));
+        tls_store(m, tls_shadow_c0, rng());
+    }
+
+    // The rejected semantics: the child's C0 is replaced wholesale. Frames
+    // created before the fork become unverifiable — the paper's objection.
+    void runtime_on_fork_child(vm::machine& child, crypto::xoshiro256& rng) const override {
+        tls_store(child, tls_shadow_c0, rng());
+        child.charge(8);
+    }
+
+    bool updates_tls_on_fork() const noexcept override { return true; }
+};
+
+}  // namespace
+
+std::unique_ptr<scheme> make_p_ssp() { return std::make_unique<p_ssp_scheme>(); }
+std::unique_ptr<scheme> make_p_ssp_nt() { return std::make_unique<p_ssp_nt_scheme>(); }
+std::unique_ptr<scheme> make_p_ssp32() { return std::make_unique<p_ssp32_scheme>(); }
+std::unique_ptr<scheme> make_p_ssp_gb() { return std::make_unique<p_ssp_gb_scheme>(); }
+
+std::unique_ptr<scheme> make_p_ssp_c0tls() {
+    return std::make_unique<p_ssp_c0tls_scheme>();
+}
+
+}  // namespace pssp::core::detail

@@ -1,0 +1,104 @@
+// P-SSP-OWF: extension 3 — exposure-resilient canaries via a one-way
+// function (Algorithm 3, Codes 8/9).
+//
+// The stack canary is F(ret || nonce, K): a randomized MAC of the return
+// address under a 128-bit key K held in the callee-saved registers
+// r12/r13 ("global register variables"), with the timestamp counter as
+// the per-frame nonce. Leaking one frame's canary reveals neither K nor
+// any other frame's canary; copying a canary between frames fails because
+// it is bound to (ret, nonce).
+//
+// Frame slice (24 bytes, addresses descending from rbp):
+//   [rbp-8]   nonce (the rdtsc value; needed by the epilogue's re-check)
+//   [rbp-24]  16-byte AES ciphertext (movdqu of xmm15, as in Code 8)
+
+#include "binfmt/stdlib.hpp"
+#include "core/canary.hpp"
+#include "core/schemes/schemes_internal.hpp"
+#include "core/tls_layout.hpp"
+
+namespace pssp::core::detail {
+
+using namespace vm::isa;
+using vm::reg;
+using vm::xreg;
+
+namespace {
+
+class p_ssp_owf_scheme final : public scheme {
+  public:
+    explicit p_ssp_owf_scheme(const scheme_options& options) : owf_{options.owf} {}
+
+    scheme_kind kind() const noexcept override { return scheme_kind::p_ssp_owf; }
+    std::string name() const override {
+        return owf_ == crypto::owf_kind::aes128 ? "P-SSP-OWF (AES-NI)"
+                                                : "P-SSP-OWF (SHA-1)";
+    }
+    std::int32_t stack_canary_bytes() const noexcept override { return 24; }
+
+    // Code 8. The helper call computes xmm15 <- F_{xmm1}(xmm15).
+    void emit_prologue(binfmt::bin_function& f, binfmt::image& img,
+                       const frame_plan& plan) const override {
+        const std::int32_t ct_slot = plan.return_guard().offset;   // rbp-24
+        const std::int32_t nonce_slot = ct_slot + 16;              // rbp-8
+        f.emit({rdtsc(), shl_ri(reg::rdx, 32), or_rr(reg::rax, reg::rdx),
+                mov_mr(mem(reg::rbp, nonce_slot), reg::rax),
+                movq_xr(xreg::xmm15, reg::rax),
+                movhps_xm(xreg::xmm15, mem(reg::rbp, 8)),  // return address
+                movq_xr(xreg::xmm1, reg::r13), punpckhqdq_xr(xreg::xmm1, reg::r12),
+                call_sym(img.sym(helper_symbol())),
+                movdqu_mx(mem(reg::rbp, ct_slot), xreg::xmm15)});
+    }
+
+    // Code 9: re-encrypt (nonce, ret) and compare against the saved
+    // ciphertext. Any modification of the return address, the nonce, or
+    // the ciphertext produces a mismatch.
+    void emit_epilogue(binfmt::bin_function& f, binfmt::image& img,
+                       const frame_plan& plan) const override {
+        const std::int32_t ct_slot = plan.return_guard().offset;
+        const std::int32_t nonce_slot = ct_slot + 16;
+        f.emit({mov_rm(reg::rcx, mem(reg::rbp, nonce_slot)),
+                movq_xr(xreg::xmm15, reg::rcx),
+                movhps_xm(xreg::xmm15, mem(reg::rbp, 8)),
+                movq_xr(xreg::xmm1, reg::r13), punpckhqdq_xr(xreg::xmm1, reg::r12),
+                call_sym(img.sym(helper_symbol())),
+                cmp128_xm(xreg::xmm15, mem(reg::rbp, ct_slot))});
+        emit_check_tail(f, img);
+    }
+
+    // Startup: draw the AES key into r12/r13 and back it up in TLS so
+    // thread creation can re-seed the new thread's registers.
+    void runtime_setup(vm::machine& m, crypto::xoshiro256& rng) const override {
+        tls_store(m, tls_canary, fresh_tls_canary(rng));
+        const std::uint64_t key_lo = rng();
+        const std::uint64_t key_hi = rng();
+        m.set(reg::r13, key_lo);
+        m.set(reg::r12, key_hi);
+        tls_store(m, tls_owf_key_lo, key_lo);
+        tls_store(m, tls_owf_key_hi, key_hi);
+    }
+
+    // fork: registers are cloned with the process image — nothing to do.
+    // A *new thread* starts from a fresh register file, so the
+    // pthread_create wrapper restores K from the cloned TLS backup.
+    void runtime_on_thread_create(vm::machine& thread, crypto::xoshiro256&) const override {
+        thread.set(reg::r13, tls_load(thread, tls_owf_key_lo));
+        thread.set(reg::r12, tls_load(thread, tls_owf_key_hi));
+    }
+
+  private:
+    crypto::owf_kind owf_;
+
+    [[nodiscard]] const char* helper_symbol() const noexcept {
+        return owf_ == crypto::owf_kind::aes128 ? binfmt::sym_aes_encrypt
+                                                : binfmt::sym_sha1_owf;
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<scheme> make_p_ssp_owf(const scheme_options& options) {
+    return std::make_unique<p_ssp_owf_scheme>(options);
+}
+
+}  // namespace pssp::core::detail

@@ -1,0 +1,25 @@
+// Internal factory functions, one per concrete scheme. Implemented across
+// the schemes/*.cpp translation units; reached only through
+// core::make_scheme.
+#pragma once
+
+#include <memory>
+
+#include "core/scheme.hpp"
+
+namespace pssp::core::detail {
+
+std::unique_ptr<scheme> make_none();
+std::unique_ptr<scheme> make_ssp();
+std::unique_ptr<scheme> make_raf_ssp();
+std::unique_ptr<scheme> make_dynaguard();
+std::unique_ptr<scheme> make_dcr(const scheme_options& options);
+std::unique_ptr<scheme> make_p_ssp();
+std::unique_ptr<scheme> make_p_ssp_nt();
+std::unique_ptr<scheme> make_p_ssp_lv(const scheme_options& options);
+std::unique_ptr<scheme> make_p_ssp_owf(const scheme_options& options);
+std::unique_ptr<scheme> make_p_ssp32();
+std::unique_ptr<scheme> make_p_ssp_gb();
+std::unique_ptr<scheme> make_p_ssp_c0tls();
+
+}  // namespace pssp::core::detail

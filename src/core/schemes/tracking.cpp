@@ -1,0 +1,157 @@
+// Canary-tracking comparators: DynaGuard and DCR.
+//
+// Both follow the "update the TLS canary, then fix up every stale stack
+// canary" approach the paper contrasts P-SSP against. Their cost is the
+// bookkeeping needed to *find* those canaries:
+//   * DynaGuard keeps a canary-address buffer (CAB): the prologue appends
+//     the canary's address, the epilogue pops it, and the fork wrapper
+//     walks the CAB rewriting every live canary to the renewed C.
+//   * DCR embeds, in each stack canary word, the offset from itself to the
+//     previous canary — an in-stack linked list threaded through the
+//     frames, with the head pointer in TLS. Verification uses the
+//     non-offset half of the word; the fork wrapper walks the list.
+// DCR exists only as a static binary rewrite in the original work, so its
+// prologue/epilogue carry a sim_delay modeling the Dyninst trampoline +
+// register spill/restore around each relocated sequence (calibrated in
+// scheme_options::dcr_trampoline_cycles; see DESIGN.md §5).
+
+#include "binfmt/stdlib.hpp"
+#include "core/canary.hpp"
+#include "core/schemes/schemes_internal.hpp"
+#include "core/tls_layout.hpp"
+
+namespace pssp::core::detail {
+
+using namespace vm::isa;
+using vm::reg;
+
+namespace {
+
+class dynaguard_scheme final : public scheme {
+  public:
+    scheme_kind kind() const noexcept override { return scheme_kind::dynaguard; }
+    std::string name() const override { return "DynaGuard (canary address buffer)"; }
+    std::int32_t stack_canary_bytes() const noexcept override { return 8; }
+
+    void emit_prologue(binfmt::bin_function& f, binfmt::image&,
+                       const frame_plan& plan) const override {
+        const std::int32_t slot = plan.return_guard().offset;
+        f.emit({// SSP part: install the TLS canary.
+                mov_rm(reg::rax, fs(tls_canary)), mov_mr(mem(reg::rbp, slot), reg::rax),
+                // CAB part: push the canary's address.
+                mov_rm(reg::rcx, fs(tls_cab_top)), lea(reg::rdx, mem(reg::rbp, slot)),
+                mov_mr(mem(reg::rcx, 0), reg::rdx), add_ri(reg::rcx, 8),
+                mov_mr(fs(tls_cab_top), reg::rcx)});
+    }
+
+    void emit_epilogue(binfmt::bin_function& f, binfmt::image& img,
+                       const frame_plan& plan) const override {
+        const std::int32_t slot = plan.return_guard().offset;
+        f.emit({// Pop the CAB entry for this frame.
+                mov_rm(reg::rcx, fs(tls_cab_top)), sub_ri(reg::rcx, 8),
+                mov_mr(fs(tls_cab_top), reg::rcx),
+                // SSP check.
+                mov_rm(reg::rdx, mem(reg::rbp, slot)), xor_rm(reg::rdx, fs(tls_canary))});
+        emit_check_tail(f, img);
+    }
+
+    void runtime_setup(vm::machine& m, crypto::xoshiro256& rng) const override {
+        tls_store(m, tls_canary, fresh_tls_canary(rng));
+        tls_store(m, tls_cab_top, cab_base(m));
+    }
+
+    // Fork wrapper: renew C in the child AND rewrite every recorded stack
+    // canary so inherited frames stay consistent — DynaGuard's fix for the
+    // RAF-SSP correctness bug.
+    void runtime_on_fork_child(vm::machine& child, crypto::xoshiro256& rng) const override {
+        const std::uint64_t renewed = fresh_tls_canary(rng);
+        const std::uint64_t base = cab_base(child);
+        const std::uint64_t top = tls_load(child, tls_cab_top);
+        for (std::uint64_t entry = base; entry < top; entry += 8) {
+            const std::uint64_t canary_addr = child.mem().load64(entry);
+            child.mem().store64(canary_addr, renewed);
+            child.charge(6);  // modeled cost of the rewrite loop iteration
+        }
+        tls_store(child, tls_canary, renewed);
+    }
+
+    bool updates_tls_on_fork() const noexcept override { return true; }
+};
+
+// DCR canary word: high 32 bits taken from the TLS canary (the checkable
+// half), low 32 bits = byte offset from this canary slot to the previous
+// one up the stack (the list link).
+class dcr_scheme final : public scheme {
+  public:
+    explicit dcr_scheme(const scheme_options& options)
+        : trampoline_cycles_{options.dcr_trampoline_cycles} {}
+
+    scheme_kind kind() const noexcept override { return scheme_kind::dcr; }
+    std::string name() const override { return "DCR (in-stack canary list)"; }
+    std::int32_t stack_canary_bytes() const noexcept override { return 8; }
+
+    void emit_prologue(binfmt::bin_function& f, binfmt::image&,
+                       const frame_plan& plan) const override {
+        const std::int32_t slot = plan.return_guard().offset;
+        f.emit({sim_delay(trampoline_cycles_),
+                // rax = high half of C, in place.
+                mov_rm(reg::rax, fs(tls_canary)), shr_ri(reg::rax, 32),
+                shl_ri(reg::rax, 32),
+                // rdx = offset from this canary to the previous one.
+                mov_rm(reg::rdx, fs(tls_dcr_head)), lea(reg::rcx, mem(reg::rbp, slot)),
+                sub_rr(reg::rdx, reg::rcx), shl_ri(reg::rdx, 32), shr_ri(reg::rdx, 32),
+                // Compose and install; this frame becomes the list head.
+                or_rr(reg::rax, reg::rdx), mov_mr(mem(reg::rbp, slot), reg::rax),
+                mov_mr(fs(tls_dcr_head), reg::rcx)});
+    }
+
+    void emit_epilogue(binfmt::bin_function& f, binfmt::image& img,
+                       const frame_plan& plan) const override {
+        const std::int32_t slot = plan.return_guard().offset;
+        f.emit({sim_delay(trampoline_cycles_),
+                mov_rm(reg::rdx, mem(reg::rbp, slot)),
+                // Unlink: head = &this_canary + embedded offset.
+                lea(reg::rsi, mem(reg::rbp, slot)), mov_rr(reg::rdi, reg::rdx),
+                shl_ri(reg::rdi, 32), shr_ri(reg::rdi, 32), add_rr(reg::rsi, reg::rdi),
+                mov_mr(fs(tls_dcr_head), reg::rsi),
+                // Check the high halves.
+                shr_ri(reg::rdx, 32), mov_rm(reg::rcx, fs(tls_canary)),
+                shr_ri(reg::rcx, 32), xor_rr(reg::rdx, reg::rcx)});
+        emit_check_tail(f, img);
+    }
+
+    void runtime_setup(vm::machine& m, crypto::xoshiro256& rng) const override {
+        tls_store(m, tls_canary, fresh_tls_canary(rng));
+        // Empty-list sentinel: the stack top (no canary can live there).
+        tls_store(m, tls_dcr_head, m.mem().regions().stack_top);
+    }
+
+    void runtime_on_fork_child(vm::machine& child, crypto::xoshiro256& rng) const override {
+        const std::uint64_t renewed = fresh_tls_canary(rng);
+        const std::uint64_t renewed_high = renewed & 0xffffffff00000000ull;
+        const std::uint64_t sentinel = child.mem().regions().stack_top;
+        std::uint64_t head = tls_load(child, tls_dcr_head);
+        while (head != sentinel) {
+            const std::uint64_t word = child.mem().load64(head);
+            child.mem().store64(head, renewed_high | (word & 0xffffffffull));
+            head += word & 0xffffffffull;
+            child.charge(8);  // modeled cost of the list walk
+        }
+        tls_store(child, tls_canary, renewed);
+    }
+
+    bool updates_tls_on_fork() const noexcept override { return true; }
+
+  private:
+    std::uint32_t trampoline_cycles_;
+};
+
+}  // namespace
+
+std::unique_ptr<scheme> make_dynaguard() { return std::make_unique<dynaguard_scheme>(); }
+
+std::unique_ptr<scheme> make_dcr(const scheme_options& options) {
+    return std::make_unique<dcr_scheme>(options);
+}
+
+}  // namespace pssp::core::detail

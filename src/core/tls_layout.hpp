@@ -1,0 +1,53 @@
+// Thread-local storage layout used by every canary scheme.
+//
+// Mirrors Section V-A of the paper:
+//   * %fs:0x28            — the TLS canary C (glibc's stack_guard slot);
+//   * %fs:0x2a8..0x2b7    — the P-SSP TLS *shadow* canary pair (C0, C1).
+// The remaining slots are reserved for the comparator schemes and the
+// extensions; they occupy otherwise-unused TCB space:
+//   * %fs:0x30            — DynaGuard: top-of-CAB pointer;
+//   * %fs:0x38            — DCR: address of the newest stack canary (list head);
+//   * %fs:0x40            — P-SSP-GB: top pointer into the global canary buffer;
+//   * %fs:0x48/0x50       — P-SSP-OWF: AES key backup (r12/r13 are primary).
+#pragma once
+
+#include <cstdint>
+
+#include "vm/machine.hpp"
+
+namespace pssp::core {
+
+inline constexpr std::int32_t tls_canary = 0x28;       // C
+inline constexpr std::int32_t tls_shadow_c0 = 0x2a8;   // C0
+inline constexpr std::int32_t tls_shadow_c1 = 0x2b0;   // C1
+inline constexpr std::int32_t tls_cab_top = 0x30;      // DynaGuard
+inline constexpr std::int32_t tls_dcr_head = 0x38;     // DCR
+inline constexpr std::int32_t tls_gbuf_top = 0x40;     // P-SSP-GB
+inline constexpr std::int32_t tls_owf_key_lo = 0x48;   // P-SSP-OWF
+inline constexpr std::int32_t tls_owf_key_hi = 0x50;   // P-SSP-OWF
+
+// Fixed global-region carve-outs (see DESIGN.md §5). Workload data is laid
+// out from the bottom of the globals region; these live near the top.
+inline constexpr std::uint64_t cab_offset = 0x30000;   // DynaGuard CAB, 8 KiB
+inline constexpr std::uint64_t cab_bytes = 0x2000;
+inline constexpr std::uint64_t gbuf_offset = 0x32000;  // P-SSP-GB buffer, 8 KiB
+inline constexpr std::uint64_t gbuf_bytes = 0x2000;
+
+[[nodiscard]] inline std::uint64_t cab_base(const vm::machine& m) {
+    return m.mem().regions().globals_base + cab_offset;
+}
+
+[[nodiscard]] inline std::uint64_t gbuf_base(const vm::machine& m) {
+    return m.mem().regions().globals_base + gbuf_offset;
+}
+
+// Convenience accessors for TLS words.
+[[nodiscard]] inline std::uint64_t tls_load(const vm::machine& m, std::int32_t offset) {
+    return m.mem().load64(m.fs_base() + static_cast<std::uint64_t>(offset));
+}
+
+inline void tls_store(vm::machine& m, std::int32_t offset, std::uint64_t value) {
+    m.mem().store64(m.fs_base() + static_cast<std::uint64_t>(offset), value);
+}
+
+}  // namespace pssp::core

@@ -1,0 +1,52 @@
+// Software AES-128 (FIPS-197).
+//
+// Stands in for Intel AES-NI, which P-SSP-OWF uses as the one-way function F
+// (Algorithm 3, Codes 8/9): the TLS canary held in r12/r13 is the key, and
+// the concatenation of the timestamp nonce and the return address is the
+// plaintext block. Only encryption is needed — the epilogue re-encrypts and
+// compares rather than decrypting.
+//
+// This is a byte-oriented reference implementation (no T-tables): clarity
+// and testability against the FIPS-197 vectors matter more here than raw
+// throughput, because the *cost* of AES-NI is modeled separately by the
+// VM's cycle model, not by host wall-clock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace pssp::crypto {
+
+inline constexpr std::size_t aes128_block_size = 16;
+inline constexpr std::size_t aes128_key_size = 16;
+inline constexpr std::size_t aes128_rounds = 10;
+
+// Expanded key schedule: 11 round keys of 16 bytes each.
+class aes128 {
+  public:
+    // Expands `key` (exactly 16 bytes) into the round-key schedule.
+    explicit aes128(std::span<const std::uint8_t, aes128_key_size> key) noexcept;
+
+    // Convenience: key given as two 64-bit words (lo = bytes 0..7 LE),
+    // matching how P-SSP-OWF assembles the key from r12/r13.
+    aes128(std::uint64_t key_lo, std::uint64_t key_hi) noexcept;
+
+    // Encrypts one 16-byte block in place.
+    void encrypt_block(std::span<std::uint8_t, aes128_block_size> block) const noexcept;
+
+    // Encrypts a 128-bit value given as two 64-bit words; returns (lo, hi).
+    struct block128 {
+        std::uint64_t lo;
+        std::uint64_t hi;
+        friend bool operator==(const block128&, const block128&) = default;
+    };
+    [[nodiscard]] block128 encrypt(block128 plaintext) const noexcept;
+
+  private:
+    std::array<std::array<std::uint8_t, 16>, aes128_rounds + 1> round_keys_{};
+
+    void expand_key(std::span<const std::uint8_t, aes128_key_size> key) noexcept;
+};
+
+}  // namespace pssp::crypto

@@ -1,0 +1,21 @@
+#include "crypto/entropy.hpp"
+
+namespace pssp::crypto {
+
+bool entropy_source::rdrand64(std::uint64_t& out) noexcept {
+    if (fail_one_in_ != 0 && prng_.below(fail_one_in_) == 0) return false;
+    out = prng_();
+    ++reads_;
+    return true;
+}
+
+std::uint64_t entropy_source::next64() noexcept {
+    std::uint64_t value = 0;
+    while (!rdrand64(value)) {
+        // Real code retries a bounded number of times; transient failures in
+        // the model are rare enough that an unbounded retry always ends.
+    }
+    return value;
+}
+
+}  // namespace pssp::crypto

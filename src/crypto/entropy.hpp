@@ -1,0 +1,44 @@
+// Hardware entropy source analog.
+//
+// The paper's P-SSP-NT prologue executes `rdrand` (Code 7), which on real
+// Intel/AMD parts draws from an on-chip conditioned entropy source. Our VM
+// models the instruction; this class models the source behind it. It is a
+// deterministic xoshiro stream by default so experiments replay exactly,
+// but behaves like the real thing from the consumer's perspective: every
+// read yields fresh, unpredictable-to-the-program bits, and reads can be
+// made to fail transiently (real rdrand clears CF on underflow, and callers
+// are expected to retry).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/prng.hpp"
+
+namespace pssp::crypto {
+
+class entropy_source {
+  public:
+    explicit entropy_source(std::uint64_t seed) noexcept : prng_{seed} {}
+
+    // Models RDRAND: returns true and sets `out` on success. When a failure
+    // rate is configured, returns false (carry flag clear) with that
+    // probability, leaving `out` untouched — exercising retry loops.
+    [[nodiscard]] bool rdrand64(std::uint64_t& out) noexcept;
+
+    // Convenience wrapper that retries until success (the glibc pattern).
+    [[nodiscard]] std::uint64_t next64() noexcept;
+
+    // Configures transient failures: one in `one_in` reads fails.
+    // 0 disables failures (the default).
+    void set_failure_rate(std::uint64_t one_in) noexcept { fail_one_in_ = one_in; }
+
+    // Number of successful 64-bit reads so far (for tests and cost audits).
+    [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+
+  private:
+    xoshiro256 prng_;
+    std::uint64_t fail_one_in_ = 0;
+    std::uint64_t reads_ = 0;
+};
+
+}  // namespace pssp::crypto

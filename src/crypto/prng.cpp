@@ -1,0 +1,88 @@
+#include "crypto/prng.hpp"
+
+namespace pssp::crypto {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+xoshiro256::xoshiro256(std::uint64_t seed) noexcept : state_{} {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+}
+
+xoshiro256::result_type xoshiro256::operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t xoshiro256::below(std::uint64_t bound) noexcept {
+    // Lemire-style rejection: draw until the value falls inside the largest
+    // multiple of `bound`, guaranteeing exact uniformity.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t x = (*this)();
+        if (x >= threshold) return x % bound;
+    }
+}
+
+void xoshiro256::fill(std::span<std::uint8_t> out) noexcept {
+    std::size_t i = 0;
+    while (i + 8 <= out.size()) {
+        const std::uint64_t word = (*this)();
+        for (unsigned b = 0; b < 8; ++b)
+            out[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+        i += 8;
+    }
+    if (i < out.size()) {
+        const std::uint64_t word = (*this)();
+        for (unsigned b = 0; i < out.size(); ++i, ++b)
+            out[i] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+}
+
+void xoshiro256::long_jump() noexcept {
+    static constexpr std::array<std::uint64_t, 4> jump = {
+        0x76e15d3efefdcbbfull, 0xc5004e441c522fb3ull, 0x77710069854ee241ull,
+        0x39109bb02acbe635ull};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t word : jump) {
+        for (int bit = 0; bit < 64; ++bit) {
+            if (word & (std::uint64_t{1} << bit)) {
+                for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+            }
+            (void)(*this)();
+        }
+    }
+    state_ = acc;
+}
+
+xoshiro256 xoshiro256::split() noexcept {
+    // Reseed the child through splitmix64 from fresh parent output. A
+    // long-jumped copy would NOT work for siblings: jumping from states one
+    // step apart yields streams one step apart, i.e. almost fully
+    // overlapping windows. Splitmix expansion decorrelates the lanes.
+    const std::uint64_t seed = (*this)() ^ 0x6a09e667f3bcc909ull;
+    return xoshiro256{seed};
+}
+
+}  // namespace pssp::crypto

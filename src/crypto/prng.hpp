@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// Two layers:
+//  * splitmix64  — seeding / state expansion (Vigna's reference algorithm).
+//  * xoshiro256** — the workhorse generator for canary material, workload
+//    inputs and attack nondeterminism. Fast, 256-bit state, passes BigCrush.
+//
+// Every consumer in the library takes a PRNG (or an entropy_source built on
+// one) explicitly — there is no hidden global randomness — so every test,
+// attack campaign, and benchmark run is reproducible from its seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace pssp::crypto {
+
+// One step of splitmix64 over `state` (advances it), returning 64 bits.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+// xoshiro256** generator. Satisfies std::uniform_random_bit_generator so it
+// can drive <random> distributions where convenient.
+class xoshiro256 {
+  public:
+    using result_type = std::uint64_t;
+
+    // Seeds the 256-bit state by expanding `seed` through splitmix64.
+    explicit xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    [[nodiscard]] static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    // Next 64 random bits.
+    result_type operator()() noexcept;
+
+    // Uniform value in [0, bound); bound must be nonzero. Uses rejection
+    // sampling, so it is exactly uniform (needed by the statistical tests).
+    [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+    // Fills `out` with random bytes.
+    void fill(std::span<std::uint8_t> out) noexcept;
+
+    // Equivalent of 2^128 calls to operator(); used to derive independent
+    // per-process streams from one master seed.
+    void long_jump() noexcept;
+
+    // Derives a child generator whose stream is independent of this one.
+    [[nodiscard]] xoshiro256 split() noexcept;
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace pssp::crypto

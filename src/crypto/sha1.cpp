@@ -1,0 +1,106 @@
+#include "crypto/sha1.hpp"
+
+#include "util/bytes.hpp"
+
+namespace pssp::crypto {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+    return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+void sha1::reset() noexcept {
+    h_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u};
+    block_len_ = 0;
+    total_bits_ = 0;
+}
+
+void sha1::update(std::span<const std::uint8_t> data) noexcept {
+    total_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
+    for (std::uint8_t byte : data) {
+        block_[block_len_++] = byte;
+        if (block_len_ == block_.size()) {
+            process_block(std::span<const std::uint8_t, 64>{block_});
+            block_len_ = 0;
+        }
+    }
+}
+
+std::array<std::uint8_t, sha1_digest_size> sha1::finish() noexcept {
+    // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+    const std::uint64_t bits = total_bits_;
+    std::uint8_t pad = 0x80;
+    update(std::span{&pad, 1});
+    total_bits_ -= 8;  // padding is not message content
+    std::uint8_t zero = 0;
+    while (block_len_ != 56) {
+        update(std::span{&zero, 1});
+        total_bits_ -= 8;
+    }
+    std::array<std::uint8_t, 8> len_bytes{};
+    for (int i = 0; i < 8; ++i)
+        len_bytes[i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+    update(len_bytes);
+
+    std::array<std::uint8_t, sha1_digest_size> out{};
+    for (int i = 0; i < 5; ++i)
+        for (int b = 0; b < 4; ++b)
+            out[4 * i + b] = static_cast<std::uint8_t>(h_[i] >> (24 - 8 * b));
+    return out;
+}
+
+std::array<std::uint8_t, sha1_digest_size> sha1::digest(
+    std::span<const std::uint8_t> data) noexcept {
+    sha1 ctx;
+    ctx.update(data);
+    return ctx.finish();
+}
+
+std::uint64_t sha1::digest64(std::span<const std::uint8_t> data) noexcept {
+    const auto d = digest(data);
+    return util::load_le64(std::span{d}.subspan(0, 8));
+}
+
+void sha1::process_block(std::span<const std::uint8_t, 64> block) noexcept {
+    std::array<std::uint32_t, 80> w{};
+    for (int t = 0; t < 16; ++t)
+        w[t] = (std::uint32_t{block[4 * t]} << 24) | (std::uint32_t{block[4 * t + 1]} << 16) |
+               (std::uint32_t{block[4 * t + 2]} << 8) | std::uint32_t{block[4 * t + 3]};
+    for (int t = 16; t < 80; ++t)
+        w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+
+    std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+    for (int t = 0; t < 80; ++t) {
+        std::uint32_t f = 0;
+        std::uint32_t k = 0;
+        if (t < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5a827999u;
+        } else if (t < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ed9eba1u;
+        } else if (t < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8f1bbcdcu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xca62c1d6u;
+        }
+        const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[t];
+        e = d;
+        d = c;
+        c = rotl32(b, 30);
+        b = a;
+        a = temp;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+}
+
+}  // namespace pssp::crypto

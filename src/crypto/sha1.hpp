@@ -1,0 +1,49 @@
+// SHA-1 (FIPS 180-1).
+//
+// The paper names SHA-1 as the alternative instantiation of the one-way
+// function F in P-SSP-OWF ("a hash function (e.g., SHA-1) and a block cipher
+// (e.g., AES)"). We implement both so the ablation bench can compare them.
+// SHA-1's collision weaknesses are irrelevant here: F only needs one-wayness
+// and unforgeability against an adversary who never sees the key input.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace pssp::crypto {
+
+inline constexpr std::size_t sha1_digest_size = 20;
+
+class sha1 {
+  public:
+    sha1() noexcept { reset(); }
+
+    // Resets to the initial state; allows object reuse.
+    void reset() noexcept;
+
+    // Absorbs `data` (streaming; may be called repeatedly).
+    void update(std::span<const std::uint8_t> data) noexcept;
+
+    // Finalizes and returns the 20-byte digest. The object must be reset()
+    // before further use.
+    [[nodiscard]] std::array<std::uint8_t, sha1_digest_size> finish() noexcept;
+
+    // One-shot helper.
+    [[nodiscard]] static std::array<std::uint8_t, sha1_digest_size> digest(
+        std::span<const std::uint8_t> data) noexcept;
+
+    // One-shot helper returning the first 8 digest bytes as a LE word —
+    // the form consumed when SHA-1 instantiates a 64-bit canary.
+    [[nodiscard]] static std::uint64_t digest64(std::span<const std::uint8_t> data) noexcept;
+
+  private:
+    std::array<std::uint32_t, 5> h_{};
+    std::array<std::uint8_t, 64> block_{};
+    std::size_t block_len_ = 0;
+    std::uint64_t total_bits_ = 0;
+
+    void process_block(std::span<const std::uint8_t, 64> block) noexcept;
+};
+
+}  // namespace pssp::crypto

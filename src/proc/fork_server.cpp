@@ -1,0 +1,113 @@
+#include "proc/fork_server.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace pssp::proc {
+
+std::string to_string(worker_outcome outcome) {
+    switch (outcome) {
+        case worker_outcome::ok: return "ok";
+        case worker_outcome::crashed_canary: return "crashed (canary)";
+        case worker_outcome::crashed_segv: return "crashed (segfault)";
+        case worker_outcome::crashed_cf: return "crashed (bad control flow)";
+        case worker_outcome::hijacked: return "HIJACKED";
+        case worker_outcome::out_of_fuel: return "crashed (runaway)";
+    }
+    return "?";
+}
+
+fork_server::fork_server(const binfmt::linked_binary& binary,
+                         std::shared_ptr<const core::scheme> sch, std::uint64_t seed,
+                         server_config config)
+    : manager_{std::move(sch), seed},
+      config_{std::move(config)},
+      master_{manager_.create_process(binary)} {
+    const auto it = binary.data_symbols.find(config_.request_symbol);
+    if (it == binary.data_symbols.end())
+        throw std::invalid_argument{"fork_server: no request buffer symbol '" +
+                                    config_.request_symbol + "' in binary"};
+    request_addr_ = it->second;
+    if (const auto len_it = binary.data_symbols.find(config_.length_symbol);
+        len_it != binary.data_symbols.end())
+        length_addr_ = len_it->second;
+    master_.call_function(binary.symbols.at(config_.entry));
+    run_master_to_fork();
+    if (!master_ready_)
+        throw std::runtime_error{"fork_server: master never reached a fork"};
+}
+
+void fork_server::run_master_to_fork() {
+    master_ready_ = false;
+    master_.set_fuel(master_.steps() + config_.master_fuel);
+    const vm::run_result r = master_.run();
+    if (r.status == vm::exec_status::syscalled &&
+        r.syscall_number == static_cast<std::uint32_t>(vm::syscall_no::sys_fork))
+        master_ready_ = true;
+}
+
+serve_result fork_server::serve(std::string_view request) {
+    return serve(std::span{reinterpret_cast<const std::uint8_t*>(request.data()),
+                           request.size()});
+}
+
+serve_result fork_server::serve(std::span<const std::uint8_t> request) {
+    if (!master_ready_) throw std::runtime_error{"fork_server: master is down"};
+    ++requests_;
+
+    // fork(): the worker inherits everything, then the runtime's fork hook
+    // runs (shadow-canary refresh under P-SSP, TLS renewal under RAF, CAB
+    // walk under DynaGuard, ...).
+    vm::machine worker = manager_.fork_child(master_);
+    worker.complete_syscall(0);  // child side of fork
+
+    // Deliver the request: network bytes land in the worker's buffer with
+    // a terminating NUL (the handler parses them as a C string).
+    std::vector<std::uint8_t> payload{request.begin(), request.end()};
+    if (payload.size() >= config_.request_capacity)
+        payload.resize(config_.request_capacity - 1);
+    const std::uint64_t wire_length = payload.size();
+    payload.push_back(0);
+    worker.mem().write_bytes(request_addr_, payload);
+    if (length_addr_ != 0) worker.mem().store64(length_addr_, wire_length);
+
+    const std::uint64_t cycles_before = worker.cycles();
+    const std::uint64_t steps_before = worker.steps();
+    worker.set_fuel(worker.steps() + config_.worker_fuel);
+    const vm::run_result r = worker.run();
+
+    serve_result result;
+    result.raw = r;
+    result.output = worker.output();
+    result.worker_cycles = worker.cycles() - cycles_before;
+    result.worker_steps = worker.steps() - steps_before;
+
+    if (result.output.find(hijack_marker) != std::string::npos) {
+        result.outcome = worker_outcome::hijacked;
+    } else if (r.status == vm::exec_status::exited) {
+        result.outcome = worker_outcome::ok;
+    } else if (r.status == vm::exec_status::out_of_fuel) {
+        result.outcome = worker_outcome::out_of_fuel;
+        ++crashes_;
+    } else {
+        switch (r.trap) {
+            case vm::trap_kind::stack_smash:
+                result.outcome = worker_outcome::crashed_canary;
+                break;
+            case vm::trap_kind::invalid_jump:
+                result.outcome = worker_outcome::crashed_cf;
+                break;
+            default:
+                result.outcome = worker_outcome::crashed_segv;
+                break;
+        }
+        ++crashes_;
+    }
+
+    // The master reaps the worker and accepts the next connection.
+    master_.complete_syscall(worker.pid());
+    run_master_to_fork();
+    return result;
+}
+
+}  // namespace pssp::proc

@@ -1,0 +1,101 @@
+// Fork-per-request network server — the byte-by-byte attack's oracle.
+//
+// Models the application class the attack targets (Section II-B): a master
+// process that forks a worker per request, where
+//   * every worker inherits the master's TLS (same canary C — and, under
+//     P-SSP, a shadow pair the fork hook refreshes);
+//   * a crashed worker is simply reaped and the master forks another, so
+//     the attacker gets unlimited oracle queries;
+//   * the worker's request handler contains a stack buffer overflow
+//     (an unbounded strcpy of the request).
+//
+// The master runs real VM code: its main() calls into an accept loop that
+// executes the fork *syscall* per request; the child returns from the loop
+// through frames its parent created — the inherited-frame path on which
+// RAF-SSP breaks and P-SSP must not (Section VI-C's compatibility run).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "binfmt/image.hpp"
+#include "proc/process.hpp"
+#include "vm/machine.hpp"
+
+namespace pssp::proc {
+
+// Marker a successful control-flow hijack writes via sys_write; see
+// workload::add_win_function.
+inline constexpr const char* hijack_marker = "PWNED";
+
+enum class worker_outcome : std::uint8_t {
+    ok,              // worker exited normally
+    crashed_canary,  // __stack_chk_fail path (stack smashing detected)
+    crashed_segv,    // wild write/read
+    crashed_cf,      // invalid control transfer (clobbered return address)
+    hijacked,        // control reached the attacker's target
+    out_of_fuel,     // runaway loop (counts as a crash for the oracle)
+};
+
+[[nodiscard]] std::string to_string(worker_outcome outcome);
+
+struct serve_result {
+    worker_outcome outcome = worker_outcome::ok;
+    vm::run_result raw{};          // the worker's terminal machine state
+    std::string output;            // worker's sys_write bytes
+    std::uint64_t worker_cycles = 0;
+    std::uint64_t worker_steps = 0;
+};
+
+struct server_config {
+    std::string entry = "server_main";      // master entry symbol
+    std::string request_symbol = "g_request";  // data object receiving requests
+    // Data object receiving the request byte count (read()-style handlers
+    // copy exactly this many bytes — the attack-relevant path). Ignored if
+    // the binary has no such symbol.
+    std::string length_symbol = "g_request_len";
+    std::uint64_t request_capacity = 4096;  // bytes available at that object
+    std::uint64_t worker_fuel = 4'000'000;  // instruction budget per worker
+    std::uint64_t master_fuel = 4'000'000;  // budget between two forks
+};
+
+class fork_server {
+  public:
+    // Boots the master from `binary` and runs it up to its first fork.
+    fork_server(const binfmt::linked_binary& binary,
+                std::shared_ptr<const core::scheme> sch, std::uint64_t seed,
+                server_config config = {});
+
+    // Handles one request end-to-end: fork worker, deliver `request` into
+    // the request buffer, run the worker to completion, resume the master
+    // to its next accept. A trailing NUL is appended (network reads are
+    // length-delimited; the vulnerable handler treats data as a C string).
+    [[nodiscard]] serve_result serve(std::span<const std::uint8_t> request);
+    [[nodiscard]] serve_result serve(std::string_view request);
+
+    // True while the master is parked at a fork, ready for requests.
+    [[nodiscard]] bool alive() const noexcept { return master_ready_; }
+
+    [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+    [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+
+    [[nodiscard]] const vm::machine& master() const noexcept { return master_; }
+    [[nodiscard]] process_manager& manager() noexcept { return manager_; }
+
+  private:
+    process_manager manager_;
+    server_config config_;
+    vm::machine master_;
+    std::uint64_t request_addr_ = 0;
+    std::uint64_t length_addr_ = 0;  // 0 = binary has no length symbol
+    bool master_ready_ = false;
+    std::uint64_t requests_ = 0;
+    std::uint64_t crashes_ = 0;
+
+    void run_master_to_fork();
+};
+
+}  // namespace pssp::proc

@@ -1,0 +1,67 @@
+#include "proc/process.hpp"
+
+#include <stdexcept>
+
+namespace pssp::proc {
+
+process_manager::process_manager(std::shared_ptr<const core::scheme> sch,
+                                 std::uint64_t seed)
+    : runtime_{std::move(sch), seed}, entropy_seq_{seed ^ 0xabcdef0123456789ull} {}
+
+vm::machine process_manager::create_process(const binfmt::linked_binary& binary,
+                                            const vm::memory::layout& layout) {
+    vm::machine m{binary.make_program(), layout, ++entropy_seq_};
+    m.set_pid(next_pid_++);
+    if (!binary.data_init.empty())
+        m.mem().write_bytes(binary.data_base, binary.data_init);
+    runtime_.setup_process(m);
+    return m;
+}
+
+vm::machine process_manager::fork_child(const vm::machine& parent) {
+    vm::machine child = parent;  // full clone: memory, registers, TLS, rip
+    child.set_pid(next_pid_++);
+    child.clear_output();
+    // Independent entropy stream: two processes never share an rdrand
+    // sequence, otherwise a child's "fresh" canary would be predictable
+    // from the parent's.
+    child.reseed_entropy(++entropy_seq_);
+    runtime_.on_fork_child(child);
+    return child;
+}
+
+vm::machine process_manager::spawn_thread(const vm::machine& parent) {
+    vm::machine thread = parent;
+    thread.set_pid(next_pid_++);
+    thread.clear_output();
+    thread.reseed_entropy(++entropy_seq_);
+    runtime_.on_thread_create(thread);
+    return thread;
+}
+
+exec_outcome executor::run(vm::machine& m, int depth) {
+    if (depth > max_fork_depth)
+        throw std::runtime_error{"executor: fork depth limit exceeded (fork bomb?)"};
+
+    exec_outcome out;
+    m.set_fuel(fuel_ == 0 ? 0 : m.steps() + fuel_);
+    for (;;) {
+        const vm::run_result r = m.run();
+        if (r.status == vm::exec_status::syscalled &&
+            r.syscall_number == static_cast<std::uint32_t>(vm::syscall_no::sys_fork)) {
+            vm::machine child = manager_.fork_child(m);
+            child.complete_syscall(0);
+            const exec_outcome child_out = run(child, depth + 1);
+            out.output += child_out.output;
+            out.processes += child_out.processes;
+            m.complete_syscall(child.pid());
+            continue;
+        }
+        out.result = r;
+        break;
+    }
+    out.output = m.output() + out.output;
+    return out;
+}
+
+}  // namespace pssp::proc

@@ -1,0 +1,195 @@
+#include "rewriter/rewriter.hpp"
+
+#include <stdexcept>
+
+#include "binfmt/stdlib.hpp"
+#include "core/tls_layout.hpp"
+#include "vm/isa.hpp"
+
+namespace pssp::rewriter {
+
+using namespace vm::isa;
+using vm::instruction;
+using vm::opcode;
+using vm::reg;
+
+namespace {
+
+// SSP prologue signature (Code 1, lines 4-5): a TLS canary load followed by
+// its spill into the frame slot.
+[[nodiscard]] bool is_ssp_prologue_load(const instruction& a, const instruction& b) {
+    return a.op == opcode::mov_rm && a.mem.seg == vm::segment::fs &&
+           a.mem.disp == core::tls_canary && b.op == opcode::mov_mr &&
+           b.mem.base == reg::rbp && b.r2 == a.r1;
+}
+
+// SSP epilogue signature (Code 2): xor against the TLS canary, je past a
+// __stack_chk_fail call.
+[[nodiscard]] bool is_ssp_epilogue_check(const instruction& a, const instruction& b,
+                                         const instruction& c,
+                                         std::uint64_t chk_fail_addr) {
+    return a.op == opcode::xor_rm && a.mem.seg == vm::segment::fs &&
+           a.mem.disp == core::tls_canary && b.op == opcode::je &&
+           c.op == opcode::call && c.imm == chk_fail_addr;
+}
+
+// Plants a 5-byte jmp at a function's entry (Dyninst-style hook), padding
+// with nops to preserve the bytes of every absorbed instruction.
+void hook_entry(binfmt::linked_binary& binary, binfmt::linked_function& fn,
+                std::uint64_t target) {
+    std::size_t count = 0;
+    std::uint64_t bytes = 0;
+    while (count < fn.insns.size() && bytes < 5) {
+        bytes += vm::encoded_length(fn.insns[count]);
+        ++count;
+    }
+    if (bytes < 5)
+        throw std::runtime_error{"hook_entry: " + fn.name + " shorter than a jmp"};
+    instruction hook = jmp(0);
+    hook.label = vm::no_id;
+    hook.imm = target;
+    std::vector<instruction> repl{hook};
+    for (std::uint64_t pad = bytes - 5; pad > 0; --pad) repl.push_back(nop());
+    binary.replace_range(fn, 0, count, std::move(repl));
+}
+
+// The appended __stack_chk_fail: Fig 4's check. rdi carries the packed
+// (C0, C1) word; returns with ZF=1 on a match, aborts otherwise.
+[[nodiscard]] binfmt::bin_function make_pssp_stack_chk_fail(std::uint64_t fortify_addr) {
+    binfmt::bin_function f{"__pssp_stack_chk_fail", /*from_libc=*/true};
+    const auto ok = f.new_label();
+    instruction fail_call = call_sym(0);
+    fail_call.sym = vm::no_id;
+    fail_call.imm = fortify_addr;
+    // Cold-call penalty of entering the hooked, relocated check on every
+    // return (icache miss + hook jmp), mirroring the charge in the dynamic
+    // interposer (core/runtime.cpp) so both rewriter flavors land near the
+    // paper's "similar runtime performance" observation.
+    f.emit(sim_delay(12));
+    f.emit({mov_rr(reg::rdx, reg::rdi), shr_ri(reg::rdx, 32),   // C1
+            mov_rr(reg::rcx, reg::rdi), shl_ri(reg::rcx, 32),
+            shr_ri(reg::rcx, 32),                               // C0
+            xor_rr(reg::rcx, reg::rdx),                         // C0 ^ C1
+            mov_rm(reg::rdx, fs(core::tls_canary)), shl_ri(reg::rdx, 32),
+            shr_ri(reg::rdx, 32),                               // low32(C)
+            xor_rr(reg::rcx, reg::rdx),                         // ZF iff equal
+            je(ok), fail_call});
+    f.place(ok);
+    f.emit(ret());
+    return f;
+}
+
+// The appended fork(): refreshes the packed shadow pair in the child
+// (Section V-D: statically linked fork must be replaced because no
+// preloaded wrapper can intercept it).
+[[nodiscard]] binfmt::bin_function make_pssp_fork() {
+    binfmt::bin_function f{"__pssp_fork", /*from_libc=*/true};
+    const auto parent = f.new_label();
+    const auto retry = f.new_label();
+    f.emit({syscall_i(static_cast<std::uint32_t>(vm::syscall_no::sys_fork)),
+            test_rr(reg::rax, reg::rax), jne(parent)});
+    f.place(retry);
+    f.emit({// Child: C0 = fresh 32 bits; C1 = C0 ^ low32(C); repack.
+            rdrand(reg::rax), jnc(retry), shl_ri(reg::rax, 32), shr_ri(reg::rax, 32),
+            mov_rm(reg::rcx, fs(core::tls_canary)), shl_ri(reg::rcx, 32),
+            shr_ri(reg::rcx, 32), xor_rr(reg::rcx, reg::rax), shl_ri(reg::rcx, 32),
+            or_rr(reg::rax, reg::rcx), mov_mr(fs(core::tls_shadow_c0), reg::rax),
+            // Child returns 0 from fork.
+            mov_ri(reg::rax, 0)});
+    f.place(parent);
+    f.emit(ret());
+    return f;
+}
+
+}  // namespace
+
+int binary_rewriter::patch_prologues(binfmt::linked_binary& binary) const {
+    int patched = 0;
+    for (auto& fn : binary.functions) {
+        if (fn.from_libc || fn.appended) continue;
+        for (std::size_t i = 0; i + 1 < fn.insns.size(); ++i) {
+            if (!is_ssp_prologue_load(fn.insns[i], fn.insns[i + 1])) continue;
+            // Code 5: "our tool simply replaces the offset in use" — the
+            // shadow pair at %fs:0x2a8 instead of C at %fs:0x28.
+            instruction repl = fn.insns[i];
+            repl.mem.disp = core::tls_shadow_c0;
+            binary.replace_range(fn, i, 1, {repl});
+            ++patched;
+        }
+    }
+    return patched;
+}
+
+int binary_rewriter::patch_epilogues(binfmt::linked_binary& binary) const {
+    const auto chk_it = binary.symbols.find(binfmt::sym_stack_chk_fail);
+    if (chk_it == binary.symbols.end())
+        throw std::runtime_error{"rewriter: binary lacks __stack_chk_fail"};
+    const std::uint64_t chk_fail = chk_it->second;
+
+    int patched = 0;
+    for (auto& fn : binary.functions) {
+        if (fn.from_libc || fn.appended) continue;
+        for (std::size_t i = 0; i + 2 < fn.insns.size(); ++i) {
+            if (!is_ssp_epilogue_check(fn.insns[i], fn.insns[i + 1], fn.insns[i + 2],
+                                       chk_fail))
+                continue;
+            // Code 6: hand the packed canary word to __stack_chk_fail in
+            // rdi (saving/restoring rdi around it) and branch on the ZF it
+            // returns. The unreachable abort keeps byte-for-byte length
+            // parity with the original xor/je/call (19 bytes each way);
+            // the real failure path aborts inside __stack_chk_fail.
+            const reg canary_reg = fn.insns[i].r1;  // rdx in compiler output
+            instruction taken_je = je(0);
+            taken_je.label = vm::no_id;
+            taken_je.imm = fn.insns[i + 1].imm;  // original "ok" target
+            instruction chk_call = call_sym(0);
+            chk_call.sym = vm::no_id;
+            chk_call.imm = chk_fail;
+            binary.replace_range(fn, i, 3,
+                                 {push_r(reg::rdi), mov_rr(reg::rdi, canary_reg),
+                                  chk_call, pop_r(reg::rdi), taken_je, trap_abort(),
+                                  nop()});
+            ++patched;
+        }
+    }
+    return patched;
+}
+
+std::uint64_t binary_rewriter::append_static_support(binfmt::linked_binary& binary,
+                                                     rewrite_report& report) const {
+    const auto fortify_it = binary.symbols.find(binfmt::sym_fortify_fail);
+    if (fortify_it == binary.symbols.end())
+        throw std::runtime_error{"rewriter: static binary lacks __GI__fortify_fail"};
+
+    const std::uint64_t before = binary.text_bytes();
+
+    const std::uint64_t chk_entry = binary.append_function(
+        "__pssp_stack_chk_fail", make_pssp_stack_chk_fail(fortify_it->second));
+    if (auto* orig = binary.find(binfmt::sym_stack_chk_fail)) {
+        hook_entry(binary, *orig, chk_entry);
+        report.stack_chk_fail_hooked = true;
+    }
+
+    const std::uint64_t fork_entry =
+        binary.append_function("__pssp_fork", make_pssp_fork());
+    if (auto* orig = binary.find(binfmt::sym_fork)) {
+        hook_entry(binary, *orig, fork_entry);
+        report.fork_hooked = true;
+    }
+
+    return binary.text_bytes() - before;
+}
+
+rewrite_report binary_rewriter::upgrade_to_pssp(binfmt::linked_binary& binary) const {
+    rewrite_report report;
+    report.prologues_patched = patch_prologues(binary);
+    report.epilogues_patched = patch_epilogues(binary);
+    for (const auto& fn : binary.functions)
+        if (!fn.from_libc && !fn.appended && report.prologues_patched == 0)
+            report.skipped_functions.push_back(fn.name);
+    if (binary.mode == binfmt::link_mode::static_glibc)
+        report.bytes_added = append_static_support(binary, report);
+    return report;
+}
+
+}  // namespace pssp::rewriter

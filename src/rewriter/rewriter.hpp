@@ -1,0 +1,58 @@
+// Binary instrumentation: upgrades legacy SSP binaries to P-SSP in place
+// (Sections V-C and V-D).
+//
+// The two constraints the paper wrestles with are enforced mechanically:
+//   1. stack-layout preservation — the 64-bit canary pair is downgraded to
+//      two 32-bit halves packed into the single word SSP already reserves
+//      (the entropy trade-off Section V-C's caveat defends);
+//   2. address-layout preservation — every patch must encode to exactly
+//      the bytes it replaces (linked_binary::replace_range throws
+//      otherwise), so no symbol, offset, or function entry ever moves.
+//
+// What gets rewritten:
+//   * every SSP prologue:  the TLS source offset %fs:0x28 -> %fs:0x2a8
+//     (Code 5 — a one-operand patch, same instruction length);
+//   * every SSP epilogue:  the inline xor/je/call is replaced by a
+//     same-length sequence that passes the packed canary word to
+//     __stack_chk_fail in rdi and lets *it* verify (Code 6 / Fig 3);
+//   * statically linked binaries additionally get an appended code section
+//     (the Dyninst analog) holding a P-SSP-aware __stack_chk_fail (Fig 4)
+//     and fork(), with 5-byte jmp hooks planted at the original entries.
+// Dynamically linked binaries need no new code at all — the runtime
+// rebinds __stack_chk_fail at load time (core::bind_instrumented_
+// stack_chk_fail) and wraps fork in the preloaded library — which is
+// exactly why Table II reports zero expansion for them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "binfmt/image.hpp"
+
+namespace pssp::rewriter {
+
+struct rewrite_report {
+    int prologues_patched = 0;
+    int epilogues_patched = 0;
+    bool stack_chk_fail_hooked = false;  // static mode only
+    bool fork_hooked = false;            // static mode only
+    std::uint64_t bytes_added = 0;       // appended-section size
+    std::vector<std::string> skipped_functions;  // no SSP pattern found
+};
+
+class binary_rewriter {
+  public:
+    // Rewrites `binary` (compiled with SSP) to P-SSP. Dispatches on the
+    // binary's own link mode. Throws if a patch would change the layout.
+    rewrite_report upgrade_to_pssp(binfmt::linked_binary& binary) const;
+
+    // Individual passes, exposed for tests.
+    int patch_prologues(binfmt::linked_binary& binary) const;
+    int patch_epilogues(binfmt::linked_binary& binary) const;
+    // Appends the P-SSP __stack_chk_fail / fork and hooks the originals.
+    std::uint64_t append_static_support(binfmt::linked_binary& binary,
+                                        rewrite_report& report) const;
+};
+
+}  // namespace pssp::rewriter

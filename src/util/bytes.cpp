@@ -1,0 +1,77 @@
+#include "util/bytes.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace pssp::util {
+
+std::uint16_t load_le16(std::span<const std::uint8_t> bytes) {
+    assert(bytes.size() >= 2);
+    return static_cast<std::uint16_t>(bytes[0] | (std::uint16_t{bytes[1]} << 8));
+}
+
+std::uint32_t load_le32(std::span<const std::uint8_t> bytes) {
+    assert(bytes.size() >= 4);
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i) v |= std::uint32_t{bytes[i]} << (8 * i);
+    return v;
+}
+
+std::uint64_t load_le64(std::span<const std::uint8_t> bytes) {
+    assert(bytes.size() >= 8);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i) v |= std::uint64_t{bytes[i]} << (8 * i);
+    return v;
+}
+
+void store_le16(std::span<std::uint8_t> bytes, std::uint16_t value) {
+    assert(bytes.size() >= 2);
+    bytes[0] = static_cast<std::uint8_t>(value);
+    bytes[1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void store_le32(std::span<std::uint8_t> bytes, std::uint32_t value) {
+    assert(bytes.size() >= 4);
+    for (unsigned i = 0; i < 4; ++i) bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void store_le64(std::span<std::uint8_t> bytes, std::uint64_t value) {
+    assert(bytes.size() >= 8);
+    for (unsigned i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+    std::string out;
+    out.reserve(bytes.size() * 3);
+    char buf[4];
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        std::snprintf(buf, sizeof buf, "%02x", bytes[i]);
+        if (i != 0) out.push_back(' ');
+        out += buf;
+    }
+    return out;
+}
+
+std::string hex64(std::uint64_t value) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::string hex_dump(std::span<const std::uint8_t> bytes, std::uint64_t base) {
+    std::string out;
+    char buf[32];
+    for (std::size_t offset = 0; offset < bytes.size(); offset += 16) {
+        std::snprintf(buf, sizeof buf, "%012llx  ",
+                      static_cast<unsigned long long>(base + offset));
+        out += buf;
+        for (std::size_t i = offset; i < offset + 16 && i < bytes.size(); ++i) {
+            std::snprintf(buf, sizeof buf, "%02x ", bytes[i]);
+            out += buf;
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+}  // namespace pssp::util

@@ -1,0 +1,46 @@
+// Little-endian byte packing helpers shared by the VM, the canary schemes,
+// and the binary rewriter. The whole simulated platform is little-endian,
+// matching x86-64 where the paper's byte-by-byte attack guesses the canary
+// starting from its lowest-addressed (least significant) byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pssp::util {
+
+// Reads a little-endian u16/u32/u64 from `bytes` (must be large enough).
+[[nodiscard]] std::uint16_t load_le16(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::uint32_t load_le32(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::uint64_t load_le64(std::span<const std::uint8_t> bytes);
+
+// Writes a little-endian u16/u32/u64 into `bytes` (must be large enough).
+void store_le16(std::span<std::uint8_t> bytes, std::uint16_t value);
+void store_le32(std::span<std::uint8_t> bytes, std::uint32_t value);
+void store_le64(std::span<std::uint8_t> bytes, std::uint64_t value);
+
+// Extracts byte `index` (0 = least significant) of `value`.
+[[nodiscard]] constexpr std::uint8_t byte_of(std::uint64_t value, unsigned index) noexcept {
+    return static_cast<std::uint8_t>(value >> (8 * index));
+}
+
+// Replaces byte `index` (0 = least significant) of `value` with `byte`.
+[[nodiscard]] constexpr std::uint64_t with_byte(std::uint64_t value, unsigned index,
+                                                std::uint8_t byte) noexcept {
+    const std::uint64_t mask = ~(std::uint64_t{0xff} << (8 * index));
+    return (value & mask) | (std::uint64_t{byte} << (8 * index));
+}
+
+// Hex string of a byte span, e.g. "de ad be ef".
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+// Hex string of a 64-bit word, e.g. "0x00007ffc9a3b1c28".
+[[nodiscard]] std::string hex64(std::uint64_t value);
+
+// Multi-line hex dump with addresses, 16 bytes per line, starting at `base`.
+[[nodiscard]] std::string hex_dump(std::span<const std::uint8_t> bytes,
+                                   std::uint64_t base = 0);
+
+}  // namespace pssp::util

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace pssp::util {
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double geomean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0) throw std::invalid_argument{"geomean requires positive samples"};
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double quantile(std::span<const double> xs, double q) {
+    if (xs.empty()) return 0.0;
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument{"quantile requires 0 <= q <= 1"};
+    std::vector<double> sorted{xs.begin(), xs.end()};
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+summary summarize(std::span<const double> xs) {
+    summary s;
+    s.count = xs.size();
+    if (xs.empty()) return s;
+    s.mean = mean(xs);
+    s.stddev = stddev(xs);
+    s.min = *std::min_element(xs.begin(), xs.end());
+    s.max = *std::max_element(xs.begin(), xs.end());
+    s.median = quantile(xs, 0.5);
+    s.p95 = quantile(xs, 0.95);
+    s.p99 = quantile(xs, 0.99);
+    return s;
+}
+
+double ci95_half_width(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    return 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double overhead_percent(double baseline, double measured) {
+    if (baseline == 0.0) return 0.0;
+    return (measured - baseline) / baseline * 100.0;
+}
+
+double chi_square_uniform(std::span<const std::size_t> observed) {
+    if (observed.empty()) return 0.0;
+    const auto total =
+        std::accumulate(observed.begin(), observed.end(), static_cast<std::size_t>(0));
+    if (total == 0) return 0.0;
+    const double expected =
+        static_cast<double>(total) / static_cast<double>(observed.size());
+    double stat = 0.0;
+    for (std::size_t count : observed) {
+        const double diff = static_cast<double>(count) - expected;
+        stat += diff * diff / expected;
+    }
+    return stat;
+}
+
+double chi_square_critical_999(std::size_t degrees_of_freedom) {
+    if (degrees_of_freedom == 0) return 0.0;
+    // Wilson-Hilferty: chi2_k(p) ~= k * (1 - 2/(9k) + z_p * sqrt(2/(9k)))^3
+    // with z_0.999 = 3.0902.
+    const double k = static_cast<double>(degrees_of_freedom);
+    const double z = 3.0902;
+    const double term = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+    return k * term * term * term;
+}
+
+void accumulator::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    total_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double accumulator::stddev() const noexcept {
+    if (n_ < 2) return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+}  // namespace pssp::util

@@ -1,0 +1,80 @@
+// Statistics helpers used by the benchmark harnesses and property tests.
+//
+// All functions operate on plain double samples; the benchmark binaries
+// collect modeled VM cycles or wall-clock nanoseconds into vectors and
+// summarize them here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pssp::util {
+
+// Summary of a sample set. Produced by summarize().
+struct summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  // sample standard deviation (n-1)
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+// Arithmetic mean; 0.0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+// Sample standard deviation (Bessel-corrected); 0.0 for fewer than 2 samples.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+// Geometric mean; requires all samples > 0. Used for SPEC-style ratios.
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+// q-th quantile (0 <= q <= 1) by linear interpolation on a sorted copy.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+// Full summary in one pass (plus one sort for the quantiles).
+[[nodiscard]] summary summarize(std::span<const double> xs);
+
+// Half-width of the 95% normal-approximation confidence interval.
+[[nodiscard]] double ci95_half_width(std::span<const double> xs);
+
+// Relative overhead of `measured` versus `baseline`, in percent.
+// (measured - baseline) / baseline * 100.
+[[nodiscard]] double overhead_percent(double baseline, double measured);
+
+// Pearson chi-square statistic for observed bucket counts against a uniform
+// expectation. Used by the Theorem-1 independence tests: if leaked C1 values
+// were biased by the TLS canary, the statistic would blow past the critical
+// value for (buckets-1) degrees of freedom.
+[[nodiscard]] double chi_square_uniform(std::span<const std::size_t> observed);
+
+// Approximate upper critical value of the chi-square distribution at the
+// 0.001 significance level using the Wilson-Hilferty transformation.
+// Conservative enough for the property tests' degrees of freedom (<= 4096).
+[[nodiscard]] double chi_square_critical_999(std::size_t degrees_of_freedom);
+
+// Online accumulator (Welford) for streaming measurements where keeping all
+// samples would be wasteful, e.g. per-request latencies in the server bench.
+class accumulator {
+  public:
+    void add(double x) noexcept;
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+    [[nodiscard]] double total() const noexcept { return total_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double total_ = 0.0;
+};
+
+}  // namespace pssp::util

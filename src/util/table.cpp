@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pssp::util {
+
+text_table::text_table(std::vector<std::string> header) : header_{std::move(header)} {}
+
+void text_table::add_row(std::vector<std::string> row) {
+    row.resize(header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string text_table::render(const std::string& title) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    if (!title.empty()) out << title << '\n';
+
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        out << "| ";
+        for (std::size_t c = 0; c < header_.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : std::string{};
+            out << cell << std::string(widths[c] - cell.size(), ' ');
+            out << (c + 1 == header_.size() ? " |" : " | ");
+        }
+        out << '\n';
+    };
+
+    auto emit_rule = [&] {
+        out << '+';
+        for (std::size_t c = 0; c < header_.size(); ++c)
+            out << std::string(widths[c] + 2, '-') << '+';
+        out << '\n';
+    };
+
+    emit_rule();
+    emit_row(header_);
+    emit_rule();
+    for (const auto& row : rows_) emit_row(row);
+    emit_rule();
+    return out.str();
+}
+
+bar_chart::bar_chart(std::string value_caption, std::size_t width)
+    : value_caption_{std::move(value_caption)}, width_{width} {}
+
+void bar_chart::add(std::string label, double value) {
+    entries_.push_back({std::move(label), value});
+}
+
+std::string bar_chart::render(const std::string& title) const {
+    std::ostringstream out;
+    if (!title.empty()) out << title << '\n';
+    if (entries_.empty()) return out.str();
+
+    std::size_t label_width = 0;
+    double max_value = 0.0;
+    for (const auto& e : entries_) {
+        label_width = std::max(label_width, e.label.size());
+        max_value = std::max(max_value, e.value);
+    }
+    if (max_value <= 0.0) max_value = 1.0;
+
+    for (const auto& e : entries_) {
+        const auto bar_len = static_cast<std::size_t>(
+            std::lround(std::max(0.0, e.value) / max_value * static_cast<double>(width_)));
+        out << "  " << e.label << std::string(label_width - e.label.size(), ' ') << " |"
+            << std::string(bar_len, '#') << std::string(width_ - bar_len, ' ') << "| "
+            << fmt(e.value) << ' ' << value_caption_ << '\n';
+    }
+    return out.str();
+}
+
+std::string fmt(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+std::string fmt_percent(double value, int decimals) {
+    return fmt(value, decimals) + "%";
+}
+
+std::string fmt_bytes(std::size_t bytes) {
+    if (bytes >= 1024 * 1024)
+        return fmt(static_cast<double>(bytes) / (1024.0 * 1024.0)) + " MiB";
+    if (bytes >= 1024) return fmt(static_cast<double>(bytes) / 1024.0) + " KiB";
+    return std::to_string(bytes) + " B";
+}
+
+}  // namespace pssp::util

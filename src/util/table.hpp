@@ -1,0 +1,62 @@
+// ASCII table and bar-chart rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures; this
+// renderer prints them in a uniform, diff-friendly format so EXPERIMENTS.md
+// can quote the output verbatim.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pssp::util {
+
+// A simple left-aligned text table with a header row.
+class text_table {
+  public:
+    explicit text_table(std::vector<std::string> header);
+
+    // Appends a row; it may have fewer cells than the header (padded empty).
+    void add_row(std::vector<std::string> row);
+
+    // Renders with column padding, a header underline, and `title` on top.
+    [[nodiscard]] std::string render(const std::string& title = {}) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+// Horizontal ASCII bar chart: one labeled bar per entry, scaled to
+// `width` characters at the maximum value. Used for Figure 5.
+class bar_chart {
+  public:
+    explicit bar_chart(std::string value_caption, std::size_t width = 50);
+
+    void add(std::string label, double value);
+
+    [[nodiscard]] std::string render(const std::string& title = {}) const;
+
+  private:
+    struct entry {
+        std::string label;
+        double value;
+    };
+    std::string value_caption_;
+    std::size_t width_;
+    std::vector<entry> entries_;
+};
+
+// Formats `value` with `decimals` fractional digits.
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+
+// Formats a percentage, e.g. "0.24%".
+[[nodiscard]] std::string fmt_percent(double value, int decimals = 2);
+
+// Formats a byte count with a KiB/MiB suffix where appropriate.
+[[nodiscard]] std::string fmt_bytes(std::size_t bytes);
+
+}  // namespace pssp::util

@@ -1,0 +1,50 @@
+#include "vm/cost_model.hpp"
+
+namespace pssp::vm {
+
+std::uint64_t cost_model::cost_of(const instruction& insn) const noexcept {
+    std::uint64_t base = alu;
+    switch (insn.op) {
+        case opcode::je:
+        case opcode::jne:
+        case opcode::jb:
+        case opcode::jae:
+        case opcode::jl:
+        case opcode::jge:
+        case opcode::jnc:
+        case opcode::jmp:
+            base = branch;
+            break;
+        case opcode::call:
+        case opcode::ret:
+        case opcode::leave:
+            base = call;
+            break;
+        case opcode::rdrand_r:
+            base = rdrand;
+            break;
+        case opcode::rdtsc:
+            base = rdtsc;
+            break;
+        case opcode::movq_xr:
+        case opcode::movq_rx:
+        case opcode::movhps_xm:
+        case opcode::punpckhqdq_xr:
+        case opcode::movdqu_mx:
+        case opcode::movdqu_xm:
+        case opcode::cmp128_xm:
+            base = sse;
+            break;
+        case opcode::syscall_i:
+            base = syscall;
+            break;
+        case opcode::sim_delay:
+            base = insn.imm;
+            break;
+        default:
+            break;
+    }
+    return base + dbi_tax;
+}
+
+}  // namespace pssp::vm

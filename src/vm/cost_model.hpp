@@ -1,0 +1,46 @@
+// Per-instruction cycle cost model.
+//
+// Benchmark overheads in this reproduction are reported in *modeled cycles*,
+// not host wall-clock: an interpreter's dispatch overhead (tens of host
+// cycles per simulated instruction) would drown the sub-1% effects the
+// paper measures. The constants below are calibrated against the paper's
+// own measurements (Table V):
+//   * "the rdrand instruction ... costs about 340 more CPU cycles";
+//   * "the AES operations in P-SSP-OWF cost about 272 more CPU cycles"
+//     across the two evaluations in the prologue and epilogue;
+//   * plain mov/xor prologue+epilogue work is single-digit cycles.
+// Everything else uses textbook x86 latencies (ALU 1, call/ret ~2,
+// rdtsc ~24). The model is deliberately simple — no superscalar or cache
+// effects — because the paper's comparisons are between straight-line
+// prologue/epilogue sequences where instruction count dominates.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/isa.hpp"
+
+namespace pssp::vm {
+
+struct cost_model {
+    std::uint64_t alu = 1;         // mov/add/xor/cmp/lea/push/pop...
+    std::uint64_t branch = 1;      // jcc/jmp
+    std::uint64_t call = 2;        // call/ret/leave
+    std::uint64_t rdrand = 330;    // hardware DRNG read (Table V calibration)
+    std::uint64_t rdtsc = 24;      // timestamp counter read
+    std::uint64_t sse = 1;         // xmm moves/compares
+    std::uint64_t syscall = 150;   // kernel entry/exit
+    std::uint64_t aes_helper = 118;  // one AES_ENCRYPT_128 evaluation
+                                     // (two per OWF frame => ~236 + setup,
+                                     // matching the paper's ~272)
+
+    // Charged per executed instruction when running under the modeled
+    // dynamic-binary-instrumentation engine (DynaGuard's PIN deployment);
+    // 0 for everything else. Calibrated in workload/dbi_model.
+    std::uint64_t dbi_tax = 0;
+
+    // Cycle cost of one instruction (excluding native-helper bodies, which
+    // charge via machine::charge_native).
+    [[nodiscard]] std::uint64_t cost_of(const instruction& insn) const noexcept;
+};
+
+}  // namespace pssp::vm

@@ -1,0 +1,238 @@
+// Instruction set of the simulated 64-bit machine.
+//
+// The ISA is an x86-64 subset chosen to express, one-for-one, every
+// instruction sequence printed in the paper (Codes 1-9): the SSP / P-SSP
+// prologues and epilogues, the rdrand/rdtsc-based extensions, and the
+// xmm-register dance of the AES-NI variant. Instructions carry an encoded
+// byte length modeled after real x86-64 encodings so that
+//   * functions occupy realistic spans of virtual address space,
+//   * the binary rewriter can enforce the paper's same-length patching
+//     constraint byte-for-byte, and
+//   * Table II's code-expansion percentages are measurable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pssp::vm {
+
+// General-purpose registers, in x86-64 encoding order.
+enum class reg : std::uint8_t {
+    rax = 0,
+    rcx = 1,
+    rdx = 2,
+    rbx = 3,
+    rsp = 4,
+    rbp = 5,
+    rsi = 6,
+    rdi = 7,
+    r8 = 8,
+    r9 = 9,
+    r10 = 10,
+    r11 = 11,
+    r12 = 12,
+    r13 = 13,
+    r14 = 14,
+    r15 = 15,
+    none = 255,
+};
+
+inline constexpr std::size_t gpr_count = 16;
+
+// 128-bit SSE registers (xmm0..xmm15), used by the P-SSP-OWF code paths.
+enum class xreg : std::uint8_t {
+    xmm0 = 0,
+    xmm1 = 1,
+    xmm15 = 15,
+    none = 255,
+};
+
+inline constexpr std::size_t xmm_count = 16;
+
+// Segment override for memory operands. The TLS canary lives at %fs:0x28
+// and the P-SSP shadow canary at %fs:0x2a8 (Section V-A).
+enum class segment : std::uint8_t { none, fs };
+
+// Memory operand: [seg: base + disp]. Absolute addressing uses base = none
+// with the absolute address in disp-extended form via the instruction's imm.
+struct mem_operand {
+    reg base = reg::none;
+    std::int32_t disp = 0;
+    segment seg = segment::none;
+};
+
+enum class opcode : std::uint8_t {
+    nop,
+    // Stack.
+    push_r,   // push r1
+    push_i,   // push imm (sign-extended imm32)
+    pop_r,    // pop r1
+    // 64-bit moves.
+    mov_rr,  // r1 <- r2
+    mov_ri,  // r1 <- imm64
+    mov_rm,  // r1 <- [mem]
+    mov_mr,  // [mem] <- r2
+    mov_mi,  // [mem] <- imm32 (sign-extended)
+    // 32-bit moves (write zero-extends, as on x86-64).
+    mov32_rm,  // r1 <- zx([mem] 32-bit)
+    mov32_mr,  // [mem] 32-bit <- low32(r2)
+    // 8-bit moves for string routines.
+    movzx8_rm,  // r1 <- zx([mem] 8-bit)
+    mov8_mr,    // [mem] 8-bit <- low8(r2)
+    lea,  // r1 <- address of mem
+    // ALU (r1 is destination; flags updated like x86 where noted).
+    add_rr,
+    add_ri,
+    sub_rr,
+    sub_ri,  // also used by prologue stack allocation
+    xor_rr,
+    xor_ri,
+    xor_rm,  // r1 ^= [mem] — the SSP epilogue's canary compare (Code 2)
+    or_rr,
+    and_ri,
+    shl_ri,
+    shr_ri,
+    imul_rr,
+    imul_ri,
+    // Compare / test (set flags only).
+    cmp_rr,
+    cmp_ri,
+    cmp_rm,
+    test_rr,
+    // Control flow. Jump targets are local label ids before assembly and
+    // absolute byte addresses afterwards (held in imm).
+    je,
+    jne,
+    jb,   // unsigned <
+    jae,  // unsigned >=
+    jl,   // signed <
+    jge,  // signed >=
+    jnc,  // carry clear — the rdrand retry idiom (Code 7 hardening)
+    jmp,
+    call,  // target: symbol before linking, absolute address after
+    ret,
+    leave,
+    // Randomness / time (Codes 7 and 8).
+    rdrand_r,  // r1 <- hardware entropy; CF=1 on success
+    rdtsc,     // edx:eax <- timestamp counter
+    // SSE subset for the AES-NI variant (Codes 8/9).
+    movq_xr,       // x1.lo <- r2, x1.hi <- 0
+    movq_rx,       // r1 <- x2.lo
+    movhps_xm,     // x1.hi <- [mem] (64-bit)
+    punpckhqdq_xr, // x1.hi <- r2 (models the paper's punpckhdq key packing)
+    movdqu_mx,     // [mem] (128-bit) <- x2
+    movdqu_xm,     // x1 <- [mem] (128-bit)
+    cmp128_xm,     // ZF <- (x1 == [mem] 128-bit); models the Code 9 compare
+    // System.
+    syscall_i,   // syscall number in imm; arguments per SysV in rdi/rsi/rdx
+    trap_abort,  // __GI__fortify_fail analog: terminate with stack-smashing
+    hlt,
+    // Modeling aid: charges `imm` cycles and occupies 5 bytes (a patched
+    // jmp), standing in for relocated trampoline/spill code that a static
+    // rewriter (DCR's Dyninst deployment) inserts but that we do not model
+    // instruction-by-instruction. Semantically a no-op.
+    sim_delay,
+};
+
+// Sentinel for "no symbol / no label".
+inline constexpr std::uint32_t no_id = 0xffffffffu;
+
+// One decoded instruction. Fields are interpreted per the opcode comments
+// above; unused fields keep their defaults.
+struct instruction {
+    opcode op = opcode::nop;
+    reg r1 = reg::none;
+    reg r2 = reg::none;
+    xreg x1 = xreg::none;
+    xreg x2 = xreg::none;
+    mem_operand mem{};
+    std::uint64_t imm = 0;       // immediate / resolved jump target address
+    std::uint32_t sym = no_id;   // call target symbol (pre-link)
+    std::uint32_t label = no_id; // local jump target label (pre-assembly)
+};
+
+// Modeled x86-64 encoding length of `insn`, in bytes.
+[[nodiscard]] std::size_t encoded_length(const instruction& insn) noexcept;
+
+// Human-readable disassembly (AT&T-flavored), for tests and debug dumps.
+[[nodiscard]] std::string to_string(const instruction& insn);
+[[nodiscard]] std::string reg_name(reg r);
+
+// ---- Instruction builders -------------------------------------------------
+// Small factory helpers so pass/codegen code reads like an assembler
+// listing. They live in a nested namespace to keep call sites short:
+//   using namespace pssp::vm::isa;
+//   f.emit(push_r(reg::rbp));
+namespace isa {
+
+[[nodiscard]] instruction nop();
+[[nodiscard]] instruction push_r(reg r);
+[[nodiscard]] instruction push_i(std::int32_t v);
+[[nodiscard]] instruction pop_r(reg r);
+[[nodiscard]] instruction mov_rr(reg dst, reg src);
+[[nodiscard]] instruction mov_ri(reg dst, std::uint64_t v);
+[[nodiscard]] instruction mov_rm(reg dst, mem_operand m);
+[[nodiscard]] instruction mov_mr(mem_operand m, reg src);
+[[nodiscard]] instruction mov_mi(mem_operand m, std::int32_t v);
+[[nodiscard]] instruction mov32_rm(reg dst, mem_operand m);
+[[nodiscard]] instruction mov32_mr(mem_operand m, reg src);
+[[nodiscard]] instruction movzx8_rm(reg dst, mem_operand m);
+[[nodiscard]] instruction mov8_mr(mem_operand m, reg src);
+[[nodiscard]] instruction lea(reg dst, mem_operand m);
+[[nodiscard]] instruction add_rr(reg dst, reg src);
+[[nodiscard]] instruction add_ri(reg dst, std::int32_t v);
+[[nodiscard]] instruction sub_rr(reg dst, reg src);
+[[nodiscard]] instruction sub_ri(reg dst, std::int32_t v);
+[[nodiscard]] instruction xor_rr(reg dst, reg src);
+[[nodiscard]] instruction xor_ri(reg dst, std::int32_t v);
+[[nodiscard]] instruction xor_rm(reg dst, mem_operand m);
+[[nodiscard]] instruction or_rr(reg dst, reg src);
+[[nodiscard]] instruction and_ri(reg dst, std::int32_t v);
+[[nodiscard]] instruction shl_ri(reg dst, std::uint8_t bits);
+[[nodiscard]] instruction shr_ri(reg dst, std::uint8_t bits);
+[[nodiscard]] instruction imul_rr(reg dst, reg src);
+[[nodiscard]] instruction imul_ri(reg dst, std::int32_t v);
+[[nodiscard]] instruction cmp_rr(reg a, reg b);
+[[nodiscard]] instruction cmp_ri(reg a, std::int32_t v);
+[[nodiscard]] instruction cmp_rm(reg a, mem_operand m);
+[[nodiscard]] instruction test_rr(reg a, reg b);
+[[nodiscard]] instruction je(std::uint32_t label);
+[[nodiscard]] instruction jne(std::uint32_t label);
+[[nodiscard]] instruction jb(std::uint32_t label);
+[[nodiscard]] instruction jae(std::uint32_t label);
+[[nodiscard]] instruction jl(std::uint32_t label);
+[[nodiscard]] instruction jge(std::uint32_t label);
+[[nodiscard]] instruction jnc(std::uint32_t label);
+[[nodiscard]] instruction jmp(std::uint32_t label);
+[[nodiscard]] instruction call_sym(std::uint32_t sym);
+[[nodiscard]] instruction ret();
+[[nodiscard]] instruction leave();
+[[nodiscard]] instruction rdrand(reg dst);
+[[nodiscard]] instruction rdtsc();
+[[nodiscard]] instruction movq_xr(xreg dst, reg src);
+[[nodiscard]] instruction movq_rx(reg dst, xreg src);
+[[nodiscard]] instruction movhps_xm(xreg dst, mem_operand m);
+[[nodiscard]] instruction punpckhqdq_xr(xreg dst, reg src);
+[[nodiscard]] instruction movdqu_mx(mem_operand m, xreg src);
+[[nodiscard]] instruction movdqu_xm(xreg dst, mem_operand m);
+[[nodiscard]] instruction cmp128_xm(xreg a, mem_operand m);
+[[nodiscard]] instruction syscall_i(std::uint32_t number);
+[[nodiscard]] instruction trap_abort();
+[[nodiscard]] instruction hlt();
+[[nodiscard]] instruction sim_delay(std::uint32_t cycles);
+
+// Memory-operand shorthands.
+[[nodiscard]] mem_operand mem(reg base, std::int32_t disp);
+[[nodiscard]] mem_operand fs(std::int32_t disp);
+
+}  // namespace isa
+
+// Linux-flavored syscall numbers understood by the process layer.
+enum class syscall_no : std::uint32_t {
+    sys_write = 1,
+    sys_getpid = 39,
+    sys_fork = 57,
+    sys_exit = 60,
+};
+
+}  // namespace pssp::vm

@@ -1,0 +1,466 @@
+#include "vm/machine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pssp::vm {
+
+std::string to_string(exec_status status) {
+    switch (status) {
+        case exec_status::running: return "running";
+        case exec_status::exited: return "exited";
+        case exec_status::trapped: return "trapped";
+        case exec_status::syscalled: return "syscalled";
+        case exec_status::out_of_fuel: return "out_of_fuel";
+    }
+    return "?";
+}
+
+std::string to_string(trap_kind trap) {
+    switch (trap) {
+        case trap_kind::none: return "none";
+        case trap_kind::stack_smash: return "stack_smash";
+        case trap_kind::segfault: return "segfault";
+        case trap_kind::invalid_jump: return "invalid_jump";
+        case trap_kind::stack_overrun: return "stack_overrun";
+    }
+    return "?";
+}
+
+machine::machine(std::shared_ptr<const program> prog, memory::layout layout,
+                 std::uint64_t entropy_seed)
+    : prog_{std::move(prog)},
+      mem_{layout},
+      fs_base_{layout.tls_base},
+      entropy_{entropy_seed} {
+    if (!prog_) throw std::invalid_argument{"machine requires a program"};
+    gpr_[static_cast<std::size_t>(reg::rsp)] = layout.stack_top - initial_stack_headroom;
+}
+
+std::uint64_t machine::get(reg r) const noexcept {
+    assert(r != reg::none);
+    return gpr_[static_cast<std::size_t>(r)];
+}
+
+void machine::set(reg r, std::uint64_t value) noexcept {
+    assert(r != reg::none);
+    gpr_[static_cast<std::size_t>(r)] = value;
+}
+
+machine::xmm_value machine::get_x(xreg x) const noexcept {
+    assert(x != xreg::none);
+    return xmm_[static_cast<std::size_t>(x)];
+}
+
+void machine::set_x(xreg x, xmm_value value) noexcept {
+    assert(x != xreg::none);
+    xmm_[static_cast<std::size_t>(x)] = value;
+}
+
+std::uint64_t machine::effective_address(const mem_operand& m) const noexcept {
+    std::uint64_t addr = static_cast<std::uint64_t>(static_cast<std::int64_t>(m.disp));
+    if (m.base != reg::none) addr += get(m.base);
+    if (m.seg == segment::fs) addr += fs_base_;
+    return addr;
+}
+
+void machine::push64(std::uint64_t value) {
+    const std::uint64_t rsp = get(reg::rsp) - 8;
+    set(reg::rsp, rsp);
+    mem_.store64(rsp, value);
+}
+
+std::uint64_t machine::pop64() {
+    const std::uint64_t rsp = get(reg::rsp);
+    const std::uint64_t value = mem_.load64(rsp);
+    set(reg::rsp, rsp + 8);
+    return value;
+}
+
+bool machine::jump_to(std::uint64_t addr, run_result& out) {
+    const std::uint32_t index = prog_->index_of(addr);
+    if (index == no_id) {
+        out.status = exec_status::trapped;
+        out.trap = trap_kind::invalid_jump;
+        out.fault_addr = addr;
+        return false;
+    }
+    rip_ = index;
+    return true;
+}
+
+void machine::call_function(std::uint64_t entry) {
+    finished_valid_ = false;
+    set(reg::rsp, mem_.regions().stack_top - initial_stack_headroom);
+    push64(return_sentinel);
+    const std::uint32_t index = prog_->index_of(entry);
+    if (index == no_id)
+        throw std::invalid_argument{"call_function: entry is not an instruction start"};
+    rip_ = index;
+    rip_valid_ = true;
+}
+
+void machine::complete_syscall(std::uint64_t rax_value) {
+    set(reg::rax, rax_value);
+}
+
+void machine::set_alu_flags(std::uint64_t result) noexcept {
+    flags_.zf = result == 0;
+}
+
+run_result machine::step() {
+    run_result out;
+    const instruction& insn = prog_->insns[rip_];
+    cycles_ += costs_.cost_of(insn);
+    ++steps_;
+
+    // Most instructions fall through; control flow overrides this.
+    std::uint32_t next_rip = rip_ + 1;
+
+    switch (insn.op) {
+        case opcode::nop:
+            break;
+        case opcode::push_r:
+            push64(get(insn.r1));
+            break;
+        case opcode::push_i:
+            push64(insn.imm);
+            break;
+        case opcode::pop_r:
+            set(insn.r1, pop64());
+            break;
+        case opcode::mov_rr:
+            set(insn.r1, get(insn.r2));
+            break;
+        case opcode::mov_ri:
+            set(insn.r1, insn.imm);
+            break;
+        case opcode::mov_rm:
+            set(insn.r1, mem_.load64(effective_address(insn.mem)));
+            break;
+        case opcode::mov_mr:
+            mem_.store64(effective_address(insn.mem), get(insn.r2));
+            break;
+        case opcode::mov_mi:
+            mem_.store64(effective_address(insn.mem), insn.imm);
+            break;
+        case opcode::mov32_rm:
+            set(insn.r1, mem_.load32(effective_address(insn.mem)));
+            break;
+        case opcode::mov32_mr:
+            mem_.store32(effective_address(insn.mem),
+                         static_cast<std::uint32_t>(get(insn.r2)));
+            break;
+        case opcode::movzx8_rm:
+            set(insn.r1, mem_.load8(effective_address(insn.mem)));
+            break;
+        case opcode::mov8_mr:
+            mem_.store8(effective_address(insn.mem),
+                        static_cast<std::uint8_t>(get(insn.r2)));
+            break;
+        case opcode::lea:
+            set(insn.r1, effective_address(insn.mem));
+            break;
+        case opcode::add_rr: {
+            const std::uint64_t v = get(insn.r1) + get(insn.r2);
+            set(insn.r1, v);
+            set_alu_flags(v);
+            break;
+        }
+        case opcode::add_ri: {
+            const std::uint64_t v = get(insn.r1) + insn.imm;
+            set(insn.r1, v);
+            set_alu_flags(v);
+            break;
+        }
+        case opcode::sub_rr: {
+            const std::uint64_t v = get(insn.r1) - get(insn.r2);
+            set(insn.r1, v);
+            set_alu_flags(v);
+            break;
+        }
+        case opcode::sub_ri: {
+            const std::uint64_t v = get(insn.r1) - insn.imm;
+            set(insn.r1, v);
+            set_alu_flags(v);
+            break;
+        }
+        case opcode::xor_rr: {
+            const std::uint64_t v = get(insn.r1) ^ get(insn.r2);
+            set(insn.r1, v);
+            set_alu_flags(v);
+            break;
+        }
+        case opcode::xor_ri: {
+            const std::uint64_t v = get(insn.r1) ^ insn.imm;
+            set(insn.r1, v);
+            set_alu_flags(v);
+            break;
+        }
+        case opcode::xor_rm: {
+            const std::uint64_t v = get(insn.r1) ^ mem_.load64(effective_address(insn.mem));
+            set(insn.r1, v);
+            set_alu_flags(v);
+            break;
+        }
+        case opcode::or_rr: {
+            const std::uint64_t v = get(insn.r1) | get(insn.r2);
+            set(insn.r1, v);
+            set_alu_flags(v);
+            break;
+        }
+        case opcode::and_ri: {
+            const std::uint64_t v = get(insn.r1) & insn.imm;
+            set(insn.r1, v);
+            set_alu_flags(v);
+            break;
+        }
+        case opcode::shl_ri:
+            set(insn.r1, get(insn.r1) << (insn.imm & 63));
+            set_alu_flags(get(insn.r1));
+            break;
+        case opcode::shr_ri:
+            set(insn.r1, get(insn.r1) >> (insn.imm & 63));
+            set_alu_flags(get(insn.r1));
+            break;
+        case opcode::imul_rr:
+            set(insn.r1, get(insn.r1) * get(insn.r2));
+            break;
+        case opcode::imul_ri:
+            set(insn.r1, get(insn.r1) * insn.imm);
+            break;
+        case opcode::cmp_rr:
+        case opcode::cmp_ri:
+        case opcode::cmp_rm: {
+            const std::uint64_t a = get(insn.r1);
+            std::uint64_t b = 0;
+            if (insn.op == opcode::cmp_rr)
+                b = get(insn.r2);
+            else if (insn.op == opcode::cmp_ri)
+                b = insn.imm;
+            else
+                b = mem_.load64(effective_address(insn.mem));
+            flags_.zf = a == b;
+            flags_.lt_unsigned = a < b;
+            flags_.lt_signed = static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+            break;
+        }
+        case opcode::test_rr:
+            flags_.zf = (get(insn.r1) & get(insn.r2)) == 0;
+            break;
+        case opcode::je:
+            if (flags_.zf && !jump_to(insn.imm, out)) return out;
+            if (flags_.zf) next_rip = rip_;
+            break;
+        case opcode::jne:
+            if (!flags_.zf && !jump_to(insn.imm, out)) return out;
+            if (!flags_.zf) next_rip = rip_;
+            break;
+        case opcode::jb:
+            if (flags_.lt_unsigned && !jump_to(insn.imm, out)) return out;
+            if (flags_.lt_unsigned) next_rip = rip_;
+            break;
+        case opcode::jae:
+            if (!flags_.lt_unsigned && !jump_to(insn.imm, out)) return out;
+            if (!flags_.lt_unsigned) next_rip = rip_;
+            break;
+        case opcode::jl:
+            if (flags_.lt_signed && !jump_to(insn.imm, out)) return out;
+            if (flags_.lt_signed) next_rip = rip_;
+            break;
+        case opcode::jge:
+            if (!flags_.lt_signed && !jump_to(insn.imm, out)) return out;
+            if (!flags_.lt_signed) next_rip = rip_;
+            break;
+        case opcode::jnc:
+            if (!flags_.cf && !jump_to(insn.imm, out)) return out;
+            if (!flags_.cf) next_rip = rip_;
+            break;
+        case opcode::jmp:
+            if (!jump_to(insn.imm, out)) return out;
+            next_rip = rip_;
+            break;
+        case opcode::call: {
+            const std::uint64_t return_addr =
+                prog_->addrs[rip_] + encoded_length(insn);
+            const auto native_it = prog_->natives.find(insn.imm);
+            if (native_it != prog_->natives.end()) {
+                // Native helper: model the full call/ret round trip so the
+                // helper can observe a genuine frame (return address on the
+                // stack) while executing host-side.
+                push64(return_addr);
+                native_it->second(*this);
+                const std::uint64_t back = pop64();
+                if (back != return_addr && !jump_to(back, out)) return out;
+                if (back != return_addr) next_rip = rip_;
+                break;
+            }
+            push64(return_addr);
+            if (!jump_to(insn.imm, out)) return out;
+            next_rip = rip_;
+            break;
+        }
+        case opcode::ret: {
+            const std::uint64_t target = pop64();
+            if (target == return_sentinel) {
+                out.status = exec_status::exited;
+                out.exit_code = static_cast<std::int64_t>(get(reg::rax));
+                return out;
+            }
+            if (!jump_to(target, out)) return out;
+            next_rip = rip_;
+            break;
+        }
+        case opcode::leave:
+            set(reg::rsp, get(reg::rbp));
+            set(reg::rbp, pop64());
+            break;
+        case opcode::rdrand_r: {
+            std::uint64_t value = 0;
+            flags_.cf = entropy_.rdrand64(value);
+            if (flags_.cf) set(insn.r1, value);
+            break;
+        }
+        case opcode::rdtsc: {
+            const std::uint64_t tsc = tsc_base_ + cycles_;
+            set(reg::rax, tsc & 0xffffffffull);
+            set(reg::rdx, tsc >> 32);
+            break;
+        }
+        case opcode::movq_xr: {
+            xmm_value x = get_x(insn.x1);
+            x.lo = get(insn.r2);
+            x.hi = 0;
+            set_x(insn.x1, x);
+            break;
+        }
+        case opcode::movq_rx:
+            set(insn.r1, get_x(insn.x2).lo);
+            break;
+        case opcode::movhps_xm: {
+            xmm_value x = get_x(insn.x1);
+            x.hi = mem_.load64(effective_address(insn.mem));
+            set_x(insn.x1, x);
+            break;
+        }
+        case opcode::punpckhqdq_xr: {
+            xmm_value x = get_x(insn.x1);
+            x.hi = get(insn.r2);
+            set_x(insn.x1, x);
+            break;
+        }
+        case opcode::movdqu_mx: {
+            const std::uint64_t addr = effective_address(insn.mem);
+            const xmm_value x = get_x(insn.x2);
+            mem_.store64(addr, x.lo);
+            mem_.store64(addr + 8, x.hi);
+            break;
+        }
+        case opcode::movdqu_xm: {
+            const std::uint64_t addr = effective_address(insn.mem);
+            set_x(insn.x1, {mem_.load64(addr), mem_.load64(addr + 8)});
+            break;
+        }
+        case opcode::cmp128_xm: {
+            const std::uint64_t addr = effective_address(insn.mem);
+            const xmm_value x = get_x(insn.x1);
+            flags_.zf = x.lo == mem_.load64(addr) && x.hi == mem_.load64(addr + 8);
+            break;
+        }
+        case opcode::syscall_i: {
+            const auto number = static_cast<std::uint32_t>(insn.imm);
+            switch (static_cast<syscall_no>(number)) {
+                case syscall_no::sys_exit:
+                    out.status = exec_status::exited;
+                    out.exit_code = static_cast<std::int64_t>(get(reg::rdi));
+                    return out;
+                case syscall_no::sys_getpid:
+                    set(reg::rax, pid_);
+                    break;
+                case syscall_no::sys_write: {
+                    const std::uint64_t buf = get(reg::rsi);
+                    const std::uint64_t count = get(reg::rdx);
+                    std::string data(count, '\0');
+                    mem_.read_bytes(buf, std::span{reinterpret_cast<std::uint8_t*>(
+                                                       data.data()),
+                                                   data.size()});
+                    output_ += data;
+                    set(reg::rax, count);
+                    break;
+                }
+                case syscall_no::sys_fork:
+                    // Serviced by the process layer: stop with rip already
+                    // advanced so both parent and child resume after the
+                    // syscall once complete_syscall() fills in rax.
+                    rip_ = next_rip;
+                    out.status = exec_status::syscalled;
+                    out.syscall_number = number;
+                    return out;
+            }
+            break;
+        }
+        case opcode::trap_abort:
+            out.status = exec_status::trapped;
+            out.trap = trap_kind::stack_smash;
+            out.fault_addr = prog_->addrs[rip_];
+            return out;
+        case opcode::hlt:
+            out.status = exec_status::exited;
+            out.exit_code = static_cast<std::int64_t>(get(reg::rax));
+            return out;
+        case opcode::sim_delay:
+            break;  // cost-model artifact; no architectural effect
+    }
+
+    rip_ = next_rip;
+    out.status = exec_status::running;
+    return out;
+}
+
+run_result machine::run(std::uint64_t max_steps) {
+    if (finished_valid_) return finished_;
+    if (!rip_valid_) throw std::logic_error{"machine::run before call_function"};
+
+    run_result out;
+    std::uint64_t executed = 0;
+    for (;;) {
+        if (fuel_ != 0 && steps_ >= fuel_) {
+            out.status = exec_status::out_of_fuel;
+            break;
+        }
+        if (max_steps != 0 && executed >= max_steps) {
+            out.status = exec_status::running;
+            return out;  // resumable: not a terminal state
+        }
+        if (rip_ >= prog_->insns.size()) {
+            out.status = exec_status::trapped;
+            out.trap = trap_kind::invalid_jump;
+            out.fault_addr = current_address();
+            break;
+        }
+        try {
+            out = step();
+        } catch (const mem_fault& fault) {
+            out.status = exec_status::trapped;
+            out.trap = trap_kind::segfault;
+            out.fault_addr = fault.addr();
+        } catch (const native_trap& trap) {
+            out.status = exec_status::trapped;
+            out.trap = trap.kind;
+            out.fault_addr = current_address();
+        }
+        ++executed;
+        if (out.status == exec_status::syscalled) return out;  // resumable
+        if (out.status != exec_status::running) break;
+    }
+    finished_ = out;
+    finished_valid_ = true;
+    return out;
+}
+
+std::uint64_t machine::current_address() const noexcept {
+    if (rip_ < prog_->addrs.size()) return prog_->addrs[rip_];
+    return 0;
+}
+
+}  // namespace pssp::vm

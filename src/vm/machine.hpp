@@ -1,0 +1,166 @@
+// The interpreter: executes a linked program against a process memory image.
+//
+// One machine == one simulated thread of one simulated process. The process
+// layer (src/proc) copies machines wholesale to implement fork() — the
+// program is shared through a shared_ptr, registers/memory/flags are deep
+// state — and routes syscalls. Machines are deliberately value-like: tests
+// snapshot them, run divergent continuations, and compare outcomes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "crypto/entropy.hpp"
+#include "vm/cost_model.hpp"
+#include "vm/memory.hpp"
+#include "vm/program.hpp"
+
+namespace pssp::vm {
+
+enum class exec_status : std::uint8_t {
+    running,      // paused by the step budget of this run() call
+    exited,       // popped the return sentinel or executed sys_exit
+    trapped,      // crashed; see trap_kind
+    syscalled,    // stopped at a syscall the process layer must service
+    out_of_fuel,  // exceeded the cumulative fuel cap (runaway loop guard)
+};
+
+enum class trap_kind : std::uint8_t {
+    none,
+    stack_smash,    // __stack_chk_fail -> __GI__fortify_fail analog
+    segfault,       // unmapped or mis-sized memory access
+    invalid_jump,   // control transferred to a non-instruction address
+    stack_overrun,  // rsp left the stack region
+};
+
+[[nodiscard]] std::string to_string(exec_status status);
+[[nodiscard]] std::string to_string(trap_kind trap);
+
+struct run_result {
+    exec_status status = exec_status::running;
+    trap_kind trap = trap_kind::none;
+    std::int64_t exit_code = 0;       // valid when exited
+    std::uint32_t syscall_number = 0; // valid when syscalled
+    std::uint64_t fault_addr = 0;     // valid for segfault/invalid_jump
+};
+
+// Thrown by native helpers to terminate the simulated process — the host
+// analog of glibc's __GI__fortify_fail aborting on a smashed stack. The
+// interpreter converts it into a trapped run_result.
+struct native_trap {
+    trap_kind kind = trap_kind::stack_smash;
+};
+
+// Gap between the top of the stack region and the initial rsp — the
+// argv/envp/auxv area of a real process. Gives runaway writes above the
+// first frame somewhere mapped to land, so a canary check (not a fault in
+// the middle of the copy) reports them, as on a real stack.
+inline constexpr std::uint64_t initial_stack_headroom = 512;
+
+struct flags_state {
+    bool zf = false;
+    bool cf = false;
+    bool lt_signed = false;
+    bool lt_unsigned = false;
+};
+
+class machine {
+  public:
+    machine(std::shared_ptr<const program> prog, memory::layout layout,
+            std::uint64_t entropy_seed);
+
+    // ---- Register file ----
+    [[nodiscard]] std::uint64_t get(reg r) const noexcept;
+    void set(reg r, std::uint64_t value) noexcept;
+    struct xmm_value {
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+        friend bool operator==(const xmm_value&, const xmm_value&) = default;
+    };
+    [[nodiscard]] xmm_value get_x(xreg x) const noexcept;
+    void set_x(xreg x, xmm_value value) noexcept;
+    [[nodiscard]] flags_state& flags() noexcept { return flags_; }
+
+    // ---- Memory / TLS ----
+    [[nodiscard]] memory& mem() noexcept { return mem_; }
+    [[nodiscard]] const memory& mem() const noexcept { return mem_; }
+    [[nodiscard]] std::uint64_t fs_base() const noexcept { return fs_base_; }
+
+    // ---- Execution ----
+    // Prepares a call to `entry` from scratch: resets rsp to the stack top,
+    // pushes the return sentinel, points rip at `entry`. Registers other
+    // than rsp are preserved so the harness can pre-load arguments.
+    void call_function(std::uint64_t entry);
+
+    // Executes up to `max_steps` instructions (0 = until stop/fuel).
+    run_result run(std::uint64_t max_steps = 0);
+
+    // Resumes after a serviced syscall; `rax_value` is the syscall result.
+    void complete_syscall(std::uint64_t rax_value);
+
+    // ---- Accounting ----
+    [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+    [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+    [[nodiscard]] cost_model& costs() noexcept { return costs_; }
+    void charge(std::uint64_t extra_cycles) noexcept { cycles_ += extra_cycles; }
+
+    // Cumulative fuel cap (instructions); 0 = unlimited. Guards attack
+    // campaigns against runaway loops in corrupted control flow.
+    void set_fuel(std::uint64_t max_total_steps) noexcept { fuel_ = max_total_steps; }
+
+    // ---- Process plumbing ----
+    [[nodiscard]] std::uint32_t pid() const noexcept { return pid_; }
+    void set_pid(std::uint32_t pid) noexcept { pid_ = pid; }
+    [[nodiscard]] crypto::entropy_source& entropy() noexcept { return entropy_; }
+    void reseed_entropy(std::uint64_t seed) noexcept {
+        entropy_ = crypto::entropy_source{seed};
+    }
+
+    // Bytes written via sys_write (request/response channel of the server
+    // workloads, and the "win" marker of hijack detection).
+    [[nodiscard]] const std::string& output() const noexcept { return output_; }
+    void clear_output() noexcept { output_.clear(); }
+
+    [[nodiscard]] const program& prog() const noexcept { return *prog_; }
+    [[nodiscard]] std::shared_ptr<const program> prog_ptr() const noexcept { return prog_; }
+
+    // Current instruction address (for diagnostics).
+    [[nodiscard]] std::uint64_t current_address() const noexcept;
+
+  private:
+    std::shared_ptr<const program> prog_;
+    memory mem_;
+    std::array<std::uint64_t, gpr_count> gpr_{};
+    std::array<xmm_value, xmm_count> xmm_{};
+    flags_state flags_{};
+    std::uint64_t fs_base_;
+    std::uint32_t rip_ = 0;  // instruction index
+    bool rip_valid_ = false;
+
+    cost_model costs_{};
+    std::uint64_t cycles_ = 0;
+    std::uint64_t steps_ = 0;
+    std::uint64_t fuel_ = 0;
+    std::uint64_t tsc_base_ = 0;
+
+    crypto::entropy_source entropy_;
+    std::uint32_t pid_ = 1;
+    std::string output_;
+
+    run_result finished_{};  // sticky result once exited/trapped
+    bool finished_valid_ = false;
+
+    // ---- Internal helpers ----
+    [[nodiscard]] std::uint64_t effective_address(const mem_operand& m) const noexcept;
+    void push64(std::uint64_t value);
+    [[nodiscard]] std::uint64_t pop64();
+    // Transfers control to `addr`; returns false (and fills `out`) on an
+    // invalid target.
+    [[nodiscard]] bool jump_to(std::uint64_t addr, run_result& out);
+    [[nodiscard]] run_result step();
+    void set_alu_flags(std::uint64_t result) noexcept;
+};
+
+}  // namespace pssp::vm

@@ -1,0 +1,89 @@
+#include "vm/memory.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace pssp::vm {
+
+memory::memory(const layout& lay)
+    : layout_{lay},
+      globals_{lay.globals_base, std::vector<std::uint8_t>(lay.globals_size, 0)},
+      stack_{lay.stack_top - lay.stack_size, std::vector<std::uint8_t>(lay.stack_size, 0)},
+      tls_{lay.tls_base, std::vector<std::uint8_t>(lay.tls_size, 0)} {}
+
+const memory::region* memory::find(std::uint64_t addr, std::size_t size) const noexcept {
+    if (stack_.contains(addr, size)) return &stack_;
+    if (globals_.contains(addr, size)) return &globals_;
+    if (tls_.contains(addr, size)) return &tls_;
+    return nullptr;
+}
+
+memory::region* memory::find(std::uint64_t addr, std::size_t size) noexcept {
+    return const_cast<region*>(std::as_const(*this).find(addr, size));
+}
+
+std::uint8_t memory::load8(std::uint64_t addr) const {
+    const region* r = find(addr, 1);
+    if (r == nullptr) throw mem_fault{addr, 1, "load8: unmapped address"};
+    return r->bytes[addr - r->base];
+}
+
+std::uint32_t memory::load32(std::uint64_t addr) const {
+    const region* r = find(addr, 4);
+    if (r == nullptr) throw mem_fault{addr, 4, "load32: unmapped address"};
+    return util::load_le32(std::span{r->bytes}.subspan(addr - r->base, 4));
+}
+
+std::uint64_t memory::load64(std::uint64_t addr) const {
+    const region* r = find(addr, 8);
+    if (r == nullptr) throw mem_fault{addr, 8, "load64: unmapped address"};
+    return util::load_le64(std::span{r->bytes}.subspan(addr - r->base, 8));
+}
+
+void memory::store8(std::uint64_t addr, std::uint8_t value) {
+    region* r = find(addr, 1);
+    if (r == nullptr) throw mem_fault{addr, 1, "store8: unmapped address"};
+    r->bytes[addr - r->base] = value;
+}
+
+void memory::store32(std::uint64_t addr, std::uint32_t value) {
+    region* r = find(addr, 4);
+    if (r == nullptr) throw mem_fault{addr, 4, "store32: unmapped address"};
+    util::store_le32(std::span{r->bytes}.subspan(addr - r->base, 4), value);
+}
+
+void memory::store64(std::uint64_t addr, std::uint64_t value) {
+    region* r = find(addr, 8);
+    if (r == nullptr) throw mem_fault{addr, 8, "store64: unmapped address"};
+    util::store_le64(std::span{r->bytes}.subspan(addr - r->base, 8), value);
+}
+
+void memory::read_bytes(std::uint64_t addr, std::span<std::uint8_t> out) const {
+    const region* r = find(addr, out.size());
+    if (r == nullptr) throw mem_fault{addr, out.size(), "read_bytes: unmapped range"};
+    std::memcpy(out.data(), r->bytes.data() + (addr - r->base), out.size());
+}
+
+void memory::write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data) {
+    region* r = find(addr, data.size());
+    if (r == nullptr) throw mem_fault{addr, data.size(), "write_bytes: unmapped range"};
+    std::memcpy(r->bytes.data() + (addr - r->base), data.data(), data.size());
+}
+
+bool memory::contains(std::uint64_t addr, std::size_t size) const noexcept {
+    return find(addr, size) != nullptr;
+}
+
+std::span<const std::uint8_t> memory::stack_bytes() const noexcept { return stack_.bytes; }
+std::span<const std::uint8_t> memory::tls_bytes() const noexcept { return tls_.bytes; }
+std::span<const std::uint8_t> memory::globals_bytes() const noexcept {
+    return globals_.bytes;
+}
+
+std::size_t memory::resident_bytes() const noexcept {
+    return globals_.bytes.size() + stack_.bytes.size() + tls_.bytes.size();
+}
+
+}  // namespace pssp::vm

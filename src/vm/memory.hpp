@@ -1,0 +1,111 @@
+// Virtual memory of a simulated process.
+//
+// A small set of byte-addressable regions with W^X-style access checks:
+//   * stack   — grows downward from stack_top; where canaries live and
+//               where every overflow in this library actually lands;
+//   * tls     — the thread-local storage block addressed via %fs. The TLS
+//               canary C sits at fs+0x28 and the P-SSP shadow canary pair
+//               (C0, C1) at fs+0x2a8..0x2b7, mirroring Section V-A;
+//   * globals — .data/.bss analog for workload state and request buffers.
+// Code is NOT mapped here: instruction fetch goes through the program
+// object, so stray data writes can never modify text (and reads/writes to
+// text addresses fault, as under a standard W^X policy).
+//
+// Every access is bounds-checked; a violation raises mem_fault, which the
+// interpreter converts into a segfault trap — the observable "crash" signal
+// the byte-by-byte attacker drives its oracle with.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pssp::vm {
+
+// Default layout; chosen to look like a Linux x86-64 process.
+inline constexpr std::uint64_t default_globals_base = 0x0000000000601000ull;
+inline constexpr std::uint64_t default_globals_size = 256 * 1024;
+inline constexpr std::uint64_t default_stack_top = 0x00007ffffffff000ull;
+inline constexpr std::uint64_t default_stack_size = 256 * 1024;
+inline constexpr std::uint64_t default_tls_base = 0x00007f7700000000ull;
+inline constexpr std::uint64_t default_tls_size = 4096;
+
+// Thrown on out-of-bounds or permission-violating access.
+class mem_fault : public std::runtime_error {
+  public:
+    mem_fault(std::uint64_t addr, std::size_t size, const std::string& what)
+        : std::runtime_error{what}, addr_{addr}, size_{size} {}
+    [[nodiscard]] std::uint64_t addr() const noexcept { return addr_; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  private:
+    std::uint64_t addr_;
+    std::size_t size_;
+};
+
+// Region layout of a process image. At namespace scope (not nested) so it
+// can serve as a defaulted constructor argument.
+struct mem_layout {
+    std::uint64_t globals_base = default_globals_base;
+    std::uint64_t globals_size = default_globals_size;
+    std::uint64_t stack_top = default_stack_top;
+    std::uint64_t stack_size = default_stack_size;
+    std::uint64_t tls_base = default_tls_base;
+    std::uint64_t tls_size = default_tls_size;
+};
+
+class memory {
+  public:
+    using layout = mem_layout;
+
+    explicit memory(const layout& lay = layout{});
+
+    // Value accessors. Multi-byte accesses are little-endian and must lie
+    // entirely inside one region.
+    [[nodiscard]] std::uint8_t load8(std::uint64_t addr) const;
+    [[nodiscard]] std::uint32_t load32(std::uint64_t addr) const;
+    [[nodiscard]] std::uint64_t load64(std::uint64_t addr) const;
+    void store8(std::uint64_t addr, std::uint8_t value);
+    void store32(std::uint64_t addr, std::uint32_t value);
+    void store64(std::uint64_t addr, std::uint64_t value);
+
+    // Bulk accessors for native helpers and the attack harness.
+    void read_bytes(std::uint64_t addr, std::span<std::uint8_t> out) const;
+    void write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data);
+
+    // True if [addr, addr+size) is mapped within a single region.
+    [[nodiscard]] bool contains(std::uint64_t addr, std::size_t size = 1) const noexcept;
+
+    [[nodiscard]] const layout& regions() const noexcept { return layout_; }
+
+    // Direct spans, used by fork (memcpy of the whole region) and by tests
+    // that inspect raw stack bytes around the canary.
+    [[nodiscard]] std::span<const std::uint8_t> stack_bytes() const noexcept;
+    [[nodiscard]] std::span<const std::uint8_t> tls_bytes() const noexcept;
+    [[nodiscard]] std::span<const std::uint8_t> globals_bytes() const noexcept;
+
+    // Resident set analog: bytes of backing store, for Table IV's memory
+    // usage column.
+    [[nodiscard]] std::size_t resident_bytes() const noexcept;
+
+  private:
+    struct region {
+        std::uint64_t base;
+        std::vector<std::uint8_t> bytes;
+        [[nodiscard]] bool contains(std::uint64_t addr, std::size_t size) const noexcept {
+            return addr >= base && addr + size <= base + bytes.size() && addr + size >= addr;
+        }
+    };
+
+    layout layout_;
+    region globals_;
+    region stack_;
+    region tls_;
+
+    [[nodiscard]] const region* find(std::uint64_t addr, std::size_t size) const noexcept;
+    [[nodiscard]] region* find(std::uint64_t addr, std::size_t size) noexcept;
+};
+
+}  // namespace pssp::vm

@@ -1,0 +1,66 @@
+// A linked, executable program: the output of binfmt::link_image and the
+// input to vm::machine.
+//
+// Instructions are kept as decoded structs, but each carries the virtual
+// byte address its x86-64 encoding would occupy. Control flow (call/ret/
+// jmp targets, and crucially *return addresses stored on the simulated
+// stack*) operates on those byte addresses, so an attacker who overwrites
+// a saved return address redirects execution exactly as on real hardware —
+// or crashes on a non-instruction-boundary target.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/isa.hpp"
+
+namespace pssp::vm {
+
+class machine;  // forward; native helpers receive the executing machine
+
+// Host-implemented helper bound to a text address (PLT analog). Invoked by
+// `call`; arguments/results pass through the machine's registers per SysV.
+using native_fn = std::function<void(machine&)>;
+
+struct program {
+    std::vector<instruction> insns;
+    std::vector<std::uint64_t> addrs;  // parallel to insns: start address
+
+    // Exact-start address -> instruction index (control transfers only land
+    // on instruction starts; anything else is an invalid-jump trap).
+    std::unordered_map<std::uint64_t, std::uint32_t> addr_to_index;
+
+    // Native helper bindings, keyed by the callable's entry address.
+    std::unordered_map<std::uint64_t, native_fn> natives;
+
+    // Symbol table: function name -> entry address (includes native stubs).
+    std::unordered_map<std::string, std::uint64_t> symbols;
+
+    std::uint64_t text_base = 0;
+    std::uint64_t text_size = 0;  // bytes, including any appended sections
+
+    // Entry address of `name`; throws std::out_of_range if absent.
+    [[nodiscard]] std::uint64_t entry_of(const std::string& name) const {
+        return symbols.at(name);
+    }
+
+    [[nodiscard]] bool has_symbol(const std::string& name) const {
+        return symbols.contains(name);
+    }
+
+    // Index of the instruction starting at `addr`, or no_id.
+    [[nodiscard]] std::uint32_t index_of(std::uint64_t addr) const {
+        const auto it = addr_to_index.find(addr);
+        return it == addr_to_index.end() ? no_id : it->second;
+    }
+};
+
+// Returned by ret when the initial (harness-provided) frame returns:
+// popping this sentinel ends execution normally. Outside every mapped
+// region and the text segment.
+inline constexpr std::uint64_t return_sentinel = 0x00005e7712e70000ull;
+
+}  // namespace pssp::vm

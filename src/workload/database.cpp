@@ -1,0 +1,82 @@
+#include "workload/database.hpp"
+
+namespace pssp::workload {
+
+using namespace compiler;
+
+db_profile mysql_profile() {
+    return {.name = "mysql_m",
+            .queries = 600,
+            .parse_iters = 20,
+            .lookup_iters = 120,
+            .query_buffer = 128};
+}
+
+db_profile sqlite_profile() {
+    return {.name = "sqlite_m",
+            .queries = 40,
+            .parse_iters = 60,
+            .lookup_iters = 2200,
+            .query_buffer = 128};
+}
+
+compiler::ir_module make_db_module(const db_profile& profile) {
+    ir_module mod;
+    mod.name = profile.name;
+
+    // The "database": an in-memory table plus a canned query text.
+    mod.add_global("g_table", 4096);
+    mod.add_global("g_query", 128,
+                   {'S', 'E', 'L', 'E', 'C', 'T', ' ', '*', ' ', 'F', 'R', 'O',
+                    'M', ' ', 't', ' ', 'W', 'H', 'E', 'R', 'E', ' ', 'k', '=',
+                    '4', '2', 0});
+    mod.add_global("g_answer", 8);
+
+    auto& q = mod.add_function("handle_query");
+    const int buf =
+        add_local(q, "querybuf", profile.query_buffer, /*is_buffer=*/true);
+    const int acc = add_local(q, "acc");
+    const int tmp = add_local(q, "tmp");
+    const int i = add_local(q, "i");
+
+    // Parse: bounded copy of the query text, then tokenizer-ish hashing.
+    q.body.push_back(call_stmt{"strcpy", {addr_of{buf}, global_addr{"g_query"}},
+                               std::nullopt, /*writes_memory=*/true});
+    q.body.push_back(assign_stmt{acc, const_ref{1469598103934665603ull}});
+    loop_stmt parse{i, profile.parse_iters, {}};
+    parse.body.push_back(compute_stmt{acc, local_ref{acc}, binop::mul,
+                                      const_ref{1099511628211ull}});
+    parse.body.push_back(
+        compute_stmt{tmp, local_ref{acc}, binop::shr, const_ref{17}});
+    parse.body.push_back(
+        compute_stmt{acc, local_ref{acc}, binop::xor_, local_ref{tmp}});
+    q.body.push_back(parse);
+
+    // Execute: walk the "index" (strided loads + aggregation).
+    loop_stmt lookup{i, profile.lookup_iters, {}};
+    lookup.body.push_back(load_global_stmt{tmp, "g_table", 0});
+    lookup.body.push_back(
+        compute_stmt{acc, local_ref{acc}, binop::add, local_ref{tmp}});
+    lookup.body.push_back(compute_stmt{acc, local_ref{acc}, binop::mul,
+                                       const_ref{2862933555777941757ull}});
+    q.body.push_back(lookup);
+
+    q.body.push_back(store_global_stmt{"g_answer", 0, local_ref{acc}});
+    q.body.push_back(return_stmt{local_ref{acc}});
+
+    auto& main_fn = mod.add_function("db_main");
+    const int r = add_local(main_fn, "r");
+    const int qi = add_local(main_fn, "qi");
+    const int total = add_local(main_fn, "total");
+    main_fn.body.push_back(assign_stmt{total, const_ref{0}});
+    loop_stmt runqs{qi, profile.queries, {}};
+    runqs.body.push_back(call_stmt{"handle_query", {}, r});
+    runqs.body.push_back(
+        compute_stmt{total, local_ref{total}, binop::add, local_ref{r}});
+    main_fn.body.push_back(runqs);
+    main_fn.body.push_back(return_stmt{local_ref{total}});
+
+    return mod;
+}
+
+}  // namespace pssp::workload

@@ -1,0 +1,35 @@
+// Database-server workloads (the MySQL/SQLite analogs of Table IV).
+//
+// A query-processing loop: each query is parsed into a protected stack
+// buffer (bounded copy — the DB code is not the vulnerable party here),
+// "executed" against an in-memory table via lookup/aggregation loops, and
+// answered. The per-query canary work is amortized over a transaction
+// thousands of cycles long — which is why Table IV reports effectively
+// zero overhead and why we report per-query cycle cost plus resident
+// memory for the same three build flavors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/ir.hpp"
+
+namespace pssp::workload {
+
+struct db_profile {
+    std::string name;
+    std::uint64_t queries;       // queries per benchmark run
+    std::uint64_t parse_iters;   // per-query parse work
+    std::uint64_t lookup_iters;  // per-query index-walk work
+    std::uint32_t query_buffer = 128;
+};
+
+// sysbench-oltp-ish point queries: short and index-bound.
+[[nodiscard]] db_profile mysql_profile();
+// threadtest3-ish batch: fewer, much heavier statements.
+[[nodiscard]] db_profile sqlite_profile();
+
+// Entry point: "db_main". Returns total of all query results (checksum).
+[[nodiscard]] compiler::ir_module make_db_module(const db_profile& profile);
+
+}  // namespace pssp::workload

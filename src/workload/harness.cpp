@@ -1,0 +1,94 @@
+#include "workload/harness.hpp"
+
+#include <stdexcept>
+
+#include "binfmt/stdlib.hpp"
+#include "compiler/codegen.hpp"
+#include "core/runtime.hpp"
+#include "proc/process.hpp"
+#include "rewriter/rewriter.hpp"
+
+namespace pssp::workload {
+
+std::string to_string(deployment dep) {
+    switch (dep) {
+        case deployment::compiler_based: return "compiler";
+        case deployment::instrumented_dynamic: return "instr (dynamic)";
+        case deployment::instrumented_static: return "instr (static)";
+        case deployment::pin_dbi: return "PIN DBI";
+    }
+    return "?";
+}
+
+run_measurement measure_module(const compiler::ir_module& mod, core::scheme_kind kind,
+                               const harness_options& options) {
+    // Build the binary per deployment.
+    binfmt::linked_binary binary = [&] {
+        switch (options.dep) {
+            case deployment::compiler_based:
+            case deployment::pin_dbi:
+                return compiler::build_module(
+                    mod, core::make_scheme(kind, options.scheme_options),
+                    binfmt::link_mode::dynamic_glibc);
+            case deployment::instrumented_dynamic:
+            case deployment::instrumented_static: {
+                // The paper's upgrade path: a legacy SSP binary, rewritten.
+                if (kind != core::scheme_kind::p_ssp32 &&
+                    kind != core::scheme_kind::ssp && kind != core::scheme_kind::none)
+                    throw std::invalid_argument{
+                        "instrumented deployments produce P-SSP-32; ask for "
+                        "p_ssp32 (or ssp/none baselines)"};
+                const auto mode = options.dep == deployment::instrumented_static
+                                      ? binfmt::link_mode::static_glibc
+                                      : binfmt::link_mode::dynamic_glibc;
+                auto legacy = compiler::build_module(
+                    mod, core::make_scheme(core::scheme_kind::ssp), mode);
+                if (kind == core::scheme_kind::p_ssp32) {
+                    rewriter::binary_rewriter rw;
+                    (void)rw.upgrade_to_pssp(legacy);
+                    if (mode == binfmt::link_mode::dynamic_glibc)
+                        core::bind_instrumented_stack_chk_fail(legacy);
+                }
+                return legacy;
+            }
+        }
+        throw std::logic_error{"unreachable"};
+    }();
+
+    // The runtime hooks that accompany each deployment: the compiler build
+    // ships the scheme's own hooks; the instrumented builds ship the
+    // preloaded P-SSP-32 library (dynamic) or rely on the rewritten fork
+    // (static — the runtime still provides process setup, standing in for
+    // the injected init section).
+    const auto hook_kind = [&] {
+        switch (options.dep) {
+            case deployment::instrumented_dynamic:
+            case deployment::instrumented_static:
+                return kind == core::scheme_kind::p_ssp32 ? core::scheme_kind::p_ssp32
+                                                          : kind;
+            default:
+                return kind;
+        }
+    }();
+
+    proc::process_manager manager{
+        core::make_scheme(hook_kind, options.scheme_options), options.seed};
+    vm::machine m = manager.create_process(binary);
+    if (options.dep == deployment::pin_dbi)
+        m.costs().dbi_tax = options.dbi_tax_cycles;
+
+    m.call_function(binary.symbols.at(options.entry));
+    m.set_fuel(options.fuel);
+    const vm::run_result r = m.run();
+
+    run_measurement out;
+    out.cycles = m.cycles();
+    out.steps = m.steps();
+    out.text_bytes = binary.text_bytes();
+    out.resident_bytes = m.mem().resident_bytes();
+    out.exit_code = r.exit_code;
+    out.completed = r.status == vm::exec_status::exited;
+    return out;
+}
+
+}  // namespace pssp::workload

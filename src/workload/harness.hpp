@@ -1,0 +1,55 @@
+// Measurement harness shared by the benchmark binaries: builds a module
+// under a scheme/deployment combination, runs it, and reports modeled
+// cycles, code size and resident memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "binfmt/image.hpp"
+#include "compiler/ir.hpp"
+#include "core/scheme.hpp"
+
+namespace pssp::workload {
+
+// How the protection reached the binary — the three build flavors every
+// evaluation table compares.
+enum class deployment : std::uint8_t {
+    compiler_based,          // scheme emitted by the compiler pass
+    instrumented_dynamic,    // SSP binary + rewriter + preloaded runtime
+    instrumented_static,     // SSP binary + rewriter + appended section
+    pin_dbi,                 // DynaGuard's PIN deployment: per-insn DBI tax
+};
+
+[[nodiscard]] std::string to_string(deployment dep);
+
+struct run_measurement {
+    std::uint64_t cycles = 0;        // modeled cycles for the whole run
+    std::uint64_t steps = 0;         // executed instructions
+    std::uint64_t text_bytes = 0;    // .text (+ appended sections)
+    std::uint64_t resident_bytes = 0;  // memory footprint
+    std::int64_t exit_code = 0;
+    bool completed = false;          // exited normally
+};
+
+struct harness_options {
+    deployment dep = deployment::compiler_based;
+    core::scheme_options scheme_options{};
+    std::string entry = "main";
+    std::uint64_t seed = 1234;
+    std::uint64_t fuel = 200'000'000;
+    std::uint64_t dbi_tax_cycles = 0;  // per-insn tax when dep == pin_dbi
+};
+
+// Builds `mod` under `kind` with the given deployment and runs `entry` to
+// completion in a fresh process.
+//
+// For the instrumented deployments the module is first compiled under
+// plain SSP (the legacy binary) and then rewritten to P-SSP — exactly the
+// paper's upgrade path — so `kind` must be p_ssp32 (what the rewriter
+// produces) or ssp/none for baselines.
+[[nodiscard]] run_measurement measure_module(const compiler::ir_module& mod,
+                                             core::scheme_kind kind,
+                                             const harness_options& options = {});
+
+}  // namespace pssp::workload

@@ -1,0 +1,42 @@
+// SPEC CPU2006-like synthetic suite: 28 mini-programs with the call-density
+// spread that determines canary overhead (Figure 5's x-axis).
+//
+// Each program is main() driving a few compute kernels in a loop. What
+// varies per program — mirroring what actually differs across SPEC for a
+// stack-protector study — is:
+//   * inner_iters        : work per kernel invocation (call-heavy programs
+//                          like perlbench sit at the low end, loop-heavy
+//                          ones like lbm at the high end);
+//   * kernels            : call-graph width;
+//   * protected_kernels  : how many kernels contain a stack buffer and
+//                          therefore receive a canary under
+//                          -fstack-protector (SPEC programs differ wildly
+//                          in their array-in-frame density).
+// Absolute cycle counts are meaningless; the per-program *ratio* between a
+// scheme build and the native build is the reproduced quantity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/ir.hpp"
+
+namespace pssp::workload {
+
+struct spec_profile {
+    std::string name;
+    std::uint64_t inner_iters;   // arithmetic rounds per kernel call
+    int kernels;                 // number of kernel functions
+    int protected_kernels;       // kernels containing a stack buffer
+    std::uint64_t outer_iters;   // main-loop trips (sized for bench speed)
+    bool integer_suite;          // CINT2006 vs CFP2006 (labeling only)
+};
+
+// The 28 benchmark profiles used throughout (12 SPECint + 16 SPECfp).
+[[nodiscard]] const std::vector<spec_profile>& spec2006_profiles();
+
+// Builds the module for one profile. Entry point: "main".
+[[nodiscard]] compiler::ir_module make_spec_module(const spec_profile& profile);
+
+}  // namespace pssp::workload

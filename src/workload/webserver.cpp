@@ -1,0 +1,154 @@
+#include "workload/webserver.hpp"
+
+#include "attack/leak_replay.hpp"
+
+namespace pssp::workload {
+
+using namespace compiler;
+
+server_profile apache_profile() {
+    return {.name = "apache2_m",
+            .parse_iters = 60,
+            .response_iters = 40,
+            .buffer_bytes = 64,
+            .leaky = true,
+            .critical_buffer = true};
+}
+
+server_profile nginx_profile() {
+    return {.name = "nginx_m",
+            .parse_iters = 12,
+            .response_iters = 6,
+            .buffer_bytes = 64,
+            .leaky = true,
+            .critical_buffer = true};
+}
+
+server_profile ali_profile() {
+    return {.name = "ali_m",
+            .parse_iters = 4,
+            .response_iters = 2,
+            .buffer_bytes = 32,
+            .leaky = false,
+            .critical_buffer = true};
+}
+
+namespace {
+
+// acc = acc * 6364136223846793005 + 1442695040888963407; acc ^= acc >> 33
+void add_lcg_round(std::vector<stmt>& body, int acc, int tmp) {
+    body.push_back(compute_stmt{acc, local_ref{acc}, binop::mul,
+                                const_ref{6364136223846793005ull}});
+    body.push_back(compute_stmt{acc, local_ref{acc}, binop::add,
+                                const_ref{1442695040888963407ull}});
+    body.push_back(compute_stmt{tmp, local_ref{acc}, binop::shr, const_ref{33}});
+    body.push_back(compute_stmt{acc, local_ref{acc}, binop::xor_, local_ref{tmp}});
+}
+
+}  // namespace
+
+compiler::ir_module make_server_module(const server_profile& profile) {
+    ir_module mod;
+    mod.name = profile.name;
+    mod.add_global("g_request", 4096);
+    mod.add_global("g_request_len", 8);
+    mod.add_global("g_response", 64);
+    mod.add_global("g_win_msg", 8, {'P', 'W', 'N', 'E', 'D', '!', '\n', 0});
+
+    // The hijack target: unprotected (it is the *destination*, not a frame
+    // under test), prints the marker the oracle detects.
+    auto& win = mod.add_function("win");
+    win.never_protect = true;
+    win.body.push_back(write_stmt{global_addr{"g_win_msg"}, const_ref{7}});
+    win.body.push_back(return_stmt{const_ref{0x1337}});
+
+    // ---- handle_request ----
+    auto& handler = mod.add_function("handle_request");
+    const int buf = add_local(handler, "buf", profile.buffer_bytes,
+                              /*is_buffer=*/true, profile.critical_buffer);
+    const int len = add_local(handler, "len");
+    const int acc = add_local(handler, "acc");
+    const int tmp = add_local(handler, "tmp");
+    const int it = add_local(handler, "i");
+
+    handler.body.push_back(load_global_stmt{len, "g_request_len", 0});
+    handler.body.push_back(assign_stmt{acc, const_ref{0x9e3779b9ull}});
+
+    loop_stmt parse{it, profile.parse_iters, {}};
+    add_lcg_round(parse.body, acc, tmp);
+    handler.body.push_back(parse);
+
+    // THE overflow: copy exactly the attacker-chosen number of bytes.
+    handler.body.push_back(call_stmt{"memcpy",
+                                     {addr_of{buf}, global_addr{"g_request"},
+                                      local_ref{len}},
+                                     std::nullopt,
+                                     /*writes_memory=*/true});
+
+    if (profile.leaky) {
+        // Over-read: dump the buffer plus 64 bytes of adjacent frame.
+        if_stmt leak{local_ref{0}, relop::eq, const_ref{attack::leak_magic}, {}, {}};
+        // Condition operand: first request word.
+        const int magic = add_local(handler, "magic");
+        handler.body.push_back(load_global_stmt{magic, "g_request", 0});
+        leak.a = local_ref{magic};
+        leak.then_body.push_back(
+            write_stmt{addr_of{buf}, const_ref{profile.buffer_bytes + 64}});
+        handler.body.push_back(leak);
+    }
+
+    loop_stmt respond{it, profile.response_iters, {}};
+    add_lcg_round(respond.body, acc, tmp);
+    handler.body.push_back(respond);
+
+    handler.body.push_back(store_global_stmt{"g_response", 0, local_ref{acc}});
+    handler.body.push_back(write_stmt{global_addr{"g_response"}, const_ref{8}});
+    handler.body.push_back(return_stmt{local_ref{acc}});
+
+    // ---- accept_loop ----
+    auto& accept = mod.add_function("accept_loop");
+    const int guard = add_local(accept, "connbuf", 16, /*is_buffer=*/true);
+    const int pid = add_local(accept, "pid");
+    const int li = add_local(accept, "i");
+    (void)guard;
+
+    loop_stmt forever{li, 1'000'000'000ull, {}};
+    forever.body.push_back(call_stmt{"fork", {}, pid});
+    if_stmt child{local_ref{pid}, relop::eq, const_ref{0}, {}, {}};
+    child.then_body.push_back(call_stmt{"handle_request", {}, std::nullopt});
+    // Returning here sends the worker back through the frames its *master*
+    // created — the inherited-frame path every fork-canary scheme must
+    // keep consistent (and RAF-SSP does not).
+    child.then_body.push_back(return_stmt{const_ref{0}});
+    forever.body.push_back(child);
+    accept.body.push_back(forever);
+    accept.body.push_back(return_stmt{const_ref{1}});
+
+    // ---- server_main ----
+    auto& main_fn = mod.add_function("server_main");
+    const int mbuf = add_local(main_fn, "confbuf", 16, /*is_buffer=*/true);
+    const int r = add_local(main_fn, "r");
+    (void)mbuf;
+    main_fn.body.push_back(call_stmt{"accept_loop", {}, r});
+    main_fn.body.push_back(return_stmt{local_ref{r}});
+
+    return mod;
+}
+
+proc::server_config server_config_for(const server_profile& profile) {
+    proc::server_config cfg;
+    cfg.entry = "server_main";
+    cfg.request_symbol = "g_request";
+    cfg.length_symbol = "g_request_len";
+    cfg.request_capacity = 4096;
+    (void)profile;
+    return cfg;
+}
+
+std::uint64_t attack_prefix_bytes(const server_profile& profile) {
+    // Frame plans place the buffer directly below the canary area, so the
+    // attacker's run-up equals the buffer size (rounded to words).
+    return (profile.buffer_bytes + 7) & ~7u;
+}
+
+}  // namespace pssp::workload

@@ -1,0 +1,59 @@
+// Fork-per-request web-server workloads (the Apache2/Nginx analogs).
+//
+// Module shape (all VM code, compiled under whichever scheme is under
+// test):
+//
+//   server_main()                    // has a local buffer => protected
+//     -> accept_loop()               // protected; loops:
+//          pid = fork()              //   real sys_fork, worker per request
+//          if (pid == 0) {
+//            handle_request();       //   the vulnerable handler
+//            return;                 //   back through *inherited* frames
+//          }
+//
+//   handle_request()
+//     char buf[N];                   // protected frame
+//     parse work (arithmetic loop)
+//     memcpy(buf, g_request, g_request_len);   // THE BUG: length unchecked
+//     if (*(u64*)g_request == "LEAK") write(1, buf, N + 64);  // over-read
+//     response work; write(response)
+//
+// The leak path is optional and models the second vulnerability class the
+// paper's Section IV-C exposure-resilience discussion assumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/ir.hpp"
+#include "proc/fork_server.hpp"
+
+namespace pssp::workload {
+
+struct server_profile {
+    std::string name = "nginx_m";
+    std::uint64_t parse_iters = 6;      // per-request header-parse work
+    std::uint64_t response_iters = 4;   // per-request response work
+    std::uint32_t buffer_bytes = 64;    // the vulnerable buffer
+    bool leaky = true;                  // include the over-read path
+    bool critical_buffer = true;        // mark buf critical (P-SSP-LV's V)
+};
+
+// Apache2 analog: heavier per-request processing (richer module system).
+[[nodiscard]] server_profile apache_profile();
+// Nginx analog: lean event-loop-style handler.
+[[nodiscard]] server_profile nginx_profile();
+// "Ali" analog (the second target of the paper's Section VI-C attack run):
+// a small RPC-ish service with a tighter buffer.
+[[nodiscard]] server_profile ali_profile();
+
+[[nodiscard]] compiler::ir_module make_server_module(const server_profile& profile);
+
+// The fork_server configuration matching make_server_module's symbols.
+[[nodiscard]] proc::server_config server_config_for(const server_profile& profile);
+
+// Distance from buffer start to the canary area — what the attacker reads
+// off the (public) binary.
+[[nodiscard]] std::uint64_t attack_prefix_bytes(const server_profile& profile);
+
+}  // namespace pssp::workload

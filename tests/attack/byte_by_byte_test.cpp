@@ -1,0 +1,170 @@
+// Integration tests of the paper's central security claims (Sections II-B,
+// III-C, VI-C): the byte-by-byte attack versus a forking server compiled
+// under each scheme.
+
+#include <gtest/gtest.h>
+
+#include "attack/byte_by_byte.hpp"
+#include "compiler/codegen.hpp"
+#include "core/tls_layout.hpp"
+#include "proc/fork_server.hpp"
+#include "workload/webserver.hpp"
+
+namespace pssp {
+namespace {
+
+using core::scheme_kind;
+
+struct oracle {
+    binfmt::linked_binary binary;
+    proc::fork_server server;
+
+    oracle(scheme_kind kind, std::uint64_t seed = 99,
+           workload::server_profile profile = workload::nginx_profile())
+        : binary{compiler::build_module(workload::make_server_module(profile),
+                                        core::make_scheme(kind))},
+          server{binary, core::make_scheme(kind), seed,
+                 workload::server_config_for(profile)} {}
+
+    [[nodiscard]] std::uint64_t win_addr() const { return binary.symbols.at("win"); }
+    [[nodiscard]] std::uint64_t some_stack_addr() const {
+        return binary.data_base;  // any mapped value works for the fake rbp
+    }
+};
+
+TEST(fork_server, benign_requests_are_served) {
+    oracle o{scheme_kind::ssp};
+    for (int i = 0; i < 5; ++i) {
+        const auto r = o.server.serve("GET /index.html");
+        EXPECT_EQ(r.outcome, proc::worker_outcome::ok) << to_string(r.outcome);
+        EXPECT_FALSE(r.output.empty());  // the response write
+    }
+    EXPECT_TRUE(o.server.alive());
+    EXPECT_EQ(o.server.crashes(), 0u);
+}
+
+TEST(fork_server, benign_requests_served_under_p_ssp) {
+    oracle o{scheme_kind::p_ssp};
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(o.server.serve("GET /").outcome, proc::worker_outcome::ok);
+}
+
+// The RAF-SSP correctness bug (Section II-C caveat, Table I): the child
+// crashes returning through frames inherited from the parent, on BENIGN
+// traffic.
+TEST(fork_server, raf_ssp_crashes_workers_on_benign_traffic) {
+    oracle o{scheme_kind::raf_ssp};
+    const auto r = o.server.serve("GET /index.html");
+    EXPECT_EQ(r.outcome, proc::worker_outcome::crashed_canary) << to_string(r.outcome);
+}
+
+// Section VII-C's rejected "C0 in the TLS" design shares RAF's disease:
+// replacing the child's C0 invalidates every inherited C1 — "the program
+// is doomed to crash". A measured negative result, not a rhetorical one.
+TEST(fork_server, rejected_c0tls_design_crashes_like_raf) {
+    oracle o{scheme_kind::p_ssp_c0tls};
+    const auto r = o.server.serve("GET /index.html");
+    EXPECT_EQ(r.outcome, proc::worker_outcome::crashed_canary) << to_string(r.outcome);
+}
+
+// DynaGuard and DCR fix that bug by rewriting inherited canaries.
+TEST(fork_server, dynaguard_workers_survive_benign_traffic) {
+    oracle o{scheme_kind::dynaguard};
+    EXPECT_EQ(o.server.serve("GET /").outcome, proc::worker_outcome::ok);
+}
+
+TEST(fork_server, dcr_workers_survive_benign_traffic) {
+    oracle o{scheme_kind::dcr};
+    EXPECT_EQ(o.server.serve("GET /").outcome, proc::worker_outcome::ok);
+}
+
+TEST(fork_server, overflowing_request_crashes_worker_but_not_server) {
+    oracle o{scheme_kind::ssp};
+    const std::vector<std::uint8_t> smash(200, 'A');
+    const auto r = o.server.serve(smash);
+    EXPECT_EQ(r.outcome, proc::worker_outcome::crashed_canary);
+    EXPECT_TRUE(o.server.alive());  // master forks a fresh worker
+    EXPECT_EQ(o.server.serve("GET /").outcome, proc::worker_outcome::ok);
+}
+
+// ---- The headline experiment -------------------------------------------------
+
+TEST(byte_by_byte, defeats_ssp_in_about_a_thousand_trials) {
+    oracle o{scheme_kind::ssp};
+    attack::byte_by_byte_config cfg;
+    cfg.prefix_bytes = workload::attack_prefix_bytes(workload::nginx_profile());
+    cfg.canary_bytes = 8;
+    attack::byte_by_byte atk{o.server, cfg};
+
+    const auto campaign = atk.run_campaign(o.win_addr(), o.some_stack_addr());
+    ASSERT_TRUE(campaign.recovery.canary_recovered);
+    EXPECT_TRUE(campaign.hijacked);
+    // Expected 8 * 2^7 = 1024; allow generous slack, but it must be far
+    // below anything resembling a 64-bit search.
+    EXPECT_LE(campaign.total_trials, 8u * 256u + 1u);
+    EXPECT_GE(campaign.total_trials, 8u);
+
+    // Cross-check: the recovered bytes are the server's actual TLS canary.
+    std::uint64_t recovered = 0;
+    for (int i = 7; i >= 0; --i)
+        recovered = (recovered << 8) | campaign.recovery.canary[static_cast<size_t>(i)];
+    EXPECT_EQ(recovered, core::tls_load(o.server.master(), core::tls_canary));
+}
+
+TEST(byte_by_byte, defeats_dynaguard_free_running_canary_no_wait_it_does_not) {
+    // DynaGuard renews the canary per fork: the attack must fail exactly
+    // like it does against P-SSP (Table I, "BROP Prevention: Yes").
+    oracle o{scheme_kind::dynaguard};
+    attack::byte_by_byte_config cfg;
+    cfg.prefix_bytes = workload::attack_prefix_bytes(workload::nginx_profile());
+    cfg.canary_bytes = 8;
+    cfg.max_trials = 6'000;
+    attack::byte_by_byte atk{o.server, cfg};
+    const auto campaign = atk.run_campaign(o.win_addr(), o.some_stack_addr());
+    EXPECT_FALSE(campaign.hijacked);
+}
+
+class bbb_defense_test : public ::testing::TestWithParam<scheme_kind> {};
+
+INSTANTIATE_TEST_SUITE_P(pssp_family, bbb_defense_test,
+                         ::testing::Values(scheme_kind::p_ssp, scheme_kind::p_ssp_nt,
+                                           scheme_kind::p_ssp32,
+                                           scheme_kind::p_ssp_gb,
+                                           scheme_kind::p_ssp_owf),
+                         [](const ::testing::TestParamInfo<scheme_kind>& info) {
+                             std::string name = core::to_string(info.param);
+                             for (char& c : name)
+                                 if (c == '-') c = '_';
+                             return name;
+                         });
+
+// Against every P-SSP variant the attack's advantage never accumulates:
+// the campaign burns its (bounded) budget and the hijack never lands.
+TEST_P(bbb_defense_test, byte_by_byte_fails) {
+    oracle o{GetParam()};
+    attack::byte_by_byte_config cfg;
+    cfg.prefix_bytes = workload::attack_prefix_bytes(workload::nginx_profile());
+    // 16-byte canary area for the pair schemes, 8 for packed/GB, 24 for OWF
+    // — the attack targets the widest to be maximally generous.
+    cfg.canary_bytes = 16;
+    cfg.max_trials = 5'000;  // ~5x the SSP-breaking budget
+    attack::byte_by_byte atk{o.server, cfg};
+
+    const auto campaign = atk.run_campaign(o.win_addr(), o.some_stack_addr());
+    EXPECT_FALSE(campaign.hijacked) << core::to_string(GetParam());
+}
+
+// Sanity check for the attack harness itself: with protection disabled the
+// very first exploit attempt (no canary to guess) hijacks control.
+TEST(byte_by_byte, unprotected_server_is_hijacked_immediately) {
+    oracle o{scheme_kind::none};
+    attack::byte_by_byte_config cfg;
+    cfg.prefix_bytes = workload::attack_prefix_bytes(workload::nginx_profile());
+    attack::byte_by_byte atk{o.server, cfg};
+    // No canary: overflow straight through saved rbp into the return slot.
+    const auto r = atk.exploit({}, o.some_stack_addr(), o.win_addr());
+    EXPECT_EQ(r.outcome, proc::worker_outcome::hijacked) << to_string(r.outcome);
+}
+
+}  // namespace
+}  // namespace pssp

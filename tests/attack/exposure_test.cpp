@@ -1,0 +1,165 @@
+// Leak-and-replay (Section IV-C) and entropy-reduced brute force
+// (Section III-C-1) as regression tests: the full exposure matrix the
+// paper's extension 3 is motivated by.
+
+#include <gtest/gtest.h>
+
+#include "attack/brute_force.hpp"
+#include "attack/leak_replay.hpp"
+#include "compiler/codegen.hpp"
+#include "core/canary.hpp"
+#include "core/tls_layout.hpp"
+#include "proc/fork_server.hpp"
+#include "util/bytes.hpp"
+#include "workload/webserver.hpp"
+
+namespace pssp {
+namespace {
+
+using core::scheme_kind;
+
+struct oracle {
+    binfmt::linked_binary binary;
+    proc::fork_server server;
+
+    explicit oracle(scheme_kind kind, std::uint64_t seed = 123)
+        : binary{compiler::build_module(
+              workload::make_server_module(workload::nginx_profile()),
+              core::make_scheme(kind))},
+          server{binary, core::make_scheme(kind), seed,
+                 workload::server_config_for(workload::nginx_profile())} {}
+};
+
+bool replay_hijacks(scheme_kind kind, unsigned canary_bytes) {
+    oracle o{kind};
+    attack::leak_replay_config cfg;
+    cfg.prefix_bytes = 64;
+    cfg.canary_bytes = canary_bytes;
+    cfg.leak_offset = 64;
+    attack::leak_replay atk{o.server, cfg};
+    const auto r = atk.run(o.binary.symbols.at("win"), o.binary.data_base);
+    EXPECT_TRUE(r.leak_succeeded) << core::to_string(kind);
+    return r.hijacked;
+}
+
+// The paper's Section IV-C matrix: exposure breaks SSP *and* basic P-SSP
+// (the "common drawback"); only the frame-binding variants resist.
+TEST(leak_replay, ssp_falls_to_a_single_leak) {
+    EXPECT_TRUE(replay_hijacks(scheme_kind::ssp, 8));
+}
+
+TEST(leak_replay, p_ssp_shares_the_single_point_of_failure) {
+    EXPECT_TRUE(replay_hijacks(scheme_kind::p_ssp, 16));
+}
+
+TEST(leak_replay, p_ssp_nt_shares_it_too) {
+    EXPECT_TRUE(replay_hijacks(scheme_kind::p_ssp_nt, 16));
+}
+
+TEST(leak_replay, p_ssp_gb_resists_replay) {
+    EXPECT_FALSE(replay_hijacks(scheme_kind::p_ssp_gb, 8));
+}
+
+TEST(leak_replay, p_ssp_owf_resists_replay) {
+    EXPECT_FALSE(replay_hijacks(scheme_kind::p_ssp_owf, 24));
+}
+
+TEST(leak_replay, owf_sha1_instantiation_also_resists) {
+    core::scheme_options options;
+    options.owf = crypto::owf_kind::sha1;
+    const auto profile = workload::nginx_profile();
+    auto binary =
+        compiler::build_module(workload::make_server_module(profile),
+                               core::make_scheme(scheme_kind::p_ssp_owf, options));
+    proc::fork_server server{binary,
+                             core::make_scheme(scheme_kind::p_ssp_owf, options), 9,
+                             workload::server_config_for(profile)};
+    attack::leak_replay_config cfg;
+    cfg.prefix_bytes = 64;
+    cfg.canary_bytes = 24;
+    cfg.leak_offset = 64;
+    attack::leak_replay atk{server, cfg};
+    EXPECT_FALSE(atk.run(binary.symbols.at("win"), binary.data_base).hijacked);
+}
+
+// ---- entropy-reduced brute force ----
+
+TEST(brute_force, small_entropy_falls_within_expected_budget) {
+    oracle o{scheme_kind::ssp, 777};
+    attack::brute_force_config cfg;
+    cfg.prefix_bytes = 64;
+    cfg.unknown_bits = 8;
+    cfg.true_canary_hint = core::tls_load(o.server.master(), core::tls_canary);
+    cfg.max_trials = 1 << 12;  // 16x the mean; virtually certain to land
+    attack::brute_force atk{o.server, scheme_kind::ssp, cfg};
+    const auto r = atk.run(o.binary.symbols.at("win"), o.binary.data_base);
+    EXPECT_TRUE(r.hijacked);
+    EXPECT_LE(r.trials, cfg.max_trials);
+}
+
+TEST(brute_force, p_ssp_costs_the_same_as_ssp_for_exhaustive_search) {
+    // Section III-C-1: "P-SSP has the same security strength as SSP in
+    // terms of exhaustive search." With 8 unknown bits both should fall in
+    // the same trial band (mean 128).
+    auto run_for = [](scheme_kind kind) {
+        oracle o{kind, 888};
+        attack::brute_force_config cfg;
+        cfg.prefix_bytes = 64;
+        cfg.unknown_bits = 8;
+        cfg.true_canary_hint = core::tls_load(o.server.master(), core::tls_canary);
+        cfg.max_trials = 1 << 12;
+        attack::brute_force atk{o.server, kind, cfg};
+        return atk.run(o.binary.symbols.at("win"), o.binary.data_base);
+    };
+    const auto ssp = run_for(scheme_kind::ssp);
+    const auto pssp = run_for(scheme_kind::p_ssp);
+    EXPECT_TRUE(ssp.hijacked);
+    EXPECT_TRUE(pssp.hijacked);
+    // Both are geometric with mean 256: equal strength, not equal luck —
+    // just require the same order of magnitude.
+    EXPECT_LT(ssp.trials, 4096u);
+    EXPECT_LT(pssp.trials, 4096u);
+}
+
+TEST(brute_force, wrong_guesses_never_hijack) {
+    oracle o{scheme_kind::ssp, 999};
+    attack::brute_force_config cfg;
+    cfg.prefix_bytes = 64;
+    cfg.unknown_bits = 16;
+    // Hint deliberately WRONG in the known bits: no guess can ever match.
+    cfg.true_canary_hint =
+        core::tls_load(o.server.master(), core::tls_canary) ^ (1ull << 40);
+    cfg.max_trials = 500;
+    attack::brute_force atk{o.server, scheme_kind::ssp, cfg};
+    EXPECT_FALSE(atk.run(o.binary.symbols.at("win"), o.binary.data_base).hijacked);
+}
+
+TEST(craft_canary_bytes, pair_schemes_emit_consistent_splits) {
+    crypto::xoshiro256 rng{1};
+    const std::uint64_t guess = 0x1234567890abcdefull;
+    const auto bytes =
+        attack::craft_canary_bytes(scheme_kind::p_ssp, guess, rng);
+    ASSERT_EQ(bytes.size(), 16u);
+    const auto c1 = util::load_le64(std::span{bytes}.subspan(0, 8));
+    const auto c0 = util::load_le64(std::span{bytes}.subspan(8, 8));
+    EXPECT_EQ(c0 ^ c1, guess);
+}
+
+TEST(craft_canary_bytes, packed32_scheme_emits_one_word) {
+    crypto::xoshiro256 rng{2};
+    const auto bytes =
+        attack::craft_canary_bytes(scheme_kind::p_ssp32, 0xa1b2c3d4ull, rng);
+    ASSERT_EQ(bytes.size(), 8u);
+    const auto pair = core::unpack32(util::load_le64(bytes));
+    EXPECT_EQ(pair.combined(), 0xa1b2c3d4u);
+}
+
+TEST(craft_canary_bytes, owf_has_no_crafting_model) {
+    crypto::xoshiro256 rng{3};
+    EXPECT_THROW(
+        (void)attack::craft_canary_bytes(scheme_kind::p_ssp_owf, 1, rng),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pssp

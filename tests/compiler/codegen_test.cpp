@@ -1,0 +1,259 @@
+// Code generation: the emitted prologue/epilogue instruction patterns must
+// match the paper's listings (Codes 1-9), and the IR lowering must be
+// semantically correct.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "binfmt/stdlib.hpp"
+#include "compiler/codegen.hpp"
+#include "core/tls_layout.hpp"
+#include "proc/process.hpp"
+#include "test_helpers.hpp"
+
+namespace pssp {
+namespace {
+
+using core::scheme_kind;
+using vm::opcode;
+
+const binfmt::linked_function& protected_fn(const binfmt::linked_binary& binary) {
+    return *binary.find("handle");
+}
+
+binfmt::linked_binary build(scheme_kind kind) {
+    return compiler::build_module(testing::vulnerable_module(),
+                                  core::make_scheme(kind));
+}
+
+int count_op(const binfmt::linked_function& fn, opcode op) {
+    return static_cast<int>(std::count_if(
+        fn.insns.begin(), fn.insns.end(),
+        [op](const vm::instruction& i) { return i.op == op; }));
+}
+
+bool reads_fs(const binfmt::linked_function& fn, std::int32_t offset) {
+    return std::any_of(fn.insns.begin(), fn.insns.end(), [&](const vm::instruction& i) {
+        return i.mem.seg == vm::segment::fs && i.mem.disp == offset;
+    });
+}
+
+TEST(codegen, every_function_starts_with_the_frame_idiom) {
+    const auto binary = build(scheme_kind::ssp);
+    const auto& fn = protected_fn(binary);
+    // Code 1 lines 1-3: push %rbp; mov %rsp,%rbp; sub $N,%rsp.
+    EXPECT_EQ(fn.insns[0].op, opcode::push_r);
+    EXPECT_EQ(fn.insns[0].r1, vm::reg::rbp);
+    EXPECT_EQ(fn.insns[1].op, opcode::mov_rr);
+    EXPECT_EQ(fn.insns[2].op, opcode::sub_ri);
+}
+
+TEST(codegen, ssp_prologue_copies_tls_canary) {
+    const auto binary = build(scheme_kind::ssp);
+    const auto& fn = protected_fn(binary);
+    // Code 1 lines 4-5.
+    EXPECT_EQ(fn.insns[3].op, opcode::mov_rm);
+    EXPECT_EQ(fn.insns[3].mem.disp, core::tls_canary);
+    EXPECT_EQ(fn.insns[4].op, opcode::mov_mr);
+    EXPECT_EQ(fn.insns[4].mem.disp, -8);
+}
+
+TEST(codegen, p_ssp_prologue_copies_both_shadow_words) {
+    const auto binary = build(scheme_kind::p_ssp);
+    const auto& fn = protected_fn(binary);
+    // Code 3: two fs loads (0x2a8, 0x2b0) into rbp-8 / rbp-16.
+    EXPECT_TRUE(reads_fs(fn, core::tls_shadow_c0));
+    EXPECT_TRUE(reads_fs(fn, core::tls_shadow_c1));
+    EXPECT_EQ(fn.insns[4].mem.disp, -8);
+    EXPECT_EQ(fn.insns[6].mem.disp, -16);
+}
+
+TEST(codegen, p_ssp_epilogue_is_the_double_xor_of_code4) {
+    const auto binary = build(scheme_kind::p_ssp);
+    const auto& fn = protected_fn(binary);
+    // Code 4 shape: ... xor %rdi,%rdx; xor %fs:0x28,%rdx; je; call.
+    bool found = false;
+    for (std::size_t i = 0; i + 3 < fn.insns.size(); ++i) {
+        if (fn.insns[i].op == opcode::xor_rr && fn.insns[i + 1].op == opcode::xor_rm &&
+            fn.insns[i + 1].mem.disp == core::tls_canary &&
+            fn.insns[i + 2].op == opcode::je && fn.insns[i + 3].op == opcode::call)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(codegen, p_ssp_nt_prologue_uses_rdrand_not_tls_shadow) {
+    const auto binary = build(scheme_kind::p_ssp_nt);
+    const auto& fn = protected_fn(binary);
+    // Code 7: rdrand + xor against C; no shadow-canary access anywhere.
+    EXPECT_EQ(count_op(fn, opcode::rdrand_r), 1);
+    EXPECT_FALSE(reads_fs(fn, core::tls_shadow_c0));
+    EXPECT_TRUE(reads_fs(fn, core::tls_canary));
+}
+
+TEST(codegen, owf_prologue_matches_code8_sequence) {
+    const auto binary = build(scheme_kind::p_ssp_owf);
+    const auto& fn = protected_fn(binary);
+    EXPECT_EQ(count_op(fn, opcode::rdtsc), 1);
+    EXPECT_EQ(count_op(fn, opcode::movhps_xm), 2);      // prologue + epilogue
+    EXPECT_EQ(count_op(fn, opcode::punpckhqdq_xr), 2);  // key packing twice
+    EXPECT_EQ(count_op(fn, opcode::cmp128_xm), 1);      // Code 9's compare
+    // Two AES calls: one in the prologue, one re-encryption in the epilogue.
+    const auto aes_addr = binary.symbols.at(binfmt::sym_aes_encrypt);
+    int aes_calls = 0;
+    for (const auto& insn : fn.insns)
+        aes_calls += insn.op == opcode::call && insn.imm == aes_addr;
+    EXPECT_EQ(aes_calls, 2);
+}
+
+TEST(codegen, unprotected_functions_have_no_canary_code) {
+    const auto binary = build(scheme_kind::p_ssp);
+    const auto& win = *binary.find("win");  // never_protect
+    for (const auto& insn : win.insns) {
+        EXPECT_NE(insn.mem.seg, vm::segment::fs) << vm::to_string(insn);
+        EXPECT_NE(insn.op, opcode::rdrand_r);
+    }
+}
+
+TEST(codegen, scalar_only_function_gets_no_canary_under_fstack_protector) {
+    compiler::ir_module mod;
+    mod.name = "plain";
+    auto& fn = mod.add_function("scalars_only");
+    const int x = compiler::add_local(fn, "x");
+    fn.body.push_back(compiler::assign_stmt{x, compiler::const_ref{5}});
+    fn.body.push_back(compiler::return_stmt{compiler::local_ref{x}});
+    const auto binary =
+        compiler::build_module(mod, core::make_scheme(scheme_kind::p_ssp));
+    for (const auto& insn : binary.find("scalars_only")->insns)
+        EXPECT_NE(insn.mem.seg, vm::segment::fs);
+}
+
+TEST(codegen, epilogue_precedes_every_ret) {
+    // A function with two returns gets two full canary checks (the pass
+    // "creates the epilogue right before each ret instruction").
+    compiler::ir_module mod;
+    mod.name = "tworet";
+    auto& fn = mod.add_function("f");
+    (void)compiler::add_local(fn, "buf", 16, /*is_buffer=*/true);
+    const int x = compiler::add_local(fn, "x");
+    compiler::if_stmt branch{compiler::local_ref{x}, compiler::relop::eq,
+                             compiler::const_ref{0}, {}, {}};
+    branch.then_body.push_back(compiler::return_stmt{compiler::const_ref{1}});
+    fn.body.push_back(branch);
+    fn.body.push_back(compiler::return_stmt{compiler::const_ref{2}});
+    const auto binary =
+        compiler::build_module(mod, core::make_scheme(scheme_kind::ssp));
+    const auto& lf = *binary.find("f");
+    EXPECT_EQ(count_op(lf, opcode::ret), 2);
+    int checks = 0;
+    for (const auto& insn : lf.insns)
+        checks += insn.op == opcode::xor_rm && insn.mem.disp == core::tls_canary;
+    EXPECT_EQ(checks, 2);
+}
+
+TEST(codegen, lv_write_site_checks_double_the_check_count) {
+    core::scheme_options with_checks;
+    with_checks.lv_check_after_write = true;
+    const auto plain = compiler::build_module(
+        testing::vulnerable_module(),
+        core::make_scheme(scheme_kind::p_ssp_lv));
+    const auto checked = compiler::build_module(
+        testing::vulnerable_module(),
+        core::make_scheme(scheme_kind::p_ssp_lv, with_checks));
+    auto count_checks = [](const binfmt::linked_binary& b) {
+        int n = 0;
+        for (const auto& insn : b.find("handle")->insns)
+            n += insn.op == opcode::xor_rm && insn.mem.disp == core::tls_canary;
+        return n;
+    };
+    // One strcpy call in the handler => exactly one extra collective check.
+    EXPECT_EQ(count_checks(checked), count_checks(plain) + 1);
+}
+
+// ---- IR lowering semantics ----
+
+TEST(codegen, parameters_arrive_in_sysv_registers) {
+    compiler::ir_module mod;
+    mod.name = "params";
+    auto& fn = mod.add_function("sum3");
+    fn.param_count = 3;
+    const int a = compiler::add_local(fn, "a");
+    const int b = compiler::add_local(fn, "b");
+    const int c = compiler::add_local(fn, "c");
+    const int t = compiler::add_local(fn, "t");
+    fn.body.push_back(compiler::compute_stmt{t, compiler::local_ref{a},
+                                             compiler::binop::add,
+                                             compiler::local_ref{b}});
+    fn.body.push_back(compiler::compute_stmt{t, compiler::local_ref{t},
+                                             compiler::binop::add,
+                                             compiler::local_ref{c}});
+    fn.body.push_back(compiler::return_stmt{compiler::local_ref{t}});
+
+    auto& main_fn = mod.add_function("main");
+    const int r = compiler::add_local(main_fn, "r");
+    main_fn.body.push_back(compiler::call_stmt{
+        "sum3",
+        {compiler::const_ref{100}, compiler::const_ref{20}, compiler::const_ref{3}},
+        r});
+    main_fn.body.push_back(compiler::return_stmt{compiler::local_ref{r}});
+
+    const auto binary =
+        compiler::build_module(mod, core::make_scheme(scheme_kind::none));
+    proc::process_manager manager{core::make_scheme(scheme_kind::none), 1};
+    auto m = manager.create_process(binary);
+    m.call_function(binary.symbols.at("main"));
+    EXPECT_EQ(m.run().exit_code, 123);
+}
+
+TEST(codegen, loops_iterate_exactly_n_times) {
+    compiler::ir_module mod;
+    mod.name = "loops";
+    auto& fn = mod.add_function("main");
+    const int i = compiler::add_local(fn, "i");
+    const int acc = compiler::add_local(fn, "acc");
+    fn.body.push_back(compiler::assign_stmt{acc, compiler::const_ref{0}});
+    compiler::loop_stmt loop{i, 37, {}};
+    loop.body.push_back(compiler::compute_stmt{
+        acc, compiler::local_ref{acc}, compiler::binop::add, compiler::const_ref{2}});
+    fn.body.push_back(loop);
+    fn.body.push_back(compiler::return_stmt{compiler::local_ref{acc}});
+
+    const auto binary =
+        compiler::build_module(mod, core::make_scheme(scheme_kind::none));
+    proc::process_manager manager{core::make_scheme(scheme_kind::none), 1};
+    auto m = manager.create_process(binary);
+    m.call_function(binary.symbols.at("main"));
+    m.set_fuel(100'000);
+    EXPECT_EQ(m.run().exit_code, 74);
+}
+
+TEST(codegen, shifts_require_constant_amounts) {
+    compiler::ir_module mod;
+    mod.name = "badshift";
+    auto& fn = mod.add_function("f");
+    const int x = compiler::add_local(fn, "x");
+    fn.body.push_back(compiler::compute_stmt{x, compiler::local_ref{x},
+                                             compiler::binop::shl,
+                                             compiler::local_ref{x}});
+    EXPECT_THROW(
+        (void)compiler::build_module(mod, core::make_scheme(scheme_kind::none)),
+        std::invalid_argument);
+}
+
+TEST(codegen, too_many_arguments_is_an_error) {
+    compiler::ir_module mod;
+    mod.name = "badcall";
+    auto& fn = mod.add_function("f");
+    fn.body.push_back(compiler::call_stmt{
+        "g",
+        {compiler::const_ref{1}, compiler::const_ref{2}, compiler::const_ref{3},
+         compiler::const_ref{4}, compiler::const_ref{5}},
+        std::nullopt});
+    EXPECT_THROW(
+        (void)compiler::build_module(mod, core::make_scheme(scheme_kind::none)),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pssp

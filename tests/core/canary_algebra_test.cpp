@@ -1,0 +1,100 @@
+// Algorithm 1 and the canary algebra: the unit-level half of Theorem 1.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/canary.hpp"
+#include "util/stats.hpp"
+
+namespace pssp {
+namespace {
+
+using core::canary_pair;
+using core::re_randomize;
+
+TEST(algorithm1, split_always_recombines_to_c) {
+    crypto::xoshiro256 rng{17};
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t c = rng();
+        const canary_pair pair = re_randomize(c, rng);
+        EXPECT_EQ(pair.combined(), c);
+    }
+}
+
+TEST(algorithm1, successive_splits_are_distinct) {
+    crypto::xoshiro256 rng{18};
+    const std::uint64_t c = 0xfeedfacecafebeefull;
+    std::unordered_set<std::uint64_t> seen_c0;
+    for (int i = 0; i < 4096; ++i) {
+        const auto pair = re_randomize(c, rng);
+        EXPECT_TRUE(seen_c0.insert(pair.c0).second) << "C0 repeated";
+    }
+}
+
+// The crux of Theorem 1 at unit level: the distribution of C1 is uniform
+// and identical for two different master canaries — observing C1 tells the
+// adversary nothing about C.
+TEST(algorithm1, c1_distribution_is_independent_of_c) {
+    constexpr int samples = 200000;
+    const std::uint64_t c_a = 0;
+    const std::uint64_t c_b = ~std::uint64_t{0};
+    std::vector<std::size_t> buckets_a(256, 0);
+    std::vector<std::size_t> buckets_b(256, 0);
+    crypto::xoshiro256 rng_a{99};
+    crypto::xoshiro256 rng_b{99};  // same randomness, different C
+    for (int i = 0; i < samples; ++i) {
+        ++buckets_a[re_randomize(c_a, rng_a).c1 & 0xff];
+        ++buckets_b[re_randomize(c_b, rng_b).c1 & 0xff];
+    }
+    const double crit = util::chi_square_critical_999(255);
+    EXPECT_LT(util::chi_square_uniform(buckets_a), crit);
+    EXPECT_LT(util::chi_square_uniform(buckets_b), crit);
+}
+
+TEST(algorithm1, exposure_of_c0_reveals_nothing_without_c1) {
+    // Given only C0, every value of C remains possible: C = C0 ^ C1 and C1
+    // ranges over the full domain. Sanity-check the arithmetic identity.
+    crypto::xoshiro256 rng{7};
+    const std::uint64_t c = rng();
+    const auto pair = re_randomize(c, rng);
+    for (std::uint64_t candidate_c : {std::uint64_t{0}, std::uint64_t{1}, c, ~c}) {
+        const std::uint64_t required_c1 = pair.c0 ^ candidate_c;
+        EXPECT_EQ(pair.c0 ^ required_c1, candidate_c);
+    }
+}
+
+TEST(algorithm1_32bit, packed_layout_and_recombination) {
+    crypto::xoshiro256 rng{21};
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t c = rng();
+        const auto pair = core::re_randomize32(c, rng);
+        EXPECT_EQ(pair.combined(), static_cast<std::uint32_t>(c));
+        // packed(): C0 low, C1 high — and unpack inverts it (Fig 4).
+        const auto unpacked = core::unpack32(pair.packed());
+        EXPECT_EQ(unpacked, pair);
+    }
+}
+
+TEST(algorithm1_32bit, unpack_splits_word_halves) {
+    const auto pair = core::unpack32(0xaabbccdd11223344ull);
+    EXPECT_EQ(pair.c0, 0x11223344u);
+    EXPECT_EQ(pair.c1, 0xaabbccddu);
+}
+
+TEST(fresh_tls_canary, full_width_no_forced_zero_byte) {
+    // Unlike glibc we keep all 64 bits random (DESIGN.md §5): over many
+    // draws every byte position must take nonzero values.
+    crypto::xoshiro256 rng{31};
+    std::array<bool, 8> saw_nonzero{};
+    for (int i = 0; i < 256; ++i) {
+        const std::uint64_t c = core::fresh_tls_canary(rng);
+        for (unsigned b = 0; b < 8; ++b)
+            saw_nonzero[b] = saw_nonzero[b] || ((c >> (8 * b)) & 0xff) != 0;
+    }
+    for (unsigned b = 0; b < 8; ++b) EXPECT_TRUE(saw_nonzero[b]) << "byte " << b;
+}
+
+}  // namespace
+}  // namespace pssp

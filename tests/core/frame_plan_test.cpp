@@ -1,0 +1,176 @@
+// Frame-planning invariants, swept over random local-variable sets:
+// non-overlap, alignment, canary placement relative to buffers, and the
+// P-SSP-LV interleaving of Algorithm 2.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "crypto/prng.hpp"
+
+namespace pssp {
+namespace {
+
+using core::frame_plan;
+using core::local_desc;
+using core::scheme_kind;
+
+struct extent {
+    std::int32_t lo;  // inclusive
+    std::int32_t hi;  // exclusive
+    std::string what;
+};
+
+// Gathers every occupied byte range in the plan.
+std::vector<extent> extents_of(const frame_plan& plan,
+                               const std::vector<local_desc>& locals) {
+    std::vector<extent> out;
+    for (std::size_t i = 0; i < locals.size(); ++i)
+        out.push_back({plan.local_offsets[i],
+                       plan.local_offsets[i] + static_cast<std::int32_t>(locals[i].size),
+                       "local " + std::to_string(i)});
+    for (const auto& c : plan.canaries)
+        out.push_back({c.offset, c.offset + c.bytes, "canary"});
+    return out;
+}
+
+// Random local sets: size 8..64, some buffers, some criticals.
+std::vector<local_desc> random_locals(crypto::xoshiro256& rng) {
+    std::vector<local_desc> out;
+    const auto n = 1 + rng.below(6);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        local_desc d;
+        d.size = static_cast<std::uint32_t>(8 * (1 + rng.below(8)));
+        d.is_buffer = rng.below(2) == 0;
+        d.is_critical = rng.below(3) == 0;
+        out.push_back(d);
+    }
+    // Guarantee at least one buffer so protection triggers.
+    out.front().is_buffer = true;
+    return out;
+}
+
+class frame_plan_test : public ::testing::TestWithParam<scheme_kind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    all_protecting, frame_plan_test,
+    ::testing::Values(scheme_kind::ssp, scheme_kind::raf_ssp, scheme_kind::dynaguard,
+                      scheme_kind::dcr, scheme_kind::p_ssp, scheme_kind::p_ssp_nt,
+                      scheme_kind::p_ssp_lv, scheme_kind::p_ssp_owf,
+                      scheme_kind::p_ssp32, scheme_kind::p_ssp_gb,
+                      scheme_kind::p_ssp_c0tls),
+    [](const ::testing::TestParamInfo<scheme_kind>& info) {
+        std::string name = core::to_string(info.param);
+        for (char& c : name)
+            if (c == '-') c = '_';
+        return name;
+    });
+
+TEST_P(frame_plan_test, slots_never_overlap_and_fit_in_frame) {
+    const auto sch = core::make_scheme(GetParam());
+    crypto::xoshiro256 rng{2718};
+    for (int round = 0; round < 200; ++round) {
+        const auto locals = random_locals(rng);
+        const auto plan = sch->plan_frame(locals);
+        auto spans = extents_of(plan, locals);
+        std::sort(spans.begin(), spans.end(),
+                  [](const extent& a, const extent& b) { return a.lo < b.lo; });
+        for (std::size_t i = 0; i + 1 < spans.size(); ++i)
+            EXPECT_LE(spans[i].hi, spans[i + 1].lo)
+                << spans[i].what << " overlaps " << spans[i + 1].what;
+        for (const auto& s : spans) {
+            EXPECT_GE(s.lo, -plan.frame_bytes) << s.what << " escapes the frame";
+            EXPECT_LE(s.hi, 0) << s.what << " above rbp";
+        }
+        EXPECT_EQ(plan.frame_bytes % 16, 0) << "frame must stay 16-aligned";
+    }
+}
+
+TEST_P(frame_plan_test, return_guard_is_the_topmost_slot) {
+    const auto sch = core::make_scheme(GetParam());
+    crypto::xoshiro256 rng{3141};
+    for (int round = 0; round < 100; ++round) {
+        const auto locals = random_locals(rng);
+        const auto plan = sch->plan_frame(locals);
+        ASSERT_FALSE(plan.canaries.empty());
+        const auto& guard = plan.return_guard();
+        EXPECT_EQ(guard.guards, -1);
+        // Nothing may sit between the return guard's top and rbp.
+        EXPECT_EQ(guard.offset + guard.bytes, 0);
+    }
+}
+
+TEST_P(frame_plan_test, scalar_only_frames_are_unprotected) {
+    const auto sch = core::make_scheme(GetParam());
+    const std::vector<local_desc> scalars{{8, false, false}, {8, false, false}};
+    if (GetParam() == scheme_kind::p_ssp_lv) return;  // criticals may differ
+    const auto plan = sch->plan_frame(scalars);
+    EXPECT_FALSE(plan.protected_frame);
+    EXPECT_TRUE(plan.canaries.empty());
+}
+
+// The -fstack-protector contract: buffers sit between the canary and the
+// scalars, so an overflowing buffer must cross the canary before reaching
+// saved registers. (P-SSP-LV is exempt: it does not reorder — it guards.)
+TEST_P(frame_plan_test, buffers_sit_above_scalars) {
+    if (GetParam() == scheme_kind::p_ssp_lv) return;
+    const auto sch = core::make_scheme(GetParam());
+    const std::vector<local_desc> locals{
+        {8, false, false}, {32, true, false}, {8, false, false}, {16, true, false}};
+    const auto plan = sch->plan_frame(locals);
+    const auto top_scalar = std::max(plan.local_offsets[0], plan.local_offsets[2]);
+    const auto low_buffer = std::min(plan.local_offsets[1], plan.local_offsets[3]);
+    EXPECT_LT(top_scalar, low_buffer);
+}
+
+TEST(frame_plan_lv, every_critical_has_an_adjacent_lower_canary) {
+    const auto sch = core::make_scheme(scheme_kind::p_ssp_lv);
+    crypto::xoshiro256 rng{1618};
+    for (int round = 0; round < 200; ++round) {
+        const auto locals = random_locals(rng);
+        const auto plan = sch->plan_frame(locals);
+        for (std::size_t i = 0; i < locals.size(); ++i) {
+            if (!locals[i].is_critical) continue;
+            const auto it = std::find_if(
+                plan.canaries.begin(), plan.canaries.end(),
+                [&](const core::canary_slot& c) {
+                    return c.guards == static_cast<std::int32_t>(i);
+                });
+            ASSERT_NE(it, plan.canaries.end()) << "critical local " << i << " unguarded";
+            // "an adjacent memory word with a lower address" (Section IV-B).
+            EXPECT_EQ(it->offset + it->bytes, plan.local_offsets[i]);
+        }
+    }
+}
+
+TEST(frame_plan_lv, canary_count_is_criticals_plus_return_guard) {
+    const auto sch = core::make_scheme(scheme_kind::p_ssp_lv);
+    for (int criticals = 0; criticals <= 5; ++criticals) {
+        std::vector<local_desc> locals{{32, true, false}};
+        for (int i = 0; i < criticals; ++i) locals.push_back({8, false, true});
+        const auto plan = sch->plan_frame(locals);
+        EXPECT_EQ(plan.canaries.size(), static_cast<std::size_t>(criticals) + 1);
+    }
+}
+
+TEST(frame_plan_lv, declaration_order_is_preserved) {
+    const auto sch = core::make_scheme(scheme_kind::p_ssp_lv);
+    const std::vector<local_desc> locals{{8, true, true}, {32, true, false}};
+    const auto plan = sch->plan_frame(locals);
+    // First declared local sits at the higher address (nearest rbp).
+    EXPECT_GT(plan.local_offsets[0], plan.local_offsets[1]);
+}
+
+TEST(frame_plan_widths, canary_area_matches_scheme) {
+    EXPECT_EQ(core::make_scheme(scheme_kind::ssp)->stack_canary_bytes(), 8);
+    EXPECT_EQ(core::make_scheme(scheme_kind::p_ssp)->stack_canary_bytes(), 16);
+    EXPECT_EQ(core::make_scheme(scheme_kind::p_ssp_nt)->stack_canary_bytes(), 16);
+    EXPECT_EQ(core::make_scheme(scheme_kind::p_ssp_owf)->stack_canary_bytes(), 24);
+    EXPECT_EQ(core::make_scheme(scheme_kind::p_ssp32)->stack_canary_bytes(), 8);
+    EXPECT_EQ(core::make_scheme(scheme_kind::p_ssp_gb)->stack_canary_bytes(), 8);
+}
+
+}  // namespace
+}  // namespace pssp

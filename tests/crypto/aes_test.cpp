@@ -1,0 +1,117 @@
+// AES-128 known-answer tests (FIPS-197 / SP 800-38A) and properties the
+// P-SSP-OWF construction depends on.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "crypto/aes128.hpp"
+#include "util/bytes.hpp"
+
+namespace pssp {
+namespace {
+
+using crypto::aes128;
+
+std::array<std::uint8_t, 16> from_hex(const char* hex) {
+    std::array<std::uint8_t, 16> out{};
+    for (int i = 0; i < 16; ++i) {
+        auto nyb = [&](char c) -> std::uint8_t {
+            if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+            return static_cast<std::uint8_t>(c - 'a' + 10);
+        };
+        out[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>((nyb(hex[2 * i]) << 4) | nyb(hex[2 * i + 1]));
+    }
+    return out;
+}
+
+TEST(aes128, fips197_appendix_b_vector) {
+    const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+    auto block = from_hex("3243f6a8885a308d313198a2e0370734");
+    const auto expected = from_hex("3925841d02dc09fbdc118597196a0b32");
+    aes128 cipher{std::span<const std::uint8_t, 16>{key}};
+    cipher.encrypt_block(std::span<std::uint8_t, 16>{block});
+    EXPECT_EQ(block, expected);
+}
+
+TEST(aes128, fips197_appendix_c_vector) {
+    const auto key = from_hex("000102030405060708090a0b0c0d0e0f");
+    auto block = from_hex("00112233445566778899aabbccddeeff");
+    const auto expected = from_hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    aes128 cipher{std::span<const std::uint8_t, 16>{key}};
+    cipher.encrypt_block(std::span<std::uint8_t, 16>{block});
+    EXPECT_EQ(block, expected);
+}
+
+TEST(aes128, sp800_38a_ecb_vectors) {
+    const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+    aes128 cipher{std::span<const std::uint8_t, 16>{key}};
+    struct kat {
+        const char* pt;
+        const char* ct;
+    };
+    const kat kats[] = {
+        {"6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"},
+        {"ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"},
+        {"30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"},
+        {"f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"},
+    };
+    for (const auto& k : kats) {
+        auto block = from_hex(k.pt);
+        cipher.encrypt_block(std::span<std::uint8_t, 16>{block});
+        EXPECT_EQ(block, from_hex(k.ct)) << k.pt;
+    }
+}
+
+TEST(aes128, word_interface_matches_byte_interface) {
+    const auto key = from_hex("000102030405060708090a0b0c0d0e0f");
+    auto block = from_hex("00112233445566778899aabbccddeeff");
+    const std::uint64_t key_lo = util::load_le64(std::span{key}.subspan(0, 8));
+    const std::uint64_t key_hi = util::load_le64(std::span{key}.subspan(8, 8));
+    const std::uint64_t pt_lo = util::load_le64(std::span{block}.subspan(0, 8));
+    const std::uint64_t pt_hi = util::load_le64(std::span{block}.subspan(8, 8));
+
+    aes128 byte_cipher{std::span<const std::uint8_t, 16>{key}};
+    byte_cipher.encrypt_block(std::span<std::uint8_t, 16>{block});
+
+    const aes128 word_cipher{key_lo, key_hi};
+    const auto ct = word_cipher.encrypt({pt_lo, pt_hi});
+    EXPECT_EQ(ct.lo, util::load_le64(std::span{block}.subspan(0, 8)));
+    EXPECT_EQ(ct.hi, util::load_le64(std::span{block}.subspan(8, 8)));
+}
+
+TEST(aes128, deterministic) {
+    const aes128 cipher{0x0123456789abcdefull, 0xfedcba9876543210ull};
+    EXPECT_EQ(cipher.encrypt({1, 2}), cipher.encrypt({1, 2}));
+}
+
+TEST(aes128, key_sensitivity) {
+    const aes128 a{1, 0};
+    const aes128 b{2, 0};
+    EXPECT_NE(a.encrypt({42, 42}), b.encrypt({42, 42}));
+}
+
+TEST(aes128, plaintext_sensitivity_single_bit) {
+    const aes128 cipher{7, 7};
+    const auto base = cipher.encrypt({0, 0});
+    for (int bit = 0; bit < 64; bit += 13) {
+        const auto flipped = cipher.encrypt({std::uint64_t{1} << bit, 0});
+        EXPECT_NE(base, flipped) << "bit " << bit;
+    }
+}
+
+// Avalanche: flipping one plaintext bit flips roughly half the ciphertext
+// bits — the property that makes OWF canaries unforgeable byte-by-byte.
+TEST(aes128, avalanche) {
+    const aes128 cipher{0xdeadbeef, 0xfeedface};
+    const auto a = cipher.encrypt({0x1111, 0x2222});
+    const auto b = cipher.encrypt({0x1111 ^ 1, 0x2222});
+    const int flipped = __builtin_popcountll(a.lo ^ b.lo) +
+                        __builtin_popcountll(a.hi ^ b.hi);
+    EXPECT_GT(flipped, 40);
+    EXPECT_LT(flipped, 88);
+}
+
+}  // namespace
+}  // namespace pssp

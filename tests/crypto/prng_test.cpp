@@ -1,0 +1,144 @@
+// PRNG and entropy-source tests: determinism, uniformity, stream
+// independence — the properties canary freshness rests on.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/entropy.hpp"
+#include "crypto/prng.hpp"
+#include "crypto/one_way.hpp"
+#include "util/stats.hpp"
+
+namespace pssp {
+namespace {
+
+using crypto::entropy_source;
+using crypto::xoshiro256;
+
+TEST(xoshiro, deterministic_from_seed) {
+    xoshiro256 a{123};
+    xoshiro256 b{123};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(xoshiro, different_seeds_diverge) {
+    xoshiro256 a{1};
+    xoshiro256 b{2};
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += a() == b();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(xoshiro, below_respects_bound) {
+    xoshiro256 rng{7};
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 255ull, 1000000007ull}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(xoshiro, below_is_uniform) {
+    xoshiro256 rng{99};
+    std::vector<std::size_t> buckets(16, 0);
+    for (int i = 0; i < 160000; ++i) ++buckets[rng.below(16)];
+    EXPECT_LT(util::chi_square_uniform(buckets), util::chi_square_critical_999(15));
+}
+
+TEST(xoshiro, byte_output_is_uniform) {
+    xoshiro256 rng{4242};
+    std::vector<std::size_t> buckets(256, 0);
+    std::vector<std::uint8_t> buf(1 << 16);
+    rng.fill(buf);
+    for (const auto b : buf) ++buckets[b];
+    EXPECT_LT(util::chi_square_uniform(buckets), util::chi_square_critical_999(255));
+}
+
+TEST(xoshiro, fill_handles_unaligned_sizes) {
+    for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u}) {
+        xoshiro256 rng{5};
+        std::vector<std::uint8_t> buf(n, 0xcc);
+        rng.fill(buf);
+        if (n >= 8) {
+            bool any_changed = false;
+            for (const auto b : buf) any_changed |= b != 0xcc;
+            EXPECT_TRUE(any_changed) << n;
+        }
+    }
+}
+
+TEST(xoshiro, split_streams_are_distinct) {
+    xoshiro256 parent{321};
+    xoshiro256 child1 = parent.split();
+    xoshiro256 child2 = parent.split();
+    std::unordered_set<std::uint64_t> seen;
+    for (int i = 0; i < 256; ++i) {
+        seen.insert(child1());
+        seen.insert(child2());
+        seen.insert(parent());
+    }
+    EXPECT_EQ(seen.size(), 3u * 256u);  // no collisions across streams
+}
+
+TEST(entropy, rdrand_succeeds_by_default) {
+    entropy_source src{11};
+    std::uint64_t v = 0;
+    for (int i = 0; i < 50; ++i) EXPECT_TRUE(src.rdrand64(v));
+    EXPECT_EQ(src.reads(), 50u);
+}
+
+TEST(entropy, transient_failures_and_retry) {
+    entropy_source src{11};
+    src.set_failure_rate(3);  // one in three reads fails
+    int failures = 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 3000; ++i) failures += !src.rdrand64(v);
+    EXPECT_GT(failures, 700);
+    EXPECT_LT(failures, 1300);
+    // next64 retries internally and always delivers.
+    for (int i = 0; i < 100; ++i) (void)src.next64();
+}
+
+TEST(entropy, distinct_seeds_give_distinct_streams) {
+    entropy_source a{1};
+    entropy_source b{2};
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += a.next64() == b.next64();
+    EXPECT_EQ(same, 0);
+}
+
+// ---- one-way function contract -------------------------------------------------
+
+class owf_test : public ::testing::TestWithParam<crypto::owf_kind> {};
+
+INSTANTIATE_TEST_SUITE_P(instantiations, owf_test,
+                         ::testing::Values(crypto::owf_kind::aes128,
+                                           crypto::owf_kind::sha1));
+
+TEST_P(owf_test, deterministic) {
+    const auto f = crypto::make_owf(GetParam());
+    EXPECT_EQ(f->evaluate(1, 2, 3, 4), f->evaluate(1, 2, 3, 4));
+    EXPECT_EQ(f->evaluate128(1, 2, 3, 4), f->evaluate128(1, 2, 3, 4));
+}
+
+TEST_P(owf_test, binds_to_key) {
+    const auto f = crypto::make_owf(GetParam());
+    EXPECT_NE(f->evaluate(1, 2, 3, 4), f->evaluate(9, 2, 3, 4));
+    EXPECT_NE(f->evaluate(1, 2, 3, 4), f->evaluate(1, 9, 3, 4));
+}
+
+TEST_P(owf_test, binds_to_return_address_and_nonce) {
+    const auto f = crypto::make_owf(GetParam());
+    EXPECT_NE(f->evaluate(1, 2, 3, 4), f->evaluate(1, 2, 9, 4));  // ret
+    EXPECT_NE(f->evaluate(1, 2, 3, 4), f->evaluate(1, 2, 3, 9));  // nonce
+}
+
+TEST(owf, instantiations_differ) {
+    const auto aes = crypto::make_owf(crypto::owf_kind::aes128);
+    const auto sha = crypto::make_owf(crypto::owf_kind::sha1);
+    EXPECT_NE(aes->evaluate(1, 2, 3, 4), sha->evaluate(1, 2, 3, 4));
+    EXPECT_NE(aes->name(), sha->name());
+}
+
+}  // namespace
+}  // namespace pssp

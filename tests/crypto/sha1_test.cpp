@@ -1,0 +1,91 @@
+// SHA-1 known-answer tests (FIPS 180-1 examples) and streaming behavior.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/sha1.hpp"
+#include "util/bytes.hpp"
+
+namespace pssp {
+namespace {
+
+using crypto::sha1;
+
+std::string hex_of(std::span<const std::uint8_t> bytes) {
+    std::string out;
+    char buf[4];
+    for (const auto b : bytes) {
+        std::snprintf(buf, sizeof buf, "%02x", b);
+        out += buf;
+    }
+    return out;
+}
+
+std::span<const std::uint8_t> bytes_of(const std::string& s) {
+    return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(sha1, empty_string) {
+    EXPECT_EQ(hex_of(sha1::digest({})), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(sha1, abc) {
+    EXPECT_EQ(hex_of(sha1::digest(bytes_of("abc"))),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(sha1, fips_two_block_message) {
+    EXPECT_EQ(hex_of(sha1::digest(bytes_of(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+              "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(sha1, million_a) {
+    sha1 ctx;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) ctx.update(bytes_of(chunk));
+    EXPECT_EQ(hex_of(ctx.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(sha1, streaming_equals_one_shot) {
+    const std::string msg =
+        "polymorphic canaries resist byte-by-byte guessing across forks";
+    sha1 streaming;
+    for (const char c : msg)
+        streaming.update({reinterpret_cast<const std::uint8_t*>(&c), 1});
+    EXPECT_EQ(hex_of(streaming.finish()), hex_of(sha1::digest(bytes_of(msg))));
+}
+
+TEST(sha1, reset_allows_reuse) {
+    sha1 ctx;
+    ctx.update(bytes_of("first"));
+    (void)ctx.finish();
+    ctx.reset();
+    ctx.update(bytes_of("abc"));
+    EXPECT_EQ(hex_of(ctx.finish()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(sha1, digest64_is_prefix) {
+    const auto full = sha1::digest(bytes_of("abc"));
+    EXPECT_EQ(sha1::digest64(bytes_of("abc")),
+              util::load_le64(std::span{full}.subspan(0, 8)));
+}
+
+// Boundary lengths around the 64-byte block and the 56-byte padding edge.
+class sha1_padding_test : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(block_boundaries, sha1_padding_test,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 127, 128));
+
+TEST_P(sha1_padding_test, incremental_matches_one_shot_at_boundary) {
+    const std::string msg(GetParam(), 'x');
+    sha1 ctx;
+    const std::size_t half = msg.size() / 2;
+    ctx.update(bytes_of(msg.substr(0, half)));
+    ctx.update(bytes_of(msg.substr(half)));
+    EXPECT_EQ(hex_of(ctx.finish()), hex_of(sha1::digest(bytes_of(msg))));
+}
+
+}  // namespace
+}  // namespace pssp

@@ -1,0 +1,68 @@
+// Failure injection: transient rdrand failures (CF=0 on real silicon when
+// the DRNG underflows) must never weaken or break the rdrand-based
+// schemes — the emitted prologues carry retry loops.
+
+#include <gtest/gtest.h>
+
+#include "core/tls_layout.hpp"
+#include "test_helpers.hpp"
+
+namespace pssp {
+namespace {
+
+using core::scheme_kind;
+
+class entropy_failure_test : public ::testing::TestWithParam<scheme_kind> {};
+
+INSTANTIATE_TEST_SUITE_P(rdrand_schemes, entropy_failure_test,
+                         ::testing::Values(scheme_kind::p_ssp_nt,
+                                           scheme_kind::p_ssp_lv,
+                                           scheme_kind::p_ssp_gb),
+                         [](const ::testing::TestParamInfo<scheme_kind>& info) {
+                             std::string name = core::to_string(info.param);
+                             for (char& c : name)
+                                 if (c == '-') c = '_';
+                             return name;
+                         });
+
+TEST_P(entropy_failure_test, prologue_retries_until_entropy_arrives) {
+    testing::built_program bp{testing::vulnerable_module(), GetParam()};
+    // One in three rdrand reads fails — far worse than real hardware.
+    bp.proc0.entropy().set_failure_rate(3);
+    for (int i = 0; i < 50; ++i) {
+        const auto r = bp.run_with_request("benign request");
+        ASSERT_EQ(r.status, vm::exec_status::exited)
+            << core::to_string(GetParam()) << " iteration " << i << ": "
+            << vm::to_string(r.trap);
+    }
+}
+
+TEST_P(entropy_failure_test, detection_still_works_under_entropy_pressure) {
+    testing::built_program bp{testing::vulnerable_module(64), GetParam()};
+    bp.proc0.entropy().set_failure_rate(3);
+    const auto r = bp.run_with_request(testing::filler(64 + 16));
+    ASSERT_EQ(r.status, vm::exec_status::trapped);
+    EXPECT_EQ(r.trap, vm::trap_kind::stack_smash);
+}
+
+TEST(entropy_failure, canaries_stay_fresh_across_retries) {
+    // Even with failures interleaved, successive calls must produce
+    // *distinct* stack canaries (no stale-register reuse) — inspect the
+    // C0 slot of the global buffer under P-SSP-GB, which records one entry
+    // per successful prologue.
+    testing::built_program bp{testing::vulnerable_module(), scheme_kind::p_ssp_gb};
+    bp.proc0.entropy().set_failure_rate(2);
+    std::vector<std::uint64_t> observed;
+    for (int i = 0; i < 16; ++i) {
+        ASSERT_EQ(bp.run_with_request("x").status, vm::exec_status::exited);
+        // After return the top pointer is back at base; the C1 of the last
+        // call is still in the buffer's first slot.
+        observed.push_back(bp.proc0.mem().load64(core::gbuf_base(bp.proc0)));
+    }
+    std::sort(observed.begin(), observed.end());
+    EXPECT_EQ(std::unique(observed.begin(), observed.end()), observed.end())
+        << "stale canary material reused across calls";
+}
+
+}  // namespace
+}  // namespace pssp

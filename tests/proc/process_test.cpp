@@ -1,0 +1,182 @@
+// Process layer: fork semantics (full clone, divergent continuation,
+// entropy reseeding) and the fork-tree executor.
+
+#include <gtest/gtest.h>
+
+#include "proc/process.hpp"
+#include "test_helpers.hpp"
+
+namespace pssp {
+namespace {
+
+using core::scheme_kind;
+
+TEST(process_manager, assigns_increasing_pids) {
+    testing::built_program bp{testing::vulnerable_module(), scheme_kind::ssp};
+    const auto child1 = bp.manager.fork_child(bp.proc0);
+    const auto child2 = bp.manager.fork_child(bp.proc0);
+    EXPECT_LT(bp.proc0.pid(), child1.pid());
+    EXPECT_LT(child1.pid(), child2.pid());
+}
+
+TEST(process_manager, fork_clones_memory_copy_on_write_semantics) {
+    testing::built_program bp{testing::vulnerable_module(), scheme_kind::ssp};
+    const std::uint64_t addr = bp.binary.data_symbols.at("g_request");
+    bp.proc0.mem().store64(addr, 0x1111);
+    auto child = bp.manager.fork_child(bp.proc0);
+    EXPECT_EQ(child.mem().load64(addr), 0x1111u);  // inherited
+    child.mem().store64(addr, 0x2222);
+    EXPECT_EQ(bp.proc0.mem().load64(addr), 0x1111u);  // isolated after fork
+}
+
+TEST(process_manager, children_draw_independent_entropy) {
+    testing::built_program bp{testing::vulnerable_module(), scheme_kind::ssp};
+    auto a = bp.manager.fork_child(bp.proc0);
+    auto b = bp.manager.fork_child(bp.proc0);
+    int same = 0;
+    for (int i = 0; i < 32; ++i) same += a.entropy().next64() == b.entropy().next64();
+    EXPECT_EQ(same, 0) << "sibling rdrand streams must not coincide";
+}
+
+TEST(process_manager, fork_clears_child_output) {
+    testing::built_program bp{testing::vulnerable_module(), scheme_kind::ssp};
+    (void)bp.run_with_request("hello");  // generates no output, but be safe
+    auto child = bp.manager.fork_child(bp.proc0);
+    EXPECT_TRUE(child.output().empty());
+}
+
+// A VM program that forks: parent returns child-pid + 1000, child returns 7.
+TEST(executor, runs_fork_trees_depth_first) {
+    compiler::ir_module mod;
+    mod.name = "forky";
+    auto& fn = mod.add_function("main");
+    const int pid = compiler::add_local(fn, "pid");
+    fn.body.push_back(compiler::call_stmt{"fork", {}, pid});
+    compiler::if_stmt branch{compiler::local_ref{pid}, compiler::relop::eq,
+                             compiler::const_ref{0}, {}, {}};
+    branch.then_body.push_back(compiler::return_stmt{compiler::const_ref{7}});
+    branch.else_body.push_back(compiler::compute_stmt{
+        pid, compiler::local_ref{pid}, compiler::binop::add, compiler::const_ref{1000}});
+    branch.else_body.push_back(compiler::return_stmt{compiler::local_ref{pid}});
+    fn.body.push_back(branch);
+
+    const auto binary =
+        compiler::build_module(mod, core::make_scheme(scheme_kind::p_ssp));
+    proc::process_manager manager{core::make_scheme(scheme_kind::p_ssp), 55};
+    auto root = manager.create_process(binary);
+    root.call_function(binary.symbols.at("main"));
+
+    proc::executor exec{manager, 100'000};
+    const auto outcome = exec.run(root);
+    EXPECT_EQ(outcome.result.status, vm::exec_status::exited);
+    EXPECT_EQ(outcome.processes, 2u);
+    EXPECT_GT(outcome.result.exit_code, 1000);  // parent path, child pid + 1000
+}
+
+TEST(executor, fork_chain_under_p_ssp_has_no_false_positives) {
+    // Nested forks with protected frames live across each fork: the
+    // recursive function forks, the child recurses, everyone returns
+    // through frames created before their shadow refresh.
+    compiler::ir_module mod;
+    mod.name = "chain";
+    auto& fn = mod.add_function("chain");
+    fn.param_count = 1;
+    const int depth = compiler::add_local(fn, "depth");
+    (void)compiler::add_local(fn, "buf", 32, /*is_buffer=*/true);
+    const int pid = compiler::add_local(fn, "pid");
+    const int sub = compiler::add_local(fn, "sub");
+
+    compiler::if_stmt base{compiler::local_ref{depth}, compiler::relop::eq,
+                           compiler::const_ref{0}, {}, {}};
+    base.then_body.push_back(compiler::return_stmt{compiler::const_ref{1}});
+    fn.body.push_back(base);
+    fn.body.push_back(compiler::call_stmt{"fork", {}, pid});
+    compiler::if_stmt child{compiler::local_ref{pid}, compiler::relop::eq,
+                            compiler::const_ref{0}, {}, {}};
+    compiler::compute_stmt dec{depth, compiler::local_ref{depth}, compiler::binop::sub,
+                               compiler::const_ref{1}};
+    child.then_body.push_back(dec);
+    child.then_body.push_back(
+        compiler::call_stmt{"chain", {compiler::local_ref{depth}}, sub});
+    fn.body.push_back(child);
+    fn.body.push_back(compiler::return_stmt{compiler::const_ref{2}});
+
+    auto& main_fn = mod.add_function("main");
+    (void)compiler::add_local(main_fn, "mbuf", 16, /*is_buffer=*/true);
+    const int r = compiler::add_local(main_fn, "r");
+    main_fn.body.push_back(
+        compiler::call_stmt{"chain", {compiler::const_ref{4}}, r});
+    main_fn.body.push_back(compiler::return_stmt{compiler::local_ref{r}});
+
+    for (const auto kind : {scheme_kind::p_ssp, scheme_kind::dynaguard,
+                            scheme_kind::dcr, scheme_kind::p_ssp_nt}) {
+        const auto binary = compiler::build_module(mod, core::make_scheme(kind));
+        proc::process_manager manager{core::make_scheme(kind), 77};
+        auto root = manager.create_process(binary);
+        root.call_function(binary.symbols.at("main"));
+        proc::executor exec{manager, 1'000'000};
+        const auto outcome = exec.run(root);
+        EXPECT_EQ(outcome.result.status, vm::exec_status::exited)
+            << core::to_string(kind) << ": "
+            << vm::to_string(outcome.result.trap);
+        EXPECT_EQ(outcome.processes, 5u) << core::to_string(kind);
+    }
+}
+
+TEST(executor, raf_fork_chain_crashes_inherited_frames) {
+    // The same chain under RAF-SSP must false-positive: the child's renewed
+    // C no longer matches the canary its parent pushed in chain()'s frame.
+    compiler::ir_module mod;
+    mod.name = "raf_chain";
+    auto& fn = mod.add_function("main");
+    (void)compiler::add_local(fn, "buf", 16, /*is_buffer=*/true);
+    const int pid = compiler::add_local(fn, "pid");
+    fn.body.push_back(compiler::call_stmt{"fork", {}, pid});
+    fn.body.push_back(compiler::return_stmt{compiler::local_ref{pid}});
+
+    const auto binary =
+        compiler::build_module(mod, core::make_scheme(scheme_kind::raf_ssp));
+    proc::process_manager manager{core::make_scheme(scheme_kind::raf_ssp), 88};
+    auto root = manager.create_process(binary);
+    root.call_function(binary.symbols.at("main"));
+    proc::executor exec{manager, 100'000};
+    const auto outcome = exec.run(root);
+    // The parent exits fine; the child trapped inside the tree. Its crash
+    // shows up as a worker failure, which we can see from process count +
+    // the child's terminal state captured in the output ordering. Re-run
+    // explicitly on the child to pin the behavior:
+    auto parent = manager.create_process(binary);
+    parent.call_function(binary.symbols.at("main"));
+    const auto at_fork = parent.run();
+    ASSERT_EQ(at_fork.status, vm::exec_status::syscalled);
+    auto child = manager.fork_child(parent);
+    child.complete_syscall(0);
+    const auto child_end = child.run();
+    EXPECT_EQ(child_end.status, vm::exec_status::trapped);
+    EXPECT_EQ(child_end.trap, vm::trap_kind::stack_smash);
+    (void)outcome;
+}
+
+TEST(executor, depth_limit_guards_against_fork_bombs) {
+    compiler::ir_module mod;
+    mod.name = "bomb";
+    auto& fn = mod.add_function("main");
+    const int pid = compiler::add_local(fn, "pid");
+    const int i = compiler::add_local(fn, "i");
+    compiler::loop_stmt loop{i, 1000, {}};
+    loop.body.push_back(compiler::call_stmt{"fork", {}, pid});
+    // Children fall through into the same loop: exponential blow-up.
+    fn.body.push_back(loop);
+    fn.body.push_back(compiler::return_stmt{});
+
+    const auto binary =
+        compiler::build_module(mod, core::make_scheme(scheme_kind::none));
+    proc::process_manager manager{core::make_scheme(scheme_kind::none), 3};
+    auto root = manager.create_process(binary);
+    root.call_function(binary.symbols.at("main"));
+    proc::executor exec{manager, 1'000'000};
+    EXPECT_THROW((void)exec.run(root), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pssp

@@ -1,0 +1,102 @@
+// Shared fixtures for the test suite: tiny IR programs with a known
+// vulnerability, and helpers to build/run them under any scheme.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "binfmt/stdlib.hpp"
+#include "compiler/codegen.hpp"
+#include "compiler/ir.hpp"
+#include "core/runtime.hpp"
+#include "core/scheme.hpp"
+#include "proc/process.hpp"
+#include "vm/machine.hpp"
+
+namespace pssp::testing {
+
+// A module with one vulnerable function:
+//
+//   uint64_t handle(void) {
+//     char buf[64];              // local buffer => frame gets protected
+//     uint64_t checksum = 7;     // scalar below the buffer
+//     strcpy(buf, g_request);    // unbounded copy: the overflow
+//     checksum = checksum * 33 + buf_word0;
+//     return checksum;
+//   }
+//
+// plus a "win" function that prints the hijack marker — the target a
+// return-address overwrite aims at.
+[[nodiscard]] inline compiler::ir_module vulnerable_module(
+    std::uint32_t buffer_bytes = 64) {
+    compiler::ir_module mod;
+    mod.name = "vuln";
+    mod.add_global("g_request", 4096);
+
+    auto& win = mod.add_function("win");
+    win.never_protect = true;
+    win.body.push_back(compiler::write_stmt{compiler::global_addr{"g_win_msg"},
+                                            compiler::const_ref{5}});
+    win.body.push_back(compiler::return_stmt{compiler::const_ref{0x77}});
+    mod.add_global("g_win_msg", 8, {'P', 'W', 'N', 'E', 'D', 0, 0, 0});
+
+    auto& fn = mod.add_function("handle");
+    const int buf = compiler::add_local(fn, "buf", buffer_bytes, /*is_buffer=*/true);
+    const int sum = compiler::add_local(fn, "checksum");
+    fn.body.push_back(compiler::assign_stmt{sum, compiler::const_ref{7}});
+    fn.body.push_back(compiler::call_stmt{
+        "strcpy", {compiler::addr_of{buf}, compiler::global_addr{"g_request"}},
+        std::nullopt, /*writes_memory=*/true});
+    fn.body.push_back(compiler::compute_stmt{sum, compiler::local_ref{sum},
+                                             compiler::binop::mul,
+                                             compiler::const_ref{33}});
+    fn.body.push_back(compiler::return_stmt{compiler::local_ref{sum}});
+    return mod;
+}
+
+// Built-and-loaded instance of a module under one scheme.
+struct built_program {
+    binfmt::linked_binary binary;
+    std::shared_ptr<const core::scheme> sch;
+    proc::process_manager manager;
+    vm::machine proc0;
+
+    built_program(const compiler::ir_module& mod, core::scheme_kind kind,
+                  std::uint64_t seed = 42,
+                  binfmt::link_mode mode = binfmt::link_mode::dynamic_glibc,
+                  core::scheme_options options = {})
+        : binary{compiler::build_module(mod, core::make_scheme(kind, options), mode)},
+          sch{core::make_scheme(kind, options)},
+          manager{sch, seed},
+          proc0{manager.create_process(binary)} {}
+
+    // Writes `payload` + NUL into g_request and calls `entry`.
+    vm::run_result run_with_request(std::span<const std::uint8_t> payload,
+                                    const std::string& entry = "handle") {
+        std::vector<std::uint8_t> bytes{payload.begin(), payload.end()};
+        bytes.push_back(0);
+        proc0.mem().write_bytes(binary.data_symbols.at("g_request"), bytes);
+        proc0.call_function(binary.symbols.at(entry));
+        proc0.set_fuel(proc0.steps() + 1'000'000);
+        return proc0.run();
+    }
+
+    vm::run_result run_with_request(const std::string& payload,
+                                    const std::string& entry = "handle") {
+        return run_with_request(
+            std::span{reinterpret_cast<const std::uint8_t*>(payload.data()),
+                      payload.size()},
+            entry);
+    }
+};
+
+// Payload of `n` 'A' bytes.
+[[nodiscard]] inline std::vector<std::uint8_t> filler(std::size_t n,
+                                                      std::uint8_t byte = 'A') {
+    return std::vector<std::uint8_t>(n, byte);
+}
+
+}  // namespace pssp::testing

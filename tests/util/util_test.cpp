@@ -1,0 +1,136 @@
+// util module: statistics, byte packing, table rendering.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace pssp {
+namespace {
+
+TEST(stats, mean_and_stddev) {
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(util::mean(xs), 5.0);
+    EXPECT_NEAR(util::stddev(xs), 2.138, 0.001);
+}
+
+TEST(stats, empty_and_single) {
+    EXPECT_EQ(util::mean({}), 0.0);
+    EXPECT_EQ(util::stddev({}), 0.0);
+    const std::vector<double> one{3.0};
+    EXPECT_EQ(util::stddev(one), 0.0);
+    EXPECT_EQ(util::quantile(one, 0.5), 3.0);
+}
+
+TEST(stats, quantiles) {
+    const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    EXPECT_DOUBLE_EQ(util::quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(util::quantile(xs, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(util::quantile(xs, 0.5), 5.5);
+}
+
+TEST(stats, geomean) {
+    const std::vector<double> xs{1, 10, 100};
+    EXPECT_NEAR(util::geomean(xs), 10.0, 1e-9);
+    EXPECT_THROW((void)util::geomean(std::vector<double>{1, 0}), std::invalid_argument);
+}
+
+TEST(stats, overhead_percent) {
+    EXPECT_DOUBLE_EQ(util::overhead_percent(100, 101), 1.0);
+    EXPECT_DOUBLE_EQ(util::overhead_percent(200, 190), -5.0);
+    EXPECT_DOUBLE_EQ(util::overhead_percent(0, 10), 0.0);
+}
+
+TEST(stats, chi_square_uniform_detects_bias) {
+    std::vector<std::size_t> fair(16, 1000);
+    EXPECT_LT(util::chi_square_uniform(fair), 1e-9);
+    std::vector<std::size_t> biased(16, 1000);
+    biased[0] = 5000;
+    EXPECT_GT(util::chi_square_uniform(biased),
+              util::chi_square_critical_999(15));
+}
+
+TEST(stats, chi_square_critical_reasonable) {
+    // Known reference values: chi2_{0.999}(255) ~ 330.5, chi2_{0.999}(15) ~ 37.7.
+    EXPECT_NEAR(util::chi_square_critical_999(255), 330.5, 5.0);
+    EXPECT_NEAR(util::chi_square_critical_999(15), 37.7, 1.5);
+}
+
+TEST(stats, accumulator_matches_batch) {
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    util::accumulator acc;
+    for (const double x : xs) acc.add(x);
+    EXPECT_DOUBLE_EQ(acc.mean(), util::mean(xs));
+    EXPECT_NEAR(acc.stddev(), util::stddev(xs), 1e-12);
+    EXPECT_EQ(acc.min(), 2);
+    EXPECT_EQ(acc.max(), 9);
+    EXPECT_EQ(acc.count(), xs.size());
+    EXPECT_DOUBLE_EQ(acc.total(), 40.0);
+}
+
+TEST(bytes, little_endian_roundtrip) {
+    std::vector<std::uint8_t> buf(8, 0);
+    util::store_le64(buf, 0x0123456789abcdefull);
+    EXPECT_EQ(buf[0], 0xef);  // lowest byte first (the byte the attack
+    EXPECT_EQ(buf[7], 0x01);  // guesses first)
+    EXPECT_EQ(util::load_le64(buf), 0x0123456789abcdefull);
+    util::store_le32(buf, 0xdeadbeef);
+    EXPECT_EQ(util::load_le32(buf), 0xdeadbeefu);
+    util::store_le16(buf, 0xcafe);
+    EXPECT_EQ(util::load_le16(buf), 0xcafe);
+}
+
+TEST(bytes, byte_of_and_with_byte) {
+    const std::uint64_t v = 0x1122334455667788ull;
+    EXPECT_EQ(util::byte_of(v, 0), 0x88);
+    EXPECT_EQ(util::byte_of(v, 7), 0x11);
+    EXPECT_EQ(util::with_byte(v, 0, 0xff), 0x11223344556677ffull);
+    EXPECT_EQ(util::with_byte(v, 7, 0x00), 0x0022334455667788ull);
+}
+
+TEST(bytes, hex_rendering) {
+    const std::vector<std::uint8_t> data{0xde, 0xad, 0xbe, 0xef};
+    EXPECT_EQ(util::to_hex(data), "de ad be ef");
+    EXPECT_EQ(util::hex64(0x28), "0x0000000000000028");
+    EXPECT_NE(util::hex_dump(data, 0x1000).find("001000"), std::string::npos);
+}
+
+TEST(table, renders_header_rows_and_padding) {
+    util::text_table t{{"name", "value"}};
+    t.add_row({"alpha", "1"});
+    t.add_row({"much-longer-name", "2"});
+    const auto out = t.render("title");
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("| alpha"), std::string::npos);
+    EXPECT_NE(out.find("much-longer-name"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(table, short_rows_are_padded) {
+    util::text_table t{{"a", "b", "c"}};
+    t.add_row({"only-one"});
+    EXPECT_NE(t.render().find("only-one"), std::string::npos);
+}
+
+TEST(table, bar_chart_scales_to_max) {
+    util::bar_chart chart{"units", 10};
+    chart.add("big", 100.0);
+    chart.add("half", 50.0);
+    const auto out = chart.render();
+    EXPECT_NE(out.find("##########"), std::string::npos);  // full-width bar
+    EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(table, formatters) {
+    EXPECT_EQ(util::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(util::fmt_percent(0.246, 2), "0.25%");
+    EXPECT_EQ(util::fmt_bytes(512), "512 B");
+    EXPECT_EQ(util::fmt_bytes(2048), "2.00 KiB");
+    EXPECT_EQ(util::fmt_bytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+}  // namespace
+}  // namespace pssp

@@ -1,0 +1,129 @@
+// Instruction encoding-length model and disassembly. The rewriter's
+// layout-preservation guarantees are only as good as these lengths, so the
+// byte counts of every sequence the paper patches are pinned here.
+
+#include <gtest/gtest.h>
+
+#include "core/tls_layout.hpp"
+#include "vm/isa.hpp"
+
+namespace pssp {
+namespace {
+
+using namespace vm::isa;
+using vm::encoded_length;
+using vm::reg;
+using vm::xreg;
+
+TEST(encoding, push_pop_need_rex_for_high_registers) {
+    EXPECT_EQ(encoded_length(push_r(reg::rbp)), 1u);
+    EXPECT_EQ(encoded_length(push_r(reg::r12)), 2u);
+    EXPECT_EQ(encoded_length(pop_r(reg::rdi)), 1u);
+    EXPECT_EQ(encoded_length(pop_r(reg::r15)), 2u);
+}
+
+TEST(encoding, common_fixed_lengths) {
+    EXPECT_EQ(encoded_length(nop()), 1u);
+    EXPECT_EQ(encoded_length(mov_rr(reg::rax, reg::rdx)), 3u);
+    EXPECT_EQ(encoded_length(mov_ri(reg::rax, 0x1122334455667788ull)), 10u);
+    EXPECT_EQ(encoded_length(ret()), 1u);
+    EXPECT_EQ(encoded_length(leave()), 1u);
+    EXPECT_EQ(encoded_length(call_sym(0)), 5u);
+    EXPECT_EQ(encoded_length(jmp(0)), 5u);
+    EXPECT_EQ(encoded_length(je(0)), 6u);
+    EXPECT_EQ(encoded_length(rdtsc()), 2u);
+    EXPECT_EQ(encoded_length(trap_abort()), 2u);
+}
+
+TEST(encoding, displacement_widths) {
+    // disp8 vs disp32 vs rbp-always-needs-disp.
+    EXPECT_EQ(encoded_length(mov_rm(reg::rax, mem(reg::rcx, 0))), 3u);
+    EXPECT_EQ(encoded_length(mov_rm(reg::rax, mem(reg::rbp, 0))), 4u);
+    EXPECT_EQ(encoded_length(mov_rm(reg::rax, mem(reg::rbp, -8))), 4u);
+    EXPECT_EQ(encoded_length(mov_rm(reg::rax, mem(reg::rbp, -200))), 7u);
+}
+
+TEST(encoding, fs_segment_prefix_adds_one_byte) {
+    const auto plain = encoded_length(mov_rm(reg::rax, mem(reg::none, 0x28)));
+    const auto with_fs = encoded_length(mov_rm(reg::rax, fs(0x28)));
+    EXPECT_EQ(with_fs, plain + 1);
+}
+
+// The rewriter patch of Code 5 swaps %fs:0x28 for %fs:0x2a8 in the SSP
+// prologue. Both must encode to the same length or the patch would shift
+// every later instruction — the exact property Section V-C relies on.
+TEST(encoding, prologue_tls_offset_patch_is_length_neutral) {
+    EXPECT_EQ(encoded_length(mov_rm(reg::rax, fs(core::tls_canary))),
+              encoded_length(mov_rm(reg::rax, fs(core::tls_shadow_c0))));
+}
+
+// Code 6's replacement epilogue must match the SSP epilogue byte count.
+TEST(encoding, rewriter_epilogue_budget_matches) {
+    const std::size_t original = encoded_length(xor_rm(reg::rdx, fs(0x28))) +
+                                 encoded_length(je(0)) + encoded_length(call_sym(0));
+    const std::size_t replacement =
+        encoded_length(push_r(reg::rdi)) + encoded_length(mov_rr(reg::rdi, reg::rdx)) +
+        encoded_length(call_sym(0)) + encoded_length(pop_r(reg::rdi)) +
+        encoded_length(je(0)) + encoded_length(trap_abort()) + encoded_length(nop());
+    EXPECT_EQ(original, replacement);
+}
+
+TEST(encoding, rdrand_width) {
+    EXPECT_EQ(encoded_length(rdrand(reg::rax)), 4u);
+    EXPECT_EQ(encoded_length(rdrand(reg::r9)), 5u);
+}
+
+TEST(encoding, sim_delay_models_a_patched_jmp) {
+    EXPECT_EQ(encoded_length(sim_delay(1000)), 5u);
+}
+
+TEST(disasm, renders_att_flavor) {
+    EXPECT_EQ(vm::to_string(push_r(reg::rbp)), "push %rbp");
+    EXPECT_EQ(vm::to_string(mov_rm(reg::rax, fs(0x28))), "mov %fs:+40,%rax");
+    EXPECT_EQ(vm::to_string(mov_mr(mem(reg::rbp, -8), reg::rax)),
+              "mov %rax,-8(%rbp)");
+    EXPECT_EQ(vm::to_string(xor_rr(reg::rdx, reg::rdi)), "xor %rdi,%rdx");
+    EXPECT_EQ(vm::to_string(ret()), "retq");
+    EXPECT_EQ(vm::to_string(rdrand(reg::rax)), "rdrand %rax");
+    EXPECT_EQ(vm::to_string(je(3)), "je L3");
+}
+
+TEST(disasm, names_every_register) {
+    EXPECT_EQ(vm::reg_name(reg::rax), "rax");
+    EXPECT_EQ(vm::reg_name(reg::rsp), "rsp");
+    EXPECT_EQ(vm::reg_name(reg::r15), "r15");
+    EXPECT_EQ(vm::reg_name(reg::none), "<none>");
+}
+
+// Every opcode yields a nonzero length and a nonempty disassembly — guards
+// against new opcodes missing a switch arm.
+TEST(encoding, every_builder_has_length_and_text) {
+    const vm::instruction all[] = {
+        nop(), push_r(reg::rax), push_i(5), pop_r(reg::rax),
+        mov_rr(reg::rax, reg::rbx), mov_ri(reg::rax, 1),
+        mov_rm(reg::rax, mem(reg::rbp, -8)), mov_mr(mem(reg::rbp, -8), reg::rax),
+        mov_mi(mem(reg::rbp, -8), 0), mov32_rm(reg::rax, mem(reg::rcx, 0)),
+        mov32_mr(mem(reg::rcx, 0), reg::rax), movzx8_rm(reg::rax, mem(reg::rcx, 0)),
+        mov8_mr(mem(reg::rcx, 0), reg::rax), lea(reg::rax, mem(reg::rbp, -8)),
+        add_rr(reg::rax, reg::rbx), add_ri(reg::rax, 1), sub_rr(reg::rax, reg::rbx),
+        sub_ri(reg::rax, 1), xor_rr(reg::rax, reg::rbx), xor_ri(reg::rax, 1),
+        xor_rm(reg::rax, fs(0x28)), or_rr(reg::rax, reg::rbx), and_ri(reg::rax, 1),
+        shl_ri(reg::rax, 3), shr_ri(reg::rax, 3), imul_rr(reg::rax, reg::rbx),
+        imul_ri(reg::rax, 3), cmp_rr(reg::rax, reg::rbx), cmp_ri(reg::rax, 0),
+        cmp_rm(reg::rax, mem(reg::rbp, -8)), test_rr(reg::rax, reg::rax), je(0),
+        jne(0), jb(0), jae(0), jl(0), jge(0), jmp(0), call_sym(0), ret(), leave(),
+        rdrand(reg::rax), rdtsc(), movq_xr(xreg::xmm1, reg::r13),
+        movq_rx(reg::rax, xreg::xmm1), movhps_xm(xreg::xmm15, mem(reg::rbp, 8)),
+        punpckhqdq_xr(xreg::xmm1, reg::r12),
+        movdqu_mx(mem(reg::rbp, -24), xreg::xmm15),
+        movdqu_xm(xreg::xmm15, mem(reg::rbp, -24)),
+        cmp128_xm(xreg::xmm15, mem(reg::rbp, -24)), syscall_i(57), trap_abort(),
+        hlt(), sim_delay(9)};
+    for (const auto& insn : all) {
+        EXPECT_GE(encoded_length(insn), 1u);
+        EXPECT_FALSE(vm::to_string(insn).empty());
+    }
+}
+
+}  // namespace
+}  // namespace pssp

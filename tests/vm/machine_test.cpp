@@ -1,0 +1,266 @@
+// VM semantics: instruction behavior, control flow, traps, syscalls, and
+// the accounting the benchmarks depend on.
+
+#include <gtest/gtest.h>
+
+#include "binfmt/image.hpp"
+#include <optional>
+
+#include "binfmt/stdlib.hpp"
+#include "vm/machine.hpp"
+
+namespace pssp {
+namespace {
+
+using namespace vm::isa;
+using vm::machine;
+using vm::reg;
+using vm::xreg;
+
+// Builds a one-function ("f") program: emit into `f`, then build().
+struct mini_program {
+    binfmt::image img;
+    binfmt::bin_function& f;
+    std::optional<binfmt::linked_binary> binary;
+    std::optional<machine> m;
+
+    mini_program() : f{img.add_function("f")} {}
+
+    void build() {
+        binary.emplace(img.link(binfmt::link_mode::dynamic_glibc));
+        m.emplace(binary->make_program(), vm::memory::layout{}, 1);
+    }
+
+    vm::run_result run() {
+        if (!m) build();
+        m->call_function(binary->symbols.at("f"));
+        m->set_fuel(m->steps() + 10'000);
+        return m->run();
+    }
+};
+
+TEST(machine, mov_and_arithmetic) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({mov_ri(reg::rax, 40), mov_ri(reg::rcx, 2), add_rr(reg::rax, reg::rcx),
+               ret()});
+    const auto r = p.run();
+    ASSERT_EQ(r.status, vm::exec_status::exited);
+    EXPECT_EQ(r.exit_code, 42);
+}
+
+TEST(machine, xor_sets_zero_flag) {
+    mini_program p;
+    auto& code = p.f;
+    const auto ok = code.new_label();
+    code.emit({mov_ri(reg::rax, 7), mov_ri(reg::rcx, 7), xor_rr(reg::rax, reg::rcx),
+               je(ok), mov_ri(reg::rax, 1), ret()});
+    code.place(ok);
+    code.emit({mov_ri(reg::rax, 0), ret()});
+    EXPECT_EQ(p.run().exit_code, 0);
+}
+
+TEST(machine, stack_push_pop_and_leave) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp), sub_ri(reg::rsp, 32),
+               mov_ri(reg::rax, 0x1234), mov_mr(mem(reg::rbp, -8), reg::rax),
+               mov_ri(reg::rax, 0), mov_rm(reg::rax, mem(reg::rbp, -8)), leave(),
+               ret()});
+    EXPECT_EQ(p.run().exit_code, 0x1234);
+}
+
+TEST(machine, byte_and_dword_memory_ops) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp), sub_ri(reg::rsp, 16),
+               mov_ri(reg::rcx, 0x11223344556677abull),
+               mov8_mr(mem(reg::rbp, -16), reg::rcx),   // stores 0xab
+               movzx8_rm(reg::rax, mem(reg::rbp, -16)), // rax = 0xab
+               mov32_mr(mem(reg::rbp, -8), reg::rcx),   // stores 0x556677ab
+               mov32_rm(reg::rdx, mem(reg::rbp, -8)),
+               add_rr(reg::rax, reg::rdx), leave(), ret()});
+    EXPECT_EQ(p.run().exit_code, 0xab + 0x556677abll);
+}
+
+TEST(machine, signed_and_unsigned_compares) {
+    mini_program p;
+    auto& code = p.f;
+    const auto l1 = code.new_label();
+    const auto l2 = code.new_label();
+    // -1 unsigned-above 1, but signed-below: jb not taken, jl taken.
+    code.emit({mov_ri(reg::rax, static_cast<std::uint64_t>(-1)),
+               mov_ri(reg::rcx, 1), cmp_rr(reg::rax, reg::rcx), jb(l1), jl(l2),
+               mov_ri(reg::rax, 3), ret()});
+    code.place(l1);
+    code.emit({mov_ri(reg::rax, 1), ret()});
+    code.place(l2);
+    code.emit({mov_ri(reg::rax, 2), ret()});
+    EXPECT_EQ(p.run().exit_code, 2);
+}
+
+TEST(machine, call_and_ret_across_functions) {
+    binfmt::image img;
+    auto& callee = img.add_function("callee");
+    callee.emit({mov_ri(reg::rax, 99), ret()});
+    auto& f = img.add_function("f");
+    f.emit({call_sym(img.sym("callee")), add_ri(reg::rax, 1), ret()});
+    auto binary = img.link(binfmt::link_mode::dynamic_glibc);
+    machine m{binary.make_program(), vm::memory::layout{}, 1};
+    m.call_function(binary.symbols.at("f"));
+    EXPECT_EQ(m.run().exit_code, 100);
+}
+
+TEST(machine, overwritten_return_address_is_an_invalid_jump) {
+    mini_program p;
+    auto& code = p.f;
+    // Clobber our own return address (the sentinel) with garbage.
+    code.emit({mov_ri(reg::rax, 0x123456), mov_mr(mem(reg::rsp, 0), reg::rax), ret()});
+    const auto r = p.run();
+    EXPECT_EQ(r.status, vm::exec_status::trapped);
+    EXPECT_EQ(r.trap, vm::trap_kind::invalid_jump);
+    EXPECT_EQ(r.fault_addr, 0x123456u);
+}
+
+TEST(machine, unmapped_access_is_a_segfault) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({mov_ri(reg::rcx, 0x10), mov_rm(reg::rax, mem(reg::rcx, 0)), ret()});
+    const auto r = p.run();
+    EXPECT_EQ(r.status, vm::exec_status::trapped);
+    EXPECT_EQ(r.trap, vm::trap_kind::segfault);
+}
+
+TEST(machine, writes_to_text_fault) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({mov_ri(reg::rcx, binfmt::default_text_base),
+               mov_mr(mem(reg::rcx, 0), reg::rcx), ret()});
+    EXPECT_EQ(p.run().trap, vm::trap_kind::segfault);  // W^X
+}
+
+TEST(machine, fuel_stops_runaway_loops) {
+    mini_program p;
+    auto& code = p.f;
+    const auto spin = code.new_label();
+    code.place(spin);
+    code.emit({nop(), jmp(spin)});
+    code.emit(ret());
+    p.build();
+    p.m->call_function(p.binary->symbols.at("f"));
+    p.m->set_fuel(1000);
+    EXPECT_EQ(p.m->run().status, vm::exec_status::out_of_fuel);
+}
+
+TEST(machine, trap_abort_is_stack_smash) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit(trap_abort());
+    EXPECT_EQ(p.run().trap, vm::trap_kind::stack_smash);
+}
+
+TEST(machine, rdrand_sets_carry_and_register) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({rdrand(reg::rax), ret()});
+    const auto r = p.run();
+    ASSERT_EQ(r.status, vm::exec_status::exited);
+    EXPECT_TRUE(p.m->flags().cf);
+    EXPECT_NE(r.exit_code, 0);  // 64 random bits are never 0 in practice
+}
+
+TEST(machine, rdtsc_is_monotonic) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({rdtsc(), mov_rr(reg::rcx, reg::rax), rdtsc(),
+               sub_rr(reg::rax, reg::rcx), ret()});
+    const auto r = p.run();
+    EXPECT_GT(r.exit_code, 0);  // cycles advanced between reads
+}
+
+TEST(machine, xmm_pack_store_compare) {
+    mini_program p;
+    auto& code = p.f;
+    const auto ok = code.new_label();
+    code.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp), sub_ri(reg::rsp, 32),
+               mov_ri(reg::r13, 0x1111), mov_ri(reg::r12, 0x2222),
+               movq_xr(xreg::xmm1, reg::r13), punpckhqdq_xr(xreg::xmm1, reg::r12),
+               movdqu_mx(mem(reg::rbp, -16), xreg::xmm1),
+               cmp128_xm(xreg::xmm1, mem(reg::rbp, -16)), je(ok),
+               mov_ri(reg::rax, 1), leave(), ret()});
+    code.place(ok);
+    code.emit({mov_ri(reg::rax, 0), leave(), ret()});
+    EXPECT_EQ(p.run().exit_code, 0);
+    EXPECT_EQ(p.m->get_x(xreg::xmm1).lo, 0x1111u);
+    EXPECT_EQ(p.m->get_x(xreg::xmm1).hi, 0x2222u);
+}
+
+TEST(machine, sys_write_appends_to_output) {
+    binfmt::image img;
+    img.add_data({"msg", 8, {'h', 'i', '!', 0}});
+    auto& f = img.add_function("f");
+    auto load_msg = mov_ri(reg::rsi, 0);
+    load_msg.sym = img.sym("msg");
+    f.emit({mov_ri(reg::rdi, 1), load_msg, mov_ri(reg::rdx, 3),
+            syscall_i(static_cast<std::uint32_t>(vm::syscall_no::sys_write)), ret()});
+    auto binary = img.link(binfmt::link_mode::dynamic_glibc);
+    machine m{binary.make_program(), vm::memory::layout{}, 1};
+    m.mem().write_bytes(binary.data_symbols.at("msg"),
+                        std::vector<std::uint8_t>{'h', 'i', '!'});
+    m.call_function(binary.symbols.at("f"));
+    ASSERT_EQ(m.run().status, vm::exec_status::exited);
+    EXPECT_EQ(m.output(), "hi!");
+}
+
+TEST(machine, fork_syscall_pauses_for_process_layer) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({syscall_i(static_cast<std::uint32_t>(vm::syscall_no::sys_fork)),
+               ret()});
+    p.build();
+    p.m->call_function(p.binary->symbols.at("f"));
+    const auto r = p.m->run();
+    ASSERT_EQ(r.status, vm::exec_status::syscalled);
+    EXPECT_EQ(r.syscall_number,
+              static_cast<std::uint32_t>(vm::syscall_no::sys_fork));
+    p.m->complete_syscall(1234);  // "parent" resumes with child pid
+    EXPECT_EQ(p.m->run().exit_code, 1234);
+}
+
+TEST(machine, getpid_returns_assigned_pid) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({syscall_i(static_cast<std::uint32_t>(vm::syscall_no::sys_getpid)),
+               ret()});
+    p.build();
+    p.m->set_pid(77);
+    EXPECT_EQ(p.run().exit_code, 77);
+}
+
+TEST(machine, cycle_accounting_uses_cost_model) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({rdrand(reg::rax), ret()});
+    p.build();
+    const auto before = p.m->cycles();
+    (void)p.run();
+    // rdrand alone costs hundreds of modeled cycles (Table V calibration).
+    EXPECT_GE(p.m->cycles() - before, p.m->costs().rdrand);
+}
+
+TEST(machine, copies_are_independent) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp), sub_ri(reg::rsp, 16),
+               mov_ri(reg::rax, 5), mov_mr(mem(reg::rbp, -8), reg::rax),
+               mov_rm(reg::rax, mem(reg::rbp, -8)), leave(), ret()});
+    p.build();
+    machine clone = *p.m;  // fork analog
+    EXPECT_EQ(p.run().exit_code, 5);
+    // The clone was snapshotted before execution; it runs independently.
+    clone.call_function(p.binary->symbols.at("f"));
+    EXPECT_EQ(clone.run().exit_code, 5);
+}
+
+}  // namespace
+}  // namespace pssp

@@ -1,0 +1,108 @@
+// Memory region semantics and the cycle cost model — the two VM pieces the
+// other suites exercise only indirectly.
+
+#include <gtest/gtest.h>
+
+#include "vm/cost_model.hpp"
+#include "vm/memory.hpp"
+
+namespace pssp {
+namespace {
+
+using namespace vm::isa;
+using vm::memory;
+using vm::reg;
+
+TEST(memory, regions_are_disjoint_and_reachable) {
+    memory m;
+    const auto& lay = m.regions();
+    m.store64(lay.globals_base, 1);
+    m.store64(lay.stack_top - 8, 2);
+    m.store64(lay.tls_base + 0x28, 3);
+    EXPECT_EQ(m.load64(lay.globals_base), 1u);
+    EXPECT_EQ(m.load64(lay.stack_top - 8), 2u);
+    EXPECT_EQ(m.load64(lay.tls_base + 0x28), 3u);
+}
+
+TEST(memory, little_endian_byte_order) {
+    memory m;
+    const auto base = m.regions().globals_base;
+    m.store64(base, 0x0102030405060708ull);
+    EXPECT_EQ(m.load8(base), 0x08);      // lowest byte at lowest address
+    EXPECT_EQ(m.load8(base + 7), 0x01);
+    EXPECT_EQ(m.load32(base), 0x05060708u);
+}
+
+TEST(memory, faults_on_unmapped_and_straddling_access) {
+    memory m;
+    EXPECT_THROW((void)m.load64(0x10), vm::mem_fault);
+    EXPECT_THROW(m.store8(0x10, 1), vm::mem_fault);
+    // One byte past the end of the stack region.
+    EXPECT_THROW((void)m.load64(m.regions().stack_top - 4), vm::mem_fault);
+    // Region-straddling multi-byte access at the TLS end.
+    EXPECT_THROW((void)m.load64(m.regions().tls_base + m.regions().tls_size - 4),
+                 vm::mem_fault);
+}
+
+TEST(memory, fault_reports_address_and_size) {
+    memory m;
+    try {
+        (void)m.load64(0x1234);
+        FAIL() << "expected mem_fault";
+    } catch (const vm::mem_fault& f) {
+        EXPECT_EQ(f.addr(), 0x1234u);
+        EXPECT_EQ(f.size(), 8u);
+    }
+}
+
+TEST(memory, bulk_io_round_trips) {
+    memory m;
+    const auto base = m.regions().globals_base + 100;
+    std::vector<std::uint8_t> out{1, 2, 3, 4, 5};
+    m.write_bytes(base, out);
+    std::vector<std::uint8_t> in(5);
+    m.read_bytes(base, in);
+    EXPECT_EQ(in, out);
+}
+
+TEST(memory, contains_checks_full_range) {
+    memory m;
+    EXPECT_TRUE(m.contains(m.regions().globals_base, 8));
+    EXPECT_FALSE(m.contains(m.regions().globals_base + m.regions().globals_size - 4, 8));
+    EXPECT_FALSE(m.contains(0, 1));
+}
+
+TEST(memory, resident_bytes_counts_all_regions) {
+    memory m;
+    const auto& lay = m.regions();
+    EXPECT_EQ(m.resident_bytes(), lay.globals_size + lay.stack_size + lay.tls_size);
+}
+
+TEST(cost_model, calibration_constants_match_table5_inputs) {
+    const vm::cost_model costs;
+    // These anchor Table V (DESIGN.md §5); changing them silently would
+    // invalidate EXPERIMENTS.md.
+    EXPECT_EQ(costs.rdrand, 330u);
+    EXPECT_EQ(costs.aes_helper, 118u);
+    EXPECT_EQ(costs.rdtsc, 24u);
+    EXPECT_EQ(costs.cost_of(mov_rr(reg::rax, reg::rcx)), costs.alu);
+    EXPECT_EQ(costs.cost_of(rdrand(reg::rax)), costs.rdrand);
+    EXPECT_EQ(costs.cost_of(call_sym(0)), costs.call);
+    EXPECT_EQ(costs.cost_of(je(0)), costs.branch);
+    EXPECT_EQ(costs.cost_of(syscall_i(57)), costs.syscall);
+}
+
+TEST(cost_model, sim_delay_charges_its_immediate) {
+    const vm::cost_model costs;
+    EXPECT_EQ(costs.cost_of(sim_delay(450)), 450u);
+}
+
+TEST(cost_model, dbi_tax_applies_to_every_instruction) {
+    vm::cost_model costs;
+    costs.dbi_tax = 2;
+    EXPECT_EQ(costs.cost_of(nop()), costs.alu + 2);
+    EXPECT_EQ(costs.cost_of(rdrand(reg::rax)), costs.rdrand + 2);
+}
+
+}  // namespace
+}  // namespace pssp

@@ -1,0 +1,150 @@
+// Workload modules: the SPEC-like suite, the servers and the databases
+// must compute identical results under every scheme (protection must never
+// change program semantics) and expose the call-density spread Figure 5
+// depends on.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "compiler/codegen.hpp"
+#include "proc/fork_server.hpp"
+#include "workload/database.hpp"
+#include "workload/harness.hpp"
+#include "workload/spec.hpp"
+#include "workload/webserver.hpp"
+
+namespace pssp {
+namespace {
+
+using core::scheme_kind;
+using workload::harness_options;
+using workload::measure_module;
+
+TEST(spec_suite, has_28_programs_with_unique_names) {
+    const auto& profiles = workload::spec2006_profiles();
+    EXPECT_EQ(profiles.size(), 28u);
+    std::unordered_set<std::string> names;
+    for (const auto& p : profiles) EXPECT_TRUE(names.insert(p.name).second) << p.name;
+}
+
+TEST(spec_suite, covers_a_wide_call_density_range) {
+    const auto& profiles = workload::spec2006_profiles();
+    std::uint64_t min_inner = ~0ull;
+    std::uint64_t max_inner = 0;
+    for (const auto& p : profiles) {
+        min_inner = std::min(min_inner, p.inner_iters);
+        max_inner = std::max(max_inner, p.inner_iters);
+    }
+    EXPECT_LE(min_inner, 50u);    // call-heavy end (perlbench-like)
+    EXPECT_GE(max_inner, 1200u);  // loop-heavy end (lbm-like)
+}
+
+// Protection must be semantically invisible: identical checksums across
+// every scheme for every program. (Runs a subset; the Fig 5 bench sweeps
+// all 28.)
+class spec_semantics_test : public ::testing::TestWithParam<scheme_kind> {};
+
+INSTANTIATE_TEST_SUITE_P(schemes, spec_semantics_test,
+                         ::testing::Values(scheme_kind::ssp, scheme_kind::p_ssp,
+                                           scheme_kind::p_ssp_nt,
+                                           scheme_kind::p_ssp_owf,
+                                           scheme_kind::dynaguard, scheme_kind::dcr),
+                         [](const ::testing::TestParamInfo<scheme_kind>& info) {
+                             std::string name = core::to_string(info.param);
+                             for (char& c : name)
+                                 if (c == '-') c = '_';
+                             return name;
+                         });
+
+TEST_P(spec_semantics_test, checksums_match_native_build) {
+    const auto& profiles = workload::spec2006_profiles();
+    for (std::size_t i = 0; i < profiles.size(); i += 9) {
+        const auto mod = workload::make_spec_module(profiles[i]);
+        const auto native = measure_module(mod, scheme_kind::none, {});
+        const auto protected_run = measure_module(mod, GetParam(), {});
+        ASSERT_TRUE(native.completed);
+        ASSERT_TRUE(protected_run.completed) << profiles[i].name;
+        EXPECT_EQ(native.exit_code, protected_run.exit_code) << profiles[i].name;
+    }
+}
+
+TEST(spec_suite, protection_costs_cycles_but_not_correctness) {
+    const auto mod = workload::make_spec_module(workload::spec2006_profiles()[0]);
+    const auto native = measure_module(mod, scheme_kind::none, {});
+    const auto ssp = measure_module(mod, scheme_kind::ssp, {});
+    const auto pssp = measure_module(mod, scheme_kind::p_ssp, {});
+    EXPECT_GT(ssp.cycles, native.cycles);
+    EXPECT_GT(pssp.cycles, ssp.cycles);  // 16-byte pair > single word
+    // ...but by less than a percent on the call-heaviest program.
+    EXPECT_LT(static_cast<double>(pssp.cycles),
+              static_cast<double>(native.cycles) * 1.03);
+}
+
+TEST(spec_suite, instrumented_build_costs_more_than_compiled) {
+    const auto mod = workload::make_spec_module(workload::spec2006_profiles()[0]);
+    const auto compiled = measure_module(mod, scheme_kind::p_ssp, {});
+    harness_options instr;
+    instr.dep = workload::deployment::instrumented_dynamic;
+    const auto instrumented = measure_module(mod, scheme_kind::p_ssp32, instr);
+    EXPECT_GT(instrumented.cycles, compiled.cycles);
+}
+
+TEST(databases, queries_compute_identical_results_across_schemes) {
+    for (const auto& profile : {workload::mysql_profile(), workload::sqlite_profile()}) {
+        const auto mod = workload::make_db_module(profile);
+        harness_options opt;
+        opt.entry = "db_main";
+        const auto native = measure_module(mod, scheme_kind::none, opt);
+        const auto pssp = measure_module(mod, scheme_kind::p_ssp, opt);
+        ASSERT_TRUE(native.completed && pssp.completed) << profile.name;
+        EXPECT_EQ(native.exit_code, pssp.exit_code) << profile.name;
+    }
+}
+
+TEST(databases, sqlite_queries_are_heavier_than_mysql) {
+    harness_options opt;
+    opt.entry = "db_main";
+    const auto my = measure_module(workload::make_db_module(workload::mysql_profile()),
+                                   scheme_kind::none, opt);
+    const auto lite = measure_module(
+        workload::make_db_module(workload::sqlite_profile()), scheme_kind::none, opt);
+    const double my_per_query =
+        static_cast<double>(my.cycles) / static_cast<double>(workload::mysql_profile().queries);
+    const double lite_per_query =
+        static_cast<double>(lite.cycles) /
+        static_cast<double>(workload::sqlite_profile().queries);
+    // Table IV's shape: SQLite's batch statements dwarf MySQL point queries.
+    EXPECT_GT(lite_per_query, 10 * my_per_query);
+}
+
+TEST(webserver, profiles_differ_in_per_request_work) {
+    EXPECT_GT(workload::apache_profile().parse_iters,
+              workload::nginx_profile().parse_iters);
+    EXPECT_EQ(workload::attack_prefix_bytes(workload::nginx_profile()), 64u);
+}
+
+TEST(webserver, server_module_has_expected_symbols) {
+    const auto mod = workload::make_server_module(workload::nginx_profile());
+    const auto binary =
+        compiler::build_module(mod, core::make_scheme(scheme_kind::ssp));
+    for (const char* sym : {"server_main", "accept_loop", "handle_request", "win"})
+        EXPECT_TRUE(binary.symbols.contains(sym)) << sym;
+    for (const char* data : {"g_request", "g_request_len", "g_response"})
+        EXPECT_TRUE(binary.data_symbols.contains(data)) << data;
+}
+
+TEST(webserver, non_leaky_profile_refuses_the_leak_magic) {
+    const auto profile = workload::ali_profile();  // leaky = false
+    const auto binary = compiler::build_module(workload::make_server_module(profile),
+                                               core::make_scheme(scheme_kind::ssp));
+    proc::fork_server server{binary, core::make_scheme(scheme_kind::ssp), 3,
+                             workload::server_config_for(profile)};
+    const auto r = server.serve("LEAK");
+    EXPECT_EQ(r.outcome, proc::worker_outcome::ok);
+    // Only the 8-byte response — no stack dump.
+    EXPECT_LE(r.output.size(), 8u);
+}
+
+}  // namespace
+}  // namespace pssp
