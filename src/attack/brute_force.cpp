@@ -80,6 +80,8 @@ brute_force_result brute_force::run(std::uint64_t ret_target, std::uint64_t save
             result.hijacked = true;
             break;
         }
+        if (r.outcome == proc::worker_outcome::crashed_canary)
+            ++result.canary_crashes;
     }
     return result;
 }

@@ -39,6 +39,7 @@ struct brute_force_config {
 struct brute_force_result {
     bool hijacked = false;
     std::uint64_t trials = 0;
+    std::uint64_t canary_crashes = 0;  // guesses killed by __stack_chk_fail
 };
 
 class brute_force {

@@ -29,6 +29,8 @@ byte_by_byte_result byte_by_byte::recover() {
                 ++result.trials_per_byte[position];
                 if (r.outcome != proc::worker_outcome::ok) {
                     ++result.worker_crashes;
+                    if (r.outcome == proc::worker_outcome::crashed_canary)
+                        ++result.canary_crashes;
                     continue;
                 }
                 known.push_back(static_cast<std::uint8_t>(guess));
@@ -71,6 +73,14 @@ byte_by_byte::campaign_result byte_by_byte::run_campaign(std::uint64_t ret_targe
         const auto r = exploit(out.recovery.canary, saved_rbp, ret_target);
         ++out.total_trials;
         out.hijacked = r.outcome == proc::worker_outcome::hijacked;
+        // The exploit query is an oracle query like any other: a scheme
+        // that traps it (e.g. RAF-SSP renewing C under a perfect recovery)
+        // must show up in the crash counters.
+        if (r.outcome != proc::worker_outcome::ok && !out.hijacked) {
+            ++out.recovery.worker_crashes;
+            if (r.outcome == proc::worker_outcome::crashed_canary)
+                ++out.recovery.canary_crashes;
+        }
     }
     return out;
 }

@@ -37,6 +37,7 @@ struct byte_by_byte_result {
     std::vector<std::uint8_t> canary;      // recovered bytes, low address first
     std::uint64_t trials = 0;              // oracle queries spent
     std::uint64_t worker_crashes = 0;
+    std::uint64_t canary_crashes = 0;      // crashes via __stack_chk_fail
     std::vector<std::uint32_t> trials_per_byte;
 };
 

@@ -4,6 +4,25 @@
 
 namespace pssp::attack {
 
+namespace {
+
+void classify_crash(proc::worker_outcome outcome, leak_replay_result& result) {
+    switch (outcome) {
+        case proc::worker_outcome::crashed_canary:
+            ++result.canary_crashes;
+            break;
+        case proc::worker_outcome::crashed_segv:
+        case proc::worker_outcome::crashed_cf:
+        case proc::worker_outcome::out_of_fuel:
+            ++result.other_crashes;
+            break;
+        default:
+            break;
+    }
+}
+
+}  // namespace
+
 leak_replay_result leak_replay::run(std::uint64_t ret_target, std::uint64_t saved_rbp) {
     leak_replay_result result;
 
@@ -34,6 +53,28 @@ leak_replay_result leak_replay::run(std::uint64_t ret_target, std::uint64_t save
     const auto replay = oracle_.serve(payload);
     ++result.trials;
     result.hijacked = replay.outcome == proc::worker_outcome::hijacked;
+    classify_crash(replay.outcome, result);
+
+    // Step 3 (optional): quantify the leak's residual value. Overflowing
+    // exactly k canary bytes with the leaked prefix kills the worker iff
+    // any of those k bytes has gone stale — the same survival oracle the
+    // byte-by-byte attack uses, pointed at our own leak. Probes are
+    // measurement, not attack: they count in probe_queries, never trials,
+    // so queries-to-compromise statistics stay paper-comparable.
+    if (config_.probe_validity) {
+        for (unsigned k = 1; k <= config_.canary_bytes; ++k) {
+            std::vector<std::uint8_t> probe(config_.prefix_bytes, 'A');
+            probe.insert(probe.end(), result.leaked_canary.begin(),
+                         result.leaked_canary.begin() + k);
+            const auto r = oracle_.serve(probe);
+            ++result.probe_queries;
+            if (r.outcome != proc::worker_outcome::ok) {
+                classify_crash(r.outcome, result);
+                break;
+            }
+            result.bytes_valid = k;
+        }
+    }
     return result;
 }
 

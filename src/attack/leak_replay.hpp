@@ -38,13 +38,28 @@ struct leak_replay_config {
     std::uint64_t prefix_bytes = 64;  // buffer -> canary distance
     unsigned canary_bytes = 8;        // bytes to cut from the leak
     std::uint64_t leak_offset = 64;   // where the canary starts in the response
+    // After the replay, measure how much of the leak was still usable: probe
+    // workers with growing prefixes of the leaked canary (the byte-by-byte
+    // oracle mechanism) and count how many leading bytes still pass the
+    // epilogue check. Costs up to canary_bytes extra oracle queries.
+    bool probe_validity = true;
 };
 
 struct leak_replay_result {
     bool leak_succeeded = false;
     bool hijacked = false;
     std::vector<std::uint8_t> leaked_canary;
-    std::uint64_t trials = 0;
+    std::uint64_t trials = 0;         // attack queries only (leak + replay)
+    std::uint64_t probe_queries = 0;  // diagnostic validity probes (step 3)
+    // Leading leaked bytes confirmed still valid in a post-replay worker:
+    // canary_bytes under SSP (process-lifetime canary), ~0 under the P-SSP
+    // family (every fork re-randomizes the stack pair). Lets campaign
+    // reports distinguish partial-leak outcomes from clean failures.
+    unsigned bytes_valid = 0;
+    // Stack-smash detections observed across replay + probes.
+    std::uint64_t canary_crashes = 0;
+    // Non-canary worker deaths (segv / bad control flow / fuel) ditto.
+    std::uint64_t other_crashes = 0;
 };
 
 class leak_replay {

@@ -1,0 +1,126 @@
+#include "attack/strategy.hpp"
+
+#include <stdexcept>
+
+#include "attack/brute_force.hpp"
+#include "attack/byte_by_byte.hpp"
+#include "attack/leak_replay.hpp"
+
+namespace pssp::attack {
+
+std::string to_string(attack_kind kind) {
+    switch (kind) {
+        case attack_kind::brute_force: return "brute_force";
+        case attack_kind::byte_by_byte: return "byte_by_byte";
+        case attack_kind::leak_replay: return "leak_replay";
+    }
+    throw std::invalid_argument{"to_string: unknown attack_kind"};
+}
+
+const std::vector<attack_kind>& all_attack_kinds() {
+    static const std::vector<attack_kind> kinds{
+        attack_kind::brute_force,
+        attack_kind::byte_by_byte,
+        attack_kind::leak_replay,
+    };
+    return kinds;
+}
+
+namespace {
+
+class brute_force_strategy final : public attack_strategy {
+  public:
+    [[nodiscard]] attack_kind kind() const noexcept override {
+        return attack_kind::brute_force;
+    }
+    [[nodiscard]] std::string name() const override { return "brute_force"; }
+
+    [[nodiscard]] attack_outcome execute(const attack_context& ctx) const override {
+        brute_force_config cfg;
+        cfg.prefix_bytes = ctx.prefix_bytes;
+        cfg.unknown_bits = ctx.unknown_bits;
+        cfg.true_canary_hint = ctx.true_canary_hint;
+        cfg.max_trials = ctx.query_budget;
+        cfg.rng_seed = ctx.seed;
+        cfg.dcr_offset = ctx.dcr_offset;
+        brute_force atk{ctx.oracle, ctx.scheme, cfg};
+        const auto r = atk.run(ctx.ret_target, ctx.saved_rbp);
+
+        attack_outcome out;
+        out.hijacked = r.hijacked;
+        out.oracle_queries = r.trials;
+        out.canary_detections = r.canary_crashes;
+        out.other_crashes =
+            r.trials - r.canary_crashes - (r.hijacked ? 1 : 0);
+        out.detected = !out.hijacked && out.canary_detections > 0;
+        return out;
+    }
+};
+
+class byte_by_byte_strategy final : public attack_strategy {
+  public:
+    [[nodiscard]] attack_kind kind() const noexcept override {
+        return attack_kind::byte_by_byte;
+    }
+    [[nodiscard]] std::string name() const override { return "byte_by_byte"; }
+
+    [[nodiscard]] attack_outcome execute(const attack_context& ctx) const override {
+        byte_by_byte_config cfg;
+        cfg.prefix_bytes = ctx.prefix_bytes;
+        cfg.canary_bytes = ctx.canary_bytes;
+        cfg.max_trials = ctx.query_budget;
+        byte_by_byte atk{ctx.oracle, cfg};
+        const auto campaign = atk.run_campaign(ctx.ret_target, ctx.saved_rbp);
+
+        attack_outcome out;
+        out.hijacked = campaign.hijacked;
+        out.oracle_queries = campaign.total_trials;
+        out.canary_detections = campaign.recovery.canary_crashes;
+        out.other_crashes =
+            campaign.recovery.worker_crashes - campaign.recovery.canary_crashes;
+        out.detected = !out.hijacked && out.canary_detections > 0;
+        return out;
+    }
+};
+
+class leak_replay_strategy final : public attack_strategy {
+  public:
+    [[nodiscard]] attack_kind kind() const noexcept override {
+        return attack_kind::leak_replay;
+    }
+    [[nodiscard]] std::string name() const override { return "leak_replay"; }
+
+    [[nodiscard]] attack_outcome execute(const attack_context& ctx) const override {
+        leak_replay_config cfg;
+        cfg.prefix_bytes = ctx.prefix_bytes;
+        cfg.canary_bytes = ctx.canary_bytes;
+        cfg.leak_offset = ctx.prefix_bytes;
+        leak_replay atk{ctx.oracle, cfg};
+        const auto r = atk.run(ctx.ret_target, ctx.saved_rbp);
+
+        attack_outcome out;
+        out.hijacked = r.hijacked;
+        out.oracle_queries = r.trials;
+        out.canary_detections = r.canary_crashes;
+        out.other_crashes = r.other_crashes;
+        out.leaked_bytes_valid = r.bytes_valid;
+        out.detected = !out.hijacked && out.canary_detections > 0;
+        return out;
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<attack_strategy> make_strategy(attack_kind kind) {
+    switch (kind) {
+        case attack_kind::brute_force:
+            return std::make_unique<brute_force_strategy>();
+        case attack_kind::byte_by_byte:
+            return std::make_unique<byte_by_byte_strategy>();
+        case attack_kind::leak_replay:
+            return std::make_unique<leak_replay_strategy>();
+    }
+    throw std::invalid_argument{"make_strategy: unknown attack_kind"};
+}
+
+}  // namespace pssp::attack

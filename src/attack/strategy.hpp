@@ -1,0 +1,78 @@
+// Uniform strategy interface over the three attack classes — the seam the
+// campaign engine drives.
+//
+// The concrete attacks (brute_force, byte_by_byte, leak_replay) each have
+// their own config/result shapes and constructors; a Monte-Carlo campaign
+// needs to launch any of them against any oracle with nothing but a
+// per-trial seed and read back one comparable outcome record. A strategy
+// is stateless and const: all per-trial state (the oracle, the seed, the
+// query budget) arrives through attack_context, so one strategy instance
+// can serve thousands of concurrent trials.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "proc/fork_server.hpp"
+
+namespace pssp::attack {
+
+enum class attack_kind : std::uint8_t {
+    brute_force,   // whole-canary guessing (entropy-reduced harness)
+    byte_by_byte,  // BROP-style positional guessing through the crash oracle
+    leak_replay,   // info-leak one worker, replay against the next
+};
+
+[[nodiscard]] std::string to_string(attack_kind kind);
+
+// All kinds, in presentation order.
+[[nodiscard]] const std::vector<attack_kind>& all_attack_kinds();
+
+// Everything one trial needs. The oracle is a freshly booted fork server
+// (its master seed is the trial's *server* stream); `seed` is the trial's
+// *attacker* stream — the two are split independently by the campaign
+// engine so Theorem-1-style independence claims stay testable.
+struct attack_context {
+    proc::fork_server& oracle;
+    core::scheme_kind scheme = core::scheme_kind::ssp;
+    std::uint64_t prefix_bytes = 64;  // buffer start -> canary distance
+    unsigned canary_bytes = 8;        // scheme's stack canary area width
+    std::uint64_t ret_target = 0;     // the win gadget
+    std::uint64_t saved_rbp = 0;      // plausible frame-pointer value
+    std::uint64_t seed = 0;           // attacker PRNG stream
+    std::uint64_t query_budget = 2048;  // max oracle queries this trial
+    // Brute force's entropy-reduction harness (Section III-C-1): the top
+    // (64 - unknown_bits) bits of the true canary, leaked to the attacker.
+    std::uint64_t true_canary_hint = 0;
+    unsigned unknown_bits = 12;
+    std::uint32_t dcr_offset = 0;
+};
+
+// One comparable outcome record per trial, whatever the strategy.
+struct attack_outcome {
+    bool hijacked = false;           // control reached the win gadget
+    bool detected = false;           // !hijacked and >= 1 canary-check trap
+    std::uint64_t oracle_queries = 0;
+    std::uint64_t canary_detections = 0;  // __stack_chk_fail worker deaths
+    std::uint64_t other_crashes = 0;      // segv / wild control transfer / fuel
+    unsigned leaked_bytes_valid = 0;      // leak_replay: usable leak bytes
+};
+
+class attack_strategy {
+  public:
+    virtual ~attack_strategy() = default;
+
+    [[nodiscard]] virtual attack_kind kind() const noexcept = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    // Runs one full attack trial against ctx.oracle. Must derive all of its
+    // nondeterminism from ctx.seed.
+    [[nodiscard]] virtual attack_outcome execute(const attack_context& ctx) const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<attack_strategy> make_strategy(attack_kind kind);
+
+}  // namespace pssp::attack

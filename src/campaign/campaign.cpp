@@ -1,0 +1,178 @@
+#include "campaign/campaign.hpp"
+
+#include <cstdio>
+
+#include "util/table.hpp"
+
+namespace pssp::campaign {
+
+campaign_spec default_spec() {
+    campaign_spec spec;
+    spec.schemes = {core::scheme_kind::ssp, core::scheme_kind::raf_ssp,
+                    core::scheme_kind::p_ssp};
+    spec.attacks = {attack::attack_kind::brute_force,
+                    attack::attack_kind::byte_by_byte,
+                    attack::attack_kind::leak_replay};
+    spec.targets = {workload::target_kind::nginx};
+    return spec;
+}
+
+cell_report reduce_cell(core::scheme_kind scheme, attack::attack_kind attack,
+                        workload::target_kind target,
+                        std::span<const trial_result> trials) {
+    cell_report cell;
+    cell.scheme = scheme;
+    cell.attack = attack;
+    cell.target = target;
+    cell.trials = trials.size();
+    for (const auto& t : trials) {
+        if (t.hijacked) {
+            ++cell.hijacks;
+            cell.queries_to_compromise.add(static_cast<double>(t.oracle_queries));
+        }
+        if (t.detected) ++cell.detections;
+        cell.queries.add(static_cast<double>(t.oracle_queries));
+        cell.leaked_bytes_valid.add(static_cast<double>(t.leaked_bytes_valid));
+        cell.canary_detections += t.canary_detections;
+        cell.other_crashes += t.other_crashes;
+    }
+    if (cell.trials > 0) {
+        cell.hijack_rate =
+            static_cast<double>(cell.hijacks) / static_cast<double>(cell.trials);
+        cell.detection_rate =
+            static_cast<double>(cell.detections) / static_cast<double>(cell.trials);
+    }
+    cell.hijack_ci = util::wilson_interval(cell.hijacks, cell.trials);
+    cell.detection_ci = util::wilson_interval(cell.detections, cell.trials);
+    return cell;
+}
+
+namespace {
+
+// Shortest-round-trip formatting would vary in width; a fixed "%.9g" keeps
+// the JSON byte-stable across runs while losing nothing a rate needs.
+void append_number(std::string& out, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    out += buf;
+}
+
+void append_kv(std::string& out, const char* key, double value, bool comma = true) {
+    out += '"';
+    out += key;
+    out += "\":";
+    append_number(out, value);
+    if (comma) out += ',';
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t value,
+               bool comma = true) {
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+    if (comma) out += ',';
+}
+
+void append_kv(std::string& out, const char* key, const std::string& value,
+               bool comma = true) {
+    out += '"';
+    out += key;
+    out += "\":\"";
+    out += value;  // names are identifier-like; no escaping needed
+    out += '"';
+    if (comma) out += ',';
+}
+
+void append_interval(std::string& out, const char* key, const util::interval& iv,
+                     bool comma = true) {
+    out += '"';
+    out += key;
+    out += "\":[";
+    append_number(out, iv.lo);
+    out += ',';
+    append_number(out, iv.hi);
+    out += ']';
+    if (comma) out += ',';
+}
+
+void append_accumulator(std::string& out, const char* key,
+                        const util::welford_accumulator& acc, bool comma = true) {
+    out += '"';
+    out += key;
+    out += "\":{";
+    append_kv(out, "count", static_cast<std::uint64_t>(acc.count()));
+    append_kv(out, "mean", acc.mean());
+    append_kv(out, "stddev", acc.stddev());
+    append_kv(out, "min", acc.count() ? acc.min() : 0.0);
+    append_kv(out, "max", acc.count() ? acc.max() : 0.0, /*comma=*/false);
+    out += '}';
+    if (comma) out += ',';
+}
+
+}  // namespace
+
+std::string campaign_report::to_json() const {
+    std::string out;
+    out.reserve(1024 + cells.size() * 512);
+    out += "{\"campaign\":{";
+    append_kv(out, "master_seed", spec.master_seed);
+    append_kv(out, "trials_per_cell", spec.trials_per_cell);
+    append_kv(out, "query_budget", spec.query_budget);
+    append_kv(out, "brute_unknown_bits",
+              static_cast<std::uint64_t>(spec.brute_unknown_bits),
+              /*comma=*/false);
+    out += "},\"cells\":[";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto& c = cells[i];
+        if (i) out += ',';
+        out += '{';
+        append_kv(out, "target", workload::to_string(c.target));
+        append_kv(out, "scheme", core::to_string(c.scheme));
+        append_kv(out, "attack", attack::to_string(c.attack));
+        append_kv(out, "trials", c.trials);
+        append_kv(out, "hijacks", c.hijacks);
+        append_kv(out, "detections", c.detections);
+        append_kv(out, "hijack_rate", c.hijack_rate);
+        append_interval(out, "hijack_ci95", c.hijack_ci);
+        append_kv(out, "detection_rate", c.detection_rate);
+        append_interval(out, "detection_ci95", c.detection_ci);
+        append_accumulator(out, "oracle_queries", c.queries);
+        append_accumulator(out, "queries_to_compromise", c.queries_to_compromise);
+        append_accumulator(out, "leaked_bytes_valid", c.leaked_bytes_valid);
+        append_kv(out, "canary_detections", c.canary_detections);
+        append_kv(out, "other_crashes", c.other_crashes, /*comma=*/false);
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+std::string campaign_report::to_table() const {
+    util::text_table t{{"target", "scheme", "attack", "hijack rate",
+                        "detect rate [95% CI]", "mean queries",
+                        "mean q-to-compromise", "leak bytes valid"}};
+    char buf[96];
+    for (const auto& c : cells) {
+        std::snprintf(buf, sizeof buf, "%.3f", c.hijack_rate);
+        std::string hijack = buf;
+        std::snprintf(buf, sizeof buf, "%.3f [%.3f, %.3f]", c.detection_rate,
+                      c.detection_ci.lo, c.detection_ci.hi);
+        std::string detect = buf;
+        std::snprintf(buf, sizeof buf, "%.1f", c.queries.mean());
+        std::string queries = buf;
+        std::string compromise = "-";
+        if (c.queries_to_compromise.count() > 0) {
+            std::snprintf(buf, sizeof buf, "%.1f", c.queries_to_compromise.mean());
+            compromise = buf;
+        }
+        std::snprintf(buf, sizeof buf, "%.2f", c.leaked_bytes_valid.mean());
+        std::string leak = buf;
+        t.add_row({workload::to_string(c.target), core::to_string(c.scheme),
+                   attack::to_string(c.attack), hijack, detect, queries,
+                   compromise, leak});
+    }
+    return t.render("Campaign outcome matrix");
+}
+
+}  // namespace pssp::campaign

@@ -1,0 +1,100 @@
+// Campaign types: the declarative spec a caller hands the engine and the
+// reduced report it gets back.
+//
+// A campaign is a full cross product — scheme kinds x attack strategies x
+// workload targets — with `trials_per_cell` independent Monte-Carlo trials
+// per cell. Each trial boots a fresh fork server (new master, new TLS
+// canary C) and runs one attack to completion, so the per-cell reduction
+// measures the paper's statistical claims as *distributions*: detection
+// probability with a Wilson interval, guesses-to-compromise, residual
+// leak value. One-shot runs (bench/security_effectiveness.cpp) show a
+// sample; a campaign shows the curve.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attack/strategy.hpp"
+#include "core/scheme.hpp"
+#include "util/stats.hpp"
+#include "workload/victim.hpp"
+
+namespace pssp::campaign {
+
+struct campaign_spec {
+    std::vector<core::scheme_kind> schemes;
+    std::vector<attack::attack_kind> attacks;
+    std::vector<workload::target_kind> targets;
+    std::uint64_t trials_per_cell = 100;
+    std::uint64_t master_seed = 2018;
+    // Host worker threads. 0 = one per hardware thread. Never part of the
+    // report: a campaign is bit-reproducible at any jobs level.
+    unsigned jobs = 1;
+    std::uint64_t query_budget = 4096;  // oracle queries per trial
+    unsigned brute_unknown_bits = 12;   // entropy-reduction harness setting
+    core::scheme_options scheme_options{};
+
+    [[nodiscard]] std::uint64_t cell_count() const noexcept {
+        return schemes.size() * attacks.size() * targets.size();
+    }
+    [[nodiscard]] std::uint64_t trial_count() const noexcept {
+        return cell_count() * trials_per_cell;
+    }
+};
+
+// The default acceptance matrix: {ssp, raf_ssp, p_ssp} x all attacks on the
+// forking nginx analog.
+[[nodiscard]] campaign_spec default_spec();
+
+// One trial's reduced record (a flattened attack::attack_outcome).
+struct trial_result {
+    bool hijacked = false;
+    bool detected = false;
+    std::uint64_t oracle_queries = 0;
+    std::uint64_t canary_detections = 0;
+    std::uint64_t other_crashes = 0;
+    unsigned leaked_bytes_valid = 0;
+};
+
+// Per-cell statistics over trials_per_cell trials.
+struct cell_report {
+    core::scheme_kind scheme{};
+    attack::attack_kind attack{};
+    workload::target_kind target{};
+    std::uint64_t trials = 0;
+    std::uint64_t hijacks = 0;
+    std::uint64_t detections = 0;
+    double hijack_rate = 0.0;
+    double detection_rate = 0.0;
+    util::interval detection_ci{};        // Wilson 95%
+    util::interval hijack_ci{};           // Wilson 95%
+    util::welford_accumulator queries;    // oracle queries, all trials
+    util::welford_accumulator queries_to_compromise;  // hijacked trials only
+    util::welford_accumulator leaked_bytes_valid;     // residual leak value
+    std::uint64_t canary_detections = 0;  // __stack_chk_fail deaths, summed
+    std::uint64_t other_crashes = 0;      // segv / cf / fuel deaths, summed
+};
+
+struct campaign_report {
+    campaign_spec spec;
+    std::vector<cell_report> cells;  // target-major, then scheme, then attack
+
+    // Deterministic serialization: fixed key order, fixed float formatting,
+    // no scheduling-dependent fields (spec.jobs is deliberately absent), so
+    // byte-equality across --jobs levels is the reproducibility check.
+    [[nodiscard]] std::string to_json() const;
+
+    // Human-readable outcome matrix (text_table rendering).
+    [[nodiscard]] std::string to_table() const;
+};
+
+// Reduces trial records (in trial-index order) into the per-cell reports.
+// Exposed separately from the engine so tests can feed synthetic trials.
+[[nodiscard]] cell_report reduce_cell(core::scheme_kind scheme,
+                                      attack::attack_kind attack,
+                                      workload::target_kind target,
+                                      std::span<const trial_result> trials);
+
+}  // namespace pssp::campaign

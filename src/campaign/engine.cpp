@@ -1,0 +1,182 @@
+#include "campaign/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/tls_layout.hpp"
+#include "crypto/prng.hpp"
+
+namespace pssp::campaign {
+
+trial_seeds seeds_for_trial(std::uint64_t master_seed, std::uint64_t trial_index) {
+    // splitmix64 over a per-trial state: the golden-ratio stride keeps
+    // neighboring trials' states far apart, and splitmix's full-avalanche
+    // output decorrelates the two streams from each other and from the raw
+    // master seed. Purely a function of (master_seed, trial_index) — never
+    // of which worker thread picked the trial up.
+    std::uint64_t state = master_seed + 0x9e3779b97f4a7c15ull * (trial_index + 1);
+    trial_seeds s;
+    s.server = crypto::splitmix64_next(state);
+    s.attacker = crypto::splitmix64_next(state);
+    return s;
+}
+
+namespace {
+
+struct cell_key {
+    workload::target_kind target;
+    core::scheme_kind scheme;
+    attack::attack_kind attack;
+    const workload::victim* victim = nullptr;
+};
+
+trial_result run_trial(const cell_key& cell, const campaign_spec& spec,
+                       const trial_seeds& seeds) {
+    auto oracle = cell.victim->make_server(seeds.server);
+
+    attack::attack_context ctx{
+        .oracle = oracle,
+        .scheme = cell.scheme,
+        .prefix_bytes = cell.victim->prefix_bytes,
+        .canary_bytes = cell.victim->canary_bytes,
+        .ret_target = cell.victim->ret_target,
+        .saved_rbp = cell.victim->saved_rbp,
+        .seed = seeds.attacker,
+        .query_budget = spec.query_budget,
+        .true_canary_hint = 0,
+        .unknown_bits = spec.brute_unknown_bits,
+        .dcr_offset = 0,
+    };
+    if (cell.attack == attack::attack_kind::brute_force) {
+        // The entropy-reduction harness (Section III-C-1): leak the top
+        // bits of the booted master's true canary so the residual search
+        // space is 2^unknown_bits and trials finish inside the budget.
+        ctx.true_canary_hint = core::tls_load(oracle.master(), core::tls_canary);
+    }
+
+    const auto strategy = attack::make_strategy(cell.attack);
+    const auto outcome = strategy->execute(ctx);
+
+    return trial_result{
+        .hijacked = outcome.hijacked,
+        .detected = outcome.detected,
+        .oracle_queries = outcome.oracle_queries,
+        .canary_detections = outcome.canary_detections,
+        .other_crashes = outcome.other_crashes,
+        .leaked_bytes_valid = outcome.leaked_bytes_valid,
+    };
+}
+
+}  // namespace
+
+engine::engine(campaign_spec spec) : spec_{std::move(spec)} {
+    if (spec_.schemes.empty() || spec_.attacks.empty() || spec_.targets.empty())
+        throw std::invalid_argument{
+            "campaign::engine: spec needs >= 1 scheme, attack and target"};
+    if (spec_.trials_per_cell == 0)
+        throw std::invalid_argument{"campaign::engine: trials_per_cell == 0"};
+    // DCR's brute-force model needs the victim's true link offset in the
+    // low canary half; no static victim property supplies it, and running
+    // with a wrong offset reports a hijack rate of 0 that is
+    // indistinguishable from genuine prevention. Refuse to measure garbage.
+    const bool has_brute =
+        std::find(spec_.attacks.begin(), spec_.attacks.end(),
+                  attack::attack_kind::brute_force) != spec_.attacks.end();
+    const bool has_dcr = std::find(spec_.schemes.begin(), spec_.schemes.end(),
+                                   core::scheme_kind::dcr) != spec_.schemes.end();
+    if (has_brute && has_dcr)
+        throw std::invalid_argument{
+            "campaign::engine: brute_force x dcr needs the per-victim link "
+            "offset, which campaigns do not model yet"};
+}
+
+campaign_report engine::run() {
+    // One victim build per (target, scheme); attacks within a cell share it.
+    std::vector<workload::victim> victims;
+    victims.reserve(spec_.targets.size() * spec_.schemes.size());
+    for (const auto target : spec_.targets)
+        for (const auto scheme : spec_.schemes)
+            victims.push_back(
+                workload::make_victim(target, scheme, spec_.scheme_options));
+
+    // Cell-major trial index space, target-major cell order (the report's
+    // documented ordering).
+    std::vector<cell_key> cells;
+    cells.reserve(spec_.cell_count());
+    for (std::size_t ti = 0; ti < spec_.targets.size(); ++ti)
+        for (std::size_t si = 0; si < spec_.schemes.size(); ++si)
+            for (const auto atk : spec_.attacks)
+                cells.push_back(cell_key{spec_.targets[ti], spec_.schemes[si], atk,
+                                         &victims[ti * spec_.schemes.size() + si]});
+
+    const std::uint64_t total = cells.size() * spec_.trials_per_cell;
+    std::vector<trial_result> results(total);
+
+    unsigned jobs = spec_.jobs != 0 ? spec_.jobs : std::thread::hardware_concurrency();
+    if (jobs == 0) jobs = 1;
+    jobs = static_cast<unsigned>(
+        std::min<std::uint64_t>(jobs, total));
+
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<std::uint64_t> done{0};
+    std::mutex error_mutex;
+    std::string first_error;
+    std::atomic<bool> failed{false};
+
+    auto worker = [&] {
+        for (;;) {
+            const std::uint64_t g = next.fetch_add(1, std::memory_order_relaxed);
+            if (g >= total || failed.load(std::memory_order_relaxed)) return;
+            const auto& cell = cells[g / spec_.trials_per_cell];
+            try {
+                results[g] = run_trial(cell, spec_,
+                                       seeds_for_trial(spec_.master_seed, g));
+            } catch (const std::exception& e) {
+                std::lock_guard lock{error_mutex};
+                if (first_error.empty())
+                    first_error = std::string{"trial "} + std::to_string(g) + ": " +
+                                  e.what();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+            const std::uint64_t completed =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (progress_) {
+                std::lock_guard lock{error_mutex};
+                progress_(completed, total);
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
+        for (auto& t : pool) t.join();
+    }
+    if (failed.load())
+        throw std::runtime_error{"campaign::engine: " + first_error};
+
+    // Sequential reduction in trial-index order: identical inputs in an
+    // identical order, whatever jobs was.
+    campaign_report report;
+    report.spec = spec_;
+    report.cells.reserve(cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const std::span<const trial_result> cell_trials{
+            results.data() + c * spec_.trials_per_cell, spec_.trials_per_cell};
+        report.cells.push_back(reduce_cell(cells[c].scheme, cells[c].attack,
+                                           cells[c].target, cell_trials));
+    }
+    return report;
+}
+
+}  // namespace pssp::campaign

@@ -1,0 +1,51 @@
+// The parallel Monte-Carlo campaign engine.
+//
+// Execution model: the spec's cross product is flattened into one global
+// trial index space (cell-major). A fixed pool of host threads pops trial
+// indices off an atomic counter; each trial derives two independent PRNG
+// streams (server-side and attacker-side) purely from (master_seed, trial
+// index) via splitmix64, boots its own fork server from the cell's shared
+// victim build, runs one attack strategy, and stores its record at its own
+// slot of a pre-sized results vector. The reduction then walks that vector
+// in index order on the calling thread. Nothing observable depends on
+// scheduling, so a 10k-trial campaign is bit-reproducible at any --jobs
+// level — the property tests/campaign/engine_test.cpp pins down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "campaign/campaign.hpp"
+
+namespace pssp::campaign {
+
+// Per-trial PRNG streams, split from the master seed. Exposed for tests:
+// the derivation is part of the reproducibility contract.
+struct trial_seeds {
+    std::uint64_t server = 0;  // fork-server master (TLS canary C, ...)
+    std::uint64_t attacker = 0;  // attack strategy nondeterminism
+};
+[[nodiscard]] trial_seeds seeds_for_trial(std::uint64_t master_seed,
+                                          std::uint64_t trial_index);
+
+class engine {
+  public:
+    explicit engine(campaign_spec spec);
+
+    // Runs the whole campaign and reduces it. Victim builds (one compile +
+    // link per (target, scheme)) happen up front on the calling thread;
+    // trials fan out across spec.jobs workers. Throws if any trial threw.
+    [[nodiscard]] campaign_report run();
+
+    // Optional observer, called after every finished trial with
+    // (completed, total). Invoked under a mutex from worker threads.
+    void set_progress(std::function<void(std::uint64_t, std::uint64_t)> fn) {
+        progress_ = std::move(fn);
+    }
+
+  private:
+    campaign_spec spec_;
+    std::function<void(std::uint64_t, std::uint64_t)> progress_;
+};
+
+}  // namespace pssp::campaign

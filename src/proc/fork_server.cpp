@@ -110,4 +110,16 @@ serve_result fork_server::serve(std::span<const std::uint8_t> request) {
     return result;
 }
 
+server_batch::server_batch(std::shared_ptr<const binfmt::linked_binary> binary,
+                           core::scheme_kind kind, core::scheme_options options,
+                           server_config config)
+    : binary_{std::move(binary)}, kind_{kind}, options_{options},
+      config_{std::move(config)} {
+    if (!binary_) throw std::invalid_argument{"server_batch: null binary"};
+}
+
+fork_server server_batch::make(std::uint64_t seed) const {
+    return fork_server{*binary_, core::make_scheme(kind_, options_), seed, config_};
+}
+
 }  // namespace pssp::proc

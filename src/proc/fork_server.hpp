@@ -98,4 +98,33 @@ class fork_server {
     void run_master_to_fork();
 };
 
+// Batch trial setup: stamps out independent fork servers from one built
+// binary. A Monte-Carlo campaign boots thousands of masters of the same
+// (target, scheme) build; compiling and linking once and sharing the image
+// is what makes that affordable. The binary is only ever read (process
+// creation copies globals out of it), so concurrent make() calls from a
+// worker pool are safe; each server gets its own process_manager seeded
+// from the caller's per-trial stream.
+class server_batch {
+  public:
+    server_batch(std::shared_ptr<const binfmt::linked_binary> binary,
+                 core::scheme_kind kind, core::scheme_options options,
+                 server_config config);
+
+    // Boots one fresh master. `seed` drives everything process-side: the
+    // entropy stream, hence the TLS canary C and every per-fork pair.
+    [[nodiscard]] fork_server make(std::uint64_t seed) const;
+
+    [[nodiscard]] const binfmt::linked_binary& binary() const noexcept {
+        return *binary_;
+    }
+    [[nodiscard]] core::scheme_kind kind() const noexcept { return kind_; }
+
+  private:
+    std::shared_ptr<const binfmt::linked_binary> binary_;
+    core::scheme_kind kind_;
+    core::scheme_options options_;
+    server_config config_;
+};
+
 }  // namespace pssp::proc

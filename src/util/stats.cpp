@@ -93,7 +93,20 @@ double chi_square_critical_999(std::size_t degrees_of_freedom) {
     return k * term * term * term;
 }
 
-void accumulator::add(double x) noexcept {
+interval wilson_interval(std::size_t successes, std::size_t n, double z) {
+    if (n == 0) return {0.0, 1.0};
+    if (z <= 0.0) throw std::invalid_argument{"wilson_interval requires z > 0"};
+    const double nn = static_cast<double>(n);
+    const double p = static_cast<double>(successes) / nn;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / nn;
+    const double center = p + z2 / (2.0 * nn);
+    const double spread = z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+    return {std::max(0.0, (center - spread) / denom),
+            std::min(1.0, (center + spread) / denom)};
+}
+
+void welford_accumulator::add(double x) noexcept {
     if (n_ == 0) {
         min_ = x;
         max_ = x;
@@ -108,9 +121,31 @@ void accumulator::add(double x) noexcept {
     m2_ += delta * (x - mean_);
 }
 
-double accumulator::stddev() const noexcept {
+void welford_accumulator::merge(const welford_accumulator& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double nab = na + nb;
+    mean_ += delta * nb / nab;
+    m2_ += other.m2_ + delta * delta * na * nb / nab;
+    n_ += other.n_;
+    total_ += other.total_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double welford_accumulator::variance() const noexcept {
     if (n_ < 2) return 0.0;
-    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double welford_accumulator::stddev() const noexcept {
+    return std::sqrt(variance());
 }
 
 }  // namespace pssp::util

@@ -56,14 +56,34 @@ struct summary {
 // Conservative enough for the property tests' degrees of freedom (<= 4096).
 [[nodiscard]] double chi_square_critical_999(std::size_t degrees_of_freedom);
 
+// A closed interval estimate on a proportion or mean.
+struct interval {
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+// Wilson score interval for a binomial proportion: `successes` out of `n`
+// trials at confidence z (1.96 => 95%). Unlike the normal approximation it
+// stays inside [0,1] and behaves at rates near 0 or 1 — exactly the regime
+// of detection-rate campaigns (P-SSP detection rates sit at ~1.0, SSP
+// byte-by-byte hijack rates at ~1.0). Returns {0,1} degenerate bounds for
+// n == 0.
+[[nodiscard]] interval wilson_interval(std::size_t successes, std::size_t n,
+                                       double z = 1.96);
+
 // Online accumulator (Welford) for streaming measurements where keeping all
-// samples would be wasteful, e.g. per-request latencies in the server bench.
-class accumulator {
+// samples would be wasteful, e.g. per-request latencies in the server bench
+// or per-trial oracle-query counts in a campaign reduction. merge() combines
+// two accumulators (Chan et al. pairwise update), so shards reduced
+// per-worker and re-merged in a fixed order give bit-identical results.
+class welford_accumulator {
   public:
     void add(double x) noexcept;
+    void merge(const welford_accumulator& other) noexcept;
     [[nodiscard]] std::size_t count() const noexcept { return n_; }
     [[nodiscard]] double mean() const noexcept { return mean_; }
     [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double variance() const noexcept;  // sample variance (n-1)
     [[nodiscard]] double min() const noexcept { return min_; }
     [[nodiscard]] double max() const noexcept { return max_; }
     [[nodiscard]] double total() const noexcept { return total_; }
@@ -76,5 +96,8 @@ class accumulator {
     double max_ = 0.0;
     double total_ = 0.0;
 };
+
+// Historical name, kept for the benches that predate the campaign engine.
+using accumulator = welford_accumulator;
 
 }  // namespace pssp::util

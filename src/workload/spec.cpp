@@ -78,7 +78,8 @@ void add_cold_text(ir_module& mod, const spec_profile& profile) {
                                            const_ref{0x100000001b3ull + u}});
             fn.body.push_back(compute_stmt{a, local_ref{a}, binop::xor_, local_ref{b}});
             fn.body.push_back(
-                compute_stmt{b, local_ref{b}, binop::add, const_ref{round + 1}});
+                compute_stmt{b, local_ref{b}, binop::add,
+                             const_ref{static_cast<std::uint64_t>(round + 1)}});
             fn.body.push_back(compute_stmt{a, local_ref{a}, binop::shr,
                                            const_ref{static_cast<std::uint64_t>(
                                                7 + round)}});

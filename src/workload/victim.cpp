@@ -1,0 +1,63 @@
+#include "workload/victim.hpp"
+
+#include <stdexcept>
+
+#include "compiler/codegen.hpp"
+#include "workload/webserver.hpp"
+
+namespace pssp::workload {
+
+std::string to_string(target_kind target) {
+    switch (target) {
+        case target_kind::nginx: return "nginx_m";
+        case target_kind::apache: return "apache_m";
+        case target_kind::ali: return "ali_m";
+    }
+    throw std::invalid_argument{"to_string: unknown target_kind"};
+}
+
+const std::vector<target_kind>& all_target_kinds() {
+    static const std::vector<target_kind> targets{
+        target_kind::nginx,
+        target_kind::apache,
+        target_kind::ali,
+    };
+    return targets;
+}
+
+namespace {
+
+server_profile profile_for(target_kind target) {
+    switch (target) {
+        case target_kind::nginx: return nginx_profile();
+        case target_kind::apache: return apache_profile();
+        case target_kind::ali: return ali_profile();
+    }
+    throw std::invalid_argument{"profile_for: unknown target_kind"};
+}
+
+}  // namespace
+
+victim make_victim(target_kind target, core::scheme_kind scheme,
+                   const core::scheme_options& options) {
+    const auto profile = profile_for(target);
+    auto binary = std::make_shared<const binfmt::linked_binary>(
+        compiler::build_module(make_server_module(profile),
+                               core::make_scheme(scheme, options)));
+
+    victim v{
+        .binary = binary,
+        .batch = proc::server_batch{binary, scheme, options,
+                                    server_config_for(profile)},
+        .scheme = scheme,
+        .target = target,
+        .prefix_bytes = attack_prefix_bytes(profile),
+        .canary_bytes = static_cast<unsigned>(
+            core::make_scheme(scheme, options)->stack_canary_bytes()),
+        .ret_target = binary->symbols.at("win"),
+        .saved_rbp = binary->data_base,
+    };
+    return v;
+}
+
+}  // namespace pssp::workload

@@ -1,0 +1,56 @@
+// Victim factory: one attackable server build, packaged for campaigns.
+//
+// A campaign trial needs more than a module — it needs the compiled binary,
+// the fork-server config whose symbols match it, and the attacker's public
+// knowledge (buffer-to-canary distance, canary width, the win gadget's
+// address, a plausible saved rbp). make_victim() derives all of that from a
+// (target, scheme) pair once; the result is immutable and shared across
+// every trial of that campaign cell, each of which boots its own server
+// from the embedded batch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binfmt/image.hpp"
+#include "core/scheme.hpp"
+#include "proc/fork_server.hpp"
+
+namespace pssp::workload {
+
+// The forking-server targets of the paper's Section VI-C attack runs.
+enum class target_kind : std::uint8_t {
+    nginx,   // lean event-loop-style handler
+    apache,  // heavier per-request processing
+    ali,     // small RPC-ish service, tighter buffer
+};
+
+[[nodiscard]] std::string to_string(target_kind target);
+[[nodiscard]] const std::vector<target_kind>& all_target_kinds();
+
+struct victim {
+    std::shared_ptr<const binfmt::linked_binary> binary;
+    proc::server_batch batch;             // stamps out per-trial servers
+    core::scheme_kind scheme;
+    target_kind target;
+    std::uint64_t prefix_bytes = 0;       // buffer start -> canary distance
+    unsigned canary_bytes = 8;            // scheme's stack canary area width
+    std::uint64_t ret_target = 0;         // address of the win gadget
+    std::uint64_t saved_rbp = 0;          // plausible frame-pointer value
+
+    // Boots one fresh oracle for a trial; `seed` is the trial's server
+    // stream (it determines the master's TLS canary C).
+    [[nodiscard]] proc::fork_server make_server(std::uint64_t seed) const {
+        return batch.make(seed);
+    }
+};
+
+// Compiles the target's module under `scheme` and derives the attack
+// surface constants. Expensive (full compile + link): call once per
+// campaign cell, share the result across trials.
+[[nodiscard]] victim make_victim(target_kind target, core::scheme_kind scheme,
+                                 const core::scheme_options& options = {});
+
+}  // namespace pssp::workload

@@ -203,7 +203,7 @@ INSTANTIATE_TEST_SUITE_P(both_modes, stdlib_test,
 TEST_P(stdlib_test, strcpy_strlen_memcpy_memset_work) {
     binfmt::image img;
     img.add_data({"src", 32, {'c', 'a', 'n', 'a', 'r', 'y', 0}});
-    img.add_data({"dst", 32});
+    img.add_data({"dst", 32, {}});
     auto& f = img.add_function("f");
     auto src = mov_ri(reg::rsi, 0);
     src.sym = img.sym("src");

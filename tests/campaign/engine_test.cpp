@@ -1,0 +1,153 @@
+// Campaign engine: scheduling-independent reproducibility and the
+// detection-rate ordering the paper's Table I implies.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "campaign/engine.hpp"
+
+namespace pssp {
+namespace {
+
+using core::scheme_kind;
+
+campaign::campaign_spec small_spec() {
+    campaign::campaign_spec spec;
+    spec.schemes = {scheme_kind::ssp, scheme_kind::p_ssp};
+    spec.attacks = {attack::attack_kind::byte_by_byte,
+                    attack::attack_kind::leak_replay};
+    spec.targets = {workload::target_kind::nginx};
+    spec.trials_per_cell = 3;
+    spec.master_seed = 77;
+    spec.query_budget = 2500;
+    return spec;
+}
+
+const campaign::cell_report& find_cell(const campaign::campaign_report& report,
+                                       scheme_kind scheme,
+                                       attack::attack_kind attack) {
+    const auto it = std::find_if(
+        report.cells.begin(), report.cells.end(), [&](const auto& c) {
+            return c.scheme == scheme && c.attack == attack;
+        });
+    EXPECT_NE(it, report.cells.end());
+    return *it;
+}
+
+TEST(campaign_engine, seeds_depend_only_on_master_seed_and_index) {
+    const auto a = campaign::seeds_for_trial(42, 7);
+    const auto b = campaign::seeds_for_trial(42, 7);
+    EXPECT_EQ(a.server, b.server);
+    EXPECT_EQ(a.attacker, b.attacker);
+    // Streams are split: server != attacker, and neighbors don't collide.
+    EXPECT_NE(a.server, a.attacker);
+    EXPECT_NE(campaign::seeds_for_trial(42, 8).server, a.server);
+    EXPECT_NE(campaign::seeds_for_trial(43, 7).server, a.server);
+}
+
+TEST(campaign_engine, report_identical_across_jobs_levels) {
+    auto spec = small_spec();
+    spec.jobs = 1;
+    auto serial = campaign::engine{spec}.run();
+    spec.jobs = 4;
+    auto parallel = campaign::engine{spec}.run();
+    EXPECT_EQ(serial.to_json(), parallel.to_json());
+}
+
+TEST(campaign_engine, pssp_detection_beats_ssp_on_byte_by_byte) {
+    campaign::campaign_spec spec;
+    spec.schemes = {scheme_kind::ssp, scheme_kind::p_ssp};
+    spec.attacks = {attack::attack_kind::byte_by_byte};
+    spec.targets = {workload::target_kind::nginx};
+    spec.trials_per_cell = 5;
+    spec.master_seed = 2018;
+    spec.query_budget = 4096;
+    spec.jobs = 0;  // all cores
+    const auto report = campaign::engine{spec}.run();
+
+    const auto& ssp = find_cell(report, scheme_kind::ssp,
+                                attack::attack_kind::byte_by_byte);
+    const auto& pssp = find_cell(report, scheme_kind::p_ssp,
+                                 attack::attack_kind::byte_by_byte);
+    // SSP falls to byte-by-byte (shared canary across forks); P-SSP turns
+    // every trial into a detected failure.
+    EXPECT_GT(pssp.detection_rate, ssp.detection_rate);
+    EXPECT_EQ(pssp.hijacks, 0u);
+    EXPECT_GT(ssp.hijack_rate, 0.5);
+    // The paper's expected cost on SSP: ~8 * 2^7 queries per compromise.
+    EXPECT_GT(ssp.queries_to_compromise.count(), 0u);
+    EXPECT_LT(ssp.queries_to_compromise.mean(), 2500.0);
+}
+
+TEST(campaign_engine, leak_replay_bytes_valid_separates_schemes) {
+    campaign::campaign_spec spec;
+    spec.schemes = {scheme_kind::ssp, scheme_kind::p_ssp};
+    spec.attacks = {attack::attack_kind::leak_replay};
+    spec.targets = {workload::target_kind::nginx};
+    spec.trials_per_cell = 4;
+    spec.master_seed = 5;
+    spec.jobs = 0;
+    const auto report = campaign::engine{spec}.run();
+
+    const auto& ssp = find_cell(report, scheme_kind::ssp,
+                                attack::attack_kind::leak_replay);
+    const auto& pssp = find_cell(report, scheme_kind::p_ssp,
+                                 attack::attack_kind::leak_replay);
+    // A leaked SSP canary is the process canary: all 8 bytes stay valid.
+    EXPECT_DOUBLE_EQ(ssp.leaked_bytes_valid.mean(), 8.0);
+    EXPECT_DOUBLE_EQ(ssp.hijack_rate, 1.0);
+    // P-SSP re-randomizes per fork: the leak goes stale almost entirely.
+    EXPECT_LT(pssp.leaked_bytes_valid.mean(), 2.0);
+}
+
+TEST(campaign_engine, reduce_cell_statistics) {
+    std::vector<campaign::trial_result> trials;
+    for (int i = 0; i < 10; ++i) {
+        campaign::trial_result t;
+        t.hijacked = i < 3;
+        t.detected = i >= 3;
+        t.oracle_queries = static_cast<std::uint64_t>(100 + i);
+        t.canary_detections = t.detected ? 5 : 0;
+        t.other_crashes = 2;
+        t.leaked_bytes_valid = static_cast<unsigned>(i % 2);
+        trials.push_back(t);
+    }
+    const auto cell = campaign::reduce_cell(scheme_kind::ssp,
+                                            attack::attack_kind::brute_force,
+                                            workload::target_kind::nginx, trials);
+    EXPECT_EQ(cell.trials, 10u);
+    EXPECT_EQ(cell.hijacks, 3u);
+    EXPECT_EQ(cell.detections, 7u);
+    EXPECT_DOUBLE_EQ(cell.hijack_rate, 0.3);
+    EXPECT_DOUBLE_EQ(cell.detection_rate, 0.7);
+    EXPECT_EQ(cell.canary_detections, 35u);
+    EXPECT_EQ(cell.other_crashes, 20u);
+    EXPECT_EQ(cell.queries.count(), 10u);
+    EXPECT_DOUBLE_EQ(cell.queries.mean(), 104.5);
+    EXPECT_EQ(cell.queries_to_compromise.count(), 3u);
+    EXPECT_DOUBLE_EQ(cell.queries_to_compromise.mean(), 101.0);
+    // Wilson interval brackets the point estimate and stays in [0,1].
+    EXPECT_GT(cell.detection_rate, cell.detection_ci.lo);
+    EXPECT_LT(cell.detection_rate, cell.detection_ci.hi);
+    EXPECT_GE(cell.detection_ci.lo, 0.0);
+    EXPECT_LE(cell.detection_ci.hi, 1.0);
+}
+
+TEST(campaign_engine, rejects_empty_spec) {
+    campaign::campaign_spec spec;
+    EXPECT_THROW(campaign::engine{spec}, std::invalid_argument);
+}
+
+TEST(campaign_engine, rejects_brute_force_against_dcr) {
+    // The brute-force payload model needs DCR's per-victim link offset,
+    // which the campaign cannot derive; a silent 0.0 hijack rate would
+    // masquerade as genuine prevention.
+    auto spec = small_spec();
+    spec.schemes.push_back(scheme_kind::dcr);
+    spec.attacks.push_back(attack::attack_kind::brute_force);
+    EXPECT_THROW(campaign::engine{spec}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pssp

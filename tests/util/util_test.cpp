@@ -71,6 +71,64 @@ TEST(stats, accumulator_matches_batch) {
     EXPECT_DOUBLE_EQ(acc.total(), 40.0);
 }
 
+TEST(stats, wilson_interval_reference_values) {
+    // 8/10 successes at 95%: classic textbook check.
+    const auto iv = util::wilson_interval(8, 10);
+    EXPECT_NEAR(iv.lo, 0.490, 0.005);
+    EXPECT_NEAR(iv.hi, 0.943, 0.005);
+    // Degenerate proportions stay inside [0,1] (the normal approximation
+    // would not) and still have nonzero width.
+    const auto zero = util::wilson_interval(0, 50);
+    EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+    EXPECT_GT(zero.hi, 0.0);
+    EXPECT_LT(zero.hi, 0.1);
+    const auto one = util::wilson_interval(50, 50);
+    EXPECT_DOUBLE_EQ(one.hi, 1.0);
+    EXPECT_LT(one.lo, 1.0);
+    EXPECT_GT(one.lo, 0.9);
+    // No data: vacuous bounds.
+    const auto none = util::wilson_interval(3, 0);
+    EXPECT_DOUBLE_EQ(none.lo, 0.0);
+    EXPECT_DOUBLE_EQ(none.hi, 1.0);
+}
+
+TEST(stats, wilson_interval_tightens_with_n) {
+    const auto small = util::wilson_interval(5, 10);
+    const auto large = util::wilson_interval(500, 1000);
+    EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(stats, welford_merge_matches_single_stream) {
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9, 1, 12};
+    util::welford_accumulator whole;
+    for (const double x : xs) whole.add(x);
+
+    util::welford_accumulator left, right;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        (i < 4 ? left : right).add(xs[i]);
+    left.merge(right);
+
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-12);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+    EXPECT_DOUBLE_EQ(left.total(), whole.total());
+}
+
+TEST(stats, welford_merge_with_empty) {
+    util::welford_accumulator a, empty;
+    a.add(3.0);
+    a.add(5.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(empty.min(), 3.0);
+}
+
 TEST(bytes, little_endian_roundtrip) {
     std::vector<std::uint8_t> buf(8, 0);
     util::store_le64(buf, 0x0123456789abcdefull);
