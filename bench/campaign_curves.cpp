@@ -13,6 +13,7 @@
 //   bench_campaign_curves --jobs 8 --json b.json
 //   cmp a.json b.json
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,13 +29,19 @@ using namespace pssp;
 void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--trials N] [--jobs N] [--seed S] [--budget Q]\n"
-                 "          [--json PATH|-] [--progress]\n"
+                 "          [--json PATH|-] [--bench-json PATH|-] [--fresh-masters]\n"
+                 "          [--progress]\n"
                  "  --trials N   trials per campaign cell (default 112: 9 cells\n"
                  "               x 112 = 1008 total trials)\n"
                  "  --jobs N     worker threads (default 1; 0 = all cores)\n"
                  "  --seed S     master seed (default 2018)\n"
                  "  --budget Q   oracle-query budget per trial (default 4096)\n"
                  "  --json PATH  write the campaign_report JSON ('-' = stdout)\n"
+                 "  --bench-json PATH  write BENCH_campaign.json throughput\n"
+                 "               numbers (wall-time, trials/sec, per-cell cost)\n"
+                 "  --fresh-masters    boot a fresh fork server per trial instead\n"
+                 "               of the snapshot-reuse pool (report is identical\n"
+                 "               either way; this is a perf A/B knob)\n"
                  "  --progress   live trial counter on stderr\n",
                  argv0);
 }
@@ -45,6 +52,7 @@ int main(int argc, char** argv) {
     campaign::campaign_spec spec = campaign::default_spec();
     spec.trials_per_cell = 112;
     const char* json_path = nullptr;
+    const char* bench_json_path = nullptr;
     bool progress = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -67,6 +75,10 @@ int main(int argc, char** argv) {
             spec.query_budget = std::strtoull(next_value("--budget"), nullptr, 10);
         } else if (!std::strcmp(argv[i], "--json")) {
             json_path = next_value("--json");
+        } else if (!std::strcmp(argv[i], "--bench-json")) {
+            bench_json_path = next_value("--bench-json");
+        } else if (!std::strcmp(argv[i], "--fresh-masters")) {
+            spec.reuse_masters = false;
         } else if (!std::strcmp(argv[i], "--progress")) {
             progress = true;
         } else {
@@ -86,6 +98,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(spec.query_budget), spec.jobs);
 
     campaign::campaign_report report;
+    double wall_seconds = 0.0;
     try {
         campaign::engine eng{spec};
         if (progress)
@@ -95,7 +108,11 @@ int main(int argc, char** argv) {
                              static_cast<unsigned long long>(total));
                 if (done == total) std::fprintf(stderr, "\n");
             });
+        const auto start = std::chrono::steady_clock::now();
         report = eng.run();
+        wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
@@ -120,6 +137,41 @@ int main(int argc, char** argv) {
                 return 1;
             }
             out << json << '\n';
+        }
+    }
+
+    if (bench_json_path) {
+        // Throughput sidecar (BENCH_campaign.json). Deliberately separate
+        // from the report: the report is a pure function of the spec, this
+        // is a property of the machine and build that ran it.
+        const double trials = static_cast<double>(spec.trial_count());
+        const double cells = static_cast<double>(spec.cell_count());
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "{\n"
+            "  \"bench\": \"campaign_curves\",\n"
+            "  \"trials\": %llu,\n"
+            "  \"cells\": %llu,\n"
+            "  \"jobs\": %u,\n"
+            "  \"reuse_masters\": %s,\n"
+            "  \"wall_seconds\": %.3f,\n"
+            "  \"trials_per_sec\": %.1f,\n"
+            "  \"seconds_per_cell_mean\": %.4f\n"
+            "}\n",
+            static_cast<unsigned long long>(spec.trial_count()),
+            static_cast<unsigned long long>(spec.cell_count()), spec.jobs,
+            spec.reuse_masters ? "true" : "false", wall_seconds,
+            trials / wall_seconds, wall_seconds / cells);
+        if (!std::strcmp(bench_json_path, "-")) {
+            std::printf("%s", buf);
+        } else {
+            std::ofstream out{bench_json_path, std::ios::binary};
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", bench_json_path);
+                return 1;
+            }
+            out << buf;
         }
     }
     return 0;

@@ -1,0 +1,252 @@
+// VM and trial-pool throughput — the perf counters behind the campaign
+// engine's wall-clock.
+//
+// Three measurements, emitted human-readable and as machine-readable JSON
+// (BENCH_vm.json) so perf regressions are visible PR-over-PR:
+//   * steps/sec      — raw interpreter speed on a compute+stack-traffic
+//                      loop (pre-resolved control flow, flat cost table,
+//                      exception-free memory fast path);
+//   * trials/sec     — end-to-end "boot a fork server, serve one request"
+//                      trials, fresh-boot vs pool-reused masters;
+//   * amortization   — pooled / fresh trials-per-sec ratio, i.e. how much
+//                      of a trial's cost the snapshot-reuse pool recovers.
+// The fresh and pooled oracles are byte-identical per seed (the pool
+// contract); this bench additionally cross-checks the served outputs.
+//
+//   bench_vm_throughput [--steps N] [--boot-trials N] [--seed S]
+//                       [--json PATH|-] [--min-ratio R]
+//
+// --min-ratio R exits nonzero if any scheme's amortization ratio falls
+// below R — the CI smoke uses it to pin the >= 3x acceptance floor.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "binfmt/image.hpp"
+#include "workload/victim.hpp"
+
+namespace {
+
+using namespace pssp;
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+// A busy loop mixing ALU, stack traffic, loads/stores, calls and branches —
+// roughly the instruction diet of a protected request handler.
+vm::machine make_spinner(std::uint64_t iterations) {
+    using namespace vm::isa;
+    using vm::reg;
+
+    binfmt::image img;
+    const auto leaf_sym = img.sym("leaf");
+
+    auto& leaf = img.add_function("leaf");
+    leaf.emit(add_ri(reg::rax, 3));
+    leaf.emit(ret());
+
+    auto& spin = img.add_function("spin");
+    const auto loop = spin.new_label();
+    spin.emit(push_r(reg::rbp));
+    spin.emit(mov_rr(reg::rbp, reg::rsp));
+    spin.emit(sub_ri(reg::rsp, 64));
+    spin.emit(mov_ri(reg::rax, 0));
+    spin.place(loop);
+    spin.emit(mov_mr(mem(reg::rsp, 8), reg::rax));
+    spin.emit(xor_ri(reg::rax, 0x5a5a));
+    spin.emit(mov_rm(reg::rcx, mem(reg::rsp, 8)));
+    spin.emit(add_rr(reg::rax, reg::rcx));
+    spin.emit(call_sym(leaf_sym));
+    spin.emit(sub_ri(reg::rdi, 1));
+    spin.emit(cmp_ri(reg::rdi, 0));
+    spin.emit(jne(loop));
+    spin.emit(leave());
+    spin.emit(ret());
+
+    const auto binary = img.link(binfmt::link_mode::dynamic_glibc);
+    vm::machine m{binary.make_program(), vm::memory::layout{}, /*entropy_seed=*/1};
+    m.call_function(binary.symbols.at("spin"));
+    m.set(reg::rdi, iterations);
+    return m;
+}
+
+struct pool_sample {
+    std::string scheme;
+    double fresh_trials_per_sec = 0.0;
+    double pooled_trials_per_sec = 0.0;
+    double ratio = 0.0;
+};
+
+pool_sample measure_pool(core::scheme_kind kind, std::uint64_t trials,
+                         std::uint64_t seed) {
+    const auto victim = workload::make_victim(workload::target_kind::nginx, kind);
+    const std::string request = "GET /index HTTP/1.0";
+    pool_sample sample;
+    sample.scheme = core::to_string(kind);
+
+    std::string fresh_output;
+    const auto fresh_start = clock_type::now();
+    for (std::uint64_t t = 0; t < trials; ++t) {
+        auto server = victim.make_server(seed + t);
+        fresh_output = server.serve(request).output;
+    }
+    const double fresh_secs = seconds_since(fresh_start);
+
+    // Warm the pool (first acquire pays the one construction boot), then
+    // measure steady-state reuse.
+    { auto warm = victim.lease_server(seed); }
+    std::string pooled_output;
+    const auto pooled_start = clock_type::now();
+    for (std::uint64_t t = 0; t < trials; ++t) {
+        auto lease = victim.lease_server(seed + t);
+        pooled_output = lease->serve(request).output;
+    }
+    const double pooled_secs = seconds_since(pooled_start);
+
+    if (pooled_output != fresh_output) {
+        std::fprintf(stderr,
+                     "FATAL: pooled and fresh servers diverged under %s\n",
+                     sample.scheme.c_str());
+        std::exit(1);
+    }
+
+    sample.fresh_trials_per_sec = static_cast<double>(trials) / fresh_secs;
+    sample.pooled_trials_per_sec = static_cast<double>(trials) / pooled_secs;
+    sample.ratio = sample.pooled_trials_per_sec / sample.fresh_trials_per_sec;
+    return sample;
+}
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--steps N] [--boot-trials N] [--seed S]\n"
+                 "          [--json PATH|-] [--min-ratio R]\n"
+                 "  --steps N        interpreter steps to time (default 4000000)\n"
+                 "  --boot-trials N  boot+serve trials per scheme and mode\n"
+                 "                   (default 300)\n"
+                 "  --seed S         base seed (default 2018)\n"
+                 "  --json PATH      write BENCH_vm.json ('-' = stdout)\n"
+                 "  --min-ratio R    fail if any boot-amortization ratio < R\n",
+                 argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t steps = 4'000'000;
+    std::uint64_t boot_trials = 300;
+    std::uint64_t seed = 2018;
+    const char* json_path = nullptr;
+    double min_ratio = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next_value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--steps")) {
+            steps = std::strtoull(next_value("--steps"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--boot-trials")) {
+            boot_trials = std::strtoull(next_value("--boot-trials"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            seed = std::strtoull(next_value("--seed"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--json")) {
+            json_path = next_value("--json");
+        } else if (!std::strcmp(argv[i], "--min-ratio")) {
+            min_ratio = std::strtod(next_value("--min-ratio"), nullptr);
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    bench::print_header("VM / trial-pool throughput",
+                        "simulator performance engineering (no paper figure; "
+                        "feeds every campaign-scale measurement)");
+
+    // ---- interpreter steps/sec ----
+    // ~9 instructions per iteration; size the loop to the requested steps.
+    auto spinner = make_spinner(steps / 9 + 1);
+    spinner.set_fuel(steps);
+    const auto spin_start = clock_type::now();
+    (void)spinner.run();
+    const double spin_secs = seconds_since(spin_start);
+    const double steps_per_sec = static_cast<double>(spinner.steps()) / spin_secs;
+    std::printf("interpreter: %.2fM steps in %.3fs -> %.2fM steps/sec\n\n",
+                static_cast<double>(spinner.steps()) / 1e6, spin_secs,
+                steps_per_sec / 1e6);
+
+    // ---- boot amortization, fresh vs pooled ----
+    std::vector<pool_sample> samples;
+    for (const auto kind : {core::scheme_kind::ssp, core::scheme_kind::p_ssp}) {
+        const auto s = measure_pool(kind, boot_trials, seed);
+        std::printf("%-10s fresh %8.0f trials/sec | pooled %8.0f trials/sec "
+                    "| amortization %.2fx\n",
+                    s.scheme.c_str(), s.fresh_trials_per_sec,
+                    s.pooled_trials_per_sec, s.ratio);
+        samples.push_back(s);
+    }
+    std::printf(
+        "\n(one trial = boot a fork server + serve one request; pooled mode\n"
+        " reuses a parked master via snapshot restore + seed re-derivation)\n");
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"vm_throughput\",\n";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  \"steps\": %llu,\n  \"steps_per_sec\": %.0f,\n",
+                  static_cast<unsigned long long>(spinner.steps()), steps_per_sec);
+    json << buf;
+    std::snprintf(buf, sizeof buf, "  \"boot_trials\": %llu,\n  \"cells\": [\n",
+                  static_cast<unsigned long long>(boot_trials));
+    json << buf;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const auto& s = samples[i];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"scheme\": \"%s\", \"fresh_trials_per_sec\": %.1f, "
+                      "\"pooled_trials_per_sec\": %.1f, "
+                      "\"boot_amortization_ratio\": %.3f}%s\n",
+                      s.scheme.c_str(), s.fresh_trials_per_sec,
+                      s.pooled_trials_per_sec, s.ratio,
+                      i + 1 < samples.size() ? "," : "");
+        json << buf;
+    }
+    json << "  ]\n}\n";
+
+    if (json_path != nullptr) {
+        if (!std::strcmp(json_path, "-")) {
+            std::printf("%s", json.str().c_str());
+        } else {
+            std::ofstream out{json_path, std::ios::binary};
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", json_path);
+                return 1;
+            }
+            out << json.str();
+        }
+    }
+
+    if (min_ratio > 0.0) {
+        for (const auto& s : samples) {
+            if (s.ratio < min_ratio) {
+                std::fprintf(stderr,
+                             "FAIL: %s boot-amortization %.2fx < required %.2fx\n",
+                             s.scheme.c_str(), s.ratio, min_ratio);
+                return 1;
+            }
+        }
+    }
+    return 0;
+}

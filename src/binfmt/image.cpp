@@ -274,6 +274,7 @@ std::shared_ptr<const vm::program> image::linked_binary::make_program() const {
             prog->addr_to_index.emplace(fn.addrs[i], index);
         }
     }
+    prog->finalize();
     return prog;
 }
 

@@ -32,6 +32,12 @@ struct campaign_spec {
     // Host worker threads. 0 = one per hardware thread. Never part of the
     // report: a campaign is bit-reproducible at any jobs level.
     unsigned jobs = 1;
+    // Reuse booted masters across trials via each victim's master_pool
+    // (snapshot-restore reboot) instead of constructing a fork server per
+    // trial. Purely an execution-speed knob: pooled and fresh oracles are
+    // byte-identical for equal seeds, so — like jobs — this is never part
+    // of the report.
+    bool reuse_masters = true;
     std::uint64_t query_budget = 4096;  // oracle queries per trial
     unsigned brute_unknown_bits = 12;   // entropy-reduction harness setting
     core::scheme_options scheme_options{};

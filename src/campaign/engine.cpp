@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <thread>
@@ -38,7 +39,15 @@ struct cell_key {
 
 trial_result run_trial(const cell_key& cell, const campaign_spec& spec,
                        const trial_seeds& seeds) {
-    auto oracle = cell.victim->make_server(seeds.server);
+    // Pooled and fresh oracles are byte-identical for a given seed (the
+    // master_pool contract), so this branch affects wall-clock only.
+    std::optional<proc::master_pool::lease> lease;
+    std::optional<proc::fork_server> fresh;
+    if (spec.reuse_masters)
+        lease.emplace(cell.victim->lease_server(seeds.server));
+    else
+        fresh.emplace(cell.victim->make_server(seeds.server));
+    proc::fork_server& oracle = lease.has_value() ? lease->server() : *fresh;
 
     attack::attack_context ctx{
         .oracle = oracle,

@@ -25,6 +25,11 @@ class runtime {
   public:
     runtime(std::shared_ptr<const scheme> sch, std::uint64_t seed);
 
+    // Rewinds the runtime's PRNG to the state a fresh runtime{sch, seed}
+    // would have. The trial pool uses this to re-derive a recycled master's
+    // canary state for a new trial seed exactly as a fresh boot would.
+    void reseed(std::uint64_t seed) noexcept { rng_ = crypto::xoshiro256{seed}; }
+
     // setup_p-ssp: runs once per process image, before its main().
     void setup_process(vm::machine& m);
 

@@ -19,10 +19,13 @@ std::string to_string(worker_outcome outcome) {
 
 fork_server::fork_server(const binfmt::linked_binary& binary,
                          std::shared_ptr<const core::scheme> sch, std::uint64_t seed,
-                         server_config config)
+                         server_config config,
+                         std::shared_ptr<const vm::program> program)
     : manager_{std::move(sch), seed},
       config_{std::move(config)},
-      master_{manager_.create_process(binary)} {
+      master_{manager_.make_image(
+          program != nullptr ? std::move(program) : binary.make_program(),
+          binary.data_init, binary.data_base)} {
     const auto it = binary.data_symbols.find(config_.request_symbol);
     if (it == binary.data_symbols.end())
         throw std::invalid_argument{"fork_server: no request buffer symbol '" +
@@ -31,10 +34,33 @@ fork_server::fork_server(const binfmt::linked_binary& binary,
     if (const auto len_it = binary.data_symbols.find(config_.length_symbol);
         len_it != binary.data_symbols.end())
         length_addr_ = len_it->second;
-    master_.call_function(binary.symbols.at(config_.entry));
+    entry_addr_ = binary.symbols.at(config_.entry);
+    if (config_.reusable) {
+        // Pre-boot snapshot: everything seed-independent (zeroed regions +
+        // globals image). reboot() rewinds to here by dirty pages alone.
+        preboot_ = std::make_unique<vm::machine>(master_);
+        master_.mem().mark_clean(vm::dirty_channel::restore);
+    }
+    boot(seed);
+}
+
+void fork_server::boot(std::uint64_t seed) {
+    manager_.reset(seed);
+    manager_.boot_image(master_);
+    master_.call_function(entry_addr_);
+    requests_ = 0;
+    crashes_ = 0;
     run_master_to_fork();
     if (!master_ready_)
         throw std::runtime_error{"fork_server: master never reached a fork"};
+}
+
+void fork_server::reboot(std::uint64_t seed) {
+    if (preboot_ == nullptr)
+        throw std::logic_error{
+            "fork_server::reboot: server not constructed with config.reusable"};
+    master_.restore_from(*preboot_);
+    boot(seed);
 }
 
 void fork_server::run_master_to_fork() {
@@ -51,14 +77,30 @@ serve_result fork_server::serve(std::string_view request) {
                            request.size()});
 }
 
+vm::machine& fork_server::next_worker() {
+    if (worker_ == nullptr) {
+        // First request: one full clone, after which the worker and master
+        // diverge only by the pages a request actually touches. From the
+        // clean point both sides' fork channels track that divergence.
+        worker_ = std::make_unique<vm::machine>(master_);
+        worker_->mem().mark_clean(vm::dirty_channel::fork);
+        master_.mem().mark_clean(vm::dirty_channel::fork);
+    } else {
+        worker_->sync_from(master_);
+    }
+    manager_.fork_child_finish(*worker_);
+    return *worker_;
+}
+
 serve_result fork_server::serve(std::span<const std::uint8_t> request) {
     if (!master_ready_) throw std::runtime_error{"fork_server: master is down"};
     ++requests_;
 
     // fork(): the worker inherits everything, then the runtime's fork hook
     // runs (shadow-canary refresh under P-SSP, TLS renewal under RAF, CAB
-    // walk under DynaGuard, ...).
-    vm::machine worker = manager_.fork_child(master_);
+    // walk under DynaGuard, ...). The clone is a dirty-page sync against
+    // the recycled worker machine, not a 0.5 MB copy.
+    vm::machine& worker = next_worker();
     worker.complete_syscall(0);  // child side of fork
 
     // Deliver the request: network bytes land in the worker's buffer with
@@ -116,10 +158,12 @@ server_batch::server_batch(std::shared_ptr<const binfmt::linked_binary> binary,
     : binary_{std::move(binary)}, kind_{kind}, options_{options},
       config_{std::move(config)} {
     if (!binary_) throw std::invalid_argument{"server_batch: null binary"};
+    program_ = binary_->make_program();
 }
 
 fork_server server_batch::make(std::uint64_t seed) const {
-    return fork_server{*binary_, core::make_scheme(kind_, options_), seed, config_};
+    return fork_server{*binary_, core::make_scheme(kind_, options_), seed, config_,
+                       program_};
 }
 
 }  // namespace pssp::proc

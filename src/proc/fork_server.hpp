@@ -60,14 +60,31 @@ struct server_config {
     std::uint64_t request_capacity = 4096;  // bytes available at that object
     std::uint64_t worker_fuel = 4'000'000;  // instruction budget per worker
     std::uint64_t master_fuel = 4'000'000;  // budget between two forks
+    // Keep a pre-boot snapshot so the server can be reboot()ed for a new
+    // trial seed without re-allocating its image. Costs one extra machine
+    // copy at construction; master_pool turns it on, one-shot users don't.
+    bool reusable = false;
 };
 
 class fork_server {
   public:
     // Boots the master from `binary` and runs it up to its first fork.
+    // Pass `program` to share one loaded vm::program across many servers
+    // of the same binary (a campaign boots thousands; rebuilding the
+    // instruction stream and address index per boot dominated boot cost);
+    // null means load privately from `binary`.
     fork_server(const binfmt::linked_binary& binary,
                 std::shared_ptr<const core::scheme> sch, std::uint64_t seed,
-                server_config config = {});
+                server_config config = {},
+                std::shared_ptr<const vm::program> program = nullptr);
+
+    // Re-derives the whole server for a new trial seed in place: memory
+    // rewinds to the pre-boot snapshot (dirty pages only), the manager's
+    // pid/entropy/PRNG state rewinds to construction state, and the short
+    // boot path replays — producing a master byte-identical to a freshly
+    // constructed fork_server with the same seed (pinned by
+    // tests/proc/master_pool_test.cpp). Requires config.reusable.
+    void reboot(std::uint64_t seed);
 
     // Handles one request end-to-end: fork worker, deliver `request` into
     // the request buffer, run the worker to completion, resume the master
@@ -89,13 +106,21 @@ class fork_server {
     process_manager manager_;
     server_config config_;
     vm::machine master_;
+    // Pre-boot snapshot for reboot() (reusable servers only).
+    std::unique_ptr<vm::machine> preboot_;
+    // The recycled per-request worker: forked by dirty-page sync instead of
+    // a full machine copy. Allocated on first serve.
+    std::unique_ptr<vm::machine> worker_;
+    std::uint64_t entry_addr_ = 0;
     std::uint64_t request_addr_ = 0;
     std::uint64_t length_addr_ = 0;  // 0 = binary has no length symbol
     bool master_ready_ = false;
     std::uint64_t requests_ = 0;
     std::uint64_t crashes_ = 0;
 
+    void boot(std::uint64_t seed);
     void run_master_to_fork();
+    [[nodiscard]] vm::machine& next_worker();
 };
 
 // Batch trial setup: stamps out independent fork servers from one built
@@ -118,10 +143,19 @@ class server_batch {
     [[nodiscard]] const binfmt::linked_binary& binary() const noexcept {
         return *binary_;
     }
+    // The binary loaded once, shared by every server this batch stamps out.
+    [[nodiscard]] std::shared_ptr<const vm::program> program() const noexcept {
+        return program_;
+    }
     [[nodiscard]] core::scheme_kind kind() const noexcept { return kind_; }
+    [[nodiscard]] const core::scheme_options& options() const noexcept {
+        return options_;
+    }
+    [[nodiscard]] const server_config& config() const noexcept { return config_; }
 
   private:
     std::shared_ptr<const binfmt::linked_binary> binary_;
+    std::shared_ptr<const vm::program> program_;
     core::scheme_kind kind_;
     core::scheme_options options_;
     server_config config_;

@@ -1,0 +1,52 @@
+#include "proc/master_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pssp::proc {
+
+master_pool::master_pool(std::shared_ptr<const binfmt::linked_binary> binary,
+                         core::scheme_kind kind, core::scheme_options options,
+                         server_config config,
+                         std::shared_ptr<const vm::program> program)
+    : binary_{std::move(binary)},
+      program_{std::move(program)},
+      kind_{kind},
+      options_{options},
+      config_{std::move(config)} {
+    if (!binary_) throw std::invalid_argument{"master_pool: null binary"};
+    if (program_ == nullptr) program_ = binary_->make_program();
+    config_.reusable = true;  // the whole point of pooled servers
+}
+
+master_pool::lease master_pool::acquire(std::uint64_t seed) {
+    std::unique_ptr<fork_server> server;
+    {
+        std::lock_guard lock{mutex_};
+        if (!idle_.empty()) {
+            server = std::move(idle_.back());
+            idle_.pop_back();
+        }
+    }
+    if (server != nullptr) {
+        server->reboot(seed);
+        reuses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        server = std::make_unique<fork_server>(
+            *binary_, core::make_scheme(kind_, options_), seed, config_, program_);
+        boots_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return lease{this, std::move(server)};
+}
+
+void master_pool::release(std::unique_ptr<fork_server> server) {
+    std::lock_guard lock{mutex_};
+    idle_.push_back(std::move(server));
+}
+
+std::size_t master_pool::idle() const {
+    std::lock_guard lock{mutex_};
+    return idle_.size();
+}
+
+}  // namespace pssp::proc

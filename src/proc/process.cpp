@@ -10,16 +10,34 @@ process_manager::process_manager(std::shared_ptr<const core::scheme> sch,
 
 vm::machine process_manager::create_process(const binfmt::linked_binary& binary,
                                             const vm::memory::layout& layout) {
-    vm::machine m{binary.make_program(), layout, ++entropy_seq_};
-    m.set_pid(next_pid_++);
-    if (!binary.data_init.empty())
-        m.mem().write_bytes(binary.data_base, binary.data_init);
-    runtime_.setup_process(m);
+    vm::machine m = make_image(binary.make_program(), binary.data_init,
+                               binary.data_base, layout);
+    boot_image(m);
     return m;
+}
+
+vm::machine process_manager::make_image(std::shared_ptr<const vm::program> prog,
+                                        std::span<const std::uint8_t> data_init,
+                                        std::uint64_t data_base,
+                                        const vm::memory::layout& layout) {
+    vm::machine m{std::move(prog), layout, /*entropy_seed=*/0};
+    if (!data_init.empty()) m.mem().write_bytes(data_base, data_init);
+    return m;
+}
+
+void process_manager::boot_image(vm::machine& m) {
+    m.reseed_entropy(++entropy_seq_);
+    m.set_pid(next_pid_++);
+    runtime_.setup_process(m);
 }
 
 vm::machine process_manager::fork_child(const vm::machine& parent) {
     vm::machine child = parent;  // full clone: memory, registers, TLS, rip
+    fork_child_finish(child);
+    return child;
+}
+
+void process_manager::fork_child_finish(vm::machine& child) {
     child.set_pid(next_pid_++);
     child.clear_output();
     // Independent entropy stream: two processes never share an rdrand
@@ -27,7 +45,12 @@ vm::machine process_manager::fork_child(const vm::machine& parent) {
     // from the parent's.
     child.reseed_entropy(++entropy_seq_);
     runtime_.on_fork_child(child);
-    return child;
+}
+
+void process_manager::reset(std::uint64_t seed) noexcept {
+    runtime_.reseed(seed);
+    next_pid_ = 1;
+    entropy_seq_ = seed ^ 0xabcdef0123456789ull;
 }
 
 vm::machine process_manager::spawn_thread(const vm::machine& parent) {

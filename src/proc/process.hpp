@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "binfmt/image.hpp"
@@ -36,15 +37,38 @@ class process_manager {
     [[nodiscard]] vm::machine create_process(const binfmt::linked_binary& binary,
                                              const vm::memory::layout& layout = {});
 
+    // create_process, split for the boot-amortizing trial pool. make_image
+    // builds the cold half (memory allocation + globals init) around an
+    // already-shared program — no pid, no entropy, no runtime setup; it is
+    // the state a reusable server snapshots once and restores per trial.
+    // boot_image performs the hot, seed-dependent half and brings the image
+    // to exactly the state create_process would have produced.
+    [[nodiscard]] vm::machine make_image(std::shared_ptr<const vm::program> prog,
+                                         std::span<const std::uint8_t> data_init,
+                                         std::uint64_t data_base,
+                                         const vm::memory::layout& layout = {});
+    void boot_image(vm::machine& m);
+
     // Forks `parent`: returns the child, ready to resume. The caller is
     // responsible for completing the fork syscall on both sides
     // (parent rax = child pid, child rax = 0) when the fork came from VM
     // code; see executor / fork_server.
     [[nodiscard]] vm::machine fork_child(const vm::machine& parent);
 
+    // The post-clone tail of fork_child (pid, output, entropy stream, fork
+    // hook) applied to a machine that is already a byte-exact replica of
+    // the parent. The fork server recycles one worker machine per request
+    // via machine::sync_from + this, skipping the 0.5 MB deep copy.
+    void fork_child_finish(vm::machine& child);
+
     // Spawns a thread of `parent`: same image, fresh stack (the caller
     // points it at the thread entry via call_function), pthread hook run.
     [[nodiscard]] vm::machine spawn_thread(const vm::machine& parent);
+
+    // Rewinds pids, the entropy sequence, and the runtime PRNG to the
+    // state a fresh process_manager{sch, seed} would have — the reuse
+    // path's equivalent of constructing a new manager per trial.
+    void reset(std::uint64_t seed) noexcept;
 
     [[nodiscard]] core::runtime& rt() noexcept { return runtime_; }
     [[nodiscard]] std::uint32_t last_pid() const noexcept { return next_pid_ - 1; }

@@ -2,6 +2,17 @@
 
 namespace pssp::vm {
 
+cost_table cost_model::table() const noexcept {
+    cost_table t;
+    for (std::size_t i = 0; i < opcode_count; ++i) {
+        instruction insn;
+        insn.op = static_cast<opcode>(i);
+        insn.imm = 0;  // sim_delay entry carries only the dbi_tax part
+        t.per_op[i] = cost_of(insn);
+    }
+    return t;
+}
+
 std::uint64_t cost_model::cost_of(const instruction& insn) const noexcept {
     std::uint64_t base = alu;
     switch (insn.op) {

@@ -15,11 +15,24 @@
 // prologue/epilogue sequences where instruction count dominates.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "vm/isa.hpp"
 
 namespace pssp::vm {
+
+// Per-opcode cycle costs flattened into one table, so the interpreter's
+// hot loop charges cycles with a single indexed load instead of a switch.
+// The sim_delay entry holds only the dbi_tax component — its per-site cost
+// lives in the instruction's immediate and is added by the interpreter.
+struct cost_table {
+    std::array<std::uint64_t, opcode_count> per_op{};
+
+    [[nodiscard]] std::uint64_t operator[](opcode op) const noexcept {
+        return per_op[static_cast<std::size_t>(op)];
+    }
+};
 
 struct cost_model {
     std::uint64_t alu = 1;         // mov/add/xor/cmp/lea/push/pop...
@@ -41,6 +54,11 @@ struct cost_model {
     // Cycle cost of one instruction (excluding native-helper bodies, which
     // charge via machine::charge_native).
     [[nodiscard]] std::uint64_t cost_of(const instruction& insn) const noexcept;
+
+    // Snapshot of the current parameters as a flat per-opcode table. The
+    // machine rebuilds this at every run() entry, so parameter mutations
+    // between runs (e.g. workload code enabling dbi_tax) still apply.
+    [[nodiscard]] cost_table table() const noexcept;
 };
 
 }  // namespace pssp::vm

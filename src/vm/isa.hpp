@@ -134,6 +134,11 @@ enum class opcode : std::uint8_t {
     sim_delay,
 };
 
+// Number of opcodes; sized for flat per-opcode tables (cost model,
+// dispatch). sim_delay must stay the last enumerator.
+inline constexpr std::size_t opcode_count =
+    static_cast<std::size_t>(opcode::sim_delay) + 1;
+
 // Sentinel for "no symbol / no label".
 inline constexpr std::uint32_t no_id = 0xffffffffu;
 

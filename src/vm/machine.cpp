@@ -1,7 +1,10 @@
 #include "vm/machine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+
+#include "util/bytes.hpp"
 
 namespace pssp::vm {
 
@@ -34,6 +37,10 @@ machine::machine(std::shared_ptr<const program> prog, memory::layout layout,
       fs_base_{layout.tls_base},
       entropy_{entropy_seed} {
     if (!prog_) throw std::invalid_argument{"machine requires a program"};
+    if (prog_->flow.size() != prog_->insns.size())
+        throw std::invalid_argument{
+            "machine requires a finalized program (program::finalize resolves "
+            "control flow; linked_binary::make_program does this for you)"};
     gpr_[static_cast<std::size_t>(reg::rsp)] = layout.stack_top - initial_stack_headroom;
 }
 
@@ -64,17 +71,51 @@ std::uint64_t machine::effective_address(const mem_operand& m) const noexcept {
     return addr;
 }
 
-void machine::push64(std::uint64_t value) {
-    const std::uint64_t rsp = get(reg::rsp) - 8;
-    set(reg::rsp, rsp);
-    mem_.store64(rsp, value);
+bool machine::ld(std::uint64_t addr, std::size_t size, std::uint64_t& value,
+                 run_result& out) noexcept {
+    if (const std::uint8_t* p = mem_.try_at(addr, size)) [[likely]] {
+        switch (size) {
+            case 1: value = *p; break;
+            case 4: value = util::load_le32(std::span{p, 4}); break;
+            default: value = util::load_le64(std::span{p, 8}); break;
+        }
+        return true;
+    }
+    out.status = exec_status::trapped;
+    out.trap = trap_kind::segfault;
+    out.fault_addr = addr;
+    return false;
 }
 
-std::uint64_t machine::pop64() {
+bool machine::st(std::uint64_t addr, std::size_t size, std::uint64_t value,
+                 run_result& out) noexcept {
+    if (std::uint8_t* p = mem_.try_at_mut(addr, size)) [[likely]] {
+        switch (size) {
+            case 1: *p = static_cast<std::uint8_t>(value); break;
+            case 4: util::store_le32(std::span{p, 4},
+                                     static_cast<std::uint32_t>(value)); break;
+            default: util::store_le64(std::span{p, 8}, value); break;
+        }
+        return true;
+    }
+    out.status = exec_status::trapped;
+    out.trap = trap_kind::segfault;
+    out.fault_addr = addr;
+    return false;
+}
+
+bool machine::push64(std::uint64_t value, run_result& out) noexcept {
+    const std::uint64_t rsp = get(reg::rsp) - 8;
+    if (!st(rsp, 8, value, out)) return false;
+    set(reg::rsp, rsp);
+    return true;
+}
+
+bool machine::pop64(std::uint64_t& value, run_result& out) noexcept {
     const std::uint64_t rsp = get(reg::rsp);
-    const std::uint64_t value = mem_.load64(rsp);
+    if (!ld(rsp, 8, value, out)) return false;
     set(reg::rsp, rsp + 8);
-    return value;
+    return true;
 }
 
 bool machine::jump_to(std::uint64_t addr, run_result& out) {
@@ -92,7 +133,8 @@ bool machine::jump_to(std::uint64_t addr, run_result& out) {
 void machine::call_function(std::uint64_t entry) {
     finished_valid_ = false;
     set(reg::rsp, mem_.regions().stack_top - initial_stack_headroom);
-    push64(return_sentinel);
+    mem_.store64(get(reg::rsp) - 8, return_sentinel);
+    set(reg::rsp, get(reg::rsp) - 8);
     const std::uint32_t index = prog_->index_of(entry);
     if (index == no_id)
         throw std::invalid_argument{"call_function: entry is not an instruction start"};
@@ -111,7 +153,7 @@ void machine::set_alu_flags(std::uint64_t result) noexcept {
 run_result machine::step() {
     run_result out;
     const instruction& insn = prog_->insns[rip_];
-    cycles_ += costs_.cost_of(insn);
+    cycles_ += cost_table_[insn.op];
     ++steps_;
 
     // Most instructions fall through; control flow overrides this.
@@ -121,42 +163,56 @@ run_result machine::step() {
         case opcode::nop:
             break;
         case opcode::push_r:
-            push64(get(insn.r1));
+            if (!push64(get(insn.r1), out)) return out;
             break;
         case opcode::push_i:
-            push64(insn.imm);
+            if (!push64(insn.imm, out)) return out;
             break;
-        case opcode::pop_r:
-            set(insn.r1, pop64());
+        case opcode::pop_r: {
+            std::uint64_t v;
+            if (!pop64(v, out)) return out;
+            set(insn.r1, v);
             break;
+        }
         case opcode::mov_rr:
             set(insn.r1, get(insn.r2));
             break;
         case opcode::mov_ri:
             set(insn.r1, insn.imm);
             break;
-        case opcode::mov_rm:
-            set(insn.r1, mem_.load64(effective_address(insn.mem)));
+        case opcode::mov_rm: {
+            std::uint64_t v;
+            if (!ld(effective_address(insn.mem), 8, v, out)) return out;
+            set(insn.r1, v);
             break;
+        }
         case opcode::mov_mr:
-            mem_.store64(effective_address(insn.mem), get(insn.r2));
+            if (!st(effective_address(insn.mem), 8, get(insn.r2), out)) return out;
             break;
         case opcode::mov_mi:
-            mem_.store64(effective_address(insn.mem), insn.imm);
+            if (!st(effective_address(insn.mem), 8, insn.imm, out)) return out;
             break;
-        case opcode::mov32_rm:
-            set(insn.r1, mem_.load32(effective_address(insn.mem)));
+        case opcode::mov32_rm: {
+            std::uint64_t v;
+            if (!ld(effective_address(insn.mem), 4, v, out)) return out;
+            set(insn.r1, v);
             break;
+        }
         case opcode::mov32_mr:
-            mem_.store32(effective_address(insn.mem),
-                         static_cast<std::uint32_t>(get(insn.r2)));
+            if (!st(effective_address(insn.mem), 4,
+                    static_cast<std::uint32_t>(get(insn.r2)), out))
+                return out;
             break;
-        case opcode::movzx8_rm:
-            set(insn.r1, mem_.load8(effective_address(insn.mem)));
+        case opcode::movzx8_rm: {
+            std::uint64_t v;
+            if (!ld(effective_address(insn.mem), 1, v, out)) return out;
+            set(insn.r1, v);
             break;
+        }
         case opcode::mov8_mr:
-            mem_.store8(effective_address(insn.mem),
-                        static_cast<std::uint8_t>(get(insn.r2)));
+            if (!st(effective_address(insn.mem), 1,
+                    static_cast<std::uint8_t>(get(insn.r2)), out))
+                return out;
             break;
         case opcode::lea:
             set(insn.r1, effective_address(insn.mem));
@@ -198,7 +254,9 @@ run_result machine::step() {
             break;
         }
         case opcode::xor_rm: {
-            const std::uint64_t v = get(insn.r1) ^ mem_.load64(effective_address(insn.mem));
+            std::uint64_t mval;
+            if (!ld(effective_address(insn.mem), 8, mval, out)) return out;
+            const std::uint64_t v = get(insn.r1) ^ mval;
             set(insn.r1, v);
             set_alu_flags(v);
             break;
@@ -234,12 +292,13 @@ run_result machine::step() {
         case opcode::cmp_rm: {
             const std::uint64_t a = get(insn.r1);
             std::uint64_t b = 0;
-            if (insn.op == opcode::cmp_rr)
+            if (insn.op == opcode::cmp_rr) {
                 b = get(insn.r2);
-            else if (insn.op == opcode::cmp_ri)
+            } else if (insn.op == opcode::cmp_ri) {
                 b = insn.imm;
-            else
-                b = mem_.load64(effective_address(insn.mem));
+            } else {
+                if (!ld(effective_address(insn.mem), 8, b, out)) return out;
+            }
             flags_.zf = a == b;
             flags_.lt_unsigned = a < b;
             flags_.lt_signed = static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
@@ -249,59 +308,81 @@ run_result machine::step() {
             flags_.zf = (get(insn.r1) & get(insn.r2)) == 0;
             break;
         case opcode::je:
-            if (flags_.zf && !jump_to(insn.imm, out)) return out;
-            if (flags_.zf) next_rip = rip_;
-            break;
         case opcode::jne:
-            if (!flags_.zf && !jump_to(insn.imm, out)) return out;
-            if (!flags_.zf) next_rip = rip_;
-            break;
         case opcode::jb:
-            if (flags_.lt_unsigned && !jump_to(insn.imm, out)) return out;
-            if (flags_.lt_unsigned) next_rip = rip_;
-            break;
         case opcode::jae:
-            if (!flags_.lt_unsigned && !jump_to(insn.imm, out)) return out;
-            if (!flags_.lt_unsigned) next_rip = rip_;
-            break;
         case opcode::jl:
-            if (flags_.lt_signed && !jump_to(insn.imm, out)) return out;
-            if (flags_.lt_signed) next_rip = rip_;
-            break;
         case opcode::jge:
-            if (!flags_.lt_signed && !jump_to(insn.imm, out)) return out;
-            if (!flags_.lt_signed) next_rip = rip_;
-            break;
         case opcode::jnc:
-            if (!flags_.cf && !jump_to(insn.imm, out)) return out;
-            if (!flags_.cf) next_rip = rip_;
+        case opcode::jmp: {
+            bool taken = true;
+            switch (insn.op) {
+                case opcode::je: taken = flags_.zf; break;
+                case opcode::jne: taken = !flags_.zf; break;
+                case opcode::jb: taken = flags_.lt_unsigned; break;
+                case opcode::jae: taken = !flags_.lt_unsigned; break;
+                case opcode::jl: taken = flags_.lt_signed; break;
+                case opcode::jge: taken = !flags_.lt_signed; break;
+                case opcode::jnc: taken = !flags_.cf; break;
+                default: break;  // jmp
+            }
+            if (taken) {
+                const std::uint32_t target = prog_->flow[rip_].target;
+                if (target == no_id) {
+                    out.status = exec_status::trapped;
+                    out.trap = trap_kind::invalid_jump;
+                    out.fault_addr = insn.imm;
+                    return out;
+                }
+                next_rip = target;
+            }
             break;
-        case opcode::jmp:
-            if (!jump_to(insn.imm, out)) return out;
-            next_rip = rip_;
-            break;
+        }
         case opcode::call: {
-            const std::uint64_t return_addr =
-                prog_->addrs[rip_] + encoded_length(insn);
-            const auto native_it = prog_->natives.find(insn.imm);
-            if (native_it != prog_->natives.end()) {
+            const resolved_flow& fl = prog_->flow[rip_];
+            if (fl.native != nullptr) {
                 // Native helper: model the full call/ret round trip so the
                 // helper can observe a genuine frame (return address on the
-                // stack) while executing host-side.
-                push64(return_addr);
-                native_it->second(*this);
-                const std::uint64_t back = pop64();
-                if (back != return_addr && !jump_to(back, out)) return out;
-                if (back != return_addr) next_rip = rip_;
+                // stack) while executing host-side. This is the only edge
+                // where exceptions still travel — helpers are arbitrary
+                // host code using the throwing memory API and native_trap.
+                if (!push64(fl.return_addr, out)) return out;
+                try {
+                    (*fl.native)(*this);
+                } catch (const mem_fault& fault) {
+                    out.status = exec_status::trapped;
+                    out.trap = trap_kind::segfault;
+                    out.fault_addr = fault.addr();
+                    return out;
+                } catch (const native_trap& trap) {
+                    out.status = exec_status::trapped;
+                    out.trap = trap.kind;
+                    out.fault_addr = current_address();
+                    return out;
+                }
+                std::uint64_t back;
+                if (!pop64(back, out)) return out;
+                if (back != fl.return_addr) {
+                    if (!jump_to(back, out)) return out;
+                    next_rip = rip_;
+                }
                 break;
             }
-            push64(return_addr);
-            if (!jump_to(insn.imm, out)) return out;
-            next_rip = rip_;
+            if (fl.target == no_id) {
+                out.status = exec_status::trapped;
+                out.trap = trap_kind::invalid_jump;
+                out.fault_addr = insn.imm;
+                return out;
+            }
+            if (!push64(fl.return_addr, out)) return out;
+            next_rip = fl.target;
             break;
         }
         case opcode::ret: {
-            const std::uint64_t target = pop64();
+            // The popped target is data from the simulated stack — exactly
+            // what an overflow corrupts — so it must resolve dynamically.
+            std::uint64_t target;
+            if (!pop64(target, out)) return out;
             if (target == return_sentinel) {
                 out.status = exec_status::exited;
                 out.exit_code = static_cast<std::int64_t>(get(reg::rax));
@@ -311,10 +392,13 @@ run_result machine::step() {
             next_rip = rip_;
             break;
         }
-        case opcode::leave:
+        case opcode::leave: {
             set(reg::rsp, get(reg::rbp));
-            set(reg::rbp, pop64());
+            std::uint64_t v;
+            if (!pop64(v, out)) return out;
+            set(reg::rbp, v);
             break;
+        }
         case opcode::rdrand_r: {
             std::uint64_t value = 0;
             flags_.cf = entropy_.rdrand64(value);
@@ -339,7 +423,7 @@ run_result machine::step() {
             break;
         case opcode::movhps_xm: {
             xmm_value x = get_x(insn.x1);
-            x.hi = mem_.load64(effective_address(insn.mem));
+            if (!ld(effective_address(insn.mem), 8, x.hi, out)) return out;
             set_x(insn.x1, x);
             break;
         }
@@ -352,19 +436,25 @@ run_result machine::step() {
         case opcode::movdqu_mx: {
             const std::uint64_t addr = effective_address(insn.mem);
             const xmm_value x = get_x(insn.x2);
-            mem_.store64(addr, x.lo);
-            mem_.store64(addr + 8, x.hi);
+            if (!st(addr, 8, x.lo, out)) return out;
+            if (!st(addr + 8, 8, x.hi, out)) return out;
             break;
         }
         case opcode::movdqu_xm: {
             const std::uint64_t addr = effective_address(insn.mem);
-            set_x(insn.x1, {mem_.load64(addr), mem_.load64(addr + 8)});
+            std::uint64_t lo, hi;
+            if (!ld(addr, 8, lo, out)) return out;
+            if (!ld(addr + 8, 8, hi, out)) return out;
+            set_x(insn.x1, {lo, hi});
             break;
         }
         case opcode::cmp128_xm: {
             const std::uint64_t addr = effective_address(insn.mem);
             const xmm_value x = get_x(insn.x1);
-            flags_.zf = x.lo == mem_.load64(addr) && x.hi == mem_.load64(addr + 8);
+            std::uint64_t lo, hi;
+            if (!ld(addr, 8, lo, out)) return out;
+            if (!ld(addr + 8, 8, hi, out)) return out;
+            flags_.zf = x.lo == lo && x.hi == hi;
             break;
         }
         case opcode::syscall_i: {
@@ -380,11 +470,20 @@ run_result machine::step() {
                 case syscall_no::sys_write: {
                     const std::uint64_t buf = get(reg::rsi);
                     const std::uint64_t count = get(reg::rdx);
-                    std::string data(count, '\0');
-                    mem_.read_bytes(buf, std::span{reinterpret_cast<std::uint8_t*>(
-                                                       data.data()),
-                                                   data.size()});
-                    output_ += data;
+                    const std::uint8_t* p = mem_.try_at(buf, count);
+                    if (p == nullptr) {
+                        out.status = exec_status::trapped;
+                        out.trap = trap_kind::segfault;
+                        out.fault_addr = buf;
+                        return out;
+                    }
+                    // Append straight out of guest memory — no temporary —
+                    // and stop retaining bytes past the output cap.
+                    if (output_.size() < max_output_bytes) {
+                        const std::size_t take = std::min<std::size_t>(
+                            count, max_output_bytes - output_.size());
+                        output_.append(reinterpret_cast<const char*>(p), take);
+                    }
                     set(reg::rax, count);
                     break;
                 }
@@ -409,7 +508,11 @@ run_result machine::step() {
             out.exit_code = static_cast<std::int64_t>(get(reg::rax));
             return out;
         case opcode::sim_delay:
-            break;  // cost-model artifact; no architectural effect
+            // Cost-model artifact; no architectural effect. Its per-site
+            // cycle charge lives in the immediate (the flat table only
+            // carries the dbi_tax component).
+            cycles_ += insn.imm;
+            break;
     }
 
     rip_ = next_rip;
@@ -420,6 +523,8 @@ run_result machine::step() {
 run_result machine::run(std::uint64_t max_steps) {
     if (finished_valid_) return finished_;
     if (!rip_valid_) throw std::logic_error{"machine::run before call_function"};
+
+    cost_table_ = costs_.table();
 
     run_result out;
     std::uint64_t executed = 0;
@@ -438,17 +543,7 @@ run_result machine::run(std::uint64_t max_steps) {
             out.fault_addr = current_address();
             break;
         }
-        try {
-            out = step();
-        } catch (const mem_fault& fault) {
-            out.status = exec_status::trapped;
-            out.trap = trap_kind::segfault;
-            out.fault_addr = fault.addr();
-        } catch (const native_trap& trap) {
-            out.status = exec_status::trapped;
-            out.trap = trap.kind;
-            out.fault_addr = current_address();
-        }
+        out = step();
         ++executed;
         if (out.status == exec_status::syscalled) return out;  // resumable
         if (out.status != exec_status::running) break;
@@ -461,6 +556,44 @@ run_result machine::run(std::uint64_t max_steps) {
 std::uint64_t machine::current_address() const noexcept {
     if (rip_ < prog_->addrs.size()) return prog_->addrs[rip_];
     return 0;
+}
+
+void machine::copy_scalars_from(const machine& src) {
+    assert(prog_ == src.prog_);
+    gpr_ = src.gpr_;
+    xmm_ = src.xmm_;
+    flags_ = src.flags_;
+    fs_base_ = src.fs_base_;
+    rip_ = src.rip_;
+    rip_valid_ = src.rip_valid_;
+    costs_ = src.costs_;
+    cost_table_ = src.cost_table_;
+    cycles_ = src.cycles_;
+    steps_ = src.steps_;
+    fuel_ = src.fuel_;
+    tsc_base_ = src.tsc_base_;
+    entropy_ = src.entropy_;
+    pid_ = src.pid_;
+    // Skip the copy when already equal: on the per-request fork fast path
+    // both sides' output is (almost) always empty, and the fork tail
+    // clears the child's output right after anyway.
+    if (output_ != src.output_) output_ = src.output_;
+    finished_ = src.finished_;
+    finished_valid_ = src.finished_valid_;
+}
+
+void machine::restore_from(const machine& snap) {
+    if (prog_ != snap.prog_)
+        throw std::invalid_argument{"machine::restore_from: different program"};
+    copy_scalars_from(snap);
+    mem_.restore_from(snap.mem_);
+}
+
+void machine::sync_from(machine& src) {
+    if (prog_ != src.prog_)
+        throw std::invalid_argument{"machine::sync_from: different program"};
+    copy_scalars_from(src);
+    mem_.sync_from(src.mem_);
 }
 
 }  // namespace pssp::vm

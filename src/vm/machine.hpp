@@ -1,10 +1,18 @@
 // The interpreter: executes a linked program against a process memory image.
 //
 // One machine == one simulated thread of one simulated process. The process
-// layer (src/proc) copies machines wholesale to implement fork() — the
-// program is shared through a shared_ptr, registers/memory/flags are deep
-// state — and routes syscalls. Machines are deliberately value-like: tests
-// snapshot them, run divergent continuations, and compare outcomes.
+// layer (src/proc) implements fork() by copying machines — wholesale for
+// the general executor, or by dirty-page sync_from() on the fork-server
+// fast path — with the program shared through a shared_ptr and
+// registers/memory/flags as deep state. Machines are deliberately
+// value-like: tests snapshot them, run divergent continuations, and
+// compare outcomes.
+//
+// The step loop is engineered exception- and hash-free: jump/call targets
+// come pre-resolved from program::finalize(), cycle costs from a flat
+// per-opcode table, and memory faults surface as trap statuses. The only
+// exceptions on the run path originate inside native helpers and are
+// caught at the native-call edge.
 #pragma once
 
 #include <array>
@@ -48,10 +56,18 @@ struct run_result {
 
 // Thrown by native helpers to terminate the simulated process — the host
 // analog of glibc's __GI__fortify_fail aborting on a smashed stack. The
-// interpreter converts it into a trapped run_result.
+// interpreter converts it into a trapped run_result. Exceptions exist only
+// on the native-call edge: interpreter-level memory faults travel as
+// status returns, so the step loop runs without a try/catch.
 struct native_trap {
     trap_kind kind = trap_kind::stack_smash;
 };
+
+// Cap on accumulated sys_write output. A hijacked or runaway worker under
+// a generous fuel budget could otherwise balloon the host-side string; the
+// workloads' legitimate responses are a few dozen bytes. Writes past the
+// cap still succeed (rax = count), the excess bytes are just not retained.
+inline constexpr std::size_t max_output_bytes = std::size_t{1} << 20;
 
 // Gap between the top of the stack region and the initial rsp — the
 // argv/envp/auxv area of a real process. Gives runaway writes above the
@@ -129,6 +145,22 @@ class machine {
     // Current instruction address (for diagnostics).
     [[nodiscard]] std::uint64_t current_address() const noexcept;
 
+    // ---- Snapshot / restore / fork fast paths ----
+    // A snapshot is simply an earlier copy of the machine (copy
+    // construction); these members rewind to / converge on such a copy
+    // while moving only dirty pages instead of whole regions.
+
+    // Rewinds *this to `snap`, which must be a copy of *this taken while
+    // the memory's restore channel was clean (mem().mark_clean). Scalars
+    // copy wholesale; memory restores dirty pages only.
+    void restore_from(const machine& snap);
+
+    // Makes *this an exact replica of `src` (same program), assuming the
+    // two were identical when both fork channels were last cleared. The
+    // cheap fork: the process layer recycles one worker machine per server
+    // this way instead of deep-copying 0.5 MB per request.
+    void sync_from(machine& src);
+
   private:
     std::shared_ptr<const program> prog_;
     memory mem_;
@@ -140,6 +172,7 @@ class machine {
     bool rip_valid_ = false;
 
     cost_model costs_{};
+    cost_table cost_table_{};  // rebuilt from costs_ at each run() entry
     std::uint64_t cycles_ = 0;
     std::uint64_t steps_ = 0;
     std::uint64_t fuel_ = 0;
@@ -154,13 +187,20 @@ class machine {
 
     // ---- Internal helpers ----
     [[nodiscard]] std::uint64_t effective_address(const mem_operand& m) const noexcept;
-    void push64(std::uint64_t value);
-    [[nodiscard]] std::uint64_t pop64();
+    // Fault-status memory helpers: on an unmapped access they fill `out`
+    // with a segfault trap and return false (no exception).
+    [[nodiscard]] bool ld(std::uint64_t addr, std::size_t size, std::uint64_t& value,
+                          run_result& out) noexcept;
+    [[nodiscard]] bool st(std::uint64_t addr, std::size_t size, std::uint64_t value,
+                          run_result& out) noexcept;
+    [[nodiscard]] bool push64(std::uint64_t value, run_result& out) noexcept;
+    [[nodiscard]] bool pop64(std::uint64_t& value, run_result& out) noexcept;
     // Transfers control to `addr`; returns false (and fills `out`) on an
     // invalid target.
     [[nodiscard]] bool jump_to(std::uint64_t addr, run_result& out);
     [[nodiscard]] run_result step();
     void set_alu_flags(std::uint64_t result) noexcept;
+    void copy_scalars_from(const machine& src);
 };
 
 }  // namespace pssp::vm

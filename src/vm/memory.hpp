@@ -11,11 +11,25 @@
 // object, so stray data writes can never modify text (and reads/writes to
 // text addresses fault, as under a standard W^X policy).
 //
-// Every access is bounds-checked; a violation raises mem_fault, which the
-// interpreter converts into a segfault trap — the observable "crash" signal
-// the byte-by-byte attacker drives its oracle with.
+// Storage is one contiguous buffer with the regions laid out back to back
+// at page-aligned offsets; address resolution walks a three-entry flat
+// descriptor array (stack first — it is by far the hottest region). The
+// interpreter uses the noexcept try_* accessors and turns a null result
+// into a segfault trap without unwinding; the throwing accessors remain
+// for native helpers, the attack harness, and tests, and raise mem_fault
+// exactly as before.
+//
+// Every store also marks the touched 4 KiB page dirty on two independent
+// channels, which is what makes process snapshot/restore and fork cheap:
+//   * channel restore — consumed by restore_from(): "pages changed since
+//     the snapshot this memory was cloned from" (master reboot in the
+//     trial pool);
+//   * channel fork    — consumed by sync_from(): "pages where two
+//     once-identical images have since diverged" (recycling one worker
+//     machine across fork-per-request serves).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -56,14 +70,19 @@ struct mem_layout {
     std::uint64_t tls_size = default_tls_size;
 };
 
+// The two independent dirty-page tracking channels; see the header comment.
+enum class dirty_channel : unsigned { restore = 0, fork = 1 };
+
 class memory {
   public:
     using layout = mem_layout;
 
+    static constexpr std::size_t page_bytes = 4096;
+
     explicit memory(const layout& lay = layout{});
 
     // Value accessors. Multi-byte accesses are little-endian and must lie
-    // entirely inside one region.
+    // entirely inside one region. These throw mem_fault on violation.
     [[nodiscard]] std::uint8_t load8(std::uint64_t addr) const;
     [[nodiscard]] std::uint32_t load32(std::uint64_t addr) const;
     [[nodiscard]] std::uint64_t load64(std::uint64_t addr) const;
@@ -75,13 +94,58 @@ class memory {
     void read_bytes(std::uint64_t addr, std::span<std::uint8_t> out) const;
     void write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data);
 
+    // ---- Exception-free fast path (the interpreter's accessors) ----
+    // Pointer to [addr, addr+size) if mapped within one region, else null.
+    [[nodiscard]] const std::uint8_t* try_at(std::uint64_t addr,
+                                             std::size_t size) const noexcept {
+        for (const auto& d : desc_) {
+            const std::uint64_t off = addr - d.base;
+            if (off < d.size && size <= d.size - off) return buf_.data() + d.off + off;
+        }
+        return nullptr;
+    }
+
+    // Mutable variant; marks the touched pages dirty on both channels.
+    [[nodiscard]] std::uint8_t* try_at_mut(std::uint64_t addr,
+                                           std::size_t size) noexcept {
+        for (const auto& d : desc_) {
+            const std::uint64_t off = addr - d.base;
+            if (off < d.size && size <= d.size - off) {
+                mark_dirty(d.off + off, size);
+                return buf_.data() + d.off + off;
+            }
+        }
+        return nullptr;
+    }
+
+    // ---- Snapshot / restore / fork fast paths ----
+    // Resets dirty tracking on one channel or both.
+    void mark_clean(dirty_channel channel) noexcept;
+    void mark_all_clean() noexcept;
+
+    // Rewinds this memory to `snap` (an earlier copy of *this* taken when
+    // the restore channel was clean), copying only pages dirtied since.
+    // Restored pages are re-marked dirty on the fork channel, so a worker
+    // synced against this image still observes the change. Throws if the
+    // two images have different layouts.
+    void restore_from(const memory& snap);
+
+    // Makes this memory byte-identical to `src`, assuming the two were
+    // identical when both fork channels were last cleared: copies the union
+    // of both sides' fork-dirty pages from `src`, then clears both fork
+    // channels. The cheap half of fork(). Throws on layout mismatch.
+    void sync_from(memory& src);
+
+    // Dirty page count on `channel` (tests and pool statistics).
+    [[nodiscard]] std::size_t dirty_pages(dirty_channel channel) const noexcept;
+
     // True if [addr, addr+size) is mapped within a single region.
     [[nodiscard]] bool contains(std::uint64_t addr, std::size_t size = 1) const noexcept;
 
     [[nodiscard]] const layout& regions() const noexcept { return layout_; }
 
-    // Direct spans, used by fork (memcpy of the whole region) and by tests
-    // that inspect raw stack bytes around the canary.
+    // Direct spans, used by tests that inspect raw stack bytes around the
+    // canary and by the leak-oriented attack code.
     [[nodiscard]] std::span<const std::uint8_t> stack_bytes() const noexcept;
     [[nodiscard]] std::span<const std::uint8_t> tls_bytes() const noexcept;
     [[nodiscard]] std::span<const std::uint8_t> globals_bytes() const noexcept;
@@ -91,21 +155,31 @@ class memory {
     [[nodiscard]] std::size_t resident_bytes() const noexcept;
 
   private:
-    struct region {
-        std::uint64_t base;
-        std::vector<std::uint8_t> bytes;
-        [[nodiscard]] bool contains(std::uint64_t addr, std::size_t size) const noexcept {
-            return addr >= base && addr + size <= base + bytes.size() && addr + size >= addr;
-        }
+    // Region descriptor: virtual base/size plus the region's offset into
+    // the contiguous backing buffer. Offsets (not raw pointers) keep the
+    // default copy operations correct.
+    struct descriptor {
+        std::uint64_t base = 0;
+        std::uint64_t size = 0;
+        std::size_t off = 0;
     };
 
     layout layout_;
-    region globals_;
-    region stack_;
-    region tls_;
+    std::array<descriptor, 3> desc_{};  // lookup order: stack, globals, tls
+    std::vector<std::uint8_t> buf_;
+    // One bit per page of buf_, per channel.
+    std::array<std::vector<std::uint64_t>, 2> dirty_{};
 
-    [[nodiscard]] const region* find(std::uint64_t addr, std::size_t size) const noexcept;
-    [[nodiscard]] region* find(std::uint64_t addr, std::size_t size) noexcept;
+    void mark_dirty(std::size_t buf_off, std::size_t size) noexcept {
+        if (size == 0) return;  // the -1 below would wrap
+        const std::size_t first = buf_off / page_bytes;
+        const std::size_t last = (buf_off + size - 1) / page_bytes;
+        for (std::size_t p = first; p <= last; ++p) {
+            const std::uint64_t bit = std::uint64_t{1} << (p & 63);
+            dirty_[0][p >> 6] |= bit;
+            dirty_[1][p >> 6] |= bit;
+        }
+    }
 };
 
 }  // namespace pssp::vm

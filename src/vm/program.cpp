@@ -1,0 +1,38 @@
+#include "vm/program.hpp"
+
+namespace pssp::vm {
+
+void program::finalize() {
+    flow.assign(insns.size(), resolved_flow{});
+    for (std::size_t i = 0; i < insns.size(); ++i) {
+        const instruction& insn = insns[i];
+        switch (insn.op) {
+            case opcode::je:
+            case opcode::jne:
+            case opcode::jb:
+            case opcode::jae:
+            case opcode::jl:
+            case opcode::jge:
+            case opcode::jnc:
+            case opcode::jmp:
+                flow[i].target = index_of(insn.imm);
+                break;
+            case opcode::call: {
+                // Natives win over code: a call into the PLT region never
+                // has an instruction at its target. Pointers into `natives`
+                // stay valid because the program is immutable once loaded.
+                const auto it = natives.find(insn.imm);
+                if (it != natives.end())
+                    flow[i].native = &it->second;
+                else
+                    flow[i].target = index_of(insn.imm);
+                flow[i].return_addr = addrs[i] + encoded_length(insn);
+                break;
+            }
+            default:
+                break;
+        }
+    }
+}
+
+}  // namespace pssp::vm

@@ -25,9 +25,21 @@ class machine;  // forward; native helpers receive the executing machine
 // `call`; arguments/results pass through the machine's registers per SysV.
 using native_fn = std::function<void(machine&)>;
 
+// Pre-resolved control flow for one instruction, computed once at load
+// time by program::finalize(). The interpreter's jmp/jcc/call dispatch
+// reads these fields instead of hashing the target address per transfer;
+// only ret (whose target comes off the — possibly attacker-controlled —
+// simulated stack) still resolves dynamically through index_of().
+struct resolved_flow {
+    std::uint32_t target = no_id;       // jmp/jcc/call: target instruction index
+    std::uint64_t return_addr = 0;      // call: address of the next instruction
+    const native_fn* native = nullptr;  // call: bound native helper, if any
+};
+
 struct program {
     std::vector<instruction> insns;
     std::vector<std::uint64_t> addrs;  // parallel to insns: start address
+    std::vector<resolved_flow> flow;   // parallel to insns; see finalize()
 
     // Exact-start address -> instruction index (control transfers only land
     // on instruction starts; anything else is an invalid-jump trap).
@@ -56,6 +68,12 @@ struct program {
         const auto it = addr_to_index.find(addr);
         return it == addr_to_index.end() ? no_id : it->second;
     }
+
+    // Pre-resolves control flow into `flow` (see resolved_flow). Must be
+    // called after insns/addrs/addr_to_index/natives are final — the loader
+    // (linked_binary::make_program) does this; a machine refuses to run a
+    // program whose flow table is missing or stale.
+    void finalize();
 };
 
 // Returned by ret when the initial (harness-provided) frame returns:

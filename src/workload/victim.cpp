@@ -45,10 +45,14 @@ victim make_victim(target_kind target, core::scheme_kind scheme,
         compiler::build_module(make_server_module(profile),
                                core::make_scheme(scheme, options)));
 
+    proc::server_batch batch{binary, scheme, options, server_config_for(profile)};
+    auto pool = std::make_shared<proc::master_pool>(
+        binary, scheme, options, batch.config(), batch.program());
+
     victim v{
         .binary = binary,
-        .batch = proc::server_batch{binary, scheme, options,
-                                    server_config_for(profile)},
+        .batch = std::move(batch),
+        .pool = std::move(pool),
         .scheme = scheme,
         .target = target,
         .prefix_bytes = attack_prefix_bytes(profile),

@@ -17,6 +17,7 @@
 #include "binfmt/image.hpp"
 #include "core/scheme.hpp"
 #include "proc/fork_server.hpp"
+#include "proc/master_pool.hpp"
 
 namespace pssp::workload {
 
@@ -33,6 +34,10 @@ enum class target_kind : std::uint8_t {
 struct victim {
     std::shared_ptr<const binfmt::linked_binary> binary;
     proc::server_batch batch;             // stamps out per-trial servers
+    // Boot-amortizing pool over the same build; shared (victims are copied
+    // into campaign cells) and thread-safe. lease_server() and
+    // make_server() produce byte-identical oracles for equal seeds.
+    std::shared_ptr<proc::master_pool> pool;
     core::scheme_kind scheme;
     target_kind target;
     std::uint64_t prefix_bytes = 0;       // buffer start -> canary distance
@@ -44,6 +49,11 @@ struct victim {
     // stream (it determines the master's TLS canary C).
     [[nodiscard]] proc::fork_server make_server(std::uint64_t seed) const {
         return batch.make(seed);
+    }
+
+    // Pool-backed equivalent: reuses a parked master when one is idle.
+    [[nodiscard]] proc::master_pool::lease lease_server(std::uint64_t seed) const {
+        return pool->acquire(seed);
     }
 };
 

@@ -55,6 +55,23 @@ TEST(campaign_engine, report_identical_across_jobs_levels) {
     EXPECT_EQ(serial.to_json(), parallel.to_json());
 }
 
+TEST(campaign_engine, report_identical_with_and_without_master_pool) {
+    // The snapshot-reuse pool is a pure execution-speed knob: trials are a
+    // function of their seeds alone, so routing them through recycled
+    // masters must not move a single report byte — at any jobs level.
+    auto spec = small_spec();
+    spec.reuse_masters = true;
+    spec.jobs = 4;
+    const auto pooled = campaign::engine{spec}.run();
+    spec.reuse_masters = false;
+    const auto fresh = campaign::engine{spec}.run();
+    EXPECT_EQ(pooled.to_json(), fresh.to_json());
+    spec.reuse_masters = true;
+    spec.jobs = 1;
+    const auto pooled_serial = campaign::engine{spec}.run();
+    EXPECT_EQ(pooled.to_json(), pooled_serial.to_json());
+}
+
 TEST(campaign_engine, pssp_detection_beats_ssp_on_byte_by_byte) {
     campaign::campaign_spec spec;
     spec.schemes = {scheme_kind::ssp, scheme_kind::p_ssp};

@@ -1,0 +1,128 @@
+// The snapshot-reuse contract: a pool-recycled fork server rebooted for
+// seed S must be byte-identical — in every observable of every serve — to
+// a fork server freshly constructed with seed S. The campaign engine's
+// report reproducibility across the reuse_masters knob rests entirely on
+// this property.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/tls_layout.hpp"
+#include "proc/master_pool.hpp"
+#include "workload/victim.hpp"
+
+namespace pssp {
+namespace {
+
+using core::scheme_kind;
+using proc::fork_server;
+using proc::serve_result;
+
+// A request mix that exercises the worker lifecycle broadly: benign
+// requests, canary-smashing overflows (worker dies, master re-forks), and
+// the info-leak path.
+std::vector<std::string> request_mix(const workload::victim& v) {
+    const std::string overflow(v.prefix_bytes + 24, 'A');
+    const std::string near_miss(v.prefix_bytes - 1, 'B');
+    std::vector<std::string> mix;
+    for (int round = 0; round < 6; ++round) {
+        mix.emplace_back("GET /index HTTP/1.0");
+        mix.push_back(near_miss);
+        mix.push_back(overflow);
+        mix.emplace_back("LEAK");
+        mix.emplace_back("ping");
+    }
+    return mix;
+}
+
+void expect_same_serve(const serve_result& a, const serve_result& b, std::size_t i) {
+    EXPECT_EQ(a.outcome, b.outcome) << "request " << i;
+    EXPECT_EQ(a.raw.status, b.raw.status) << "request " << i;
+    EXPECT_EQ(a.raw.trap, b.raw.trap) << "request " << i;
+    EXPECT_EQ(a.raw.exit_code, b.raw.exit_code) << "request " << i;
+    EXPECT_EQ(a.raw.fault_addr, b.raw.fault_addr) << "request " << i;
+    EXPECT_EQ(a.output, b.output) << "request " << i;
+    EXPECT_EQ(a.worker_cycles, b.worker_cycles) << "request " << i;
+    EXPECT_EQ(a.worker_steps, b.worker_steps) << "request " << i;
+}
+
+void expect_equivalent_servers(fork_server& fresh, fork_server& pooled,
+                               const std::vector<std::string>& requests) {
+    // Same master state at boot...
+    EXPECT_EQ(core::tls_load(fresh.master(), core::tls_canary),
+              core::tls_load(pooled.master(), core::tls_canary));
+    EXPECT_EQ(fresh.master().cycles(), pooled.master().cycles());
+    EXPECT_EQ(fresh.master().steps(), pooled.master().steps());
+    // ...and identical behavior over a whole serve sequence.
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        expect_same_serve(fresh.serve(requests[i]), pooled.serve(requests[i]), i);
+    EXPECT_EQ(fresh.requests(), pooled.requests());
+    EXPECT_EQ(fresh.crashes(), pooled.crashes());
+}
+
+TEST(master_pool, rebooted_server_is_byte_identical_to_fresh_boot) {
+    for (const auto kind : {scheme_kind::ssp, scheme_kind::p_ssp}) {
+        const auto victim = workload::make_victim(workload::target_kind::nginx, kind);
+        const auto requests = request_mix(victim);
+        const std::uint64_t seed = 0x5eed0001;
+
+        // Dirty a pooled server under a different seed first, so the
+        // second acquire takes the reboot (restore + re-derive) path.
+        { auto scratch = victim.lease_server(seed ^ 0xffff); (void)scratch->serve("warm"); }
+        auto fresh = victim.make_server(seed);
+        auto lease = victim.lease_server(seed);
+        EXPECT_EQ(victim.pool->reuses(), 1u);
+        expect_equivalent_servers(fresh, lease.server(), requests);
+    }
+}
+
+TEST(master_pool, reuse_survives_many_reboots) {
+    const auto victim =
+        workload::make_victim(workload::target_kind::ali, scheme_kind::p_ssp);
+    const std::string overflow(victim.prefix_bytes + 16, 'A');
+    for (std::uint64_t seed = 100; seed < 110; ++seed) {
+        auto fresh = victim.make_server(seed);
+        auto lease = victim.lease_server(seed);
+        expect_same_serve(fresh.serve(overflow), lease->serve(overflow), seed);
+        expect_same_serve(fresh.serve("ok"), lease->serve("ok"), seed);
+    }
+    EXPECT_EQ(victim.pool->boots(), 1u);
+    EXPECT_EQ(victim.pool->reuses(), 9u);
+}
+
+TEST(master_pool, concurrent_leases_are_distinct_servers) {
+    const auto victim =
+        workload::make_victim(workload::target_kind::nginx, scheme_kind::ssp);
+    auto a = victim.lease_server(1);
+    auto b = victim.lease_server(2);
+    EXPECT_NE(&a.server(), &b.server());
+    // Different seeds, different canaries: the leases really are
+    // independently booted trials.
+    EXPECT_NE(core::tls_load(a->master(), core::tls_canary),
+              core::tls_load(b->master(), core::tls_canary));
+    EXPECT_EQ(victim.pool->boots(), 2u);
+}
+
+TEST(master_pool, released_servers_return_to_the_idle_list) {
+    const auto victim =
+        workload::make_victim(workload::target_kind::nginx, scheme_kind::ssp);
+    EXPECT_EQ(victim.pool->idle(), 0u);
+    { auto lease = victim.lease_server(7); }
+    EXPECT_EQ(victim.pool->idle(), 1u);
+    { auto lease = victim.lease_server(8); }
+    EXPECT_EQ(victim.pool->idle(), 1u);  // reused, not duplicated
+    EXPECT_EQ(victim.pool->boots(), 1u);
+    EXPECT_EQ(victim.pool->reuses(), 1u);
+}
+
+TEST(master_pool, reboot_requires_reusable_config) {
+    const auto victim =
+        workload::make_victim(workload::target_kind::nginx, scheme_kind::ssp);
+    auto fresh = victim.make_server(3);  // batch servers are one-shot
+    EXPECT_THROW(fresh.reboot(4), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pssp

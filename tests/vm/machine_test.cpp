@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "binfmt/image.hpp"
+#include <algorithm>
 #include <optional>
 
 #include "binfmt/stdlib.hpp"
@@ -246,6 +247,86 @@ TEST(machine, cycle_accounting_uses_cost_model) {
     (void)p.run();
     // rdrand alone costs hundreds of modeled cycles (Table V calibration).
     EXPECT_GE(p.m->cycles() - before, p.m->costs().rdrand);
+}
+
+TEST(machine, sys_write_output_is_capped) {
+    // A runaway worker hammering sys_write must not balloon host memory:
+    // bytes past max_output_bytes are dropped while the syscall still
+    // reports full success to the program.
+    mini_program p;
+    auto& code = p.f;
+    const auto loop = code.new_label();
+    code.emit(mov_ri(reg::rcx, 40));  // 40 writes x 256 KiB = 10 MiB offered
+    code.place(loop);
+    code.emit({mov_ri(reg::rsi, vm::default_globals_base),
+               mov_ri(reg::rdx, vm::default_globals_size),
+               syscall_i(static_cast<std::uint32_t>(vm::syscall_no::sys_write)),
+               sub_ri(reg::rcx, 1), cmp_ri(reg::rcx, 0), jne(loop),
+               mov_ri(reg::rax, 0), ret()});
+    p.build();
+    p.m->set_fuel(p.m->steps() + 10'000);
+    p.m->call_function(p.binary->symbols.at("f"));
+    const auto r = p.m->run();
+    ASSERT_EQ(r.status, vm::exec_status::exited);
+    EXPECT_EQ(p.m->output().size(), vm::max_output_bytes);
+}
+
+TEST(machine, restore_rewinds_execution_state) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp), sub_ri(reg::rsp, 32),
+               mov_mr(mem(reg::rbp, -8), reg::rdi), mov_rm(reg::rax, mem(reg::rbp, -8)),
+               add_ri(reg::rax, 1), leave(), ret()});
+    p.build();
+    machine& m = *p.m;
+    const machine snap = m;  // snapshot, then start dirty tracking
+    m.mem().mark_clean(vm::dirty_channel::restore);
+
+    m.set(reg::rdi, 41);
+    m.call_function(p.binary->symbols.at("f"));
+    ASSERT_EQ(m.run().exit_code, 42);
+    const auto cycles_after_first = m.cycles();
+
+    // Rewind and replay: same input must give the same machine evolution,
+    // including the accounting counters.
+    m.restore_from(snap);
+    EXPECT_EQ(m.cycles(), snap.cycles());
+    EXPECT_EQ(m.steps(), snap.steps());
+    m.set(reg::rdi, 41);
+    m.call_function(p.binary->symbols.at("f"));
+    ASSERT_EQ(m.run().exit_code, 42);
+    EXPECT_EQ(m.cycles(), cycles_after_first);
+}
+
+TEST(machine, sync_replicates_a_diverged_machine) {
+    mini_program p;
+    auto& code = p.f;
+    code.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp), sub_ri(reg::rsp, 32),
+               mov_mr(mem(reg::rbp, -8), reg::rdi), mov_rm(reg::rax, mem(reg::rbp, -8)),
+               leave(), ret()});
+    p.build();
+    machine& parent = *p.m;
+    machine worker = parent;  // the one full copy
+    worker.mem().mark_clean(vm::dirty_channel::fork);
+    parent.mem().mark_clean(vm::dirty_channel::fork);
+
+    // Worker runs (diverges); parent also moves on a little.
+    worker.set(reg::rdi, 7);
+    worker.call_function(p.binary->symbols.at("f"));
+    ASSERT_EQ(worker.run().exit_code, 7);
+    parent.mem().store64(parent.mem().regions().globals_base, 0x77);
+
+    // Re-fork by sync: worker must now equal the parent exactly.
+    worker.sync_from(parent);
+    EXPECT_EQ(worker.cycles(), parent.cycles());
+    EXPECT_EQ(worker.mem().load64(worker.mem().regions().globals_base), 0x77u);
+    EXPECT_TRUE(std::equal(worker.mem().stack_bytes().begin(),
+                           worker.mem().stack_bytes().end(),
+                           parent.mem().stack_bytes().begin()));
+    // And it runs like a fresh clone of the parent would.
+    worker.set(reg::rdi, 9);
+    worker.call_function(p.binary->symbols.at("f"));
+    EXPECT_EQ(worker.run().exit_code, 9);
 }
 
 TEST(machine, copies_are_independent) {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "vm/cost_model.hpp"
 #include "vm/memory.hpp"
 
@@ -55,6 +57,15 @@ TEST(memory, fault_reports_address_and_size) {
     }
 }
 
+TEST(memory, zero_length_write_at_region_base_is_harmless) {
+    // Regression: a size-0 write at buffer offset 0 must not wrap the
+    // dirty-page range computation (buf_off + size - 1).
+    memory m;
+    m.mark_all_clean();
+    m.write_bytes(m.regions().stack_top - m.regions().stack_size, {});
+    EXPECT_EQ(m.dirty_pages(vm::dirty_channel::restore), 0u);
+}
+
 TEST(memory, bulk_io_round_trips) {
     memory m;
     const auto base = m.regions().globals_base + 100;
@@ -76,6 +87,111 @@ TEST(memory, resident_bytes_counts_all_regions) {
     memory m;
     const auto& lay = m.regions();
     EXPECT_EQ(m.resident_bytes(), lay.globals_size + lay.stack_size + lay.tls_size);
+}
+
+TEST(memory, try_at_resolves_like_the_throwing_api) {
+    memory m;
+    const auto& lay = m.regions();
+    EXPECT_NE(m.try_at(lay.globals_base, 8), nullptr);
+    EXPECT_NE(m.try_at(lay.stack_top - 8, 8), nullptr);
+    EXPECT_NE(m.try_at(lay.tls_base + 0x28, 8), nullptr);
+    EXPECT_EQ(m.try_at(0x10, 1), nullptr);                       // unmapped
+    EXPECT_EQ(m.try_at(lay.stack_top - 4, 8), nullptr);          // past the end
+    EXPECT_EQ(m.try_at(lay.tls_base + lay.tls_size - 4, 8), nullptr);  // straddle
+    // The mutable variant resolves identically and is what stores use.
+    EXPECT_NE(m.try_at_mut(lay.globals_base, 8), nullptr);
+    EXPECT_EQ(m.try_at_mut(0x10, 1), nullptr);
+}
+
+TEST(memory, stores_mark_pages_dirty_loads_do_not) {
+    memory m;
+    m.mark_all_clean();
+    EXPECT_EQ(m.dirty_pages(vm::dirty_channel::restore), 0u);
+    (void)m.load64(m.regions().globals_base);
+    EXPECT_EQ(m.dirty_pages(vm::dirty_channel::restore), 0u);
+    m.store8(m.regions().globals_base, 1);
+    EXPECT_EQ(m.dirty_pages(vm::dirty_channel::restore), 1u);
+    EXPECT_EQ(m.dirty_pages(vm::dirty_channel::fork), 1u);
+    // A store spanning a page boundary dirties both pages (the first of
+    // which the store8 above already marked).
+    m.store64(m.regions().globals_base + memory::page_bytes - 4, 7);
+    EXPECT_EQ(m.dirty_pages(vm::dirty_channel::restore), 2u);
+    m.store8(m.regions().globals_base + 3 * memory::page_bytes, 1);
+    EXPECT_EQ(m.dirty_pages(vm::dirty_channel::restore), 3u);
+}
+
+TEST(memory, restore_rewinds_dirty_pages_only) {
+    memory m;
+    const auto base = m.regions().globals_base;
+    m.store64(base, 0x1111);
+    m.store64(m.regions().stack_top - 16, 0x2222);
+    const memory snap = m;  // snapshot while...
+    m.mark_clean(vm::dirty_channel::restore);  // ...the restore channel is clean
+
+    m.store64(base, 0xdead);
+    m.store64(base + 64 * 1024, 0xbeef);
+    m.store64(m.regions().tls_base + 0x28, 0xcafe);
+    EXPECT_EQ(m.dirty_pages(vm::dirty_channel::restore), 3u);
+
+    m.restore_from(snap);
+    EXPECT_EQ(m.dirty_pages(vm::dirty_channel::restore), 0u);
+    EXPECT_EQ(m.load64(base), 0x1111u);
+    EXPECT_EQ(m.load64(base + 64 * 1024), 0u);
+    EXPECT_EQ(m.load64(m.regions().tls_base + 0x28), 0u);
+    EXPECT_EQ(m.load64(m.regions().stack_top - 16), 0x2222u);
+    // The full images agree, not just the probed words.
+    EXPECT_TRUE(std::equal(m.stack_bytes().begin(), m.stack_bytes().end(),
+                           snap.stack_bytes().begin()));
+    EXPECT_TRUE(std::equal(m.globals_bytes().begin(), m.globals_bytes().end(),
+                           snap.globals_bytes().begin()));
+    EXPECT_TRUE(std::equal(m.tls_bytes().begin(), m.tls_bytes().end(),
+                           snap.tls_bytes().begin()));
+}
+
+TEST(memory, restored_pages_show_up_on_the_fork_channel) {
+    memory m;
+    const memory snap = m;
+    m.mark_all_clean();
+    m.store64(m.regions().globals_base, 1);
+    memory twin = m;  // identical from here on
+    twin.mark_clean(vm::dirty_channel::fork);
+    m.mark_clean(vm::dirty_channel::fork);
+
+    m.restore_from(snap);  // rewinds the store; twin must learn about it
+    EXPECT_GE(m.dirty_pages(vm::dirty_channel::fork), 1u);
+    twin.sync_from(m);
+    EXPECT_EQ(twin.load64(twin.regions().globals_base), 0u);
+}
+
+TEST(memory, sync_converges_diverged_images) {
+    memory a;
+    memory b = a;
+    a.mark_clean(vm::dirty_channel::fork);
+    b.mark_clean(vm::dirty_channel::fork);
+
+    a.store64(a.regions().globals_base, 0xaaaa);          // a-side divergence
+    b.store64(b.regions().stack_top - 8, 0xbbbb);         // b-side divergence
+    b.store64(b.regions().globals_base + 8192, 0xcccc);
+
+    a.sync_from(b);
+    EXPECT_EQ(a.load64(a.regions().globals_base), 0u);    // a's write undone
+    EXPECT_EQ(a.load64(a.regions().stack_top - 8), 0xbbbbu);
+    EXPECT_EQ(a.load64(a.regions().globals_base + 8192), 0xccccu);
+    EXPECT_EQ(a.dirty_pages(vm::dirty_channel::fork), 0u);
+    EXPECT_EQ(b.dirty_pages(vm::dirty_channel::fork), 0u);
+    EXPECT_TRUE(std::equal(a.stack_bytes().begin(), a.stack_bytes().end(),
+                           b.stack_bytes().begin()));
+    EXPECT_TRUE(std::equal(a.globals_bytes().begin(), a.globals_bytes().end(),
+                           b.globals_bytes().begin()));
+}
+
+TEST(memory, restore_rejects_mismatched_layouts) {
+    memory a;
+    vm::mem_layout small;
+    small.stack_size = 64 * 1024;
+    memory b{small};
+    EXPECT_THROW(a.restore_from(b), std::invalid_argument);
+    EXPECT_THROW(a.sync_from(b), std::invalid_argument);
 }
 
 TEST(cost_model, calibration_constants_match_table5_inputs) {
