@@ -21,6 +21,7 @@
 
 #include "bench_util.hpp"
 #include "campaign/engine.hpp"
+#include "dist/orchestrator.hpp"
 
 namespace {
 
@@ -28,12 +29,16 @@ using namespace pssp;
 
 void usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--trials N] [--jobs N] [--seed S] [--budget Q]\n"
-                 "          [--json PATH|-] [--bench-json PATH|-] [--fresh-masters]\n"
-                 "          [--progress]\n"
+                 "usage: %s [--trials N] [--jobs N] [--shards N] [--seed S]\n"
+                 "          [--budget Q] [--json PATH|-] [--bench-json PATH|-]\n"
+                 "          [--fresh-masters] [--worker PATH] [--progress]\n"
                  "  --trials N   trials per campaign cell (default 112: 9 cells\n"
                  "               x 112 = 1008 total trials)\n"
                  "  --jobs N     worker threads (default 1; 0 = all cores)\n"
+                 "  --shards N   fan the campaign out across N worker processes\n"
+                 "               (default 0 = in-process; the report is\n"
+                 "               byte-identical either way)\n"
+                 "  --worker PATH  campaign worker binary for --shards\n"
                  "  --seed S     master seed (default 2018)\n"
                  "  --budget Q   oracle-query budget per trial (default 4096)\n"
                  "  --json PATH  write the campaign_report JSON ('-' = stdout)\n"
@@ -54,6 +59,8 @@ int main(int argc, char** argv) {
     const char* json_path = nullptr;
     const char* bench_json_path = nullptr;
     bool progress = false;
+    unsigned shards = 0;  // 0 = in-process engine
+    const char* worker_path = nullptr;
 
     for (int i = 1; i < argc; ++i) {
         auto next_value = [&](const char* flag) -> const char* {
@@ -69,6 +76,11 @@ int main(int argc, char** argv) {
         } else if (!std::strcmp(argv[i], "--jobs")) {
             spec.jobs = static_cast<unsigned>(
                 std::strtoul(next_value("--jobs"), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--shards")) {
+            shards = static_cast<unsigned>(
+                std::strtoul(next_value("--shards"), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--worker")) {
+            worker_path = next_value("--worker");
         } else if (!std::strcmp(argv[i], "--seed")) {
             spec.master_seed = std::strtoull(next_value("--seed"), nullptr, 10);
         } else if (!std::strcmp(argv[i], "--budget")) {
@@ -100,16 +112,26 @@ int main(int argc, char** argv) {
     campaign::campaign_report report;
     double wall_seconds = 0.0;
     try {
-        campaign::engine eng{spec};
-        if (progress)
-            eng.set_progress([](std::uint64_t done, std::uint64_t total) {
-                std::fprintf(stderr, "\r%llu/%llu trials",
-                             static_cast<unsigned long long>(done),
-                             static_cast<unsigned long long>(total));
-                if (done == total) std::fprintf(stderr, "\n");
-            });
         const auto start = std::chrono::steady_clock::now();
-        report = eng.run();
+        if (shards > 0) {
+            // Multi-process fan-out; merged report byte-identical to the
+            // in-process path below (per-trial progress stays in-process
+            // only — workers own their trials).
+            dist::sharded_options options;
+            options.shards = shards;
+            if (worker_path != nullptr) options.worker_path = worker_path;
+            report = dist::run_sharded(spec, options);
+        } else {
+            campaign::engine eng{spec};
+            if (progress)
+                eng.set_progress([](std::uint64_t done, std::uint64_t total) {
+                    std::fprintf(stderr, "\r%llu/%llu trials",
+                                 static_cast<unsigned long long>(done),
+                                 static_cast<unsigned long long>(total));
+                    if (done == total) std::fprintf(stderr, "\n");
+                });
+            report = eng.run();
+        }
         wall_seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
                 .count();

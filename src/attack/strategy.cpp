@@ -17,6 +17,13 @@ std::string to_string(attack_kind kind) {
     throw std::invalid_argument{"to_string: unknown attack_kind"};
 }
 
+attack_kind attack_kind_from_string(const std::string& name) {
+    for (const auto kind : all_attack_kinds())
+        if (to_string(kind) == name) return kind;
+    throw std::invalid_argument{"attack_kind_from_string: unknown attack \"" +
+                                name + "\""};
+}
+
 const std::vector<attack_kind>& all_attack_kinds() {
     static const std::vector<attack_kind> kinds{
         attack_kind::brute_force,

@@ -28,6 +28,9 @@ enum class attack_kind : std::uint8_t {
 
 [[nodiscard]] std::string to_string(attack_kind kind);
 
+// Inverse of to_string; throws std::invalid_argument on an unknown name.
+[[nodiscard]] attack_kind attack_kind_from_string(const std::string& name);
+
 // All kinds, in presentation order.
 [[nodiscard]] const std::vector<attack_kind>& all_attack_kinds();
 

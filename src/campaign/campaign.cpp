@@ -1,7 +1,11 @@
 #include "campaign/campaign.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <stdexcept>
+#include <thread>
 
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace pssp::campaign {
@@ -17,25 +21,93 @@ campaign_spec default_spec() {
     return spec;
 }
 
-cell_report reduce_cell(core::scheme_kind scheme, attack::attack_kind attack,
-                        workload::target_kind target,
-                        std::span<const trial_result> trials) {
-    cell_report cell;
-    cell.scheme = scheme;
-    cell.attack = attack;
-    cell.target = target;
-    cell.trials = trials.size();
-    for (const auto& t : trials) {
-        if (t.hijacked) {
-            ++cell.hijacks;
-            cell.queries_to_compromise.add(static_cast<double>(t.oracle_queries));
-        }
-        if (t.detected) ++cell.detections;
-        cell.queries.add(static_cast<double>(t.oracle_queries));
-        cell.leaked_bytes_valid.add(static_cast<double>(t.leaked_bytes_valid));
-        cell.canary_detections += t.canary_detections;
-        cell.other_crashes += t.other_crashes;
+campaign_spec full_spec() {
+    campaign_spec spec;
+    spec.schemes = {core::scheme_kind::ssp,      core::scheme_kind::raf_ssp,
+                    core::scheme_kind::dynaguard, core::scheme_kind::dcr,
+                    core::scheme_kind::p_ssp,    core::scheme_kind::p_ssp_owf};
+    // No brute_force: it needs DCR's per-victim link offset (see the
+    // engine's constructor check).
+    spec.attacks = {attack::attack_kind::byte_by_byte,
+                    attack::attack_kind::leak_replay};
+    spec.targets = {workload::target_kind::nginx};
+    return spec;
+}
+
+unsigned resolve_jobs(unsigned requested) noexcept {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+void cell_partial::add(const trial_result& t) {
+    ++trials;
+    if (t.hijacked) {
+        ++hijacks;
+        queries_to_compromise.add(static_cast<double>(t.oracle_queries));
     }
+    if (t.detected) ++detections;
+    queries.add(static_cast<double>(t.oracle_queries));
+    leaked_bytes_valid.add(static_cast<double>(t.leaked_bytes_valid));
+    canary_detections += t.canary_detections;
+    other_crashes += t.other_crashes;
+}
+
+void cell_partial::merge(const cell_partial& other) {
+    trials += other.trials;
+    hijacks += other.hijacks;
+    detections += other.detections;
+    canary_detections += other.canary_detections;
+    other_crashes += other.other_crashes;
+    queries.merge(other.queries);
+    queries_to_compromise.merge(other.queries_to_compromise);
+    leaked_bytes_valid.merge(other.leaked_bytes_valid);
+}
+
+std::vector<cell_id> cells_for(const campaign_spec& spec) {
+    std::vector<cell_id> cells;
+    cells.reserve(spec.cell_count());
+    for (const auto target : spec.targets)
+        for (const auto scheme : spec.schemes)
+            for (const auto atk : spec.attacks)
+                cells.push_back(cell_id{target, scheme, atk});
+    return cells;
+}
+
+std::vector<block_ref> blocks_for(const campaign_spec& spec) {
+    const std::uint64_t cell_count = spec.cell_count();
+    const std::uint64_t per_cell =
+        (spec.trials_per_cell + reduce_block_trials - 1) / reduce_block_trials;
+    std::vector<block_ref> blocks;
+    blocks.reserve(cell_count * per_cell);
+    for (std::uint64_t cell = 0; cell < cell_count; ++cell) {
+        for (std::uint64_t b = 0; b < per_cell; ++b) {
+            const std::uint64_t offset = b * reduce_block_trials;
+            blocks.push_back(block_ref{
+                .index = blocks.size(),
+                .cell = cell,
+                .first_trial = cell * spec.trials_per_cell + offset,
+                .trials = std::min(reduce_block_trials,
+                                   spec.trials_per_cell - offset),
+            });
+        }
+    }
+    return blocks;
+}
+
+cell_report finalize_cell(const cell_id& id, const cell_partial& merged) {
+    cell_report cell;
+    cell.scheme = id.scheme;
+    cell.attack = id.attack;
+    cell.target = id.target;
+    cell.trials = merged.trials;
+    cell.hijacks = merged.hijacks;
+    cell.detections = merged.detections;
+    cell.canary_detections = merged.canary_detections;
+    cell.other_crashes = merged.other_crashes;
+    cell.queries = merged.queries;
+    cell.queries_to_compromise = merged.queries_to_compromise;
+    cell.leaked_bytes_valid = merged.leaked_bytes_valid;
     if (cell.trials > 0) {
         cell.hijack_rate =
             static_cast<double>(cell.hijacks) / static_cast<double>(cell.trials);
@@ -47,101 +119,75 @@ cell_report reduce_cell(core::scheme_kind scheme, attack::attack_kind attack,
     return cell;
 }
 
-namespace {
-
-// Shortest-round-trip formatting would vary in width; a fixed "%.9g" keeps
-// the JSON byte-stable across runs while losing nothing a rate needs.
-void append_number(std::string& out, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.9g", value);
-    out += buf;
+campaign_report assemble_report(const campaign_spec& spec,
+                                std::span<const block_ref> blocks,
+                                std::span<const cell_partial> partials) {
+    if (blocks.size() != partials.size())
+        throw std::invalid_argument{
+            "assemble_report: one partial per block required"};
+    const auto cells = cells_for(spec);
+    std::vector<cell_partial> merged(cells.size());
+    // blocks is in canonical order, so within each cell the merge happens
+    // in block order — the float-determinism invariant.
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        if (blocks[b].cell >= cells.size())
+            throw std::invalid_argument{"assemble_report: block cell out of range"};
+        merged[blocks[b].cell].merge(partials[b]);
+    }
+    campaign_report report;
+    report.spec = spec;
+    report.cells.reserve(cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c)
+        report.cells.push_back(finalize_cell(cells[c], merged[c]));
+    return report;
 }
 
-void append_kv(std::string& out, const char* key, double value, bool comma = true) {
-    out += '"';
-    out += key;
-    out += "\":";
-    append_number(out, value);
-    if (comma) out += ',';
+cell_report reduce_cell(core::scheme_kind scheme, attack::attack_kind attack,
+                        workload::target_kind target,
+                        std::span<const trial_result> trials) {
+    cell_partial cell;
+    for (std::size_t start = 0; start < trials.size();
+         start += reduce_block_trials) {
+        const std::size_t n = std::min<std::size_t>(
+            reduce_block_trials, trials.size() - start);
+        cell_partial block;
+        for (std::size_t i = 0; i < n; ++i) block.add(trials[start + i]);
+        cell.merge(block);
+    }
+    return finalize_cell(cell_id{target, scheme, attack}, cell);
 }
-
-void append_kv(std::string& out, const char* key, std::uint64_t value,
-               bool comma = true) {
-    out += '"';
-    out += key;
-    out += "\":";
-    out += std::to_string(value);
-    if (comma) out += ',';
-}
-
-void append_kv(std::string& out, const char* key, const std::string& value,
-               bool comma = true) {
-    out += '"';
-    out += key;
-    out += "\":\"";
-    out += value;  // names are identifier-like; no escaping needed
-    out += '"';
-    if (comma) out += ',';
-}
-
-void append_interval(std::string& out, const char* key, const util::interval& iv,
-                     bool comma = true) {
-    out += '"';
-    out += key;
-    out += "\":[";
-    append_number(out, iv.lo);
-    out += ',';
-    append_number(out, iv.hi);
-    out += ']';
-    if (comma) out += ',';
-}
-
-void append_accumulator(std::string& out, const char* key,
-                        const util::welford_accumulator& acc, bool comma = true) {
-    out += '"';
-    out += key;
-    out += "\":{";
-    append_kv(out, "count", static_cast<std::uint64_t>(acc.count()));
-    append_kv(out, "mean", acc.mean());
-    append_kv(out, "stddev", acc.stddev());
-    append_kv(out, "min", acc.count() ? acc.min() : 0.0);
-    append_kv(out, "max", acc.count() ? acc.max() : 0.0, /*comma=*/false);
-    out += '}';
-    if (comma) out += ',';
-}
-
-}  // namespace
 
 std::string campaign_report::to_json() const {
     std::string out;
     out.reserve(1024 + cells.size() * 512);
     out += "{\"campaign\":{";
-    append_kv(out, "master_seed", spec.master_seed);
-    append_kv(out, "trials_per_cell", spec.trials_per_cell);
-    append_kv(out, "query_budget", spec.query_budget);
-    append_kv(out, "brute_unknown_bits",
-              static_cast<std::uint64_t>(spec.brute_unknown_bits),
-              /*comma=*/false);
+    util::append_kv(out, "master_seed", spec.master_seed);
+    util::append_kv(out, "trials_per_cell", spec.trials_per_cell);
+    util::append_kv(out, "query_budget", spec.query_budget);
+    util::append_kv(out, "brute_unknown_bits",
+                    static_cast<std::uint64_t>(spec.brute_unknown_bits),
+                    /*comma=*/false);
     out += "},\"cells\":[";
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const auto& c = cells[i];
         if (i) out += ',';
         out += '{';
-        append_kv(out, "target", workload::to_string(c.target));
-        append_kv(out, "scheme", core::to_string(c.scheme));
-        append_kv(out, "attack", attack::to_string(c.attack));
-        append_kv(out, "trials", c.trials);
-        append_kv(out, "hijacks", c.hijacks);
-        append_kv(out, "detections", c.detections);
-        append_kv(out, "hijack_rate", c.hijack_rate);
-        append_interval(out, "hijack_ci95", c.hijack_ci);
-        append_kv(out, "detection_rate", c.detection_rate);
-        append_interval(out, "detection_ci95", c.detection_ci);
-        append_accumulator(out, "oracle_queries", c.queries);
-        append_accumulator(out, "queries_to_compromise", c.queries_to_compromise);
-        append_accumulator(out, "leaked_bytes_valid", c.leaked_bytes_valid);
-        append_kv(out, "canary_detections", c.canary_detections);
-        append_kv(out, "other_crashes", c.other_crashes, /*comma=*/false);
+        util::append_kv(out, "target", workload::to_string(c.target));
+        util::append_kv(out, "scheme", core::to_string(c.scheme));
+        util::append_kv(out, "attack", attack::to_string(c.attack));
+        util::append_kv(out, "trials", c.trials);
+        util::append_kv(out, "hijacks", c.hijacks);
+        util::append_kv(out, "detections", c.detections);
+        util::append_kv(out, "hijack_rate", c.hijack_rate);
+        util::append_interval(out, "hijack_ci95", c.hijack_ci);
+        util::append_kv(out, "detection_rate", c.detection_rate);
+        util::append_interval(out, "detection_ci95", c.detection_ci);
+        util::append_accumulator(out, "oracle_queries", c.queries);
+        util::append_accumulator(out, "queries_to_compromise",
+                                 c.queries_to_compromise);
+        util::append_accumulator(out, "leaked_bytes_valid", c.leaked_bytes_valid);
+        util::append_kv(out, "canary_detections", c.canary_detections);
+        util::append_kv(out, "other_crashes", c.other_crashes, /*comma=*/false);
         out += '}';
     }
     out += "]}";

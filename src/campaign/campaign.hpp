@@ -54,6 +54,19 @@ struct campaign_spec {
 // forking nginx analog.
 [[nodiscard]] campaign_spec default_spec();
 
+// The wide matrix: every campaign-capable scheme — default_spec's three
+// plus dynaguard, dcr and p_ssp_owf — against {byte_by_byte, leak_replay}.
+// brute_force is deliberately absent: its payload model needs DCR's
+// per-victim link offset, which campaigns do not model (the engine rejects
+// the pairing rather than reporting a fake 0.0 hijack rate).
+[[nodiscard]] campaign_spec full_spec();
+
+// Resolves a spec's `jobs` knob to a worker count: 0 means one per
+// hardware thread, clamped to at least 1 (hardware_concurrency() may
+// legitimately return 0). Every consumer of spec.jobs — the engine, the
+// dist orchestrator's per-shard sizing — goes through this.
+[[nodiscard]] unsigned resolve_jobs(unsigned requested) noexcept;
+
 // One trial's reduced record (a flattened attack::attack_outcome).
 struct trial_result {
     bool hijacked = false;
@@ -63,6 +76,56 @@ struct trial_result {
     std::uint64_t other_crashes = 0;
     unsigned leaked_bytes_valid = 0;
 };
+
+// Mergeable partial reduction over some of a cell's trials. This is the
+// unit that crosses process boundaries in sharded campaigns: integer
+// tallies sum, the Welford accumulators merge (Chan et al.), and nothing
+// here is a rate — rates and Wilson intervals are recomputed from the
+// merged integers in finalize_cell(), so they are exact whatever the
+// partition was.
+struct cell_partial {
+    std::uint64_t trials = 0;
+    std::uint64_t hijacks = 0;
+    std::uint64_t detections = 0;
+    std::uint64_t canary_detections = 0;
+    std::uint64_t other_crashes = 0;
+    util::welford_accumulator queries;
+    util::welford_accumulator queries_to_compromise;
+    util::welford_accumulator leaked_bytes_valid;
+
+    void add(const trial_result& t);
+    void merge(const cell_partial& other);
+};
+
+// The canonical reduction block: every cell's trials are grouped into
+// consecutive runs of this many (the last block ragged), each reduced by
+// sequential add()s in trial order, and a cell's statistics are ALWAYS the
+// in-order merge of its block partials — in the single-process engine and
+// in every sharded run alike. Identical float operations in an identical
+// order is what makes a merged shard report byte-identical to the
+// single-process report at any shard count.
+inline constexpr std::uint64_t reduce_block_trials = 64;
+
+// One cell of the cross product, in canonical (target-major, then scheme,
+// then attack) order.
+struct cell_id {
+    workload::target_kind target{};
+    core::scheme_kind scheme{};
+    attack::attack_kind attack{};
+};
+[[nodiscard]] std::vector<cell_id> cells_for(const campaign_spec& spec);
+
+// One canonical reduction block: `trials` consecutive trials of cell
+// `cell` starting at global trial index `first_trial`. blocks_for() lists
+// every block of the campaign in canonical order; `index` is the position
+// in that list, and is what shard planners partition.
+struct block_ref {
+    std::uint64_t index = 0;
+    std::uint64_t cell = 0;
+    std::uint64_t first_trial = 0;
+    std::uint64_t trials = 0;
+};
+[[nodiscard]] std::vector<block_ref> blocks_for(const campaign_spec& spec);
 
 // Per-cell statistics over trials_per_cell trials.
 struct cell_report {
@@ -96,8 +159,21 @@ struct campaign_report {
     [[nodiscard]] std::string to_table() const;
 };
 
-// Reduces trial records (in trial-index order) into the per-cell reports.
-// Exposed separately from the engine so tests can feed synthetic trials.
+// Rates + Wilson intervals from a cell's fully merged partial.
+[[nodiscard]] cell_report finalize_cell(const cell_id& id,
+                                        const cell_partial& merged);
+
+// The canonical reduction: per-block partials (one per blocks_for(spec)
+// entry, in that order) -> merged cells -> finalized report. The engine's
+// run() and the dist orchestrator's shard merge both end here, which is
+// why their outputs cannot differ.
+[[nodiscard]] campaign_report assemble_report(const campaign_spec& spec,
+                                              std::span<const block_ref> blocks,
+                                              std::span<const cell_partial> partials);
+
+// Reduces trial records (in trial-index order) into one cell report, via
+// the same block structure as assemble_report. Exposed separately from the
+// engine so tests can feed synthetic trials.
 [[nodiscard]] cell_report reduce_cell(core::scheme_kind scheme,
                                       attack::attack_kind attack,
                                       workload::target_kind target,

@@ -6,6 +6,7 @@
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -106,59 +107,81 @@ engine::engine(campaign_spec spec) : spec_{std::move(spec)} {
 }
 
 campaign_report engine::run() {
-    // One victim build per (target, scheme); attacks within a cell share it.
-    std::vector<workload::victim> victims;
-    victims.reserve(spec_.targets.size() * spec_.schemes.size());
-    for (const auto target : spec_.targets)
-        for (const auto scheme : spec_.schemes)
-            victims.push_back(
-                workload::make_victim(target, scheme, spec_.scheme_options));
+    const auto blocks = blocks_for(spec_);
+    const auto partials = run_blocks(blocks);
+    return assemble_report(spec_, blocks, partials);
+}
 
-    // Cell-major trial index space, target-major cell order (the report's
-    // documented ordering).
-    std::vector<cell_key> cells;
-    cells.reserve(spec_.cell_count());
-    for (std::size_t ti = 0; ti < spec_.targets.size(); ++ti)
-        for (std::size_t si = 0; si < spec_.schemes.size(); ++si)
-            for (const auto atk : spec_.attacks)
-                cells.push_back(cell_key{spec_.targets[ti], spec_.schemes[si], atk,
-                                         &victims[ti * spec_.schemes.size() + si]});
+std::vector<cell_partial> engine::run_blocks(std::span<const block_ref> blocks) {
+    const auto ids = cells_for(spec_);
+    const std::size_t n_attacks = spec_.attacks.size();
+    for (const auto& b : blocks)
+        if (b.cell >= ids.size())
+            throw std::invalid_argument{
+                "campaign::engine: block cell index out of range"};
 
-    const std::uint64_t total = cells.size() * spec_.trials_per_cell;
-    std::vector<trial_result> results(total);
+    const unsigned jobs = static_cast<unsigned>(std::min<std::uint64_t>(
+        resolve_jobs(spec_.jobs), std::max<std::uint64_t>(blocks.size(), 1)));
 
-    unsigned jobs = spec_.jobs != 0 ? spec_.jobs : std::thread::hardware_concurrency();
-    if (jobs == 0) jobs = 1;
-    jobs = static_cast<unsigned>(
-        std::min<std::uint64_t>(jobs, total));
+    // One victim build per (target, scheme), but only for the pairs these
+    // blocks actually touch — a shard owning 3 of 18 blocks must not pay
+    // for 6 compiles. Attacks within a cell share the build.
+    std::vector<std::optional<workload::victim>> victims(
+        spec_.targets.size() * spec_.schemes.size());
+    std::vector<cell_key> cells(ids.size());
+    for (const auto& b : blocks) {
+        const std::size_t vi = b.cell / n_attacks;
+        if (!victims[vi].has_value()) {
+            victims[vi].emplace(workload::make_victim(
+                ids[b.cell].target, ids[b.cell].scheme, spec_.scheme_options));
+            // Per-shard pool sizing: park at most one booted master per
+            // worker thread. A lone process on a big machine keeps them
+            // all; each process of a wide fan-out keeps only its share.
+            victims[vi]->pool->set_idle_limit(jobs);
+        }
+        cells[b.cell] = cell_key{ids[b.cell].target, ids[b.cell].scheme,
+                                 ids[b.cell].attack, &*victims[vi]};
+    }
 
-    std::atomic<std::uint64_t> next{0};
+    std::uint64_t total = 0;
+    for (const auto& b : blocks) total += b.trials;
+
+    std::vector<cell_partial> partials(blocks.size());
+    std::atomic<std::size_t> next{0};
     std::atomic<std::uint64_t> done{0};
     std::mutex error_mutex;
     std::string first_error;
     std::atomic<bool> failed{false};
 
+    // Work-stealing at block granularity: one worker reduces a whole block
+    // with sequential add()s in trial order, so the block's partial is a
+    // pure function of (master_seed, block) — never of scheduling.
     auto worker = [&] {
         for (;;) {
-            const std::uint64_t g = next.fetch_add(1, std::memory_order_relaxed);
-            if (g >= total || failed.load(std::memory_order_relaxed)) return;
-            const auto& cell = cells[g / spec_.trials_per_cell];
-            try {
-                results[g] = run_trial(cell, spec_,
-                                       seeds_for_trial(spec_.master_seed, g));
-            } catch (const std::exception& e) {
-                std::lock_guard lock{error_mutex};
-                if (first_error.empty())
-                    first_error = std::string{"trial "} + std::to_string(g) + ": " +
-                                  e.what();
-                failed.store(true, std::memory_order_relaxed);
+            const std::size_t bi = next.fetch_add(1, std::memory_order_relaxed);
+            if (bi >= blocks.size() || failed.load(std::memory_order_relaxed))
                 return;
-            }
-            const std::uint64_t completed =
-                done.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (progress_) {
-                std::lock_guard lock{error_mutex};
-                progress_(completed, total);
+            const auto& block = blocks[bi];
+            const auto& cell = cells[block.cell];
+            for (std::uint64_t t = 0; t < block.trials; ++t) {
+                const std::uint64_t g = block.first_trial + t;
+                try {
+                    partials[bi].add(run_trial(
+                        cell, spec_, seeds_for_trial(spec_.master_seed, g)));
+                } catch (const std::exception& e) {
+                    std::lock_guard lock{error_mutex};
+                    if (first_error.empty())
+                        first_error = std::string{"trial "} + std::to_string(g) +
+                                      ": " + e.what();
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
+                const std::uint64_t completed =
+                    done.fetch_add(1, std::memory_order_relaxed) + 1;
+                if (progress_) {
+                    std::lock_guard lock{error_mutex};
+                    progress_(completed, total);
+                }
             }
         }
     };
@@ -173,19 +196,7 @@ campaign_report engine::run() {
     }
     if (failed.load())
         throw std::runtime_error{"campaign::engine: " + first_error};
-
-    // Sequential reduction in trial-index order: identical inputs in an
-    // identical order, whatever jobs was.
-    campaign_report report;
-    report.spec = spec_;
-    report.cells.reserve(cells.size());
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-        const std::span<const trial_result> cell_trials{
-            results.data() + c * spec_.trials_per_cell, spec_.trials_per_cell};
-        report.cells.push_back(reduce_cell(cells[c].scheme, cells[c].attack,
-                                           cells[c].target, cell_trials));
-    }
-    return report;
+    return partials;
 }
 
 }  // namespace pssp::campaign

@@ -1,19 +1,25 @@
 // The parallel Monte-Carlo campaign engine.
 //
 // Execution model: the spec's cross product is flattened into one global
-// trial index space (cell-major). A fixed pool of host threads pops trial
-// indices off an atomic counter; each trial derives two independent PRNG
-// streams (server-side and attacker-side) purely from (master_seed, trial
+// trial index space (cell-major), grouped into canonical reduction blocks
+// (campaign::blocks_for). A fixed pool of host threads pops *blocks* off
+// an atomic counter; each trial derives two independent PRNG streams
+// (server-side and attacker-side) purely from (master_seed, global trial
 // index) via splitmix64, boots its own fork server from the cell's shared
-// victim build, runs one attack strategy, and stores its record at its own
-// slot of a pre-sized results vector. The reduction then walks that vector
-// in index order on the calling thread. Nothing observable depends on
-// scheduling, so a 10k-trial campaign is bit-reproducible at any --jobs
-// level — the property tests/campaign/engine_test.cpp pins down.
+// victim build, runs one attack strategy, and add()s its record into the
+// block's mergeable partial — sequentially, in trial order. Block partials
+// then merge in canonical order (campaign::assemble_report). Nothing
+// observable depends on scheduling, so a 10k-trial campaign is
+// bit-reproducible at any --jobs level — and, because a dist/ shard runs
+// the same blocks through the same run_blocks() path, at any process
+// partitioning too. tests/campaign/engine_test.cpp and tests/dist/ pin
+// both properties.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "campaign/campaign.hpp"
 
@@ -35,7 +41,20 @@ class engine {
     // Runs the whole campaign and reduces it. Victim builds (one compile +
     // link per (target, scheme)) happen up front on the calling thread;
     // trials fan out across spec.jobs workers. Throws if any trial threw.
+    // Equivalent to run_blocks(blocks_for(spec)) + assemble_report — that
+    // IS the implementation, so a sharded run that merges partial blocks
+    // reproduces this report byte-for-byte.
     [[nodiscard]] campaign_report run();
+
+    // Runs exactly the given blocks (a subset of blocks_for(spec), any
+    // order) and returns their mergeable partials, index-aligned with
+    // `blocks`. Each block is reduced by one worker with sequential add()s
+    // in trial order; trial seeds derive from the *global* trial index, so
+    // which process or thread runs a block never shows in its partial.
+    // This is the unit of work a dist/ shard executes. Victims are built
+    // only for the cells the blocks actually touch.
+    [[nodiscard]] std::vector<cell_partial> run_blocks(
+        std::span<const block_ref> blocks);
 
     // Optional observer, called after every finished trial with
     // (completed, total). Invoked under a mutex from worker threads.

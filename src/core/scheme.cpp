@@ -27,6 +27,13 @@ std::string to_string(scheme_kind kind) {
     return "?";
 }
 
+scheme_kind scheme_kind_from_string(const std::string& name) {
+    for (const auto kind : all_scheme_kinds())
+        if (to_string(kind) == name) return kind;
+    throw std::invalid_argument{"scheme_kind_from_string: unknown scheme \"" +
+                                name + "\""};
+}
+
 bool scheme::wants_protection(const std::vector<local_desc>& locals) const {
     // The -fstack-protector heuristic: protect any frame holding an array.
     for (const auto& local : locals)

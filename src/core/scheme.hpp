@@ -47,6 +47,11 @@ enum class scheme_kind : std::uint8_t {
 
 [[nodiscard]] std::string to_string(scheme_kind kind);
 
+// Inverse of to_string (exact match, e.g. "P-SSP"); throws
+// std::invalid_argument on an unknown name. Wire formats and CLIs round
+// scheme lists through this.
+[[nodiscard]] scheme_kind scheme_kind_from_string(const std::string& name);
+
 // Local-variable descriptor as seen by the frame planner.
 struct local_desc {
     std::uint32_t size = 8;     // bytes

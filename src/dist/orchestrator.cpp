@@ -1,0 +1,228 @@
+#include "dist/orchestrator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <limits.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dist/wire.hpp"
+
+namespace pssp::dist {
+
+namespace {
+
+struct worker_process {
+    pid_t pid = -1;
+    int stdout_fd = -1;
+    std::string output;
+    std::string error;  // first failure observed for this shard
+    int exit_status = -1;
+};
+
+[[noreturn]] void exec_worker(const std::string& path, std::uint32_t shard,
+                              std::uint32_t shards, int in_fd, int out_fd) {
+    ::dup2(in_fd, STDIN_FILENO);
+    ::dup2(out_fd, STDOUT_FILENO);
+    // stderr stays inherited: worker diagnostics surface on the parent's.
+    ::close(in_fd);
+    ::close(out_fd);
+    const std::string shard_arg = std::to_string(shard);
+    const std::string shards_arg = std::to_string(shards);
+    const char* argv[] = {path.c_str(),       "--shard", shard_arg.c_str(),
+                          "--shards",         shards_arg.c_str(),
+                          static_cast<const char*>(nullptr)};
+    ::execv(path.c_str(), const_cast<char* const*>(argv));
+    // Exec failed; 127 is the conventional "command not found" status the
+    // parent turns into a pointed error message.
+    std::fprintf(stderr, "campaign worker exec failed: %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+}
+
+void write_all(int fd, const std::string& data, std::string& error) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            // EPIPE: the worker died before reading its spec. Record it —
+            // the wait status below says why.
+            if (error.empty())
+                error = std::string{"spec write failed: "} + std::strerror(errno);
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void read_all(int fd, std::string& out) {
+    char buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return;
+        }
+        if (n == 0) return;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+std::string describe_exit(int status) {
+    if (WIFEXITED(status)) {
+        const int code = WEXITSTATUS(status);
+        if (code == 0) return {};
+        if (code == 127) return "worker exec failed (bad worker path?)";
+        return "worker exited with status " + std::to_string(code);
+    }
+    if (WIFSIGNALED(status))
+        return std::string{"worker killed by signal "} +
+               std::to_string(WTERMSIG(status)) + " (" +
+               strsignal(WTERMSIG(status)) + ")";
+    return "worker ended abnormally";
+}
+
+}  // namespace
+
+std::string default_worker_path() {
+    char buf[PATH_MAX];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        std::string path{buf};
+        const auto slash = path.rfind('/');
+        if (slash != std::string::npos)
+            return path.substr(0, slash + 1) + "tools_campaign_worker";
+    }
+    return "./tools_campaign_worker";
+}
+
+campaign::campaign_report run_sharded(const campaign::campaign_spec& spec,
+                                      const sharded_options& options) {
+    if (options.shards == 0)
+        throw std::invalid_argument{"run_sharded: shards must be >= 1"};
+    const std::string worker = options.worker_path.empty()
+                                   ? default_worker_path()
+                                   : options.worker_path;
+
+    // Per-shard execution knobs: split the requested parallelism across
+    // the shard processes (each then also caps its master pools to that).
+    campaign::campaign_spec shard_spec = spec;
+    shard_spec.jobs =
+        options.jobs_per_shard != 0
+            ? options.jobs_per_shard
+            : std::max(1u, campaign::resolve_jobs(spec.jobs) / options.shards);
+    const std::string spec_json = spec_to_json(shard_spec);
+
+    // A worker that dies before reading its spec must surface as its wait
+    // status, not as SIGPIPE killing the orchestrator.
+    struct sigaction ignore_pipe {};
+    ignore_pipe.sa_handler = SIG_IGN;
+    struct sigaction old_pipe {};
+    ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+    std::vector<worker_process> workers(options.shards);
+    // On a mid-loop spawn failure (EMFILE, EAGAIN, ...) the workers already
+    // forked must not be orphaned: kill them, drop their pipe fds, and reap
+    // every one before throwing — the header's "all children are reaped"
+    // contract holds on every exit path.
+    auto abandon_spawned = [&](const char* what) {
+        for (auto& w : workers) {
+            if (w.pid < 0) continue;
+            ::kill(w.pid, SIGKILL);
+            ::close(w.stdout_fd);
+            int status = 0;
+            while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+            }
+        }
+        ::sigaction(SIGPIPE, &old_pipe, nullptr);
+        throw std::runtime_error{std::string{"run_sharded: "} + what};
+    };
+    for (std::uint32_t k = 0; k < options.shards; ++k) {
+        int in_pipe[2];
+        int out_pipe[2];
+        if (::pipe(in_pipe) != 0) abandon_spawned("pipe() failed");
+        if (::pipe(out_pipe) != 0) {
+            ::close(in_pipe[0]);
+            ::close(in_pipe[1]);
+            abandon_spawned("pipe() failed");
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(in_pipe[0]);
+            ::close(in_pipe[1]);
+            ::close(out_pipe[0]);
+            ::close(out_pipe[1]);
+            abandon_spawned("fork() failed");
+        }
+        if (pid == 0) {
+            ::close(in_pipe[1]);
+            ::close(out_pipe[0]);
+            exec_worker(worker, k, options.shards, in_pipe[0], out_pipe[1]);
+        }
+        ::close(in_pipe[0]);
+        ::close(out_pipe[1]);
+        workers[k].pid = pid;
+        workers[k].stdout_fd = out_pipe[0];
+        // The spec is far below PIPE_BUF-scale pipe capacity, so writing it
+        // before the worker produces output cannot deadlock.
+        write_all(in_pipe[1], spec_json, workers[k].error);
+        ::close(in_pipe[1]);
+    }
+
+    // Drain stdouts in shard order. A later worker whose pipe fills simply
+    // blocks until its turn — the parent owes it nothing else.
+    for (auto& w : workers) {
+        read_all(w.stdout_fd, w.output);
+        ::close(w.stdout_fd);
+    }
+    for (auto& w : workers) {
+        int status = 0;
+        while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        w.exit_status = status;
+    }
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+
+    std::string failure;
+    for (std::uint32_t k = 0; k < options.shards; ++k) {
+        std::string why = describe_exit(workers[k].exit_status);
+        if (why.empty() && !workers[k].error.empty()) why = workers[k].error;
+        if (!why.empty()) {
+            if (!failure.empty()) failure += "; ";
+            failure += "shard " + std::to_string(k) + ": " + why;
+        }
+    }
+    if (!failure.empty())
+        throw std::runtime_error{"run_sharded: " + failure};
+
+    std::vector<partial_report> partials;
+    partials.reserve(options.shards);
+    for (std::uint32_t k = 0; k < options.shards; ++k) {
+        try {
+            partials.push_back(partial_from_json(workers[k].output));
+        } catch (const std::exception& e) {
+            throw std::runtime_error{"run_sharded: shard " + std::to_string(k) +
+                                     " emitted a bad partial: " + e.what()};
+        }
+        if (partials.back().shard_index != k ||
+            partials.back().shard_count != options.shards)
+            throw std::runtime_error{"run_sharded: shard " + std::to_string(k) +
+                                     " identified as shard " +
+                                     std::to_string(partials.back().shard_index) +
+                                     "/" +
+                                     std::to_string(partials.back().shard_count)};
+    }
+    return merge_partials(spec, partials);
+}
+
+}  // namespace pssp::dist

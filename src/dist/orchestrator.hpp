@@ -1,0 +1,41 @@
+// Multi-process campaign fan-out.
+//
+// run_sharded() fork/execs one `tools_campaign_worker` per shard, hands
+// each its spec over stdin (wire spec JSON plus --shard K --shards N on
+// argv), collects every worker's partial report from its stdout pipe, and
+// reduces via wire::merge_partials — which bottoms out in the same
+// campaign::assemble_report the in-process engine uses, so the merged
+// report is byte-identical to engine{spec}.run() at every shard count.
+//
+// Failure model: loud. A worker that exits non-zero, dies on a signal,
+// emits an unparsable partial, or covers the wrong blocks fails the whole
+// run with a std::runtime_error naming the shard — trials are never
+// silently dropped. All children are reaped before throwing.
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace pssp::dist {
+
+struct sharded_options {
+    // Number of worker processes. 1 still goes through fork/exec — that is
+    // the point of --shards 1 as a protocol check.
+    unsigned shards = 1;
+    // Path to the worker binary; empty resolves default_worker_path().
+    std::string worker_path;
+    // Worker threads per shard; 0 derives resolve_jobs(spec.jobs)/shards
+    // (at least 1), so "--jobs 8 --shards 4" runs 2 threads per process.
+    unsigned jobs_per_shard = 0;
+};
+
+// The sibling `tools_campaign_worker` of the running executable
+// (/proc/self/exe's directory) — orchestrator and workers are built into
+// the same binary directory.
+[[nodiscard]] std::string default_worker_path();
+
+[[nodiscard]] campaign::campaign_report run_sharded(
+    const campaign::campaign_spec& spec, const sharded_options& options = {});
+
+}  // namespace pssp::dist

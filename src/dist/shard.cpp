@@ -1,0 +1,36 @@
+#include "dist/shard.hpp"
+
+#include <stdexcept>
+
+namespace pssp::dist {
+
+std::vector<shard_plan> plan_shards(const campaign::campaign_spec& spec,
+                                    std::uint32_t count) {
+    if (count == 0)
+        throw std::invalid_argument{"plan_shards: shard count must be >= 1"};
+    std::vector<shard_plan> plans(count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+        plans[k].shard_index = k;
+        plans[k].shard_count = count;
+    }
+    for (const auto& block : campaign::blocks_for(spec))
+        plans[block.index % count].blocks.push_back(block);
+    return plans;
+}
+
+shard_plan plan_shard(const campaign::campaign_spec& spec,
+                      std::uint32_t shard_index, std::uint32_t shard_count) {
+    if (shard_count == 0)
+        throw std::invalid_argument{"plan_shard: shard count must be >= 1"};
+    if (shard_index >= shard_count)
+        throw std::invalid_argument{"plan_shard: shard index out of range"};
+    shard_plan plan;
+    plan.shard_index = shard_index;
+    plan.shard_count = shard_count;
+    for (const auto& block : campaign::blocks_for(spec))
+        if (block.index % shard_count == shard_index)
+            plan.blocks.push_back(block);
+    return plan;
+}
+
+}  // namespace pssp::dist

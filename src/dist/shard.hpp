@@ -1,0 +1,43 @@
+// Deterministic shard planning over the campaign's canonical block space.
+//
+// A campaign's trial index space is already partitioned into canonical
+// reduction blocks (campaign::blocks_for) whose partials merge in a fixed
+// order whatever computed them. Sharding therefore never touches seeds or
+// float order: the planner only decides WHICH process runs each block.
+// Trial seeds stay a pure function of (master_seed, global trial index) —
+// campaign::seeds_for_trial — so the splitmix64 sub-streams a shard
+// consumes are exactly the ones the single-process run would have used for
+// the same trials, and partitioning can never change an outcome.
+//
+// Assignment is round-robin by block index (block i -> shard i % count):
+// deterministic, independent of machine state, and load-balanced even
+// though early cells (cheap schemes) and late cells (expensive ones) cost
+// different amounts. A shard may legitimately own zero blocks (more shards
+// than blocks); it then contributes an empty partial report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace pssp::dist {
+
+struct shard_plan {
+    std::uint32_t shard_index = 0;
+    std::uint32_t shard_count = 0;
+    std::vector<campaign::block_ref> blocks;  // ascending block index
+};
+
+// All `count` shards' plans, index-aligned. Throws std::invalid_argument
+// for count == 0.
+[[nodiscard]] std::vector<shard_plan> plan_shards(
+    const campaign::campaign_spec& spec, std::uint32_t count);
+
+// One shard's plan, without materializing the others (what a worker
+// process calls). plan_shard(spec, k, n) == plan_shards(spec, n)[k].
+[[nodiscard]] shard_plan plan_shard(const campaign::campaign_spec& spec,
+                                    std::uint32_t shard_index,
+                                    std::uint32_t shard_count);
+
+}  // namespace pssp::dist

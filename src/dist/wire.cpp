@@ -1,0 +1,231 @@
+#include "dist/wire.hpp"
+
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace pssp::dist {
+
+namespace {
+
+const char* owf_name(crypto::owf_kind kind) {
+    switch (kind) {
+        case crypto::owf_kind::aes128: return "aes128";
+        case crypto::owf_kind::sha1: return "sha1";
+    }
+    throw std::invalid_argument{"owf_name: unknown owf_kind"};
+}
+
+crypto::owf_kind owf_from_name(const std::string& name) {
+    if (name == "aes128") return crypto::owf_kind::aes128;
+    if (name == "sha1") return crypto::owf_kind::sha1;
+    throw std::invalid_argument{"wire: unknown owf \"" + name + "\""};
+}
+
+util::welford_accumulator parse_welford(const util::json_value& v) {
+    util::welford_accumulator::state s;
+    s.n = v.at("n").as_u64();
+    s.mean = v.at("mean").as_double_exact();
+    s.m2 = v.at("m2").as_double_exact();
+    s.min = v.at("min").as_double_exact();
+    s.max = v.at("max").as_double_exact();
+    s.total = v.at("total").as_double_exact();
+    return util::welford_accumulator::restore(s);
+}
+
+}  // namespace
+
+std::string spec_to_json(const campaign::campaign_spec& spec) {
+    std::string out;
+    out.reserve(512);
+    out += "{\"spec\":{\"schemes\":[";
+    for (std::size_t i = 0; i < spec.schemes.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        out += core::to_string(spec.schemes[i]);
+        out += '"';
+    }
+    out += "],\"attacks\":[";
+    for (std::size_t i = 0; i < spec.attacks.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        out += attack::to_string(spec.attacks[i]);
+        out += '"';
+    }
+    out += "],\"targets\":[";
+    for (std::size_t i = 0; i < spec.targets.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        out += workload::to_string(spec.targets[i]);
+        out += '"';
+    }
+    out += "],";
+    util::append_kv(out, "trials_per_cell", spec.trials_per_cell);
+    util::append_kv(out, "master_seed", spec.master_seed);
+    util::append_kv(out, "jobs", static_cast<std::uint64_t>(spec.jobs));
+    util::append_kv_bool(out, "reuse_masters", spec.reuse_masters);
+    util::append_kv(out, "query_budget", spec.query_budget);
+    util::append_kv(out, "brute_unknown_bits",
+                    static_cast<std::uint64_t>(spec.brute_unknown_bits));
+    out += "\"scheme_options\":{";
+    util::append_kv(out, "owf", std::string{owf_name(spec.scheme_options.owf)});
+    util::append_kv_bool(out, "lv_check_after_write",
+                         spec.scheme_options.lv_check_after_write);
+    util::append_kv(
+        out, "dcr_trampoline_cycles",
+        static_cast<std::uint64_t>(spec.scheme_options.dcr_trampoline_cycles),
+        /*comma=*/false);
+    out += "}}}";
+    return out;
+}
+
+campaign::campaign_spec spec_from_json(std::string_view text) {
+    const auto doc = util::parse_json(text);
+    const auto& s = doc.at("spec");
+    campaign::campaign_spec spec;
+    spec.schemes.clear();
+    for (const auto& v : s.at("schemes").elements())
+        spec.schemes.push_back(core::scheme_kind_from_string(v.as_string()));
+    spec.attacks.clear();
+    for (const auto& v : s.at("attacks").elements())
+        spec.attacks.push_back(attack::attack_kind_from_string(v.as_string()));
+    spec.targets.clear();
+    for (const auto& v : s.at("targets").elements())
+        spec.targets.push_back(workload::target_kind_from_string(v.as_string()));
+    spec.trials_per_cell = s.at("trials_per_cell").as_u64();
+    spec.master_seed = s.at("master_seed").as_u64();
+    spec.jobs = static_cast<unsigned>(s.at("jobs").as_u64());
+    spec.reuse_masters = s.at("reuse_masters").as_bool();
+    spec.query_budget = s.at("query_budget").as_u64();
+    spec.brute_unknown_bits =
+        static_cast<unsigned>(s.at("brute_unknown_bits").as_u64());
+    const auto& opts = s.at("scheme_options");
+    spec.scheme_options.owf = owf_from_name(opts.at("owf").as_string());
+    spec.scheme_options.lv_check_after_write =
+        opts.at("lv_check_after_write").as_bool();
+    spec.scheme_options.dcr_trampoline_cycles =
+        static_cast<std::uint32_t>(opts.at("dcr_trampoline_cycles").as_u64());
+    return spec;
+}
+
+std::uint64_t spec_digest(const campaign::campaign_spec& spec) {
+    // Canonicalize through the spec JSON with the execution knobs pinned,
+    // so the digest is a function of outcome-relevant fields only.
+    campaign::campaign_spec canonical = spec;
+    canonical.jobs = 1;
+    canonical.reuse_masters = true;
+    const auto text = spec_to_json(canonical);
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string partial_to_json(const partial_report& partial) {
+    std::string out;
+    out.reserve(256 + partial.blocks.size() * 512);
+    out += "{\"partial\":{";
+    util::append_kv(out, "version", static_cast<std::uint64_t>(wire_version));
+    util::append_kv(out, "shard", static_cast<std::uint64_t>(partial.shard_index));
+    util::append_kv(out, "shards",
+                    static_cast<std::uint64_t>(partial.shard_count));
+    util::append_kv(out, "spec_digest", partial.digest);
+    out += "\"blocks\":[";
+    for (std::size_t i = 0; i < partial.blocks.size(); ++i) {
+        const auto& b = partial.blocks[i];
+        if (i) out += ',';
+        out += '{';
+        util::append_kv(out, "index", b.index);
+        util::append_kv(out, "cell", b.cell);
+        util::append_kv(out, "trials", b.partial.trials);
+        util::append_kv(out, "hijacks", b.partial.hijacks);
+        util::append_kv(out, "detections", b.partial.detections);
+        util::append_kv(out, "canary_detections", b.partial.canary_detections);
+        util::append_kv(out, "other_crashes", b.partial.other_crashes);
+        util::append_accumulator_exact(out, "queries", b.partial.queries);
+        util::append_accumulator_exact(out, "queries_to_compromise",
+                                       b.partial.queries_to_compromise);
+        util::append_accumulator_exact(out, "leaked_bytes_valid",
+                                       b.partial.leaked_bytes_valid,
+                                       /*comma=*/false);
+        out += '}';
+    }
+    out += "]}}";
+    return out;
+}
+
+partial_report partial_from_json(std::string_view text) {
+    const auto doc = util::parse_json(text);
+    const auto& p = doc.at("partial");
+    const auto version = p.at("version").as_u64();
+    if (version != wire_version)
+        throw std::runtime_error{"wire: partial version " +
+                                 std::to_string(version) + " != " +
+                                 std::to_string(wire_version)};
+    partial_report partial;
+    partial.shard_index = static_cast<std::uint32_t>(p.at("shard").as_u64());
+    partial.shard_count = static_cast<std::uint32_t>(p.at("shards").as_u64());
+    partial.digest = p.at("spec_digest").as_u64();
+    for (const auto& b : p.at("blocks").elements()) {
+        partial_block block;
+        block.index = b.at("index").as_u64();
+        block.cell = b.at("cell").as_u64();
+        block.partial.trials = b.at("trials").as_u64();
+        block.partial.hijacks = b.at("hijacks").as_u64();
+        block.partial.detections = b.at("detections").as_u64();
+        block.partial.canary_detections = b.at("canary_detections").as_u64();
+        block.partial.other_crashes = b.at("other_crashes").as_u64();
+        block.partial.queries = parse_welford(b.at("queries"));
+        block.partial.queries_to_compromise =
+            parse_welford(b.at("queries_to_compromise"));
+        block.partial.leaked_bytes_valid =
+            parse_welford(b.at("leaked_bytes_valid"));
+        partial.blocks.push_back(std::move(block));
+    }
+    return partial;
+}
+
+campaign::campaign_report merge_partials(
+    const campaign::campaign_spec& spec,
+    std::span<const partial_report> partials) {
+    const auto blocks = campaign::blocks_for(spec);
+    const auto digest = spec_digest(spec);
+    std::vector<campaign::cell_partial> by_index(blocks.size());
+    std::vector<bool> seen(blocks.size(), false);
+    for (const auto& partial : partials) {
+        if (partial.digest != digest)
+            throw std::runtime_error{
+                "merge_partials: shard " + std::to_string(partial.shard_index) +
+                " ran a different spec (digest mismatch)"};
+        for (const auto& b : partial.blocks) {
+            if (b.index >= blocks.size())
+                throw std::runtime_error{"merge_partials: block index " +
+                                         std::to_string(b.index) +
+                                         " out of range"};
+            if (seen[b.index])
+                throw std::runtime_error{"merge_partials: block " +
+                                         std::to_string(b.index) +
+                                         " reported twice"};
+            if (b.cell != blocks[b.index].cell)
+                throw std::runtime_error{"merge_partials: block " +
+                                         std::to_string(b.index) +
+                                         " cell mismatch"};
+            if (b.partial.trials != blocks[b.index].trials)
+                throw std::runtime_error{"merge_partials: block " +
+                                         std::to_string(b.index) +
+                                         " trial count mismatch"};
+            seen[b.index] = true;
+            by_index[b.index] = b.partial;
+        }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        if (!seen[i])
+            throw std::runtime_error{"merge_partials: block " +
+                                     std::to_string(i) +
+                                     " missing (shard lost?)"};
+    return campaign::assemble_report(spec, blocks, by_index);
+}
+
+}  // namespace pssp::dist

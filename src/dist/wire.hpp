@@ -1,0 +1,71 @@
+// The dist/ wire format: what crosses the pipe between the orchestrator
+// and its campaign workers.
+//
+// Two message kinds, both deterministic JSON (util/json emitters):
+//
+//  * spec JSON (parent -> worker stdin): the full campaign_spec, including
+//    the execution knobs (jobs, reuse_masters) the orchestrator sets per
+//    shard. Enum lists travel as their to_string names.
+//
+//  * partial report JSON (worker stdout -> parent): the shard's per-block
+//    campaign::cell_partial states in the shard's canonical block order.
+//    Doubles travel as hexfloat strings — bit-exact round trip — because
+//    the parent re-merges them and a single flipped mantissa bit would
+//    break the sharded-equals-single-process byte-identity contract. Each
+//    partial echoes a digest of the outcome-relevant spec fields so a
+//    worker that somehow ran a different campaign is rejected, not merged.
+//
+// merge_partials() validates exactly-once block coverage and reduces via
+// campaign::assemble_report — the same code path the in-process engine
+// ends in.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace pssp::dist {
+
+inline constexpr std::uint32_t wire_version = 1;
+
+// ---- campaign_spec <-> JSON ----
+[[nodiscard]] std::string spec_to_json(const campaign::campaign_spec& spec);
+[[nodiscard]] campaign::campaign_spec spec_from_json(std::string_view text);
+
+// FNV-1a 64 over the outcome-relevant spec fields (schemes, attacks,
+// targets, trials, seed, budget, unknown bits, scheme options). The
+// execution knobs jobs/reuse_masters are deliberately excluded: the
+// orchestrator retunes them per shard, and they never move a report byte.
+[[nodiscard]] std::uint64_t spec_digest(const campaign::campaign_spec& spec);
+
+// ---- partial report <-> JSON ----
+struct partial_block {
+    std::uint64_t index = 0;  // position in campaign::blocks_for(spec)
+    std::uint64_t cell = 0;   // owning cell (redundant; validated on merge)
+    campaign::cell_partial partial;
+};
+
+struct partial_report {
+    std::uint32_t shard_index = 0;
+    std::uint32_t shard_count = 0;
+    std::uint64_t digest = 0;  // spec_digest of the spec the shard ran
+    std::vector<partial_block> blocks;
+};
+
+[[nodiscard]] std::string partial_to_json(const partial_report& partial);
+[[nodiscard]] partial_report partial_from_json(std::string_view text);
+
+// Merges shard partials into the canonical campaign_report. Throws
+// std::runtime_error if any block is missing or duplicated, a digest
+// mismatches the spec, or a block's cell disagrees with the plan —
+// a sharded run either reproduces the single-process report exactly or
+// fails loudly; it never silently drops trials.
+[[nodiscard]] campaign::campaign_report merge_partials(
+    const campaign::campaign_spec& spec,
+    std::span<const partial_report> partials);
+
+}  // namespace pssp::dist

@@ -40,8 +40,29 @@ master_pool::lease master_pool::acquire(std::uint64_t seed) {
 }
 
 void master_pool::release(std::unique_ptr<fork_server> server) {
+    {
+        std::lock_guard lock{mutex_};
+        if (idle_.size() < idle_limit_) {
+            idle_.push_back(std::move(server));
+            return;
+        }
+    }
+    // Over the cap: let `server` die here, outside the lock.
+}
+
+void master_pool::set_idle_limit(std::size_t limit) {
+    std::vector<std::unique_ptr<fork_server>> evicted;
     std::lock_guard lock{mutex_};
-    idle_.push_back(std::move(server));
+    idle_limit_ = limit;
+    while (idle_.size() > idle_limit_) {
+        evicted.push_back(std::move(idle_.back()));
+        idle_.pop_back();
+    }
+}
+
+std::size_t master_pool::idle_limit() const {
+    std::lock_guard lock{mutex_};
+    return idle_limit_;
 }
 
 std::size_t master_pool::idle() const {

@@ -77,6 +77,13 @@ class master_pool {
     // Boots (or reboots an idle server) under `seed`.
     [[nodiscard]] lease acquire(std::uint64_t seed);
 
+    // Caps how many idle servers the pool parks; releases beyond the cap
+    // destroy the server instead. Unlimited by default. Sharded campaigns
+    // size this to the process's worker count so a wide multi-process
+    // fan-out doesn't hold one machine-width of 0.5 MB images per shard.
+    void set_idle_limit(std::size_t limit);
+    [[nodiscard]] std::size_t idle_limit() const;
+
     // ---- Statistics (for benches and the pool test) ----
     [[nodiscard]] std::uint64_t boots() const noexcept {
         return boots_.load(std::memory_order_relaxed);
@@ -99,6 +106,7 @@ class master_pool {
 
     mutable std::mutex mutex_;
     std::vector<std::unique_ptr<fork_server>> idle_;
+    std::size_t idle_limit_ = SIZE_MAX;
     std::atomic<std::uint64_t> boots_{0};
     std::atomic<std::uint64_t> reuses_{0};
 };

@@ -1,0 +1,348 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pssp::util {
+
+// ---------------------------------------------------------------------------
+// Emit
+// ---------------------------------------------------------------------------
+
+void append_number(std::string& out, double value) {
+    // Shortest-round-trip formatting would vary in width; a fixed "%.9g"
+    // keeps the JSON byte-stable across runs while losing nothing a rate
+    // needs.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    out += buf;
+}
+
+namespace {
+
+void append_key(std::string& out, const char* key) {
+    out += '"';
+    out += key;
+    out += "\":";
+}
+
+void append_hexdouble(std::string& out, double value) {
+    // C99 hexfloat: every bit of the significand survives the text trip,
+    // and strtod parses it back exactly.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", value);
+    out += '"';
+    out += buf;
+    out += '"';
+}
+
+}  // namespace
+
+void append_kv(std::string& out, const char* key, double value, bool comma) {
+    append_key(out, key);
+    append_number(out, value);
+    if (comma) out += ',';
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t value, bool comma) {
+    append_key(out, key);
+    out += std::to_string(value);
+    if (comma) out += ',';
+}
+
+void append_kv(std::string& out, const char* key, const std::string& value,
+               bool comma) {
+    append_key(out, key);
+    out += '"';
+    out += value;  // names are identifier-like; no escaping needed
+    out += '"';
+    if (comma) out += ',';
+}
+
+void append_kv_bool(std::string& out, const char* key, bool value, bool comma) {
+    append_key(out, key);
+    out += value ? "true" : "false";
+    if (comma) out += ',';
+}
+
+void append_kv_exact(std::string& out, const char* key, double value, bool comma) {
+    append_key(out, key);
+    append_hexdouble(out, value);
+    if (comma) out += ',';
+}
+
+void append_interval(std::string& out, const char* key, const interval& iv,
+                     bool comma) {
+    append_key(out, key);
+    out += '[';
+    append_number(out, iv.lo);
+    out += ',';
+    append_number(out, iv.hi);
+    out += ']';
+    if (comma) out += ',';
+}
+
+void append_accumulator(std::string& out, const char* key,
+                        const welford_accumulator& acc, bool comma) {
+    append_key(out, key);
+    out += '{';
+    append_kv(out, "count", static_cast<std::uint64_t>(acc.count()));
+    append_kv(out, "mean", acc.mean());
+    append_kv(out, "stddev", acc.stddev());
+    append_kv(out, "min", acc.count() ? acc.min() : 0.0);
+    append_kv(out, "max", acc.count() ? acc.max() : 0.0, /*comma=*/false);
+    out += '}';
+    if (comma) out += ',';
+}
+
+void append_accumulator_exact(std::string& out, const char* key,
+                              const welford_accumulator& acc, bool comma) {
+    const auto s = acc.save();
+    append_key(out, key);
+    out += '{';
+    append_kv(out, "n", s.n);
+    append_kv_exact(out, "mean", s.mean);
+    append_kv_exact(out, "m2", s.m2);
+    append_kv_exact(out, "min", s.min);
+    append_kv_exact(out, "max", s.max);
+    append_kv_exact(out, "total", s.total, /*comma=*/false);
+    out += '}';
+    if (comma) out += ',';
+}
+
+// ---------------------------------------------------------------------------
+// Parse
+// ---------------------------------------------------------------------------
+
+const json_value& json_value::at(std::string_view key) const {
+    if (const auto* v = find(key)) return *v;
+    throw std::runtime_error{"json: missing key \"" + std::string{key} + "\""};
+}
+
+const json_value* json_value::find(std::string_view key) const noexcept {
+    if (kind_ != kind::object) return nullptr;
+    for (const auto& [k, v] : members_)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, json_value>>& json_value::members() const {
+    if (kind_ != kind::object) throw std::runtime_error{"json: not an object"};
+    return members_;
+}
+
+const std::vector<json_value>& json_value::elements() const {
+    if (kind_ != kind::array) throw std::runtime_error{"json: not an array"};
+    return elements_;
+}
+
+const std::string& json_value::as_string() const {
+    if (kind_ != kind::string) throw std::runtime_error{"json: not a string"};
+    return scalar_;
+}
+
+bool json_value::as_bool() const {
+    if (kind_ != kind::boolean) throw std::runtime_error{"json: not a boolean"};
+    return bool_;
+}
+
+std::uint64_t json_value::as_u64() const {
+    if (kind_ != kind::number)
+        throw std::runtime_error{"json: not a number: " + scalar_};
+    // strtoull accepts a leading '-' and wraps; a negative count must be a
+    // parse error, not ~1.8e19.
+    if (!scalar_.empty() && scalar_[0] == '-')
+        throw std::runtime_error{"json: not a u64: " + scalar_};
+    errno = 0;
+    char* end = nullptr;
+    const auto v = std::strtoull(scalar_.c_str(), &end, 10);
+    if (errno != 0 || end != scalar_.c_str() + scalar_.size())
+        throw std::runtime_error{"json: not a u64: " + scalar_};
+    return v;
+}
+
+double json_value::as_double() const {
+    if (kind_ != kind::number)
+        throw std::runtime_error{"json: not a number: " + scalar_};
+    char* end = nullptr;
+    const double v = std::strtod(scalar_.c_str(), &end);
+    if (end != scalar_.c_str() + scalar_.size())
+        throw std::runtime_error{"json: not a double: " + scalar_};
+    return v;
+}
+
+double json_value::as_double_exact() const {
+    if (kind_ == kind::number) return as_double();
+    if (kind_ != kind::string)
+        throw std::runtime_error{"json: not an exact double"};
+    char* end = nullptr;
+    const double v = std::strtod(scalar_.c_str(), &end);  // handles hexfloat
+    if (end != scalar_.c_str() + scalar_.size())
+        throw std::runtime_error{"json: not a hexfloat: " + scalar_};
+    return v;
+}
+
+// At namespace scope (not anonymous) so the friend declaration in
+// json.hpp matches.
+class json_parser {
+  public:
+    explicit json_parser(std::string_view text) : text_{text} {}
+
+    json_value parse_document() {
+        auto v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const char* what) const {
+        throw std::runtime_error{"json parse error at byte " +
+                                 std::to_string(pos_) + ": " + what};
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail("unexpected character");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    std::string parse_string_body() {
+        expect('"');
+        std::string s;
+        for (;;) {
+            const char c = peek();
+            ++pos_;
+            if (c == '"') return s;
+            if (c == '\\') {
+                const char esc = peek();
+                ++pos_;
+                switch (esc) {
+                    case '"': s += '"'; break;
+                    case '\\': s += '\\'; break;
+                    case '/': s += '/'; break;
+                    case 'n': s += '\n'; break;
+                    case 't': s += '\t'; break;
+                    case 'r': s += '\r'; break;
+                    default: fail("unsupported escape");
+                }
+            } else {
+                s += c;
+            }
+        }
+    }
+
+    json_value parse_value() {
+        skip_ws();
+        const char c = peek();
+        json_value v;
+        switch (c) {
+            case '{': {
+                v.kind_ = json_value::kind::object;
+                ++pos_;
+                skip_ws();
+                if (peek() == '}') {
+                    ++pos_;
+                    return v;
+                }
+                for (;;) {
+                    skip_ws();
+                    std::string key = parse_string_body();
+                    skip_ws();
+                    expect(':');
+                    v.members_.emplace_back(std::move(key), parse_value());
+                    skip_ws();
+                    if (peek() == ',') {
+                        ++pos_;
+                        continue;
+                    }
+                    expect('}');
+                    return v;
+                }
+            }
+            case '[': {
+                v.kind_ = json_value::kind::array;
+                ++pos_;
+                skip_ws();
+                if (peek() == ']') {
+                    ++pos_;
+                    return v;
+                }
+                for (;;) {
+                    v.elements_.push_back(parse_value());
+                    skip_ws();
+                    if (peek() == ',') {
+                        ++pos_;
+                        continue;
+                    }
+                    expect(']');
+                    return v;
+                }
+            }
+            case '"':
+                v.kind_ = json_value::kind::string;
+                v.scalar_ = parse_string_body();
+                return v;
+            case 't':
+                if (!consume_literal("true")) fail("bad literal");
+                v.kind_ = json_value::kind::boolean;
+                v.bool_ = true;
+                return v;
+            case 'f':
+                if (!consume_literal("false")) fail("bad literal");
+                v.kind_ = json_value::kind::boolean;
+                v.bool_ = false;
+                return v;
+            case 'n':
+                if (!consume_literal("null")) fail("bad literal");
+                v.kind_ = json_value::kind::null;
+                return v;
+            default: {
+                if (c != '-' && !std::isdigit(static_cast<unsigned char>(c)))
+                    fail("unexpected character");
+                const std::size_t start = pos_;
+                ++pos_;
+                while (pos_ < text_.size()) {
+                    const char d = text_[pos_];
+                    if (std::isdigit(static_cast<unsigned char>(d)) || d == '.' ||
+                        d == 'e' || d == 'E' || d == '+' || d == '-')
+                        ++pos_;
+                    else
+                        break;
+                }
+                v.kind_ = json_value::kind::number;
+                v.scalar_ = std::string{text_.substr(start, pos_ - start)};
+                return v;
+            }
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+json_value parse_json(std::string_view text) {
+    return json_parser{text}.parse_document();
+}
+
+}  // namespace pssp::util

@@ -1,0 +1,103 @@
+// Deterministic JSON, both directions.
+//
+// Emit: append-style helpers producing byte-stable output — fixed key
+// order is the caller's responsibility, float formatting is fixed here.
+// Two float channels exist on purpose: append_kv(double) uses "%.9g" for
+// human-facing report JSON (stable width, plenty for a rate), while
+// append_kv_exact() emits the full bit pattern as a quoted C99 hexfloat
+// ("0x1.91eb851eb851fp+1") for wire formats that must round-trip doubles
+// losslessly across processes.
+//
+// Parse: a minimal recursive-descent parser for the subset these emitters
+// produce (objects, arrays, strings with \"\\ escapes, numbers, booleans,
+// null). Object members keep insertion order. Accessors throw
+// std::runtime_error with the offending key so wire-format validation
+// errors point at the field, not just "bad JSON".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pssp::util {
+
+// ---------------------------------------------------------------------------
+// Emit
+// ---------------------------------------------------------------------------
+
+// "%.9g"-formatted number (no key). Byte-stable across runs.
+void append_number(std::string& out, double value);
+
+void append_kv(std::string& out, const char* key, double value, bool comma = true);
+void append_kv(std::string& out, const char* key, std::uint64_t value,
+               bool comma = true);
+void append_kv(std::string& out, const char* key, const std::string& value,
+               bool comma = true);
+void append_kv_bool(std::string& out, const char* key, bool value,
+                    bool comma = true);
+
+// Lossless double: quoted hexfloat string value (JSON-legal, bit-exact).
+void append_kv_exact(std::string& out, const char* key, double value,
+                     bool comma = true);
+
+void append_interval(std::string& out, const char* key, const interval& iv,
+                     bool comma = true);
+
+// Summary view of an accumulator ("%.9g" floats) — report JSON.
+void append_accumulator(std::string& out, const char* key,
+                        const welford_accumulator& acc, bool comma = true);
+
+// Full recurrence state of an accumulator (hexfloat) — wire JSON.
+void append_accumulator_exact(std::string& out, const char* key,
+                              const welford_accumulator& acc, bool comma = true);
+
+// ---------------------------------------------------------------------------
+// Parse
+// ---------------------------------------------------------------------------
+
+class json_value {
+  public:
+    enum class kind : std::uint8_t { object, array, string, number, boolean, null };
+
+    [[nodiscard]] kind type() const noexcept { return kind_; }
+
+    // Object access. at() throws if this is not an object or the key is
+    // missing; find() returns nullptr for a missing key.
+    [[nodiscard]] const json_value& at(std::string_view key) const;
+    [[nodiscard]] const json_value* find(std::string_view key) const noexcept;
+    [[nodiscard]] const std::vector<std::pair<std::string, json_value>>& members()
+        const;
+
+    // Array access.
+    [[nodiscard]] const std::vector<json_value>& elements() const;
+
+    // Scalar access, each validating the type.
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] std::uint64_t as_u64() const;
+    [[nodiscard]] double as_double() const;
+    // A double from either a plain number or a quoted hexfloat string —
+    // the inverse of append_kv_exact().
+    [[nodiscard]] double as_double_exact() const;
+
+  private:
+    friend class json_parser;
+
+    kind kind_ = kind::null;
+    bool bool_ = false;
+    // Numbers keep their source token so integer access never goes through
+    // a double, and doubles parse once, on demand.
+    std::string scalar_;
+    std::vector<std::pair<std::string, json_value>> members_;
+    std::vector<json_value> elements_;
+};
+
+// Parses one JSON document; trailing non-whitespace or any syntax error
+// throws std::runtime_error with a byte offset.
+[[nodiscard]] json_value parse_json(std::string_view text);
+
+}  // namespace pssp::util

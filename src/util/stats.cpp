@@ -106,6 +106,26 @@ interval wilson_interval(std::size_t successes, std::size_t n, double z) {
             std::min(1.0, (center + spread) / denom)};
 }
 
+welford_accumulator::state welford_accumulator::save() const noexcept {
+    return state{.n = n_,
+                 .mean = mean_,
+                 .m2 = m2_,
+                 .min = min_,
+                 .max = max_,
+                 .total = total_};
+}
+
+welford_accumulator welford_accumulator::restore(const state& s) noexcept {
+    welford_accumulator acc;
+    acc.n_ = static_cast<std::size_t>(s.n);
+    acc.mean_ = s.mean;
+    acc.m2_ = s.m2;
+    acc.min_ = s.min;
+    acc.max_ = s.max;
+    acc.total_ = s.total;
+    return acc;
+}
+
 void welford_accumulator::add(double x) noexcept {
     if (n_ == 0) {
         min_ = x;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -78,6 +79,21 @@ struct interval {
 // per-worker and re-merged in a fixed order give bit-identical results.
 class welford_accumulator {
   public:
+    // The raw recurrence state. Exposed so accumulators can cross process
+    // boundaries (dist/ wire format) without losing a single bit: restore()
+    // of a save()d state is the identical accumulator, and merging restored
+    // halves reproduces the in-process merge exactly.
+    struct state {
+        std::uint64_t n = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        double total = 0.0;
+    };
+    [[nodiscard]] state save() const noexcept;
+    [[nodiscard]] static welford_accumulator restore(const state& s) noexcept;
+
     void add(double x) noexcept;
     void merge(const welford_accumulator& other) noexcept;
     [[nodiscard]] std::size_t count() const noexcept { return n_; }

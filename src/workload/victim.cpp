@@ -16,6 +16,13 @@ std::string to_string(target_kind target) {
     throw std::invalid_argument{"to_string: unknown target_kind"};
 }
 
+target_kind target_kind_from_string(const std::string& name) {
+    for (const auto target : all_target_kinds())
+        if (to_string(target) == name) return target;
+    throw std::invalid_argument{"target_kind_from_string: unknown target \"" +
+                                name + "\""};
+}
+
 const std::vector<target_kind>& all_target_kinds() {
     static const std::vector<target_kind> targets{
         target_kind::nginx,

@@ -29,6 +29,9 @@ enum class target_kind : std::uint8_t {
 };
 
 [[nodiscard]] std::string to_string(target_kind target);
+
+// Inverse of to_string; throws std::invalid_argument on an unknown name.
+[[nodiscard]] target_kind target_kind_from_string(const std::string& name);
 [[nodiscard]] const std::vector<target_kind>& all_target_kinds();
 
 struct victim {

@@ -151,6 +151,101 @@ TEST(campaign_engine, reduce_cell_statistics) {
     EXPECT_LE(cell.detection_ci.hi, 1.0);
 }
 
+TEST(campaign_engine, full_spec_covers_every_campaign_capable_scheme) {
+    const auto spec = campaign::full_spec();
+    const std::vector<scheme_kind> expected{
+        scheme_kind::ssp,  scheme_kind::raf_ssp, scheme_kind::dynaguard,
+        scheme_kind::dcr,  scheme_kind::p_ssp,   scheme_kind::p_ssp_owf};
+    EXPECT_EQ(spec.schemes, expected);
+    // brute_force is deliberately absent: it cannot model DCR (the engine
+    // rejects the pairing), and full_spec includes dcr.
+    EXPECT_EQ(std::count(spec.attacks.begin(), spec.attacks.end(),
+                         attack::attack_kind::brute_force),
+              0);
+    EXPECT_NO_THROW(campaign::engine{spec});
+}
+
+// One smoke campaign per full_spec scheme: every scheme must survive a
+// real (tiny) trial run and produce a coherent cell.
+class full_spec_scheme_smoke : public ::testing::TestWithParam<scheme_kind> {};
+
+TEST_P(full_spec_scheme_smoke, runs_two_trials) {
+    campaign::campaign_spec spec;
+    spec.schemes = {GetParam()};
+    spec.attacks = {attack::attack_kind::byte_by_byte};
+    spec.targets = {workload::target_kind::nginx};
+    spec.trials_per_cell = 2;
+    spec.master_seed = 2018;
+    spec.query_budget = 2500;
+    const auto report = campaign::engine{spec}.run();
+    ASSERT_EQ(report.cells.size(), 1u);
+    EXPECT_EQ(report.cells[0].scheme, GetParam());
+    EXPECT_EQ(report.cells[0].trials, 2u);
+    EXPECT_EQ(report.cells[0].queries.count(), 2u);
+    // Every trial ends somehow: hijacked, detected, or crashed out.
+    EXPECT_GT(report.cells[0].hijacks + report.cells[0].detections +
+                  report.cells[0].other_crashes,
+              0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    all_full_spec_schemes, full_spec_scheme_smoke,
+    ::testing::ValuesIn(campaign::full_spec().schemes),
+    [](const ::testing::TestParamInfo<scheme_kind>& info) {
+        std::string name = core::to_string(info.param);
+        for (auto& c : name)
+            if (c == '-') c = '_';
+        return name;
+    });
+
+TEST(campaign_engine, resolve_jobs_clamps_to_at_least_one) {
+    // Regression: jobs == 0 means "one per hardware thread", but
+    // hardware_concurrency() may itself return 0 — the resolved count must
+    // still be a runnable worker pool.
+    EXPECT_GE(campaign::resolve_jobs(0), 1u);
+    EXPECT_EQ(campaign::resolve_jobs(1), 1u);
+    EXPECT_EQ(campaign::resolve_jobs(7), 7u);
+}
+
+TEST(campaign_engine, cell_partial_add_merge_matches_reduce_cell) {
+    // reduce_cell == blockwise add()+merge() by construction; pin it so
+    // the wire path (which replays exactly this) can't drift.
+    std::vector<campaign::trial_result> trials;
+    for (int i = 0; i < 150; ++i) {  // spans multiple reduction blocks
+        campaign::trial_result t;
+        t.hijacked = (i % 3) == 0;
+        t.detected = (i % 3) != 0;
+        t.oracle_queries = static_cast<std::uint64_t>(10 * i + 1);
+        t.leaked_bytes_valid = static_cast<unsigned>(i % 9);
+        trials.push_back(t);
+    }
+    const auto direct = campaign::reduce_cell(
+        scheme_kind::ssp, attack::attack_kind::byte_by_byte,
+        workload::target_kind::nginx, trials);
+
+    campaign::cell_partial merged;
+    for (std::size_t start = 0; start < trials.size();
+         start += campaign::reduce_block_trials) {
+        campaign::cell_partial block;
+        const std::size_t end = std::min<std::size_t>(
+            start + campaign::reduce_block_trials, trials.size());
+        for (std::size_t i = start; i < end; ++i) block.add(trials[i]);
+        merged.merge(block);
+    }
+    const auto finalized = campaign::finalize_cell(
+        campaign::cell_id{workload::target_kind::nginx, scheme_kind::ssp,
+                          attack::attack_kind::byte_by_byte},
+        merged);
+    EXPECT_EQ(finalized.trials, direct.trials);
+    EXPECT_EQ(finalized.hijacks, direct.hijacks);
+    EXPECT_EQ(finalized.detections, direct.detections);
+    // Bit equality on the float statistics — same operations, same order.
+    EXPECT_EQ(finalized.queries.mean(), direct.queries.mean());
+    EXPECT_EQ(finalized.queries.stddev(), direct.queries.stddev());
+    EXPECT_EQ(finalized.detection_ci.lo, direct.detection_ci.lo);
+    EXPECT_EQ(finalized.detection_ci.hi, direct.detection_ci.hi);
+}
+
 TEST(campaign_engine, rejects_empty_spec) {
     campaign::campaign_spec spec;
     EXPECT_THROW(campaign::engine{spec}, std::invalid_argument);

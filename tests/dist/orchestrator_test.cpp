@@ -1,0 +1,85 @@
+// The multi-process fan-out, end to end: real fork/exec of
+// tools_campaign_worker (a sibling of this test binary — everything
+// builds into one directory), real pipes, real merge. Pins the acceptance
+// contract: the merged report for the default spec is byte-identical to
+// the single-process report at shard counts {1, 2, 4, 8}, and a crashed
+// worker fails the run loudly instead of silently dropping trials.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "campaign/engine.hpp"
+#include "dist/orchestrator.hpp"
+
+namespace pssp {
+namespace {
+
+TEST(dist_orchestrator, default_worker_path_is_a_sibling) {
+    const auto path = dist::default_worker_path();
+    EXPECT_NE(path.find("tools_campaign_worker"), std::string::npos);
+}
+
+TEST(dist_orchestrator, default_spec_byte_identical_at_1_2_4_8_shards) {
+    // The default 9-cell matrix (including brute_force) with reduced trial
+    // and search-space knobs so five full campaigns fit in a unit-test
+    // budget; the CI job runs the same oracle at the full 112 trials per
+    // cell. Byte-identity is knob-independent, so cheap knobs lose nothing.
+    auto spec = campaign::default_spec();
+    spec.trials_per_cell = 6;
+    spec.brute_unknown_bits = 8;
+    spec.query_budget = 1024;
+    spec.jobs = 4;
+    const auto reference = campaign::engine{spec}.run().to_json();
+    for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+        dist::sharded_options options;
+        options.shards = shards;
+        const auto report = dist::run_sharded(spec, options);
+        EXPECT_EQ(report.to_json(), reference) << "shards=" << shards;
+    }
+}
+
+TEST(dist_orchestrator, more_shards_than_blocks_still_merges) {
+    campaign::campaign_spec spec;
+    spec.schemes = {core::scheme_kind::p_ssp};
+    spec.attacks = {attack::attack_kind::leak_replay};
+    spec.targets = {workload::target_kind::nginx};
+    spec.trials_per_cell = 2;  // one block total
+    spec.master_seed = 11;
+    const auto reference = campaign::engine{spec}.run().to_json();
+    dist::sharded_options options;
+    options.shards = 3;  // two shards own nothing and report empty partials
+    EXPECT_EQ(dist::run_sharded(spec, options).to_json(), reference);
+}
+
+TEST(dist_orchestrator, crashed_worker_fails_the_run_loudly) {
+    auto spec = campaign::default_spec();
+    spec.trials_per_cell = 4;
+    ::setenv("PSSP_CAMPAIGN_WORKER_CRASH", "2", /*overwrite=*/1);
+    dist::sharded_options options;
+    options.shards = 4;
+    try {
+        (void)dist::run_sharded(spec, options);
+        ::unsetenv("PSSP_CAMPAIGN_WORKER_CRASH");
+        FAIL() << "a dead shard must fail the campaign";
+    } catch (const std::runtime_error& e) {
+        ::unsetenv("PSSP_CAMPAIGN_WORKER_CRASH");
+        EXPECT_NE(std::string{e.what()}.find("shard 2"), std::string::npos)
+            << "error must name the failed shard: " << e.what();
+    }
+}
+
+TEST(dist_orchestrator, missing_worker_binary_fails_loudly) {
+    campaign::campaign_spec spec;
+    spec.schemes = {core::scheme_kind::ssp};
+    spec.attacks = {attack::attack_kind::leak_replay};
+    spec.targets = {workload::target_kind::nginx};
+    spec.trials_per_cell = 1;
+    dist::sharded_options options;
+    options.shards = 2;
+    options.worker_path = "/nonexistent/campaign_worker";
+    EXPECT_THROW((void)dist::run_sharded(spec, options), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pssp

@@ -1,0 +1,155 @@
+// Wire format: spec and partial-report JSON round trips, with the Welford
+// state surviving at full double precision — the property the sharded
+// byte-identity contract stands on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "campaign/engine.hpp"
+#include "dist/shard.hpp"
+#include "dist/wire.hpp"
+
+namespace pssp {
+namespace {
+
+TEST(dist_wire, spec_round_trip) {
+    campaign::campaign_spec spec = campaign::full_spec();
+    spec.trials_per_cell = 1234;
+    spec.master_seed = 0xdeadbeefcafef00dull;
+    spec.jobs = 7;
+    spec.reuse_masters = false;
+    spec.query_budget = 9999;
+    spec.brute_unknown_bits = 17;
+    spec.scheme_options.owf = crypto::owf_kind::sha1;
+    spec.scheme_options.lv_check_after_write = true;
+    spec.scheme_options.dcr_trampoline_cycles = 777;
+
+    const auto parsed = dist::spec_from_json(dist::spec_to_json(spec));
+    EXPECT_EQ(parsed.schemes, spec.schemes);
+    EXPECT_EQ(parsed.attacks, spec.attacks);
+    EXPECT_EQ(parsed.targets, spec.targets);
+    EXPECT_EQ(parsed.trials_per_cell, spec.trials_per_cell);
+    EXPECT_EQ(parsed.master_seed, spec.master_seed);
+    EXPECT_EQ(parsed.jobs, spec.jobs);
+    EXPECT_EQ(parsed.reuse_masters, spec.reuse_masters);
+    EXPECT_EQ(parsed.query_budget, spec.query_budget);
+    EXPECT_EQ(parsed.brute_unknown_bits, spec.brute_unknown_bits);
+    EXPECT_EQ(parsed.scheme_options.owf, spec.scheme_options.owf);
+    EXPECT_EQ(parsed.scheme_options.lv_check_after_write,
+              spec.scheme_options.lv_check_after_write);
+    EXPECT_EQ(parsed.scheme_options.dcr_trampoline_cycles,
+              spec.scheme_options.dcr_trampoline_cycles);
+    // And the round trip is a fixed point of the serialization itself.
+    EXPECT_EQ(dist::spec_to_json(parsed), dist::spec_to_json(spec));
+}
+
+TEST(dist_wire, spec_digest_ignores_execution_knobs_only) {
+    auto spec = campaign::default_spec();
+    const auto digest = dist::spec_digest(spec);
+    auto tweaked = spec;
+    tweaked.jobs = 64;
+    tweaked.reuse_masters = false;
+    EXPECT_EQ(dist::spec_digest(tweaked), digest)
+        << "execution knobs must not move the digest";
+    tweaked = spec;
+    tweaked.master_seed ^= 1;
+    EXPECT_NE(dist::spec_digest(tweaked), digest);
+    tweaked = spec;
+    tweaked.trials_per_cell += 1;
+    EXPECT_NE(dist::spec_digest(tweaked), digest);
+    tweaked = spec;
+    tweaked.schemes.pop_back();
+    EXPECT_NE(dist::spec_digest(tweaked), digest);
+}
+
+TEST(dist_wire, welford_state_survives_the_wire_bit_exactly) {
+    // Doubles with awkward mantissas: merging parsed accumulators must
+    // give bit-identical results to merging the originals.
+    util::welford_accumulator acc;
+    for (const double x : {1.0 / 3.0, 2.0 / 7.0, 1e-300, 3.14159265358979,
+                           6.02214076e23, -0.1, 4096.0, 0.0})
+        acc.add(x);
+
+    campaign::cell_partial p;
+    p.trials = 8;
+    p.queries = acc;
+    p.queries_to_compromise = util::welford_accumulator{};  // empty survives too
+    p.leaked_bytes_valid = acc;
+
+    dist::partial_report partial;
+    partial.shard_index = 3;
+    partial.shard_count = 8;
+    partial.digest = 0x1234567890abcdefull;
+    partial.blocks.push_back(dist::partial_block{42, 7, p});
+
+    const auto parsed = dist::partial_from_json(dist::partial_to_json(partial));
+    ASSERT_EQ(parsed.blocks.size(), 1u);
+    EXPECT_EQ(parsed.shard_index, 3u);
+    EXPECT_EQ(parsed.shard_count, 8u);
+    EXPECT_EQ(parsed.digest, partial.digest);
+    EXPECT_EQ(parsed.blocks[0].index, 42u);
+    EXPECT_EQ(parsed.blocks[0].cell, 7u);
+
+    const auto a = p.queries.save();
+    const auto b = parsed.blocks[0].partial.queries.save();
+    EXPECT_EQ(a.n, b.n);
+    // Bit equality, not EXPECT_DOUBLE_EQ: the merge recurrence amplifies
+    // any ulp the wire loses.
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0);
+    const auto empty = parsed.blocks[0].partial.queries_to_compromise.save();
+    EXPECT_EQ(empty.n, 0u);
+
+    // Serialization is a fixed point.
+    EXPECT_EQ(dist::partial_to_json(parsed), dist::partial_to_json(partial));
+}
+
+TEST(dist_wire, partial_parse_rejects_garbage) {
+    EXPECT_THROW((void)dist::partial_from_json(""), std::runtime_error);
+    EXPECT_THROW((void)dist::partial_from_json("{\"partial\":"),
+                 std::runtime_error);
+    EXPECT_THROW((void)dist::partial_from_json("{\"unexpected\":{}}"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        (void)dist::partial_from_json(
+            "{\"partial\":{\"version\":999,\"shard\":0,\"shards\":1,"
+            "\"spec_digest\":0,\"blocks\":[]}}"),
+        std::runtime_error);
+    EXPECT_THROW((void)dist::spec_from_json("{\"spec\":{\"schemes\":[\"NOPE\"]}}"),
+                 std::invalid_argument);
+}
+
+TEST(dist_wire, campaign_report_serialize_parse_merge_round_trip) {
+    // The satellite's oracle: take a real campaign, ship its two shard
+    // halves through the text wire, merge the parsed partials, and demand
+    // the display JSON of the merged report equal the single-process one.
+    campaign::campaign_spec spec;
+    spec.schemes = {core::scheme_kind::ssp, core::scheme_kind::p_ssp};
+    spec.attacks = {attack::attack_kind::leak_replay};
+    spec.targets = {workload::target_kind::nginx};
+    spec.trials_per_cell = 5;
+    spec.master_seed = 99;
+    const auto reference = campaign::engine{spec}.run().to_json();
+
+    std::vector<dist::partial_report> parsed;
+    for (const auto& plan : dist::plan_shards(spec, 2)) {
+        campaign::engine engine{spec};
+        const auto block_partials = engine.run_blocks(plan.blocks);
+        dist::partial_report partial;
+        partial.shard_index = plan.shard_index;
+        partial.shard_count = plan.shard_count;
+        partial.digest = dist::spec_digest(spec);
+        for (std::size_t i = 0; i < plan.blocks.size(); ++i)
+            partial.blocks.push_back(dist::partial_block{
+                plan.blocks[i].index, plan.blocks[i].cell, block_partials[i]});
+        // Through the wire and back.
+        parsed.push_back(
+            dist::partial_from_json(dist::partial_to_json(partial)));
+    }
+    EXPECT_EQ(dist::merge_partials(spec, parsed).to_json(), reference);
+}
+
+}  // namespace
+}  // namespace pssp

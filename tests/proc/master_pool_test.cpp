@@ -117,6 +117,26 @@ TEST(master_pool, released_servers_return_to_the_idle_list) {
     EXPECT_EQ(victim.pool->reuses(), 1u);
 }
 
+TEST(master_pool, idle_limit_caps_parked_servers) {
+    // Sharded campaigns size each process's pool to its worker count; the
+    // cap must bound the idle list and evict on shrink, while releases
+    // beyond the cap destroy the server rather than park it.
+    const auto victim =
+        workload::make_victim(workload::target_kind::nginx, scheme_kind::ssp);
+    victim.pool->set_idle_limit(2);
+    EXPECT_EQ(victim.pool->idle_limit(), 2u);
+    {
+        auto a = victim.lease_server(1);
+        auto b = victim.lease_server(2);
+        auto c = victim.lease_server(3);
+    }
+    EXPECT_EQ(victim.pool->idle(), 2u);  // third release was dropped
+    victim.pool->set_idle_limit(1);
+    EXPECT_EQ(victim.pool->idle(), 1u);  // shrink evicts immediately
+    { auto lease = victim.lease_server(4); }
+    EXPECT_EQ(victim.pool->idle(), 1u);
+}
+
 TEST(master_pool, reboot_requires_reusable_config) {
     const auto victim =
         workload::make_victim(workload::target_kind::nginx, scheme_kind::ssp);

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -188,6 +192,78 @@ TEST(table, formatters) {
     EXPECT_EQ(util::fmt_bytes(512), "512 B");
     EXPECT_EQ(util::fmt_bytes(2048), "2.00 KiB");
     EXPECT_EQ(util::fmt_bytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(json, emit_and_parse_round_trip) {
+    std::string out;
+    out += '{';
+    util::append_kv(out, "name", std::string{"P-SSP"});
+    util::append_kv(out, "count", std::uint64_t{42});
+    util::append_kv(out, "rate", 0.125);
+    util::append_kv_bool(out, "flag", true);
+    util::append_kv_exact(out, "exact", 1.0 / 3.0);
+    util::append_interval(out, "ci", util::interval{0.25, 0.75},
+                          /*comma=*/false);
+    out += '}';
+
+    const auto doc = util::parse_json(out);
+    EXPECT_EQ(doc.at("name").as_string(), "P-SSP");
+    EXPECT_EQ(doc.at("count").as_u64(), 42u);
+    EXPECT_DOUBLE_EQ(doc.at("rate").as_double(), 0.125);
+    EXPECT_TRUE(doc.at("flag").as_bool());
+    // Hexfloat channel is bit-exact, not approximately equal.
+    EXPECT_EQ(doc.at("exact").as_double_exact(), 1.0 / 3.0);
+    const auto& ci = doc.at("ci").elements();
+    ASSERT_EQ(ci.size(), 2u);
+    EXPECT_DOUBLE_EQ(ci[0].as_double(), 0.25);
+    EXPECT_DOUBLE_EQ(ci[1].as_double(), 0.75);
+}
+
+TEST(json, parser_handles_structure_and_rejects_garbage) {
+    const auto doc = util::parse_json(
+        " { \"a\" : [ 1 , -2.5e3 , \"x\\\"y\" , null , false ] , \"b\" : {} } ");
+    const auto& a = doc.at("a").elements();
+    ASSERT_EQ(a.size(), 5u);
+    EXPECT_EQ(a[0].as_u64(), 1u);
+    EXPECT_DOUBLE_EQ(a[1].as_double(), -2500.0);
+    EXPECT_EQ(a[2].as_string(), "x\"y");
+    EXPECT_EQ(a[3].type(), util::json_value::kind::null);
+    EXPECT_FALSE(a[4].as_bool());
+    EXPECT_EQ(doc.at("b").members().size(), 0u);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_THROW((void)doc.at("missing"), std::runtime_error);
+    EXPECT_THROW((void)a[0].as_string(), std::runtime_error);
+
+    // A negative count is a parse error, not a strtoull wraparound.
+    EXPECT_THROW((void)util::parse_json("-2").as_u64(), std::runtime_error);
+    EXPECT_DOUBLE_EQ(util::parse_json("-2").as_double(), -2.0);
+
+    EXPECT_THROW((void)util::parse_json(""), std::runtime_error);
+    EXPECT_THROW((void)util::parse_json("{\"a\":1,}"), std::runtime_error);
+    EXPECT_THROW((void)util::parse_json("{\"a\":1} trailing"),
+                 std::runtime_error);
+    EXPECT_THROW((void)util::parse_json("[1, 2"), std::runtime_error);
+    EXPECT_THROW((void)util::parse_json("truthy"), std::runtime_error);
+}
+
+TEST(stats, welford_save_restore_is_bit_exact) {
+    util::welford_accumulator acc;
+    for (const double x : {0.1, 0.2, 0.30000000000000004, -7.25, 1e18})
+        acc.add(x);
+    const auto restored = util::welford_accumulator::restore(acc.save());
+    EXPECT_EQ(restored.count(), acc.count());
+    EXPECT_EQ(restored.mean(), acc.mean());
+    EXPECT_EQ(restored.stddev(), acc.stddev());
+    EXPECT_EQ(restored.min(), acc.min());
+    EXPECT_EQ(restored.max(), acc.max());
+    EXPECT_EQ(restored.total(), acc.total());
+    // Continuing to add on the restored copy tracks the original exactly.
+    auto a = acc;
+    auto b = restored;
+    a.add(3.5);
+    b.add(3.5);
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.stddev(), b.stddev());
 }
 
 }  // namespace

@@ -1,0 +1,216 @@
+// Sharded campaign driver: fans a campaign_spec out across worker
+// processes (dist::run_sharded) and writes the merged report — which is
+// byte-identical to the single-process run at every shard count; CI pins
+// that by diffing --shards 1 against --shards 4 output.
+//
+// --scaling runs the same campaign at several shard counts, verifies all
+// reports are byte-identical, and emits BENCH_shard.json: the shard-count
+// scaling curve (wall seconds, trials/sec, speedup vs the first count).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "dist/orchestrator.hpp"
+
+namespace {
+
+using namespace pssp;
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--shards N] [--trials N] [--jobs N] [--seed S]\n"
+                 "          [--budget Q] [--full] [--fresh-masters]\n"
+                 "          [--worker PATH] [--json PATH|-] [--table]\n"
+                 "          [--scaling N1,N2,...] [--bench-json PATH|-]\n"
+                 "  --shards N   worker processes (default 1; still fork/exec)\n"
+                 "  --trials N   trials per campaign cell (default 112)\n"
+                 "  --jobs N     total worker threads, split across shards\n"
+                 "               (default 1; 0 = all cores)\n"
+                 "  --seed S     master seed (default 2018)\n"
+                 "  --budget Q   oracle-query budget per trial (default 4096)\n"
+                 "  --full       full_spec(): every campaign-capable scheme\n"
+                 "  --fresh-masters  disable the master snapshot-reuse pool\n"
+                 "  --worker PATH    campaign worker binary (default: sibling\n"
+                 "               tools_campaign_worker)\n"
+                 "  --json PATH  write the merged report JSON ('-' = stdout)\n"
+                 "  --table      print the human-readable outcome matrix\n"
+                 "  --scaling L  run at each shard count in the comma list,\n"
+                 "               assert byte-identical reports, emit the\n"
+                 "               scaling curve to --bench-json\n"
+                 "  --bench-json PATH  BENCH_shard.json destination\n",
+                 argv0);
+}
+
+std::vector<unsigned> parse_count_list(const char* text) {
+    std::vector<unsigned> counts;
+    const char* p = text;
+    while (*p != '\0') {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(p, &end, 10);
+        if (end == p || v == 0) return {};
+        counts.push_back(static_cast<unsigned>(v));
+        p = end;
+        if (*p == ',') ++p;
+        else if (*p != '\0') return {};
+    }
+    return counts;
+}
+
+bool write_text(const char* path, const std::string& text) {
+    if (!std::strcmp(path, "-")) {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return true;
+    }
+    std::ofstream out{path, std::ios::binary};
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return false;
+    }
+    out << text;
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    campaign::campaign_spec spec = campaign::default_spec();
+    spec.trials_per_cell = 112;
+    dist::sharded_options options;
+    const char* json_path = nullptr;
+    const char* bench_json_path = nullptr;
+    std::vector<unsigned> scaling;
+    bool table = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next_value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--shards")) {
+            options.shards = static_cast<unsigned>(
+                std::strtoul(next_value("--shards"), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--trials")) {
+            spec.trials_per_cell = std::strtoull(next_value("--trials"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            spec.jobs = static_cast<unsigned>(
+                std::strtoul(next_value("--jobs"), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            spec.master_seed = std::strtoull(next_value("--seed"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--budget")) {
+            spec.query_budget = std::strtoull(next_value("--budget"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--full")) {
+            const auto trials = spec.trials_per_cell;
+            const auto seed = spec.master_seed;
+            const auto budget = spec.query_budget;
+            const auto jobs = spec.jobs;
+            const auto reuse = spec.reuse_masters;
+            spec = campaign::full_spec();
+            spec.trials_per_cell = trials;
+            spec.master_seed = seed;
+            spec.query_budget = budget;
+            spec.jobs = jobs;
+            spec.reuse_masters = reuse;
+        } else if (!std::strcmp(argv[i], "--fresh-masters")) {
+            spec.reuse_masters = false;
+        } else if (!std::strcmp(argv[i], "--worker")) {
+            options.worker_path = next_value("--worker");
+        } else if (!std::strcmp(argv[i], "--json")) {
+            json_path = next_value("--json");
+        } else if (!std::strcmp(argv[i], "--table")) {
+            table = true;
+        } else if (!std::strcmp(argv[i], "--scaling")) {
+            scaling = parse_count_list(next_value("--scaling"));
+            if (scaling.empty()) {
+                std::fprintf(stderr, "--scaling needs a comma list like 1,2,4\n");
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--bench-json")) {
+            bench_json_path = next_value("--bench-json");
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (options.shards == 0) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 2;
+    }
+
+    try {
+        if (!scaling.empty()) {
+            // Scaling-curve mode: same campaign at each count, byte-identity
+            // asserted across all of them.
+            std::string reference;
+            std::string bench;
+            double base_seconds = 0.0;
+            bench += "{\n  \"bench\": \"campaign_shard\",\n";
+            char buf[256];
+            std::snprintf(buf, sizeof buf,
+                          "  \"trials\": %llu,\n  \"cells\": %llu,\n"
+                          "  \"jobs\": %u,\n  \"counts\": [\n",
+                          static_cast<unsigned long long>(spec.trial_count()),
+                          static_cast<unsigned long long>(spec.cell_count()),
+                          spec.jobs);
+            bench += buf;
+            for (std::size_t i = 0; i < scaling.size(); ++i) {
+                dist::sharded_options run_options = options;
+                run_options.shards = scaling[i];
+                const auto start = std::chrono::steady_clock::now();
+                const auto report = dist::run_sharded(spec, run_options);
+                const double seconds = std::chrono::duration<double>(
+                                           std::chrono::steady_clock::now() - start)
+                                           .count();
+                const auto json = report.to_json();
+                if (reference.empty()) {
+                    reference = json;
+                    base_seconds = seconds;
+                } else if (json != reference) {
+                    std::fprintf(stderr,
+                                 "FAIL: report at --shards %u differs from "
+                                 "--shards %u\n",
+                                 scaling[i], scaling[0]);
+                    return 1;
+                }
+                std::snprintf(
+                    buf, sizeof buf,
+                    "    {\"shards\": %u, \"wall_seconds\": %.3f, "
+                    "\"trials_per_sec\": %.1f, \"speedup\": %.2f}%s\n",
+                    scaling[i], seconds,
+                    static_cast<double>(spec.trial_count()) / seconds,
+                    base_seconds / seconds, i + 1 < scaling.size() ? "," : "");
+                bench += buf;
+                std::fprintf(stderr, "--shards %u: %.3fs (report %s)\n",
+                             scaling[i], seconds,
+                             i == 0 ? "reference" : "identical");
+            }
+            bench += "  ]\n}\n";
+            if (json_path != nullptr && !write_text(json_path, reference + "\n"))
+                return 1;
+            if (bench_json_path != nullptr && !write_text(bench_json_path, bench))
+                return 1;
+            std::fprintf(stderr, "all %zu shard counts byte-identical\n",
+                         scaling.size());
+            return 0;
+        }
+
+        const auto report = dist::run_sharded(spec, options);
+        if (table) std::printf("%s\n", report.to_table().c_str());
+        if (json_path != nullptr &&
+            !write_text(json_path, report.to_json() + "\n"))
+            return 1;
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,106 @@
+// One shard of a distributed campaign, as a process.
+//
+// Protocol (see src/dist/orchestrator.cpp, which speaks the other side):
+//   stdin   wire spec JSON (the whole campaign_spec; jobs/reuse_masters
+//           are this shard's execution knobs as set by the orchestrator)
+//   argv    --shard K --shards N   which slice of the canonical block
+//           space this process owns (dist::plan_shard)
+//   stdout  wire partial-report JSON: the shard's per-block mergeable
+//           partials, hexfloat-exact
+//   stderr  diagnostics only
+// Exit 0 on success; any failure is a non-zero exit with a message on
+// stderr — the orchestrator turns that into a loud run failure.
+//
+// Test hook: PSSP_CAMPAIGN_WORKER_CRASH=<K> makes shard K exit(3) before
+// doing any work, so the crashed-worker path is testable without a real
+// fault.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <unistd.h>
+
+#include "campaign/engine.hpp"
+#include "dist/shard.hpp"
+#include "dist/wire.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s --shard K --shards N < spec.json > partial.json\n"
+                 "Runs shard K of an N-way campaign split; spec JSON on stdin\n"
+                 "(dist wire format), partial report JSON on stdout.\n",
+                 argv0);
+    return 2;
+}
+
+std::string read_stdin() {
+    std::string input;
+    char buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw std::runtime_error{"reading spec from stdin failed"};
+        }
+        if (n == 0) return input;
+        input.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    long shard = -1;
+    long shards = -1;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--shard") && i + 1 < argc)
+            shard = std::strtol(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--shards") && i + 1 < argc)
+            shards = std::strtol(argv[++i], nullptr, 10);
+        else
+            return usage(argv[0]);
+    }
+    if (shard < 0 || shards <= 0 || shard >= shards) return usage(argv[0]);
+
+    if (const char* crash = std::getenv("PSSP_CAMPAIGN_WORKER_CRASH"))
+        if (std::strtol(crash, nullptr, 10) == shard) {
+            std::fprintf(stderr, "shard %ld: injected crash\n", shard);
+            return 3;
+        }
+
+    try {
+        const auto spec = pssp::dist::spec_from_json(read_stdin());
+        const auto plan = pssp::dist::plan_shard(
+            spec, static_cast<std::uint32_t>(shard),
+            static_cast<std::uint32_t>(shards));
+
+        pssp::campaign::engine engine{spec};
+        const auto partials = engine.run_blocks(plan.blocks);
+
+        pssp::dist::partial_report report;
+        report.shard_index = plan.shard_index;
+        report.shard_count = plan.shard_count;
+        report.digest = pssp::dist::spec_digest(spec);
+        report.blocks.reserve(plan.blocks.size());
+        for (std::size_t i = 0; i < plan.blocks.size(); ++i)
+            report.blocks.push_back(pssp::dist::partial_block{
+                plan.blocks[i].index, plan.blocks[i].cell, partials[i]});
+
+        const auto json = pssp::dist::partial_to_json(report);
+        if (std::fwrite(json.data(), 1, json.size(), stdout) != json.size() ||
+            std::fflush(stdout) != 0) {
+            std::fprintf(stderr, "shard %ld: writing partial failed\n", shard);
+            return 1;
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "shard %ld: %s\n", shard, e.what());
+        return 1;
+    }
+}
