@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "campaign/engine.hpp"
@@ -31,6 +32,9 @@ void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--trials N] [--jobs N] [--shards N] [--seed S]\n"
                  "          [--budget Q] [--json PATH|-] [--bench-json PATH|-]\n"
+                 "          [--adaptive] [--target H] [--round-blocks N]\n"
+                 "          [--min-trials N] [--adaptive-bench PATH|-]\n"
+                 "          [--min-savings PCT]\n"
                  "          [--fresh-masters] [--worker PATH] [--progress]\n"
                  "  --trials N   trials per campaign cell (default 112: 9 cells\n"
                  "               x 112 = 1008 total trials)\n"
@@ -44,6 +48,20 @@ void usage(const char* argv0) {
                  "  --json PATH  write the campaign_report JSON ('-' = stdout)\n"
                  "  --bench-json PATH  write BENCH_campaign.json throughput\n"
                  "               numbers (wall-time, trials/sec, per-cell cost)\n"
+                 "  --adaptive   CI-driven adaptive allocation (--trials is the\n"
+                 "               per-cell budget; cells stop when both Wilson\n"
+                 "               CI half-widths reach the target)\n"
+                 "  --target H   adaptive CI half-width target (default 0.05)\n"
+                 "  --round-blocks N  blocks per adaptive round (default: one\n"
+                 "               per cell)\n"
+                 "  --min-trials N   per-cell floor before a cell may stop\n"
+                 "               (default 64)\n"
+                 "  --adaptive-bench PATH  run the fixed campaign too and write\n"
+                 "               BENCH_adaptive.json: trials saved vs fixed\n"
+                 "               allocation at the same CI target\n"
+                 "  --min-savings PCT  with --adaptive-bench: exit non-zero if\n"
+                 "               the adaptive run saves less than PCT%% of the\n"
+                 "               fixed trial budget\n"
                  "  --fresh-masters    boot a fresh fork server per trial instead\n"
                  "               of the snapshot-reuse pool (report is identical\n"
                  "               either way; this is a perf A/B knob)\n"
@@ -58,6 +76,8 @@ int main(int argc, char** argv) {
     spec.trials_per_cell = 112;
     const char* json_path = nullptr;
     const char* bench_json_path = nullptr;
+    const char* adaptive_bench_path = nullptr;
+    double min_savings_percent = -1.0;
     bool progress = false;
     unsigned shards = 0;  // 0 = in-process engine
     const char* worker_path = nullptr;
@@ -89,6 +109,21 @@ int main(int argc, char** argv) {
             json_path = next_value("--json");
         } else if (!std::strcmp(argv[i], "--bench-json")) {
             bench_json_path = next_value("--bench-json");
+        } else if (!std::strcmp(argv[i], "--adaptive")) {
+            spec.adaptive = true;
+        } else if (!std::strcmp(argv[i], "--target")) {
+            spec.target_ci_halfwidth =
+                std::strtod(next_value("--target"), nullptr);
+        } else if (!std::strcmp(argv[i], "--round-blocks")) {
+            spec.round_blocks =
+                std::strtoull(next_value("--round-blocks"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--min-trials")) {
+            spec.min_trials_per_cell =
+                std::strtoull(next_value("--min-trials"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--adaptive-bench")) {
+            adaptive_bench_path = next_value("--adaptive-bench");
+        } else if (!std::strcmp(argv[i], "--min-savings")) {
+            min_savings_percent = std::strtod(next_value("--min-savings"), nullptr);
         } else if (!std::strcmp(argv[i], "--fresh-masters")) {
             spec.reuse_masters = false;
         } else if (!std::strcmp(argv[i], "--progress")) {
@@ -97,6 +132,15 @@ int main(int argc, char** argv) {
             usage(argv[0]);
             return 2;
         }
+    }
+
+    if (adaptive_bench_path != nullptr && !spec.adaptive) {
+        std::fprintf(stderr, "--adaptive-bench needs --adaptive\n");
+        return 2;
+    }
+    if (min_savings_percent >= 0.0 && adaptive_bench_path == nullptr) {
+        std::fprintf(stderr, "--min-savings needs --adaptive-bench\n");
+        return 2;
     }
 
     bench::print_header("Attack-campaign detection curves",
@@ -159,6 +203,118 @@ int main(int argc, char** argv) {
                 return 1;
             }
             out << json << '\n';
+        }
+    }
+
+    if (adaptive_bench_path) {
+        // Trial-savings A/B (BENCH_adaptive.json): the fixed twin of the
+        // same spec runs the full trials_per_cell budget everywhere; the
+        // adaptive run above stopped each cell at the CI target. Savings =
+        // trials not run for the same target precision (cells that
+        // exhausted the budget without converging ran identically in both).
+        campaign::campaign_spec fixed_spec = spec;
+        fixed_spec.adaptive = false;
+        double fixed_seconds = 0.0;
+        std::uint64_t fixed_trials = 0;
+        try {
+            const auto start = std::chrono::steady_clock::now();
+            campaign::campaign_report fixed_report;
+            if (shards > 0) {
+                dist::sharded_options options;
+                options.shards = shards;
+                if (worker_path != nullptr) options.worker_path = worker_path;
+                fixed_report = dist::run_sharded(fixed_spec, options);
+            } else {
+                fixed_report = campaign::engine{fixed_spec}.run();
+            }
+            fixed_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+            fixed_trials = fixed_report.total_trials();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error (fixed twin): %s\n", e.what());
+            return 2;
+        }
+
+        const std::uint64_t adaptive_trials = report.total_trials();
+        const double savings_percent =
+            fixed_trials == 0
+                ? 0.0
+                : 100.0 * (1.0 - static_cast<double>(adaptive_trials) /
+                                     static_cast<double>(fixed_trials));
+        std::uint64_t cells_converged = 0;
+        for (const auto& c : report.cells)
+            if (c.trials < spec.trials_per_cell) ++cells_converged;
+
+        std::string bench;
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "{\n"
+            "  \"bench\": \"campaign_adaptive\",\n"
+            "  \"target_ci_halfwidth\": %g,\n"
+            "  \"min_trials_per_cell\": %llu,\n"
+            "  \"trials_budget_per_cell\": %llu,\n"
+            "  \"trials_fixed\": %llu,\n"
+            "  \"trials_adaptive\": %llu,\n"
+            "  \"savings_percent\": %.1f,\n"
+            "  \"cells_stopped_early\": %llu,\n"
+            "  \"cells_total\": %llu,\n"
+            "  \"wall_seconds_fixed\": %.3f,\n"
+            "  \"wall_seconds_adaptive\": %.3f,\n"
+            "  \"cells\": [\n",
+            spec.target_ci_halfwidth,
+            static_cast<unsigned long long>(spec.min_trials_per_cell),
+            static_cast<unsigned long long>(spec.trials_per_cell),
+            static_cast<unsigned long long>(fixed_trials),
+            static_cast<unsigned long long>(adaptive_trials), savings_percent,
+            static_cast<unsigned long long>(cells_converged),
+            static_cast<unsigned long long>(spec.cell_count()), fixed_seconds,
+            wall_seconds);
+        bench += buf;
+        for (std::size_t i = 0; i < report.cells.size(); ++i) {
+            const auto& c = report.cells[i];
+            std::snprintf(
+                buf, sizeof buf,
+                "    {\"scheme\": \"%s\", \"attack\": \"%s\", "
+                "\"trials\": %llu, \"detection_ci_halfwidth\": %.4f, "
+                "\"hijack_ci_halfwidth\": %.4f, \"stopped_early\": %s}%s\n",
+                core::to_string(c.scheme).c_str(),
+                attack::to_string(c.attack).c_str(),
+                static_cast<unsigned long long>(c.trials),
+                c.detection_ci.half_width(), c.hijack_ci.half_width(),
+                c.trials < spec.trials_per_cell ? "true" : "false",
+                i + 1 < report.cells.size() ? "," : "");
+            bench += buf;
+        }
+        bench += "  ]\n}\n";
+
+        if (!std::strcmp(adaptive_bench_path, "-")) {
+            std::printf("%s", bench.c_str());
+        } else {
+            std::ofstream out{adaptive_bench_path, std::ios::binary};
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", adaptive_bench_path);
+                return 1;
+            }
+            out << bench;
+        }
+        std::printf(
+            "adaptive allocation: %llu of %llu fixed trials (%.1f%% saved) "
+            "at target half-width %g; %llu/%llu cells stopped early\n",
+            static_cast<unsigned long long>(adaptive_trials),
+            static_cast<unsigned long long>(fixed_trials), savings_percent,
+            spec.target_ci_halfwidth,
+            static_cast<unsigned long long>(cells_converged),
+            static_cast<unsigned long long>(spec.cell_count()));
+
+        if (min_savings_percent >= 0.0 &&
+            savings_percent < min_savings_percent) {
+            std::fprintf(stderr,
+                         "FAIL: adaptive savings %.1f%% below the --min-savings "
+                         "floor of %.1f%%\n",
+                         savings_percent, min_savings_percent);
+            return 1;
         }
     }
 

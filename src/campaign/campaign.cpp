@@ -165,7 +165,14 @@ std::string campaign_report::to_json() const {
     util::append_kv(out, "trials_per_cell", spec.trials_per_cell);
     util::append_kv(out, "query_budget", spec.query_budget);
     util::append_kv(out, "brute_unknown_bits",
-                    static_cast<std::uint64_t>(spec.brute_unknown_bits),
+                    static_cast<std::uint64_t>(spec.brute_unknown_bits));
+    // The adaptive knobs are outcome-relevant (they decide which trials
+    // ran), so the report records them — unlike jobs/reuse_masters, which
+    // stay absent by design.
+    util::append_kv_bool(out, "adaptive", spec.adaptive);
+    util::append_kv(out, "target_ci_halfwidth", spec.target_ci_halfwidth);
+    util::append_kv(out, "round_blocks", spec.round_blocks);
+    util::append_kv(out, "min_trials_per_cell", spec.min_trials_per_cell,
                     /*comma=*/false);
     out += "},\"cells\":[";
     for (std::size_t i = 0; i < cells.size(); ++i) {

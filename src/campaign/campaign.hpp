@@ -42,6 +42,32 @@ struct campaign_spec {
     unsigned brute_unknown_bits = 12;   // entropy-reduction harness setting
     core::scheme_options scheme_options{};
 
+    // ---- Adaptive allocation (campaign/allocator.hpp) ----
+    // When true, the campaign runs in fixed rounds over the canonical block
+    // space: after each round every cell's Wilson CIs are recomputed from
+    // its merged block partials, cells whose half-width has dropped below
+    // `target_ci_halfwidth` stop, and the next round's blocks go to the
+    // widest-CI cells first. trials_per_cell becomes the per-cell *budget*
+    // (the hard cap); converged cells spend less of it. Unlike jobs and
+    // reuse_masters these four knobs ARE outcome-relevant — they decide
+    // which trials run — so they are part of the report, the wire spec,
+    // and the spec digest.
+    bool adaptive = false;
+    // Stop a cell once BOTH its detection and hijack Wilson 95% CI
+    // half-widths are at or below this. 0 never stops early (a Wilson
+    // half-width on n >= 1 trials is strictly positive), which makes the
+    // adaptive run degenerate to the fixed allocation.
+    double target_ci_halfwidth = 0.05;
+    // Reduction blocks handed out per round. 0 = one block per cell
+    // (cell_count), the natural breadth-first default. Never derived from
+    // jobs or shard count: the round schedule is part of the
+    // reproducibility contract.
+    std::uint64_t round_blocks = 0;
+    // A cell may not stop before running at least this many trials (capped
+    // by trials_per_cell), so a lucky first block cannot freeze a cell's
+    // estimate at 3 trials.
+    std::uint64_t min_trials_per_cell = 64;
+
     [[nodiscard]] std::uint64_t cell_count() const noexcept {
         return schemes.size() * attacks.size() * targets.size();
     }
@@ -118,7 +144,10 @@ struct cell_id {
 // One canonical reduction block: `trials` consecutive trials of cell
 // `cell` starting at global trial index `first_trial`. blocks_for() lists
 // every block of the campaign in canonical order; `index` is the position
-// in that list, and is what shard planners partition.
+// in that list, and is what shard planners partition. Degenerate specs are
+// well-defined, not UB: trials_per_cell == 0 or any empty axis yields an
+// empty block list, and assemble_report over it is a valid zero-cell (or
+// zero-trial) report.
 struct block_ref {
     std::uint64_t index = 0;
     std::uint64_t cell = 0;
@@ -149,6 +178,15 @@ struct cell_report {
 struct campaign_report {
     campaign_spec spec;
     std::vector<cell_report> cells;  // target-major, then scheme, then attack
+
+    // Trials actually executed. Equals spec.trial_count() for fixed
+    // allocation; less when adaptive stopping saved budget — the quantity
+    // the savings benchmark compares.
+    [[nodiscard]] std::uint64_t total_trials() const noexcept {
+        std::uint64_t total = 0;
+        for (const auto& c : cells) total += c.trials;
+        return total;
+    }
 
     // Deterministic serialization: fixed key order, fixed float formatting,
     // no scheduling-dependent fields (spec.jobs is deliberately absent), so

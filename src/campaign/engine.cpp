@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -11,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "campaign/allocator.hpp"
 #include "core/tls_layout.hpp"
 #include "crypto/prng.hpp"
 
@@ -91,6 +93,10 @@ engine::engine(campaign_spec spec) : spec_{std::move(spec)} {
             "campaign::engine: spec needs >= 1 scheme, attack and target"};
     if (spec_.trials_per_cell == 0)
         throw std::invalid_argument{"campaign::engine: trials_per_cell == 0"};
+    if (spec_.adaptive && (!std::isfinite(spec_.target_ci_halfwidth) ||
+                           spec_.target_ci_halfwidth < 0.0))
+        throw std::invalid_argument{
+            "campaign::engine: target_ci_halfwidth must be finite and >= 0"};
     // DCR's brute-force model needs the victim's true link offset in the
     // low canary half; no static victim property supplies it, and running
     // with a wrong offset reports a hijack rate of 0 that is
@@ -107,9 +113,24 @@ engine::engine(campaign_spec spec) : spec_{std::move(spec)} {
 }
 
 campaign_report engine::run() {
-    const auto blocks = blocks_for(spec_);
-    const auto partials = run_blocks(blocks);
-    return assemble_report(spec_, blocks, partials);
+    if (!spec_.adaptive) {
+        const auto blocks = blocks_for(spec_);
+        const auto partials = run_blocks(blocks);
+        return assemble_report(spec_, blocks, partials);
+    }
+    // Adaptive round loop: plan -> execute -> record until every cell has
+    // converged or exhausted its budget. The allocator's decisions are pure
+    // functions of the merged partials, and run_blocks partials are pure
+    // functions of (master_seed, block), so this loop reproduces the dist
+    // orchestrator's sharded round loop byte for byte.
+    adaptive_allocator allocator{spec_};
+    for (;;) {
+        const auto round = allocator.plan_round();
+        if (round.empty()) break;
+        const auto partials = run_blocks(round);
+        allocator.record_round(round, partials);
+    }
+    return allocator.report();
 }
 
 std::vector<cell_partial> engine::run_blocks(std::span<const block_ref> blocks) {
@@ -125,22 +146,22 @@ std::vector<cell_partial> engine::run_blocks(std::span<const block_ref> blocks) 
 
     // One victim build per (target, scheme), but only for the pairs these
     // blocks actually touch — a shard owning 3 of 18 blocks must not pay
-    // for 6 compiles. Attacks within a cell share the build.
-    std::vector<std::optional<workload::victim>> victims(
-        spec_.targets.size() * spec_.schemes.size());
+    // for 6 compiles. Attacks within a cell share the build, and the cache
+    // is an engine member so an adaptive round loop pays each compile once.
+    victims_.resize(spec_.targets.size() * spec_.schemes.size());
     std::vector<cell_key> cells(ids.size());
     for (const auto& b : blocks) {
         const std::size_t vi = b.cell / n_attacks;
-        if (!victims[vi].has_value()) {
-            victims[vi].emplace(workload::make_victim(
+        if (!victims_[vi].has_value()) {
+            victims_[vi].emplace(workload::make_victim(
                 ids[b.cell].target, ids[b.cell].scheme, spec_.scheme_options));
             // Per-shard pool sizing: park at most one booted master per
             // worker thread. A lone process on a big machine keeps them
             // all; each process of a wide fan-out keeps only its share.
-            victims[vi]->pool->set_idle_limit(jobs);
+            victims_[vi]->pool->set_idle_limit(jobs);
         }
         cells[b.cell] = cell_key{ids[b.cell].target, ids[b.cell].scheme,
-                                 ids[b.cell].attack, &*victims[vi]};
+                                 ids[b.cell].attack, &*victims_[vi]};
     }
 
     std::uint64_t total = 0;

@@ -18,10 +18,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "workload/victim.hpp"
 
 namespace pssp::campaign {
 
@@ -41,9 +43,13 @@ class engine {
     // Runs the whole campaign and reduces it. Victim builds (one compile +
     // link per (target, scheme)) happen up front on the calling thread;
     // trials fan out across spec.jobs workers. Throws if any trial threw.
-    // Equivalent to run_blocks(blocks_for(spec)) + assemble_report — that
-    // IS the implementation, so a sharded run that merges partial blocks
-    // reproduces this report byte-for-byte.
+    // Fixed allocation: equivalent to run_blocks(blocks_for(spec)) +
+    // assemble_report — that IS the implementation, so a sharded run that
+    // merges partial blocks reproduces this report byte-for-byte.
+    // Adaptive allocation (spec.adaptive): drives campaign::
+    // adaptive_allocator round by round through the same run_blocks path,
+    // so the report is byte-identical to the dist orchestrator's sharded
+    // adaptive run at any --jobs level.
     [[nodiscard]] campaign_report run();
 
     // Runs exactly the given blocks (a subset of blocks_for(spec), any
@@ -57,13 +63,19 @@ class engine {
         std::span<const block_ref> blocks);
 
     // Optional observer, called after every finished trial with
-    // (completed, total). Invoked under a mutex from worker threads.
+    // (completed, total). Invoked under a mutex from worker threads. In an
+    // adaptive run `total` is the current round's trial count — the
+    // campaign total is unknowable before the last round by construction.
     void set_progress(std::function<void(std::uint64_t, std::uint64_t)> fn) {
         progress_ = std::move(fn);
     }
 
   private:
     campaign_spec spec_;
+    // One victim build per (target, scheme), built lazily by run_blocks for
+    // the cells its blocks touch and cached across calls — an adaptive
+    // round loop must not recompile the victims every round.
+    std::vector<std::optional<workload::victim>> victims_;
     std::function<void(std::uint64_t, std::uint64_t)> progress_;
 };
 

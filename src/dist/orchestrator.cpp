@@ -14,33 +14,43 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "campaign/allocator.hpp"
 #include "dist/wire.hpp"
 
 namespace pssp::dist {
 
 namespace {
 
+// One worker process to spawn: argv tail (after the binary path) plus the
+// stdin payload. The fixed path runs one per shard for the whole campaign;
+// the adaptive path runs one per shard per round.
+struct worker_job {
+    std::vector<std::string> args;
+    std::string input;
+};
+
 struct worker_process {
     pid_t pid = -1;
     int stdout_fd = -1;
     std::string output;
-    std::string error;  // first failure observed for this shard
+    std::string error;  // first failure observed for this worker
     int exit_status = -1;
 };
 
-[[noreturn]] void exec_worker(const std::string& path, std::uint32_t shard,
-                              std::uint32_t shards, int in_fd, int out_fd) {
+[[noreturn]] void exec_worker(const std::string& path,
+                              const std::vector<std::string>& args, int in_fd,
+                              int out_fd) {
     ::dup2(in_fd, STDIN_FILENO);
     ::dup2(out_fd, STDOUT_FILENO);
     // stderr stays inherited: worker diagnostics surface on the parent's.
     ::close(in_fd);
     ::close(out_fd);
-    const std::string shard_arg = std::to_string(shard);
-    const std::string shards_arg = std::to_string(shards);
-    const char* argv[] = {path.c_str(),       "--shard", shard_arg.c_str(),
-                          "--shards",         shards_arg.c_str(),
-                          static_cast<const char*>(nullptr)};
-    ::execv(path.c_str(), const_cast<char* const*>(argv));
+    std::vector<const char*> argv;
+    argv.reserve(args.size() + 2);
+    argv.push_back(path.c_str());
+    for (const auto& a : args) argv.push_back(a.c_str());
+    argv.push_back(nullptr);
+    ::execv(path.c_str(), const_cast<char* const*>(argv.data()));
     // Exec failed; 127 is the conventional "command not found" status the
     // parent turns into a pointed error message.
     std::fprintf(stderr, "campaign worker exec failed: %s: %s\n", path.c_str(),
@@ -54,10 +64,10 @@ void write_all(int fd, const std::string& data, std::string& error) {
         const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
         if (n < 0) {
             if (errno == EINTR) continue;
-            // EPIPE: the worker died before reading its spec. Record it —
+            // EPIPE: the worker died before reading its input. Record it —
             // the wait status below says why.
             if (error.empty())
-                error = std::string{"spec write failed: "} + std::strerror(errno);
+                error = std::string{"input write failed: "} + std::strerror(errno);
             return;
         }
         off += static_cast<std::size_t>(n);
@@ -91,6 +101,173 @@ std::string describe_exit(int status) {
     return "worker ended abnormally";
 }
 
+// Spawns one process per job, feeds each its stdin payload, drains every
+// stdout, reaps everything, and returns the outputs job-aligned. Failure
+// model: loud — any worker that exits non-zero, dies on a signal, or
+// cannot be spawned fails the whole call with a std::runtime_error naming
+// the shard, after every child has been reaped.
+std::vector<std::string> run_worker_pool(const std::string& worker,
+                                         const std::vector<worker_job>& jobs) {
+    // A worker that dies before reading its input must surface as its wait
+    // status, not as SIGPIPE killing the orchestrator.
+    struct sigaction ignore_pipe {};
+    ignore_pipe.sa_handler = SIG_IGN;
+    struct sigaction old_pipe {};
+    ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+    std::vector<worker_process> workers(jobs.size());
+    // On a mid-loop spawn failure (EMFILE, EAGAIN, ...) the workers already
+    // forked must not be orphaned: kill them, drop their pipe fds, and reap
+    // every one before throwing — the header's "all children are reaped"
+    // contract holds on every exit path.
+    auto abandon_spawned = [&](const char* what) {
+        for (auto& w : workers) {
+            if (w.pid < 0) continue;
+            ::kill(w.pid, SIGKILL);
+            ::close(w.stdout_fd);
+            int status = 0;
+            while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+            }
+        }
+        ::sigaction(SIGPIPE, &old_pipe, nullptr);
+        throw std::runtime_error{std::string{"run_sharded: "} + what};
+    };
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+        int in_pipe[2];
+        int out_pipe[2];
+        if (::pipe(in_pipe) != 0) abandon_spawned("pipe() failed");
+        if (::pipe(out_pipe) != 0) {
+            ::close(in_pipe[0]);
+            ::close(in_pipe[1]);
+            abandon_spawned("pipe() failed");
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(in_pipe[0]);
+            ::close(in_pipe[1]);
+            ::close(out_pipe[0]);
+            ::close(out_pipe[1]);
+            abandon_spawned("fork() failed");
+        }
+        if (pid == 0) {
+            ::close(in_pipe[1]);
+            ::close(out_pipe[0]);
+            exec_worker(worker, jobs[k].args, in_pipe[0], out_pipe[1]);
+        }
+        ::close(in_pipe[0]);
+        ::close(out_pipe[1]);
+        workers[k].pid = pid;
+        workers[k].stdout_fd = out_pipe[0];
+        // Workers read their whole stdin before emitting output, so even an
+        // input larger than the pipe capacity drains promptly — the write
+        // blocks at worst until the freshly exec'd worker starts reading.
+        write_all(in_pipe[1], jobs[k].input, workers[k].error);
+        ::close(in_pipe[1]);
+    }
+
+    // Drain stdouts in job order. A later worker whose pipe fills simply
+    // blocks until its turn — the parent owes it nothing else.
+    for (auto& w : workers) {
+        read_all(w.stdout_fd, w.output);
+        ::close(w.stdout_fd);
+    }
+    for (auto& w : workers) {
+        int status = 0;
+        while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        w.exit_status = status;
+    }
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+
+    std::string failure;
+    for (std::size_t k = 0; k < workers.size(); ++k) {
+        std::string why = describe_exit(workers[k].exit_status);
+        if (why.empty() && !workers[k].error.empty()) why = workers[k].error;
+        if (!why.empty()) {
+            if (!failure.empty()) failure += "; ";
+            failure += "shard " + std::to_string(k) + ": " + why;
+        }
+    }
+    if (!failure.empty()) throw std::runtime_error{"run_sharded: " + failure};
+
+    std::vector<std::string> outputs;
+    outputs.reserve(workers.size());
+    for (auto& w : workers) outputs.push_back(std::move(w.output));
+    return outputs;
+}
+
+partial_report parse_worker_partial(const std::string& output, std::uint32_t k,
+                                    std::uint32_t count) {
+    partial_report partial;
+    try {
+        partial = partial_from_json(output);
+    } catch (const std::exception& e) {
+        throw std::runtime_error{"run_sharded: shard " + std::to_string(k) +
+                                 " emitted a bad partial: " + e.what()};
+    }
+    if (partial.shard_index != k || partial.shard_count != count)
+        throw std::runtime_error{
+            "run_sharded: shard " + std::to_string(k) + " identified as shard " +
+            std::to_string(partial.shard_index) + "/" +
+            std::to_string(partial.shard_count)};
+    return partial;
+}
+
+campaign::campaign_spec shard_execution_spec(
+    const campaign::campaign_spec& spec, const sharded_options& options) {
+    // Per-shard execution knobs: split the requested parallelism across
+    // the shard processes (each then also caps its master pools to that).
+    campaign::campaign_spec shard_spec = spec;
+    shard_spec.jobs =
+        options.jobs_per_shard != 0
+            ? options.jobs_per_shard
+            : std::max(1u, campaign::resolve_jobs(spec.jobs) / options.shards);
+    return shard_spec;
+}
+
+// The adaptive round loop: the allocator runs in the parent, each round's
+// block list is split round-robin by list position across the shards, and
+// every worker gets an explicit manifest (spec + blocks) for that round.
+// Allocation decisions consume only merged partials, and block partials
+// are pure functions of (master_seed, block), so this reproduces
+// engine{spec}.run() byte for byte at any shard count.
+campaign::campaign_report run_sharded_adaptive(
+    const campaign::campaign_spec& spec, const sharded_options& options,
+    const std::string& worker) {
+    const auto shard_spec = shard_execution_spec(spec, options);
+    const auto digest = spec_digest(spec);
+    campaign::adaptive_allocator allocator{spec};
+    for (;;) {
+        const auto round = allocator.plan_round();
+        if (round.empty()) break;
+        const std::uint64_t round_number = allocator.rounds_completed() + 1;
+        // Workers this round: a shard with no blocks is not spawned (late
+        // rounds routinely have fewer active blocks than shards).
+        const auto count = static_cast<std::uint32_t>(std::min<std::size_t>(
+            options.shards, round.size()));
+        std::vector<worker_job> jobs(count);
+        for (std::uint32_t k = 0; k < count; ++k) {
+            round_job job;
+            job.spec = shard_spec;
+            job.manifest.round = round_number;
+            job.manifest.digest = digest;
+            for (std::size_t p = k; p < round.size(); p += count)
+                job.manifest.blocks.push_back(round[p]);
+            jobs[k].args = {"--round", "--shard", std::to_string(k),
+                            "--shards", std::to_string(count)};
+            jobs[k].input = round_job_to_json(job);
+        }
+        const auto outputs = run_worker_pool(worker, jobs);
+        std::vector<partial_report> partials;
+        partials.reserve(count);
+        for (std::uint32_t k = 0; k < count; ++k)
+            partials.push_back(parse_worker_partial(outputs[k], k, count));
+        allocator.record_round(
+            round, collect_block_partials(spec, round, partials, round_number));
+    }
+    return allocator.report();
+}
+
 }  // namespace
 
 std::string default_worker_path() {
@@ -113,115 +290,22 @@ campaign::campaign_report run_sharded(const campaign::campaign_spec& spec,
     const std::string worker = options.worker_path.empty()
                                    ? default_worker_path()
                                    : options.worker_path;
+    if (spec.adaptive) return run_sharded_adaptive(spec, options, worker);
 
-    // Per-shard execution knobs: split the requested parallelism across
-    // the shard processes (each then also caps its master pools to that).
-    campaign::campaign_spec shard_spec = spec;
-    shard_spec.jobs =
-        options.jobs_per_shard != 0
-            ? options.jobs_per_shard
-            : std::max(1u, campaign::resolve_jobs(spec.jobs) / options.shards);
-    const std::string spec_json = spec_to_json(shard_spec);
-
-    // A worker that dies before reading its spec must surface as its wait
-    // status, not as SIGPIPE killing the orchestrator.
-    struct sigaction ignore_pipe {};
-    ignore_pipe.sa_handler = SIG_IGN;
-    struct sigaction old_pipe {};
-    ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
-
-    std::vector<worker_process> workers(options.shards);
-    // On a mid-loop spawn failure (EMFILE, EAGAIN, ...) the workers already
-    // forked must not be orphaned: kill them, drop their pipe fds, and reap
-    // every one before throwing — the header's "all children are reaped"
-    // contract holds on every exit path.
-    auto abandon_spawned = [&](const char* what) {
-        for (auto& w : workers) {
-            if (w.pid < 0) continue;
-            ::kill(w.pid, SIGKILL);
-            ::close(w.stdout_fd);
-            int status = 0;
-            while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
-            }
-        }
-        ::sigaction(SIGPIPE, &old_pipe, nullptr);
-        throw std::runtime_error{std::string{"run_sharded: "} + what};
-    };
+    const std::string spec_json =
+        spec_to_json(shard_execution_spec(spec, options));
+    std::vector<worker_job> jobs(options.shards);
     for (std::uint32_t k = 0; k < options.shards; ++k) {
-        int in_pipe[2];
-        int out_pipe[2];
-        if (::pipe(in_pipe) != 0) abandon_spawned("pipe() failed");
-        if (::pipe(out_pipe) != 0) {
-            ::close(in_pipe[0]);
-            ::close(in_pipe[1]);
-            abandon_spawned("pipe() failed");
-        }
-        const pid_t pid = ::fork();
-        if (pid < 0) {
-            ::close(in_pipe[0]);
-            ::close(in_pipe[1]);
-            ::close(out_pipe[0]);
-            ::close(out_pipe[1]);
-            abandon_spawned("fork() failed");
-        }
-        if (pid == 0) {
-            ::close(in_pipe[1]);
-            ::close(out_pipe[0]);
-            exec_worker(worker, k, options.shards, in_pipe[0], out_pipe[1]);
-        }
-        ::close(in_pipe[0]);
-        ::close(out_pipe[1]);
-        workers[k].pid = pid;
-        workers[k].stdout_fd = out_pipe[0];
-        // The spec is far below PIPE_BUF-scale pipe capacity, so writing it
-        // before the worker produces output cannot deadlock.
-        write_all(in_pipe[1], spec_json, workers[k].error);
-        ::close(in_pipe[1]);
+        jobs[k].args = {"--shard", std::to_string(k), "--shards",
+                        std::to_string(options.shards)};
+        jobs[k].input = spec_json;
     }
-
-    // Drain stdouts in shard order. A later worker whose pipe fills simply
-    // blocks until its turn — the parent owes it nothing else.
-    for (auto& w : workers) {
-        read_all(w.stdout_fd, w.output);
-        ::close(w.stdout_fd);
-    }
-    for (auto& w : workers) {
-        int status = 0;
-        while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
-        }
-        w.exit_status = status;
-    }
-    ::sigaction(SIGPIPE, &old_pipe, nullptr);
-
-    std::string failure;
-    for (std::uint32_t k = 0; k < options.shards; ++k) {
-        std::string why = describe_exit(workers[k].exit_status);
-        if (why.empty() && !workers[k].error.empty()) why = workers[k].error;
-        if (!why.empty()) {
-            if (!failure.empty()) failure += "; ";
-            failure += "shard " + std::to_string(k) + ": " + why;
-        }
-    }
-    if (!failure.empty())
-        throw std::runtime_error{"run_sharded: " + failure};
+    const auto outputs = run_worker_pool(worker, jobs);
 
     std::vector<partial_report> partials;
     partials.reserve(options.shards);
-    for (std::uint32_t k = 0; k < options.shards; ++k) {
-        try {
-            partials.push_back(partial_from_json(workers[k].output));
-        } catch (const std::exception& e) {
-            throw std::runtime_error{"run_sharded: shard " + std::to_string(k) +
-                                     " emitted a bad partial: " + e.what()};
-        }
-        if (partials.back().shard_index != k ||
-            partials.back().shard_count != options.shards)
-            throw std::runtime_error{"run_sharded: shard " + std::to_string(k) +
-                                     " identified as shard " +
-                                     std::to_string(partials.back().shard_index) +
-                                     "/" +
-                                     std::to_string(partials.back().shard_count)};
-    }
+    for (std::uint32_t k = 0; k < options.shards; ++k)
+        partials.push_back(parse_worker_partial(outputs[k], k, options.shards));
     return merge_partials(spec, partials);
 }
 

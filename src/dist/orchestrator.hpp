@@ -1,11 +1,22 @@
 // Multi-process campaign fan-out.
 //
-// run_sharded() fork/execs one `tools_campaign_worker` per shard, hands
-// each its spec over stdin (wire spec JSON plus --shard K --shards N on
-// argv), collects every worker's partial report from its stdout pipe, and
-// reduces via wire::merge_partials — which bottoms out in the same
-// campaign::assemble_report the in-process engine uses, so the merged
-// report is byte-identical to engine{spec}.run() at every shard count.
+// Fixed allocation: run_sharded() fork/execs one `tools_campaign_worker`
+// per shard, hands each its spec over stdin (wire spec JSON plus
+// --shard K --shards N on argv), collects every worker's partial report
+// from its stdout pipe, and reduces via wire::merge_partials — which
+// bottoms out in the same campaign::assemble_report the in-process engine
+// uses, so the merged report is byte-identical to engine{spec}.run() at
+// every shard count.
+//
+// Adaptive allocation (spec.adaptive): the orchestrator drives
+// campaign::adaptive_allocator itself. Each round it splits the round's
+// block list round-robin by position across the shards, fork/execs one
+// `--round` worker per non-empty slice with an explicit block manifest
+// (wire round-job JSON) on stdin, validates exactly-once coverage of the
+// round, records the merged partials, and asks the allocator for the next
+// round. Decisions are pure functions of merged partials, so the final
+// report is byte-identical to the in-process adaptive engine at every
+// shard count — the identity oracle extends to adaptive runs unchanged.
 //
 // Failure model: loud. A worker that exits non-zero, dies on a signal,
 // emits an unparsable partial, or covers the wrong blocks fails the whole

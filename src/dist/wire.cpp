@@ -1,5 +1,7 @@
 #include "dist/wire.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "util/json.hpp"
@@ -33,12 +35,10 @@ util::welford_accumulator parse_welford(const util::json_value& v) {
     return util::welford_accumulator::restore(s);
 }
 
-}  // namespace
-
-std::string spec_to_json(const campaign::campaign_spec& spec) {
-    std::string out;
-    out.reserve(512);
-    out += "{\"spec\":{\"schemes\":[";
+// The spec as a bare JSON object body — shared by the standalone spec
+// message and the round-job message, so the two can never drift.
+void append_spec_object(std::string& out, const campaign::campaign_spec& spec) {
+    out += "{\"schemes\":[";
     for (std::size_t i = 0; i < spec.schemes.size(); ++i) {
         if (i) out += ',';
         out += '"';
@@ -67,6 +67,13 @@ std::string spec_to_json(const campaign::campaign_spec& spec) {
     util::append_kv(out, "query_budget", spec.query_budget);
     util::append_kv(out, "brute_unknown_bits",
                     static_cast<std::uint64_t>(spec.brute_unknown_bits));
+    // Adaptive knobs are outcome-relevant: part of the wire spec AND the
+    // digest. The target travels hexfloat-exact — the stop decision
+    // compares against it, so a worker must see the identical double.
+    util::append_kv_bool(out, "adaptive", spec.adaptive);
+    util::append_kv_exact(out, "target_ci_halfwidth", spec.target_ci_halfwidth);
+    util::append_kv(out, "round_blocks", spec.round_blocks);
+    util::append_kv(out, "min_trials_per_cell", spec.min_trials_per_cell);
     out += "\"scheme_options\":{";
     util::append_kv(out, "owf", std::string{owf_name(spec.scheme_options.owf)});
     util::append_kv_bool(out, "lv_check_after_write",
@@ -75,13 +82,10 @@ std::string spec_to_json(const campaign::campaign_spec& spec) {
         out, "dcr_trampoline_cycles",
         static_cast<std::uint64_t>(spec.scheme_options.dcr_trampoline_cycles),
         /*comma=*/false);
-    out += "}}}";
-    return out;
+    out += "}}";
 }
 
-campaign::campaign_spec spec_from_json(std::string_view text) {
-    const auto doc = util::parse_json(text);
-    const auto& s = doc.at("spec");
+campaign::campaign_spec spec_from_object(const util::json_value& s) {
     campaign::campaign_spec spec;
     spec.schemes.clear();
     for (const auto& v : s.at("schemes").elements())
@@ -99,6 +103,10 @@ campaign::campaign_spec spec_from_json(std::string_view text) {
     spec.query_budget = s.at("query_budget").as_u64();
     spec.brute_unknown_bits =
         static_cast<unsigned>(s.at("brute_unknown_bits").as_u64());
+    spec.adaptive = s.at("adaptive").as_bool();
+    spec.target_ci_halfwidth = s.at("target_ci_halfwidth").as_double_exact();
+    spec.round_blocks = s.at("round_blocks").as_u64();
+    spec.min_trials_per_cell = s.at("min_trials_per_cell").as_u64();
     const auto& opts = s.at("scheme_options");
     spec.scheme_options.owf = owf_from_name(opts.at("owf").as_string());
     spec.scheme_options.lv_check_after_write =
@@ -106,6 +114,69 @@ campaign::campaign_spec spec_from_json(std::string_view text) {
     spec.scheme_options.dcr_trampoline_cycles =
         static_cast<std::uint32_t>(opts.at("dcr_trampoline_cycles").as_u64());
     return spec;
+}
+
+}  // namespace
+
+std::string spec_to_json(const campaign::campaign_spec& spec) {
+    std::string out;
+    out.reserve(512);
+    out += "{\"spec\":";
+    append_spec_object(out, spec);
+    out += "}";
+    return out;
+}
+
+campaign::campaign_spec spec_from_json(std::string_view text) {
+    const auto doc = util::parse_json(text);
+    return spec_from_object(doc.at("spec"));
+}
+
+std::string round_job_to_json(const round_job& job) {
+    std::string out;
+    out.reserve(768 + job.manifest.blocks.size() * 64);
+    out += "{\"round_job\":{";
+    util::append_kv(out, "version", static_cast<std::uint64_t>(wire_version));
+    util::append_kv(out, "round", job.manifest.round);
+    util::append_kv(out, "spec_digest", job.manifest.digest);
+    out += "\"spec\":";
+    append_spec_object(out, job.spec);
+    out += ",\"blocks\":[";
+    for (std::size_t i = 0; i < job.manifest.blocks.size(); ++i) {
+        const auto& b = job.manifest.blocks[i];
+        if (i) out += ',';
+        out += '{';
+        util::append_kv(out, "index", b.index);
+        util::append_kv(out, "cell", b.cell);
+        util::append_kv(out, "first_trial", b.first_trial);
+        util::append_kv(out, "trials", b.trials, /*comma=*/false);
+        out += '}';
+    }
+    out += "]}}";
+    return out;
+}
+
+round_job round_job_from_json(std::string_view text) {
+    const auto doc = util::parse_json(text);
+    const auto& j = doc.at("round_job");
+    const auto version = j.at("version").as_u64();
+    if (version != wire_version)
+        throw std::runtime_error{"wire: round job version " +
+                                 std::to_string(version) + " != " +
+                                 std::to_string(wire_version)};
+    round_job job;
+    job.manifest.round = j.at("round").as_u64();
+    job.manifest.digest = j.at("spec_digest").as_u64();
+    job.spec = spec_from_object(j.at("spec"));
+    for (const auto& b : j.at("blocks").elements()) {
+        campaign::block_ref block;
+        block.index = b.at("index").as_u64();
+        block.cell = b.at("cell").as_u64();
+        block.first_trial = b.at("first_trial").as_u64();
+        block.trials = b.at("trials").as_u64();
+        job.manifest.blocks.push_back(block);
+    }
+    return job;
 }
 
 std::uint64_t spec_digest(const campaign::campaign_spec& spec) {
@@ -131,6 +202,7 @@ std::string partial_to_json(const partial_report& partial) {
     util::append_kv(out, "shard", static_cast<std::uint64_t>(partial.shard_index));
     util::append_kv(out, "shards",
                     static_cast<std::uint64_t>(partial.shard_count));
+    util::append_kv(out, "round", partial.round);
     util::append_kv(out, "spec_digest", partial.digest);
     out += "\"blocks\":[";
     for (std::size_t i = 0; i < partial.blocks.size(); ++i) {
@@ -167,6 +239,7 @@ partial_report partial_from_json(std::string_view text) {
     partial_report partial;
     partial.shard_index = static_cast<std::uint32_t>(p.at("shard").as_u64());
     partial.shard_count = static_cast<std::uint32_t>(p.at("shards").as_u64());
+    partial.round = p.at("round").as_u64();
     partial.digest = p.at("spec_digest").as_u64();
     for (const auto& b : p.at("blocks").elements()) {
         partial_block block;
@@ -187,45 +260,68 @@ partial_report partial_from_json(std::string_view text) {
     return partial;
 }
 
-campaign::campaign_report merge_partials(
+std::vector<campaign::cell_partial> collect_block_partials(
     const campaign::campaign_spec& spec,
-    std::span<const partial_report> partials) {
-    const auto blocks = campaign::blocks_for(spec);
+    std::span<const campaign::block_ref> blocks,
+    std::span<const partial_report> partials, std::uint64_t expected_round) {
     const auto digest = spec_digest(spec);
-    std::vector<campaign::cell_partial> by_index(blocks.size());
+    // Position of each expected block index in `blocks`.
+    std::vector<std::size_t> position;
+    std::size_t max_index = 0;
+    for (const auto& b : blocks) max_index = std::max<std::size_t>(max_index, b.index);
+    position.assign(blocks.empty() ? 0 : max_index + 1, SIZE_MAX);
+    for (std::size_t i = 0; i < blocks.size(); ++i) position[blocks[i].index] = i;
+
+    std::vector<campaign::cell_partial> collected(blocks.size());
     std::vector<bool> seen(blocks.size(), false);
     for (const auto& partial : partials) {
         if (partial.digest != digest)
             throw std::runtime_error{
                 "merge_partials: shard " + std::to_string(partial.shard_index) +
                 " ran a different spec (digest mismatch)"};
+        if (partial.round != expected_round)
+            throw std::runtime_error{
+                "merge_partials: shard " + std::to_string(partial.shard_index) +
+                " reported round " + std::to_string(partial.round) +
+                ", expected " + std::to_string(expected_round)};
         for (const auto& b : partial.blocks) {
-            if (b.index >= blocks.size())
-                throw std::runtime_error{"merge_partials: block index " +
+            const std::size_t at =
+                b.index < position.size() ? position[b.index] : SIZE_MAX;
+            if (at == SIZE_MAX)
+                throw std::runtime_error{"merge_partials: block " +
                                          std::to_string(b.index) +
-                                         " out of range"};
-            if (seen[b.index])
+                                         " was not assigned"};
+            if (seen[at])
                 throw std::runtime_error{"merge_partials: block " +
                                          std::to_string(b.index) +
                                          " reported twice"};
-            if (b.cell != blocks[b.index].cell)
+            if (b.cell != blocks[at].cell)
                 throw std::runtime_error{"merge_partials: block " +
                                          std::to_string(b.index) +
                                          " cell mismatch"};
-            if (b.partial.trials != blocks[b.index].trials)
+            if (b.partial.trials != blocks[at].trials)
                 throw std::runtime_error{"merge_partials: block " +
                                          std::to_string(b.index) +
                                          " trial count mismatch"};
-            seen[b.index] = true;
-            by_index[b.index] = b.partial;
+            seen[at] = true;
+            collected[at] = b.partial;
         }
     }
     for (std::size_t i = 0; i < seen.size(); ++i)
         if (!seen[i])
             throw std::runtime_error{"merge_partials: block " +
-                                     std::to_string(i) +
+                                     std::to_string(blocks[i].index) +
                                      " missing (shard lost?)"};
-    return campaign::assemble_report(spec, blocks, by_index);
+    return collected;
+}
+
+campaign::campaign_report merge_partials(
+    const campaign::campaign_spec& spec,
+    std::span<const partial_report> partials) {
+    const auto blocks = campaign::blocks_for(spec);
+    const auto collected =
+        collect_block_partials(spec, blocks, partials, /*expected_round=*/0);
+    return campaign::assemble_report(spec, blocks, collected);
 }
 
 }  // namespace pssp::dist

@@ -320,15 +320,40 @@ class json_parser {
             default: {
                 if (c != '-' && !std::isdigit(static_cast<unsigned char>(c)))
                     fail("unexpected character");
+                // Validate the full JSON number grammar here, not lazily in
+                // the scalar accessors: a malformed token in a field nobody
+                // reads (e.g. a corrupt worker partial) must fail the parse,
+                // not survive it.
                 const std::size_t start = pos_;
-                ++pos_;
-                while (pos_ < text_.size()) {
-                    const char d = text_[pos_];
-                    if (std::isdigit(static_cast<unsigned char>(d)) || d == '.' ||
-                        d == 'e' || d == 'E' || d == '+' || d == '-')
+                if (peek() == '-') ++pos_;
+                if (!std::isdigit(static_cast<unsigned char>(peek())))
+                    fail("bad number");
+                if (text_[pos_] == '0') {
+                    ++pos_;  // a leading zero stands alone: 0, 0.5 — not 01
+                } else {
+                    while (pos_ < text_.size() &&
+                           std::isdigit(static_cast<unsigned char>(text_[pos_])))
                         ++pos_;
-                    else
-                        break;
+                }
+                if (pos_ < text_.size() && text_[pos_] == '.') {
+                    ++pos_;
+                    if (!std::isdigit(static_cast<unsigned char>(peek())))
+                        fail("bad number");
+                    while (pos_ < text_.size() &&
+                           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                        ++pos_;
+                }
+                if (pos_ < text_.size() &&
+                    (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+                    ++pos_;
+                    if (pos_ < text_.size() &&
+                        (text_[pos_] == '+' || text_[pos_] == '-'))
+                        ++pos_;
+                    if (!std::isdigit(static_cast<unsigned char>(peek())))
+                        fail("bad number");
+                    while (pos_ < text_.size() &&
+                           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                        ++pos_;
                 }
                 v.kind_ = json_value::kind::number;
                 v.scalar_ = std::string{text_.substr(start, pos_ - start)};

@@ -94,8 +94,11 @@ double chi_square_critical_999(std::size_t degrees_of_freedom) {
 }
 
 interval wilson_interval(std::size_t successes, std::size_t n, double z) {
-    if (n == 0) return {0.0, 1.0};
+    // Validate z before the n == 0 early return: an invalid confidence level
+    // is a caller bug regardless of the sample size, and letting it slide on
+    // empty cells would hide the bug until the first non-empty one.
     if (z <= 0.0) throw std::invalid_argument{"wilson_interval requires z > 0"};
+    if (n == 0) return {0.0, 1.0};
     const double nn = static_cast<double>(n);
     const double p = static_cast<double>(successes) / nn;
     const double z2 = z * z;

@@ -61,6 +61,10 @@ struct summary {
 struct interval {
     double lo = 0.0;
     double hi = 0.0;
+
+    // Half the interval width — the precision metric adaptive campaign
+    // allocation stops on (campaign/allocator.hpp).
+    [[nodiscard]] double half_width() const noexcept { return (hi - lo) / 2.0; }
 };
 
 // Wilson score interval for a binomial proportion: `successes` out of `n`

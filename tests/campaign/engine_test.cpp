@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "campaign/engine.hpp"
+#include "util/json.hpp"
 
 namespace pssp {
 namespace {
@@ -244,6 +245,64 @@ TEST(campaign_engine, cell_partial_add_merge_matches_reduce_cell) {
     EXPECT_EQ(finalized.queries.stddev(), direct.queries.stddev());
     EXPECT_EQ(finalized.detection_ci.lo, direct.detection_ci.lo);
     EXPECT_EQ(finalized.detection_ci.hi, direct.detection_ci.hi);
+}
+
+TEST(campaign_engine, ragged_last_blocks_identical_across_jobs_levels) {
+    // The reduce_block_trials boundary, pinned rather than incidental:
+    // below a block (1), one short (63), exactly one (64), one over (65)
+    // and one under two (127). Every size must be jobs-invariant.
+    for (const std::uint64_t trials : {1ull, 63ull, 64ull, 65ull, 127ull}) {
+        campaign::campaign_spec spec;
+        spec.schemes = {scheme_kind::ssp};
+        spec.attacks = {attack::attack_kind::leak_replay};
+        spec.targets = {workload::target_kind::nginx};
+        spec.trials_per_cell = trials;
+        spec.master_seed = 31;
+        spec.query_budget = 600;
+        spec.jobs = 1;
+        const auto serial = campaign::engine{spec}.run();
+        spec.jobs = 8;
+        const auto parallel = campaign::engine{spec}.run();
+        EXPECT_EQ(serial.to_json(), parallel.to_json())
+            << "trials_per_cell=" << trials;
+        ASSERT_EQ(serial.cells.size(), 1u);
+        EXPECT_EQ(serial.cells[0].trials, trials);
+    }
+}
+
+TEST(campaign_spec, degenerate_specs_yield_empty_blocks_and_valid_reports) {
+    // trials_per_cell == 0 and empty axes are well-defined at the
+    // campaign-type level (the engine separately refuses to run them):
+    // empty block lists, and assemble_report produces a valid JSON body.
+    for (auto mutate : {+[](campaign::campaign_spec& s) { s.schemes.clear(); },
+                        +[](campaign::campaign_spec& s) { s.attacks.clear(); },
+                        +[](campaign::campaign_spec& s) { s.targets.clear(); },
+                        +[](campaign::campaign_spec& s) {
+                            s.trials_per_cell = 0;
+                        }}) {
+        auto spec = campaign::default_spec();
+        mutate(spec);
+        const auto blocks = campaign::blocks_for(spec);
+        EXPECT_TRUE(blocks.empty());
+        const auto report = campaign::assemble_report(
+            spec, blocks, std::vector<campaign::cell_partial>{});
+        EXPECT_EQ(report.cells.size(), spec.cell_count());
+        const auto json = report.to_json();
+        EXPECT_NO_THROW((void)util::parse_json(json));
+        EXPECT_NE(json.find("\"cells\":["), std::string::npos);
+        // And the human rendering stays well-formed too.
+        EXPECT_NO_THROW((void)report.to_table());
+    }
+    // finalize_cell on an empty partial: zero rates, vacuous CIs — no
+    // division by zero.
+    const auto cell = campaign::finalize_cell(
+        campaign::cell_id{workload::target_kind::nginx, scheme_kind::ssp,
+                          attack::attack_kind::leak_replay},
+        campaign::cell_partial{});
+    EXPECT_EQ(cell.trials, 0u);
+    EXPECT_DOUBLE_EQ(cell.hijack_rate, 0.0);
+    EXPECT_DOUBLE_EQ(cell.detection_ci.lo, 0.0);
+    EXPECT_DOUBLE_EQ(cell.detection_ci.hi, 1.0);
 }
 
 TEST(campaign_engine, rejects_empty_spec) {

@@ -52,6 +52,34 @@ TEST(dist_orchestrator, more_shards_than_blocks_still_merges) {
     EXPECT_EQ(dist::run_sharded(spec, options).to_json(), reference);
 }
 
+TEST(dist_orchestrator, adaptive_report_byte_identical_at_1_2_4_8_shards) {
+    // The tentpole's acceptance oracle, end to end: a CI-driven adaptive
+    // campaign — allocator rounds in the parent, per-round block manifests
+    // fork/exec'd to real workers — merges byte-identically to the
+    // in-process adaptive engine at every shard count.
+    auto spec = campaign::default_spec();
+    spec.trials_per_cell = 96;  // 2 ragged blocks per cell
+    spec.brute_unknown_bits = 8;
+    spec.query_budget = 1024;
+    spec.jobs = 4;
+    spec.adaptive = true;
+    spec.target_ci_halfwidth = 0.1;
+    spec.min_trials_per_cell = 32;
+    const auto reference_report = campaign::engine{spec}.run();
+    const auto reference = reference_report.to_json();
+    // The adaptive run must actually have exercised the early-stop path,
+    // or this test would pin identity of a de-facto fixed campaign.
+    std::uint64_t trials = 0;
+    for (const auto& c : reference_report.cells) trials += c.trials;
+    ASSERT_LT(trials, spec.trial_count()) << "no cell stopped early";
+    for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+        dist::sharded_options options;
+        options.shards = shards;
+        const auto report = dist::run_sharded(spec, options);
+        EXPECT_EQ(report.to_json(), reference) << "shards=" << shards;
+    }
+}
+
 TEST(dist_orchestrator, crashed_worker_fails_the_run_loudly) {
     auto spec = campaign::default_spec();
     spec.trials_per_cell = 4;

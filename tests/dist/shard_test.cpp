@@ -106,6 +106,42 @@ TEST(dist_shard, merged_shard_partials_reproduce_single_process_report) {
     }
 }
 
+TEST(dist_shard, ragged_last_blocks_identical_at_every_shard_count) {
+    // The reduce_block_trials boundary under sharding: trial counts below,
+    // at, and just past the block size must merge byte-identically at
+    // shard counts {1, 2, 4, 8} — the ragged last block cannot depend on
+    // which process ran it.
+    for (const std::uint64_t trials : {1ull, 63ull, 64ull, 65ull, 127ull}) {
+        campaign::campaign_spec spec;
+        spec.schemes = {core::scheme_kind::ssp, core::scheme_kind::p_ssp};
+        spec.attacks = {attack::attack_kind::leak_replay};
+        spec.targets = {workload::target_kind::nginx};
+        spec.trials_per_cell = trials;
+        spec.master_seed = 13;
+        spec.query_budget = 600;
+        spec.jobs = 2;
+        const auto reference = campaign::engine{spec}.run().to_json();
+        for (const std::uint32_t count : {1u, 2u, 4u, 8u}) {
+            std::vector<dist::partial_report> partials;
+            for (const auto& plan : dist::plan_shards(spec, count)) {
+                campaign::engine engine{spec};
+                const auto block_partials = engine.run_blocks(plan.blocks);
+                dist::partial_report partial;
+                partial.shard_index = plan.shard_index;
+                partial.shard_count = plan.shard_count;
+                partial.digest = dist::spec_digest(spec);
+                for (std::size_t i = 0; i < plan.blocks.size(); ++i)
+                    partial.blocks.push_back(dist::partial_block{
+                        plan.blocks[i].index, plan.blocks[i].cell,
+                        block_partials[i]});
+                partials.push_back(std::move(partial));
+            }
+            EXPECT_EQ(dist::merge_partials(spec, partials).to_json(), reference)
+                << "trials_per_cell=" << trials << " shards=" << count;
+        }
+    }
+}
+
 TEST(dist_shard, merge_rejects_missing_duplicate_and_foreign_blocks) {
     auto spec = tiny_spec();
     spec.trials_per_cell = 2;

@@ -46,6 +46,22 @@ TEST(dist_wire, spec_round_trip) {
     EXPECT_EQ(dist::spec_to_json(parsed), dist::spec_to_json(spec));
 }
 
+TEST(dist_wire, spec_round_trip_preserves_adaptive_knobs_exactly) {
+    campaign::campaign_spec spec = campaign::default_spec();
+    spec.adaptive = true;
+    // An awkward mantissa: the stop decision compares against this double,
+    // so the wire must deliver the identical bits to every worker.
+    spec.target_ci_halfwidth = 0.1 + 1e-17;
+    spec.round_blocks = 5;
+    spec.min_trials_per_cell = 33;
+    const auto parsed = dist::spec_from_json(dist::spec_to_json(spec));
+    EXPECT_EQ(parsed.adaptive, true);
+    EXPECT_EQ(parsed.target_ci_halfwidth, spec.target_ci_halfwidth);
+    EXPECT_EQ(parsed.round_blocks, 5u);
+    EXPECT_EQ(parsed.min_trials_per_cell, 33u);
+    EXPECT_EQ(dist::spec_to_json(parsed), dist::spec_to_json(spec));
+}
+
 TEST(dist_wire, spec_digest_ignores_execution_knobs_only) {
     auto spec = campaign::default_spec();
     const auto digest = dist::spec_digest(spec);
@@ -63,6 +79,90 @@ TEST(dist_wire, spec_digest_ignores_execution_knobs_only) {
     tweaked = spec;
     tweaked.schemes.pop_back();
     EXPECT_NE(dist::spec_digest(tweaked), digest);
+    // The adaptive knobs decide which trials run, so they MUST move it.
+    tweaked = spec;
+    tweaked.adaptive = true;
+    EXPECT_NE(dist::spec_digest(tweaked), digest);
+    tweaked = spec;
+    tweaked.target_ci_halfwidth = 0.25;
+    EXPECT_NE(dist::spec_digest(tweaked), digest);
+    tweaked = spec;
+    tweaked.round_blocks = 7;
+    EXPECT_NE(dist::spec_digest(tweaked), digest);
+    tweaked = spec;
+    tweaked.min_trials_per_cell = 1;
+    EXPECT_NE(dist::spec_digest(tweaked), digest);
+}
+
+TEST(dist_wire, round_job_round_trip) {
+    dist::round_job job;
+    job.spec = campaign::default_spec();
+    job.spec.adaptive = true;
+    job.spec.trials_per_cell = 130;
+    job.manifest.round = 3;
+    job.manifest.digest = dist::spec_digest(job.spec);
+    const auto canonical = campaign::blocks_for(job.spec);
+    job.manifest.blocks = {canonical[0], canonical[4], canonical[7]};
+
+    const auto parsed = dist::round_job_from_json(dist::round_job_to_json(job));
+    EXPECT_EQ(parsed.manifest.round, 3u);
+    EXPECT_EQ(parsed.manifest.digest, job.manifest.digest);
+    ASSERT_EQ(parsed.manifest.blocks.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(parsed.manifest.blocks[i].index, job.manifest.blocks[i].index);
+        EXPECT_EQ(parsed.manifest.blocks[i].cell, job.manifest.blocks[i].cell);
+        EXPECT_EQ(parsed.manifest.blocks[i].first_trial,
+                  job.manifest.blocks[i].first_trial);
+        EXPECT_EQ(parsed.manifest.blocks[i].trials,
+                  job.manifest.blocks[i].trials);
+    }
+    EXPECT_EQ(dist::spec_digest(parsed.spec), job.manifest.digest);
+    // Serialization is a fixed point.
+    EXPECT_EQ(dist::round_job_to_json(parsed), dist::round_job_to_json(job));
+    // A wrong version is rejected.
+    EXPECT_THROW((void)dist::round_job_from_json(
+                     "{\"round_job\":{\"version\":1,\"round\":1,"
+                     "\"spec_digest\":0,\"spec\":{},\"blocks\":[]}}"),
+                 std::runtime_error);
+}
+
+TEST(dist_wire, partial_round_header_survives_and_gates_the_merge) {
+    campaign::campaign_spec spec;
+    spec.schemes = {core::scheme_kind::ssp};
+    spec.attacks = {attack::attack_kind::leak_replay};
+    spec.targets = {workload::target_kind::nginx};
+    spec.trials_per_cell = 2;
+    spec.master_seed = 7;
+    campaign::engine engine{spec};
+    const auto blocks = campaign::blocks_for(spec);
+    const auto block_partials = engine.run_blocks(blocks);
+
+    dist::partial_report partial;
+    partial.shard_index = 0;
+    partial.shard_count = 1;
+    partial.round = 5;
+    partial.digest = dist::spec_digest(spec);
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+        partial.blocks.push_back(dist::partial_block{
+            blocks[i].index, blocks[i].cell, block_partials[i]});
+
+    const auto parsed = dist::partial_from_json(dist::partial_to_json(partial));
+    EXPECT_EQ(parsed.round, 5u);
+
+    std::vector<dist::partial_report> partials{parsed};
+    // collect at the right round works; the wrong round is a loud error —
+    // a stale worker from a previous round must never merge.
+    EXPECT_NO_THROW(
+        (void)dist::collect_block_partials(spec, blocks, partials, 5));
+    EXPECT_THROW((void)dist::collect_block_partials(spec, blocks, partials, 4),
+                 std::runtime_error);
+    // merge_partials expects fixed-mode partials (round 0).
+    EXPECT_THROW((void)dist::merge_partials(spec, partials), std::runtime_error);
+
+    // A block outside the collected subset is "not assigned", not merged.
+    const std::vector<campaign::block_ref> none{};
+    EXPECT_THROW((void)dist::collect_block_partials(spec, none, partials, 5),
+                 std::runtime_error);
 }
 
 TEST(dist_wire, welford_state_survives_the_wire_bit_exactly) {

@@ -96,6 +96,25 @@ TEST(stats, wilson_interval_reference_values) {
     EXPECT_DOUBLE_EQ(none.hi, 1.0);
 }
 
+TEST(stats, wilson_interval_validates_z_before_the_empty_sample_return) {
+    // Regression: the n == 0 early return used to precede the z check, so a
+    // nonsensical confidence level was silently accepted exactly when the
+    // sample was empty — and only blew up once data arrived.
+    EXPECT_THROW((void)util::wilson_interval(0, 0, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)util::wilson_interval(0, 0, -1.96), std::invalid_argument);
+    EXPECT_THROW((void)util::wilson_interval(5, 10, 0.0), std::invalid_argument);
+    // Valid z on an empty sample keeps the vacuous-bounds contract.
+    const auto none = util::wilson_interval(0, 0, 2.58);
+    EXPECT_DOUBLE_EQ(none.lo, 0.0);
+    EXPECT_DOUBLE_EQ(none.hi, 1.0);
+}
+
+TEST(stats, interval_half_width) {
+    EXPECT_DOUBLE_EQ((util::interval{0.25, 0.75}).half_width(), 0.25);
+    EXPECT_DOUBLE_EQ((util::interval{}).half_width(), 0.0);
+    EXPECT_DOUBLE_EQ((util::interval{0.0, 1.0}).half_width(), 0.5);
+}
+
 TEST(stats, wilson_interval_tightens_with_n) {
     const auto small = util::wilson_interval(5, 10);
     const auto large = util::wilson_interval(500, 1000);
@@ -244,6 +263,44 @@ TEST(json, parser_handles_structure_and_rejects_garbage) {
                  std::runtime_error);
     EXPECT_THROW((void)util::parse_json("[1, 2"), std::runtime_error);
     EXPECT_THROW((void)util::parse_json("truthy"), std::runtime_error);
+}
+
+TEST(json, rejects_trailing_garbage_with_a_position) {
+    // A truncated or corrupt worker partial concatenated with junk must be
+    // a loud, position-bearing parse error — never silently parsed as the
+    // leading complete value.
+    for (const char* bad : {"{}x", "{} x", "123x", "{\"a\":1}}", "[1,2]garbage",
+                            "truex", "null0", "\"s\"\"t\"", "{}{}"}) {
+        try {
+            (void)util::parse_json(bad);
+            FAIL() << "accepted: " << bad;
+        } catch (const std::runtime_error& e) {
+            EXPECT_NE(std::string{e.what()}.find("at byte"), std::string::npos)
+                << "error must carry a position: " << e.what();
+        }
+    }
+    // Trailing whitespace alone stays legal.
+    EXPECT_NO_THROW((void)util::parse_json("{} \n\t "));
+}
+
+TEST(json, rejects_malformed_number_tokens_at_parse_time) {
+    // Regression: number tokens used to be scanned greedily and validated
+    // only in as_u64()/as_double(), so a corrupt numeric field that nobody
+    // accessed slipped through the parse. The grammar is now enforced up
+    // front.
+    for (const char* bad :
+         {"{\"n\":1e}", "{\"n\":-}", "{\"n\":1.2.3}", "{\"n\":1e+}",
+          "{\"n\":01}", "{\"n\":.5}", "{\"n\":5.}", "{\"n\":--2}",
+          "{\"n\":1e5e5}", "[-]"}) {
+        EXPECT_THROW((void)util::parse_json(bad), std::runtime_error) << bad;
+    }
+    // The full legal grammar still parses.
+    EXPECT_EQ(util::parse_json("0").as_u64(), 0u);
+    EXPECT_DOUBLE_EQ(util::parse_json("-0.5e-2").as_double(), -0.005);
+    EXPECT_DOUBLE_EQ(util::parse_json("1E+3").as_double(), 1000.0);
+    EXPECT_DOUBLE_EQ(util::parse_json("0.125").as_double(), 0.125);
+    EXPECT_EQ(util::parse_json("18446744073709551615").as_u64(),
+              18446744073709551615ull);
 }
 
 TEST(stats, welford_save_restore_is_bit_exact) {

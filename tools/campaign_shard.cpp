@@ -26,6 +26,8 @@ void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--shards N] [--trials N] [--jobs N] [--seed S]\n"
                  "          [--budget Q] [--full] [--fresh-masters]\n"
+                 "          [--adaptive] [--target H] [--round-blocks N]\n"
+                 "          [--min-trials N]\n"
                  "          [--worker PATH] [--json PATH|-] [--table]\n"
                  "          [--scaling N1,N2,...] [--bench-json PATH|-]\n"
                  "  --shards N   worker processes (default 1; still fork/exec)\n"
@@ -36,6 +38,17 @@ void usage(const char* argv0) {
                  "  --budget Q   oracle-query budget per trial (default 4096)\n"
                  "  --full       full_spec(): every campaign-capable scheme\n"
                  "  --fresh-masters  disable the master snapshot-reuse pool\n"
+                 "  --adaptive   CI-driven adaptive allocation: fixed rounds\n"
+                 "               over the block space, cells stop when their\n"
+                 "               Wilson CI half-width reaches the target;\n"
+                 "               --trials becomes the per-cell budget. The\n"
+                 "               merged report stays byte-identical at every\n"
+                 "               shard count and jobs level.\n"
+                 "  --target H   adaptive CI half-width target (default 0.05)\n"
+                 "  --round-blocks N  blocks per adaptive round (default:\n"
+                 "               one per cell)\n"
+                 "  --min-trials N   per-cell trial floor before a cell may\n"
+                 "               stop (default 64)\n"
                  "  --worker PATH    campaign worker binary (default: sibling\n"
                  "               tools_campaign_worker)\n"
                  "  --json PATH  write the merged report JSON ('-' = stdout)\n"
@@ -109,19 +122,24 @@ int main(int argc, char** argv) {
         } else if (!std::strcmp(argv[i], "--budget")) {
             spec.query_budget = std::strtoull(next_value("--budget"), nullptr, 10);
         } else if (!std::strcmp(argv[i], "--full")) {
-            const auto trials = spec.trials_per_cell;
-            const auto seed = spec.master_seed;
-            const auto budget = spec.query_budget;
-            const auto jobs = spec.jobs;
-            const auto reuse = spec.reuse_masters;
-            spec = campaign::full_spec();
-            spec.trials_per_cell = trials;
-            spec.master_seed = seed;
-            spec.query_budget = budget;
-            spec.jobs = jobs;
-            spec.reuse_masters = reuse;
+            // Swap the axes, keep every knob set so far.
+            auto full = campaign::full_spec();
+            spec.schemes = std::move(full.schemes);
+            spec.attacks = std::move(full.attacks);
+            spec.targets = std::move(full.targets);
         } else if (!std::strcmp(argv[i], "--fresh-masters")) {
             spec.reuse_masters = false;
+        } else if (!std::strcmp(argv[i], "--adaptive")) {
+            spec.adaptive = true;
+        } else if (!std::strcmp(argv[i], "--target")) {
+            spec.target_ci_halfwidth =
+                std::strtod(next_value("--target"), nullptr);
+        } else if (!std::strcmp(argv[i], "--round-blocks")) {
+            spec.round_blocks =
+                std::strtoull(next_value("--round-blocks"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--min-trials")) {
+            spec.min_trials_per_cell =
+                std::strtoull(next_value("--min-trials"), nullptr, 10);
         } else if (!std::strcmp(argv[i], "--worker")) {
             options.worker_path = next_value("--worker");
         } else if (!std::strcmp(argv[i], "--json")) {
@@ -170,6 +188,9 @@ int main(int argc, char** argv) {
                 const double seconds = std::chrono::duration<double>(
                                            std::chrono::steady_clock::now() - start)
                                            .count();
+                // Adaptive runs execute fewer trials than the budget; rate
+                // the curve on what actually ran.
+                const std::uint64_t executed = report.total_trials();
                 const auto json = report.to_json();
                 if (reference.empty()) {
                     reference = json;
@@ -184,9 +205,11 @@ int main(int argc, char** argv) {
                 std::snprintf(
                     buf, sizeof buf,
                     "    {\"shards\": %u, \"wall_seconds\": %.3f, "
+                    "\"trials_executed\": %llu, "
                     "\"trials_per_sec\": %.1f, \"speedup\": %.2f}%s\n",
                     scaling[i], seconds,
-                    static_cast<double>(spec.trial_count()) / seconds,
+                    static_cast<unsigned long long>(executed),
+                    static_cast<double>(executed) / seconds,
                     base_seconds / seconds, i + 1 < scaling.size() ? "," : "");
                 bench += buf;
                 std::fprintf(stderr, "--shards %u: %.3fs (report %s)\n",

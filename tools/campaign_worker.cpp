@@ -1,12 +1,24 @@
 // One shard of a distributed campaign, as a process.
 //
 // Protocol (see src/dist/orchestrator.cpp, which speaks the other side):
+//
+// Fixed allocation:
 //   stdin   wire spec JSON (the whole campaign_spec; jobs/reuse_masters
 //           are this shard's execution knobs as set by the orchestrator)
 //   argv    --shard K --shards N   which slice of the canonical block
 //           space this process owns (dist::plan_shard)
+//
+// Adaptive allocation (one process per shard per round):
+//   stdin   wire round-job JSON: the spec plus this round's explicit
+//           block manifest — the orchestrator's allocator decides the
+//           blocks between rounds, so the worker cannot derive them
+//   argv    --round --shard K --shards N   (K/N name this round's slice
+//           for the partial header and error messages)
+//
+// Either way:
 //   stdout  wire partial-report JSON: the shard's per-block mergeable
-//           partials, hexfloat-exact
+//           partials, hexfloat-exact, with the round number in the header
+//           (0 for fixed runs)
 //   stderr  diagnostics only
 // Exit 0 on success; any failure is a non-zero exit with a message on
 // stderr — the orchestrator turns that into a loud run failure.
@@ -21,6 +33,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
@@ -31,11 +44,15 @@
 namespace {
 
 int usage(const char* argv0) {
-    std::fprintf(stderr,
-                 "usage: %s --shard K --shards N < spec.json > partial.json\n"
-                 "Runs shard K of an N-way campaign split; spec JSON on stdin\n"
-                 "(dist wire format), partial report JSON on stdout.\n",
-                 argv0);
+    std::fprintf(
+        stderr,
+        "usage: %s [--round] --shard K --shards N < input.json > partial.json\n"
+        "Fixed mode: runs shard K of an N-way campaign split; spec JSON on\n"
+        "stdin (dist wire format).\n"
+        "--round: runs one adaptive round; round-job JSON (spec + explicit\n"
+        "block manifest) on stdin.\n"
+        "Partial report JSON on stdout either way.\n",
+        argv0);
     return 2;
 }
 
@@ -46,10 +63,37 @@ std::string read_stdin() {
         const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
         if (n < 0) {
             if (errno == EINTR) continue;
-            throw std::runtime_error{"reading spec from stdin failed"};
+            throw std::runtime_error{"reading input from stdin failed"};
         }
         if (n == 0) return input;
         input.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+int emit_partial(const pssp::dist::partial_report& report, long shard) {
+    const auto json = pssp::dist::partial_to_json(report);
+    if (std::fwrite(json.data(), 1, json.size(), stdout) != json.size() ||
+        std::fflush(stdout) != 0) {
+        std::fprintf(stderr, "shard %ld: writing partial failed\n", shard);
+        return 1;
+    }
+    return 0;
+}
+
+// The manifest must describe real canonical blocks of this spec — a
+// corrupt or foreign manifest dies here, not as garbage statistics.
+void validate_manifest(const pssp::campaign::campaign_spec& spec,
+                       const pssp::dist::round_manifest& manifest) {
+    const auto canonical = pssp::campaign::blocks_for(spec);
+    for (const auto& b : manifest.blocks) {
+        if (b.index >= canonical.size())
+            throw std::runtime_error{"manifest block index " +
+                                     std::to_string(b.index) + " out of range"};
+        const auto& c = canonical[b.index];
+        if (b.cell != c.cell || b.first_trial != c.first_trial ||
+            b.trials != c.trials)
+            throw std::runtime_error{"manifest block " + std::to_string(b.index) +
+                                     " disagrees with the canonical block space"};
     }
 }
 
@@ -58,11 +102,14 @@ std::string read_stdin() {
 int main(int argc, char** argv) {
     long shard = -1;
     long shards = -1;
+    bool round_mode = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--shard") && i + 1 < argc)
             shard = std::strtol(argv[++i], nullptr, 10);
         else if (!std::strcmp(argv[i], "--shards") && i + 1 < argc)
             shards = std::strtol(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--round"))
+            round_mode = true;
         else
             return usage(argv[0]);
     }
@@ -75,6 +122,30 @@ int main(int argc, char** argv) {
         }
 
     try {
+        pssp::dist::partial_report report;
+        report.shard_index = static_cast<std::uint32_t>(shard);
+        report.shard_count = static_cast<std::uint32_t>(shards);
+
+        if (round_mode) {
+            const auto job = pssp::dist::round_job_from_json(read_stdin());
+            if (pssp::dist::spec_digest(job.spec) != job.manifest.digest)
+                throw std::runtime_error{
+                    "round job spec digest disagrees with its spec"};
+            validate_manifest(job.spec, job.manifest);
+
+            pssp::campaign::engine engine{job.spec};
+            const auto partials = engine.run_blocks(job.manifest.blocks);
+
+            report.round = job.manifest.round;
+            report.digest = job.manifest.digest;
+            report.blocks.reserve(job.manifest.blocks.size());
+            for (std::size_t i = 0; i < job.manifest.blocks.size(); ++i)
+                report.blocks.push_back(pssp::dist::partial_block{
+                    job.manifest.blocks[i].index, job.manifest.blocks[i].cell,
+                    partials[i]});
+            return emit_partial(report, shard);
+        }
+
         const auto spec = pssp::dist::spec_from_json(read_stdin());
         const auto plan = pssp::dist::plan_shard(
             spec, static_cast<std::uint32_t>(shard),
@@ -83,22 +154,12 @@ int main(int argc, char** argv) {
         pssp::campaign::engine engine{spec};
         const auto partials = engine.run_blocks(plan.blocks);
 
-        pssp::dist::partial_report report;
-        report.shard_index = plan.shard_index;
-        report.shard_count = plan.shard_count;
         report.digest = pssp::dist::spec_digest(spec);
         report.blocks.reserve(plan.blocks.size());
         for (std::size_t i = 0; i < plan.blocks.size(); ++i)
             report.blocks.push_back(pssp::dist::partial_block{
                 plan.blocks[i].index, plan.blocks[i].cell, partials[i]});
-
-        const auto json = pssp::dist::partial_to_json(report);
-        if (std::fwrite(json.data(), 1, json.size(), stdout) != json.size() ||
-            std::fflush(stdout) != 0) {
-            std::fprintf(stderr, "shard %ld: writing partial failed\n", shard);
-            return 1;
-        }
-        return 0;
+        return emit_partial(report, shard);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "shard %ld: %s\n", shard, e.what());
         return 1;
