@@ -23,6 +23,7 @@
 #include "bench_util.hpp"
 #include "campaign/engine.hpp"
 #include "dist/orchestrator.hpp"
+#include "vm/dispatch.hpp"
 
 namespace {
 
@@ -31,6 +32,7 @@ using namespace pssp;
 void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--trials N] [--jobs N] [--shards N] [--seed S]\n"
+                 "          [--dispatch threaded|switch]\n"
                  "          [--budget Q] [--json PATH|-] [--bench-json PATH|-]\n"
                  "          [--adaptive] [--target H] [--round-blocks N]\n"
                  "          [--min-trials N] [--adaptive-bench PATH|-]\n"
@@ -65,6 +67,10 @@ void usage(const char* argv0) {
                  "  --fresh-masters    boot a fresh fork server per trial instead\n"
                  "               of the snapshot-reuse pool (report is identical\n"
                  "               either way; this is a perf A/B knob)\n"
+                 "  --dispatch M   VM dispatch engine: threaded (default) or\n"
+                 "               switch; exported to shard workers via\n"
+                 "               PSSP_VM_DISPATCH (report is identical either\n"
+                 "               way; this is a perf A/B knob)\n"
                  "  --progress   live trial counter on stderr\n",
                  argv0);
 }
@@ -126,6 +132,17 @@ int main(int argc, char** argv) {
             min_savings_percent = std::strtod(next_value("--min-savings"), nullptr);
         } else if (!std::strcmp(argv[i], "--fresh-masters")) {
             spec.reuse_masters = false;
+        } else if (!std::strcmp(argv[i], "--dispatch")) {
+            const char* value = next_value("--dispatch");
+            const auto mode = vm::dispatch_from_string(value);
+            if (!mode) {
+                std::fprintf(stderr, "--dispatch must be threaded or switch\n");
+                return 2;
+            }
+            vm::set_default_dispatch(*mode);
+            // Exported before any worker threads or shard processes exist
+            // so fork/exec'd campaign workers run the same engine.
+            ::setenv("PSSP_VM_DISPATCH", value, /*overwrite=*/1);
         } else if (!std::strcmp(argv[i], "--progress")) {
             progress = true;
         } else {

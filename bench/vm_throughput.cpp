@@ -4,20 +4,27 @@
 // Three measurements, emitted human-readable and as machine-readable JSON
 // (BENCH_vm.json) so perf regressions are visible PR-over-PR:
 //   * steps/sec      — raw interpreter speed on a compute+stack-traffic
-//                      loop (pre-resolved control flow, flat cost table,
-//                      exception-free memory fast path);
+//                      loop, A/B'd across the two dispatch engines:
+//                      direct-threaded (decoded-op stream, fused
+//                      superinstructions, batched accounting) vs the
+//                      legacy per-instruction switch stepper;
 //   * trials/sec     — end-to-end "boot a fork server, serve one request"
 //                      trials, fresh-boot vs pool-reused masters;
 //   * amortization   — pooled / fresh trials-per-sec ratio, i.e. how much
 //                      of a trial's cost the snapshot-reuse pool recovers.
 // The fresh and pooled oracles are byte-identical per seed (the pool
 // contract); this bench additionally cross-checks the served outputs.
+// The two dispatch engines are byte-identical too (pinned by ctest);
+// here they only differ in wall-clock.
 //
-//   bench_vm_throughput [--steps N] [--boot-trials N] [--seed S]
-//                       [--json PATH|-] [--min-ratio R]
+//   bench_vm_throughput [--steps N] [--dispatch both|threaded|switch]
+//                       [--boot-trials N] [--seed S] [--json PATH|-]
+//                       [--min-ratio R] [--min-steps-ratio R]
 //
 // --min-ratio R exits nonzero if any scheme's amortization ratio falls
 // below R — the CI smoke uses it to pin the >= 3x acceptance floor.
+// --min-steps-ratio R exits nonzero if threaded dispatch delivers fewer
+// than R times the switch stepper's steps/sec (CI floor: 1.5x).
 
 #include <chrono>
 #include <cstdio>
@@ -30,6 +37,7 @@
 
 #include "bench_util.hpp"
 #include "binfmt/image.hpp"
+#include "vm/machine.hpp"
 #include "workload/victim.hpp"
 
 namespace {
@@ -77,6 +85,19 @@ vm::machine make_spinner(std::uint64_t iterations) {
     m.call_function(binary.symbols.at("spin"));
     m.set(reg::rdi, iterations);
     return m;
+}
+
+// Steps/sec of one dispatch engine on the spinner diet. A fresh machine
+// per mode: the measurement is cold-state fair and the two runs cannot
+// share sticky results.
+double measure_steps_per_sec(vm::dispatch_mode mode, std::uint64_t steps) {
+    auto spinner = make_spinner(steps / 9 + 1);
+    spinner.set_dispatch(mode);
+    spinner.set_fuel(steps);
+    const auto start = clock_type::now();
+    (void)spinner.run();
+    const double secs = seconds_since(start);
+    return static_cast<double>(spinner.steps()) / secs;
 }
 
 struct pool_sample {
@@ -127,14 +148,19 @@ pool_sample measure_pool(core::scheme_kind kind, std::uint64_t trials,
 
 void usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--steps N] [--boot-trials N] [--seed S]\n"
-                 "          [--json PATH|-] [--min-ratio R]\n"
+                 "usage: %s [--steps N] [--dispatch both|threaded|switch]\n"
+                 "          [--boot-trials N] [--seed S]\n"
+                 "          [--json PATH|-] [--min-ratio R] [--min-steps-ratio R]\n"
                  "  --steps N        interpreter steps to time (default 4000000)\n"
+                 "  --dispatch M     measure one dispatch engine or A/B both\n"
+                 "                   (default both)\n"
                  "  --boot-trials N  boot+serve trials per scheme and mode\n"
                  "                   (default 300)\n"
                  "  --seed S         base seed (default 2018)\n"
                  "  --json PATH      write BENCH_vm.json ('-' = stdout)\n"
-                 "  --min-ratio R    fail if any boot-amortization ratio < R\n",
+                 "  --min-ratio R    fail if any boot-amortization ratio < R\n"
+                 "  --min-steps-ratio R  fail if threaded steps/sec < R x the\n"
+                 "                   switch stepper's (needs --dispatch both)\n",
                  argv0);
 }
 
@@ -146,6 +172,8 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 2018;
     const char* json_path = nullptr;
     double min_ratio = 0.0;
+    double min_steps_ratio = 0.0;
+    const char* dispatch_arg = "both";
 
     for (int i = 1; i < argc; ++i) {
         auto next_value = [&](const char* flag) -> const char* {
@@ -166,6 +194,10 @@ int main(int argc, char** argv) {
             json_path = next_value("--json");
         } else if (!std::strcmp(argv[i], "--min-ratio")) {
             min_ratio = std::strtod(next_value("--min-ratio"), nullptr);
+        } else if (!std::strcmp(argv[i], "--min-steps-ratio")) {
+            min_steps_ratio = std::strtod(next_value("--min-steps-ratio"), nullptr);
+        } else if (!std::strcmp(argv[i], "--dispatch")) {
+            dispatch_arg = next_value("--dispatch");
         } else {
             usage(argv[0]);
             return 2;
@@ -176,17 +208,42 @@ int main(int argc, char** argv) {
                         "simulator performance engineering (no paper figure; "
                         "feeds every campaign-scale measurement)");
 
-    // ---- interpreter steps/sec ----
-    // ~9 instructions per iteration; size the loop to the requested steps.
-    auto spinner = make_spinner(steps / 9 + 1);
-    spinner.set_fuel(steps);
-    const auto spin_start = clock_type::now();
-    (void)spinner.run();
-    const double spin_secs = seconds_since(spin_start);
-    const double steps_per_sec = static_cast<double>(spinner.steps()) / spin_secs;
-    std::printf("interpreter: %.2fM steps in %.3fs -> %.2fM steps/sec\n\n",
-                static_cast<double>(spinner.steps()) / 1e6, spin_secs,
-                steps_per_sec / 1e6);
+    // ---- interpreter steps/sec, per dispatch engine ----
+    const bool want_threaded = !std::strcmp(dispatch_arg, "both") ||
+                               !std::strcmp(dispatch_arg, "threaded");
+    const bool want_switch = !std::strcmp(dispatch_arg, "both") ||
+                             !std::strcmp(dispatch_arg, "switch");
+    if (!want_threaded && !want_switch) {
+        std::fprintf(stderr, "--dispatch must be both, threaded or switch\n");
+        return 2;
+    }
+    if (min_steps_ratio > 0.0 && !(want_threaded && want_switch)) {
+        std::fprintf(stderr, "--min-steps-ratio needs --dispatch both\n");
+        return 2;
+    }
+    double threaded_steps_per_sec = 0.0;
+    double switch_steps_per_sec = 0.0;
+    if (want_switch) {
+        switch_steps_per_sec =
+            measure_steps_per_sec(vm::dispatch_mode::switch_loop, steps);
+        std::printf("interpreter (switch):   %.2fM steps/sec\n",
+                    switch_steps_per_sec / 1e6);
+    }
+    if (want_threaded) {
+        threaded_steps_per_sec =
+            measure_steps_per_sec(vm::dispatch_mode::threaded, steps);
+        std::printf("interpreter (threaded): %.2fM steps/sec\n",
+                    threaded_steps_per_sec / 1e6);
+    }
+    const double steps_per_sec =
+        want_threaded ? threaded_steps_per_sec : switch_steps_per_sec;
+    const double dispatch_ratio =
+        (want_threaded && want_switch && switch_steps_per_sec > 0.0)
+            ? threaded_steps_per_sec / switch_steps_per_sec
+            : 0.0;
+    if (dispatch_ratio > 0.0)
+        std::printf("threaded/switch dispatch speedup: %.2fx\n", dispatch_ratio);
+    std::printf("\n");
 
     // ---- boot amortization, fresh vs pooled ----
     std::vector<pool_sample> samples;
@@ -204,11 +261,20 @@ int main(int argc, char** argv) {
 
     std::ostringstream json;
     json << "{\n  \"bench\": \"vm_throughput\",\n";
-    char buf[160];
+    char buf[200];
     std::snprintf(buf, sizeof buf,
                   "  \"steps\": %llu,\n  \"steps_per_sec\": %.0f,\n",
-                  static_cast<unsigned long long>(spinner.steps()), steps_per_sec);
+                  static_cast<unsigned long long>(steps), steps_per_sec);
     json << buf;
+    if (want_threaded && want_switch) {
+        std::snprintf(buf, sizeof buf,
+                      "  \"dispatch\": {\"threaded_steps_per_sec\": %.0f, "
+                      "\"switch_steps_per_sec\": %.0f, "
+                      "\"threaded_over_switch\": %.3f},\n",
+                      threaded_steps_per_sec, switch_steps_per_sec,
+                      dispatch_ratio);
+        json << buf;
+    }
     std::snprintf(buf, sizeof buf, "  \"boot_trials\": %llu,\n  \"cells\": [\n",
                   static_cast<unsigned long long>(boot_trials));
     json << buf;
@@ -238,6 +304,12 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (min_steps_ratio > 0.0 && dispatch_ratio < min_steps_ratio) {
+        std::fprintf(stderr,
+                     "FAIL: threaded dispatch %.2fx over switch < required %.2fx\n",
+                     dispatch_ratio, min_steps_ratio);
+        return 1;
+    }
     if (min_ratio > 0.0) {
         for (const auto& s : samples) {
             if (s.ratio < min_ratio) {

@@ -8,7 +8,11 @@
 // globals, ran the runtime setup hook, and executed the master's boot path
 // — then threw it all away. The pool keeps the seed-independent work
 // alive:
-//   * one vm::program shared by every server of the cell;
+//   * one vm::program — including its decoded direct-threaded dispatch
+//     stream — shared by every server of the cell;
+//   * one flattened cost table shared (behind an immutable shared_ptr)
+//     by every machine cloned from a cell's first boot, so snapshot
+//     restores stop re-copying the per-opcode array;
 //   * idle fork_server objects parked after their trial, whose memory
 //     images rewind to a pre-boot snapshot by dirty pages alone
 //     (fork_server::reboot), after which only the short seed-dependent

@@ -56,9 +56,16 @@ struct cost_model {
     [[nodiscard]] std::uint64_t cost_of(const instruction& insn) const noexcept;
 
     // Snapshot of the current parameters as a flat per-opcode table. The
-    // machine rebuilds this at every run() entry, so parameter mutations
-    // between runs (e.g. workload code enabling dbi_tax) still apply.
+    // machine caches the flattened table behind a shared pointer keyed on
+    // these parameters (rechecked at every run() entry, so mutations
+    // between runs — e.g. workload code enabling dbi_tax — still apply),
+    // and snapshot/fork paths share the pointer instead of copying the
+    // table.
     [[nodiscard]] cost_table table() const noexcept;
+
+    // Parameter equality — the cache key for the machine's flattened-table
+    // reuse across runs, snapshots, and forked workers.
+    friend bool operator==(const cost_model&, const cost_model&) = default;
 };
 
 }  // namespace pssp::vm

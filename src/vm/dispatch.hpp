@@ -1,0 +1,117 @@
+// Direct-threaded dispatch: the decoded-op stream behind machine::run().
+//
+// program::finalize() lowers every instruction into one `decoded_op` — a
+// flat, cache-friendly record carrying a handler id, the pre-extracted
+// operands, and the pre-resolved control flow — and appends a trapping
+// sentinel op past the end of the stream. The interpreter's hot loop then
+// needs no per-iteration bounds check (falling off the end lands on the
+// sentinel, and every jump target was validated at lowering time) and no
+// per-step result construction: each handler jumps straight to the next
+// op's handler (computed goto under GCC/Clang, a token-threaded switch
+// over the same handler ids elsewhere).
+//
+// On top of the 1:1 lowering, a fusion pass upgrades the hottest adjacent
+// pairs in the seed workloads (compare+branch back-edges, the push/mov
+// frame prologue, load+accumulate bodies, and the SSP epilogue's
+// xor-canary-then-jne check) into superinstructions: position i gets a
+// fused handler that executes insns i and i+1 in one dispatch. The stream
+// layout is untouched — position i+1 keeps its standalone lowering, so a
+// jump into the middle of a fused pair executes exactly as before, and a
+// fuel boundary between the halves pauses with rip on the second half.
+// Fused execution charges each half's cost-table entry in order and
+// attributes a second-half fault to the second instruction, so cycles_,
+// steps_, rip and fault state stay observation-equivalent to the
+// one-instruction-at-a-time stepper at every event boundary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "vm/isa.hpp"
+
+namespace pssp::vm {
+
+class machine;  // forward; native helpers receive the executing machine
+
+// Host-implemented helper bound to a text address (PLT analog). Invoked by
+// `call`; arguments/results pass through the machine's registers per SysV.
+using native_fn = std::function<void(machine&)>;
+
+// ---- Dispatch-mode selection ----------------------------------------------
+// Purely an execution-speed knob, like campaign jobs counts and master
+// reuse: both engines drive the same architectural state, so everything
+// outcome-relevant (registers, flags, memory, output, cycles_, steps_,
+// traps) is byte-identical across modes — campaign reports included.
+enum class dispatch_mode : std::uint8_t {
+    threaded,     // decoded-op stream, superinstructions, batched accounting
+    switch_loop,  // legacy per-instruction switch stepper (debug/differential)
+};
+
+[[nodiscard]] std::string to_string(dispatch_mode mode);
+[[nodiscard]] std::optional<dispatch_mode> dispatch_from_string(const std::string& s);
+
+// Process-wide default consulted at machine construction. Initialized from
+// the PSSP_VM_DISPATCH environment variable ("threaded" / "switch") on
+// first use so fork/exec'd campaign workers inherit the parent's mode;
+// falls back to threaded. set_default_dispatch overrides it in-process.
+[[nodiscard]] dispatch_mode default_dispatch() noexcept;
+void set_default_dispatch(dispatch_mode mode) noexcept;
+
+// ---- Handler ids ----------------------------------------------------------
+// Values below opcode_count are the 1:1 lowering (handler id == opcode);
+// the fused superinstructions follow, then the end-of-stream sentinel.
+// A plain uint16, not an enum class, because the dispatch table is indexed
+// with it on every executed instruction.
+namespace hop {
+inline constexpr std::uint16_t fuse_cmp_rr_jcc = opcode_count + 0;
+inline constexpr std::uint16_t fuse_cmp_ri_jcc = opcode_count + 1;
+inline constexpr std::uint16_t fuse_test_rr_jcc = opcode_count + 2;
+inline constexpr std::uint16_t fuse_xor_rm_jcc = opcode_count + 3;  // canary check
+inline constexpr std::uint16_t fuse_push_push = opcode_count + 4;
+inline constexpr std::uint16_t fuse_push_mov_rr = opcode_count + 5;  // frame setup
+inline constexpr std::uint16_t fuse_mov_rm_add_rr = opcode_count + 6;
+inline constexpr std::uint16_t fuse_sub_ri_cmp_ri = opcode_count + 7;
+inline constexpr std::uint16_t fuse_mov_mr_xor_ri = opcode_count + 8;
+inline constexpr std::uint16_t fuse_add_ri_ret = opcode_count + 9;  // leaf epilogue
+inline constexpr std::uint16_t sentinel = opcode_count + 10;  // end-of-stream trap
+inline constexpr std::size_t count = opcode_count + 11;
+}  // namespace hop
+
+// One decoded op: everything a handler touches, in one 48-byte record
+// (instruction operands + resolved flow live in three parallel arrays on
+// the legacy path). Fused handlers read their second half from the next
+// record — adjacent in the same cache stream — so fusion never widens the
+// layout; it only swaps the handler id at the first half's position.
+struct decoded_op {
+    std::uint16_t handler = 0;      // hop id; base ops: == static_cast(op)
+    opcode op = opcode::nop;        // original opcode: cost-table index
+    reg r1 = reg::none;
+    reg r2 = reg::none;
+    xreg x1 = xreg::none;
+    xreg x2 = xreg::none;
+    std::uint8_t fs = 0;            // memory operand is %fs-relative
+    reg mbase = reg::none;          // memory operand base register
+    std::int32_t disp = 0;          // memory operand displacement
+    std::uint32_t target = no_id;   // pre-resolved jmp/jcc/call target index
+    std::uint64_t imm = 0;
+    std::uint64_t return_addr = 0;  // call: address of the next instruction
+    const native_fn* native = nullptr;  // call: bound native helper
+};
+
+// 1:1 lowering of one instruction plus its pre-resolved flow fields into a
+// decoded op. Fusion and the sentinel are program::finalize()'s job.
+[[nodiscard]] decoded_op lower_op(const instruction& insn, std::uint32_t flow_target,
+                                  std::uint64_t return_addr, const native_fn* native);
+
+// The trapping end-of-stream record (hop::sentinel).
+[[nodiscard]] decoded_op sentinel_op() noexcept;
+
+// Fused handler id for the adjacent pair (a, b), or 0 when the pair is not
+// a recognized superinstruction. Positions are upgraded independently —
+// overlapping matches are fine because a fused op always re-enters the
+// stream two slots down, where every record still has its standalone form.
+[[nodiscard]] std::uint16_t fuse_pair(const instruction& a, const instruction& b) noexcept;
+
+}  // namespace pssp::vm

@@ -37,10 +37,12 @@ machine::machine(std::shared_ptr<const program> prog, memory::layout layout,
       fs_base_{layout.tls_base},
       entropy_{entropy_seed} {
     if (!prog_) throw std::invalid_argument{"machine requires a program"};
-    if (prog_->flow.size() != prog_->insns.size())
+    if (prog_->flow.size() != prog_->insns.size() ||
+        prog_->code.size() != prog_->insns.size() + 1)
         throw std::invalid_argument{
             "machine requires a finalized program (program::finalize resolves "
-            "control flow; linked_binary::make_program does this for you)"};
+            "control flow and lowers the decoded stream; "
+            "linked_binary::make_program does this for you)"};
     gpr_[static_cast<std::size_t>(reg::rsp)] = layout.stack_top - initial_stack_headroom;
 }
 
@@ -150,10 +152,10 @@ void machine::set_alu_flags(std::uint64_t result) noexcept {
     flags_.zf = result == 0;
 }
 
-run_result machine::step() {
+run_result machine::exec_one_switch(const cost_table& ct) {
     run_result out;
     const instruction& insn = prog_->insns[rip_];
-    cycles_ += cost_table_[insn.op];
+    cycles_ += ct[insn.op];
     ++steps_;
 
     // Most instructions fall through; control flow overrides this.
@@ -521,10 +523,25 @@ run_result machine::step() {
 }
 
 run_result machine::run(std::uint64_t max_steps) {
+    return dispatch_ == dispatch_mode::threaded ? run_threaded(max_steps)
+                                                : run_switch(max_steps);
+}
+
+run_result machine::step() { return run_switch(1); }
+
+const cost_table& machine::refresh_cost_cache() {
+    if (!cost_cache_ || !(cost_cache_key_ == costs_)) {
+        cost_cache_ = std::make_shared<const cost_table>(costs_.table());
+        cost_cache_key_ = costs_;
+    }
+    return *cost_cache_;
+}
+
+run_result machine::run_switch(std::uint64_t max_steps) {
     if (finished_valid_) return finished_;
     if (!rip_valid_) throw std::logic_error{"machine::run before call_function"};
 
-    cost_table_ = costs_.table();
+    const cost_table& ct = refresh_cost_cache();
 
     run_result out;
     std::uint64_t executed = 0;
@@ -543,7 +560,7 @@ run_result machine::run(std::uint64_t max_steps) {
             out.fault_addr = current_address();
             break;
         }
-        out = step();
+        out = exec_one_switch(ct);
         ++executed;
         if (out.status == exec_status::syscalled) return out;  // resumable
         if (out.status != exec_status::running) break;
@@ -552,6 +569,836 @@ run_result machine::run(std::uint64_t max_steps) {
     finished_valid_ = true;
     return out;
 }
+
+// ---- Direct-threaded engine ------------------------------------------------
+// One dispatch per decoded op: computed goto under GCC/Clang, a
+// token-threaded switch over the same handler ids elsewhere. The X-macro
+// lists below must stay in opcode-enum / hop-id order — they generate the
+// jump table positionally; the dispatch unit tests and the differential
+// stepper test pin the correspondence.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PSSP_COMPUTED_GOTO 1
+#else
+#define PSSP_COMPUTED_GOTO 0
+#endif
+
+#define PSSP_BASE_OPS(X)                                                       \
+    X(nop) X(push_r) X(push_i) X(pop_r) X(mov_rr) X(mov_ri) X(mov_rm)          \
+    X(mov_mr) X(mov_mi) X(mov32_rm) X(mov32_mr) X(movzx8_rm) X(mov8_mr)        \
+    X(lea) X(add_rr) X(add_ri) X(sub_rr) X(sub_ri) X(xor_rr) X(xor_ri)         \
+    X(xor_rm) X(or_rr) X(and_ri) X(shl_ri) X(shr_ri) X(imul_rr) X(imul_ri)     \
+    X(cmp_rr) X(cmp_ri) X(cmp_rm) X(test_rr) X(je) X(jne) X(jb) X(jae) X(jl)   \
+    X(jge) X(jnc) X(jmp) X(call) X(ret) X(leave) X(rdrand_r) X(rdtsc)          \
+    X(movq_xr) X(movq_rx) X(movhps_xm) X(punpckhqdq_xr) X(movdqu_mx)           \
+    X(movdqu_xm) X(cmp128_xm) X(syscall_i) X(trap_abort) X(hlt) X(sim_delay)
+
+#define PSSP_FUSED_OPS(X)                                                      \
+    X(fuse_cmp_rr_jcc) X(fuse_cmp_ri_jcc) X(fuse_test_rr_jcc)                  \
+    X(fuse_xor_rm_jcc) X(fuse_push_push) X(fuse_push_mov_rr)                   \
+    X(fuse_mov_rm_add_rr) X(fuse_sub_ri_cmp_ri) X(fuse_mov_mr_xor_ri)          \
+    X(fuse_add_ri_ret) X(sentinel)
+
+#if PSSP_COMPUTED_GOTO
+#define PSSP_OPC(name) h_##name:
+#define PSSP_FUSED(name) h_##name:
+#define PSSP_DISPATCH()                                                        \
+    do {                                                                       \
+        if (budget == 0) goto budget_stop;                                     \
+        --budget;                                                              \
+        op = code + ip;                                                        \
+        goto* jump_table[op->handler];                                         \
+    } while (0)
+#else
+#define PSSP_OPC(name) case static_cast<std::uint16_t>(opcode::name):
+#define PSSP_FUSED(name) case hop::name:
+#define PSSP_DISPATCH()                                                        \
+    do {                                                                       \
+        if (budget == 0) goto budget_stop;                                     \
+        --budget;                                                              \
+        op = code + ip;                                                        \
+        goto dispatch_top;                                                     \
+    } while (0)
+#endif
+
+// Charge one instruction against the batched accumulators. Base handlers
+// name their opcode so the table index is a compile-time constant.
+#define PSSP_CHARGE(name)                                                      \
+    do {                                                                       \
+        cyc += ct[opcode::name];                                               \
+        ++executed;                                                            \
+    } while (0)
+
+namespace {
+
+// Condition evaluation shared by the jcc handler and the fused
+// compare+branch tail; identical to the stepper's inner switch.
+[[nodiscard]] inline bool jcc_taken(opcode op, const flags_state& f) noexcept {
+    switch (op) {
+        case opcode::je: return f.zf;
+        case opcode::jne: return !f.zf;
+        case opcode::jb: return f.lt_unsigned;
+        case opcode::jae: return !f.lt_unsigned;
+        case opcode::jl: return f.lt_signed;
+        case opcode::jge: return !f.lt_signed;
+        case opcode::jnc: return !f.cf;
+        default: return true;  // jmp
+    }
+}
+
+}  // namespace
+
+run_result machine::run_threaded(std::uint64_t max_steps) {
+    if (finished_valid_) return finished_;
+    if (!rip_valid_) throw std::logic_error{"machine::run before call_function"};
+
+    const cost_table& ct = refresh_cost_cache();
+    const decoded_op* const code = prog_->code.data();
+
+    // Batched accounting: steps and cycles accumulate in locals (registers)
+    // and are reconciled into steps_/cycles_ exactly at every exit event —
+    // and flushed around native calls, which may observe or charge the
+    // member counters.
+    std::uint64_t executed = 0;  // steps retired this run, not yet in steps_
+    std::uint64_t cyc = 0;       // cycles charged this run, not yet in cycles_
+    // Unified step countdown to the nearest of fuel_ / max_steps; ~0 when
+    // neither binds (2^64 steps cannot retire in a process lifetime). The
+    // stepper checks fuel before max_steps, so ties resolve to out_of_fuel
+    // at budget_stop below.
+    std::uint64_t budget = ~std::uint64_t{0};
+    if (fuel_ != 0) budget = fuel_ > steps_ ? fuel_ - steps_ : 0;
+    if (max_steps != 0 && max_steps < budget) budget = max_steps;
+
+    std::uint32_t ip = rip_;
+    const decoded_op* op = nullptr;
+    run_result out;
+
+    // Effective address of a decoded memory operand; mirrors
+    // effective_address(mem_operand) field for field.
+    const auto ea = [this](const decoded_op& d) noexcept {
+        std::uint64_t addr =
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(d.disp));
+        if (d.mbase != reg::none) addr += get(d.mbase);
+        if (d.fs != 0) addr += fs_base_;
+        return addr;
+    };
+
+#if PSSP_COMPUTED_GOTO
+#define PSSP_LBL(name) &&h_##name,
+    static const void* const jump_table[hop::count] = {
+        PSSP_BASE_OPS(PSSP_LBL) PSSP_FUSED_OPS(PSSP_LBL)};
+#undef PSSP_LBL
+    PSSP_DISPATCH();
+#else
+    PSSP_DISPATCH();
+dispatch_top:
+    switch (op->handler) {
+#endif
+
+    PSSP_OPC(nop) {
+        PSSP_CHARGE(nop);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(push_r) {
+        PSSP_CHARGE(push_r);
+        if (!push64(get(op->r1), out)) goto stop_terminal;
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(push_i) {
+        PSSP_CHARGE(push_i);
+        if (!push64(op->imm, out)) goto stop_terminal;
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(pop_r) {
+        PSSP_CHARGE(pop_r);
+        std::uint64_t v;
+        if (!pop64(v, out)) goto stop_terminal;
+        set(op->r1, v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(mov_rr) {
+        PSSP_CHARGE(mov_rr);
+        set(op->r1, get(op->r2));
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(mov_ri) {
+        PSSP_CHARGE(mov_ri);
+        set(op->r1, op->imm);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(mov_rm) {
+        PSSP_CHARGE(mov_rm);
+        std::uint64_t v;
+        if (!ld(ea(*op), 8, v, out)) goto stop_terminal;
+        set(op->r1, v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(mov_mr) {
+        PSSP_CHARGE(mov_mr);
+        if (!st(ea(*op), 8, get(op->r2), out)) goto stop_terminal;
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(mov_mi) {
+        PSSP_CHARGE(mov_mi);
+        if (!st(ea(*op), 8, op->imm, out)) goto stop_terminal;
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(mov32_rm) {
+        PSSP_CHARGE(mov32_rm);
+        std::uint64_t v;
+        if (!ld(ea(*op), 4, v, out)) goto stop_terminal;
+        set(op->r1, v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(mov32_mr) {
+        PSSP_CHARGE(mov32_mr);
+        if (!st(ea(*op), 4, static_cast<std::uint32_t>(get(op->r2)), out))
+            goto stop_terminal;
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(movzx8_rm) {
+        PSSP_CHARGE(movzx8_rm);
+        std::uint64_t v;
+        if (!ld(ea(*op), 1, v, out)) goto stop_terminal;
+        set(op->r1, v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(mov8_mr) {
+        PSSP_CHARGE(mov8_mr);
+        if (!st(ea(*op), 1, static_cast<std::uint8_t>(get(op->r2)), out))
+            goto stop_terminal;
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(lea) {
+        PSSP_CHARGE(lea);
+        set(op->r1, ea(*op));
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(add_rr) {
+        PSSP_CHARGE(add_rr);
+        const std::uint64_t v = get(op->r1) + get(op->r2);
+        set(op->r1, v);
+        set_alu_flags(v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(add_ri) {
+        PSSP_CHARGE(add_ri);
+        const std::uint64_t v = get(op->r1) + op->imm;
+        set(op->r1, v);
+        set_alu_flags(v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(sub_rr) {
+        PSSP_CHARGE(sub_rr);
+        const std::uint64_t v = get(op->r1) - get(op->r2);
+        set(op->r1, v);
+        set_alu_flags(v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(sub_ri) {
+        PSSP_CHARGE(sub_ri);
+        const std::uint64_t v = get(op->r1) - op->imm;
+        set(op->r1, v);
+        set_alu_flags(v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(xor_rr) {
+        PSSP_CHARGE(xor_rr);
+        const std::uint64_t v = get(op->r1) ^ get(op->r2);
+        set(op->r1, v);
+        set_alu_flags(v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(xor_ri) {
+        PSSP_CHARGE(xor_ri);
+        const std::uint64_t v = get(op->r1) ^ op->imm;
+        set(op->r1, v);
+        set_alu_flags(v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(xor_rm) {
+        PSSP_CHARGE(xor_rm);
+        std::uint64_t mval;
+        if (!ld(ea(*op), 8, mval, out)) goto stop_terminal;
+        const std::uint64_t v = get(op->r1) ^ mval;
+        set(op->r1, v);
+        set_alu_flags(v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(or_rr) {
+        PSSP_CHARGE(or_rr);
+        const std::uint64_t v = get(op->r1) | get(op->r2);
+        set(op->r1, v);
+        set_alu_flags(v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(and_ri) {
+        PSSP_CHARGE(and_ri);
+        const std::uint64_t v = get(op->r1) & op->imm;
+        set(op->r1, v);
+        set_alu_flags(v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(shl_ri) {
+        PSSP_CHARGE(shl_ri);
+        set(op->r1, get(op->r1) << (op->imm & 63));
+        set_alu_flags(get(op->r1));
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(shr_ri) {
+        PSSP_CHARGE(shr_ri);
+        set(op->r1, get(op->r1) >> (op->imm & 63));
+        set_alu_flags(get(op->r1));
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(imul_rr) {
+        PSSP_CHARGE(imul_rr);
+        set(op->r1, get(op->r1) * get(op->r2));
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(imul_ri) {
+        PSSP_CHARGE(imul_ri);
+        set(op->r1, get(op->r1) * op->imm);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(cmp_rr) {
+        PSSP_CHARGE(cmp_rr);
+        const std::uint64_t a = get(op->r1);
+        const std::uint64_t b = get(op->r2);
+        flags_.zf = a == b;
+        flags_.lt_unsigned = a < b;
+        flags_.lt_signed =
+            static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(cmp_ri) {
+        PSSP_CHARGE(cmp_ri);
+        const std::uint64_t a = get(op->r1);
+        const std::uint64_t b = op->imm;
+        flags_.zf = a == b;
+        flags_.lt_unsigned = a < b;
+        flags_.lt_signed =
+            static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(cmp_rm) {
+        PSSP_CHARGE(cmp_rm);
+        const std::uint64_t a = get(op->r1);
+        std::uint64_t b;
+        if (!ld(ea(*op), 8, b, out)) goto stop_terminal;
+        flags_.zf = a == b;
+        flags_.lt_unsigned = a < b;
+        flags_.lt_signed =
+            static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(test_rr) {
+        PSSP_CHARGE(test_rr);
+        flags_.zf = (get(op->r1) & get(op->r2)) == 0;
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(je)
+    PSSP_OPC(jne)
+    PSSP_OPC(jb)
+    PSSP_OPC(jae)
+    PSSP_OPC(jl)
+    PSSP_OPC(jge)
+    PSSP_OPC(jnc)
+    PSSP_OPC(jmp) {
+        cyc += ct[op->op];
+        ++executed;
+        if (jcc_taken(op->op, flags_)) {
+            if (op->target == no_id) {
+                out.status = exec_status::trapped;
+                out.trap = trap_kind::invalid_jump;
+                out.fault_addr = op->imm;
+                goto stop_terminal;
+            }
+            ip = op->target;
+        } else {
+            ++ip;
+        }
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(call) {
+        PSSP_CHARGE(call);
+        if (op->native != nullptr) {
+            // Native helper: model the full call/ret round trip so the
+            // helper can observe a genuine frame while executing host-side.
+            // Natives observe and charge the member counters (and may read
+            // current_address()), so reconcile the batch before crossing
+            // the edge — this is the only flush inside the loop.
+            if (!push64(op->return_addr, out)) goto stop_terminal;
+            steps_ += executed;
+            executed = 0;
+            cycles_ += cyc;
+            cyc = 0;
+            rip_ = ip;
+            try {
+                (*op->native)(*this);
+            } catch (const mem_fault& fault) {
+                out.status = exec_status::trapped;
+                out.trap = trap_kind::segfault;
+                out.fault_addr = fault.addr();
+                goto stop_terminal;
+            } catch (const native_trap& trap) {
+                out.status = exec_status::trapped;
+                out.trap = trap.kind;
+                out.fault_addr = current_address();
+                goto stop_terminal;
+            }
+            std::uint64_t back;
+            if (!pop64(back, out)) goto stop_terminal;
+            if (back != op->return_addr) {
+                const std::uint32_t index = prog_->index_of(back);
+                if (index == no_id) {
+                    out.status = exec_status::trapped;
+                    out.trap = trap_kind::invalid_jump;
+                    out.fault_addr = back;
+                    goto stop_terminal;
+                }
+                ip = index;
+            } else {
+                ++ip;
+            }
+            PSSP_DISPATCH();
+        }
+        if (op->target == no_id) {
+            out.status = exec_status::trapped;
+            out.trap = trap_kind::invalid_jump;
+            out.fault_addr = op->imm;
+            goto stop_terminal;
+        }
+        if (!push64(op->return_addr, out)) goto stop_terminal;
+        ip = op->target;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(ret) {
+        PSSP_CHARGE(ret);
+        // The popped target is data from the simulated stack — exactly
+        // what an overflow corrupts — so it must resolve dynamically.
+        std::uint64_t target;
+        if (!pop64(target, out)) goto stop_terminal;
+        if (target == return_sentinel) {
+            out.status = exec_status::exited;
+            out.exit_code = static_cast<std::int64_t>(get(reg::rax));
+            goto stop_terminal;
+        }
+        {
+            const std::uint32_t index = prog_->index_of(target);
+            if (index == no_id) {
+                out.status = exec_status::trapped;
+                out.trap = trap_kind::invalid_jump;
+                out.fault_addr = target;
+                goto stop_terminal;
+            }
+            ip = index;
+        }
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(leave) {
+        PSSP_CHARGE(leave);
+        set(reg::rsp, get(reg::rbp));
+        std::uint64_t v;
+        if (!pop64(v, out)) goto stop_terminal;
+        set(reg::rbp, v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(rdrand_r) {
+        PSSP_CHARGE(rdrand_r);
+        std::uint64_t value = 0;
+        flags_.cf = entropy_.rdrand64(value);
+        if (flags_.cf) set(op->r1, value);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(rdtsc) {
+        PSSP_CHARGE(rdtsc);
+        // cycles_ lags by the batched cyc, which already includes this
+        // rdtsc's own charge — exactly the stepper's accounting.
+        const std::uint64_t tsc = tsc_base_ + cycles_ + cyc;
+        set(reg::rax, tsc & 0xffffffffull);
+        set(reg::rdx, tsc >> 32);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(movq_xr) {
+        PSSP_CHARGE(movq_xr);
+        xmm_value x = get_x(op->x1);
+        x.lo = get(op->r2);
+        x.hi = 0;
+        set_x(op->x1, x);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(movq_rx) {
+        PSSP_CHARGE(movq_rx);
+        set(op->r1, get_x(op->x2).lo);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(movhps_xm) {
+        PSSP_CHARGE(movhps_xm);
+        xmm_value x = get_x(op->x1);
+        if (!ld(ea(*op), 8, x.hi, out)) goto stop_terminal;
+        set_x(op->x1, x);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(punpckhqdq_xr) {
+        PSSP_CHARGE(punpckhqdq_xr);
+        xmm_value x = get_x(op->x1);
+        x.hi = get(op->r2);
+        set_x(op->x1, x);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(movdqu_mx) {
+        PSSP_CHARGE(movdqu_mx);
+        const std::uint64_t addr = ea(*op);
+        const xmm_value x = get_x(op->x2);
+        if (!st(addr, 8, x.lo, out)) goto stop_terminal;
+        if (!st(addr + 8, 8, x.hi, out)) goto stop_terminal;
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(movdqu_xm) {
+        PSSP_CHARGE(movdqu_xm);
+        const std::uint64_t addr = ea(*op);
+        std::uint64_t lo, hi;
+        if (!ld(addr, 8, lo, out)) goto stop_terminal;
+        if (!ld(addr + 8, 8, hi, out)) goto stop_terminal;
+        set_x(op->x1, {lo, hi});
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(cmp128_xm) {
+        PSSP_CHARGE(cmp128_xm);
+        const std::uint64_t addr = ea(*op);
+        const xmm_value x = get_x(op->x1);
+        std::uint64_t lo, hi;
+        if (!ld(addr, 8, lo, out)) goto stop_terminal;
+        if (!ld(addr + 8, 8, hi, out)) goto stop_terminal;
+        flags_.zf = x.lo == lo && x.hi == hi;
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(syscall_i) {
+        PSSP_CHARGE(syscall_i);
+        const auto number = static_cast<std::uint32_t>(op->imm);
+        switch (static_cast<syscall_no>(number)) {
+            case syscall_no::sys_exit:
+                out.status = exec_status::exited;
+                out.exit_code = static_cast<std::int64_t>(get(reg::rdi));
+                goto stop_terminal;
+            case syscall_no::sys_getpid:
+                set(reg::rax, pid_);
+                break;
+            case syscall_no::sys_write: {
+                const std::uint64_t buf = get(reg::rsi);
+                const std::uint64_t count = get(reg::rdx);
+                const std::uint8_t* p = mem_.try_at(buf, count);
+                if (p == nullptr) {
+                    out.status = exec_status::trapped;
+                    out.trap = trap_kind::segfault;
+                    out.fault_addr = buf;
+                    goto stop_terminal;
+                }
+                if (output_.size() < max_output_bytes) {
+                    const std::size_t take = std::min<std::size_t>(
+                        count, max_output_bytes - output_.size());
+                    output_.append(reinterpret_cast<const char*>(p), take);
+                }
+                set(reg::rax, count);
+                break;
+            }
+            case syscall_no::sys_fork:
+                // Serviced by the process layer: pause with rip already
+                // advanced so both sides resume after the syscall once
+                // complete_syscall() fills in rax. Resumable, so finished_
+                // stays unset.
+                rip_ = ip + 1;
+                out.status = exec_status::syscalled;
+                out.syscall_number = number;
+                steps_ += executed;
+                cycles_ += cyc;
+                return out;
+        }
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_OPC(trap_abort) {
+        PSSP_CHARGE(trap_abort);
+        out.status = exec_status::trapped;
+        out.trap = trap_kind::stack_smash;
+        out.fault_addr = prog_->addrs[ip];
+        goto stop_terminal;
+    }
+    PSSP_OPC(hlt) {
+        PSSP_CHARGE(hlt);
+        out.status = exec_status::exited;
+        out.exit_code = static_cast<std::int64_t>(get(reg::rax));
+        goto stop_terminal;
+    }
+    PSSP_OPC(sim_delay) {
+        // Cost-model artifact; the flat table carries only the dbi_tax
+        // component, the per-site charge lives in the immediate.
+        PSSP_CHARGE(sim_delay);
+        cyc += op->imm;
+        ++ip;
+        PSSP_DISPATCH();
+    }
+
+    // ---- Fused superinstructions (vm/dispatch.hpp) ----
+    // Each executes positions ip and ip+1 in one dispatch, charging and
+    // retiring the halves in order so fuel boundaries and second-half
+    // faults land exactly where the stepper would put them.
+    PSSP_FUSED(fuse_cmp_rr_jcc) {
+        PSSP_CHARGE(cmp_rr);
+        const std::uint64_t a = get(op->r1);
+        const std::uint64_t b = get(op->r2);
+        flags_.zf = a == b;
+        flags_.lt_unsigned = a < b;
+        flags_.lt_signed =
+            static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+        goto fused_jcc_tail;
+    }
+    PSSP_FUSED(fuse_cmp_ri_jcc) {
+        PSSP_CHARGE(cmp_ri);
+        const std::uint64_t a = get(op->r1);
+        const std::uint64_t b = op->imm;
+        flags_.zf = a == b;
+        flags_.lt_unsigned = a < b;
+        flags_.lt_signed =
+            static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+        goto fused_jcc_tail;
+    }
+    PSSP_FUSED(fuse_test_rr_jcc) {
+        PSSP_CHARGE(test_rr);
+        flags_.zf = (get(op->r1) & get(op->r2)) == 0;
+        goto fused_jcc_tail;
+    }
+    PSSP_FUSED(fuse_xor_rm_jcc) {
+        // The SSP epilogue's canary check: xor rcx, fs:0x28 ; jne fail.
+        PSSP_CHARGE(xor_rm);
+        std::uint64_t mval;
+        if (!ld(ea(*op), 8, mval, out)) goto stop_terminal;
+        const std::uint64_t v = get(op->r1) ^ mval;
+        set(op->r1, v);
+        set_alu_flags(v);
+        goto fused_jcc_tail;
+    }
+    PSSP_FUSED(fuse_push_push) {
+        PSSP_CHARGE(push_r);
+        if (!push64(get(op->r1), out)) goto stop_terminal;
+        ++ip;
+        if (budget == 0) goto budget_stop;
+        --budget;
+        op = code + ip;
+        PSSP_CHARGE(push_r);
+        if (!push64(get(op->r1), out)) goto stop_terminal;
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_FUSED(fuse_push_mov_rr) {
+        // Frame setup: push rbp ; mov rbp, rsp.
+        PSSP_CHARGE(push_r);
+        if (!push64(get(op->r1), out)) goto stop_terminal;
+        ++ip;
+        if (budget == 0) goto budget_stop;
+        --budget;
+        op = code + ip;
+        PSSP_CHARGE(mov_rr);
+        set(op->r1, get(op->r2));
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_FUSED(fuse_mov_rm_add_rr) {
+        PSSP_CHARGE(mov_rm);
+        std::uint64_t v;
+        if (!ld(ea(*op), 8, v, out)) goto stop_terminal;
+        set(op->r1, v);
+        ++ip;
+        if (budget == 0) goto budget_stop;
+        --budget;
+        op = code + ip;
+        PSSP_CHARGE(add_rr);
+        const std::uint64_t sum = get(op->r1) + get(op->r2);
+        set(op->r1, sum);
+        set_alu_flags(sum);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_FUSED(fuse_sub_ri_cmp_ri) {
+        PSSP_CHARGE(sub_ri);
+        const std::uint64_t v = get(op->r1) - op->imm;
+        set(op->r1, v);
+        set_alu_flags(v);
+        ++ip;
+        if (budget == 0) goto budget_stop;
+        --budget;
+        op = code + ip;
+        PSSP_CHARGE(cmp_ri);
+        const std::uint64_t a = get(op->r1);
+        const std::uint64_t b = op->imm;
+        flags_.zf = a == b;
+        flags_.lt_unsigned = a < b;
+        flags_.lt_signed =
+            static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_FUSED(fuse_mov_mr_xor_ri) {
+        PSSP_CHARGE(mov_mr);
+        if (!st(ea(*op), 8, get(op->r2), out)) goto stop_terminal;
+        ++ip;
+        if (budget == 0) goto budget_stop;
+        --budget;
+        op = code + ip;
+        PSSP_CHARGE(xor_ri);
+        const std::uint64_t v = get(op->r1) ^ op->imm;
+        set(op->r1, v);
+        set_alu_flags(v);
+        ++ip;
+        PSSP_DISPATCH();
+    }
+    PSSP_FUSED(fuse_add_ri_ret) {
+        PSSP_CHARGE(add_ri);
+        const std::uint64_t v = get(op->r1) + op->imm;
+        set(op->r1, v);
+        set_alu_flags(v);
+        ++ip;
+        if (budget == 0) goto budget_stop;
+        --budget;
+        op = code + ip;
+        PSSP_CHARGE(ret);
+        std::uint64_t target;
+        if (!pop64(target, out)) goto stop_terminal;
+        if (target == return_sentinel) {
+            out.status = exec_status::exited;
+            out.exit_code = static_cast<std::int64_t>(get(reg::rax));
+            goto stop_terminal;
+        }
+        {
+            const std::uint32_t index = prog_->index_of(target);
+            if (index == no_id) {
+                out.status = exec_status::trapped;
+                out.trap = trap_kind::invalid_jump;
+                out.fault_addr = target;
+                goto stop_terminal;
+            }
+            ip = index;
+        }
+        PSSP_DISPATCH();
+    }
+    PSSP_FUSED(sentinel) {
+        // rip walked past the last instruction: the legacy loop's bounds
+        // check, reproduced as a trapping op. Charges nothing — the
+        // stepper never executed an instruction here either.
+        rip_ = ip;
+        out.status = exec_status::trapped;
+        out.trap = trap_kind::invalid_jump;
+        out.fault_addr = current_address();
+        goto stop_terminal;
+    }
+
+#if !PSSP_COMPUTED_GOTO
+    }
+    // Unreachable: finalize() only emits handler ids covered above.
+    out.status = exec_status::trapped;
+    out.trap = trap_kind::invalid_jump;
+    goto stop_terminal;
+#endif
+
+fused_jcc_tail:
+    // Second half of the flags-producing fused pairs: the conditional
+    // branch at ip+1.
+    ++ip;
+    if (budget == 0) goto budget_stop;
+    --budget;
+    op = code + ip;
+    cyc += ct[op->op];
+    ++executed;
+    if (jcc_taken(op->op, flags_)) {
+        if (op->target == no_id) {
+            out.status = exec_status::trapped;
+            out.trap = trap_kind::invalid_jump;
+            out.fault_addr = op->imm;
+            goto stop_terminal;
+        }
+        ip = op->target;
+    } else {
+        ++ip;
+    }
+    PSSP_DISPATCH();
+
+budget_stop:
+    // The step countdown ran dry before the next (sub-)instruction. The
+    // stepper checks fuel before max_steps, so fuel wins ties; a
+    // max_steps pause is resumable and leaves finished_ unset.
+    rip_ = ip;
+    steps_ += executed;
+    cycles_ += cyc;
+    if (fuel_ != 0 && steps_ >= fuel_) {
+        out.status = exec_status::out_of_fuel;
+        finished_ = out;
+        finished_valid_ = true;
+        return out;
+    }
+    out.status = exec_status::running;
+    return out;
+
+stop_terminal:
+    // Terminal event (exit, trap, fuel handled above): reconcile the
+    // batched accounting, park rip on the event instruction, latch the
+    // sticky result.
+    rip_ = ip;
+    steps_ += executed;
+    cycles_ += cyc;
+    finished_ = out;
+    finished_valid_ = true;
+    return out;
+}
+
+#undef PSSP_OPC
+#undef PSSP_FUSED
+#undef PSSP_DISPATCH
+#undef PSSP_CHARGE
+#undef PSSP_BASE_OPS
+#undef PSSP_FUSED_OPS
+#undef PSSP_COMPUTED_GOTO
 
 std::uint64_t machine::current_address() const noexcept {
     if (rip_ < prog_->addrs.size()) return prog_->addrs[rip_];
@@ -567,7 +1414,12 @@ void machine::copy_scalars_from(const machine& src) {
     rip_ = src.rip_;
     rip_valid_ = src.rip_valid_;
     costs_ = src.costs_;
-    cost_table_ = src.cost_table_;
+    // The flattened cost table is immutable behind a shared pointer, so
+    // snapshot restore and the per-request fork fast path move 16 bytes
+    // here instead of re-copying the whole per-opcode array.
+    cost_cache_ = src.cost_cache_;
+    cost_cache_key_ = src.cost_cache_key_;
+    dispatch_ = src.dispatch_;
     cycles_ = src.cycles_;
     steps_ = src.steps_;
     fuel_ = src.fuel_;

@@ -8,11 +8,26 @@
 // value-like: tests snapshot them, run divergent continuations, and
 // compare outcomes.
 //
-// The step loop is engineered exception- and hash-free: jump/call targets
-// come pre-resolved from program::finalize(), cycle costs from a flat
-// per-opcode table, and memory faults surface as trap statuses. The only
-// exceptions on the run path originate inside native helpers and are
-// caught at the native-call edge.
+// Two engines drive the same architectural state (vm/dispatch.hpp):
+//   * threaded    — the production hot path. run() walks the program's
+//     decoded-op stream with direct-threaded dispatch (computed goto under
+//     GCC/Clang, a token-threaded switch elsewhere), fused
+//     superinstructions on the hottest adjacent pairs, no per-iteration
+//     bounds check (pre-validated targets + a trapping sentinel op), and
+//     fuel/max_steps/cycle accounting batched in locals that are
+//     reconciled exactly at every exit event (syscall, trap, fuel, pause,
+//     and around native calls, which may observe or charge the counters).
+//   * switch_loop — the legacy per-instruction switch stepper, kept as the
+//     debug and differential-testing mode (public step()) and as the
+//     baseline of the dispatch A/B benchmark.
+// Both are exception- and hash-free: jump/call targets come pre-resolved
+// from program::finalize(), cycle costs from a flat per-opcode table, and
+// memory faults surface as trap statuses. The only exceptions on the run
+// path originate inside native helpers and are caught at the native-call
+// edge. Everything outcome-relevant — registers, flags, memory, output,
+// cycles_, steps_, rip, trap/fault state — is identical across engines at
+// every event boundary; campaign reports are byte-identical across
+// dispatch modes.
 #pragma once
 
 #include <array>
@@ -22,6 +37,7 @@
 
 #include "crypto/entropy.hpp"
 #include "vm/cost_model.hpp"
+#include "vm/dispatch.hpp"
 #include "vm/memory.hpp"
 #include "vm/program.hpp"
 
@@ -110,8 +126,22 @@ class machine {
     // than rsp are preserved so the harness can pre-load arguments.
     void call_function(std::uint64_t entry);
 
-    // Executes up to `max_steps` instructions (0 = until stop/fuel).
+    // Executes up to `max_steps` instructions (0 = until stop/fuel) on the
+    // engine selected by dispatch().
     run_result run(std::uint64_t max_steps = 0);
+
+    // Executes exactly one instruction via the legacy switch stepper —
+    // the debug / differential-testing interface. Equivalent to
+    // run(1) in switch_loop mode regardless of the dispatch() setting:
+    // `running` means "paused after one step", any other status is the
+    // same event run() would have stopped at.
+    run_result step();
+
+    // Dispatch engine selection. Initialized from default_dispatch()
+    // (PSSP_VM_DISPATCH env override) at construction; a pure
+    // execution-speed knob — outcomes are identical across modes.
+    [[nodiscard]] dispatch_mode dispatch() const noexcept { return dispatch_; }
+    void set_dispatch(dispatch_mode mode) noexcept { dispatch_ = mode; }
 
     // Resumes after a serviced syscall; `rax_value` is the syscall result.
     void complete_syscall(std::uint64_t rax_value);
@@ -172,7 +202,14 @@ class machine {
     bool rip_valid_ = false;
 
     cost_model costs_{};
-    cost_table cost_table_{};  // rebuilt from costs_ at each run() entry
+    // Flattened cost table, cached behind a shared pointer keyed on the
+    // cost_model parameters it was built from. Rebuilt lazily at run()
+    // entry only when costs_ changed; snapshot/restore and the
+    // per-request fork fast path copy the 16-byte pointer, not the table,
+    // and machines cloned from one master all share one allocation.
+    std::shared_ptr<const cost_table> cost_cache_;
+    cost_model cost_cache_key_{};
+    dispatch_mode dispatch_ = default_dispatch();
     std::uint64_t cycles_ = 0;
     std::uint64_t steps_ = 0;
     std::uint64_t fuel_ = 0;
@@ -198,7 +235,16 @@ class machine {
     // Transfers control to `addr`; returns false (and fills `out`) on an
     // invalid target.
     [[nodiscard]] bool jump_to(std::uint64_t addr, run_result& out);
-    [[nodiscard]] run_result step();
+    // One instruction on the legacy switch engine (no fuel/bounds checks —
+    // run_switch and step() wrap those).
+    [[nodiscard]] run_result exec_one_switch(const cost_table& ct);
+    // The two run() engines; both honor fuel/max_steps and the sticky
+    // finished_ contract identically.
+    [[nodiscard]] run_result run_switch(std::uint64_t max_steps);
+    [[nodiscard]] run_result run_threaded(std::uint64_t max_steps);
+    // Rebuilds cost_cache_ if costs_ drifted from the cached key; returns
+    // the table to run with.
+    [[nodiscard]] const cost_table& refresh_cost_cache();
     void set_alu_flags(std::uint64_t result) noexcept;
     void copy_scalars_from(const machine& src);
 };

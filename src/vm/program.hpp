@@ -15,15 +15,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "vm/dispatch.hpp"
 #include "vm/isa.hpp"
 
 namespace pssp::vm {
-
-class machine;  // forward; native helpers receive the executing machine
-
-// Host-implemented helper bound to a text address (PLT analog). Invoked by
-// `call`; arguments/results pass through the machine's registers per SysV.
-using native_fn = std::function<void(machine&)>;
 
 // Pre-resolved control flow for one instruction, computed once at load
 // time by program::finalize(). The interpreter's jmp/jcc/call dispatch
@@ -40,6 +35,14 @@ struct program {
     std::vector<instruction> insns;
     std::vector<std::uint64_t> addrs;  // parallel to insns: start address
     std::vector<resolved_flow> flow;   // parallel to insns; see finalize()
+
+    // The direct-threaded execution stream: one decoded op per instruction
+    // (indices coincide with insns) plus the trapping end-of-stream
+    // sentinel at code[insns.size()]. Hot positions carry fused
+    // superinstruction handlers; see vm/dispatch.hpp. Built by finalize(),
+    // immutable afterwards, and shared by every machine running this
+    // program — snapshots and forks never copy it.
+    std::vector<decoded_op> code;
 
     // Exact-start address -> instruction index (control transfers only land
     // on instruction starts; anything else is an invalid-jump trap).
@@ -69,10 +72,13 @@ struct program {
         return it == addr_to_index.end() ? no_id : it->second;
     }
 
-    // Pre-resolves control flow into `flow` (see resolved_flow). Must be
-    // called after insns/addrs/addr_to_index/natives are final — the loader
-    // (linked_binary::make_program) does this; a machine refuses to run a
-    // program whose flow table is missing or stale.
+    // Pre-resolves control flow into `flow` (see resolved_flow), then
+    // lowers the instruction stream into the decoded `code` array (1:1
+    // records, the superinstruction fusion pass, the end-of-stream
+    // sentinel). Must be called after insns/addrs/addr_to_index/natives are
+    // final — the loader (linked_binary::make_program) does this; a machine
+    // refuses to run a program whose flow or code table is missing or
+    // stale.
     void finalize();
 };
 

@@ -1,0 +1,102 @@
+// Dispatch-mode byte-identity: the direct-threaded engine and the legacy
+// switch stepper are pure execution-speed alternatives, so a campaign
+// report — the repo-wide reproducibility unit — must not move a single
+// byte when the VM dispatch architecture changes underneath it. Pinned
+// here across the jobs axis (in-process engine) and the shards axis (real
+// fork/exec workers, which inherit the mode via PSSP_VM_DISPATCH).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "campaign/engine.hpp"
+#include "dist/orchestrator.hpp"
+#include "vm/dispatch.hpp"
+
+namespace pssp {
+namespace {
+
+using core::scheme_kind;
+
+campaign::campaign_spec small_spec() {
+    campaign::campaign_spec spec;
+    spec.schemes = {scheme_kind::ssp, scheme_kind::p_ssp};
+    spec.attacks = {attack::attack_kind::byte_by_byte,
+                    attack::attack_kind::leak_replay};
+    spec.targets = {workload::target_kind::nginx};
+    spec.trials_per_cell = 6;
+    spec.master_seed = 77;
+    spec.query_budget = 2500;
+    return spec;
+}
+
+// Sets the in-process default (new machines pick it up at construction)
+// AND the environment (fork/exec'd campaign workers re-read it at
+// startup), restoring both on destruction.
+struct scoped_dispatch {
+    explicit scoped_dispatch(vm::dispatch_mode mode)
+        : previous_{vm::default_dispatch()} {
+        vm::set_default_dispatch(mode);
+        ::setenv("PSSP_VM_DISPATCH", vm::to_string(mode).c_str(), /*overwrite=*/1);
+    }
+    ~scoped_dispatch() {
+        vm::set_default_dispatch(previous_);
+        ::unsetenv("PSSP_VM_DISPATCH");
+    }
+    vm::dispatch_mode previous_;
+};
+
+std::string run_in_process(campaign::campaign_spec spec, unsigned jobs,
+                           vm::dispatch_mode mode) {
+    scoped_dispatch guard{mode};
+    spec.jobs = jobs;
+    return campaign::engine{spec}.run().to_json();
+}
+
+TEST(dispatch_identity, report_byte_identical_across_modes_at_jobs_1_and_8) {
+    const auto spec = small_spec();
+    const auto reference =
+        run_in_process(spec, 1, vm::dispatch_mode::switch_loop);
+    EXPECT_EQ(run_in_process(spec, 1, vm::dispatch_mode::threaded), reference);
+    EXPECT_EQ(run_in_process(spec, 8, vm::dispatch_mode::threaded), reference);
+    EXPECT_EQ(run_in_process(spec, 8, vm::dispatch_mode::switch_loop), reference);
+}
+
+TEST(dispatch_identity, adaptive_report_byte_identical_across_modes) {
+    // The adaptive allocator's stopping decisions derive from trial
+    // outcomes; if dispatch modes diverged anywhere, the round schedule
+    // would amplify the difference — a sharper oracle than fixed specs.
+    auto spec = small_spec();
+    spec.trials_per_cell = 96;
+    spec.adaptive = true;
+    spec.target_ci_halfwidth = 0.1;
+    spec.min_trials_per_cell = 32;
+    const auto reference =
+        run_in_process(spec, 4, vm::dispatch_mode::switch_loop);
+    EXPECT_EQ(run_in_process(spec, 4, vm::dispatch_mode::threaded), reference);
+}
+
+TEST(dispatch_identity, sharded_report_byte_identical_across_modes_at_1_and_4) {
+    // Real fork/exec workers: the mode crosses the process boundary via
+    // the environment, so this pins the full distributed path too.
+    const auto spec = small_spec();
+    std::string reference;
+    {
+        scoped_dispatch guard{vm::dispatch_mode::switch_loop};
+        reference = campaign::engine{spec}.run().to_json();
+    }
+    for (const auto mode :
+         {vm::dispatch_mode::threaded, vm::dispatch_mode::switch_loop}) {
+        scoped_dispatch guard{mode};
+        for (const unsigned shards : {1u, 4u}) {
+            dist::sharded_options options;
+            options.shards = shards;
+            EXPECT_EQ(dist::run_sharded(spec, options).to_json(), reference)
+                << "mode=" << vm::to_string(mode) << " shards=" << shards;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace pssp

@@ -1,0 +1,351 @@
+// Direct-threaded dispatch: decoded-stream lowering, the superinstruction
+// fusion pass, batched-accounting equivalence, and fault attribution when
+// the second half of a fused pair faults.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "binfmt/image.hpp"
+#include "vm/dispatch.hpp"
+#include "vm/machine.hpp"
+
+namespace pssp {
+namespace {
+
+using namespace vm::isa;
+using vm::machine;
+using vm::opcode;
+using vm::reg;
+
+std::uint16_t base_handler(opcode op) { return static_cast<std::uint16_t>(op); }
+
+// Builds a one-function ("f") program and exposes the decoded stream.
+struct mini_program {
+    binfmt::image img;
+    binfmt::bin_function& f;
+    std::optional<binfmt::linked_binary> binary;
+    std::shared_ptr<const vm::program> prog;
+
+    mini_program() : f{img.add_function("f")} {}
+
+    void link() {
+        binary.emplace(img.link(binfmt::link_mode::dynamic_glibc));
+        prog = binary->make_program();
+    }
+
+    machine boot(std::uint64_t fuel = 10'000) {
+        if (!prog) link();
+        machine m{prog, vm::memory::layout{}, /*entropy_seed=*/1};
+        m.call_function(binary->symbols.at("f"));
+        m.set_fuel(fuel);
+        return m;
+    }
+};
+
+// Full observable-state comparison at an event boundary. This is the
+// dispatch-mode contract: everything outcome-relevant is identical.
+void expect_same_outcome(machine& threaded, machine& stepper,
+                         const vm::run_result& a, const vm::run_result& b) {
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.trap, b.trap);
+    EXPECT_EQ(a.exit_code, b.exit_code);
+    EXPECT_EQ(a.syscall_number, b.syscall_number);
+    EXPECT_EQ(a.fault_addr, b.fault_addr);
+    EXPECT_EQ(threaded.cycles(), stepper.cycles());
+    EXPECT_EQ(threaded.steps(), stepper.steps());
+    EXPECT_EQ(threaded.current_address(), stepper.current_address());
+    EXPECT_EQ(threaded.output(), stepper.output());
+    for (std::size_t r = 0; r < vm::gpr_count; ++r)
+        EXPECT_EQ(threaded.get(static_cast<reg>(r)), stepper.get(static_cast<reg>(r)))
+            << "gpr " << r;
+    EXPECT_EQ(threaded.flags().zf, stepper.flags().zf);
+    EXPECT_EQ(threaded.flags().cf, stepper.flags().cf);
+    EXPECT_EQ(threaded.flags().lt_signed, stepper.flags().lt_signed);
+    EXPECT_EQ(threaded.flags().lt_unsigned, stepper.flags().lt_unsigned);
+    EXPECT_TRUE(std::equal(threaded.mem().stack_bytes().begin(),
+                           threaded.mem().stack_bytes().end(),
+                           stepper.mem().stack_bytes().begin()));
+}
+
+// Runs the same program under both engines and asserts identical outcomes.
+void run_both_and_compare(mini_program& p, std::uint64_t fuel = 10'000) {
+    machine threaded = p.boot(fuel);
+    threaded.set_dispatch(vm::dispatch_mode::threaded);
+    machine stepper = p.boot(fuel);
+    stepper.set_dispatch(vm::dispatch_mode::switch_loop);
+    const auto a = threaded.run();
+    const auto b = stepper.run();
+    expect_same_outcome(threaded, stepper, a, b);
+}
+
+TEST(dispatch, mode_strings_round_trip) {
+    EXPECT_EQ(vm::to_string(vm::dispatch_mode::threaded), "threaded");
+    EXPECT_EQ(vm::to_string(vm::dispatch_mode::switch_loop), "switch");
+    EXPECT_EQ(vm::dispatch_from_string("threaded"), vm::dispatch_mode::threaded);
+    EXPECT_EQ(vm::dispatch_from_string("switch"), vm::dispatch_mode::switch_loop);
+    EXPECT_EQ(vm::dispatch_from_string("bogus"), std::nullopt);
+}
+
+TEST(dispatch, default_mode_is_settable_and_sticky_per_machine) {
+    const auto before = vm::default_dispatch();
+    vm::set_default_dispatch(vm::dispatch_mode::switch_loop);
+    mini_program p;
+    p.f.emit({mov_ri(reg::rax, 1), ret()});
+    machine m = p.boot();
+    EXPECT_EQ(m.dispatch(), vm::dispatch_mode::switch_loop);
+    vm::set_default_dispatch(before);
+    // Already-built machines keep their mode; the default only seeds
+    // construction.
+    EXPECT_EQ(m.dispatch(), vm::dispatch_mode::switch_loop);
+}
+
+TEST(dispatch, lowering_is_one_to_one_plus_sentinel) {
+    mini_program p;
+    p.f.emit({mov_ri(reg::rax, 42), add_ri(reg::rax, 1), ret()});
+    p.link();
+    ASSERT_EQ(p.prog->code.size(), p.prog->insns.size() + 1);
+    for (std::size_t i = 0; i < p.prog->insns.size(); ++i) {
+        const auto& d = p.prog->code[i];
+        EXPECT_EQ(d.op, p.prog->insns[i].op) << "slot " << i;
+        EXPECT_EQ(d.imm, p.prog->insns[i].imm) << "slot " << i;
+    }
+    EXPECT_EQ(p.prog->code.back().handler, vm::hop::sentinel);
+}
+
+TEST(dispatch, call_slots_carry_resolved_flow) {
+    binfmt::image img;
+    auto& callee = img.add_function("callee");
+    callee.emit({mov_ri(reg::rax, 9), ret()});
+    auto& f = img.add_function("f");
+    f.emit({call_sym(img.sym("callee")), ret()});
+    const auto binary = img.link(binfmt::link_mode::dynamic_glibc);
+    const auto prog = binary.make_program();
+    // Find f's call slot and check its decoded record against flow.
+    for (std::size_t i = 0; i < prog->insns.size(); ++i) {
+        if (prog->insns[i].op != opcode::call) continue;
+        EXPECT_EQ(prog->code[i].target, prog->flow[i].target);
+        EXPECT_EQ(prog->code[i].return_addr, prog->flow[i].return_addr);
+        EXPECT_EQ(prog->code[i].native, prog->flow[i].native);
+    }
+}
+
+// ---- Fusion-pass lowering pins --------------------------------------------
+// One test per superinstruction: the pair's first slot gets the fused
+// handler, the second slot keeps its standalone lowering (it stays a valid
+// jump-into target), and execution matches the stepper including the
+// summed cost-table charges.
+
+struct fusion_case {
+    const char* name;
+    vm::instruction first;
+    vm::instruction second;
+    std::uint16_t fused;
+};
+
+std::vector<fusion_case> fusion_cases() {
+    return {
+        {"cmp_rr_jcc", cmp_rr(reg::rax, reg::rcx), je(0), vm::hop::fuse_cmp_rr_jcc},
+        {"cmp_ri_jcc", cmp_ri(reg::rax, 3), jne(0), vm::hop::fuse_cmp_ri_jcc},
+        {"test_rr_jcc", test_rr(reg::rax, reg::rax), je(0), vm::hop::fuse_test_rr_jcc},
+        {"xor_rm_jcc", xor_rm(reg::rax, mem(reg::rbp, -8)), jne(0),
+         vm::hop::fuse_xor_rm_jcc},
+        {"push_push", push_r(reg::rbp), push_r(reg::rbx), vm::hop::fuse_push_push},
+        {"push_mov_rr", push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp),
+         vm::hop::fuse_push_mov_rr},
+        {"mov_rm_add_rr", mov_rm(reg::rcx, mem(reg::rbp, -8)),
+         add_rr(reg::rax, reg::rcx), vm::hop::fuse_mov_rm_add_rr},
+        {"sub_ri_cmp_ri", sub_ri(reg::rdi, 1), cmp_ri(reg::rdi, 0),
+         vm::hop::fuse_sub_ri_cmp_ri},
+        {"mov_mr_xor_ri", mov_mr(mem(reg::rbp, -8), reg::rax),
+         xor_ri(reg::rax, 0x5a), vm::hop::fuse_mov_mr_xor_ri},
+        {"add_ri_ret", add_ri(reg::rax, 3), ret(), vm::hop::fuse_add_ri_ret},
+    };
+}
+
+TEST(dispatch, fuse_pair_recognizes_each_superinstruction) {
+    for (const auto& c : fusion_cases())
+        EXPECT_EQ(vm::fuse_pair(c.first, c.second), c.fused) << c.name;
+    // Non-patterns stay unfused.
+    EXPECT_EQ(vm::fuse_pair(nop(), nop()), 0);
+    EXPECT_EQ(vm::fuse_pair(cmp_rr(reg::rax, reg::rcx), jmp(0)), 0)
+        << "jmp consumes no flags; fusing it buys no dispatch";
+    EXPECT_EQ(vm::fuse_pair(cmp_rr(reg::rax, reg::rcx), jnc(0)), 0)
+        << "jnc reads carry, which compares never set in this ISA";
+}
+
+TEST(dispatch, fused_stream_layout_keeps_second_slot_standalone) {
+    // A frame prologue: push rbp ; mov rbp, rsp ; sub rsp, 32. Slot 0
+    // fuses; slot 1 keeps the plain mov_rr record.
+    mini_program p;
+    p.f.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp), sub_ri(reg::rsp, 32),
+              leave(), ret()});
+    p.link();
+    EXPECT_EQ(p.prog->code[0].handler, vm::hop::fuse_push_mov_rr);
+    EXPECT_EQ(p.prog->code[1].handler, base_handler(opcode::mov_rr));
+    EXPECT_EQ(p.prog->code[2].handler, base_handler(opcode::sub_ri));
+}
+
+TEST(dispatch, overlapping_pairs_upgrade_independently) {
+    // sub_ri ; cmp_ri ; jne — slot 0 fuses (sub+cmp) and slot 1 fuses
+    // (cmp+jne) too: a jump landing on slot 1 still executes the
+    // compare-and-branch pair in one dispatch.
+    mini_program p;
+    const auto loop = p.f.new_label();
+    p.f.emit(mov_ri(reg::rdi, 3));
+    p.f.place(loop);
+    p.f.emit({sub_ri(reg::rdi, 1), cmp_ri(reg::rdi, 0), jne(loop),
+              mov_ri(reg::rax, 0), ret()});
+    p.link();
+    EXPECT_EQ(p.prog->code[1].handler, vm::hop::fuse_sub_ri_cmp_ri);
+    EXPECT_EQ(p.prog->code[2].handler, vm::hop::fuse_cmp_ri_jcc);
+    run_both_and_compare(p);
+}
+
+TEST(dispatch, fused_execution_charges_summed_costs) {
+    // Fused cmp+jcc must charge cost(cmp_ri) + cost(jne) and retire two
+    // steps — byte-for-byte the stepper's accounting.
+    mini_program p;
+    const auto out = p.f.new_label();
+    p.f.emit({mov_ri(reg::rax, 1), cmp_ri(reg::rax, 1), je(out),
+              mov_ri(reg::rax, 7)});
+    p.f.place(out);
+    p.f.emit(ret());
+    p.link();
+    EXPECT_EQ(p.prog->code[1].handler, vm::hop::fuse_cmp_ri_jcc);
+
+    machine threaded = p.boot();
+    threaded.set_dispatch(vm::dispatch_mode::threaded);
+    machine stepper = p.boot();
+    stepper.set_dispatch(vm::dispatch_mode::switch_loop);
+    const auto a = threaded.run();
+    const auto b = stepper.run();
+    expect_same_outcome(threaded, stepper, a, b);
+    // mov, cmp, je, ret — two of them fused into one dispatch.
+    EXPECT_EQ(threaded.steps(), 4u);
+    const auto& costs = threaded.costs();
+    EXPECT_EQ(threaded.cycles(), costs.alu * 2 + costs.branch + costs.call);
+}
+
+TEST(dispatch, second_half_fault_is_attributed_to_second_instruction) {
+    // push ; push with rsp parked 8 bytes above the stack floor: the first
+    // push lands on the last mapped slot, the second faults one page
+    // below. The trap must carry the second push's address and retire/
+    // charge both halves exactly as the stepper does.
+    mini_program p;
+    p.f.emit({push_r(reg::rbp), push_r(reg::rbx), ret()});
+    p.link();
+    EXPECT_EQ(p.prog->code[0].handler, vm::hop::fuse_push_push);
+
+    const auto run_one = [&](vm::dispatch_mode mode, machine& out_m) {
+        machine m = p.boot();
+        m.set_dispatch(mode);
+        const auto& lay = m.mem().regions();
+        m.set(reg::rsp, lay.stack_top - lay.stack_size + 8);
+        const auto r = m.run();
+        out_m = m;
+        return r;
+    };
+    machine threaded = p.boot();
+    machine stepper = p.boot();
+    const auto a = run_one(vm::dispatch_mode::threaded, threaded);
+    const auto b = run_one(vm::dispatch_mode::switch_loop, stepper);
+    ASSERT_EQ(a.status, vm::exec_status::trapped);
+    ASSERT_EQ(a.trap, vm::trap_kind::segfault);
+    const auto& lay = threaded.mem().regions();
+    EXPECT_EQ(a.fault_addr, lay.stack_top - lay.stack_size - 8);
+    // rip parks on the second push: current_address names it.
+    EXPECT_EQ(threaded.current_address(), p.prog->addrs[1]);
+    expect_same_outcome(threaded, stepper, a, b);
+}
+
+TEST(dispatch, fuel_boundary_between_fused_halves_pauses_on_second_half) {
+    // Fuel expires after the first half of a fused pair: the threaded
+    // engine must stop with rip on the second half — the stepper's exact
+    // pause point — having retired and charged only the first half.
+    mini_program p;
+    p.f.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp), mov_ri(reg::rax, 5),
+              pop_r(reg::rbp), ret()});
+    p.link();
+    EXPECT_EQ(p.prog->code[0].handler, vm::hop::fuse_push_mov_rr);
+
+    machine threaded = p.boot(/*fuel=*/1);
+    threaded.set_dispatch(vm::dispatch_mode::threaded);
+    machine stepper = p.boot(/*fuel=*/1);
+    stepper.set_dispatch(vm::dispatch_mode::switch_loop);
+    const auto a = threaded.run();
+    const auto b = stepper.run();
+    ASSERT_EQ(a.status, vm::exec_status::out_of_fuel);
+    EXPECT_EQ(threaded.steps(), 1u);
+    EXPECT_EQ(threaded.current_address(), p.prog->addrs[1]);
+    expect_same_outcome(threaded, stepper, a, b);
+}
+
+TEST(dispatch, running_off_the_stream_end_hits_the_sentinel) {
+    // No ret: execution falls off the end. The legacy loop's bounds check
+    // and the threaded sentinel op must report the same invalid_jump.
+    mini_program p;
+    p.f.emit(nop());
+    run_both_and_compare(p);
+}
+
+TEST(dispatch, each_fused_pair_matches_the_stepper_end_to_end) {
+    for (const auto& c : fusion_cases()) {
+        SCOPED_TRACE(c.name);
+        mini_program p;
+        // Frame so the memory-touching pairs have a mapped slot, plus
+        // seed values; the pair under test runs in the middle.
+        p.f.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp),
+                  sub_ri(reg::rsp, 32), mov_ri(reg::rax, 2),
+                  mov_ri(reg::rcx, 2), mov_ri(reg::rdi, 1),
+                  mov_mr(mem(reg::rbp, -8), reg::rcx)});
+        vm::instruction second = c.second;
+        std::uint32_t label = vm::no_id;
+        if (second.label != vm::no_id) {
+            label = p.f.new_label();
+            second.label = label;
+        }
+        p.f.emit({c.first, second});
+        if (c.fused != vm::hop::fuse_add_ri_ret) {
+            // add_ri+ret already returned; everyone else falls through.
+            if (label != vm::no_id) p.f.place(label);
+            p.f.emit({mov_ri(reg::rax, 0), leave(), ret()});
+        }
+        p.link();
+        // The pair sits at slots 7/8 after the 7-instruction preamble.
+        ASSERT_EQ(p.prog->code[7].handler, c.fused);
+        run_both_and_compare(p);
+    }
+}
+
+TEST(dispatch, copies_share_the_flattened_cost_table) {
+    // The satellite bugfix: snapshot restore and fork-path scalar copies
+    // move a shared pointer, not the per-opcode table. Observable contract:
+    // cost-model edits after a copy still take effect on the next run
+    // (the cache re-keys), and accounting stays identical across modes.
+    mini_program p;
+    p.f.emit({rdtsc(), mov_ri(reg::rax, 0), ret()});
+    p.link();
+    machine m = p.boot();
+    ASSERT_EQ(m.run().status, vm::exec_status::exited);
+    const auto plain_cycles = m.cycles();
+
+    machine clone = p.boot();
+    clone.restore_from(m);  // scalar copy path (memory layouts match)
+    clone.costs().dbi_tax = 100;
+    clone.call_function(p.binary->symbols.at("f"));
+    clone.set_fuel(clone.steps() + 100);
+    ASSERT_EQ(clone.run().status, vm::exec_status::exited);
+    EXPECT_EQ(clone.cycles() - plain_cycles, plain_cycles + 3 * 100)
+        << "dbi_tax must re-key the shared cost cache, not mutate it";
+
+    // The original machine's accounting is untouched by the clone's edit.
+    m.call_function(p.binary->symbols.at("f"));
+    m.set_fuel(m.steps() + 100);
+    ASSERT_EQ(m.run().status, vm::exec_status::exited);
+    EXPECT_EQ(m.cycles(), 2 * plain_cycles);
+}
+
+}  // namespace
+}  // namespace pssp

@@ -17,6 +17,7 @@
 
 #include "campaign/engine.hpp"
 #include "dist/orchestrator.hpp"
+#include "vm/dispatch.hpp"
 
 namespace {
 
@@ -51,6 +52,10 @@ void usage(const char* argv0) {
                  "               stop (default 64)\n"
                  "  --worker PATH    campaign worker binary (default: sibling\n"
                  "               tools_campaign_worker)\n"
+                 "  --dispatch M VM dispatch engine: threaded (default) or\n"
+                 "               switch; exported to workers via\n"
+                 "               PSSP_VM_DISPATCH (merged report is identical\n"
+                 "               either way)\n"
                  "  --json PATH  write the merged report JSON ('-' = stdout)\n"
                  "  --table      print the human-readable outcome matrix\n"
                  "  --scaling L  run at each shard count in the comma list,\n"
@@ -142,6 +147,17 @@ int main(int argc, char** argv) {
                 std::strtoull(next_value("--min-trials"), nullptr, 10);
         } else if (!std::strcmp(argv[i], "--worker")) {
             options.worker_path = next_value("--worker");
+        } else if (!std::strcmp(argv[i], "--dispatch")) {
+            const char* value = next_value("--dispatch");
+            const auto mode = vm::dispatch_from_string(value);
+            if (!mode) {
+                std::fprintf(stderr, "--dispatch must be threaded or switch\n");
+                return 2;
+            }
+            vm::set_default_dispatch(*mode);
+            // Exported before the orchestrator forks so every worker
+            // process runs the same engine.
+            ::setenv("PSSP_VM_DISPATCH", value, /*overwrite=*/1);
         } else if (!std::strcmp(argv[i], "--json")) {
             json_path = next_value("--json");
         } else if (!std::strcmp(argv[i], "--table")) {
