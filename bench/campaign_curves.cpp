@@ -23,6 +23,8 @@
 #include "bench_util.hpp"
 #include "campaign/engine.hpp"
 #include "dist/orchestrator.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "vm/dispatch.hpp"
 
 namespace {
@@ -71,7 +73,12 @@ void usage(const char* argv0) {
                  "               switch; exported to shard workers via\n"
                  "               PSSP_VM_DISPATCH (report is identical either\n"
                  "               way; this is a perf A/B knob)\n"
-                 "  --progress   live trial counter on stderr\n",
+                 "  --progress   live trial counter on stderr\n"
+                 "  --telemetry PATH  per-round summary JSONL ('-' = stderr);\n"
+                 "               side channel only, never changes the report\n"
+                 "  --trace-out PATH  Chrome trace_event JSON of this run's\n"
+                 "               spans (rounds, victim builds, trial blocks,\n"
+                 "               wire traffic) for chrome://tracing/Perfetto\n",
                  argv0);
 }
 
@@ -87,6 +94,8 @@ int main(int argc, char** argv) {
     bool progress = false;
     unsigned shards = 0;  // 0 = in-process engine
     const char* worker_path = nullptr;
+    const char* telemetry_path = nullptr;
+    const char* trace_path = nullptr;
 
     for (int i = 1; i < argc; ++i) {
         auto next_value = [&](const char* flag) -> const char* {
@@ -145,6 +154,10 @@ int main(int argc, char** argv) {
             ::setenv("PSSP_VM_DISPATCH", value, /*overwrite=*/1);
         } else if (!std::strcmp(argv[i], "--progress")) {
             progress = true;
+        } else if (!std::strcmp(argv[i], "--telemetry")) {
+            telemetry_path = next_value("--telemetry");
+        } else if (!std::strcmp(argv[i], "--trace-out")) {
+            trace_path = next_value("--trace-out");
         } else {
             usage(argv[0]);
             return 2;
@@ -170,6 +183,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(spec.master_seed),
                 static_cast<unsigned long long>(spec.query_budget), spec.jobs);
 
+    if (trace_path != nullptr) obs::enable_tracing(true);
+    // In-process runs write the JSONL here; sharded runs hand the path to
+    // the orchestrator instead (exactly one of the two opens the file).
+    obs::telemetry_writer telemetry;
+    const bool want_telemetry = telemetry_path != nullptr && shards == 0 &&
+                                telemetry.open(telemetry_path);
+
     campaign::campaign_report report;
     double wall_seconds = 0.0;
     try {
@@ -181,6 +201,8 @@ int main(int argc, char** argv) {
             dist::sharded_options options;
             options.shards = shards;
             if (worker_path != nullptr) options.worker_path = worker_path;
+            if (telemetry_path != nullptr)
+                options.telemetry_path = telemetry_path;
             report = dist::run_sharded(spec, options);
         } else {
             campaign::engine eng{spec};
@@ -190,6 +212,11 @@ int main(int argc, char** argv) {
                                  static_cast<unsigned long long>(done),
                                  static_cast<unsigned long long>(total));
                     if (done == total) std::fprintf(stderr, "\n");
+                });
+            if (want_telemetry)
+                eng.set_round_observer([&telemetry](
+                                           const obs::round_summary& round) {
+                    telemetry.append(round);
                 });
             report = eng.run();
         }
@@ -368,6 +395,17 @@ int main(int argc, char** argv) {
             }
             out << buf;
         }
+    }
+
+    if (trace_path != nullptr) {
+        const auto trace = obs::chrome_trace_json("bench_campaign_curves");
+        std::ofstream out{trace_path, std::ios::binary};
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", trace_path);
+            return 1;
+        }
+        out << trace;
+        std::fprintf(stderr, "trace written to %s\n", trace_path);
     }
     return 0;
 }

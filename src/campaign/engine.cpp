@@ -12,9 +12,12 @@
 #include <utility>
 #include <vector>
 
+#include <chrono>
+
 #include "campaign/allocator.hpp"
 #include "core/tls_layout.hpp"
 #include "crypto/prng.hpp"
+#include "obs/span.hpp"
 
 namespace pssp::campaign {
 
@@ -85,6 +88,17 @@ trial_result run_trial(const cell_key& cell, const campaign_spec& spec,
     };
 }
 
+std::string cell_name(const cell_id& id) {
+    return workload::to_string(id.target) + "/" + core::to_string(id.scheme) +
+           "/" + attack::to_string(id.attack);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
 }  // namespace
 
 engine::engine(campaign_spec spec) : spec_{std::move(spec)} {
@@ -114,9 +128,33 @@ engine::engine(campaign_spec spec) : spec_{std::move(spec)} {
 
 campaign_report engine::run() {
     if (!spec_.adaptive) {
+        obs::span sp{"campaign.run", "campaign"};
+        const auto start = std::chrono::steady_clock::now();
         const auto blocks = blocks_for(spec_);
         const auto partials = run_blocks(blocks);
-        return assemble_report(spec_, blocks, partials);
+        auto report = assemble_report(spec_, blocks, partials);
+        if (round_observer_) {
+            // One line for the whole fixed campaign (round 0); the widest
+            // cell is the one adaptive allocation would have fed first.
+            obs::round_summary summary;
+            summary.round = 0;
+            summary.blocks = blocks.size();
+            summary.trials = report.total_trials();
+            summary.cumulative_trials = summary.trials;
+            const auto ids = cells_for(spec_);
+            for (std::size_t c = 0; c < report.cells.size(); ++c) {
+                const double hw =
+                    std::max(report.cells[c].detection_ci.half_width(),
+                             report.cells[c].hijack_ci.half_width());
+                if (hw > summary.max_halfwidth) {
+                    summary.max_halfwidth = hw;
+                    summary.widest_cell = cell_name(ids[c]);
+                }
+            }
+            summary.wall_seconds = seconds_since(start);
+            round_observer_(summary);
+        }
+        return report;
     }
     // Adaptive round loop: plan -> execute -> record until every cell has
     // converged or exhausted its budget. The allocator's decisions are pure
@@ -124,11 +162,32 @@ campaign_report engine::run() {
     // functions of (master_seed, block), so this loop reproduces the dist
     // orchestrator's sharded round loop byte for byte.
     adaptive_allocator allocator{spec_};
+    const auto ids = cells_for(spec_);
     for (;;) {
         const auto round = allocator.plan_round();
         if (round.empty()) break;
+        obs::span sp{"campaign.round", "campaign",
+                     static_cast<std::int64_t>(allocator.rounds_completed() + 1)};
+        const auto start = std::chrono::steady_clock::now();
         const auto partials = run_blocks(round);
         allocator.record_round(round, partials);
+        if (round_observer_) {
+            obs::round_summary summary;
+            summary.round = allocator.rounds_completed();
+            summary.blocks = round.size();
+            for (const auto& b : round) summary.trials += b.trials;
+            summary.cumulative_trials = allocator.trials_run();
+            for (std::uint64_t c = 0; c < ids.size(); ++c) {
+                if (allocator.cell_converged(c)) continue;
+                const double hw = allocator.cell_halfwidth(c);
+                if (hw > summary.max_halfwidth) {
+                    summary.max_halfwidth = hw;
+                    summary.widest_cell = cell_name(ids[c]);
+                }
+            }
+            summary.wall_seconds = seconds_since(start);
+            round_observer_(summary);
+        }
     }
     return allocator.report();
 }
@@ -153,6 +212,8 @@ std::vector<cell_partial> engine::run_blocks(std::span<const block_ref> blocks) 
     for (const auto& b : blocks) {
         const std::size_t vi = b.cell / n_attacks;
         if (!victims_[vi].has_value()) {
+            obs::span sp{"victim.build", "campaign",
+                         static_cast<std::int64_t>(vi)};
             victims_[vi].emplace(workload::make_victim(
                 ids[b.cell].target, ids[b.cell].scheme, spec_.scheme_options));
             // Per-shard pool sizing: park at most one booted master per
@@ -184,6 +245,10 @@ std::vector<cell_partial> engine::run_blocks(std::span<const block_ref> blocks) 
                 return;
             const auto& block = blocks[bi];
             const auto& cell = cells[block.cell];
+            // One span per trial batch (the canonical reduction block) —
+            // a no-op when tracing is off, one ring write when on.
+            obs::span sp{"block", "campaign",
+                         static_cast<std::int64_t>(block.index)};
             for (std::uint64_t t = 0; t < block.trials; ++t) {
                 const std::uint64_t g = block.first_trial + t;
                 try {

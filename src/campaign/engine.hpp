@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "obs/telemetry.hpp"
 #include "workload/victim.hpp"
 
 namespace pssp::campaign {
@@ -70,6 +71,15 @@ class engine {
         progress_ = std::move(fn);
     }
 
+    // Optional telemetry observer, called once per completed round from
+    // run() — after each adaptive round (round 1..N) or once for a fixed
+    // campaign (round 0). Strictly a side channel: the summary is computed
+    // from the same merged partials the report is, and nothing the
+    // observer does can reach back into allocation or reduction.
+    void set_round_observer(std::function<void(const obs::round_summary&)> fn) {
+        round_observer_ = std::move(fn);
+    }
+
   private:
     campaign_spec spec_;
     // One victim build per (target, scheme), built lazily by run_blocks for
@@ -77,6 +87,7 @@ class engine {
     // round loop must not recompile the victims every round.
     std::vector<std::optional<workload::victim>> victims_;
     std::function<void(std::uint64_t, std::uint64_t)> progress_;
+    std::function<void(const obs::round_summary&)> round_observer_;
 };
 
 }  // namespace pssp::campaign

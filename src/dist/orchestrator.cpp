@@ -2,20 +2,30 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <limits.h>
+#include <sys/resource.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "attack/strategy.hpp"
 #include "campaign/allocator.hpp"
+#include "core/scheme.hpp"
+#include "dist/shard.hpp"
 #include "dist/wire.hpp"
+#include "obs/span.hpp"
+#include "workload/victim.hpp"
 
 namespace pssp::dist {
 
@@ -23,28 +33,48 @@ namespace {
 
 // One worker process to spawn: argv tail (after the binary path) plus the
 // stdin payload. The fixed path runs one per shard for the whole campaign;
-// the adaptive path runs one per shard per round.
+// the adaptive path runs one per shard per round. block_indices and
+// flight_path are failure-context only — which canonical blocks this
+// worker owned, and where its crash flight recording lands.
 struct worker_job {
     std::vector<std::string> args;
     std::string input;
+    std::vector<std::uint64_t> block_indices;
+    std::string flight_path;  // empty = no flight recorder for this worker
+};
+
+// What one worker did, job-aligned from run_worker_pool. exit_status is
+// the raw wait4 status; error holds parent-side failures (input write).
+// The times are telemetry: wall from spawn to reap on the parent's clock,
+// user/sys from the child's rusage.
+struct worker_result {
+    std::string output;
+    std::string error;
+    int exit_status = -1;
+    double wall_seconds = 0.0;
+    double user_seconds = 0.0;
+    double sys_seconds = 0.0;
 };
 
 struct worker_process {
     pid_t pid = -1;
     int stdout_fd = -1;
-    std::string output;
-    std::string error;  // first failure observed for this worker
-    int exit_status = -1;
+    std::chrono::steady_clock::time_point spawned;
+    std::uint64_t spawned_ns = 0;  // trace clock, for the lifetime span
 };
 
 [[noreturn]] void exec_worker(const std::string& path,
                               const std::vector<std::string>& args, int in_fd,
-                              int out_fd) {
+                              int out_fd, const std::string& flight_path) {
     ::dup2(in_fd, STDIN_FILENO);
     ::dup2(out_fd, STDOUT_FILENO);
     // stderr stays inherited: worker diagnostics surface on the parent's.
     ::close(in_fd);
     ::close(out_fd);
+    // Flight-recorder plumbing: the worker reads this at startup, enables
+    // tracing, and checkpoints its span ring to the named file.
+    if (!flight_path.empty())
+        ::setenv("PSSP_OBS_FLIGHT", flight_path.c_str(), /*overwrite=*/1);
     std::vector<const char*> argv;
     argv.reserve(args.size() + 2);
     argv.push_back(path.c_str());
@@ -102,12 +132,13 @@ std::string describe_exit(int status) {
 }
 
 // Spawns one process per job, feeds each its stdin payload, drains every
-// stdout, reaps everything, and returns the outputs job-aligned. Failure
-// model: loud — any worker that exits non-zero, dies on a signal, or
-// cannot be spawned fails the whole call with a std::runtime_error naming
-// the shard, after every child has been reaped.
-std::vector<std::string> run_worker_pool(const std::string& worker,
-                                         const std::vector<worker_job>& jobs) {
+// stdout, reaps everything, and returns job-aligned results with wait
+// status and wall/user/sys times. Worker failures are reported in the
+// results (check_workers turns them into a loud error with full context);
+// only infrastructure failures — pipe/fork exhaustion — throw from here,
+// after every child has been reaped.
+std::vector<worker_result> run_worker_pool(const std::string& worker,
+                                           const std::vector<worker_job>& jobs) {
     // A worker that dies before reading its input must surface as its wait
     // status, not as SIGPIPE killing the orchestrator.
     struct sigaction ignore_pipe {};
@@ -116,6 +147,7 @@ std::vector<std::string> run_worker_pool(const std::string& worker,
     ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
 
     std::vector<worker_process> workers(jobs.size());
+    std::vector<worker_result> results(jobs.size());
     // On a mid-loop spawn failure (EMFILE, EAGAIN, ...) the workers already
     // forked must not be orphaned: kill them, drop their pipe fds, and reap
     // every one before throwing — the header's "all children are reaped"
@@ -152,48 +184,183 @@ std::vector<std::string> run_worker_pool(const std::string& worker,
         if (pid == 0) {
             ::close(in_pipe[1]);
             ::close(out_pipe[0]);
-            exec_worker(worker, jobs[k].args, in_pipe[0], out_pipe[1]);
+            exec_worker(worker, jobs[k].args, in_pipe[0], out_pipe[1],
+                        jobs[k].flight_path);
         }
         ::close(in_pipe[0]);
         ::close(out_pipe[1]);
         workers[k].pid = pid;
         workers[k].stdout_fd = out_pipe[0];
+        workers[k].spawned = std::chrono::steady_clock::now();
+        workers[k].spawned_ns = obs::trace_now_ns();
         // Workers read their whole stdin before emitting output, so even an
         // input larger than the pipe capacity drains promptly — the write
         // blocks at worst until the freshly exec'd worker starts reading.
-        write_all(in_pipe[1], jobs[k].input, workers[k].error);
+        write_all(in_pipe[1], jobs[k].input, results[k].error);
         ::close(in_pipe[1]);
     }
 
     // Drain stdouts in job order. A later worker whose pipe fills simply
     // blocks until its turn — the parent owes it nothing else.
-    for (auto& w : workers) {
-        read_all(w.stdout_fd, w.output);
-        ::close(w.stdout_fd);
+    for (std::size_t k = 0; k < workers.size(); ++k) {
+        read_all(workers[k].stdout_fd, results[k].output);
+        ::close(workers[k].stdout_fd);
     }
-    for (auto& w : workers) {
+    for (std::size_t k = 0; k < workers.size(); ++k) {
         int status = 0;
-        while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+        struct rusage ru {};
+        while (::wait4(workers[k].pid, &status, 0, &ru) < 0 && errno == EINTR) {
         }
-        w.exit_status = status;
+        results[k].exit_status = status;
+        results[k].wall_seconds = std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() -
+                                      workers[k].spawned)
+                                      .count();
+        results[k].user_seconds =
+            static_cast<double>(ru.ru_utime.tv_sec) +
+            static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+        results[k].sys_seconds =
+            static_cast<double>(ru.ru_stime.tv_sec) +
+            static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+        // One lifetime span per worker process on the orchestrator's
+        // timeline (arg = shard index) — spawn to reap, pipe drain included.
+        obs::emit_span("shard.worker", "dist", workers[k].spawned_ns,
+                       obs::trace_now_ns() - workers[k].spawned_ns,
+                       static_cast<std::int64_t>(k));
     }
     ::sigaction(SIGPIPE, &old_pipe, nullptr);
+    return results;
+}
 
-    std::string failure;
-    for (std::size_t k = 0; k < workers.size(); ++k) {
-        std::string why = describe_exit(workers[k].exit_status);
-        if (why.empty() && !workers[k].error.empty()) why = workers[k].error;
-        if (!why.empty()) {
-            if (!failure.empty()) failure += "; ";
-            failure += "shard " + std::to_string(k) + ": " + why;
+// ---- Failure context: enriched errors, flight recordings, postmortems ----
+
+std::string join_path(const std::string& dir, const std::string& name) {
+    if (dir.empty()) return name;
+    return dir.back() == '/' ? dir + name : dir + "/" + name;
+}
+
+std::string flight_file_path(const sharded_options& options, std::uint32_t k) {
+    return join_path(options.postmortem_dir,
+                     "obs-flight-" + std::to_string(::getpid()) + "-" +
+                         std::to_string(k) + ".json");
+}
+
+std::string postmortem_file_path(const sharded_options& options,
+                                 std::uint32_t k) {
+    return join_path(options.postmortem_dir,
+                     "obs-postmortem-" + std::to_string(k) + ".json");
+}
+
+void remove_flight_files(const std::vector<worker_job>& jobs) {
+    for (const auto& job : jobs)
+        if (!job.flight_path.empty()) ::unlink(job.flight_path.c_str());
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
         }
     }
-    if (!failure.empty()) throw std::runtime_error{"run_sharded: " + failure};
+    return out;
+}
 
-    std::vector<std::string> outputs;
-    outputs.reserve(workers.size());
-    for (auto& w : workers) outputs.push_back(std::move(w.output));
-    return outputs;
+// The worker's full command line, for the failure message and postmortem.
+std::string format_argv(const std::string& worker, const worker_job& job) {
+    std::string argv = worker;
+    for (const auto& a : job.args) {
+        argv += ' ';
+        argv += a;
+    }
+    return argv;
+}
+
+// Dumps everything known about a failed worker next to the report the run
+// will never produce: identity (shard, round, argv), the wait status, the
+// block manifest it owned, and its last flight-recorder checkpoint (the
+// newest spans its ring held when it last wrote — embedded verbatim, or
+// null if the worker died before its first checkpoint).
+void write_postmortem(const sharded_options& options, const std::string& worker,
+                      const worker_job& job, std::uint32_t shard,
+                      std::uint64_t round_number, const std::string& why,
+                      int exit_status) {
+    const auto path = postmortem_file_path(options, shard);
+    std::string flight = "null";
+    if (!job.flight_path.empty()) {
+        std::ifstream in{job.flight_path, std::ios::binary};
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            // flight_checkpoint writes tmp+rename, so a file that exists is
+            // a complete JSON document.
+            std::string doc = buf.str();
+            while (!doc.empty() &&
+                   (doc.back() == '\n' || doc.back() == ' '))
+                doc.pop_back();
+            if (!doc.empty()) flight = std::move(doc);
+        }
+    }
+    std::string doc = "{\n  \"shard\": " + std::to_string(shard) +
+                      ",\n  \"round\": " + std::to_string(round_number) +
+                      ",\n  \"worker\": \"" + json_escape(worker) +
+                      "\",\n  \"argv\": [";
+    for (std::size_t i = 0; i < job.args.size(); ++i) {
+        if (i != 0) doc += ", ";
+        doc += "\"" + json_escape(job.args[i]) + "\"";
+    }
+    doc += "],\n  \"error\": \"" + json_escape(why) +
+           "\",\n  \"raw_wait_status\": " + std::to_string(exit_status) +
+           ",\n  \"blocks\": [";
+    for (std::size_t i = 0; i < job.block_indices.size(); ++i) {
+        if (i != 0) doc += ", ";
+        doc += std::to_string(job.block_indices[i]);
+    }
+    doc += "],\n  \"flight\": " + flight + "\n}\n";
+
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    if (!out) {
+        std::fprintf(stderr, "dist: cannot write postmortem %s\n", path.c_str());
+        return;
+    }
+    out << doc;
+    std::fprintf(stderr, "dist: wrote %s\n", path.c_str());
+}
+
+// The loud-failure gate: any worker that exited non-zero, died on a
+// signal, or whose input could not be delivered fails the whole run with
+// an error carrying the shard index, round number, wait-status description
+// and the exact worker command line — after a postmortem (flight recording
+// + block manifest) has been dumped for every failed shard.
+void check_workers(const sharded_options& options, const std::string& worker,
+                   const std::vector<worker_job>& jobs,
+                   const std::vector<worker_result>& results,
+                   std::uint64_t round_number) {
+    std::string failure;
+    for (std::size_t k = 0; k < results.size(); ++k) {
+        std::string why = describe_exit(results[k].exit_status);
+        if (why.empty() && !results[k].error.empty()) why = results[k].error;
+        if (why.empty()) continue;
+        write_postmortem(options, worker, jobs[k],
+                         static_cast<std::uint32_t>(k), round_number, why,
+                         results[k].exit_status);
+        if (!failure.empty()) failure += "; ";
+        failure += "shard " + std::to_string(k) + " (round " +
+                   std::to_string(round_number) + "): " + why +
+                   " [argv: " + format_argv(worker, jobs[k]) + "]";
+    }
+    if (!failure.empty()) {
+        remove_flight_files(jobs);
+        throw std::runtime_error{"run_sharded: " + failure};
+    }
 }
 
 partial_report parse_worker_partial(const std::string& output, std::uint32_t k,
@@ -211,6 +378,54 @@ partial_report parse_worker_partial(const std::string& output, std::uint32_t k,
             std::to_string(partial.shard_index) + "/" +
             std::to_string(partial.shard_count)};
     return partial;
+}
+
+// Parses every worker's partial; a worker that exited cleanly but emitted
+// garbage gets the same postmortem treatment as a crash. Removes the
+// flight files on both paths — after this the recordings have either been
+// embedded in a postmortem or are no longer needed.
+std::vector<partial_report> parse_worker_partials(
+    const sharded_options& options, const std::string& worker,
+    const std::vector<worker_job>& jobs,
+    const std::vector<worker_result>& results, std::uint64_t round_number,
+    std::uint32_t count) {
+    std::vector<partial_report> partials;
+    partials.reserve(count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+        try {
+            partials.push_back(parse_worker_partial(results[k].output, k, count));
+        } catch (const std::exception& e) {
+            write_postmortem(options, worker, jobs[k], k, round_number,
+                             e.what(), results[k].exit_status);
+            remove_flight_files(jobs);
+            throw;
+        }
+    }
+    remove_flight_files(jobs);
+    return partials;
+}
+
+std::string cell_name(const campaign::cell_id& id) {
+    return workload::to_string(id.target) + "/" + core::to_string(id.scheme) +
+           "/" + attack::to_string(id.attack);
+}
+
+void emit_round(const sharded_options& options, obs::telemetry_writer* writer,
+                const obs::round_summary& summary) {
+    if (writer != nullptr) writer->append(summary);
+    if (options.round_observer) options.round_observer(summary);
+}
+
+std::vector<obs::shard_time> shard_times(
+    const std::vector<worker_result>& results) {
+    std::vector<obs::shard_time> times;
+    times.reserve(results.size());
+    for (std::size_t k = 0; k < results.size(); ++k)
+        times.push_back(obs::shard_time{static_cast<std::uint32_t>(k),
+                                        results[k].wall_seconds,
+                                        results[k].user_seconds,
+                                        results[k].sys_seconds});
+    return times;
 }
 
 campaign::campaign_spec shard_execution_spec(
@@ -233,14 +448,18 @@ campaign::campaign_spec shard_execution_spec(
 // engine{spec}.run() byte for byte at any shard count.
 campaign::campaign_report run_sharded_adaptive(
     const campaign::campaign_spec& spec, const sharded_options& options,
-    const std::string& worker) {
+    const std::string& worker, obs::telemetry_writer* telemetry) {
     const auto shard_spec = shard_execution_spec(spec, options);
     const auto digest = spec_digest(spec);
+    const auto ids = campaign::cells_for(spec);
     campaign::adaptive_allocator allocator{spec};
     for (;;) {
         const auto round = allocator.plan_round();
         if (round.empty()) break;
         const std::uint64_t round_number = allocator.rounds_completed() + 1;
+        obs::span sp{"campaign.round", "dist",
+                     static_cast<std::int64_t>(round_number)};
+        const auto round_start = std::chrono::steady_clock::now();
         // Workers this round: a shard with no blocks is not spawned (late
         // rounds routinely have fewer active blocks than shards).
         const auto count = static_cast<std::uint32_t>(std::min<std::size_t>(
@@ -251,19 +470,46 @@ campaign::campaign_report run_sharded_adaptive(
             job.spec = shard_spec;
             job.manifest.round = round_number;
             job.manifest.digest = digest;
-            for (std::size_t p = k; p < round.size(); p += count)
+            for (std::size_t p = k; p < round.size(); p += count) {
                 job.manifest.blocks.push_back(round[p]);
+                jobs[k].block_indices.push_back(round[p].index);
+            }
             jobs[k].args = {"--round", "--shard", std::to_string(k),
                             "--shards", std::to_string(count)};
             jobs[k].input = round_job_to_json(job);
+            if (options.flight_recorder)
+                jobs[k].flight_path = flight_file_path(options, k);
         }
-        const auto outputs = run_worker_pool(worker, jobs);
-        std::vector<partial_report> partials;
-        partials.reserve(count);
-        for (std::uint32_t k = 0; k < count; ++k)
-            partials.push_back(parse_worker_partial(outputs[k], k, count));
+        const auto results = run_worker_pool(worker, jobs);
+        check_workers(options, worker, jobs, results, round_number);
+        const auto partials = parse_worker_partials(options, worker, jobs,
+                                                    results, round_number, count);
         allocator.record_round(
             round, collect_block_partials(spec, round, partials, round_number));
+        if (telemetry != nullptr || options.round_observer) {
+            // Same summary the in-process engine emits, plus per-shard
+            // process times — computed from the allocator's post-record
+            // state, which is itself a pure function of merged partials.
+            obs::round_summary summary;
+            summary.round = allocator.rounds_completed();
+            summary.blocks = round.size();
+            for (const auto& b : round) summary.trials += b.trials;
+            summary.cumulative_trials = allocator.trials_run();
+            for (std::uint64_t c = 0; c < ids.size(); ++c) {
+                if (allocator.cell_converged(c)) continue;
+                const double hw = allocator.cell_halfwidth(c);
+                if (hw > summary.max_halfwidth) {
+                    summary.max_halfwidth = hw;
+                    summary.widest_cell = cell_name(ids[c]);
+                }
+            }
+            summary.wall_seconds = std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() -
+                                       round_start)
+                                       .count();
+            summary.shards = shard_times(results);
+            emit_round(options, telemetry, summary);
+        }
     }
     return allocator.report();
 }
@@ -290,8 +536,16 @@ campaign::campaign_report run_sharded(const campaign::campaign_spec& spec,
     const std::string worker = options.worker_path.empty()
                                    ? default_worker_path()
                                    : options.worker_path;
-    if (spec.adaptive) return run_sharded_adaptive(spec, options, worker);
+    obs::telemetry_writer writer;
+    obs::telemetry_writer* telemetry = nullptr;
+    if (!options.telemetry_path.empty() && writer.open(options.telemetry_path))
+        telemetry = &writer;
 
+    if (spec.adaptive)
+        return run_sharded_adaptive(spec, options, worker, telemetry);
+
+    obs::span sp{"campaign.run", "dist"};
+    const auto start = std::chrono::steady_clock::now();
     const std::string spec_json =
         spec_to_json(shard_execution_spec(spec, options));
     std::vector<worker_job> jobs(options.shards);
@@ -299,14 +553,41 @@ campaign::campaign_report run_sharded(const campaign::campaign_spec& spec,
         jobs[k].args = {"--shard", std::to_string(k), "--shards",
                         std::to_string(options.shards)};
         jobs[k].input = spec_json;
+        for (const auto& b : plan_shard(spec, k, options.shards).blocks)
+            jobs[k].block_indices.push_back(b.index);
+        if (options.flight_recorder)
+            jobs[k].flight_path = flight_file_path(options, k);
     }
-    const auto outputs = run_worker_pool(worker, jobs);
-
-    std::vector<partial_report> partials;
-    partials.reserve(options.shards);
-    for (std::uint32_t k = 0; k < options.shards; ++k)
-        partials.push_back(parse_worker_partial(outputs[k], k, options.shards));
-    return merge_partials(spec, partials);
+    const auto results = run_worker_pool(worker, jobs);
+    // Fixed allocation has no rounds; failures and telemetry report round 0.
+    check_workers(options, worker, jobs, results, /*round_number=*/0);
+    const auto partials = parse_worker_partials(options, worker, jobs, results,
+                                                /*round_number=*/0,
+                                                options.shards);
+    auto report = merge_partials(spec, partials);
+    if (telemetry != nullptr || options.round_observer) {
+        obs::round_summary summary;
+        summary.round = 0;
+        summary.blocks = campaign::blocks_for(spec).size();
+        summary.trials = report.total_trials();
+        summary.cumulative_trials = summary.trials;
+        const auto ids = campaign::cells_for(spec);
+        for (std::size_t c = 0; c < report.cells.size(); ++c) {
+            const double hw = std::max(report.cells[c].detection_ci.half_width(),
+                                       report.cells[c].hijack_ci.half_width());
+            if (hw > summary.max_halfwidth) {
+                summary.max_halfwidth = hw;
+                summary.widest_cell = cell_name(ids[c]);
+            }
+        }
+        summary.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        summary.shards = shard_times(results);
+        emit_round(options, telemetry, summary);
+    }
+    return report;
 }
 
 }  // namespace pssp::dist

@@ -24,9 +24,11 @@
 // silently dropped. All children are reaped before throwing.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "obs/telemetry.hpp"
 
 namespace pssp::dist {
 
@@ -39,6 +41,30 @@ struct sharded_options {
     // Worker threads per shard; 0 derives resolve_jobs(spec.jobs)/shards
     // (at least 1), so "--jobs 8 --shards 4" runs 2 threads per process.
     unsigned jobs_per_shard = 0;
+
+    // ---- Telemetry side channel ----
+    // None of these can move a byte of the merged report
+    // (tests/campaign/telemetry_identity_test.cpp pins that); they only
+    // record what happened.
+
+    // Run-summary JSONL destination ('-' = stderr): one line per adaptive
+    // round, or a single round-0 line for a fixed run, with blocks/trials
+    // issued, the widest remaining Wilson half-width, and per-shard
+    // wall/user/sys times. Empty = off.
+    std::string telemetry_path;
+    // In-process observer handed the same per-round summaries the JSONL
+    // gets (tools_campaign_shard --progress renders its stderr line from
+    // this). Called from the orchestrating thread between rounds.
+    std::function<void(const obs::round_summary&)> round_observer;
+    // Crash flight recorder: each worker process is pointed at a
+    // per-shard flight file via the PSSP_OBS_FLIGHT environment variable
+    // and checkpoints its span ring there as it runs. If a worker crashes,
+    // exits non-zero, or emits a bad partial, the orchestrator dumps that
+    // recording plus the worker's argv, wait status, round number and
+    // block manifest to obs-postmortem-<shard>.json (in postmortem_dir)
+    // before failing the run loudly. Flight files are removed on success.
+    bool flight_recorder = true;
+    std::string postmortem_dir;  // empty = current directory
 };
 
 // The sibling `tools_campaign_worker` of the running executable

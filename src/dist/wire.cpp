@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "util/json.hpp"
 
 namespace pssp::dist {
@@ -195,6 +196,8 @@ std::uint64_t spec_digest(const campaign::campaign_spec& spec) {
 }
 
 std::string partial_to_json(const partial_report& partial) {
+    obs::span sp{"wire.encode", "dist",
+                 static_cast<std::int64_t>(partial.blocks.size())};
     std::string out;
     out.reserve(256 + partial.blocks.size() * 512);
     out += "{\"partial\":{";
@@ -229,6 +232,8 @@ std::string partial_to_json(const partial_report& partial) {
 }
 
 partial_report partial_from_json(std::string_view text) {
+    obs::span sp{"wire.decode", "dist",
+                 static_cast<std::int64_t>(text.size())};
     const auto doc = util::parse_json(text);
     const auto& p = doc.at("partial");
     const auto version = p.at("version").as_u64();

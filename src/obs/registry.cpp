@@ -1,0 +1,207 @@
+#include "obs/registry.hpp"
+
+#if PSSP_OBS
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace pssp::obs {
+namespace {
+
+// Metric names are dotted identifiers, but quote defensively anyway.
+std::string quoted(const std::string& text) {
+    std::string out = "\"";
+    for (const char c : text) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+constexpr std::size_t kHistogramBuckets = 64;
+// Fixed slot arena: registration hands out indices into these, so the hot
+// path never chases a pointer that registration could be reallocating.
+// 1024 named metrics is an order of magnitude above current usage; running
+// out is a programming error worth a loud message, not silent wraparound.
+constexpr std::size_t kMaxMetrics = 1024;
+
+struct histogram_slot {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+};
+
+struct registry_state {
+    std::mutex mutex;  // registration + snapshot only, never the hot path
+    std::unordered_map<std::string, metric_id> by_name;
+    std::vector<std::string> names;     // indexed by metric_id
+    std::vector<metric_type> types;     // indexed by metric_id
+    std::array<std::atomic<std::uint64_t>, kMaxMetrics> scalars{};
+    // Histograms get a second, sparse arena; hist_index[id] points into it.
+    std::vector<std::uint32_t> hist_index;
+    std::vector<std::unique_ptr<histogram_slot>> histograms;
+};
+
+registry_state& state() {
+    static registry_state* s = new registry_state;  // never destructed
+    return *s;
+}
+
+metric_id register_metric(std::string_view name, metric_type type) {
+    auto& s = state();
+    std::lock_guard lock{s.mutex};
+    if (const auto it = s.by_name.find(std::string{name});
+        it != s.by_name.end())
+        return it->second;
+    if (s.names.size() >= kMaxMetrics) {
+        std::fprintf(stderr,
+                     "obs: metric arena exhausted registering '%.*s'\n",
+                     static_cast<int>(name.size()), name.data());
+        std::abort();
+    }
+    const auto id = static_cast<metric_id>(s.names.size());
+    s.names.emplace_back(name);
+    s.types.push_back(type);
+    s.hist_index.push_back(0);
+    if (type == metric_type::histogram) {
+        s.hist_index.back() = static_cast<std::uint32_t>(s.histograms.size());
+        s.histograms.push_back(std::make_unique<histogram_slot>());
+    }
+    s.by_name.emplace(std::string{name}, id);
+    return id;
+}
+
+std::size_t bucket_for(std::uint64_t sample) {
+    return sample < 2 ? 0 : std::bit_width(sample) - 1;
+}
+
+}  // namespace
+
+metric_id counter(std::string_view name) {
+    return register_metric(name, metric_type::counter);
+}
+
+metric_id gauge(std::string_view name) {
+    return register_metric(name, metric_type::gauge);
+}
+
+metric_id histogram(std::string_view name) {
+    return register_metric(name, metric_type::histogram);
+}
+
+void add(metric_id id, std::uint64_t delta) noexcept {
+    state().scalars[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void set(metric_id id, std::uint64_t value) noexcept {
+    state().scalars[id].store(value, std::memory_order_relaxed);
+}
+
+void observe(metric_id id, std::uint64_t sample) noexcept {
+    auto& s = state();
+    // hist_index is written before the id escapes register_metric, so an
+    // id in hand implies the slot exists.
+    auto& h = *s.histograms[s.hist_index[id]];
+    h.count.fetch_add(1, std::memory_order_relaxed);
+    h.sum.fetch_add(sample, std::memory_order_relaxed);
+    h.buckets[bucket_for(sample)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t value(metric_id id) noexcept {
+    return state().scalars[id].load(std::memory_order_relaxed);
+}
+
+std::vector<metric_snapshot> snapshot() {
+    auto& s = state();
+    std::lock_guard lock{s.mutex};
+    std::vector<metric_snapshot> out;
+    out.reserve(s.names.size());
+    for (std::size_t id = 0; id < s.names.size(); ++id) {
+        metric_snapshot m;
+        m.name = s.names[id];
+        m.type = s.types[id];
+        if (m.type == metric_type::histogram) {
+            const auto& h = *s.histograms[s.hist_index[id]];
+            m.count = h.count.load(std::memory_order_relaxed);
+            m.sum = h.sum.load(std::memory_order_relaxed);
+            m.buckets.reserve(kHistogramBuckets);
+            for (const auto& b : h.buckets)
+                m.buckets.push_back(b.load(std::memory_order_relaxed));
+        } else {
+            m.value = s.scalars[id].load(std::memory_order_relaxed);
+        }
+        out.push_back(std::move(m));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.name < b.name; });
+    return out;
+}
+
+std::string metrics_json() {
+    const auto metrics = snapshot();
+    std::string json = "{";
+    bool first = true;
+    for (const auto& m : metrics) {
+        if (!first) json += ", ";
+        first = false;
+        json += quoted(m.name);
+        json += ": ";
+        if (m.type == metric_type::histogram) {
+            // Rebuild p50/max from the log2 buckets: good enough to rank
+            // and eyeball, exact count/sum for arithmetic.
+            std::uint64_t seen = 0;
+            std::uint64_t p50 = 0;
+            std::uint64_t max_bucket = 0;
+            for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+                if (m.buckets[b] == 0) continue;
+                max_bucket = b;
+                if (seen < (m.count + 1) / 2 &&
+                    seen + m.buckets[b] >= (m.count + 1) / 2)
+                    p50 = b == 0 ? 1 : std::uint64_t{1} << b;
+                seen += m.buckets[b];
+            }
+            const double mean =
+                m.count == 0 ? 0.0
+                             : static_cast<double>(m.sum) /
+                                   static_cast<double>(m.count);
+            char buf[160];
+            std::snprintf(buf, sizeof buf,
+                          "{\"count\": %llu, \"sum\": %llu, \"mean\": %.2f, "
+                          "\"p50\": %llu, \"max\": %llu}",
+                          static_cast<unsigned long long>(m.count),
+                          static_cast<unsigned long long>(m.sum), mean,
+                          static_cast<unsigned long long>(p50),
+                          static_cast<unsigned long long>(
+                              m.count == 0 ? 0
+                                           : std::uint64_t{1} << max_bucket));
+            json += buf;
+        } else {
+            json += std::to_string(m.value);
+        }
+    }
+    json += "}";
+    return json;
+}
+
+void reset_all_for_test() {
+    auto& s = state();
+    std::lock_guard lock{s.mutex};
+    for (auto& slot : s.scalars) slot.store(0, std::memory_order_relaxed);
+    for (auto& h : s.histograms) {
+        h->count.store(0, std::memory_order_relaxed);
+        h->sum.store(0, std::memory_order_relaxed);
+        for (auto& b : h->buckets) b.store(0, std::memory_order_relaxed);
+    }
+}
+
+}  // namespace pssp::obs
+
+#endif  // PSSP_OBS

@@ -1,0 +1,93 @@
+// Process-wide metric registry: named counters, gauges and histograms.
+//
+// Telemetry is strictly a side channel of the campaign platform — nothing
+// read from or written to this registry may influence a trial outcome or a
+// report byte (tests/campaign/telemetry_identity_test.cpp pins that). The
+// design goal is therefore pure hot-path cheapness:
+//
+//   * Registration (obs::counter("campaign.trials")) resolves a name to a
+//     flat slot index once, under a mutex, and is idempotent — the same
+//     name always yields the same id, so call sites keep the id in a
+//     function-local static and pay the lookup exactly once per process.
+//   * The hot path (obs::add / obs::set / obs::observe) is one indexed
+//     relaxed-atomic add into a preallocated slot array: no hashing, no
+//     locking, no allocation — safe and exact under any thread count
+//     (tests/obs/registry_test.cpp hammers it from 8 threads).
+//   * Histograms are 64 log2 buckets plus exact count/sum, so value
+//     distributions (dirty pages per reboot, steps per worker) cost the
+//     same one-add as a counter.
+//
+// Compile-time kill switch: building with -DPSSP_OBS=0 (CMake option
+// PSSP_OBS=OFF) replaces the entire API with inline no-op stubs — call
+// sites compile unchanged and the telemetry layer vanishes from the
+// binary. The release bench gate (bench_vm_throughput --max-obs-overhead)
+// pins the compiled-in-but-idle cost of the default build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef PSSP_OBS
+#define PSSP_OBS 1
+#endif
+
+namespace pssp::obs {
+
+enum class metric_type : std::uint8_t { counter, gauge, histogram };
+
+// Flat slot index returned by registration; valid for the process
+// lifetime. 0 is a legal id (the first registered metric).
+using metric_id = std::uint32_t;
+
+// Snapshot of one metric for export. Counters/gauges use `value`;
+// histograms use count/sum plus the log2 bucket array (bucket b holds
+// samples in [2^(b-1), 2^b), bucket 0 holds zero and one).
+struct metric_snapshot {
+    std::string name;
+    metric_type type = metric_type::counter;
+    std::uint64_t value = 0;
+    std::uint64_t count = 0;  // histogram: samples observed
+    std::uint64_t sum = 0;    // histogram: sum of samples
+    std::vector<std::uint64_t> buckets;  // histogram: 64 log2 buckets
+};
+
+#if PSSP_OBS
+
+// ---- Registration (cold; mutex-guarded; idempotent per name) ----
+[[nodiscard]] metric_id counter(std::string_view name);
+[[nodiscard]] metric_id gauge(std::string_view name);
+[[nodiscard]] metric_id histogram(std::string_view name);
+
+// ---- Hot path (one indexed relaxed-atomic op; wait-free) ----
+void add(metric_id id, std::uint64_t delta) noexcept;
+void set(metric_id id, std::uint64_t value) noexcept;
+void observe(metric_id id, std::uint64_t sample) noexcept;
+
+// ---- Export ----
+[[nodiscard]] std::uint64_t value(metric_id id) noexcept;
+[[nodiscard]] std::vector<metric_snapshot> snapshot();
+// Deterministic-key-order JSON object {"name": ..., ...}; histograms
+// nest {"count","sum","mean","p50","max"} summaries. Values are whatever
+// the process has counted — this is diagnostics, not report data.
+[[nodiscard]] std::string metrics_json();
+
+// Zeroes every slot (registrations survive). Test isolation only.
+void reset_all_for_test();
+
+#else  // PSSP_OBS == 0: the whole registry compiles to nothing.
+
+[[nodiscard]] inline metric_id counter(std::string_view) { return 0; }
+[[nodiscard]] inline metric_id gauge(std::string_view) { return 0; }
+[[nodiscard]] inline metric_id histogram(std::string_view) { return 0; }
+inline void add(metric_id, std::uint64_t) noexcept {}
+inline void set(metric_id, std::uint64_t) noexcept {}
+inline void observe(metric_id, std::uint64_t) noexcept {}
+[[nodiscard]] inline std::uint64_t value(metric_id) noexcept { return 0; }
+[[nodiscard]] inline std::vector<metric_snapshot> snapshot() { return {}; }
+[[nodiscard]] inline std::string metrics_json() { return "{}"; }
+inline void reset_all_for_test() {}
+
+#endif  // PSSP_OBS
+
+}  // namespace pssp::obs

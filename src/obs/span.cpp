@@ -1,0 +1,286 @@
+#include "obs/span.hpp"
+
+#if PSSP_OBS
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <unistd.h>
+
+namespace pssp::obs {
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint32_t> g_ring_capacity{4096};
+
+struct span_record {
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::int64_t arg = -1;
+    const char* category = nullptr;  // static literal
+    std::uint32_t tid = 0;
+    char name[48] = {};
+};
+
+// One ring per thread. Writes are single-threaded by construction (only
+// the owning thread appends); exports snapshot under the global mutex
+// while holding no illusions about entries racing in — trace export is a
+// diagnostic, the write index is monotonic, and torn reads of an entry
+// being overwritten can at worst misreport one span in a live dump.
+struct span_ring {
+    explicit span_ring(std::uint32_t cap, std::uint32_t tid_)
+        : capacity(cap), tid(tid_), entries(cap) {}
+    const std::uint32_t capacity;
+    const std::uint32_t tid;
+    std::atomic<std::uint64_t> next{0};  // monotonic write index
+    std::vector<span_record> entries;
+};
+
+struct ring_registry {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<span_ring>> rings;
+    std::string flight_path;
+};
+
+ring_registry& rings() {
+    static ring_registry* r = new ring_registry;  // never destructed
+    return *r;
+}
+
+span_ring& this_thread_ring() {
+    // shared_ptr keeps the ring alive in the registry after thread exit,
+    // so export never dangles; sequential small tids keep traces legible.
+    thread_local std::shared_ptr<span_ring> ring = [] {
+        auto& r = rings();
+        std::lock_guard lock{r.mutex};
+        auto created = std::make_shared<span_ring>(
+            g_ring_capacity.load(std::memory_order_relaxed),
+            static_cast<std::uint32_t>(r.rings.size()));
+        r.rings.push_back(created);
+        return created;
+    }();
+    return *ring;
+}
+
+std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void record(const char* name, const char* category, std::uint64_t start_ns,
+            std::uint64_t dur_ns, std::int64_t arg) noexcept {
+    auto& ring = this_thread_ring();
+    const auto index = ring.next.load(std::memory_order_relaxed);
+    auto& slot = ring.entries[index % ring.capacity];
+    slot.start_ns = start_ns;
+    slot.dur_ns = dur_ns;
+    slot.arg = arg;
+    slot.category = category;
+    slot.tid = ring.tid;
+    std::strncpy(slot.name, name, sizeof slot.name - 1);
+    slot.name[sizeof slot.name - 1] = '\0';
+    // Publish after the fields: exports read next first, then entries.
+    ring.next.store(index + 1, std::memory_order_release);
+}
+
+std::string quoted(const char* text) {
+    std::string out = "\"";
+    for (; *text != '\0'; ++text) {
+        if (*text == '"' || *text == '\\') out += '\\';
+        out += *text;
+    }
+    out += '"';
+    return out;
+}
+
+// Snapshot every ring's buffered records, oldest first within a ring.
+std::vector<span_record> collect_all() {
+    auto& r = rings();
+    std::vector<std::shared_ptr<span_ring>> refs;
+    {
+        std::lock_guard lock{r.mutex};
+        refs = r.rings;
+    }
+    std::vector<span_record> out;
+    for (const auto& ring : refs) {
+        const auto next = ring->next.load(std::memory_order_acquire);
+        const auto count =
+            std::min<std::uint64_t>(next, ring->capacity);
+        out.reserve(out.size() + count);
+        for (std::uint64_t i = next - count; i < next; ++i)
+            out.push_back(ring->entries[i % ring->capacity]);
+    }
+    return out;
+}
+
+void append_event(std::string& json, const span_record& rec,
+                  bool comma) {
+    char buf[192];
+    // Chrome's importer wants microseconds; keep sub-µs precision as the
+    // fraction so short spans don't collapse to zero width.
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\": %s, \"cat\": %s, \"ph\": \"X\", "
+                  "\"ts\": %llu.%03llu, \"dur\": %llu.%03llu, "
+                  "\"pid\": %d, \"tid\": %u",
+                  quoted(rec.name).c_str(),
+                  quoted(rec.category == nullptr ? "pssp" : rec.category)
+                      .c_str(),
+                  static_cast<unsigned long long>(rec.start_ns / 1000),
+                  static_cast<unsigned long long>(rec.start_ns % 1000),
+                  static_cast<unsigned long long>(rec.dur_ns / 1000),
+                  static_cast<unsigned long long>(rec.dur_ns % 1000),
+                  static_cast<int>(::getpid()), rec.tid);
+    json += buf;
+    if (rec.arg >= 0) {
+        std::snprintf(buf, sizeof buf, ", \"args\": {\"n\": %lld}",
+                      static_cast<long long>(rec.arg));
+        json += buf;
+    }
+    json += comma ? "},\n" : "}\n";
+}
+
+}  // namespace
+
+void enable_tracing(bool on) noexcept {
+    g_tracing.store(on, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() noexcept {
+    return g_tracing.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() noexcept { return now_ns(); }
+
+void emit_span(const char* name, const char* category,
+               std::uint64_t start_ns, std::uint64_t duration_ns,
+               std::int64_t arg) noexcept {
+    if (!tracing_enabled()) return;
+    record(name, category, start_ns, duration_ns, arg);
+}
+
+span::span(const char* name, const char* category, std::int64_t arg) noexcept
+    : arg_{arg}, category_{category} {
+    if (!tracing_enabled()) return;
+    armed_ = true;
+    std::strncpy(name_, name, sizeof name_ - 1);
+    start_ns_ = now_ns();
+}
+
+span::~span() {
+    if (!armed_) return;
+    record(name_, category_, start_ns_, now_ns() - start_ns_, arg_);
+}
+
+void set_ring_capacity(std::uint32_t spans) {
+    g_ring_capacity.store(spans == 0 ? 1 : spans, std::memory_order_relaxed);
+}
+
+void clear_spans_for_test() {
+    auto& r = rings();
+    std::lock_guard lock{r.mutex};
+    for (auto& ring : r.rings) ring->next.store(0, std::memory_order_release);
+}
+
+std::uint64_t buffered_span_count() {
+    std::uint64_t total = 0;
+    auto& r = rings();
+    std::lock_guard lock{r.mutex};
+    for (const auto& ring : r.rings)
+        total += std::min<std::uint64_t>(
+            ring->next.load(std::memory_order_acquire), ring->capacity);
+    return total;
+}
+
+std::string chrome_trace_json(const std::string& process_name) {
+    auto records = collect_all();
+    std::sort(records.begin(), records.end(),
+              [](const auto& a, const auto& b) {
+                  return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                                  : a.tid < b.tid;
+              });
+    std::string json = "{\"traceEvents\": [\n";
+    if (!process_name.empty()) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\": \"process_name\", \"ph\": \"M\", "
+                      "\"pid\": %d, \"args\": {\"name\": %s}}%s\n",
+                      static_cast<int>(::getpid()),
+                      quoted(process_name.c_str()).c_str(),
+                      records.empty() ? "" : ",");
+        json += buf;
+    }
+    for (std::size_t i = 0; i < records.size(); ++i)
+        append_event(json, records[i], i + 1 < records.size());
+    json += "], \"displayTimeUnit\": \"ms\"}\n";
+    return json;
+}
+
+std::string flight_record_json(std::size_t max_spans) {
+    auto records = collect_all();
+    // Newest by end time first, truncate, then chronological for reading.
+    std::sort(records.begin(), records.end(),
+              [](const auto& a, const auto& b) {
+                  return a.start_ns + a.dur_ns > b.start_ns + b.dur_ns;
+              });
+    if (records.size() > max_spans) records.resize(max_spans);
+    std::reverse(records.begin(), records.end());
+    std::string json = "{\"spans\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto& rec = records[i];
+        char buf[224];
+        std::snprintf(
+            buf, sizeof buf,
+            "{\"name\": %s, \"cat\": %s, \"start_ns\": %llu, "
+            "\"dur_ns\": %llu, \"tid\": %u, \"arg\": %lld}%s\n",
+            quoted(rec.name).c_str(),
+            quoted(rec.category == nullptr ? "pssp" : rec.category).c_str(),
+            static_cast<unsigned long long>(rec.start_ns),
+            static_cast<unsigned long long>(rec.dur_ns), rec.tid,
+            static_cast<long long>(rec.arg),
+            i + 1 < records.size() ? "," : "");
+        json += buf;
+    }
+    json += "]}\n";
+    return json;
+}
+
+void set_flight_path(std::string path) {
+    auto& r = rings();
+    std::lock_guard lock{r.mutex};
+    r.flight_path = std::move(path);
+}
+
+void flight_checkpoint() noexcept {
+    std::string path;
+    {
+        auto& r = rings();
+        std::lock_guard lock{r.mutex};
+        path = r.flight_path;
+    }
+    if (path.empty()) return;
+    // tmp + rename: the file at `path` is always a complete document even
+    // if this process dies mid-checkpoint — which is the whole point.
+    const std::string tmp = path + ".tmp";
+    const auto json = flight_record_json();
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) return;
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    if (std::fclose(f) != 0 || !ok) {
+        std::remove(tmp.c_str());
+        return;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+}
+
+}  // namespace pssp::obs
+
+#endif  // PSSP_OBS

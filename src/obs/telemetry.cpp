@@ -1,0 +1,64 @@
+#include "obs/telemetry.hpp"
+
+#include <cstring>
+
+namespace pssp::obs {
+
+telemetry_writer::~telemetry_writer() {
+    if (file_ != nullptr && owned_) std::fclose(file_);
+}
+
+bool telemetry_writer::open(const std::string& path) {
+    if (path == "-") {
+        file_ = stderr;
+        owned_ = false;
+        return true;
+    }
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) {
+        std::fprintf(stderr, "telemetry: cannot write %s\n", path.c_str());
+        return false;
+    }
+    owned_ = true;
+    return true;
+}
+
+void telemetry_writer::append(const round_summary& round) {
+    if (file_ == nullptr) return;
+    const auto line = round_summary_json(round);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+}
+
+std::string round_summary_json(const round_summary& round) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"round\": %llu, \"blocks\": %llu, \"trials\": %llu, "
+                  "\"cumulative_trials\": %llu, \"max_halfwidth\": %.6f, "
+                  "\"widest_cell\": \"%s\", \"wall_seconds\": %.3f",
+                  static_cast<unsigned long long>(round.round),
+                  static_cast<unsigned long long>(round.blocks),
+                  static_cast<unsigned long long>(round.trials),
+                  static_cast<unsigned long long>(round.cumulative_trials),
+                  round.max_halfwidth, round.widest_cell.c_str(),
+                  round.wall_seconds);
+    std::string json = buf;
+    if (!round.shards.empty()) {
+        json += ", \"shards\": [";
+        for (std::size_t i = 0; i < round.shards.size(); ++i) {
+            const auto& s = round.shards[i];
+            std::snprintf(buf, sizeof buf,
+                          "%s{\"shard\": %u, \"wall\": %.3f, \"user\": %.3f, "
+                          "\"sys\": %.3f}",
+                          i == 0 ? "" : ", ", s.shard, s.wall_seconds,
+                          s.user_seconds, s.sys_seconds);
+            json += buf;
+        }
+        json += "]";
+    }
+    json += "}";
+    return json;
+}
+
+}  // namespace pssp::obs

@@ -1,0 +1,71 @@
+// Run-summary telemetry: one JSON line per campaign round.
+//
+// The convergence view that makes adaptive allocation auditable: each
+// line records what a round issued (blocks, trials), where the campaign
+// stands (cumulative trials, the widest remaining Wilson half-width and
+// which cell owns it), and where the time went (round wall seconds;
+// per-shard wall/user/sys for fork/exec runs). Fixed-allocation runs emit
+// a single line with round 0. Produced by `--telemetry <file>` on
+// tools_campaign_shard and bench_campaign_curves; both the in-process
+// engine and the dist orchestrator feed the same struct, so the two
+// execution paths are diffable line by line.
+//
+// Deliberately NOT compiled out under PSSP_OBS=0: this writer runs only
+// when a caller passes --telemetry, costs nothing otherwise, and a
+// stripped-telemetry build should still honor an explicit flag. The
+// side-channel invariant is unchanged either way — nothing here is read
+// back into a trial or a report.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pssp::obs {
+
+struct shard_time {
+    std::uint32_t shard = 0;
+    double wall_seconds = 0.0;
+    double user_seconds = 0.0;  // rusage ru_utime of the worker process
+    double sys_seconds = 0.0;   // rusage ru_stime of the worker process
+};
+
+struct round_summary {
+    std::uint64_t round = 0;   // 1-based allocator round; 0 = fixed run
+    std::uint64_t blocks = 0;  // blocks issued this round
+    std::uint64_t trials = 0;  // trials executed this round
+    std::uint64_t cumulative_trials = 0;
+    // Widest per-cell Wilson half-width after this round and the
+    // "target/scheme/attack" cell that owns it; 0 / "" for an empty run.
+    double max_halfwidth = 0.0;
+    std::string widest_cell;
+    double wall_seconds = 0.0;
+    std::vector<shard_time> shards;  // empty for in-process runs
+};
+
+// Appending JSONL writer; one flushed line per round so a killed run
+// keeps every completed round's record.
+class telemetry_writer {
+  public:
+    telemetry_writer() = default;
+    ~telemetry_writer();
+    telemetry_writer(const telemetry_writer&) = delete;
+    telemetry_writer& operator=(const telemetry_writer&) = delete;
+
+    // Truncates and opens `path` ("-" = stderr). Returns false (with a
+    // message on stderr) on failure; append() on a failed open is a no-op.
+    bool open(const std::string& path);
+    [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
+
+    void append(const round_summary& round);
+
+  private:
+    std::FILE* file_ = nullptr;
+    bool owned_ = false;  // false when writing to stderr
+};
+
+// The JSON line (no trailing newline); exposed for tests.
+[[nodiscard]] std::string round_summary_json(const round_summary& round);
+
+}  // namespace pssp::obs

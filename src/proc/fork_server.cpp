@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace pssp::proc {
 
 std::string to_string(worker_outcome outcome) {
@@ -59,6 +61,13 @@ void fork_server::reboot(std::uint64_t seed) {
     if (preboot_ == nullptr)
         throw std::logic_error{
             "fork_server::reboot: server not constructed with config.reusable"};
+    // Telemetry only (side channel): how much the restore channel actually
+    // moves per reboot is the number the snapshot fast path lives on.
+    static const auto c_reboots = obs::counter("proc.server.reboots");
+    static const auto h_dirty = obs::histogram("proc.reboot.dirty_pages");
+    obs::add(c_reboots, 1);
+    obs::observe(h_dirty,
+                 master_.mem().dirty_pages(vm::dirty_channel::restore));
     master_.restore_from(*preboot_);
     boot(seed);
 }
@@ -148,6 +157,21 @@ serve_result fork_server::serve(std::span<const std::uint8_t> request) {
         }
         ++crashes_;
     }
+
+    // Telemetry only (side channel): request volume, crash rate, how much
+    // work a request costs, and how many pages the per-request fork sync
+    // actually moved.
+    static const auto c_requests = obs::counter("proc.serve.requests");
+    static const auto c_crashes = obs::counter("proc.serve.crashes");
+    static const auto h_steps = obs::histogram("proc.serve.worker_steps");
+    static const auto h_fork_dirty = obs::histogram("proc.fork.dirty_pages");
+    obs::add(c_requests, 1);
+    if (result.outcome != worker_outcome::ok &&
+        result.outcome != worker_outcome::hijacked)
+        obs::add(c_crashes, 1);
+    obs::observe(h_steps, result.worker_steps);
+    obs::observe(h_fork_dirty,
+                 worker.mem().dirty_pages(vm::dirty_channel::fork));
 
     // The master reaps the worker and accepts the next connection.
     master_.complete_syscall(worker.pid());

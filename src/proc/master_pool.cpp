@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/registry.hpp"
+
 namespace pssp::proc {
 
 master_pool::master_pool(std::shared_ptr<const binfmt::linked_binary> binary,
@@ -28,13 +30,19 @@ master_pool::lease master_pool::acquire(std::uint64_t seed) {
             idle_.pop_back();
         }
     }
+    // Mirrored into the obs registry so pool effectiveness shows up next
+    // to the VM and campaign metrics without plumbing a pool pointer out.
+    static const auto c_boots = obs::counter("proc.pool.boots");
+    static const auto c_reuses = obs::counter("proc.pool.reuses");
     if (server != nullptr) {
         server->reboot(seed);
         reuses_.fetch_add(1, std::memory_order_relaxed);
+        obs::add(c_reuses, 1);
     } else {
         server = std::make_unique<fork_server>(
             *binary_, core::make_scheme(kind_, options_), seed, config_, program_);
         boots_.fetch_add(1, std::memory_order_relaxed);
+        obs::add(c_boots, 1);
     }
     return lease{this, std::move(server)};
 }

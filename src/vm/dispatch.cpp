@@ -46,6 +46,14 @@ void set_default_dispatch(dispatch_mode mode) noexcept {
     default_slot().store(mode, std::memory_order_relaxed);
 }
 
+const char* handler_name(std::uint16_t handler) noexcept {
+#define PSSP_NAME(name) #name,
+    static const char* const names[hop::count] = {
+        PSSP_BASE_OPS(PSSP_NAME) PSSP_FUSED_OPS(PSSP_NAME)};
+#undef PSSP_NAME
+    return handler < hop::count ? names[handler] : "?";
+}
+
 decoded_op lower_op(const instruction& insn, std::uint32_t flow_target,
                     std::uint64_t return_addr, const native_fn* native) {
     decoded_op op;

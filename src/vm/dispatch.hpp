@@ -24,6 +24,7 @@
 // one-instruction-at-a-time stepper at every event boundary.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -78,6 +79,44 @@ inline constexpr std::uint16_t fuse_add_ri_ret = opcode_count + 9;  // leaf epil
 inline constexpr std::uint16_t sentinel = opcode_count + 10;  // end-of-stream trap
 inline constexpr std::size_t count = opcode_count + 11;
 }  // namespace hop
+
+// X-macro lists of every handler in jump-table order: base ops exactly in
+// opcode-enum order, then the fused ids in hop order. The threaded
+// engine's jump table and the handler-name table are both generated from
+// these, so the id<->position correspondence cannot drift between them.
+#define PSSP_BASE_OPS(X)                                                       \
+    X(nop) X(push_r) X(push_i) X(pop_r) X(mov_rr) X(mov_ri) X(mov_rm)          \
+    X(mov_mr) X(mov_mi) X(mov32_rm) X(mov32_mr) X(movzx8_rm) X(mov8_mr)        \
+    X(lea) X(add_rr) X(add_ri) X(sub_rr) X(sub_ri) X(xor_rr) X(xor_ri)         \
+    X(xor_rm) X(or_rr) X(and_ri) X(shl_ri) X(shr_ri) X(imul_rr) X(imul_ri)     \
+    X(cmp_rr) X(cmp_ri) X(cmp_rm) X(test_rr) X(je) X(jne) X(jb) X(jae) X(jl)   \
+    X(jge) X(jnc) X(jmp) X(call) X(ret) X(leave) X(rdrand_r) X(rdtsc)          \
+    X(movq_xr) X(movq_rx) X(movhps_xm) X(punpckhqdq_xr) X(movdqu_mx)           \
+    X(movdqu_xm) X(cmp128_xm) X(syscall_i) X(trap_abort) X(hlt) X(sim_delay)
+
+#define PSSP_FUSED_OPS(X)                                                      \
+    X(fuse_cmp_rr_jcc) X(fuse_cmp_ri_jcc) X(fuse_test_rr_jcc)                  \
+    X(fuse_xor_rm_jcc) X(fuse_push_push) X(fuse_push_mov_rr)                   \
+    X(fuse_mov_rm_add_rr) X(fuse_sub_ri_cmp_ri) X(fuse_mov_mr_xor_ri)          \
+    X(fuse_add_ri_ret) X(sentinel)
+
+// ---- Execution profiles (obs telemetry) -----------------------------------
+// Optional per-handler hit/cycle counters for machine::run(): one slot per
+// handler id, superinstructions included, so a profile ranks exactly what
+// the dispatcher dispatches — the block-selection input a baseline JIT
+// wants. A machine profiles only when given a profile via set_profile();
+// the pointer is shared through snapshot/fork copies, so every clone of a
+// profiled master aggregates into one table. Counters are plain (not
+// atomic): profile runs are single-threaded bench runs, and the unprofiled
+// hot loop is a separate template instantiation that touches none of this.
+struct exec_profile {
+    std::array<std::uint64_t, hop::count> hits{};    // dispatches per handler
+    std::array<std::uint64_t, hop::count> cycles{};  // cost-model cycles charged
+};
+
+// Static name for a handler id ("mov_rm", "fuse_cmp_ri_jcc", ...) — the
+// X-macro-generated twin of the jump table; "?" past hop::count.
+[[nodiscard]] const char* handler_name(std::uint16_t handler) noexcept;
 
 // One decoded op: everything a handler touches, in one 48-byte record
 // (instruction operands + resolved flow live in three parallel arrays on

@@ -523,8 +523,10 @@ run_result machine::exec_one_switch(const cost_table& ct) {
 }
 
 run_result machine::run(std::uint64_t max_steps) {
-    return dispatch_ == dispatch_mode::threaded ? run_threaded(max_steps)
-                                                : run_switch(max_steps);
+    if (dispatch_ == dispatch_mode::threaded)
+        return profile_ ? run_threaded_impl<true>(max_steps)
+                        : run_threaded_impl<false>(max_steps);
+    return run_switch(max_steps);
 }
 
 run_result machine::step() { return run_switch(1); }
@@ -560,7 +562,18 @@ run_result machine::run_switch(std::uint64_t max_steps) {
             out.fault_addr = current_address();
             break;
         }
-        out = exec_one_switch(ct);
+        if (profile_ != nullptr) {
+            // Debug-engine profiling: attribute by opcode (the stepper
+            // never executes fused ids) and charge by cycle delta, which
+            // also captures sim_delay's per-site immediate.
+            const auto handler = static_cast<std::uint16_t>(prog_->insns[rip_].op);
+            const std::uint64_t before = cycles_;
+            out = exec_one_switch(ct);
+            ++profile_->hits[handler];
+            profile_->cycles[handler] += cycles_ - before;
+        } else {
+            out = exec_one_switch(ct);
+        }
         ++executed;
         if (out.status == exec_status::syscalled) return out;  // resumable
         if (out.status != exec_status::running) break;
@@ -583,21 +596,8 @@ run_result machine::run_switch(std::uint64_t max_steps) {
 #define PSSP_COMPUTED_GOTO 0
 #endif
 
-#define PSSP_BASE_OPS(X)                                                       \
-    X(nop) X(push_r) X(push_i) X(pop_r) X(mov_rr) X(mov_ri) X(mov_rm)          \
-    X(mov_mr) X(mov_mi) X(mov32_rm) X(mov32_mr) X(movzx8_rm) X(mov8_mr)        \
-    X(lea) X(add_rr) X(add_ri) X(sub_rr) X(sub_ri) X(xor_rr) X(xor_ri)         \
-    X(xor_rm) X(or_rr) X(and_ri) X(shl_ri) X(shr_ri) X(imul_rr) X(imul_ri)     \
-    X(cmp_rr) X(cmp_ri) X(cmp_rm) X(test_rr) X(je) X(jne) X(jb) X(jae) X(jl)   \
-    X(jge) X(jnc) X(jmp) X(call) X(ret) X(leave) X(rdrand_r) X(rdtsc)          \
-    X(movq_xr) X(movq_rx) X(movhps_xm) X(punpckhqdq_xr) X(movdqu_mx)           \
-    X(movdqu_xm) X(cmp128_xm) X(syscall_i) X(trap_abort) X(hlt) X(sim_delay)
-
-#define PSSP_FUSED_OPS(X)                                                      \
-    X(fuse_cmp_rr_jcc) X(fuse_cmp_ri_jcc) X(fuse_test_rr_jcc)                  \
-    X(fuse_xor_rm_jcc) X(fuse_push_push) X(fuse_push_mov_rr)                   \
-    X(fuse_mov_rm_add_rr) X(fuse_sub_ri_cmp_ri) X(fuse_mov_mr_xor_ri)          \
-    X(fuse_add_ri_ret) X(sentinel)
+// PSSP_BASE_OPS / PSSP_FUSED_OPS — the positional handler lists shared
+// with the handler-name table — live in vm/dispatch.hpp.
 
 #if PSSP_COMPUTED_GOTO
 #define PSSP_OPC(name) h_##name:
@@ -607,6 +607,7 @@ run_result machine::run_switch(std::uint64_t max_steps) {
         if (budget == 0) goto budget_stop;                                     \
         --budget;                                                              \
         op = code + ip;                                                        \
+        PSSP_PROFILE_HIT();                                                    \
         goto* jump_table[op->handler];                                         \
     } while (0)
 #else
@@ -617,9 +618,27 @@ run_result machine::run_switch(std::uint64_t max_steps) {
         if (budget == 0) goto budget_stop;                                     \
         --budget;                                                              \
         op = code + ip;                                                        \
+        PSSP_PROFILE_HIT();                                                    \
         goto dispatch_top;                                                     \
     } while (0)
 #endif
+
+// Profiling hooks, compiled in only for the kProfile=true instantiation —
+// the production (unprofiled) loop carries literally no profiling code.
+// `ph` is the handler id of the current dispatch; fused pairs keep it
+// across both halves, so every cycle a superinstruction charges is
+// attributed to the superinstruction.
+#define PSSP_PROFILE_HIT()                                                     \
+    do {                                                                       \
+        if constexpr (kProfile) {                                              \
+            ph = op->handler;                                                  \
+            ++prof->hits[ph];                                                  \
+        }                                                                      \
+    } while (0)
+#define PSSP_PROFILE_CYC(amount)                                               \
+    do {                                                                       \
+        if constexpr (kProfile) prof->cycles[ph] += (amount);                  \
+    } while (0)
 
 // Charge one instruction against the batched accumulators. Base handlers
 // name their opcode so the table index is a compile-time constant.
@@ -627,6 +646,7 @@ run_result machine::run_switch(std::uint64_t max_steps) {
     do {                                                                       \
         cyc += ct[opcode::name];                                               \
         ++executed;                                                            \
+        PSSP_PROFILE_CYC(ct[opcode::name]);                                    \
     } while (0)
 
 namespace {
@@ -648,12 +668,18 @@ namespace {
 
 }  // namespace
 
-run_result machine::run_threaded(std::uint64_t max_steps) {
+template <bool kProfile>
+run_result machine::run_threaded_impl(std::uint64_t max_steps) {
     if (finished_valid_) return finished_;
     if (!rip_valid_) throw std::logic_error{"machine::run before call_function"};
 
     const cost_table& ct = refresh_cost_cache();
     const decoded_op* const code = prog_->code.data();
+
+    // Profiling state; dead (and unread) in the kProfile=false
+    // instantiation — run() only selects <true> when profile_ is set.
+    [[maybe_unused]] exec_profile* const prof = profile_.get();
+    [[maybe_unused]] std::uint16_t ph = 0;
 
     // Batched accounting: steps and cycles accumulate in locals (registers)
     // and are reconciled into steps_/cycles_ exactly at every exit event —
@@ -938,6 +964,7 @@ dispatch_top:
     PSSP_OPC(jmp) {
         cyc += ct[op->op];
         ++executed;
+        PSSP_PROFILE_CYC(ct[op->op]);
         if (jcc_taken(op->op, flags_)) {
             if (op->target == no_id) {
                 out.status = exec_status::trapped;
@@ -1177,6 +1204,7 @@ dispatch_top:
         // component, the per-site charge lives in the immediate.
         PSSP_CHARGE(sim_delay);
         cyc += op->imm;
+        PSSP_PROFILE_CYC(op->imm);
         ++ip;
         PSSP_DISPATCH();
     }
@@ -1351,6 +1379,7 @@ fused_jcc_tail:
     op = code + ip;
     cyc += ct[op->op];
     ++executed;
+    PSSP_PROFILE_CYC(ct[op->op]);
     if (jcc_taken(op->op, flags_)) {
         if (op->target == no_id) {
             out.status = exec_status::trapped;
@@ -1396,8 +1425,8 @@ stop_terminal:
 #undef PSSP_FUSED
 #undef PSSP_DISPATCH
 #undef PSSP_CHARGE
-#undef PSSP_BASE_OPS
-#undef PSSP_FUSED_OPS
+#undef PSSP_PROFILE_HIT
+#undef PSSP_PROFILE_CYC
 #undef PSSP_COMPUTED_GOTO
 
 std::uint64_t machine::current_address() const noexcept {
@@ -1420,6 +1449,8 @@ void machine::copy_scalars_from(const machine& src) {
     cost_cache_ = src.cost_cache_;
     cost_cache_key_ = src.cost_cache_key_;
     dispatch_ = src.dispatch_;
+    // Shared, not cloned: all copies of a profiled master feed one table.
+    profile_ = src.profile_;
     cycles_ = src.cycles_;
     steps_ = src.steps_;
     fuel_ = src.fuel_;

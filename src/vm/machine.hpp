@@ -146,6 +146,19 @@ class machine {
     // Resumes after a serviced syscall; `rax_value` is the syscall result.
     void complete_syscall(std::uint64_t rax_value);
 
+    // ---- Execution profiling (obs side channel) ----
+    // When set, run() counts per-handler dispatches and cycle charges into
+    // `profile` (shared across snapshot/fork copies of this machine, so a
+    // pool's clones aggregate into one table). Profiling changes no
+    // architectural outcome — the unprofiled threaded loop is a separate
+    // template instantiation that carries zero profiling code.
+    void set_profile(std::shared_ptr<exec_profile> profile) noexcept {
+        profile_ = std::move(profile);
+    }
+    [[nodiscard]] const std::shared_ptr<exec_profile>& profile() const noexcept {
+        return profile_;
+    }
+
     // ---- Accounting ----
     [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
     [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
@@ -210,6 +223,7 @@ class machine {
     std::shared_ptr<const cost_table> cost_cache_;
     cost_model cost_cache_key_{};
     dispatch_mode dispatch_ = default_dispatch();
+    std::shared_ptr<exec_profile> profile_;  // null = no profiling
     std::uint64_t cycles_ = 0;
     std::uint64_t steps_ = 0;
     std::uint64_t fuel_ = 0;
@@ -239,9 +253,12 @@ class machine {
     // run_switch and step() wrap those).
     [[nodiscard]] run_result exec_one_switch(const cost_table& ct);
     // The two run() engines; both honor fuel/max_steps and the sticky
-    // finished_ contract identically.
+    // finished_ contract identically. The threaded engine is instantiated
+    // twice: kProfile=false is the production hot path (bit-identical to
+    // the unprofiled loop), kProfile=true additionally feeds profile_.
     [[nodiscard]] run_result run_switch(std::uint64_t max_steps);
-    [[nodiscard]] run_result run_threaded(std::uint64_t max_steps);
+    template <bool kProfile>
+    [[nodiscard]] run_result run_threaded_impl(std::uint64_t max_steps);
     // Rebuilds cost_cache_ if costs_ drifted from the cached key; returns
     // the table to run with.
     [[nodiscard]] const cost_table& refresh_cost_cache();

@@ -1,0 +1,105 @@
+// The telemetry layer's one inviolable rule: it is a side channel. A
+// campaign report is a pure function of its spec — turning on tracing,
+// metrics, round observers, JSONL telemetry or the flight recorder must
+// not move a single report byte, at any --jobs level or shard count.
+// This test runs the same campaign with everything off and with
+// everything on, in-process (jobs 1 and 8) and fork/exec-sharded
+// (1 and 4 shards), and compares the serialized reports byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "campaign/engine.hpp"
+#include "dist/orchestrator.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+namespace pssp {
+namespace {
+
+campaign::campaign_spec small_spec() {
+    // The full default 9-cell matrix with reduced cost knobs — identity is
+    // knob-independent, so cheap knobs lose no coverage.
+    auto spec = campaign::default_spec();
+    spec.trials_per_cell = 6;
+    spec.brute_unknown_bits = 8;
+    spec.query_budget = 1024;
+    return spec;
+}
+
+std::string run_plain(campaign::campaign_spec spec, unsigned jobs) {
+    spec.jobs = jobs;
+    return campaign::engine{spec}.run().to_json();
+}
+
+std::string run_with_telemetry(campaign::campaign_spec spec, unsigned jobs) {
+    spec.jobs = jobs;
+    obs::enable_tracing(true);
+    campaign::engine eng{spec};
+    std::uint64_t rounds_seen = 0;
+    eng.set_round_observer(
+        [&rounds_seen](const obs::round_summary&) { ++rounds_seen; });
+    const auto json = eng.run().to_json();
+    obs::enable_tracing(false);
+    obs::clear_spans_for_test();
+    EXPECT_GE(rounds_seen, 1u) << "observer never fired — nothing was tested";
+    return json;
+}
+
+TEST(telemetry_identity, in_process_report_identical_with_telemetry_on) {
+    const auto spec = small_spec();
+    const auto reference = run_plain(spec, 1);
+    for (const unsigned jobs : {1u, 8u}) {
+        EXPECT_EQ(run_plain(spec, jobs), reference) << "jobs=" << jobs;
+        EXPECT_EQ(run_with_telemetry(spec, jobs), reference)
+            << "jobs=" << jobs << " with telemetry";
+    }
+}
+
+TEST(telemetry_identity, adaptive_report_identical_with_telemetry_on) {
+    auto spec = small_spec();
+    spec.trials_per_cell = 16;
+    spec.adaptive = true;
+    spec.min_trials_per_cell = 8;
+    const auto reference = run_plain(spec, 1);
+    for (const unsigned jobs : {1u, 8u})
+        EXPECT_EQ(run_with_telemetry(spec, jobs), reference)
+            << "jobs=" << jobs << " with telemetry";
+}
+
+TEST(telemetry_identity, sharded_report_identical_with_telemetry_on) {
+    const auto spec = small_spec();
+    const auto reference = run_plain(spec, 1);
+    for (const unsigned shards : {1u, 4u}) {
+        dist::sharded_options plain;
+        plain.shards = shards;
+        plain.flight_recorder = false;
+        EXPECT_EQ(dist::run_sharded(spec, plain).to_json(), reference)
+            << "shards=" << shards;
+
+        // Everything on: JSONL telemetry to a temp file, the in-process
+        // observer, orchestrator tracing, and per-worker flight recorders.
+        const std::string jsonl =
+            ::testing::TempDir() + "telemetry_identity_" +
+            std::to_string(shards) + ".jsonl";
+        dist::sharded_options loud;
+        loud.shards = shards;
+        loud.telemetry_path = jsonl;
+        loud.postmortem_dir = ::testing::TempDir();
+        std::uint64_t rounds_seen = 0;
+        loud.round_observer =
+            [&rounds_seen](const obs::round_summary&) { ++rounds_seen; };
+        obs::enable_tracing(true);
+        const auto report = dist::run_sharded(spec, loud).to_json();
+        obs::enable_tracing(false);
+        obs::clear_spans_for_test();
+        EXPECT_EQ(report, reference) << "shards=" << shards << " with telemetry";
+        EXPECT_GE(rounds_seen, 1u);
+        std::remove(jsonl.c_str());
+    }
+}
+
+}  // namespace
+}  // namespace pssp

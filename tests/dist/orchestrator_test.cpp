@@ -7,10 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
 
 #include "campaign/engine.hpp"
 #include "dist/orchestrator.hpp"
+#include "util/json.hpp"
 
 namespace pssp {
 namespace {
@@ -81,20 +87,80 @@ TEST(dist_orchestrator, adaptive_report_byte_identical_at_1_2_4_8_shards) {
 }
 
 TEST(dist_orchestrator, crashed_worker_fails_the_run_loudly) {
+    // Regression: the error used to say only "shard 2: worker exited with
+    // status 3" — no argv to rerun the worker, no round. It must now carry
+    // the shard, the round number, the decoded wait status, and the exact
+    // worker command line, and leave a postmortem file behind.
     auto spec = campaign::default_spec();
     spec.trials_per_cell = 4;
     ::setenv("PSSP_CAMPAIGN_WORKER_CRASH", "2", /*overwrite=*/1);
     dist::sharded_options options;
     options.shards = 4;
+    options.postmortem_dir = ::testing::TempDir();
     try {
         (void)dist::run_sharded(spec, options);
         ::unsetenv("PSSP_CAMPAIGN_WORKER_CRASH");
         FAIL() << "a dead shard must fail the campaign";
     } catch (const std::runtime_error& e) {
         ::unsetenv("PSSP_CAMPAIGN_WORKER_CRASH");
-        EXPECT_NE(std::string{e.what()}.find("shard 2"), std::string::npos)
-            << "error must name the failed shard: " << e.what();
+        const std::string what = e.what();
+        EXPECT_NE(what.find("shard 2"), std::string::npos)
+            << "error must name the failed shard: " << what;
+        EXPECT_NE(what.find("round 0"), std::string::npos)
+            << "error must name the round: " << what;
+        EXPECT_NE(what.find("exited with status 3"), std::string::npos)
+            << "error must decode the wait status: " << what;
+        EXPECT_NE(what.find("--shard 2 --shards 4"), std::string::npos)
+            << "error must carry the worker argv: " << what;
     }
+    // The flight-recorder postmortem: valid JSON identifying the worker,
+    // with its block manifest and the (possibly empty) flight recording.
+    const auto path = options.postmortem_dir + "/obs-postmortem-2.json";
+    std::ifstream in{path};
+    ASSERT_TRUE(in.good()) << "missing postmortem: " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto doc = util::parse_json(text.str());
+    EXPECT_EQ(doc.at("shard").as_u64(), 2u);
+    EXPECT_EQ(doc.at("round").as_u64(), 0u);
+    EXPECT_FALSE(doc.at("argv").elements().empty());
+    EXPECT_FALSE(doc.at("blocks").elements().empty());
+    std::remove(path.c_str());
+    // Flight files themselves must not linger after the failure.
+    const auto flight = options.postmortem_dir + "/obs-flight-" +
+                        std::to_string(::getpid()) + "-2.json";
+    EXPECT_FALSE(std::ifstream{flight}.good())
+        << "flight file not cleaned up: " << flight;
+}
+
+TEST(dist_orchestrator, crashed_adaptive_worker_names_the_round) {
+    auto spec = campaign::default_spec();
+    spec.trials_per_cell = 8;
+    spec.adaptive = true;
+    spec.min_trials_per_cell = 4;
+    ::setenv("PSSP_CAMPAIGN_WORKER_CRASH", "1", /*overwrite=*/1);
+    dist::sharded_options options;
+    options.shards = 2;
+    options.postmortem_dir = ::testing::TempDir();
+    try {
+        (void)dist::run_sharded(spec, options);
+        ::unsetenv("PSSP_CAMPAIGN_WORKER_CRASH");
+        FAIL() << "a dead shard must fail the campaign";
+    } catch (const std::runtime_error& e) {
+        ::unsetenv("PSSP_CAMPAIGN_WORKER_CRASH");
+        const std::string what = e.what();
+        EXPECT_NE(what.find("shard 1 (round 1)"), std::string::npos)
+            << "adaptive failure must name shard and round: " << what;
+        EXPECT_NE(what.find("--round --shard 1 --shards 2"), std::string::npos)
+            << "error must carry the worker argv: " << what;
+    }
+    const auto path = options.postmortem_dir + "/obs-postmortem-1.json";
+    std::ifstream in{path};
+    ASSERT_TRUE(in.good()) << "missing postmortem: " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    EXPECT_EQ(util::parse_json(text.str()).at("round").as_u64(), 1u);
+    std::remove(path.c_str());
 }
 
 TEST(dist_orchestrator, missing_worker_binary_fails_loudly) {

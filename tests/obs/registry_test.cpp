@@ -1,0 +1,97 @@
+// The metric registry's exactness and concurrency contract: relaxed
+// atomics lose no increments, ids are stable per name, histograms keep
+// exact count/sum, and the JSON export is deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/json.hpp"
+
+namespace pssp {
+namespace {
+
+#if PSSP_OBS
+
+TEST(obs_registry, registration_is_idempotent_per_name) {
+    const auto a = obs::counter("test.registry.idem");
+    const auto b = obs::counter("test.registry.idem");
+    EXPECT_EQ(a, b);
+    const auto c = obs::counter("test.registry.other");
+    EXPECT_NE(a, c);
+}
+
+TEST(obs_registry, counts_exactly_under_8_threads) {
+    obs::reset_all_for_test();
+    const auto id = obs::counter("test.registry.hammer");
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kAddsPerThread = 100'000;
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([id] {
+            for (std::uint64_t i = 0; i < kAddsPerThread; ++i) obs::add(id, 1);
+        });
+    for (auto& t : pool) t.join();
+    EXPECT_EQ(obs::value(id), kThreads * kAddsPerThread);
+}
+
+TEST(obs_registry, histogram_keeps_exact_count_and_sum_under_threads) {
+    obs::reset_all_for_test();
+    const auto id = obs::histogram("test.registry.hist");
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kSamples = 10'000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([id] {
+            for (std::uint64_t i = 0; i < kSamples; ++i) obs::observe(id, i);
+        });
+    for (auto& t : pool) t.join();
+    for (const auto& m : obs::snapshot()) {
+        if (m.name != "test.registry.hist") continue;
+        EXPECT_EQ(m.type, obs::metric_type::histogram);
+        EXPECT_EQ(m.count, kThreads * kSamples);
+        EXPECT_EQ(m.sum, kThreads * (kSamples * (kSamples - 1) / 2));
+        return;
+    }
+    FAIL() << "histogram missing from snapshot";
+}
+
+TEST(obs_registry, gauge_set_overwrites) {
+    obs::reset_all_for_test();
+    const auto id = obs::gauge("test.registry.gauge");
+    obs::set(id, 41);
+    obs::set(id, 7);
+    EXPECT_EQ(obs::value(id), 7u);
+}
+
+TEST(obs_registry, metrics_json_parses_and_contains_metrics) {
+    obs::reset_all_for_test();
+    const auto id = obs::counter("test.registry.json");
+    obs::add(id, 5);
+    const auto hist = obs::histogram("test.registry.json_hist");
+    obs::observe(hist, 16);
+    obs::observe(hist, 4);
+    const auto doc = util::parse_json(obs::metrics_json());
+    EXPECT_EQ(doc.at("test.registry.json").as_u64(), 5u);
+    const auto& h = doc.at("test.registry.json_hist");
+    EXPECT_EQ(h.at("count").as_u64(), 2u);
+    EXPECT_EQ(h.at("sum").as_u64(), 20u);
+}
+
+#else  // PSSP_OBS == 0
+
+TEST(obs_registry, stubs_compile_and_return_zero) {
+    const auto id = obs::counter("test.registry.stub");
+    obs::add(id, 9);
+    EXPECT_EQ(obs::value(id), 0u);
+    EXPECT_TRUE(obs::snapshot().empty());
+}
+
+#endif
+
+}  // namespace
+}  // namespace pssp

@@ -17,6 +17,8 @@
 
 #include "campaign/engine.hpp"
 #include "dist/orchestrator.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "vm/dispatch.hpp"
 
 namespace {
@@ -61,7 +63,17 @@ void usage(const char* argv0) {
                  "  --scaling L  run at each shard count in the comma list,\n"
                  "               assert byte-identical reports, emit the\n"
                  "               scaling curve to --bench-json\n"
-                 "  --bench-json PATH  BENCH_shard.json destination\n",
+                 "  --bench-json PATH  BENCH_shard.json destination\n"
+                 "  --telemetry PATH  per-round summary JSONL ('-' = stderr):\n"
+                 "               blocks/trials issued, widest CI half-width,\n"
+                 "               per-shard wall/user/sys times. Side channel\n"
+                 "               only — never changes the report\n"
+                 "  --trace-out PATH  Chrome trace_event JSON of the\n"
+                 "               orchestrator's spans (rounds, worker\n"
+                 "               lifetimes, wire encode/decode) — load in\n"
+                 "               chrome://tracing or Perfetto\n"
+                 "  --progress   live round progress on stderr (off by\n"
+                 "               default; stderr only, stdout untouched)\n",
                  argv0);
 }
 
@@ -102,8 +114,10 @@ int main(int argc, char** argv) {
     dist::sharded_options options;
     const char* json_path = nullptr;
     const char* bench_json_path = nullptr;
+    const char* trace_path = nullptr;
     std::vector<unsigned> scaling;
     bool table = false;
+    bool progress = false;
 
     for (int i = 1; i < argc; ++i) {
         auto next_value = [&](const char* flag) -> const char* {
@@ -170,6 +184,12 @@ int main(int argc, char** argv) {
             }
         } else if (!std::strcmp(argv[i], "--bench-json")) {
             bench_json_path = next_value("--bench-json");
+        } else if (!std::strcmp(argv[i], "--telemetry")) {
+            options.telemetry_path = next_value("--telemetry");
+        } else if (!std::strcmp(argv[i], "--trace-out")) {
+            trace_path = next_value("--trace-out");
+        } else if (!std::strcmp(argv[i], "--progress")) {
+            progress = true;
         } else {
             usage(argv[0]);
             return 2;
@@ -179,6 +199,34 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--shards must be >= 1\n");
         return 2;
     }
+
+    if (trace_path != nullptr) obs::enable_tracing(true);
+    std::uint64_t blocks_done = 0;
+    if (progress) {
+        // Live progress, stderr only; stdout stays the report's. Built on
+        // the same side-channel summaries --telemetry serializes.
+        options.round_observer = [&blocks_done](const obs::round_summary& r) {
+            blocks_done += r.blocks;
+            std::fprintf(stderr,
+                         "round %llu: %llu blocks (%llu so far), %llu trials "
+                         "(%llu cumulative), widest CI half-width %.4f (%s)\n",
+                         static_cast<unsigned long long>(r.round),
+                         static_cast<unsigned long long>(r.blocks),
+                         static_cast<unsigned long long>(blocks_done),
+                         static_cast<unsigned long long>(r.trials),
+                         static_cast<unsigned long long>(r.cumulative_trials),
+                         r.max_halfwidth, r.widest_cell.c_str());
+        };
+    }
+    // Written on every exit path below that returns from a completed run.
+    auto dump_trace = [trace_path] {
+        if (trace_path == nullptr) return true;
+        if (!write_text(trace_path,
+                        obs::chrome_trace_json("tools_campaign_shard")))
+            return false;
+        std::fprintf(stderr, "trace written to %s\n", trace_path);
+        return true;
+    };
 
     try {
         if (!scaling.empty()) {
@@ -239,7 +287,7 @@ int main(int argc, char** argv) {
                 return 1;
             std::fprintf(stderr, "all %zu shard counts byte-identical\n",
                          scaling.size());
-            return 0;
+            return dump_trace() ? 0 : 1;
         }
 
         const auto report = dist::run_sharded(spec, options);
@@ -247,7 +295,7 @@ int main(int argc, char** argv) {
         if (json_path != nullptr &&
             !write_text(json_path, report.to_json() + "\n"))
             return 1;
-        return 0;
+        return dump_trace() ? 0 : 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -26,6 +26,12 @@
 // Test hook: PSSP_CAMPAIGN_WORKER_CRASH=<K> makes shard K exit(3) before
 // doing any work, so the crashed-worker path is testable without a real
 // fault.
+//
+// Flight recorder: PSSP_OBS_FLIGHT=<path> (set by the orchestrator) turns
+// on span tracing and checkpoints the newest spans to <path> at startup,
+// after input parse, every 256 trials, and before the partial is emitted —
+// so whenever this process dies, <path> holds its last recorded moments
+// for the orchestrator's postmortem.
 
 #include <cerrno>
 #include <cstdio>
@@ -40,6 +46,7 @@
 #include "campaign/engine.hpp"
 #include "dist/shard.hpp"
 #include "dist/wire.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -72,6 +79,9 @@ std::string read_stdin() {
 
 int emit_partial(const pssp::dist::partial_report& report, long shard) {
     const auto json = pssp::dist::partial_to_json(report);
+    // Last checkpoint before the pipe write — a partial that never arrives
+    // still leaves the encode span on record.
+    pssp::obs::flight_checkpoint();
     if (std::fwrite(json.data(), 1, json.size(), stdout) != json.size() ||
         std::fflush(stdout) != 0) {
         std::fprintf(stderr, "shard %ld: writing partial failed\n", shard);
@@ -115,6 +125,17 @@ int main(int argc, char** argv) {
     }
     if (shard < 0 || shards <= 0 || shard >= shards) return usage(argv[0]);
 
+    // Arm the flight recorder before anything that can fail — including
+    // the injected-crash hook below, so even a worker that "crashes"
+    // instantly leaves a (near-empty but valid) recording behind.
+    bool flight = false;
+    if (const char* flight_path = std::getenv("PSSP_OBS_FLIGHT")) {
+        pssp::obs::set_flight_path(flight_path);
+        pssp::obs::enable_tracing(true);
+        pssp::obs::flight_checkpoint();
+        flight = true;
+    }
+
     if (const char* crash = std::getenv("PSSP_CAMPAIGN_WORKER_CRASH"))
         if (std::strtol(crash, nullptr, 10) == shard) {
             std::fprintf(stderr, "shard %ld: injected crash\n", shard);
@@ -132,8 +153,13 @@ int main(int argc, char** argv) {
                 throw std::runtime_error{
                     "round job spec digest disagrees with its spec"};
             validate_manifest(job.spec, job.manifest);
+            pssp::obs::flight_checkpoint();  // input parsed and validated
 
             pssp::campaign::engine engine{job.spec};
+            if (flight)
+                engine.set_progress([](std::uint64_t done, std::uint64_t) {
+                    if (done % 256 == 0) pssp::obs::flight_checkpoint();
+                });
             const auto partials = engine.run_blocks(job.manifest.blocks);
 
             report.round = job.manifest.round;
@@ -151,7 +177,13 @@ int main(int argc, char** argv) {
             spec, static_cast<std::uint32_t>(shard),
             static_cast<std::uint32_t>(shards));
 
+        pssp::obs::flight_checkpoint();  // input parsed, plan derived
+
         pssp::campaign::engine engine{spec};
+        if (flight)
+            engine.set_progress([](std::uint64_t done, std::uint64_t) {
+                if (done % 256 == 0) pssp::obs::flight_checkpoint();
+            });
         const auto partials = engine.run_blocks(plan.blocks);
 
         report.digest = pssp::dist::spec_digest(spec);
