@@ -132,6 +132,37 @@ void adaptive_allocator::record_round(std::span<const block_ref> blocks,
     ++rounds_completed_;
 }
 
+void adaptive_allocator::replay_round(std::uint64_t round,
+                                      std::span<const block_ref> blocks,
+                                      std::span<const cell_partial> partials) {
+    if (round != rounds_completed_ + 1)
+        throw std::runtime_error{
+            "adaptive_allocator: replay out of order (checkpoint round " +
+            std::to_string(round) + " after " +
+            std::to_string(rounds_completed_) + " replayed rounds)"};
+    if (done())
+        throw std::runtime_error{
+            "adaptive_allocator: checkpoint round " + std::to_string(round) +
+            " replayed into a finished campaign — checkpoint does not match "
+            "this spec"};
+    const auto plan = plan_round();
+    if (plan.size() != blocks.size())
+        throw std::runtime_error{
+            "adaptive_allocator: checkpoint round " + std::to_string(round) +
+            " has " + std::to_string(blocks.size()) + " blocks, this spec plans " +
+            std::to_string(plan.size()) +
+            " — checkpoint belongs to a different campaign"};
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        if (plan[i].index != blocks[i].index)
+            throw std::runtime_error{
+                "adaptive_allocator: checkpoint round " + std::to_string(round) +
+                " block " + std::to_string(blocks[i].index) +
+                " differs from the planned block " +
+                std::to_string(plan[i].index) +
+                " — checkpoint belongs to a different campaign"};
+    record_round(plan, partials);
+}
+
 bool adaptive_allocator::done() const {
     if (round_in_flight_) return false;
     for (const auto& cell : cells_)

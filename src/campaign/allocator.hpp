@@ -62,6 +62,16 @@ class adaptive_allocator {
     void record_round(std::span<const block_ref> blocks,
                       std::span<const cell_partial> partials);
 
+    // Checkpoint replay: plan_round() + validate that the checkpointed
+    // blocks are exactly the plan + record_round(). Because a round plan
+    // is a pure function of the rounds recorded before it, feeding a
+    // resumed allocator the checkpointed rounds in order reconstructs its
+    // state bit-for-bit; any divergence (spec edited, log from a different
+    // run) throws std::runtime_error naming the round and block. Throws if
+    // the allocator is already done and a round is still being replayed.
+    void replay_round(std::uint64_t round, std::span<const block_ref> blocks,
+                      std::span<const cell_partial> partials);
+
     // True once plan_round() would return empty (and no round is pending).
     [[nodiscard]] bool done() const;
 

@@ -1,0 +1,125 @@
+#include "dist/chaos.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace pssp::dist {
+
+namespace {
+
+// One ":"-separated field of a rule: an integer coordinate or "*".
+// `any` and `value` are outputs; throws on anything else.
+void parse_coordinate(std::string_view token, std::string_view rule,
+                      bool& any, std::uint64_t& value) {
+    if (token == "*") {
+        any = true;
+        return;
+    }
+    if (token.empty())
+        throw std::invalid_argument{"fault plan: empty coordinate in rule \"" +
+                                    std::string{rule} + "\""};
+    std::uint64_t parsed = 0;
+    for (const char c : token) {
+        if (c < '0' || c > '9')
+            throw std::invalid_argument{
+                "fault plan: bad coordinate \"" + std::string{token} +
+                "\" in rule \"" + std::string{rule} + "\""};
+        parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    any = false;
+    value = parsed;
+}
+
+fault_rule parse_rule(std::string_view rule) {
+    // Split on ':' into at most 4 fields: fault[:shard[:round[:attempt]]].
+    std::vector<std::string_view> fields;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= rule.size(); ++i) {
+        if (i == rule.size() || rule[i] == ':') {
+            fields.push_back(rule.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    if (fields.empty() || fields.size() > 4)
+        throw std::invalid_argument{"fault plan: rule \"" + std::string{rule} +
+                                    "\" has too many fields"};
+
+    fault_rule out;
+    std::string_view fault = fields[0];
+    if (fault == "crash") {
+        out.kind = fault_kind::crash;
+    } else if (fault == "crash-late") {
+        out.kind = fault_kind::crash_late;
+    } else if (fault == "hang") {
+        out.kind = fault_kind::hang;
+    } else if (fault == "trunc") {
+        out.kind = fault_kind::trunc;
+    } else if (fault == "corrupt") {
+        out.kind = fault_kind::corrupt;
+    } else if (fault == "wrong-block") {
+        out.kind = fault_kind::wrong_block;
+    } else if (fault.substr(0, 5) == "slow=") {
+        out.kind = fault_kind::slow;
+        bool any = false;
+        parse_coordinate(fault.substr(5), rule, any, out.param);
+        if (any)
+            throw std::invalid_argument{
+                "fault plan: slow needs a millisecond count in rule \"" +
+                std::string{rule} + "\""};
+    } else {
+        throw std::invalid_argument{"fault plan: unknown fault \"" +
+                                    std::string{fault} + "\" in rule \"" +
+                                    std::string{rule} + "\""};
+    }
+
+    if (fields.size() > 1)
+        parse_coordinate(fields[1], rule, out.any_shard, out.shard);
+    if (fields.size() > 2)
+        parse_coordinate(fields[2], rule, out.any_round, out.round);
+    if (fields.size() > 3)
+        parse_coordinate(fields[3], rule, out.any_attempt, out.attempt);
+    return out;
+}
+
+}  // namespace
+
+const char* to_string(fault_kind kind) noexcept {
+    switch (kind) {
+        case fault_kind::none: return "none";
+        case fault_kind::crash: return "crash";
+        case fault_kind::crash_late: return "crash-late";
+        case fault_kind::hang: return "hang";
+        case fault_kind::trunc: return "trunc";
+        case fault_kind::corrupt: return "corrupt";
+        case fault_kind::wrong_block: return "wrong-block";
+        case fault_kind::slow: return "slow";
+    }
+    return "?";
+}
+
+fault_plan parse_fault_plan(std::string_view text) {
+    fault_plan plan;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == ',') {
+            const auto rule = text.substr(start, i - start);
+            if (!rule.empty()) plan.rules.push_back(parse_rule(rule));
+            start = i + 1;
+        }
+    }
+    return plan;
+}
+
+fault_rule decide_fault(const fault_plan& plan, std::uint64_t shard,
+                        std::uint64_t round, std::uint64_t attempt) noexcept {
+    for (const auto& rule : plan.rules) {
+        if (!rule.any_shard && rule.shard != shard) continue;
+        if (!rule.any_round && rule.round != round) continue;
+        if (!rule.any_attempt && rule.attempt != attempt) continue;
+        return rule;
+    }
+    return fault_rule{};
+}
+
+}  // namespace pssp::dist

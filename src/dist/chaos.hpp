@@ -1,0 +1,96 @@
+// Deterministic fault-injection plans for campaign workers.
+//
+// The chaos harness is how the fault-tolerance layer is tested without
+// real flaky hardware: the orchestrator's environment carries a *fault
+// plan* (PSSP_CAMPAIGN_FAULT_PLAN), every worker process parses it at
+// startup, and a worker whose (shard, round, attempt) coordinate matches
+// a rule executes that rule's fault instead of (or around) its real work.
+// Because the coordinate is fully determined by the campaign — the
+// allocator's round schedule is a pure function of (spec, master_seed)
+// and the orchestrator numbers attempts deterministically — a chaos run
+// replays *exactly*: same faults, same retries, same recovered report.
+//
+// Plan grammar (comma-separated rules; whitespace-free):
+//
+//   plan    := rule ("," rule)*
+//   rule    := fault [":" shard [":" round [":" attempt]]]
+//   fault   := "crash" | "crash-late" | "hang" | "trunc" | "corrupt"
+//            | "wrong-block" | "slow=<millis>"
+//   shard   := integer | "*"          (default "*": any shard)
+//   round   := integer | "*"          (default "*": any round; fixed
+//                                      allocation runs are round 0)
+//   attempt := integer | "*"          (default 1: first attempt only, so
+//                                      the retry heals; "*" = every
+//                                      attempt, for exhaustion tests)
+//
+// Faults, at the point in the worker's life where they strike:
+//
+//   crash        exit(3) at startup, before reading stdin
+//   crash-late   exit(4) after computing the partial, before emitting it
+//   hang         block forever at startup (the supervisor's deadline
+//                SIGKILLs it)
+//   trunc        emit only the first half of the partial JSON, exit 0
+//   corrupt      emit a partial whose spec digest is flipped — parses
+//                fine, fails validation
+//   wrong-block  emit a partial whose block indices are shifted by one —
+//                covers blocks the manifest never assigned
+//   slow=N       sleep N milliseconds at startup, then run normally
+//                (exercises the deadline without tripping it)
+//
+// First matching rule wins. A malformed plan throws from parse (the
+// worker exits loudly) — a typo'd chaos run must never pass as clean.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pssp::dist {
+
+enum class fault_kind : std::uint8_t {
+    none,
+    crash,
+    crash_late,
+    hang,
+    trunc,
+    corrupt,
+    wrong_block,
+    slow,
+};
+
+[[nodiscard]] const char* to_string(fault_kind kind) noexcept;
+
+struct fault_rule {
+    fault_kind kind = fault_kind::none;
+    // Match coordinates; any_* true means wildcard.
+    bool any_shard = true;
+    bool any_round = true;
+    bool any_attempt = false;
+    std::uint64_t shard = 0;
+    std::uint64_t round = 0;
+    std::uint64_t attempt = 1;
+    std::uint64_t param = 0;  // slow: sleep milliseconds
+};
+
+struct fault_plan {
+    std::vector<fault_rule> rules;
+
+    [[nodiscard]] bool empty() const noexcept { return rules.empty(); }
+};
+
+// Parses the plan grammar above. Throws std::invalid_argument naming the
+// offending token on any malformed rule.
+[[nodiscard]] fault_plan parse_fault_plan(std::string_view text);
+
+// The first rule matching (shard, round, attempt), or a kind-none rule.
+[[nodiscard]] fault_rule decide_fault(const fault_plan& plan,
+                                      std::uint64_t shard, std::uint64_t round,
+                                      std::uint64_t attempt) noexcept;
+
+// Environment variable names shared by the orchestrator (which sets the
+// coordinates per spawned worker) and the worker (which reads them).
+inline constexpr const char* fault_plan_env = "PSSP_CAMPAIGN_FAULT_PLAN";
+inline constexpr const char* fault_round_env = "PSSP_CAMPAIGN_ROUND";
+inline constexpr const char* fault_attempt_env = "PSSP_CAMPAIGN_ATTEMPT";
+
+}  // namespace pssp::dist

@@ -1,238 +1,33 @@
 #include "dist/orchestrator.hpp"
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
-#include <csignal>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <limits.h>
-#include <sys/resource.h>
-#include <sys/types.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include "attack/strategy.hpp"
 #include "campaign/allocator.hpp"
 #include "core/scheme.hpp"
-#include "dist/shard.hpp"
+#include "dist/checkpoint.hpp"
+#include "dist/supervisor.hpp"
 #include "dist/wire.hpp"
 #include "obs/span.hpp"
+#include "util/json.hpp"
 #include "workload/victim.hpp"
 
 namespace pssp::dist {
 
 namespace {
 
-// One worker process to spawn: argv tail (after the binary path) plus the
-// stdin payload. The fixed path runs one per shard for the whole campaign;
-// the adaptive path runs one per shard per round. block_indices and
-// flight_path are failure-context only — which canonical blocks this
-// worker owned, and where its crash flight recording lands.
-struct worker_job {
-    std::vector<std::string> args;
-    std::string input;
-    std::vector<std::uint64_t> block_indices;
-    std::string flight_path;  // empty = no flight recorder for this worker
-};
-
-// What one worker did, job-aligned from run_worker_pool. exit_status is
-// the raw wait4 status; error holds parent-side failures (input write).
-// The times are telemetry: wall from spawn to reap on the parent's clock,
-// user/sys from the child's rusage.
-struct worker_result {
-    std::string output;
-    std::string error;
-    int exit_status = -1;
-    double wall_seconds = 0.0;
-    double user_seconds = 0.0;
-    double sys_seconds = 0.0;
-};
-
-struct worker_process {
-    pid_t pid = -1;
-    int stdout_fd = -1;
-    std::chrono::steady_clock::time_point spawned;
-    std::uint64_t spawned_ns = 0;  // trace clock, for the lifetime span
-};
-
-[[noreturn]] void exec_worker(const std::string& path,
-                              const std::vector<std::string>& args, int in_fd,
-                              int out_fd, const std::string& flight_path) {
-    ::dup2(in_fd, STDIN_FILENO);
-    ::dup2(out_fd, STDOUT_FILENO);
-    // stderr stays inherited: worker diagnostics surface on the parent's.
-    ::close(in_fd);
-    ::close(out_fd);
-    // Flight-recorder plumbing: the worker reads this at startup, enables
-    // tracing, and checkpoints its span ring to the named file.
-    if (!flight_path.empty())
-        ::setenv("PSSP_OBS_FLIGHT", flight_path.c_str(), /*overwrite=*/1);
-    std::vector<const char*> argv;
-    argv.reserve(args.size() + 2);
-    argv.push_back(path.c_str());
-    for (const auto& a : args) argv.push_back(a.c_str());
-    argv.push_back(nullptr);
-    ::execv(path.c_str(), const_cast<char* const*>(argv.data()));
-    // Exec failed; 127 is the conventional "command not found" status the
-    // parent turns into a pointed error message.
-    std::fprintf(stderr, "campaign worker exec failed: %s: %s\n", path.c_str(),
-                 std::strerror(errno));
-    ::_exit(127);
-}
-
-void write_all(int fd, const std::string& data, std::string& error) {
-    std::size_t off = 0;
-    while (off < data.size()) {
-        const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            // EPIPE: the worker died before reading its input. Record it —
-            // the wait status below says why.
-            if (error.empty())
-                error = std::string{"input write failed: "} + std::strerror(errno);
-            return;
-        }
-        off += static_cast<std::size_t>(n);
-    }
-}
-
-void read_all(int fd, std::string& out) {
-    char buf[1 << 16];
-    for (;;) {
-        const ssize_t n = ::read(fd, buf, sizeof buf);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            return;
-        }
-        if (n == 0) return;
-        out.append(buf, static_cast<std::size_t>(n));
-    }
-}
-
-std::string describe_exit(int status) {
-    if (WIFEXITED(status)) {
-        const int code = WEXITSTATUS(status);
-        if (code == 0) return {};
-        if (code == 127) return "worker exec failed (bad worker path?)";
-        return "worker exited with status " + std::to_string(code);
-    }
-    if (WIFSIGNALED(status))
-        return std::string{"worker killed by signal "} +
-               std::to_string(WTERMSIG(status)) + " (" +
-               strsignal(WTERMSIG(status)) + ")";
-    return "worker ended abnormally";
-}
-
-// Spawns one process per job, feeds each its stdin payload, drains every
-// stdout, reaps everything, and returns job-aligned results with wait
-// status and wall/user/sys times. Worker failures are reported in the
-// results (check_workers turns them into a loud error with full context);
-// only infrastructure failures — pipe/fork exhaustion — throw from here,
-// after every child has been reaped.
-std::vector<worker_result> run_worker_pool(const std::string& worker,
-                                           const std::vector<worker_job>& jobs) {
-    // A worker that dies before reading its input must surface as its wait
-    // status, not as SIGPIPE killing the orchestrator.
-    struct sigaction ignore_pipe {};
-    ignore_pipe.sa_handler = SIG_IGN;
-    struct sigaction old_pipe {};
-    ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
-
-    std::vector<worker_process> workers(jobs.size());
-    std::vector<worker_result> results(jobs.size());
-    // On a mid-loop spawn failure (EMFILE, EAGAIN, ...) the workers already
-    // forked must not be orphaned: kill them, drop their pipe fds, and reap
-    // every one before throwing — the header's "all children are reaped"
-    // contract holds on every exit path.
-    auto abandon_spawned = [&](const char* what) {
-        for (auto& w : workers) {
-            if (w.pid < 0) continue;
-            ::kill(w.pid, SIGKILL);
-            ::close(w.stdout_fd);
-            int status = 0;
-            while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
-            }
-        }
-        ::sigaction(SIGPIPE, &old_pipe, nullptr);
-        throw std::runtime_error{std::string{"run_sharded: "} + what};
-    };
-    for (std::size_t k = 0; k < jobs.size(); ++k) {
-        int in_pipe[2];
-        int out_pipe[2];
-        if (::pipe(in_pipe) != 0) abandon_spawned("pipe() failed");
-        if (::pipe(out_pipe) != 0) {
-            ::close(in_pipe[0]);
-            ::close(in_pipe[1]);
-            abandon_spawned("pipe() failed");
-        }
-        const pid_t pid = ::fork();
-        if (pid < 0) {
-            ::close(in_pipe[0]);
-            ::close(in_pipe[1]);
-            ::close(out_pipe[0]);
-            ::close(out_pipe[1]);
-            abandon_spawned("fork() failed");
-        }
-        if (pid == 0) {
-            ::close(in_pipe[1]);
-            ::close(out_pipe[0]);
-            exec_worker(worker, jobs[k].args, in_pipe[0], out_pipe[1],
-                        jobs[k].flight_path);
-        }
-        ::close(in_pipe[0]);
-        ::close(out_pipe[1]);
-        workers[k].pid = pid;
-        workers[k].stdout_fd = out_pipe[0];
-        workers[k].spawned = std::chrono::steady_clock::now();
-        workers[k].spawned_ns = obs::trace_now_ns();
-        // Workers read their whole stdin before emitting output, so even an
-        // input larger than the pipe capacity drains promptly — the write
-        // blocks at worst until the freshly exec'd worker starts reading.
-        write_all(in_pipe[1], jobs[k].input, results[k].error);
-        ::close(in_pipe[1]);
-    }
-
-    // Drain stdouts in job order. A later worker whose pipe fills simply
-    // blocks until its turn — the parent owes it nothing else.
-    for (std::size_t k = 0; k < workers.size(); ++k) {
-        read_all(workers[k].stdout_fd, results[k].output);
-        ::close(workers[k].stdout_fd);
-    }
-    for (std::size_t k = 0; k < workers.size(); ++k) {
-        int status = 0;
-        struct rusage ru {};
-        while (::wait4(workers[k].pid, &status, 0, &ru) < 0 && errno == EINTR) {
-        }
-        results[k].exit_status = status;
-        results[k].wall_seconds = std::chrono::duration<double>(
-                                      std::chrono::steady_clock::now() -
-                                      workers[k].spawned)
-                                      .count();
-        results[k].user_seconds =
-            static_cast<double>(ru.ru_utime.tv_sec) +
-            static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
-        results[k].sys_seconds =
-            static_cast<double>(ru.ru_stime.tv_sec) +
-            static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
-        // One lifetime span per worker process on the orchestrator's
-        // timeline (arg = shard index) — spawn to reap, pipe drain included.
-        obs::emit_span("shard.worker", "dist", workers[k].spawned_ns,
-                       obs::trace_now_ns() - workers[k].spawned_ns,
-                       static_cast<std::int64_t>(k));
-    }
-    ::sigaction(SIGPIPE, &old_pipe, nullptr);
-    return results;
-}
-
-// ---- Failure context: enriched errors, flight recordings, postmortems ----
+// ---- Failure context: flight recordings, postmortems ----
 
 std::string join_path(const std::string& dir, const std::string& name) {
     if (dir.empty()) return name;
@@ -245,37 +40,22 @@ std::string flight_file_path(const sharded_options& options, std::uint32_t k) {
                          std::to_string(k) + ".json");
 }
 
+// Attempt 1 keeps the historical obs-postmortem-<shard>.json name; retries
+// get -attempt<N> suffixes so no attempt's evidence overwrites another's.
 std::string postmortem_file_path(const sharded_options& options,
-                                 std::uint32_t k) {
-    return join_path(options.postmortem_dir,
-                     "obs-postmortem-" + std::to_string(k) + ".json");
+                                 std::uint32_t k, unsigned attempt) {
+    std::string name = "obs-postmortem-" + std::to_string(k);
+    if (attempt > 1) name += "-attempt" + std::to_string(attempt);
+    return join_path(options.postmortem_dir, name + ".json");
 }
 
-void remove_flight_files(const std::vector<worker_job>& jobs) {
+void remove_flight_files(const std::vector<supervised_job>& jobs) {
     for (const auto& job : jobs)
         if (!job.flight_path.empty()) ::unlink(job.flight_path.c_str());
 }
 
-std::string json_escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out += buf;
-        } else {
-            out += c;
-        }
-    }
-    return out;
-}
-
 // The worker's full command line, for the failure message and postmortem.
-std::string format_argv(const std::string& worker, const worker_job& job) {
+std::string format_argv(const std::string& worker, const supervised_job& job) {
     std::string argv = worker;
     for (const auto& a : job.args) {
         argv += ' ';
@@ -284,16 +64,24 @@ std::string format_argv(const std::string& worker, const worker_job& job) {
     return argv;
 }
 
-// Dumps everything known about a failed worker next to the report the run
-// will never produce: identity (shard, round, argv), the wait status, the
-// block manifest it owned, and its last flight-recorder checkpoint (the
-// newest spans its ring held when it last wrote — embedded verbatim, or
-// null if the worker died before its first checkpoint).
+std::string format_blocks(const supervised_job& job) {
+    std::string out;
+    for (const auto& b : job.manifest.blocks) {
+        if (!out.empty()) out += ',';
+        out += std::to_string(b.index);
+    }
+    return out;
+}
+
+// Dumps everything known about one failed attempt next to the report the
+// attempt failed to advance: identity (shard, round, attempt, argv), the
+// failure classification and decoded wait status, the block manifest the
+// worker owned, and its last flight-recorder checkpoint (the newest spans
+// its ring held when it last wrote — embedded verbatim, or null if the
+// worker died before its first checkpoint).
 void write_postmortem(const sharded_options& options, const std::string& worker,
-                      const worker_job& job, std::uint32_t shard,
-                      std::uint64_t round_number, const std::string& why,
-                      int exit_status) {
-    const auto path = postmortem_file_path(options, shard);
+                      const supervised_job& job, const attempt_record& rec) {
+    const auto path = postmortem_file_path(options, job.shard, rec.attempt);
     std::string flight = "null";
     if (!job.flight_path.empty()) {
         std::ifstream in{job.flight_path, std::ios::binary};
@@ -303,26 +91,27 @@ void write_postmortem(const sharded_options& options, const std::string& worker,
             // flight_checkpoint writes tmp+rename, so a file that exists is
             // a complete JSON document.
             std::string doc = buf.str();
-            while (!doc.empty() &&
-                   (doc.back() == '\n' || doc.back() == ' '))
+            while (!doc.empty() && (doc.back() == '\n' || doc.back() == ' '))
                 doc.pop_back();
             if (!doc.empty()) flight = std::move(doc);
         }
     }
-    std::string doc = "{\n  \"shard\": " + std::to_string(shard) +
-                      ",\n  \"round\": " + std::to_string(round_number) +
-                      ",\n  \"worker\": \"" + json_escape(worker) +
+    std::string doc = "{\n  \"shard\": " + std::to_string(job.shard) +
+                      ",\n  \"round\": " + std::to_string(job.manifest.round) +
+                      ",\n  \"attempt\": " + std::to_string(rec.attempt) +
+                      ",\n  \"failure_kind\": \"" + to_string(rec.kind) +
+                      "\",\n  \"worker\": \"" + util::json_escape(worker) +
                       "\",\n  \"argv\": [";
     for (std::size_t i = 0; i < job.args.size(); ++i) {
         if (i != 0) doc += ", ";
-        doc += "\"" + json_escape(job.args[i]) + "\"";
+        doc += "\"" + util::json_escape(job.args[i]) + "\"";
     }
-    doc += "],\n  \"error\": \"" + json_escape(why) +
-           "\",\n  \"raw_wait_status\": " + std::to_string(exit_status) +
+    doc += "],\n  \"error\": \"" + util::json_escape(rec.why) +
+           "\",\n  \"raw_wait_status\": " + std::to_string(rec.wait_status) +
            ",\n  \"blocks\": [";
-    for (std::size_t i = 0; i < job.block_indices.size(); ++i) {
+    for (std::size_t i = 0; i < job.manifest.blocks.size(); ++i) {
         if (i != 0) doc += ", ";
-        doc += std::to_string(job.block_indices[i]);
+        doc += std::to_string(job.manifest.blocks[i].index);
     }
     doc += "],\n  \"flight\": " + flight + "\n}\n";
 
@@ -335,76 +124,6 @@ void write_postmortem(const sharded_options& options, const std::string& worker,
     std::fprintf(stderr, "dist: wrote %s\n", path.c_str());
 }
 
-// The loud-failure gate: any worker that exited non-zero, died on a
-// signal, or whose input could not be delivered fails the whole run with
-// an error carrying the shard index, round number, wait-status description
-// and the exact worker command line — after a postmortem (flight recording
-// + block manifest) has been dumped for every failed shard.
-void check_workers(const sharded_options& options, const std::string& worker,
-                   const std::vector<worker_job>& jobs,
-                   const std::vector<worker_result>& results,
-                   std::uint64_t round_number) {
-    std::string failure;
-    for (std::size_t k = 0; k < results.size(); ++k) {
-        std::string why = describe_exit(results[k].exit_status);
-        if (why.empty() && !results[k].error.empty()) why = results[k].error;
-        if (why.empty()) continue;
-        write_postmortem(options, worker, jobs[k],
-                         static_cast<std::uint32_t>(k), round_number, why,
-                         results[k].exit_status);
-        if (!failure.empty()) failure += "; ";
-        failure += "shard " + std::to_string(k) + " (round " +
-                   std::to_string(round_number) + "): " + why +
-                   " [argv: " + format_argv(worker, jobs[k]) + "]";
-    }
-    if (!failure.empty()) {
-        remove_flight_files(jobs);
-        throw std::runtime_error{"run_sharded: " + failure};
-    }
-}
-
-partial_report parse_worker_partial(const std::string& output, std::uint32_t k,
-                                    std::uint32_t count) {
-    partial_report partial;
-    try {
-        partial = partial_from_json(output);
-    } catch (const std::exception& e) {
-        throw std::runtime_error{"run_sharded: shard " + std::to_string(k) +
-                                 " emitted a bad partial: " + e.what()};
-    }
-    if (partial.shard_index != k || partial.shard_count != count)
-        throw std::runtime_error{
-            "run_sharded: shard " + std::to_string(k) + " identified as shard " +
-            std::to_string(partial.shard_index) + "/" +
-            std::to_string(partial.shard_count)};
-    return partial;
-}
-
-// Parses every worker's partial; a worker that exited cleanly but emitted
-// garbage gets the same postmortem treatment as a crash. Removes the
-// flight files on both paths — after this the recordings have either been
-// embedded in a postmortem or are no longer needed.
-std::vector<partial_report> parse_worker_partials(
-    const sharded_options& options, const std::string& worker,
-    const std::vector<worker_job>& jobs,
-    const std::vector<worker_result>& results, std::uint64_t round_number,
-    std::uint32_t count) {
-    std::vector<partial_report> partials;
-    partials.reserve(count);
-    for (std::uint32_t k = 0; k < count; ++k) {
-        try {
-            partials.push_back(parse_worker_partial(results[k].output, k, count));
-        } catch (const std::exception& e) {
-            write_postmortem(options, worker, jobs[k], k, round_number,
-                             e.what(), results[k].exit_status);
-            remove_flight_files(jobs);
-            throw;
-        }
-    }
-    remove_flight_files(jobs);
-    return partials;
-}
-
 std::string cell_name(const campaign::cell_id& id) {
     return workload::to_string(id.target) + "/" + core::to_string(id.scheme) +
            "/" + attack::to_string(id.attack);
@@ -414,18 +133,6 @@ void emit_round(const sharded_options& options, obs::telemetry_writer* writer,
                 const obs::round_summary& summary) {
     if (writer != nullptr) writer->append(summary);
     if (options.round_observer) options.round_observer(summary);
-}
-
-std::vector<obs::shard_time> shard_times(
-    const std::vector<worker_result>& results) {
-    std::vector<obs::shard_time> times;
-    times.reserve(results.size());
-    for (std::size_t k = 0; k < results.size(); ++k)
-        times.push_back(obs::shard_time{static_cast<std::uint32_t>(k),
-                                        results[k].wall_seconds,
-                                        results[k].user_seconds,
-                                        results[k].sys_seconds});
-    return times;
 }
 
 campaign::campaign_spec shard_execution_spec(
@@ -440,19 +147,186 @@ campaign::campaign_spec shard_execution_spec(
     return shard_spec;
 }
 
-// The adaptive round loop: the allocator runs in the parent, each round's
-// block list is split round-robin by list position across the shards, and
-// every worker gets an explicit manifest (spec + blocks) for that round.
-// Allocation decisions consume only merged partials, and block partials
-// are pure functions of (master_seed, block), so this reproduces
-// engine{spec}.run() byte for byte at any shard count.
+// One supervised manifest job per shard for one round: the round's block
+// list split round-robin by position, every worker told exactly which
+// canonical blocks it owns. A shard with no blocks is not spawned (late
+// adaptive rounds routinely have fewer active blocks than shards), so
+// every job is requeueable and resumable as a pure block manifest.
+std::vector<supervised_job> build_round_jobs(
+    const sharded_options& options, const campaign::campaign_spec& shard_spec,
+    std::uint64_t digest, std::uint64_t round_number,
+    std::span<const campaign::block_ref> blocks) {
+    const auto count = static_cast<std::uint32_t>(
+        std::min<std::size_t>(options.shards, blocks.size()));
+    std::vector<supervised_job> jobs(count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+        round_job rj;
+        rj.spec = shard_spec;
+        rj.manifest.round = round_number;
+        rj.manifest.digest = digest;
+        for (std::size_t p = k; p < blocks.size(); p += count)
+            rj.manifest.blocks.push_back(blocks[p]);
+        jobs[k].args = {"--round", "--shard", std::to_string(k), "--shards",
+                        std::to_string(count)};
+        jobs[k].input = round_job_to_json(rj);
+        jobs[k].manifest = std::move(rj.manifest);
+        jobs[k].shard = k;
+        jobs[k].shard_count = count;
+        if (options.flight_recorder)
+            jobs[k].flight_path = flight_file_path(options, k);
+    }
+    return jobs;
+}
+
+struct round_outcome {
+    std::vector<partial_report> partials;  // one per spawned job
+    std::vector<obs::shard_time> times;
+    supervise_stats stats;
+};
+
+// Runs one round's jobs under supervision. Failed attempts get
+// postmortems and retries; a job that exhausts its budget fails the run
+// with an aggregated error naming every exhausted shard's round, last
+// failure, argv, and block manifest. `ckpt` non-null appends each job's
+// validated partial as it lands (the fixed path's durable unit).
+round_outcome execute_round(const sharded_options& options,
+                            const std::string& worker,
+                            const campaign::campaign_spec& shard_spec,
+                            std::uint64_t digest, std::uint64_t round_number,
+                            std::span<const campaign::block_ref> blocks,
+                            checkpoint_log* ckpt) {
+    const auto jobs =
+        build_round_jobs(options, shard_spec, digest, round_number, blocks);
+    supervise_hooks hooks;
+    hooks.on_attempt_failure = [&options, &worker](const supervised_job& job,
+                                                   const attempt_record& rec) {
+        write_postmortem(options, worker, job, rec);
+    };
+    if (ckpt != nullptr)
+        hooks.on_job_success = [ckpt, round_number](const supervised_job&,
+                                                    const partial_report& p) {
+            ckpt->append(round_number, p.blocks);
+        };
+    round_outcome outcome;
+    std::vector<job_result> results;
+    try {
+        results = supervise_jobs(worker, jobs, options.faults, hooks,
+                                 outcome.stats);
+    } catch (...) {
+        remove_flight_files(jobs);
+        throw;
+    }
+    std::string failure;
+    for (std::size_t k = 0; k < results.size(); ++k) {
+        if (results[k].ok) continue;
+        const auto& last = results[k].failures.back();
+        if (!failure.empty()) failure += "; ";
+        failure += "shard " + std::to_string(jobs[k].shard) + " (round " +
+                   std::to_string(round_number) + "): " + last.why + " after " +
+                   std::to_string(results[k].attempts) + " attempt(s) [argv: " +
+                   format_argv(worker, jobs[k]) +
+                   "] [blocks: " + format_blocks(jobs[k]) + "]";
+    }
+    remove_flight_files(jobs);
+    if (!failure.empty()) throw std::runtime_error{"run_sharded: " + failure};
+    outcome.partials.reserve(results.size());
+    outcome.times.reserve(results.size());
+    for (std::size_t k = 0; k < results.size(); ++k) {
+        outcome.partials.push_back(std::move(results[k].partial));
+        outcome.times.push_back(obs::shard_time{jobs[k].shard,
+                                                results[k].wall_seconds,
+                                                results[k].user_seconds,
+                                                results[k].sys_seconds});
+    }
+    return outcome;
+}
+
+// ---- Checkpoint plumbing shared by the fixed and adaptive paths ----
+
+// Opens (resume) or creates the checkpoint named by the options; null
+// when checkpointing is off.
+std::optional<checkpoint_log> open_checkpoint(const sharded_options& options,
+                                              std::uint64_t digest) {
+    if (options.checkpoint_dir.empty()) {
+        if (options.resume)
+            throw std::invalid_argument{
+                "run_sharded: resume requires a checkpoint directory"};
+        return std::nullopt;
+    }
+    if (options.resume)
+        return checkpoint_log::open_for_resume(options.checkpoint_dir, digest);
+    return checkpoint_log::create(options.checkpoint_dir, digest);
+}
+
+// ---- The adaptive round loop ----
+//
+// The allocator runs in the parent; each round's block list becomes
+// supervised manifest jobs. Allocation decisions consume only merged
+// partials, and block partials are pure functions of (master_seed, block),
+// so this reproduces engine{spec}.run() byte for byte at any shard count,
+// any retry pattern, and across any kill/resume boundary: a round is
+// checkpointed only after record_round() accepted it, and replaying the
+// checkpointed rounds rebuilds the allocator state bit for bit.
 campaign::campaign_report run_sharded_adaptive(
     const campaign::campaign_spec& spec, const sharded_options& options,
-    const std::string& worker, obs::telemetry_writer* telemetry) {
+    const std::string& worker, obs::telemetry_writer* telemetry,
+    std::optional<checkpoint_log>& ckpt) {
     const auto shard_spec = shard_execution_spec(spec, options);
     const auto digest = spec_digest(spec);
     const auto ids = campaign::cells_for(spec);
     campaign::adaptive_allocator allocator{spec};
+
+    const bool emit_summaries =
+        telemetry != nullptr || static_cast<bool>(options.round_observer);
+    auto emit_summary = [&](std::uint64_t round_blocks,
+                            std::uint64_t round_trials, double wall,
+                            std::vector<obs::shard_time> times,
+                            const supervise_stats& stats, bool resumed) {
+        if (!emit_summaries) return;
+        obs::round_summary summary;
+        summary.round = allocator.rounds_completed();
+        summary.blocks = round_blocks;
+        summary.trials = round_trials;
+        summary.cumulative_trials = allocator.trials_run();
+        for (std::uint64_t c = 0; c < ids.size(); ++c) {
+            if (allocator.cell_converged(c)) continue;
+            const double hw = allocator.cell_halfwidth(c);
+            if (hw > summary.max_halfwidth) {
+                summary.max_halfwidth = hw;
+                summary.widest_cell = cell_name(ids[c]);
+            }
+        }
+        summary.wall_seconds = wall;
+        summary.shards = std::move(times);
+        summary.retries = stats.retries;
+        summary.requeued_blocks = stats.requeued_blocks;
+        summary.timeouts = stats.timeouts;
+        summary.resumed = resumed;
+        emit_round(options, telemetry, summary);
+    };
+
+    // Replay checkpointed rounds instead of running them. replay_round
+    // re-plans each round and validates the checkpoint against the plan,
+    // so a checkpoint from a different spec fails loudly here.
+    if (ckpt.has_value()) {
+        for (const auto& entry : ckpt->recorded()) {
+            std::vector<campaign::block_ref> blocks;
+            std::vector<campaign::cell_partial> partials;
+            blocks.reserve(entry.blocks.size());
+            partials.reserve(entry.blocks.size());
+            std::uint64_t trials = 0;
+            for (const auto& b : entry.blocks) {
+                blocks.push_back(campaign::block_ref{b.index, b.cell, 0,
+                                                     b.partial.trials});
+                partials.push_back(b.partial);
+                trials += b.partial.trials;
+            }
+            allocator.replay_round(entry.round, blocks, partials);
+            emit_summary(entry.blocks.size(), trials, 0.0, {}, {},
+                         /*resumed=*/true);
+        }
+    }
+
     for (;;) {
         const auto round = allocator.plan_round();
         if (round.empty()) break;
@@ -460,58 +334,137 @@ campaign::campaign_report run_sharded_adaptive(
         obs::span sp{"campaign.round", "dist",
                      static_cast<std::int64_t>(round_number)};
         const auto round_start = std::chrono::steady_clock::now();
-        // Workers this round: a shard with no blocks is not spawned (late
-        // rounds routinely have fewer active blocks than shards).
-        const auto count = static_cast<std::uint32_t>(std::min<std::size_t>(
-            options.shards, round.size()));
-        std::vector<worker_job> jobs(count);
-        for (std::uint32_t k = 0; k < count; ++k) {
-            round_job job;
-            job.spec = shard_spec;
-            job.manifest.round = round_number;
-            job.manifest.digest = digest;
-            for (std::size_t p = k; p < round.size(); p += count) {
-                job.manifest.blocks.push_back(round[p]);
-                jobs[k].block_indices.push_back(round[p].index);
-            }
-            jobs[k].args = {"--round", "--shard", std::to_string(k),
-                            "--shards", std::to_string(count)};
-            jobs[k].input = round_job_to_json(job);
-            if (options.flight_recorder)
-                jobs[k].flight_path = flight_file_path(options, k);
-        }
-        const auto results = run_worker_pool(worker, jobs);
-        check_workers(options, worker, jobs, results, round_number);
-        const auto partials = parse_worker_partials(options, worker, jobs,
-                                                    results, round_number, count);
+        auto outcome = execute_round(options, worker, shard_spec, digest,
+                                     round_number, round, /*ckpt=*/nullptr);
         allocator.record_round(
-            round, collect_block_partials(spec, round, partials, round_number));
-        if (telemetry != nullptr || options.round_observer) {
-            // Same summary the in-process engine emits, plus per-shard
-            // process times — computed from the allocator's post-record
-            // state, which is itself a pure function of merged partials.
-            obs::round_summary summary;
-            summary.round = allocator.rounds_completed();
-            summary.blocks = round.size();
-            for (const auto& b : round) summary.trials += b.trials;
-            summary.cumulative_trials = allocator.trials_run();
-            for (std::uint64_t c = 0; c < ids.size(); ++c) {
-                if (allocator.cell_converged(c)) continue;
-                const double hw = allocator.cell_halfwidth(c);
-                if (hw > summary.max_halfwidth) {
-                    summary.max_halfwidth = hw;
-                    summary.widest_cell = cell_name(ids[c]);
-                }
-            }
-            summary.wall_seconds = std::chrono::duration<double>(
-                                       std::chrono::steady_clock::now() -
-                                       round_start)
-                                       .count();
-            summary.shards = shard_times(results);
-            emit_round(options, telemetry, summary);
+            round,
+            collect_block_partials(spec, round, outcome.partials, round_number));
+        if (ckpt.has_value()) {
+            // The durable unit is one *accepted* round, persisted before
+            // any observer runs — so a --kill-after-round harness (or a
+            // real death between rounds) always leaves the round it just
+            // saw on disk. Blocks are reassembled into round order from
+            // the round-robin job split.
+            const std::size_t count = outcome.partials.size();
+            std::vector<partial_block> entry_blocks;
+            entry_blocks.reserve(round.size());
+            for (std::size_t p = 0; p < round.size(); ++p)
+                entry_blocks.push_back(
+                    outcome.partials[p % count].blocks[p / count]);
+            ckpt->append(round_number, entry_blocks);
         }
+        std::uint64_t round_trials = 0;
+        for (const auto& b : round) round_trials += b.trials;
+        emit_summary(round.size(), round_trials,
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - round_start)
+                         .count(),
+                     std::move(outcome.times), outcome.stats,
+                     /*resumed=*/false);
     }
     return allocator.report();
+}
+
+// ---- The fixed path ----
+//
+// One supervised manifest job per shard over blocks_for(spec), round 0.
+// With a checkpoint, each shard job's validated partial is appended as it
+// lands; resume re-runs only the blocks the log does not already hold and
+// merges the checkpointed blocks as one synthesized partial — the merge
+// validates exactly-once coverage either way.
+campaign::campaign_report run_sharded_fixed(
+    const campaign::campaign_spec& spec, const sharded_options& options,
+    const std::string& worker, obs::telemetry_writer* telemetry,
+    std::optional<checkpoint_log>& ckpt) {
+    obs::span sp{"campaign.run", "dist"};
+    const auto start = std::chrono::steady_clock::now();
+    const auto shard_spec = shard_execution_spec(spec, options);
+    const auto digest = spec_digest(spec);
+    const auto all_blocks = campaign::blocks_for(spec);
+
+    // Blocks already durable in the checkpoint, validated against the
+    // canonical block space before they are trusted.
+    std::vector<partial_block> restored;
+    std::vector<bool> recorded(all_blocks.size(), false);
+    if (ckpt.has_value()) {
+        for (const auto& entry : ckpt->recorded()) {
+            if (entry.round != 0)
+                throw std::runtime_error{
+                    "checkpoint: " + options.checkpoint_dir +
+                    " records adaptive round " + std::to_string(entry.round) +
+                    " but this run is fixed-allocation — checkpoint belongs "
+                    "to a different campaign"};
+            for (const auto& b : entry.blocks) {
+                if (b.index >= all_blocks.size() ||
+                    b.cell != all_blocks[b.index].cell ||
+                    b.partial.trials != all_blocks[b.index].trials)
+                    throw std::runtime_error{
+                        "checkpoint: " + options.checkpoint_dir +
+                        " records block " + std::to_string(b.index) +
+                        " that does not exist in this campaign's block "
+                        "space — checkpoint belongs to a different campaign"};
+                if (recorded[b.index])
+                    throw std::runtime_error{
+                        "checkpoint: " + options.checkpoint_dir +
+                        " records block " + std::to_string(b.index) +
+                        " twice — the log is damaged"};
+                recorded[b.index] = true;
+                restored.push_back(b);
+            }
+        }
+    }
+    std::vector<campaign::block_ref> remaining;
+    for (const auto& b : all_blocks)
+        if (!recorded[b.index]) remaining.push_back(b);
+
+    round_outcome outcome;
+    if (!remaining.empty())
+        outcome = execute_round(options, worker, shard_spec, digest,
+                                /*round_number=*/0, remaining,
+                                ckpt.has_value() ? &*ckpt : nullptr);
+
+    auto partials = std::move(outcome.partials);
+    if (!restored.empty()) {
+        std::sort(restored.begin(), restored.end(),
+                  [](const partial_block& a, const partial_block& b) {
+                      return a.index < b.index;
+                  });
+        partial_report replayed;
+        replayed.round = 0;
+        replayed.digest = digest;
+        replayed.blocks = std::move(restored);
+        partials.push_back(std::move(replayed));
+    }
+    auto report = merge_partials(spec, partials);
+
+    if (telemetry != nullptr || options.round_observer) {
+        // Fixed allocation has no rounds; telemetry reports round 0.
+        obs::round_summary summary;
+        summary.round = 0;
+        summary.blocks = all_blocks.size();
+        summary.trials = report.total_trials();
+        summary.cumulative_trials = summary.trials;
+        const auto ids = campaign::cells_for(spec);
+        for (std::size_t c = 0; c < report.cells.size(); ++c) {
+            const double hw = std::max(report.cells[c].detection_ci.half_width(),
+                                       report.cells[c].hijack_ci.half_width());
+            if (hw > summary.max_halfwidth) {
+                summary.max_halfwidth = hw;
+                summary.widest_cell = cell_name(ids[c]);
+            }
+        }
+        summary.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        summary.shards = std::move(outcome.times);
+        summary.retries = outcome.stats.retries;
+        summary.requeued_blocks = outcome.stats.requeued_blocks;
+        summary.timeouts = outcome.stats.timeouts;
+        summary.resumed = options.resume;
+        emit_round(options, telemetry, summary);
+    }
+    return report;
 }
 
 }  // namespace
@@ -541,53 +494,10 @@ campaign::campaign_report run_sharded(const campaign::campaign_spec& spec,
     if (!options.telemetry_path.empty() && writer.open(options.telemetry_path))
         telemetry = &writer;
 
+    auto ckpt = open_checkpoint(options, spec_digest(spec));
     if (spec.adaptive)
-        return run_sharded_adaptive(spec, options, worker, telemetry);
-
-    obs::span sp{"campaign.run", "dist"};
-    const auto start = std::chrono::steady_clock::now();
-    const std::string spec_json =
-        spec_to_json(shard_execution_spec(spec, options));
-    std::vector<worker_job> jobs(options.shards);
-    for (std::uint32_t k = 0; k < options.shards; ++k) {
-        jobs[k].args = {"--shard", std::to_string(k), "--shards",
-                        std::to_string(options.shards)};
-        jobs[k].input = spec_json;
-        for (const auto& b : plan_shard(spec, k, options.shards).blocks)
-            jobs[k].block_indices.push_back(b.index);
-        if (options.flight_recorder)
-            jobs[k].flight_path = flight_file_path(options, k);
-    }
-    const auto results = run_worker_pool(worker, jobs);
-    // Fixed allocation has no rounds; failures and telemetry report round 0.
-    check_workers(options, worker, jobs, results, /*round_number=*/0);
-    const auto partials = parse_worker_partials(options, worker, jobs, results,
-                                                /*round_number=*/0,
-                                                options.shards);
-    auto report = merge_partials(spec, partials);
-    if (telemetry != nullptr || options.round_observer) {
-        obs::round_summary summary;
-        summary.round = 0;
-        summary.blocks = campaign::blocks_for(spec).size();
-        summary.trials = report.total_trials();
-        summary.cumulative_trials = summary.trials;
-        const auto ids = campaign::cells_for(spec);
-        for (std::size_t c = 0; c < report.cells.size(); ++c) {
-            const double hw = std::max(report.cells[c].detection_ci.half_width(),
-                                       report.cells[c].hijack_ci.half_width());
-            if (hw > summary.max_halfwidth) {
-                summary.max_halfwidth = hw;
-                summary.widest_cell = cell_name(ids[c]);
-            }
-        }
-        summary.wall_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start)
-                .count();
-        summary.shards = shard_times(results);
-        emit_round(options, telemetry, summary);
-    }
-    return report;
+        return run_sharded_adaptive(spec, options, worker, telemetry, ckpt);
+    return run_sharded_fixed(spec, options, worker, telemetry, ckpt);
 }
 
 }  // namespace pssp::dist

@@ -18,16 +18,30 @@
 // report is byte-identical to the in-process adaptive engine at every
 // shard count — the identity oracle extends to adaptive runs unchanged.
 //
-// Failure model: loud. A worker that exits non-zero, dies on a signal,
-// emits an unparsable partial, or covers the wrong blocks fails the whole
-// run with a std::runtime_error naming the shard — trials are never
-// silently dropped. All children are reaped before throwing.
+// Failure model: supervised, then loud. Every worker runs under
+// dist::supervise_jobs — a worker that crashes, times out, or emits a bad
+// or wrong-blocks partial has its block manifest requeued with bounded
+// retries and exponential backoff (options.faults), with a postmortem
+// dumped per failed attempt. Requeueing cannot move a report byte:
+// block partials are pure functions of (master_seed, block) and
+// wire::merge_partials enforces exactly-once coverage, so at-least-once
+// execution + dedup-by-block preserves identity. Only when a job exhausts
+// its retry budget does the run fail, with a std::runtime_error naming
+// every exhausted shard, its round, its last failure, its argv, and its
+// block manifest — trials are never silently dropped.
+//
+// Checkpoint/resume (options.checkpoint_dir): validated block partials
+// are persisted incrementally through dist::checkpoint_log — per shard
+// job for fixed runs, per recorded round for adaptive runs — so a run
+// whose *orchestrator* dies can be resumed (options.resume) and produce a
+// byte-identical report while re-running only the missing work.
 #pragma once
 
 #include <functional>
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "dist/supervisor.hpp"
 #include "obs/telemetry.hpp"
 
 namespace pssp::dist {
@@ -65,6 +79,20 @@ struct sharded_options {
     // before failing the run loudly. Flight files are removed on success.
     bool flight_recorder = true;
     std::string postmortem_dir;  // empty = current directory
+
+    // ---- Fault tolerance ----
+    // Retry/timeout/backoff policy for every supervised worker (see
+    // dist/supervisor.hpp). max_attempts = 1 restores the old fail-fast
+    // behavior exactly.
+    fault_policy faults;
+    // Checkpoint directory (dist/checkpoint.hpp). Empty = no
+    // checkpointing. With resume = false the directory must not already
+    // hold a checkpoint; with resume = true it must, with a matching spec
+    // digest, and completed work recorded there is replayed instead of
+    // re-run — the resumed report is byte-identical to an uninterrupted
+    // one.
+    std::string checkpoint_dir;
+    bool resume = false;
 };
 
 // The sibling `tools_campaign_worker` of the running executable

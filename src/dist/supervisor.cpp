@@ -1,0 +1,551 @@
+#include "dist/supervisor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dist/chaos.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+namespace pssp::dist {
+
+namespace {
+
+using steady_clock = std::chrono::steady_clock;
+
+// ---- obs counters (side channel; registered once per process) ----
+struct dist_counters {
+    obs::metric_id retries = obs::counter("dist.retries");
+    obs::metric_id requeued_blocks = obs::counter("dist.requeued_blocks");
+    obs::metric_id timeouts = obs::counter("dist.timeouts");
+    obs::metric_id crashes = obs::counter("dist.crashes");
+    obs::metric_id bad_partials = obs::counter("dist.bad_partials");
+    obs::metric_id spawned = obs::counter("dist.spawned_workers");
+};
+
+const dist_counters& counters() {
+    static const dist_counters ids;
+    return ids;
+}
+
+std::string describe_exit(int status) {
+    if (WIFEXITED(status)) {
+        const int code = WEXITSTATUS(status);
+        if (code == 0) return {};
+        if (code == 127) return "worker exec failed (bad worker path?)";
+        return "worker exited with status " + std::to_string(code);
+    }
+    if (WIFSIGNALED(status))
+        return std::string{"worker killed by signal "} +
+               std::to_string(WTERMSIG(status)) + " (" +
+               strsignal(WTERMSIG(status)) + ")";
+    return "worker ended abnormally";
+}
+
+[[noreturn]] void exec_worker(const std::string& path,
+                              const supervised_job& job, unsigned attempt,
+                              int in_fd, int out_fd) {
+    ::dup2(in_fd, STDIN_FILENO);
+    ::dup2(out_fd, STDOUT_FILENO);
+    // stderr stays inherited: worker diagnostics surface on the parent's.
+    ::close(in_fd);
+    ::close(out_fd);
+    // Flight-recorder plumbing: the worker reads this at startup, enables
+    // tracing, and checkpoints its span ring to the named file.
+    if (!job.flight_path.empty())
+        ::setenv("PSSP_OBS_FLIGHT", job.flight_path.c_str(), /*overwrite=*/1);
+    // Chaos coordinates: the fault plan (if any) keys on (shard, round,
+    // attempt); shard travels on argv, these two by environment.
+    ::setenv(fault_round_env, std::to_string(job.manifest.round).c_str(),
+             /*overwrite=*/1);
+    ::setenv(fault_attempt_env, std::to_string(attempt).c_str(),
+             /*overwrite=*/1);
+    std::vector<const char*> argv;
+    argv.reserve(job.args.size() + 2);
+    argv.push_back(path.c_str());
+    for (const auto& a : job.args) argv.push_back(a.c_str());
+    argv.push_back(nullptr);
+    ::execv(path.c_str(), const_cast<char* const*>(argv.data()));
+    // Exec failed; 127 is the conventional "command not found" status the
+    // parent turns into a pointed, non-retryable error.
+    std::fprintf(stderr, "campaign worker exec failed: %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+enum class job_state : std::uint8_t { pending, running, finished };
+
+struct job_slot {
+    job_state state = job_state::pending;
+    unsigned attempts_started = 0;
+    steady_clock::time_point release{};  // pending: earliest next spawn
+
+    // Running-attempt state.
+    pid_t pid = -1;
+    int in_fd = -1;   // non-blocking write end of the worker's stdin
+    int out_fd = -1;  // non-blocking read end of the worker's stdout
+    std::size_t in_off = 0;
+    std::string input_error;
+    std::string output;
+    bool timed_out = false;
+    steady_clock::time_point spawned{};
+    steady_clock::time_point deadline{};
+    std::uint64_t spawned_ns = 0;
+};
+
+// What one finished attempt amounts to. kind == none means success and
+// `partial` is valid.
+struct classification {
+    failure_kind kind = failure_kind::none;
+    std::string why;
+    partial_report partial;
+};
+
+classification classify_output(const supervised_job& job,
+                               const job_slot& slot) {
+    classification c;
+    try {
+        c.partial = partial_from_json(slot.output);
+    } catch (const std::exception& e) {
+        // Undelivered input is the root cause when both failed.
+        if (!slot.input_error.empty()) {
+            c.kind = failure_kind::input;
+            c.why = slot.input_error;
+        } else {
+            c.kind = failure_kind::bad_partial;
+            c.why = std::string{"emitted a bad partial: "} + e.what();
+        }
+        return c;
+    }
+    if (c.partial.shard_index != job.shard ||
+        c.partial.shard_count != job.shard_count) {
+        c.kind = failure_kind::bad_partial;
+        c.why = "identified as shard " + std::to_string(c.partial.shard_index) +
+                "/" + std::to_string(c.partial.shard_count);
+        return c;
+    }
+    if (c.partial.digest != job.manifest.digest) {
+        c.kind = failure_kind::bad_partial;
+        c.why = "emitted a partial for a different spec (digest mismatch)";
+        return c;
+    }
+    if (c.partial.round != job.manifest.round) {
+        c.kind = failure_kind::bad_partial;
+        c.why = "reported round " + std::to_string(c.partial.round) +
+                ", expected " + std::to_string(job.manifest.round);
+        return c;
+    }
+    if (c.partial.blocks.size() != job.manifest.blocks.size()) {
+        c.kind = failure_kind::wrong_blocks;
+        c.why = "covered " + std::to_string(c.partial.blocks.size()) +
+                " blocks, manifest assigned " +
+                std::to_string(job.manifest.blocks.size());
+        return c;
+    }
+    for (std::size_t i = 0; i < job.manifest.blocks.size(); ++i) {
+        const auto& got = c.partial.blocks[i];
+        const auto& want = job.manifest.blocks[i];
+        if (got.index != want.index || got.cell != want.cell ||
+            got.partial.trials != want.trials) {
+            c.kind = failure_kind::wrong_blocks;
+            c.why = "covered block " + std::to_string(got.index) +
+                    " where the manifest assigned block " +
+                    std::to_string(want.index);
+            return c;
+        }
+    }
+    return c;
+}
+
+double backoff_seconds(const fault_policy& policy, unsigned failed_attempts) {
+    double delay = policy.backoff_base_seconds;
+    for (unsigned i = 1; i < failed_attempts; ++i) delay *= 2.0;
+    return std::min(delay, policy.backoff_cap_seconds);
+}
+
+class pool {
+  public:
+    pool(const std::string& worker, const std::vector<supervised_job>& jobs,
+         const fault_policy& policy, const supervise_hooks& hooks,
+         supervise_stats& stats)
+        : worker_{worker},
+          jobs_{jobs},
+          policy_{policy},
+          hooks_{hooks},
+          stats_{stats},
+          slots_(jobs.size()),
+          results_(jobs.size()) {}
+
+    std::vector<job_result> run() {
+        const auto now = steady_clock::now();
+        for (auto& slot : slots_) slot.release = now;
+        std::size_t unfinished = slots_.size();
+        while (unfinished > 0) {
+            spawn_ready();
+            wait_for_events();
+            const auto tick = steady_clock::now();
+            for (std::size_t k = 0; k < slots_.size(); ++k) {
+                auto& slot = slots_[k];
+                if (slot.state != job_state::running) continue;
+                if (policy_.timeout_seconds > 0.0 && !slot.timed_out &&
+                    tick >= slot.deadline) {
+                    // Per-round deadline expired: SIGKILL, then let the
+                    // stdout EOF drive the normal reap/classify path.
+                    ::kill(slot.pid, SIGKILL);
+                    slot.timed_out = true;
+                }
+                if (slot.out_fd < 0) {
+                    finalize_attempt(k);
+                    if (slots_[k].state == job_state::finished) --unfinished;
+                }
+            }
+        }
+        return std::move(results_);
+    }
+
+  private:
+    void spawn_ready() {
+        const auto now = steady_clock::now();
+        for (std::size_t k = 0; k < slots_.size(); ++k) {
+            auto& slot = slots_[k];
+            if (slot.state != job_state::pending || slot.release > now)
+                continue;
+            spawn(k);
+        }
+    }
+
+    void spawn(std::size_t k) {
+        auto& slot = slots_[k];
+        int in_pipe[2];
+        int out_pipe[2];
+        // O_CLOEXEC: a worker must not inherit its siblings' pipe ends —
+        // a write end surviving in another child would hold a worker's
+        // stdin open past the parent's close and stall its EOF.
+        if (::pipe2(in_pipe, O_CLOEXEC) != 0)
+            abort_all(std::string{"pipe() failed ("} + std::strerror(errno) +
+                      ")");
+        if (::pipe2(out_pipe, O_CLOEXEC) != 0) {
+            const int err = errno;
+            ::close(in_pipe[0]);
+            ::close(in_pipe[1]);
+            abort_all(std::string{"pipe() failed ("} + std::strerror(err) +
+                      ")");
+        }
+        const unsigned attempt = slot.attempts_started + 1;
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            const int err = errno;
+            ::close(in_pipe[0]);
+            ::close(in_pipe[1]);
+            ::close(out_pipe[0]);
+            ::close(out_pipe[1]);
+            abort_all(std::string{"fork() failed ("} + std::strerror(err) +
+                      ")");
+        }
+        if (pid == 0) {
+            exec_worker(worker_, jobs_[k], attempt, in_pipe[0], out_pipe[1]);
+        }
+        ::close(in_pipe[0]);
+        ::close(out_pipe[1]);
+        set_nonblocking(in_pipe[1]);
+        set_nonblocking(out_pipe[0]);
+        slot.state = job_state::running;
+        slot.attempts_started = attempt;
+        slot.pid = pid;
+        slot.in_fd = in_pipe[1];
+        slot.out_fd = out_pipe[0];
+        slot.in_off = 0;
+        slot.input_error.clear();
+        slot.output.clear();
+        slot.timed_out = false;
+        slot.spawned = steady_clock::now();
+        slot.spawned_ns = obs::trace_now_ns();
+        if (policy_.timeout_seconds > 0.0)
+            slot.deadline =
+                slot.spawned + std::chrono::duration_cast<steady_clock::duration>(
+                                   std::chrono::duration<double>(
+                                       policy_.timeout_seconds));
+        obs::add(counters().spawned, 1);
+        if (jobs_[k].input.empty()) close_input(slot);
+    }
+
+    void close_input(job_slot& slot) {
+        if (slot.in_fd >= 0) {
+            ::close(slot.in_fd);
+            slot.in_fd = -1;
+        }
+    }
+
+    // One poll() pass over every running worker's pipes, bounded by the
+    // nearest deadline or backoff release. EINTR is a normal wakeup.
+    void wait_for_events() {
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> owner;  // fds[i] belongs to slots_[owner[i]]
+        const auto now = steady_clock::now();
+        int wait_ms = -1;
+        auto consider = [&wait_ms, &now](steady_clock::time_point when) {
+            const auto dt = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                when - now)
+                                .count();
+            const int ms = dt <= 0 ? 0 : static_cast<int>(
+                                             std::min<long long>(dt + 1, 60000));
+            if (wait_ms < 0 || ms < wait_ms) wait_ms = ms;
+        };
+        for (std::size_t k = 0; k < slots_.size(); ++k) {
+            auto& slot = slots_[k];
+            if (slot.state == job_state::pending) {
+                consider(slot.release);
+                continue;
+            }
+            if (slot.state != job_state::running) continue;
+            if (policy_.timeout_seconds > 0.0 && !slot.timed_out)
+                consider(slot.deadline);
+            if (slot.in_fd >= 0) {
+                fds.push_back(pollfd{slot.in_fd, POLLOUT, 0});
+                owner.push_back(k);
+            }
+            if (slot.out_fd >= 0) {
+                fds.push_back(pollfd{slot.out_fd, POLLIN, 0});
+                owner.push_back(k);
+            }
+        }
+        if (fds.empty() && wait_ms < 0) return;  // nothing left to wait on
+        const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                              wait_ms);
+        if (rc < 0) {
+            if (errno == EINTR) return;
+            abort_all(std::string{"poll() failed ("} + std::strerror(errno) +
+                      ")");
+        }
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (fds[i].revents == 0) continue;
+            auto& slot = slots_[owner[i]];
+            if (fds[i].fd == slot.in_fd)
+                drive_input(jobs_[owner[i]], slot);
+            else if (fds[i].fd == slot.out_fd)
+                drive_output(slot);
+        }
+    }
+
+    // Feed as much stdin as the pipe accepts right now; EINTR retries,
+    // EAGAIN yields back to poll, EPIPE records the delivery failure (the
+    // wait status decides what it means).
+    void drive_input(const supervised_job& job, job_slot& slot) {
+        while (slot.in_off < job.input.size()) {
+            const ssize_t n = ::write(slot.in_fd, job.input.data() + slot.in_off,
+                                      job.input.size() - slot.in_off);
+            if (n > 0) {
+                slot.in_off += static_cast<std::size_t>(n);
+                continue;
+            }
+            if (n < 0 && errno == EINTR) continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+            if (slot.input_error.empty())
+                slot.input_error = std::string{"input write failed: "} +
+                                   std::strerror(errno);
+            close_input(slot);
+            return;
+        }
+        close_input(slot);
+    }
+
+    // Drain stdout until EAGAIN; EOF (or a hard read error) ends the
+    // attempt's I/O, which the main loop turns into a reap + classify.
+    void drive_output(job_slot& slot) {
+        char buf[1 << 16];
+        for (;;) {
+            const ssize_t n = ::read(slot.out_fd, buf, sizeof buf);
+            if (n > 0) {
+                slot.output.append(buf, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR) continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+            ::close(slot.out_fd);
+            slot.out_fd = -1;
+            return;
+        }
+    }
+
+    void finalize_attempt(std::size_t k) {
+        auto& slot = slots_[k];
+        const auto& job = jobs_[k];
+        auto& result = results_[k];
+        close_input(slot);
+        int status = 0;
+        struct rusage ru {};
+        while (::wait4(slot.pid, &status, 0, &ru) < 0 && errno == EINTR) {
+        }
+        slot.pid = -1;
+        result.attempts = slot.attempts_started;
+        result.wall_seconds =
+            std::chrono::duration<double>(steady_clock::now() - slot.spawned)
+                .count();
+        result.user_seconds = static_cast<double>(ru.ru_utime.tv_sec) +
+                              static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+        result.sys_seconds = static_cast<double>(ru.ru_stime.tv_sec) +
+                             static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+        // One lifetime span per worker attempt on the orchestrator's
+        // timeline (arg = shard index) — spawn to reap, pipe drain included.
+        obs::emit_span("shard.worker", "dist", slot.spawned_ns,
+                       obs::trace_now_ns() - slot.spawned_ns,
+                       static_cast<std::int64_t>(job.shard));
+
+        classification c;
+        bool retryable = true;
+        if (slot.timed_out) {
+            c.kind = failure_kind::timeout;
+            char why[96];
+            std::snprintf(why, sizeof why,
+                          "worker exceeded the %.1fs deadline (SIGKILLed)",
+                          policy_.timeout_seconds);
+            c.why = why;
+        } else if (std::string exited = describe_exit(status);
+                   !exited.empty()) {
+            c.kind = failure_kind::crash;
+            c.why = std::move(exited);
+            if (!slot.input_error.empty()) c.why += "; " + slot.input_error;
+            // A missing or unrunnable binary does not heal on retry.
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 127)
+                retryable = false;
+        } else {
+            c = classify_output(job, slot);
+        }
+        slot.output.clear();
+
+        if (c.kind == failure_kind::none) {
+            result.ok = true;
+            result.partial = std::move(c.partial);
+            if (hooks_.on_job_success) hooks_.on_job_success(job, result.partial);
+            slot.state = job_state::finished;
+            return;
+        }
+
+        if (c.kind == failure_kind::timeout) {
+            stats_.timeouts += 1;
+            obs::add(counters().timeouts, 1);
+        } else if (c.kind == failure_kind::crash ||
+                   c.kind == failure_kind::input) {
+            obs::add(counters().crashes, 1);
+        } else {
+            obs::add(counters().bad_partials, 1);
+        }
+        result.failures.push_back(attempt_record{slot.attempts_started, c.kind,
+                                                 std::move(c.why), status});
+        if (hooks_.on_attempt_failure)
+            hooks_.on_attempt_failure(job, result.failures.back());
+
+        if (retryable && slot.attempts_started < policy_.max_attempts) {
+            stats_.retries += 1;
+            stats_.requeued_blocks += job.manifest.blocks.size();
+            obs::add(counters().retries, 1);
+            obs::add(counters().requeued_blocks, job.manifest.blocks.size());
+            slot.state = job_state::pending;
+            slot.release = steady_clock::now() +
+                           std::chrono::duration_cast<steady_clock::duration>(
+                               std::chrono::duration<double>(backoff_seconds(
+                                   policy_, slot.attempts_started)));
+            return;
+        }
+        slot.state = job_state::finished;  // retry budget exhausted
+    }
+
+    // Infrastructure failure (pipe/fork/poll): the pool cannot continue.
+    // Kill and reap every launched worker, then throw an error that names
+    // what failed AND what happened to each already-launched worker — a
+    // spawn failure mid-loop must not silently discard their fates.
+    [[noreturn]] void abort_all(const std::string& what) {
+        std::string aborted;
+        std::size_t launched = 0;
+        for (std::size_t k = 0; k < slots_.size(); ++k) {
+            auto& slot = slots_[k];
+            if (slot.pid < 0) continue;
+            ::kill(slot.pid, SIGKILL);
+            close_input(slot);
+            if (slot.out_fd >= 0) {
+                ::close(slot.out_fd);
+                slot.out_fd = -1;
+            }
+            int status = 0;
+            while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
+            }
+            slot.pid = -1;
+            ++launched;
+            std::string fate = describe_exit(status);
+            if (fate.empty()) fate = "exited cleanly (result discarded)";
+            if (!aborted.empty()) aborted += "; ";
+            aborted += "shard " + std::to_string(jobs_[k].shard) + ": " + fate;
+        }
+        std::string message = "run_sharded: " + what;
+        if (launched > 0)
+            message += "; killed and reaped " + std::to_string(launched) +
+                       " already-launched worker(s) [" + aborted + "]";
+        throw std::runtime_error{message};
+    }
+
+    const std::string& worker_;
+    const std::vector<supervised_job>& jobs_;
+    const fault_policy& policy_;
+    const supervise_hooks& hooks_;
+    supervise_stats& stats_;
+    std::vector<job_slot> slots_;
+    std::vector<job_result> results_;
+};
+
+}  // namespace
+
+const char* to_string(failure_kind kind) noexcept {
+    switch (kind) {
+        case failure_kind::none: return "none";
+        case failure_kind::input: return "input";
+        case failure_kind::crash: return "crash";
+        case failure_kind::timeout: return "timeout";
+        case failure_kind::bad_partial: return "bad-partial";
+        case failure_kind::wrong_blocks: return "wrong-blocks";
+    }
+    return "?";
+}
+
+std::vector<job_result> supervise_jobs(const std::string& worker,
+                                       const std::vector<supervised_job>& jobs,
+                                       const fault_policy& policy,
+                                       const supervise_hooks& hooks,
+                                       supervise_stats& stats) {
+    if (jobs.empty()) return {};
+    if (policy.max_attempts == 0)
+        throw std::invalid_argument{"supervise_jobs: max_attempts must be >= 1"};
+    // A worker that dies before reading its input must surface as its wait
+    // status, not as SIGPIPE killing the orchestrator.
+    struct sigaction ignore_pipe {};
+    ignore_pipe.sa_handler = SIG_IGN;
+    struct sigaction old_pipe {};
+    ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+    try {
+        auto results = pool{worker, jobs, policy, hooks, stats}.run();
+        ::sigaction(SIGPIPE, &old_pipe, nullptr);
+        return results;
+    } catch (...) {
+        ::sigaction(SIGPIPE, &old_pipe, nullptr);
+        throw;
+    }
+}
+
+}  // namespace pssp::dist

@@ -1,0 +1,134 @@
+// Worker-process supervision: spawn, deadline, classify, requeue.
+//
+// supervise_jobs() turns the orchestrator's all-or-nothing worker pool
+// into self-healing execution. Each job is one block manifest handed to
+// one worker process; the supervisor runs every job to a terminal state:
+//
+//   * spawn        fork/exec with the round-job JSON fed over a
+//                  non-blocking stdin pipe and the partial collected from
+//                  a non-blocking stdout pipe, all driven by one poll()
+//                  loop — a worker that hangs before reading its input
+//                  can never wedge the orchestrator.
+//   * deadline     policy.timeout_seconds > 0 arms a per-attempt
+//                  deadline; an overdue worker is SIGKILLed and the
+//                  attempt classified as a timeout.
+//   * classify     every finished attempt becomes exactly one
+//                  failure_kind: crash (non-zero exit / signal), timeout,
+//                  input (stdin could not be delivered), bad_partial
+//                  (unparsable output, wrong shard identity, digest or
+//                  round mismatch), wrong_blocks (a parsable partial
+//                  covering blocks the manifest never assigned).
+//   * requeue      a failed job goes back on the queue with exponential
+//                  backoff (base * 2^(attempt-1), capped) until
+//                  policy.max_attempts is exhausted. Requeueing is safe
+//                  because wire::collect_block_partials enforces
+//                  exactly-once block coverage downstream and block
+//                  partials are pure functions of (master_seed, block):
+//                  at-least-once delivery + dedup-by-block can never move
+//                  a report byte. Exec failure (exit 127) is never
+//                  retried — a missing binary does not heal.
+//
+// Failed attempts are reported through hooks (the orchestrator dumps a
+// postmortem per attempt); only after every job is terminal does the
+// caller decide to merge or fail loudly. Infrastructure failures —
+// pipe()/fork() exhaustion — abort the whole pool: every already-launched
+// worker is killed, reaped, and its status reported in the thrown error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/wire.hpp"
+
+namespace pssp::dist {
+
+// Retry/timeout/backoff knobs, one struct so the orchestrator options and
+// the CLI flags stay aligned.
+struct fault_policy {
+    // Attempts per job (1 = the pre-supervision fail-fast behavior).
+    unsigned max_attempts = 3;
+    // Per-attempt deadline in seconds; 0 disables the deadline (a worker
+    // may then legitimately run forever, as before supervision existed).
+    double timeout_seconds = 0.0;
+    // Exponential backoff before attempt N+1: base * 2^(N-1), capped.
+    double backoff_base_seconds = 0.05;
+    double backoff_cap_seconds = 2.0;
+};
+
+enum class failure_kind : std::uint8_t {
+    none,
+    input,         // stdin payload could not be delivered
+    crash,         // non-zero exit or death by signal
+    timeout,       // exceeded the deadline; SIGKILLed by the supervisor
+    bad_partial,   // output unparsable or misidentified (shard/digest/round)
+    wrong_blocks,  // parsable partial covering blocks outside the manifest
+};
+
+[[nodiscard]] const char* to_string(failure_kind kind) noexcept;
+
+// One worker process to supervise: argv tail, stdin payload, and the
+// block manifest it must cover (validated against its emitted partial).
+struct supervised_job {
+    std::vector<std::string> args;
+    std::string input;
+    round_manifest manifest;
+    std::uint32_t shard = 0;        // partial header identity ...
+    std::uint32_t shard_count = 0;  // ... the worker must echo back
+    std::string flight_path;  // empty = no flight recorder for this worker
+};
+
+// One failed attempt, as handed to hooks and kept for the final error.
+struct attempt_record {
+    unsigned attempt = 1;  // 1-based
+    failure_kind kind = failure_kind::none;
+    std::string why;       // human description (decoded wait status, ...)
+    int wait_status = -1;  // raw wait4 status (-1 if never reaped)
+};
+
+// Terminal state of one job, job-aligned with the input vector.
+struct job_result {
+    bool ok = false;
+    partial_report partial;  // valid only when ok
+    std::vector<attempt_record> failures;  // every failed attempt, in order
+    unsigned attempts = 0;   // total attempts spent
+    // Last attempt's times (telemetry): wall from spawn to reap on the
+    // parent's clock, user/sys from the child's rusage.
+    double wall_seconds = 0.0;
+    double user_seconds = 0.0;
+    double sys_seconds = 0.0;
+};
+
+// Recovery totals for one supervise_jobs call (telemetry side channel;
+// also mirrored into the obs counters dist.retries / dist.requeued_blocks
+// / dist.timeouts / dist.crashes / dist.bad_partials).
+struct supervise_stats {
+    std::uint64_t retries = 0;          // attempts beyond the first
+    std::uint64_t requeued_blocks = 0;  // blocks re-dispatched by retries
+    std::uint64_t timeouts = 0;         // deadline SIGKILLs
+};
+
+struct supervise_hooks {
+    // Called synchronously after each failed attempt, before any retry of
+    // the same job is spawned — the orchestrator reads the worker's
+    // flight-recorder file here and dumps a postmortem.
+    std::function<void(const supervised_job&, const attempt_record&)>
+        on_attempt_failure;
+    // Called once per job on success (the checkpoint log appends here).
+    std::function<void(const supervised_job&, const partial_report&)>
+        on_job_success;
+};
+
+// Runs every job to a terminal state and returns job-aligned results.
+// Worker failures are reported in the results — the caller turns retry
+// exhaustion into a loud error with full context. Throws std::runtime_error
+// only for infrastructure failures (pipe/fork exhaustion, poll failure),
+// after killing and reaping every launched child and naming each one's
+// fate in the message.
+[[nodiscard]] std::vector<job_result> supervise_jobs(
+    const std::string& worker, const std::vector<supervised_job>& jobs,
+    const fault_policy& policy, const supervise_hooks& hooks,
+    supervise_stats& stats);
+
+}  // namespace pssp::dist

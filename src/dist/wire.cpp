@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/span.hpp"
+#include "util/bytes.hpp"
 #include "util/json.hpp"
 
 namespace pssp::dist {
@@ -186,13 +187,41 @@ std::uint64_t spec_digest(const campaign::campaign_spec& spec) {
     campaign::campaign_spec canonical = spec;
     canonical.jobs = 1;
     canonical.reuse_masters = true;
-    const auto text = spec_to_json(canonical);
-    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
-    for (const char c : text) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ull;
-    }
-    return h;
+    return util::fnv1a64(spec_to_json(canonical));
+}
+
+void append_partial_block(std::string& out, const partial_block& b) {
+    out += '{';
+    util::append_kv(out, "index", b.index);
+    util::append_kv(out, "cell", b.cell);
+    util::append_kv(out, "trials", b.partial.trials);
+    util::append_kv(out, "hijacks", b.partial.hijacks);
+    util::append_kv(out, "detections", b.partial.detections);
+    util::append_kv(out, "canary_detections", b.partial.canary_detections);
+    util::append_kv(out, "other_crashes", b.partial.other_crashes);
+    util::append_accumulator_exact(out, "queries", b.partial.queries);
+    util::append_accumulator_exact(out, "queries_to_compromise",
+                                   b.partial.queries_to_compromise);
+    util::append_accumulator_exact(out, "leaked_bytes_valid",
+                                   b.partial.leaked_bytes_valid,
+                                   /*comma=*/false);
+    out += '}';
+}
+
+partial_block partial_block_from_json(const util::json_value& b) {
+    partial_block block;
+    block.index = b.at("index").as_u64();
+    block.cell = b.at("cell").as_u64();
+    block.partial.trials = b.at("trials").as_u64();
+    block.partial.hijacks = b.at("hijacks").as_u64();
+    block.partial.detections = b.at("detections").as_u64();
+    block.partial.canary_detections = b.at("canary_detections").as_u64();
+    block.partial.other_crashes = b.at("other_crashes").as_u64();
+    block.partial.queries = parse_welford(b.at("queries"));
+    block.partial.queries_to_compromise =
+        parse_welford(b.at("queries_to_compromise"));
+    block.partial.leaked_bytes_valid = parse_welford(b.at("leaked_bytes_valid"));
+    return block;
 }
 
 std::string partial_to_json(const partial_report& partial) {
@@ -209,23 +238,8 @@ std::string partial_to_json(const partial_report& partial) {
     util::append_kv(out, "spec_digest", partial.digest);
     out += "\"blocks\":[";
     for (std::size_t i = 0; i < partial.blocks.size(); ++i) {
-        const auto& b = partial.blocks[i];
         if (i) out += ',';
-        out += '{';
-        util::append_kv(out, "index", b.index);
-        util::append_kv(out, "cell", b.cell);
-        util::append_kv(out, "trials", b.partial.trials);
-        util::append_kv(out, "hijacks", b.partial.hijacks);
-        util::append_kv(out, "detections", b.partial.detections);
-        util::append_kv(out, "canary_detections", b.partial.canary_detections);
-        util::append_kv(out, "other_crashes", b.partial.other_crashes);
-        util::append_accumulator_exact(out, "queries", b.partial.queries);
-        util::append_accumulator_exact(out, "queries_to_compromise",
-                                       b.partial.queries_to_compromise);
-        util::append_accumulator_exact(out, "leaked_bytes_valid",
-                                       b.partial.leaked_bytes_valid,
-                                       /*comma=*/false);
-        out += '}';
+        append_partial_block(out, partial.blocks[i]);
     }
     out += "]}}";
     return out;
@@ -246,22 +260,8 @@ partial_report partial_from_json(std::string_view text) {
     partial.shard_count = static_cast<std::uint32_t>(p.at("shards").as_u64());
     partial.round = p.at("round").as_u64();
     partial.digest = p.at("spec_digest").as_u64();
-    for (const auto& b : p.at("blocks").elements()) {
-        partial_block block;
-        block.index = b.at("index").as_u64();
-        block.cell = b.at("cell").as_u64();
-        block.partial.trials = b.at("trials").as_u64();
-        block.partial.hijacks = b.at("hijacks").as_u64();
-        block.partial.detections = b.at("detections").as_u64();
-        block.partial.canary_detections = b.at("canary_detections").as_u64();
-        block.partial.other_crashes = b.at("other_crashes").as_u64();
-        block.partial.queries = parse_welford(b.at("queries"));
-        block.partial.queries_to_compromise =
-            parse_welford(b.at("queries_to_compromise"));
-        block.partial.leaked_bytes_valid =
-            parse_welford(b.at("leaked_bytes_valid"));
-        partial.blocks.push_back(std::move(block));
-    }
+    for (const auto& b : p.at("blocks").elements())
+        partial.blocks.push_back(partial_block_from_json(b));
     return partial;
 }
 

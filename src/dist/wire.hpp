@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "util/json.hpp"
 
 namespace pssp::dist {
 
@@ -90,6 +91,14 @@ struct partial_report {
 
 [[nodiscard]] std::string partial_to_json(const partial_report& partial);
 [[nodiscard]] partial_report partial_from_json(std::string_view text);
+
+// One partial block as a bare JSON object (hexfloat-exact Welford state),
+// and back. Shared by the partial message and the dist checkpoint log
+// (dist/checkpoint.hpp) so the two serializations can never drift — a
+// checkpointed block round-trips through exactly the bytes a live shard
+// would have put on the pipe.
+void append_partial_block(std::string& out, const partial_block& block);
+[[nodiscard]] partial_block partial_block_from_json(const util::json_value& v);
 
 // Validates that `partials` covers `blocks` (any subset of the canonical
 // block space, ascending by index — a whole fixed campaign or one adaptive

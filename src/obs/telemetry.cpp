@@ -57,6 +57,18 @@ std::string round_summary_json(const round_summary& round) {
         }
         json += "]";
     }
+    if (round.retries != 0 || round.requeued_blocks != 0 ||
+        round.timeouts != 0 || round.resumed) {
+        std::snprintf(buf, sizeof buf,
+                      ", \"recovery\": {\"retries\": %llu, "
+                      "\"requeued_blocks\": %llu, \"timeouts\": %llu, "
+                      "\"resumed\": %s}",
+                      static_cast<unsigned long long>(round.retries),
+                      static_cast<unsigned long long>(round.requeued_blocks),
+                      static_cast<unsigned long long>(round.timeouts),
+                      round.resumed ? "true" : "false");
+        json += buf;
+    }
     json += "}";
     return json;
 }

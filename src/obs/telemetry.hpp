@@ -42,6 +42,14 @@ struct round_summary {
     std::string widest_cell;
     double wall_seconds = 0.0;
     std::vector<shard_time> shards;  // empty for in-process runs
+    // Supervision recovery totals for the round (dist runs only). Emitted
+    // as a "recovery" object only when any of them is nonzero, so clean
+    // runs' telemetry is byte-identical with and without supervision.
+    std::uint64_t retries = 0;          // worker attempts beyond the first
+    std::uint64_t requeued_blocks = 0;  // blocks re-dispatched by retries
+    std::uint64_t timeouts = 0;         // deadline SIGKILLs
+    // True when the round was replayed from a checkpoint instead of run.
+    bool resumed = false;
 };
 
 // Appending JSONL writer; one flushed line per round so a killed run

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace pssp::util {
@@ -31,6 +32,20 @@ void store_le64(std::span<std::uint8_t> bytes, std::uint64_t value);
                                                 std::uint8_t byte) noexcept {
     const std::uint64_t mask = ~(std::uint64_t{0xff} << (8 * index));
     return (value & mask) | (std::uint64_t{byte} << (8 * index));
+}
+
+// FNV-1a 64 over a byte string. The integrity hash used by the dist wire
+// spec digest and the checkpoint log's per-line guards: not cryptographic,
+// but a single flipped character (even one hexfloat mantissa digit) always
+// changes it, which is exactly what "fail loudly, never merge corruption"
+// needs.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view text) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
 }
 
 // Hex string of a byte span, e.g. "de ad be ef".

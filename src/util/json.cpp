@@ -21,6 +21,24 @@ void append_number(std::string& out, double value) {
     out += buf;
 }
 
+std::string json_escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
 namespace {
 
 void append_key(std::string& out, const char* key) {

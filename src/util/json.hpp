@@ -32,6 +32,12 @@ namespace pssp::util {
 // "%.9g"-formatted number (no key). Byte-stable across runs.
 void append_number(std::string& out, double value);
 
+// JSON string-literal escaping for arbitrary text (quotes, backslashes,
+// control characters as \u00xx). The append_kv(string) overload skips this
+// on purpose for identifier-like names; free-form text (error messages,
+// argv, paths) goes through here.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
 void append_kv(std::string& out, const char* key, double value, bool comma = true);
 void append_kv(std::string& out, const char* key, std::uint64_t value,
                bool comma = true);

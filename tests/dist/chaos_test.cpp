@@ -1,0 +1,87 @@
+// The deterministic fault-plan grammar: parse, defaults, matching
+// precedence, and loud rejection of malformed plans. Pure unit tests —
+// the end-to-end injection paths (a worker actually crashing/hanging/
+// corrupting on schedule) are exercised by tests/dist/supervisor_test.cpp
+// through real fork/exec.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dist/chaos.hpp"
+
+namespace pssp {
+namespace {
+
+TEST(dist_chaos, parses_every_fault_kind) {
+    const auto plan = dist::parse_fault_plan(
+        "crash,crash-late,hang,trunc,corrupt,wrong-block,slow=250");
+    ASSERT_EQ(plan.rules.size(), 7u);
+    EXPECT_EQ(plan.rules[0].kind, dist::fault_kind::crash);
+    EXPECT_EQ(plan.rules[1].kind, dist::fault_kind::crash_late);
+    EXPECT_EQ(plan.rules[2].kind, dist::fault_kind::hang);
+    EXPECT_EQ(plan.rules[3].kind, dist::fault_kind::trunc);
+    EXPECT_EQ(plan.rules[4].kind, dist::fault_kind::corrupt);
+    EXPECT_EQ(plan.rules[5].kind, dist::fault_kind::wrong_block);
+    EXPECT_EQ(plan.rules[6].kind, dist::fault_kind::slow);
+    EXPECT_EQ(plan.rules[6].param, 250u);
+}
+
+TEST(dist_chaos, defaults_any_shard_any_round_first_attempt_only) {
+    const auto plan = dist::parse_fault_plan("crash");
+    ASSERT_EQ(plan.rules.size(), 1u);
+    // Any shard, any round — but first attempt only, so the retry heals
+    // unless the plan explicitly says otherwise.
+    EXPECT_NE(dist::decide_fault(plan, 0, 0, 1).kind, dist::fault_kind::none);
+    EXPECT_NE(dist::decide_fault(plan, 7, 42, 1).kind, dist::fault_kind::none);
+    EXPECT_EQ(dist::decide_fault(plan, 0, 0, 2).kind, dist::fault_kind::none);
+}
+
+TEST(dist_chaos, full_coordinates_match_exactly) {
+    const auto plan = dist::parse_fault_plan("corrupt:2:3:1");
+    EXPECT_EQ(dist::decide_fault(plan, 2, 3, 1).kind,
+              dist::fault_kind::corrupt);
+    EXPECT_EQ(dist::decide_fault(plan, 1, 3, 1).kind, dist::fault_kind::none);
+    EXPECT_EQ(dist::decide_fault(plan, 2, 2, 1).kind, dist::fault_kind::none);
+    EXPECT_EQ(dist::decide_fault(plan, 2, 3, 2).kind, dist::fault_kind::none);
+}
+
+TEST(dist_chaos, wildcard_attempt_matches_every_attempt) {
+    const auto plan = dist::parse_fault_plan("crash:1:*:*");
+    for (std::uint64_t attempt = 1; attempt <= 5; ++attempt)
+        EXPECT_EQ(dist::decide_fault(plan, 1, 9, attempt).kind,
+                  dist::fault_kind::crash);
+    EXPECT_EQ(dist::decide_fault(plan, 0, 9, 1).kind, dist::fault_kind::none);
+}
+
+TEST(dist_chaos, first_matching_rule_wins) {
+    const auto plan = dist::parse_fault_plan("hang:0,crash:*");
+    EXPECT_EQ(dist::decide_fault(plan, 0, 0, 1).kind, dist::fault_kind::hang);
+    EXPECT_EQ(dist::decide_fault(plan, 1, 0, 1).kind, dist::fault_kind::crash);
+}
+
+TEST(dist_chaos, empty_plan_and_empty_rules_are_legal) {
+    EXPECT_TRUE(dist::parse_fault_plan("").empty());
+    // Stray commas are tolerated; empty rules between them are skipped.
+    EXPECT_EQ(dist::parse_fault_plan("crash,,trunc,").rules.size(), 2u);
+}
+
+TEST(dist_chaos, malformed_plans_throw_naming_the_token) {
+    // A typo'd chaos run must never silently pass as a clean one.
+    try {
+        (void)dist::parse_fault_plan("bogus:1");
+        FAIL() << "unknown fault must throw";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string{e.what()}.find("bogus"), std::string::npos);
+    }
+    EXPECT_THROW((void)dist::parse_fault_plan("slow=*"), std::invalid_argument);
+    EXPECT_THROW((void)dist::parse_fault_plan("slow="), std::invalid_argument);
+    EXPECT_THROW((void)dist::parse_fault_plan("crash:x"), std::invalid_argument);
+    EXPECT_THROW((void)dist::parse_fault_plan("crash:1:2:3:4"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)dist::parse_fault_plan("crash::1"),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pssp

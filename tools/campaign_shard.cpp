@@ -15,8 +15,11 @@
 #include <string>
 #include <vector>
 
+#include <csignal>
+
 #include "campaign/engine.hpp"
 #include "dist/orchestrator.hpp"
+#include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "vm/dispatch.hpp"
@@ -73,7 +76,26 @@ void usage(const char* argv0) {
                  "               lifetimes, wire encode/decode) — load in\n"
                  "               chrome://tracing or Perfetto\n"
                  "  --progress   live round progress on stderr (off by\n"
-                 "               default; stderr only, stdout untouched)\n",
+                 "               default; stderr only, stdout untouched)\n"
+                 "  --max-attempts N  attempts per worker job before the run\n"
+                 "               fails loudly (default 3; 1 = fail fast)\n"
+                 "  --timeout S  per-attempt worker deadline in seconds;\n"
+                 "               overdue workers are SIGKILLed and retried\n"
+                 "               (default 0 = no deadline)\n"
+                 "  --backoff S  base retry backoff in seconds, doubled per\n"
+                 "               failed attempt (default 0.05)\n"
+                 "  --checkpoint DIR  persist validated block partials to a\n"
+                 "               crash-resumable checkpoint in DIR\n"
+                 "  --resume     continue the checkpoint in --checkpoint DIR\n"
+                 "               (spec digest must match); completed work is\n"
+                 "               replayed, only missing work re-runs, and the\n"
+                 "               final report is byte-identical\n"
+                 "  --kill-after-round N  test hook: raise(SIGKILL) right\n"
+                 "               after round N is checkpointed — simulates an\n"
+                 "               orchestrator crash for --resume testing\n"
+                 "  --faults-json PATH  recovery counters as JSON after the\n"
+                 "               run (retries, requeued blocks, timeouts,\n"
+                 "               crashes, spawned workers, wall seconds)\n",
                  argv0);
 }
 
@@ -118,6 +140,8 @@ int main(int argc, char** argv) {
     std::vector<unsigned> scaling;
     bool table = false;
     bool progress = false;
+    const char* faults_json_path = nullptr;
+    unsigned long long kill_after_round = 0;
 
     for (int i = 1; i < argc; ++i) {
         auto next_value = [&](const char* flag) -> const char* {
@@ -190,6 +214,24 @@ int main(int argc, char** argv) {
             trace_path = next_value("--trace-out");
         } else if (!std::strcmp(argv[i], "--progress")) {
             progress = true;
+        } else if (!std::strcmp(argv[i], "--max-attempts")) {
+            options.faults.max_attempts = static_cast<unsigned>(
+                std::strtoul(next_value("--max-attempts"), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--timeout")) {
+            options.faults.timeout_seconds =
+                std::strtod(next_value("--timeout"), nullptr);
+        } else if (!std::strcmp(argv[i], "--backoff")) {
+            options.faults.backoff_base_seconds =
+                std::strtod(next_value("--backoff"), nullptr);
+        } else if (!std::strcmp(argv[i], "--checkpoint")) {
+            options.checkpoint_dir = next_value("--checkpoint");
+        } else if (!std::strcmp(argv[i], "--resume")) {
+            options.resume = true;
+        } else if (!std::strcmp(argv[i], "--kill-after-round")) {
+            kill_after_round =
+                std::strtoull(next_value("--kill-after-round"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--faults-json")) {
+            faults_json_path = next_value("--faults-json");
         } else {
             usage(argv[0]);
             return 2;
@@ -199,23 +241,51 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--shards must be >= 1\n");
         return 2;
     }
+    if (options.faults.max_attempts == 0) {
+        std::fprintf(stderr, "--max-attempts must be >= 1\n");
+        return 2;
+    }
+    if (options.resume && options.checkpoint_dir.empty()) {
+        std::fprintf(stderr, "--resume needs --checkpoint DIR\n");
+        return 2;
+    }
+    if (kill_after_round != 0 && options.checkpoint_dir.empty()) {
+        std::fprintf(stderr, "--kill-after-round needs --checkpoint DIR\n");
+        return 2;
+    }
 
     if (trace_path != nullptr) obs::enable_tracing(true);
     std::uint64_t blocks_done = 0;
-    if (progress) {
+    if (progress || kill_after_round != 0) {
         // Live progress, stderr only; stdout stays the report's. Built on
-        // the same side-channel summaries --telemetry serializes.
-        options.round_observer = [&blocks_done](const obs::round_summary& r) {
+        // the same side-channel summaries --telemetry serializes. The
+        // kill-after-round hook rides the same observer: summaries are
+        // emitted after the round is checkpointed, so dying here leaves
+        // exactly N rounds durable on disk.
+        options.round_observer = [&blocks_done, progress,
+                                  kill_after_round](const obs::round_summary& r) {
             blocks_done += r.blocks;
-            std::fprintf(stderr,
-                         "round %llu: %llu blocks (%llu so far), %llu trials "
-                         "(%llu cumulative), widest CI half-width %.4f (%s)\n",
-                         static_cast<unsigned long long>(r.round),
-                         static_cast<unsigned long long>(r.blocks),
-                         static_cast<unsigned long long>(blocks_done),
-                         static_cast<unsigned long long>(r.trials),
-                         static_cast<unsigned long long>(r.cumulative_trials),
-                         r.max_halfwidth, r.widest_cell.c_str());
+            if (progress)
+                std::fprintf(
+                    stderr,
+                    "round %llu: %llu blocks (%llu so far), %llu trials "
+                    "(%llu cumulative), widest CI half-width %.4f (%s)%s\n",
+                    static_cast<unsigned long long>(r.round),
+                    static_cast<unsigned long long>(r.blocks),
+                    static_cast<unsigned long long>(blocks_done),
+                    static_cast<unsigned long long>(r.trials),
+                    static_cast<unsigned long long>(r.cumulative_trials),
+                    r.max_halfwidth, r.widest_cell.c_str(),
+                    r.resumed ? " [resumed]" : "");
+            if (kill_after_round != 0 && !r.resumed &&
+                r.round == kill_after_round) {
+                std::fprintf(stderr,
+                             "killing orchestrator after round %llu "
+                             "(--kill-after-round)\n",
+                             static_cast<unsigned long long>(r.round));
+                std::fflush(nullptr);
+                ::raise(SIGKILL);
+            }
         };
     }
     // Written on every exit path below that returns from a completed run.
@@ -290,11 +360,41 @@ int main(int argc, char** argv) {
             return dump_trace() ? 0 : 1;
         }
 
+        const auto run_start = std::chrono::steady_clock::now();
         const auto report = dist::run_sharded(spec, options);
+        const double run_seconds = std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() -
+                                       run_start)
+                                       .count();
         if (table) std::printf("%s\n", report.to_table().c_str());
         if (json_path != nullptr &&
             !write_text(json_path, report.to_json() + "\n"))
             return 1;
+        if (faults_json_path != nullptr) {
+            // Recovery counters from the obs registry (side channel;
+            // registration is idempotent, so these ids match the
+            // supervisor's). All zeros on a clean run.
+            auto count = [](const char* name) {
+                return static_cast<unsigned long long>(
+                    obs::value(obs::counter(name)));
+            };
+            char buf[512];
+            std::snprintf(
+                buf, sizeof buf,
+                "{\n  \"bench\": \"dist_faults\",\n"
+                "  \"wall_seconds\": %.3f,\n"
+                "  \"shards\": %u,\n  \"max_attempts\": %u,\n"
+                "  \"timeout_seconds\": %.3f,\n"
+                "  \"spawned_workers\": %llu,\n  \"retries\": %llu,\n"
+                "  \"requeued_blocks\": %llu,\n  \"timeouts\": %llu,\n"
+                "  \"crashes\": %llu,\n  \"bad_partials\": %llu\n}\n",
+                run_seconds, options.shards, options.faults.max_attempts,
+                options.faults.timeout_seconds, count("dist.spawned_workers"),
+                count("dist.retries"), count("dist.requeued_blocks"),
+                count("dist.timeouts"), count("dist.crashes"),
+                count("dist.bad_partials"));
+            if (!write_text(faults_json_path, buf)) return 1;
+        }
         return dump_trace() ? 0 : 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

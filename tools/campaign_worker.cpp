@@ -27,6 +27,15 @@
 // doing any work, so the crashed-worker path is testable without a real
 // fault.
 //
+// Chaos harness: PSSP_CAMPAIGN_FAULT_PLAN carries a deterministic fault
+// plan (grammar in src/dist/chaos.hpp) keyed on (shard, round, attempt);
+// the shard comes from argv, the round and attempt from the
+// PSSP_CAMPAIGN_ROUND / PSSP_CAMPAIGN_ATTEMPT environment the supervisor
+// exports per spawn. A matching rule injects its fault at the scripted
+// point in this process's life — crash/hang/slow at startup, crash-late /
+// trunc / corrupt / wrong-block at emit — so supervision and recovery are
+// testable with exact, replayable failure schedules.
+//
 // Flight recorder: PSSP_OBS_FLIGHT=<path> (set by the orchestrator) turns
 // on span tracing and checkpoints the newest spans to <path> at startup,
 // after input parse, every 256 trials, and before the partial is emitted —
@@ -39,11 +48,13 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <unistd.h>
 
 #include "campaign/engine.hpp"
+#include "dist/chaos.hpp"
 #include "dist/shard.hpp"
 #include "dist/wire.hpp"
 #include "obs/span.hpp"
@@ -77,17 +88,51 @@ std::string read_stdin() {
     }
 }
 
-int emit_partial(const pssp::dist::partial_report& report, long shard) {
-    const auto json = pssp::dist::partial_to_json(report);
+// Writes the whole payload to stdout with raw write(2): EINTR retries and
+// short writes resume — a signal landing mid-transfer must never truncate
+// or fail a partial that could have been delivered.
+bool write_stdout(const char* data, std::size_t size, long shard) {
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(STDOUT_FILENO, data + off, size - off);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        std::fprintf(stderr, "shard %ld: writing partial failed: %s\n", shard,
+                     std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+int emit_partial(pssp::dist::partial_report report, long shard,
+                 const pssp::dist::fault_rule& fault) {
+    using pssp::dist::fault_kind;
+    if (fault.kind == fault_kind::crash_late) {
+        std::fprintf(stderr, "shard %ld: injected crash-late\n", shard);
+        return 4;
+    }
+    if (fault.kind == fault_kind::corrupt) {
+        // Parses fine, fails the supervisor's digest validation.
+        std::fprintf(stderr, "shard %ld: injected corrupt partial\n", shard);
+        report.digest ^= 1;
+    }
+    if (fault.kind == fault_kind::wrong_block) {
+        // Covers blocks the manifest never assigned.
+        std::fprintf(stderr, "shard %ld: injected wrong-block partial\n", shard);
+        for (auto& b : report.blocks) b.index += 1;
+    }
+    auto json = pssp::dist::partial_to_json(report);
+    if (fault.kind == fault_kind::trunc) {
+        std::fprintf(stderr, "shard %ld: injected truncated partial\n", shard);
+        json.resize(json.size() / 2);
+    }
     // Last checkpoint before the pipe write — a partial that never arrives
     // still leaves the encode span on record.
     pssp::obs::flight_checkpoint();
-    if (std::fwrite(json.data(), 1, json.size(), stdout) != json.size() ||
-        std::fflush(stdout) != 0) {
-        std::fprintf(stderr, "shard %ld: writing partial failed\n", shard);
-        return 1;
-    }
-    return 0;
+    return write_stdout(json.data(), json.size(), shard) ? 0 : 1;
 }
 
 // The manifest must describe real canonical blocks of this spec — a
@@ -142,6 +187,40 @@ int main(int argc, char** argv) {
             return 3;
         }
 
+    // Deterministic chaos: look up this process's (shard, round, attempt)
+    // coordinate in the fault plan. Startup faults strike here; emit-time
+    // faults ride along to emit_partial. A malformed plan is a loud exit —
+    // a typo'd chaos run must never pass as a clean one.
+    pssp::dist::fault_rule fault;
+    if (const char* plan_text = std::getenv(pssp::dist::fault_plan_env)) {
+        try {
+            const auto plan = pssp::dist::parse_fault_plan(plan_text);
+            const char* round_env = std::getenv(pssp::dist::fault_round_env);
+            const char* attempt_env = std::getenv(pssp::dist::fault_attempt_env);
+            fault = pssp::dist::decide_fault(
+                plan, static_cast<std::uint64_t>(shard),
+                round_env != nullptr ? std::strtoull(round_env, nullptr, 10) : 0,
+                attempt_env != nullptr ? std::strtoull(attempt_env, nullptr, 10)
+                                       : 1);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "shard %ld: %s\n", shard, e.what());
+            return 2;
+        }
+        using pssp::dist::fault_kind;
+        if (fault.kind == fault_kind::crash) {
+            std::fprintf(stderr, "shard %ld: injected crash\n", shard);
+            return 3;
+        }
+        if (fault.kind == fault_kind::hang) {
+            // Block forever, before touching stdin — only the supervisor's
+            // deadline SIGKILL ends this process.
+            std::fprintf(stderr, "shard %ld: injected hang\n", shard);
+            for (;;) ::pause();
+        }
+        if (fault.kind == fault_kind::slow)
+            ::usleep(static_cast<useconds_t>(fault.param * 1000));
+    }
+
     try {
         pssp::dist::partial_report report;
         report.shard_index = static_cast<std::uint32_t>(shard);
@@ -169,7 +248,7 @@ int main(int argc, char** argv) {
                 report.blocks.push_back(pssp::dist::partial_block{
                     job.manifest.blocks[i].index, job.manifest.blocks[i].cell,
                     partials[i]});
-            return emit_partial(report, shard);
+            return emit_partial(std::move(report), shard, fault);
         }
 
         const auto spec = pssp::dist::spec_from_json(read_stdin());
@@ -191,7 +270,7 @@ int main(int argc, char** argv) {
         for (std::size_t i = 0; i < plan.blocks.size(); ++i)
             report.blocks.push_back(pssp::dist::partial_block{
                 plan.blocks[i].index, plan.blocks[i].cell, partials[i]});
-        return emit_partial(report, shard);
+        return emit_partial(std::move(report), shard, fault);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "shard %ld: %s\n", shard, e.what());
         return 1;
