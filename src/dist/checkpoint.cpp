@@ -1,15 +1,13 @@
 #include "dist/checkpoint.hpp"
 
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <stdexcept>
 
-#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include "util/bytes.hpp"
+#include "util/fsio.hpp"
 #include "util/json.hpp"
 
 namespace pssp::dist {
@@ -29,99 +27,6 @@ constexpr std::size_t line_suffix_size = fnv_prefix.size() + fnv_hex_digits + 2;
     throw std::runtime_error{"checkpoint: " + what};
 }
 
-[[noreturn]] void fail_errno(const std::string& what) {
-    fail(what + " (" + std::strerror(errno) + ")");
-}
-
-void write_all(int fd, std::string_view bytes, const std::string& path) {
-    std::size_t off = 0;
-    while (off < bytes.size()) {
-        const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-        if (n > 0) {
-            off += static_cast<std::size_t>(n);
-            continue;
-        }
-        if (n < 0 && errno == EINTR) continue;
-        fail_errno("short write to " + path);
-    }
-}
-
-// Reads a whole file; returns false (empty out) if it does not exist.
-bool read_file(const std::string& path, std::string& out) {
-    out.clear();
-    int fd = -1;
-    while ((fd = ::open(path.c_str(), O_RDONLY)) < 0 && errno == EINTR) {
-    }
-    if (fd < 0) {
-        if (errno == ENOENT) return false;
-        fail_errno("cannot open " + path);
-    }
-    char buf[1 << 16];
-    for (;;) {
-        const ssize_t n = ::read(fd, buf, sizeof buf);
-        if (n > 0) {
-            out.append(buf, static_cast<std::size_t>(n));
-            continue;
-        }
-        if (n < 0 && errno == EINTR) continue;
-        if (n < 0) {
-            const int err = errno;
-            ::close(fd);
-            errno = err;
-            fail_errno("cannot read " + path);
-        }
-        break;
-    }
-    ::close(fd);
-    return true;
-}
-
-// tmp + rename + directory fsync: the file is either the old version or
-// the complete new one, never a torn mix.
-void write_file_atomic(const std::string& dir, const char* name,
-                       const std::string& body) {
-    const std::string tmp = dir + "/" + name + ".tmp";
-    const std::string final_path = dir + "/" + name;
-    int fd = -1;
-    while ((fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644)) < 0 &&
-           errno == EINTR) {
-    }
-    if (fd < 0) fail_errno("cannot create " + tmp);
-    write_all(fd, body, tmp);
-    ::fsync(fd);
-    ::close(fd);
-    if (::rename(tmp.c_str(), final_path.c_str()) != 0)
-        fail_errno("cannot rename " + tmp);
-    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-    if (dfd >= 0) {
-        ::fsync(dfd);
-        ::close(dfd);
-    }
-}
-
-void append_hex16(std::string& out, std::uint64_t value) {
-    char buf[fnv_hex_digits + 1];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(value));
-    out.append(buf, fnv_hex_digits);
-}
-
-bool parse_hex16(std::string_view text, std::uint64_t& value) {
-    if (text.size() != fnv_hex_digits) return false;
-    value = 0;
-    for (const char c : text) {
-        std::uint64_t digit = 0;
-        if (c >= '0' && c <= '9')
-            digit = static_cast<std::uint64_t>(c - '0');
-        else if (c >= 'a' && c <= 'f')
-            digit = static_cast<std::uint64_t>(c - 'a' + 10);
-        else
-            return false;
-        value = (value << 4) | digit;
-    }
-    return true;
-}
-
 std::string meta_json(std::uint64_t digest) {
     std::string out = "{\"checkpoint\":{";
     util::append_kv(out, "version",
@@ -129,16 +34,6 @@ std::string meta_json(std::uint64_t digest) {
     util::append_kv(out, "spec_digest", digest, /*comma=*/false);
     out += "}}\n";
     return out;
-}
-
-int open_log_for_append(const std::string& path, bool truncate) {
-    int flags = O_WRONLY | O_CREAT | O_APPEND;
-    if (truncate) flags |= O_TRUNC;
-    int fd = -1;
-    while ((fd = ::open(path.c_str(), flags, 0644)) < 0 && errno == EINTR) {
-    }
-    if (fd < 0) fail_errno("cannot open " + path);
-    return fd;
 }
 
 checkpoint_entry parse_log_line(const std::string& path, std::size_t line_no,
@@ -155,7 +50,8 @@ checkpoint_entry parse_log_line(const std::string& path, std::size_t line_no,
         suffix.substr(line_suffix_size - 2) != "\"}")
         throw bad("truncated or malformed entry (bad integrity suffix)");
     std::uint64_t expected = 0;
-    if (!parse_hex16(suffix.substr(fnv_prefix.size(), fnv_hex_digits), expected))
+    if (!util::parse_hex16(suffix.substr(fnv_prefix.size(), fnv_hex_digits),
+                           expected))
         throw bad("malformed integrity hash");
     const std::string_view body = line.substr(
         line_prefix.size(), line.size() - line_prefix.size() - line_suffix_size);
@@ -203,14 +99,14 @@ checkpoint_log::~checkpoint_log() {
 checkpoint_log checkpoint_log::create(const std::string& dir,
                                       std::uint64_t digest) {
     if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
-        fail_errno("cannot create directory " + dir);
+        fail("cannot create directory " + dir);
     std::string existing;
-    if (read_file(dir + "/meta.json", existing))
+    if (util::read_file(dir + "/meta.json", existing))
         fail("refusing to overwrite existing checkpoint in " + dir +
              " (pass --resume to continue it, or delete it first)");
-    write_file_atomic(dir, "meta.json", meta_json(digest));
+    util::write_file_atomic(dir, "meta.json", meta_json(digest));
     // A stale rounds.log with no meta.json is debris, not progress.
-    const int fd = open_log_for_append(dir + "/rounds.log", /*truncate=*/true);
+    const int fd = util::open_append(dir + "/rounds.log", /*truncate=*/true);
     checkpoint_log log{dir, digest, fd};
     log.write_state();
     return log;
@@ -219,7 +115,7 @@ checkpoint_log checkpoint_log::create(const std::string& dir,
 checkpoint_log checkpoint_log::open_for_resume(const std::string& dir,
                                                std::uint64_t digest) {
     std::string meta;
-    if (!read_file(dir + "/meta.json", meta))
+    if (!util::read_file(dir + "/meta.json", meta))
         fail(dir + " is not a checkpoint directory (missing meta.json)");
     std::uint64_t stored_version = 0;
     std::uint64_t stored_digest = 0;
@@ -240,28 +136,27 @@ checkpoint_log checkpoint_log::open_for_resume(const std::string& dir,
              std::to_string(digest) +
              ") — this checkpoint belongs to a different campaign");
 
+    // Stream the log line by line (util::scan_lines) instead of slurping
+    // it: a huge campaign's checkpoint replays in bounded memory, paying
+    // only for the decoded entries themselves.
     const std::string log_path = dir + "/rounds.log";
-    std::string raw;
-    read_file(log_path, raw);  // absent log = checkpoint died pre-round-1
-
     checkpoint_log log{dir, digest, -1};
-    std::size_t start = 0;
-    std::size_t line_no = 0;
-    while (start < raw.size()) {
-        ++line_no;
-        const std::size_t nl = raw.find('\n', start);
-        if (nl == std::string::npos)
-            throw std::runtime_error{
-                "checkpoint: " + log_path + " line " + std::to_string(line_no) +
-                ": truncated entry (no trailing newline) — the log is damaged"};
-        const std::string_view line{raw.data() + start, nl - start};
-        auto entry = parse_log_line(log_path, line_no, line);
-        log.appended_blocks_ += entry.blocks.size();
-        log.entries_.push_back(std::move(entry));
-        start = nl + 1;
-    }
+    util::line_scan_result scan;
+    util::scan_lines(  // absent log = checkpoint died pre-round-1
+        log_path,
+        [&log, &log_path](std::size_t line_no, std::string_view line) {
+            auto entry = parse_log_line(log_path, line_no, line);
+            log.appended_blocks_ += entry.blocks.size();
+            log.entries_.push_back(std::move(entry));
+        },
+        scan);
+    if (scan.torn_tail)
+        throw std::runtime_error{
+            "checkpoint: " + log_path + " line " +
+            std::to_string(scan.lines + 1) +
+            ": truncated entry (no trailing newline) — the log is damaged"};
     log.appended_rounds_ = log.entries_.size();
-    log.log_fd_ = open_log_for_append(log_path, /*truncate=*/false);
+    log.log_fd_ = util::open_append(log_path, /*truncate=*/false);
     return log;
 }
 
@@ -281,12 +176,12 @@ void checkpoint_log::append(std::uint64_t round,
     line += line_prefix;
     line += body;
     line += fnv_prefix;
-    append_hex16(line, util::fnv1a64(body));
+    util::append_hex16(line, util::fnv1a64(body));
     line += "\"}\n";
 
     const std::string log_path = dir_ + "/rounds.log";
-    write_all(log_fd_, line, log_path);
-    if (::fsync(log_fd_) != 0) fail_errno("fsync failed on " + log_path);
+    util::write_all(log_fd_, line, log_path);
+    if (::fsync(log_fd_) != 0) fail("fsync failed on " + log_path);
     appended_rounds_ += 1;
     appended_blocks_ += blocks.size();
     write_state();
@@ -298,7 +193,7 @@ void checkpoint_log::write_state() const {
     util::append_kv(out, "rounds", appended_rounds_);
     util::append_kv(out, "blocks", appended_blocks_, /*comma=*/false);
     out += "}}\n";
-    write_file_atomic(dir_, "state.json", out);
+    util::write_file_atomic(dir_, "state.json", out);
 }
 
 }  // namespace pssp::dist

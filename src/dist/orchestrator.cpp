@@ -188,13 +188,17 @@ struct round_outcome {
 // postmortems and retries; a job that exhausts its budget fails the run
 // with an aggregated error naming every exhausted shard's round, last
 // failure, argv, and block manifest. `ckpt` non-null appends each job's
-// validated partial as it lands (the fixed path's durable unit).
-round_outcome execute_round(const sharded_options& options,
-                            const std::string& worker,
-                            const campaign::campaign_spec& shard_spec,
-                            std::uint64_t digest, std::uint64_t round_number,
-                            std::span<const campaign::block_ref> blocks,
-                            checkpoint_log* ckpt) {
+// validated partial as it lands (the fixed path's durable unit);
+// `ingest` non-null feeds the same partials to the result store. Both are
+// per-job hooks, so only the fixed path passes them — the adaptive path
+// persists/ingests whole accepted rounds in its caller instead.
+round_outcome execute_round(
+    const sharded_options& options, const std::string& worker,
+    const campaign::campaign_spec& shard_spec, std::uint64_t digest,
+    std::uint64_t round_number, std::span<const campaign::block_ref> blocks,
+    checkpoint_log* ckpt,
+    const std::function<void(std::uint64_t, std::span<const partial_block>)>*
+        ingest) {
     const auto jobs =
         build_round_jobs(options, shard_spec, digest, round_number, blocks);
     supervise_hooks hooks;
@@ -202,10 +206,12 @@ round_outcome execute_round(const sharded_options& options,
                                                    const attempt_record& rec) {
         write_postmortem(options, worker, job, rec);
     };
-    if (ckpt != nullptr)
-        hooks.on_job_success = [ckpt, round_number](const supervised_job&,
-                                                    const partial_report& p) {
-            ckpt->append(round_number, p.blocks);
+    if (ckpt != nullptr || ingest != nullptr)
+        hooks.on_job_success = [ckpt, ingest, round_number](
+                                   const supervised_job&,
+                                   const partial_report& p) {
+            if (ckpt != nullptr) ckpt->append(round_number, p.blocks);
+            if (ingest != nullptr) (*ingest)(round_number, p.blocks);
         };
     round_outcome outcome;
     std::vector<job_result> results;
@@ -322,6 +328,8 @@ campaign::campaign_report run_sharded_adaptive(
                 trials += b.partial.trials;
             }
             allocator.replay_round(entry.round, blocks, partials);
+            if (options.block_ingest)
+                options.block_ingest(entry.round, entry.blocks);
             emit_summary(entry.blocks.size(), trials, 0.0, {}, {},
                          /*resumed=*/true);
         }
@@ -335,23 +343,27 @@ campaign::campaign_report run_sharded_adaptive(
                      static_cast<std::int64_t>(round_number)};
         const auto round_start = std::chrono::steady_clock::now();
         auto outcome = execute_round(options, worker, shard_spec, digest,
-                                     round_number, round, /*ckpt=*/nullptr);
+                                     round_number, round, /*ckpt=*/nullptr,
+                                     /*ingest=*/nullptr);
         allocator.record_round(
             round,
             collect_block_partials(spec, round, outcome.partials, round_number));
-        if (ckpt.has_value()) {
+        if (ckpt.has_value() || options.block_ingest) {
             // The durable unit is one *accepted* round, persisted before
             // any observer runs — so a --kill-after-round harness (or a
             // real death between rounds) always leaves the round it just
             // saw on disk. Blocks are reassembled into round order from
-            // the round-robin job split.
+            // the round-robin job split. The store ingests the identical
+            // round-ordered list, after the checkpoint append.
             const std::size_t count = outcome.partials.size();
             std::vector<partial_block> entry_blocks;
             entry_blocks.reserve(round.size());
             for (std::size_t p = 0; p < round.size(); ++p)
                 entry_blocks.push_back(
                     outcome.partials[p % count].blocks[p / count]);
-            ckpt->append(round_number, entry_blocks);
+            if (ckpt.has_value()) ckpt->append(round_number, entry_blocks);
+            if (options.block_ingest)
+                options.block_ingest(round_number, entry_blocks);
         }
         std::uint64_t round_trials = 0;
         for (const auto& b : round) round_trials += b.trials;
@@ -421,7 +433,9 @@ campaign::campaign_report run_sharded_fixed(
     if (!remaining.empty())
         outcome = execute_round(options, worker, shard_spec, digest,
                                 /*round_number=*/0, remaining,
-                                ckpt.has_value() ? &*ckpt : nullptr);
+                                ckpt.has_value() ? &*ckpt : nullptr,
+                                options.block_ingest ? &options.block_ingest
+                                                     : nullptr);
 
     auto partials = std::move(outcome.partials);
     if (!restored.empty()) {
@@ -429,6 +443,9 @@ campaign::campaign_report run_sharded_fixed(
                   [](const partial_block& a, const partial_block& b) {
                       return a.index < b.index;
                   });
+        // Checkpoint-restored blocks reach the store too (a resumed run's
+        // store may predate the kill, so most of these dedup away).
+        if (options.block_ingest) options.block_ingest(0, restored);
         partial_report replayed;
         replayed.round = 0;
         replayed.digest = digest;

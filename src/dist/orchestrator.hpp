@@ -38,6 +38,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
 
 #include "campaign/campaign.hpp"
@@ -70,6 +71,17 @@ struct sharded_options {
     // gets (tools_campaign_shard --progress renders its stderr line from
     // this). Called from the orchestrating thread between rounds.
     std::function<void(const obs::round_summary&)> round_observer;
+    // Result-store ingest hook (src/store/): handed exactly the validated
+    // block partials the checkpoint log persists — once per accepted round
+    // for adaptive runs (blocks reassembled into round order, after the
+    // allocator accepted the round and after the checkpoint append), once
+    // per successful shard job for fixed runs, and once per replayed
+    // round/restored block set on resume. Ingest dedups by block index, so
+    // the at-least-once delivery this schedule implies is harmless. Called
+    // from the orchestrating thread; a strict side channel — nothing
+    // flows back into the merge or the report.
+    std::function<void(std::uint64_t round, std::span<const partial_block>)>
+        block_ingest;
     // Crash flight recorder: each worker process is pointed at a
     // per-shard flight file via the PSSP_OBS_FLIGHT environment variable
     // and checkpoints its span ring there as it runs. If a worker crashes,

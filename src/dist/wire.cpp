@@ -37,8 +37,8 @@ util::welford_accumulator parse_welford(const util::json_value& v) {
     return util::welford_accumulator::restore(s);
 }
 
-// The spec as a bare JSON object body — shared by the standalone spec
-// message and the round-job message, so the two can never drift.
+}  // namespace
+
 void append_spec_object(std::string& out, const campaign::campaign_spec& spec) {
     out += "{\"schemes\":[";
     for (std::size_t i = 0; i < spec.schemes.size(); ++i) {
@@ -117,8 +117,6 @@ campaign::campaign_spec spec_from_object(const util::json_value& s) {
         static_cast<std::uint32_t>(opts.at("dcr_trampoline_cycles").as_u64());
     return spec;
 }
-
-}  // namespace
 
 std::string spec_to_json(const campaign::campaign_spec& spec) {
     std::string out;

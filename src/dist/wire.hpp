@@ -50,6 +50,12 @@ inline constexpr std::uint32_t wire_version = 2;
 [[nodiscard]] std::string spec_to_json(const campaign::campaign_spec& spec);
 [[nodiscard]] campaign::campaign_spec spec_from_json(std::string_view text);
 
+// The spec as a bare JSON object body (no wrapper key) — shared by the
+// standalone spec message, the round-job message, and the result store's
+// manifest (store/format.hpp), so the encodings can never drift.
+void append_spec_object(std::string& out, const campaign::campaign_spec& spec);
+[[nodiscard]] campaign::campaign_spec spec_from_object(const util::json_value& s);
+
 // FNV-1a 64 over the outcome-relevant spec fields (schemes, attacks,
 // targets, trials, seed, budget, unknown bits, scheme options). The
 // execution knobs jobs/reuse_masters are deliberately excluded: the

@@ -1,34 +1,58 @@
 #include "obs/telemetry.hpp"
 
+#include <cerrno>
 #include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace pssp::obs {
 
 telemetry_writer::~telemetry_writer() {
-    if (file_ != nullptr && owned_) std::fclose(file_);
+    if (fd_ >= 0 && owned_) ::close(fd_);
 }
 
 bool telemetry_writer::open(const std::string& path) {
     if (path == "-") {
-        file_ = stderr;
+        fd_ = 2;  // stderr, unowned
         owned_ = false;
         return true;
     }
-    file_ = std::fopen(path.c_str(), "wb");
-    if (file_ == nullptr) {
+    int fd = -1;
+    while ((fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
+                        0644)) < 0 &&
+           errno == EINTR) {
+    }
+    if (fd < 0) {
         std::fprintf(stderr, "telemetry: cannot write %s\n", path.c_str());
         return false;
     }
+    fd_ = fd;
     owned_ = true;
     return true;
 }
 
 void telemetry_writer::append(const round_summary& round) {
-    if (file_ == nullptr) return;
-    const auto line = round_summary_json(round);
-    std::fwrite(line.data(), 1, line.size(), file_);
-    std::fputc('\n', file_);
-    std::fflush(file_);
+    if (fd_ < 0) return;
+    // The whole line, newline included, as one write(2): a concurrent
+    // reader sees the line complete or not at all, never torn. A short
+    // write (possible only against a pipe/ENOSPC) falls back to resuming
+    // at the cut — at that point atomicity is already lost and durability
+    // wins.
+    auto line = round_summary_json(round);
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        std::fprintf(stderr, "telemetry: write failed (%s)\n",
+                     std::strerror(errno));
+        return;
+    }
 }
 
 std::string round_summary_json(const round_summary& round) {

@@ -52,8 +52,13 @@ struct round_summary {
     bool resumed = false;
 };
 
-// Appending JSONL writer; one flushed line per round so a killed run
-// keeps every completed round's record.
+// Appending JSONL writer; one line per round so a killed run keeps every
+// completed round's record. Each line (including its trailing newline)
+// goes down in a single write(2) on an unbuffered fd, so a concurrent
+// tailer — `campaign_query --follow`, `tail -f`, the store ingester —
+// never observes a torn line: POSIX appends of one write are atomic with
+// respect to readers seeing a prefix of the data, and a line is either
+// entirely present (newline and all) or entirely absent.
 class telemetry_writer {
   public:
     telemetry_writer() = default;
@@ -64,12 +69,12 @@ class telemetry_writer {
     // Truncates and opens `path` ("-" = stderr). Returns false (with a
     // message on stderr) on failure; append() on a failed open is a no-op.
     bool open(const std::string& path);
-    [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
+    [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
 
     void append(const round_summary& round);
 
   private:
-    std::FILE* file_ = nullptr;
+    int fd_ = -1;
     bool owned_ = false;  // false when writing to stderr
 };
 

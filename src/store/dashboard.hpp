@@ -1,0 +1,24 @@
+// Dashboard export: one self-contained HTML file over a loaded store.
+//
+// Everything is computed here, from the same integer tallies the query
+// engine aggregates — the embedded JSON payload carries finished numbers
+// (rates, Wilson bounds, per-round half-widths), and the inline script
+// only draws. No network, no external assets: the file works from a CI
+// artifact tab or a mailbox attachment.
+//
+// Views: a status header (trials, completion, repairs), the per-cell
+// detection-rate table, the convergence chart (per-cell CI half-width by
+// round, widest-final-first, at most 8 series with the rest folded and
+// counted), and the recovery/fault timeline built from the stored round
+// summaries (retries / requeued blocks / timeouts / resumed rounds).
+#pragma once
+
+#include <string>
+
+#include "store/reader.hpp"
+
+namespace pssp::store {
+
+[[nodiscard]] std::string render_dashboard(const store_data& data);
+
+}  // namespace pssp::store

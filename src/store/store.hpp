@@ -1,0 +1,106 @@
+// The store's write path: a strict side channel on the orchestrator's
+// accepted-round path.
+//
+// store_writer receives exactly what the checkpoint log receives — block
+// partials the merge already validated — plus the obs round summaries and
+// a final registry snapshot, and lands them durably (complete hashed
+// line + fsync per ingest) in <dir>/ingest.log, compacting to column
+// segments every few rounds and at finalize. Nothing here is read back
+// into a trial, a merge, or a report: with the store on or off, at any
+// --jobs or shard count, the campaign report bytes are pinned identical
+// (tests/store/store_test.cpp, CI store-identity job).
+//
+// Ingest is idempotent by construction: a block index already present is
+// skipped, which is what makes checkpoint-resume replays, fixed-run
+// restored blocks, and at-least-once retry patterns safe to feed straight
+// through — block partials are pure functions of (master_seed, block), so
+// the first ingested copy of a block is the only possible value.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "store/format.hpp"
+
+namespace pssp::store {
+
+struct writer_options {
+    // Compact pending rows into a column segment every N ingested round
+    // summaries (0 = only at finalize). Fixed runs emit one summary, so
+    // their compaction happens at finalize either way.
+    std::uint64_t compact_every_rounds = 4;
+};
+
+class store_writer {
+  public:
+    // Opens a store directory for a campaign. Fresh directory: writes the
+    // manifest (canonicalized spec + digest) and starts an empty log.
+    // Existing store: requires `resume`, a matching spec digest, and an
+    // incomplete store — torn segments are repaired on the way in, and
+    // already-ingested blocks/rounds are remembered so replays dedup.
+    // A fresh run refusing an existing store mirrors checkpoint_log.
+    [[nodiscard]] static store_writer open(const std::string& dir,
+                                           const campaign::campaign_spec& spec,
+                                           bool resume,
+                                           const writer_options& options = {});
+
+    store_writer(store_writer&& other) noexcept;
+    store_writer& operator=(store_writer&&) = delete;
+    store_writer(const store_writer&) = delete;
+    ~store_writer();
+
+    // Appends the round's accepted block partials (those not already
+    // present), one durable hashed line. No-op if every block is a dup.
+    void ingest_blocks(std::uint64_t round,
+                       std::span<const dist::partial_block> blocks);
+
+    // Appends one round summary; dedups by round number (a resume replay
+    // re-announces rounds the store may already hold). Drives the
+    // periodic compaction cadence.
+    void ingest_round(const obs::round_summary& summary);
+
+    // Final compaction, then the registry snapshot entry, then the
+    // terminal completion entry carrying FNV-1a(report JSON) — the
+    // self-check queries verify reconstruction against — then the
+    // manifest flips to complete.
+    void finalize(const campaign::campaign_report& report,
+                  const std::string& metrics_json);
+
+    [[nodiscard]] const std::string& directory() const noexcept { return dir_; }
+    [[nodiscard]] std::uint64_t ingested_blocks() const noexcept {
+        return ingested_blocks_;
+    }
+    [[nodiscard]] std::uint64_t skipped_blocks() const noexcept {
+        return skipped_blocks_;
+    }
+    [[nodiscard]] std::uint64_t segments_written() const noexcept {
+        return segments_written_;
+    }
+
+  private:
+    store_writer() = default;
+
+    void append_entry(const log_entry& entry);
+    void compact();
+    void write_manifest() const;
+
+    std::string dir_;
+    manifest manifest_;
+    int log_fd_ = -1;
+    std::uint64_t next_seq_ = 1;
+    writer_options options_;
+    std::unordered_set<std::uint64_t> seen_blocks_;  // canonical block index
+    std::unordered_set<std::uint64_t> seen_rounds_;
+    std::vector<block_row> pending_blocks_;  // rows past compacted_seq
+    std::vector<round_row> pending_rounds_;
+    std::uint64_t rounds_since_compact_ = 0;
+    std::uint64_t round_entries_ = 0;
+    std::uint64_t ingested_blocks_ = 0;
+    std::uint64_t skipped_blocks_ = 0;
+    std::uint64_t segments_written_ = 0;
+};
+
+}  // namespace pssp::store

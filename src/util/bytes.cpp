@@ -40,6 +40,30 @@ void store_le64(std::span<std::uint8_t> bytes, std::uint64_t value) {
     for (unsigned i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
 }
 
+void append_hex16(std::string& out, std::uint64_t value) {
+    static const char digits[] = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4) {
+        out.push_back(digits[(value >> shift) & 0xf]);
+    }
+}
+
+bool parse_hex16(std::string_view text, std::uint64_t& value) {
+    if (text.size() != 16) return false;
+    std::uint64_t v = 0;
+    for (const char c : text) {
+        v <<= 4;
+        if (c >= '0' && c <= '9') {
+            v |= static_cast<std::uint64_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        } else {
+            return false;
+        }
+    }
+    value = v;
+    return true;
+}
+
 std::string to_hex(std::span<const std::uint8_t> bytes) {
     std::string out;
     out.reserve(bytes.size() * 3);

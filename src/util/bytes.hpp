@@ -48,6 +48,14 @@ void store_le64(std::span<std::uint8_t> bytes, std::uint64_t value);
     return h;
 }
 
+// Fixed-width 16-digit lowercase hex of a 64-bit word, appended without a
+// prefix — the integrity-hash wire form shared by the dist checkpoint log
+// and the store ingest log ("{...,\"fnv\":\"<16hex>\"}").
+void append_hex16(std::string& out, std::uint64_t value);
+
+// Parses exactly 16 lowercase hex digits; false on any other input.
+[[nodiscard]] bool parse_hex16(std::string_view text, std::uint64_t& value);
+
 // Hex string of a byte span, e.g. "de ad be ef".
 [[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
 

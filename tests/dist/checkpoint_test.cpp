@@ -237,6 +237,54 @@ TEST(dist_checkpoint, create_refuses_existing_and_resume_needs_one) {
     EXPECT_THROW((void)dist::run_sharded(spec, options), std::invalid_argument);
 }
 
+TEST(dist_checkpoint, many_round_log_streams_back_exactly) {
+    // open_for_resume streams rounds.log line by line (util::scan_lines)
+    // rather than slurping it; a log far larger than the scanner's read
+    // chunk must replay every round in order with every hexfloat intact,
+    // including entries straddling chunk boundaries.
+    const auto dir = fresh_dir("many");
+    constexpr std::uint64_t kRounds = 500;
+    {
+        auto log = dist::checkpoint_log::create(dir, /*digest=*/7);
+        for (std::uint64_t round = 1; round <= kRounds; ++round) {
+            std::vector<dist::partial_block> blocks;
+            for (std::uint64_t b = 0; b < 3; ++b) {
+                dist::partial_block block;
+                block.index = (round - 1) * 3 + b;
+                block.cell = b;
+                block.partial.trials = 4;
+                block.partial.hijacks = round % 5;
+                block.partial.queries.add(static_cast<double>(round) / 3.0);
+                block.partial.queries.add(static_cast<double>(b) + 0.0625);
+                blocks.push_back(block);
+            }
+            log.append(round, blocks);
+        }
+    }
+    const auto log_path = dir + "/rounds.log";
+    EXPECT_EQ(line_count(read_file(log_path)), kRounds);
+
+    auto log = dist::checkpoint_log::open_for_resume(dir, 7);
+    const auto& entries = log.recorded();
+    ASSERT_EQ(entries.size(), kRounds);
+    for (std::uint64_t round = 1; round <= kRounds; ++round) {
+        const auto& entry = entries[round - 1];
+        ASSERT_EQ(entry.round, round);
+        ASSERT_EQ(entry.blocks.size(), 3u);
+        for (std::uint64_t b = 0; b < 3; ++b) {
+            const auto& block = entry.blocks[b];
+            EXPECT_EQ(block.index, (round - 1) * 3 + b);
+            EXPECT_EQ(block.partial.hijacks, round % 5);
+            // Bit-exact Welford state through the wire and back.
+            util::welford_accumulator expect;
+            expect.add(static_cast<double>(round) / 3.0);
+            expect.add(static_cast<double>(b) + 0.0625);
+            EXPECT_EQ(block.partial.queries.save().mean, expect.save().mean);
+            EXPECT_EQ(block.partial.queries.save().m2, expect.save().m2);
+        }
+    }
+}
+
 TEST(dist_checkpoint, log_api_round_trips_and_validates_digest) {
     const auto dir = fresh_dir("api");
     {

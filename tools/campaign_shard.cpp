@@ -22,7 +22,10 @@
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
+#include "store/store.hpp"
 #include "vm/dispatch.hpp"
+
+#include <optional>
 
 namespace {
 
@@ -95,7 +98,18 @@ void usage(const char* argv0) {
                  "               orchestrator crash for --resume testing\n"
                  "  --faults-json PATH  recovery counters as JSON after the\n"
                  "               run (retries, requeued blocks, timeouts,\n"
-                 "               crashes, spawned workers, wall seconds)\n",
+                 "               crashes, spawned workers, wall seconds)\n"
+                 "  --store DIR  stream every accepted block partial and\n"
+                 "               round summary into a columnar result store\n"
+                 "               in DIR (query with tools_campaign_query;\n"
+                 "               side channel only — report bytes identical\n"
+                 "               store on or off). With --resume, continues\n"
+                 "               an existing store. Not valid with --scaling\n"
+                 "  --store-compact N  compact the store's log into column\n"
+                 "               segments every N rounds (default 4; 0 =\n"
+                 "               only at finalize)\n"
+                 "  --metrics-out PATH  dump the obs metric registry as\n"
+                 "               deterministic JSON at exit ('-' = stdout)\n",
                  argv0);
 }
 
@@ -142,6 +156,9 @@ int main(int argc, char** argv) {
     bool progress = false;
     const char* faults_json_path = nullptr;
     unsigned long long kill_after_round = 0;
+    const char* store_dir = nullptr;
+    unsigned long long store_compact = 4;
+    const char* metrics_out_path = nullptr;
 
     for (int i = 1; i < argc; ++i) {
         auto next_value = [&](const char* flag) -> const char* {
@@ -232,6 +249,13 @@ int main(int argc, char** argv) {
                 std::strtoull(next_value("--kill-after-round"), nullptr, 10);
         } else if (!std::strcmp(argv[i], "--faults-json")) {
             faults_json_path = next_value("--faults-json");
+        } else if (!std::strcmp(argv[i], "--store")) {
+            store_dir = next_value("--store");
+        } else if (!std::strcmp(argv[i], "--store-compact")) {
+            store_compact =
+                std::strtoull(next_value("--store-compact"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--metrics-out")) {
+            metrics_out_path = next_value("--metrics-out");
         } else {
             usage(argv[0]);
             return 2;
@@ -251,6 +275,12 @@ int main(int argc, char** argv) {
     }
     if (kill_after_round != 0 && options.checkpoint_dir.empty()) {
         std::fprintf(stderr, "--kill-after-round needs --checkpoint DIR\n");
+        return 2;
+    }
+    if (store_dir != nullptr && !scaling.empty()) {
+        // Scaling mode runs the same campaign repeatedly; a store records
+        // one campaign execution.
+        std::fprintf(stderr, "--store cannot be combined with --scaling\n");
         return 2;
     }
 
@@ -297,8 +327,35 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "trace written to %s\n", trace_path);
         return true;
     };
+    // The registry snapshot at exit; deterministic key order, so two runs
+    // of the same campaign diff cleanly.
+    auto dump_metrics = [metrics_out_path] {
+        if (metrics_out_path == nullptr) return true;
+        return write_text(metrics_out_path, obs::metrics_json() + "\n");
+    };
 
     try {
+        std::optional<store::store_writer> result_store;
+        if (store_dir != nullptr) {
+            store::writer_options wopts;
+            wopts.compact_every_rounds = store_compact;
+            result_store.emplace(store::store_writer::open(
+                store_dir, spec, options.resume, wopts));
+            store::store_writer* s = &*result_store;
+            options.block_ingest =
+                [s](std::uint64_t round,
+                    std::span<const dist::partial_block> blocks) {
+                    s->ingest_blocks(round, blocks);
+                };
+            // Store ingest runs before the progress/kill observer: a
+            // --kill-after-round death still lands the round it just saw.
+            options.round_observer =
+                [s, prev = std::move(options.round_observer)](
+                    const obs::round_summary& r) {
+                    s->ingest_round(r);
+                    if (prev) prev(r);
+                };
+        }
         if (!scaling.empty()) {
             // Scaling-curve mode: same campaign at each count, byte-identity
             // asserted across all of them.
@@ -357,7 +414,7 @@ int main(int argc, char** argv) {
                 return 1;
             std::fprintf(stderr, "all %zu shard counts byte-identical\n",
                          scaling.size());
-            return dump_trace() ? 0 : 1;
+            return dump_trace() && dump_metrics() ? 0 : 1;
         }
 
         const auto run_start = std::chrono::steady_clock::now();
@@ -366,6 +423,19 @@ int main(int argc, char** argv) {
                                        std::chrono::steady_clock::now() -
                                        run_start)
                                        .count();
+        if (result_store.has_value()) {
+            result_store->finalize(report, obs::metrics_json());
+            std::fprintf(
+                stderr,
+                "store %s: %llu block(s) ingested, %llu dup(s) skipped, "
+                "%llu segment(s)\n",
+                store_dir,
+                static_cast<unsigned long long>(
+                    result_store->ingested_blocks()),
+                static_cast<unsigned long long>(result_store->skipped_blocks()),
+                static_cast<unsigned long long>(
+                    result_store->segments_written()));
+        }
         if (table) std::printf("%s\n", report.to_table().c_str());
         if (json_path != nullptr &&
             !write_text(json_path, report.to_json() + "\n"))
@@ -395,7 +465,7 @@ int main(int argc, char** argv) {
                 count("dist.bad_partials"));
             if (!write_text(faults_json_path, buf)) return 1;
         }
-        return dump_trace() ? 0 : 1;
+        return dump_trace() && dump_metrics() ? 0 : 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
