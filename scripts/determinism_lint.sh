@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Determinism lint: the whole repo's identity story (byte-identical reports
+# across jobs/shards/dispatch engines, replayable campaigns, the mutation
+# self-test) rests on every random bit flowing from a seeded PRNG. Reject
+# any ambient-entropy or wall-clock source sneaking into src/ or tools/.
+#
+# Forbidden:
+#   rand(                -- libc rand, unseeded or process-global
+#   srand(               -- seeding the global generator at all
+#   time(nullptr / NULL  -- wall clock as an entropy or seed source
+#   std::random_device   -- ambient hardware entropy
+#
+# Allowlisted: identifiers merely *containing* the tokens, e.g. the rdrand
+# instruction family (emulated, seeded) and crypto::splitmix64 helpers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+scan() {
+    local pattern="$1" label="$2"
+    # -P for lookbehind: 'rand(' must not match 'rdrand(', 'splitmix_rand(' etc.
+    local hits
+    hits=$(grep -RnP --include='*.cpp' --include='*.hpp' "$pattern" src tools || true)
+    if [[ -n "$hits" ]]; then
+        echo "determinism lint: forbidden $label:" >&2
+        echo "$hits" >&2
+        fail=1
+    fi
+}
+
+scan '(?<![A-Za-z0-9_])rand\s*\(' 'libc rand() call'
+scan '(?<![A-Za-z0-9_])srand\s*\(' 'srand() call'
+scan '(?<![A-Za-z0-9_])time\s*\(\s*(nullptr|NULL|0)\s*\)' 'wall-clock time() seed'
+scan 'std::random_device' 'std::random_device'
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "determinism lint FAILED — route randomness through crypto/prng.hpp" >&2
+    exit 1
+fi
+echo "determinism lint OK"

@@ -1,0 +1,90 @@
+#include "analysis/audit.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pssp::analysis {
+
+namespace {
+
+constexpr std::uint16_t bit(canary_source s) noexcept {
+    return static_cast<std::uint16_t>(s);
+}
+
+}  // namespace
+
+audit_result audit_rewrite(const binfmt::linked_binary& ssp_binary) {
+    audit_result result;
+    result.pre = prove_canary_protocol(ssp_binary);
+
+    binfmt::linked_binary upgraded = ssp_binary;
+    const auto pre_layout = binfmt::take_layout_snapshot(upgraded);
+    const rewriter::binary_rewriter rw;
+    result.report = rw.upgrade_to_pssp(upgraded);
+    const auto post_layout = binfmt::take_layout_snapshot(upgraded);
+    result.post = prove_canary_protocol(upgraded);
+
+    auto& issues = result.issues;
+
+    // ---- Protocol: both sides must prove clean ---------------------------
+    for (const auto& v : result.pre.all_violations())
+        issues.push_back({v.function, "pre-rewrite: " + v.message});
+    for (const auto& v : result.post.all_violations())
+        issues.push_back({v.function, "post-rewrite: " + v.message});
+
+    // ---- Accounting: skipped set == analyzer's unprotected set -----------
+    std::set<std::string> analyzer_unprotected;
+    for (const auto& f : result.pre.functions)
+        if (f.analyzed && !f.is_protected) analyzer_unprotected.insert(f.name);
+    std::set<std::string> reported_skipped{result.report.skipped_functions.begin(),
+                                           result.report.skipped_functions.end()};
+    for (const auto& name : reported_skipped)
+        if (!analyzer_unprotected.contains(name))
+            issues.push_back({name,
+                              "rewrite_report skips a function the analyzer "
+                              "proves protected in the input image"});
+    for (const auto& name : analyzer_unprotected)
+        if (!reported_skipped.contains(name))
+            issues.push_back({name,
+                              "analyzer finds no canary protocol in the input "
+                              "image but rewrite_report does not list the "
+                              "function as skipped"});
+
+    // ---- Pairing: prologue and epilogue patched together or not at all ---
+    for (const auto& pre_fn : result.pre.functions) {
+        if (!pre_fn.analyzed || !pre_fn.is_protected) continue;
+        const auto* post_fn = result.post.find(pre_fn.name);
+        if (post_fn == nullptr) {
+            issues.push_back({pre_fn.name, "function missing from post image"});
+            continue;
+        }
+        const bool prologue_patched =
+            (post_fn->sources & bit(canary_source::tls_shadow_c0)) != 0;
+        const bool epilogue_patched = post_fn->saw_checking_call();
+        if (prologue_patched && !epilogue_patched)
+            issues.push_back({pre_fn.name,
+                              "patched prologue with unpatched epilogue: the "
+                              "shadow pair is installed but still checked "
+                              "inline against %fs:0x28"});
+        if (!prologue_patched && epilogue_patched)
+            issues.push_back({pre_fn.name,
+                              "patched epilogue with unpatched prologue: "
+                              "__stack_chk_fail verifies a word that was "
+                              "never loaded from the shadow pair"});
+        if (!prologue_patched && !epilogue_patched &&
+            !reported_skipped.contains(pre_fn.name))
+            issues.push_back({pre_fn.name,
+                              "protected function left entirely unpatched but "
+                              "not reported as skipped"});
+    }
+
+    // ---- Layout: nothing may move ----------------------------------------
+    if (!binfmt::layout_preserved(pre_layout, post_layout))
+        issues.push_back({"",
+                          "layout not preserved: a symbol, entry, or function "
+                          "size moved during the rewrite"});
+
+    return result;
+}
+
+}  // namespace pssp::analysis

@@ -1,0 +1,43 @@
+// Rewriter audit mode: runs the canary-protocol prover over a binary
+// before and after binary_rewriter::upgrade_to_pssp() and cross-checks the
+// rewriter's own accounting against the analyzer's independent view.
+//
+// Three families of findings:
+//   * protocol   — either proof has violations (the upgrade may not break
+//     a previously-proven protocol, and must itself prove);
+//   * accounting — rewrite_report::skipped_functions must equal, exactly,
+//     the analyzer's set of unprotected application functions in the
+//     *pre* image; a patched prologue whose epilogue was not patched (or
+//     vice versa) is a hard error;
+//   * layout     — no symbol, entry, or function size may move
+//     (binfmt::layout_preserved; static-mode appends may only extend).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/canary_proof.hpp"
+#include "binfmt/image.hpp"
+#include "rewriter/rewriter.hpp"
+
+namespace pssp::analysis {
+
+struct audit_issue {
+    std::string function;  // empty for whole-binary issues
+    std::string message;
+};
+
+struct audit_result {
+    proof_result pre;   // proof over the SSP input image
+    proof_result post;  // proof over the upgraded image
+    rewriter::rewrite_report report;
+    std::vector<audit_issue> issues;
+
+    [[nodiscard]] bool clean() const noexcept { return issues.empty(); }
+};
+
+// Audits the upgrade of `ssp_binary` (compiled under stock SSP; either
+// link mode). Works on a copy — the input is not modified.
+[[nodiscard]] audit_result audit_rewrite(const binfmt::linked_binary& ssp_binary);
+
+}  // namespace pssp::analysis

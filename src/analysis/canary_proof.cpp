@@ -1,0 +1,847 @@
+#include "analysis/canary_proof.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "binfmt/stdlib.hpp"
+#include "core/tls_layout.hpp"
+
+namespace pssp::analysis {
+
+using vm::opcode;
+using vm::reg;
+using vm::xreg;
+
+namespace {
+
+constexpr std::uint16_t bit(canary_source s) noexcept {
+    return static_cast<std::uint16_t>(s);
+}
+
+// ---- Abstract values --------------------------------------------------------
+
+enum class taint_kind : std::uint8_t {
+    clean = 0,
+    canary_ptr = 1,  // pointer into a canary container (CAB/gbuf/DCR head)
+    canary = 2,      // canary material itself
+};
+
+struct value_taint {
+    taint_kind kind = taint_kind::clean;
+    std::uint16_t sources = 0;
+    std::set<std::int32_t> slots;  // recorded canary slots feeding this value
+
+    [[nodiscard]] bool is_canary() const noexcept { return kind == taint_kind::canary; }
+
+    void clear() { *this = value_taint{}; }
+
+    void join(const value_taint& o) {
+        kind = std::max(kind, o.kind);
+        sources |= o.sources;
+        slots.insert(o.slots.begin(), o.slots.end());
+    }
+
+    friend bool operator==(const value_taint&, const value_taint&) = default;
+};
+
+// Per-slot protocol state; min-joined at merges so "checked" survives only
+// when every inflowing path checked.
+enum class slot_state : std::uint8_t {
+    untracked = 0,
+    clobbered = 1,
+    installed = 2,
+    checked = 3,
+};
+
+[[nodiscard]] const char* to_string(slot_state s) noexcept {
+    switch (s) {
+        case slot_state::untracked: return "untracked";
+        case slot_state::clobbered: return "clobbered";
+        case slot_state::installed: return "installed";
+        case slot_state::checked: return "checked";
+    }
+    return "?";
+}
+
+constexpr std::int32_t depth_unknown = std::numeric_limits<std::int32_t>::min();
+
+struct abstract_state {
+    std::array<value_taint, vm::gpr_count> gprs{};
+    std::array<value_taint, vm::xmm_count> xmms{};
+    value_taint flags{};
+    bool flags_from_call = false;  // flags produced by a checking call
+    std::int32_t depth = 0;        // bytes pushed since function entry
+    std::int32_t rbp_depth = 0;    // depth captured by `mov rbp, rsp`
+    bool rbp_set = false;          // rbp currently anchors this frame
+    bool torn = false;             // after `leave`
+    std::map<std::int32_t, slot_state> slot_states;
+
+    [[nodiscard]] value_taint& gpr(reg r) { return gprs[static_cast<std::size_t>(r)]; }
+    [[nodiscard]] value_taint& xmm(xreg x) { return xmms[static_cast<std::size_t>(x)]; }
+
+    void bump_depth(std::int32_t delta) {
+        if (depth != depth_unknown) depth += delta;
+    }
+
+    void join(const abstract_state& o) {
+        for (std::size_t i = 0; i < gprs.size(); ++i) gprs[i].join(o.gprs[i]);
+        for (std::size_t i = 0; i < xmms.size(); ++i) xmms[i].join(o.xmms[i]);
+        flags.join(o.flags);
+        flags_from_call = flags_from_call || o.flags_from_call;
+        if (depth != o.depth) depth = depth_unknown;
+        if (rbp_depth != o.rbp_depth) rbp_depth = depth_unknown;
+        rbp_set = rbp_set && o.rbp_set;
+        torn = torn || o.torn;
+        // min-join; a slot missing on either side is untracked there.
+        for (auto it = slot_states.begin(); it != slot_states.end();) {
+            const auto oit = o.slot_states.find(it->first);
+            const auto other =
+                oit == o.slot_states.end() ? slot_state::untracked : oit->second;
+            it->second = std::min(it->second, other);
+            if (it->second == slot_state::untracked)
+                it = slot_states.erase(it);
+            else
+                ++it;
+        }
+        // keys only on the other side join to untracked: nothing to add.
+    }
+
+    friend bool operator==(const abstract_state&, const abstract_state&) = default;
+};
+
+[[nodiscard]] bool is_caller_saved(reg r) noexcept {
+    switch (r) {
+        case reg::rax:
+        case reg::rcx:
+        case reg::rdx:
+        case reg::rsi:
+        case reg::rdi:
+        case reg::r8:
+        case reg::r9:
+        case reg::r10:
+        case reg::r11:
+            return true;
+        default:
+            return false;
+    }
+}
+
+[[nodiscard]] std::size_t store_width(opcode op) noexcept {
+    switch (op) {
+        case opcode::mov_mr:
+        case opcode::mov_mi:
+            return 8;
+        case opcode::mov32_mr:
+            return 4;
+        case opcode::mov8_mr:
+            return 1;
+        case opcode::movdqu_mx:
+            return 16;
+        default:
+            return 0;
+    }
+}
+
+[[nodiscard]] std::size_t load_width(opcode op) noexcept {
+    switch (op) {
+        case opcode::mov_rm:
+        case opcode::xor_rm:
+        case opcode::cmp_rm:
+            return 8;
+        case opcode::mov32_rm:
+            return 4;
+        case opcode::movzx8_rm:
+            return 1;
+        case opcode::movhps_xm:
+            return 8;
+        case opcode::movdqu_xm:
+        case opcode::cmp128_xm:
+            return 16;
+        default:
+            return 0;
+    }
+}
+
+// ---- The per-function interpreter ------------------------------------------
+
+class function_checker {
+  public:
+    function_checker(const vm::program& prog, const cfg& graph,
+                     const binfmt::linked_function& fn, std::uint32_t first,
+                     const std::set<std::uint64_t>& abort_addrs,
+                     const std::set<std::uint64_t>& owf_addrs)
+        : prog_{prog},
+          graph_{graph},
+          first_{first},
+          end_{first + static_cast<std::uint32_t>(fn.insns.size())},
+          abort_addrs_{abort_addrs},
+          owf_addrs_{owf_addrs} {
+        proof_.name = fn.name;
+        proof_.first_index = first_;
+        proof_.insn_count = static_cast<std::uint32_t>(fn.insns.size());
+        proof_.analyzed = true;
+    }
+
+    [[nodiscard]] function_proof run() {
+        // Slot discovery and checking are entangled (a load is only canary
+        // material if its slot is already recorded), so iterate the whole
+        // fixpoint until the recorded-slot set stops growing, and keep only
+        // the final round's findings.
+        for (int round = 0; round < 8; ++round) {
+            const auto before = recorded_.size();
+            findings_.clear();
+            installs_.clear();
+            checks_.clear();
+            rets_ = 0;
+            fixpoint();
+            if (recorded_.size() == before) break;
+        }
+        finish();
+        return std::move(proof_);
+    }
+
+  private:
+    const vm::program& prog_;
+    const cfg& graph_;
+    std::uint32_t first_;
+    std::uint32_t end_;
+    const std::set<std::uint64_t>& abort_addrs_;
+    const std::set<std::uint64_t>& owf_addrs_;
+
+    function_proof proof_;
+    std::map<std::int32_t, std::int32_t> recorded_;  // slot offset -> bytes
+    std::uint16_t sources_seen_ = 0;
+    // Deduplicated across fixpoint revisits: (op index, message).
+    std::set<std::pair<std::uint32_t, std::string>> findings_;
+    std::set<std::pair<std::uint32_t, std::int32_t>> installs_;  // (op, slot)
+    std::map<std::uint32_t, check_record> checks_;               // by guard op
+    int rets_ = 0;
+
+    void report(std::uint32_t op_index, std::string message) {
+        findings_.emplace(op_index, std::move(message));
+    }
+
+    // Overlap of [disp, disp+width) with a recorded slot; returns the slot
+    // key or nullopt.
+    [[nodiscard]] std::optional<std::int32_t> slot_overlap(std::int32_t disp,
+                                                           std::size_t width) const {
+        const auto lo = static_cast<std::int64_t>(disp);
+        const auto hi = lo + static_cast<std::int64_t>(width);
+        for (const auto& [off, bytes] : recorded_)
+            if (lo < off + bytes && hi > off) return off;
+        return std::nullopt;
+    }
+
+    [[nodiscard]] bool in_function(std::uint32_t index) const noexcept {
+        return index >= first_ && index < end_;
+    }
+
+    // Taint of a memory load through `insn`'s memory operand.
+    [[nodiscard]] value_taint load_taint(const abstract_state& st,
+                                         const vm::instruction& insn,
+                                         std::size_t width) const {
+        value_taint t;
+        if (insn.mem.seg == vm::segment::fs) {
+            t.kind = taint_kind::canary;
+            switch (insn.mem.disp) {
+                case core::tls_canary: t.sources = bit(canary_source::tls_canary); break;
+                case core::tls_shadow_c0:
+                    t.sources = bit(canary_source::tls_shadow_c0);
+                    break;
+                case core::tls_shadow_c1:
+                    t.sources = bit(canary_source::tls_shadow_c1);
+                    break;
+                case core::tls_cab_top:
+                    t.kind = taint_kind::canary_ptr;
+                    t.sources = bit(canary_source::tls_cab);
+                    break;
+                case core::tls_dcr_head:
+                    t.kind = taint_kind::canary_ptr;
+                    t.sources = bit(canary_source::tls_dcr);
+                    break;
+                case core::tls_gbuf_top:
+                    t.kind = taint_kind::canary_ptr;
+                    t.sources = bit(canary_source::tls_gbuf);
+                    break;
+                case core::tls_owf_key_lo:
+                case core::tls_owf_key_hi:
+                    t.sources = bit(canary_source::tls_owf_key);
+                    break;
+                default:
+                    t.kind = taint_kind::clean;
+            }
+            return t;
+        }
+        if (insn.mem.base == reg::rbp) {
+            if (st.rbp_set && !st.torn && insn.mem.disp < 0) {
+                if (const auto slot = slot_overlap(insn.mem.disp, width)) {
+                    t.kind = taint_kind::canary;
+                    t.slots.insert(*slot);
+                }
+            }
+            return t;
+        }
+        if (insn.mem.base != reg::none) {
+            const auto& base = st.gprs[static_cast<std::size_t>(insn.mem.base)];
+            if (base.kind == taint_kind::canary_ptr) {
+                // A load through the CAB/gbuf/DCR pointer yields canary
+                // material from that container.
+                t.kind = taint_kind::canary;
+                t.sources = base.sources;
+            }
+        }
+        return t;
+    }
+
+    void record_install(abstract_state& st, std::uint32_t i, std::int32_t disp,
+                        std::size_t width, const value_taint& src) {
+        const auto it = recorded_.find(disp);
+        if (it == recorded_.end())
+            recorded_.emplace(disp, static_cast<std::int32_t>(width));
+        else
+            it->second = std::max(it->second, static_cast<std::int32_t>(width));
+        sources_seen_ |= src.sources;
+        installs_.emplace(i, disp);
+        st.slot_states[disp] = slot_state::installed;
+    }
+
+    void handle_store(abstract_state& st, std::uint32_t i,
+                      const vm::instruction& insn, const value_taint& src) {
+        if (insn.mem.seg == vm::segment::fs) return;  // TLS pointer updates
+        if (insn.mem.base != reg::rbp || !st.rbp_set || st.torn) return;
+        if (insn.mem.disp >= 0) return;
+        const auto width = store_width(insn.op);
+        if (src.is_canary()) {
+            record_install(st, i, insn.mem.disp, width, src);
+            return;
+        }
+        if (const auto slot = slot_overlap(insn.mem.disp, width)) {
+            const auto sit = st.slot_states.find(*slot);
+            if (sit != st.slot_states.end() && sit->second != slot_state::untracked) {
+                report(i, "canary slot [rbp" + std::to_string(*slot) +
+                              "] written with non-canary value between install "
+                              "and check");
+                sit->second = slot_state::clobbered;
+            }
+        }
+    }
+
+    // The first instruction of a guard arm aborts iff it is trap_abort or a
+    // call whose target is an abort symbol.
+    [[nodiscard]] bool arm_aborts(std::uint32_t index) const {
+        if (index >= prog_.insns.size()) return false;
+        const auto& insn = prog_.insns[index];
+        if (insn.op == opcode::trap_abort) return true;
+        return insn.op == opcode::call && abort_addrs_.contains(insn.imm);
+    }
+
+    void handle_guard(abstract_state& st, std::uint32_t i) {
+        if (!st.flags.is_canary()) return;
+        const auto target = prog_.flow[i].target;
+        const bool aborting = (target != vm::no_id && arm_aborts(target)) ||
+                              arm_aborts(i + 1);
+        if (!aborting) {
+            if (!st.flags.slots.empty())
+                report(i, "canary comparison does not guard an abort path");
+            return;
+        }
+        if (st.flags.slots.empty()) {
+            report(i, "canary check reads no installed canary slot");
+            return;
+        }
+        constexpr std::uint16_t required = bit(canary_source::tls_canary) |
+                                           bit(canary_source::owf);
+        if ((st.flags.sources & required) == 0) {
+            report(i, "canary comparison never involves the TLS canary");
+            return;
+        }
+        if (st.torn) report(i, "canary check after frame teardown");
+        check_record rec;
+        rec.guard_index = i;
+        rec.compare_index = flags_origin_;
+        rec.kind = st.flags_from_call ? check_kind::checking_call
+                                      : check_kind::inline_guard;
+        checks_[i] = rec;
+        sources_seen_ |= st.flags.sources;
+        for (const auto slot : st.flags.slots) {
+            auto& state = st.slot_states[slot];
+            if (state >= slot_state::clobbered) state = slot_state::checked;
+            // untracked stays untracked: a path that never installed must
+            // still fail the ret test below.
+            if (state == slot_state::untracked) st.slot_states.erase(slot);
+        }
+    }
+
+    void handle_ret(const abstract_state& st, std::uint32_t i) {
+        ++rets_;
+        if (st.depth != depth_unknown && st.depth != 0)
+            report(i, "ret with unbalanced stack depth (" +
+                          std::to_string(st.depth) + " bytes)");
+        for (const auto& [slot, bytes] : recorded_) {
+            (void)bytes;
+            const auto it = st.slot_states.find(slot);
+            const auto state =
+                it == st.slot_states.end() ? slot_state::untracked : it->second;
+            if (state != slot_state::checked)
+                report(i, "ret reachable with canary state=" +
+                              std::string{to_string(state)} +
+                              ", never checked (slot [rbp" + std::to_string(slot) +
+                              "])");
+        }
+    }
+
+    void handle_call(abstract_state& st, std::uint32_t i,
+                     const vm::instruction& insn) {
+        if (abort_addrs_.contains(insn.imm)) {
+            const auto rdi = st.gpr(reg::rdi);
+            if (rdi.is_canary() && !rdi.slots.empty()) {
+                // Fig 3: the rewritten epilogue hands the packed canary word
+                // to __stack_chk_fail, which compares it against C and
+                // returns with ZF reflecting the verdict.
+                st.flags = rdi;
+                st.flags.sources |= bit(canary_source::tls_canary);
+                st.flags_from_call = true;
+                flags_origin_ = i;
+            } else {
+                // Compiled failure arm: the call never returns on this path,
+                // but propagating its post-state is harmless (the guard that
+                // led here already resolved every slot) and keeps the walker
+                // simple.
+                st.flags.clear();
+                st.flags_from_call = false;
+            }
+        } else if (owf_addrs_.contains(insn.imm)) {
+            // xmm15 <- F_{xmm1}(xmm15): the result is canary material
+            // carrying both inputs' slot dependencies (the nonce flows in
+            // through xmm15).
+            value_taint out;
+            out.kind = taint_kind::canary;
+            out.sources = st.xmm(xreg::xmm15).sources | st.xmm(xreg::xmm1).sources |
+                          bit(canary_source::owf);
+            out.slots = st.xmm(xreg::xmm15).slots;
+            out.slots.insert(st.xmm(xreg::xmm1).slots.begin(),
+                             st.xmm(xreg::xmm1).slots.end());
+            for (std::size_t r = 0; r < vm::gpr_count; ++r)
+                if (is_caller_saved(static_cast<reg>(r))) st.gprs[r].clear();
+            st.xmm(xreg::xmm0).clear();
+            st.xmm(xreg::xmm1).clear();
+            st.xmm(xreg::xmm15) = out;
+            st.flags.clear();
+            st.flags_from_call = false;
+        } else {
+            for (std::size_t r = 0; r < vm::gpr_count; ++r)
+                if (is_caller_saved(static_cast<reg>(r))) st.gprs[r].clear();
+            for (auto& x : st.xmms) x.clear();
+            st.flags.clear();
+            st.flags_from_call = false;
+        }
+    }
+
+    // Applies one instruction. Returns false when the path ends here
+    // (trap/hlt; ret paths end too but are checked first).
+    bool transfer(abstract_state& st, std::uint32_t i) {
+        const auto& insn = prog_.insns[i];
+        switch (insn.op) {
+            case opcode::nop:
+            case opcode::sim_delay:
+            case opcode::lea:
+                if (insn.op == opcode::lea) st.gpr(insn.r1).clear();
+                break;
+            case opcode::push_r:
+            case opcode::push_i:
+                st.bump_depth(8);
+                break;
+            case opcode::pop_r:
+                st.bump_depth(-8);
+                st.gpr(insn.r1).clear();
+                break;
+            case opcode::mov_rr:
+                if (insn.r1 == reg::rbp && insn.r2 == reg::rsp) {
+                    st.rbp_depth = st.depth;
+                    st.rbp_set = true;
+                    st.torn = false;
+                } else if (insn.r1 == reg::rsp && insn.r2 == reg::rbp) {
+                    st.depth = st.rbp_depth;
+                } else {
+                    st.gpr(insn.r1) = st.gpr(insn.r2);
+                }
+                break;
+            case opcode::mov_ri:
+                st.gpr(insn.r1).clear();
+                break;
+            case opcode::mov_rm:
+            case opcode::mov32_rm:
+            case opcode::movzx8_rm:
+                st.gpr(insn.r1) = load_taint(st, insn, load_width(insn.op));
+                break;
+            case opcode::mov_mr:
+            case opcode::mov32_mr:
+            case opcode::mov8_mr:
+                handle_store(st, i, insn, st.gpr(insn.r2));
+                break;
+            case opcode::mov_mi:
+                handle_store(st, i, insn, value_taint{});
+                break;
+            case opcode::add_ri:
+            case opcode::sub_ri:
+                if (insn.r1 == reg::rsp) {
+                    const auto delta = static_cast<std::int32_t>(
+                        static_cast<std::int64_t>(insn.imm));
+                    st.bump_depth(insn.op == opcode::sub_ri ? delta : -delta);
+                    st.flags.clear();
+                    st.flags_from_call = false;
+                    break;
+                }
+                [[fallthrough]];
+            case opcode::xor_ri:
+            case opcode::and_ri:
+            case opcode::shl_ri:
+            case opcode::shr_ri:
+            case opcode::imul_ri:
+                st.flags = st.gpr(insn.r1);
+                st.flags_from_call = false;
+                flags_origin_ = i;
+                break;
+            case opcode::add_rr:
+            case opcode::sub_rr:
+            case opcode::xor_rr:
+            case opcode::or_rr:
+            case opcode::imul_rr:
+                st.gpr(insn.r1).join(st.gpr(insn.r2));
+                st.flags = st.gpr(insn.r1);
+                st.flags_from_call = false;
+                flags_origin_ = i;
+                break;
+            case opcode::xor_rm: {
+                const auto loaded = load_taint(st, insn, 8);
+                st.gpr(insn.r1).join(loaded);
+                st.flags = st.gpr(insn.r1);
+                st.flags_from_call = false;
+                flags_origin_ = i;
+                break;
+            }
+            case opcode::cmp_rr:
+            case opcode::test_rr: {
+                value_taint f = st.gpr(insn.r1);
+                f.join(st.gpr(insn.r2));
+                st.flags = f;
+                st.flags_from_call = false;
+                flags_origin_ = i;
+                break;
+            }
+            case opcode::cmp_ri:
+                st.flags = st.gpr(insn.r1);
+                st.flags_from_call = false;
+                flags_origin_ = i;
+                break;
+            case opcode::cmp_rm: {
+                value_taint f = st.gpr(insn.r1);
+                f.join(load_taint(st, insn, 8));
+                st.flags = f;
+                st.flags_from_call = false;
+                flags_origin_ = i;
+                break;
+            }
+            case opcode::rdrand_r: {
+                value_taint t;
+                t.kind = taint_kind::canary;
+                t.sources = bit(canary_source::hw_random);
+                st.gpr(insn.r1) = t;
+                st.flags = t;  // CF: success bit — consumed by jnc only
+                st.flags_from_call = false;
+                flags_origin_ = i;
+                break;
+            }
+            case opcode::rdtsc: {
+                value_taint t;
+                t.kind = taint_kind::canary;
+                t.sources = bit(canary_source::timestamp);
+                st.gpr(reg::rax) = t;
+                st.gpr(reg::rdx) = t;
+                break;
+            }
+            case opcode::movq_xr:
+                st.xmm(insn.x1) = st.gpr(insn.r2);
+                break;
+            case opcode::movq_rx:
+                st.gpr(insn.r1) = st.xmm(insn.x2);
+                break;
+            case opcode::movhps_xm:
+                st.xmm(insn.x1).join(load_taint(st, insn, 8));
+                break;
+            case opcode::punpckhqdq_xr:
+                st.xmm(insn.x1).join(st.gpr(insn.r2));
+                break;
+            case opcode::movdqu_xm:
+                st.xmm(insn.x1) = load_taint(st, insn, 16);
+                break;
+            case opcode::movdqu_mx:
+                handle_store(st, i, insn, st.xmm(insn.x2));
+                break;
+            case opcode::cmp128_xm: {
+                value_taint f = st.xmm(insn.x1);
+                f.join(load_taint(st, insn, 16));
+                st.flags = f;
+                st.flags_from_call = false;
+                flags_origin_ = i;
+                break;
+            }
+            case opcode::je:
+            case opcode::jne:
+            case opcode::jb:
+            case opcode::jae:
+            case opcode::jl:
+            case opcode::jge:
+                handle_guard(st, i);
+                break;
+            case opcode::jnc:
+            case opcode::jmp:
+                break;
+            case opcode::call:
+                handle_call(st, i, insn);
+                break;
+            case opcode::leave:
+                st.depth = st.rbp_depth == depth_unknown ? depth_unknown
+                                                         : st.rbp_depth - 8;
+                st.rbp_set = false;
+                st.torn = true;
+                break;
+            case opcode::ret:
+                handle_ret(st, i);
+                return false;
+            case opcode::syscall_i:
+                st.gpr(reg::rax).clear();
+                break;
+            case opcode::trap_abort:
+            case opcode::hlt:
+                return false;
+        }
+        return true;
+    }
+
+    // Successors of `block` the intra-procedural walk follows.
+    [[nodiscard]] std::vector<std::uint32_t> walk_successors(
+        const basic_block& block) const {
+        std::vector<std::uint32_t> out;
+        const auto last = block.last();
+        const bool is_call = prog_.insns[last].op == opcode::call;
+        for (const auto& e : block.succs) {
+            // Never descend into callees: calls apply the clobber summary
+            // and continue at the return continuation.
+            if (is_call && e.kind != edge_kind::call_return) continue;
+            const auto target_first = graph_.blocks()[e.to].first;
+            if (in_function(target_first)) out.push_back(e.to);
+        }
+        return out;
+    }
+
+    void fixpoint() {
+        const auto block_ids = graph_.blocks_in_range(first_, end_);
+        if (block_ids.empty()) return;
+        const auto entry_block = graph_.block_of(first_);
+
+        std::map<std::uint32_t, abstract_state> in_states;
+        in_states[entry_block] = abstract_state{};
+        std::vector<std::uint32_t> worklist{entry_block};
+        std::size_t budget = 64 * (block_ids.size() + 1) * (recorded_.size() + 4);
+
+        while (!worklist.empty()) {
+            if (budget-- == 0)
+                throw std::runtime_error{"canary_proof: fixpoint did not converge in " +
+                                         proof_.name};
+            const auto id = worklist.back();
+            worklist.pop_back();
+            const auto& block = graph_.blocks()[id];
+            abstract_state st = in_states.at(id);
+            bool fell_through = true;
+            for (std::uint32_t i = block.first; i < block.first + block.count; ++i) {
+                if (!transfer(st, i)) {
+                    fell_through = false;
+                    break;
+                }
+            }
+            if (!fell_through) continue;
+            for (const auto succ : walk_successors(block)) {
+                const auto it = in_states.find(succ);
+                if (it == in_states.end()) {
+                    in_states.emplace(succ, st);
+                    worklist.push_back(succ);
+                } else {
+                    abstract_state joined = it->second;
+                    joined.join(st);
+                    if (!(joined == it->second)) {
+                        it->second = std::move(joined);
+                        worklist.push_back(succ);
+                    }
+                }
+            }
+        }
+    }
+
+    void finish() {
+        proof_.is_protected = !recorded_.empty();
+        proof_.sources = sources_seen_;
+        for (const auto& [off, bytes] : recorded_)
+            proof_.slots.push_back({off, bytes});
+        for (const auto& [op, slot] : installs_) proof_.installs.push_back({op, slot});
+        for (const auto& [guard, rec] : checks_) {
+            (void)guard;
+            proof_.checks.push_back(rec);
+        }
+        proof_.rets = rets_;
+        for (const auto& [op, message] : findings_) {
+            violation v;
+            v.function = proof_.name;
+            v.op_index = op;
+            v.block = graph_.block_of(op);
+            v.message = message;
+            proof_.violations.push_back(std::move(v));
+        }
+    }
+
+    std::uint32_t flags_origin_ = vm::no_id;
+};
+
+}  // namespace
+
+// ---- Public surface ---------------------------------------------------------
+
+std::string source_names(std::uint16_t mask) {
+    static constexpr std::pair<canary_source, const char*> names[] = {
+        {canary_source::tls_canary, "tls_canary"},
+        {canary_source::tls_shadow_c0, "tls_shadow_c0"},
+        {canary_source::tls_shadow_c1, "tls_shadow_c1"},
+        {canary_source::tls_cab, "tls_cab"},
+        {canary_source::tls_dcr, "tls_dcr"},
+        {canary_source::tls_gbuf, "tls_gbuf"},
+        {canary_source::tls_owf_key, "tls_owf_key"},
+        {canary_source::hw_random, "hw_random"},
+        {canary_source::timestamp, "timestamp"},
+        {canary_source::owf, "owf"},
+    };
+    std::string out;
+    for (const auto& [source, name] : names) {
+        if ((mask & bit(source)) == 0) continue;
+        if (!out.empty()) out += "+";
+        out += name;
+    }
+    return out.empty() ? "none" : out;
+}
+
+bool function_proof::saw_inline_check() const noexcept {
+    return std::any_of(checks.begin(), checks.end(), [](const check_record& c) {
+        return c.kind == check_kind::inline_guard;
+    });
+}
+
+bool function_proof::saw_checking_call() const noexcept {
+    return std::any_of(checks.begin(), checks.end(), [](const check_record& c) {
+        return c.kind == check_kind::checking_call;
+    });
+}
+
+bool proof_result::clean() const noexcept {
+    return std::all_of(functions.begin(), functions.end(),
+                       [](const function_proof& f) { return f.clean(); });
+}
+
+const function_proof* proof_result::find(const std::string& name) const noexcept {
+    for (const auto& f : functions)
+        if (f.name == name) return &f;
+    return nullptr;
+}
+
+std::vector<violation> proof_result::all_violations() const {
+    std::vector<violation> out;
+    for (const auto& f : functions)
+        out.insert(out.end(), f.violations.begin(), f.violations.end());
+    return out;
+}
+
+proof_result prove_canary_protocol(const binfmt::linked_binary& binary,
+                                   const proof_options& options) {
+    const auto prog = binary.make_program();
+    const auto graph = cfg::recover(*prog);
+
+    std::set<std::uint64_t> abort_addrs;
+    for (const char* sym :
+         {binfmt::sym_stack_chk_fail, binfmt::sym_fortify_fail}) {
+        const auto it = binary.symbols.find(sym);
+        if (it != binary.symbols.end()) abort_addrs.insert(it->second);
+    }
+    if (const auto it = binary.symbols.find("__pssp_stack_chk_fail");
+        it != binary.symbols.end())
+        abort_addrs.insert(it->second);
+
+    std::set<std::uint64_t> owf_addrs;
+    for (const char* sym : {binfmt::sym_aes_encrypt, binfmt::sym_sha1_owf}) {
+        const auto it = binary.symbols.find(sym);
+        if (it != binary.symbols.end()) owf_addrs.insert(it->second);
+    }
+
+    proof_result result;
+    for (const auto& fn : binary.functions) {
+        if (!options.include_libc && (fn.from_libc || fn.appended)) {
+            function_proof skipped;
+            skipped.name = fn.name;
+            skipped.first_index = prog->index_of(fn.entry);
+            skipped.insn_count = static_cast<std::uint32_t>(fn.insns.size());
+            result.functions.push_back(std::move(skipped));
+            continue;
+        }
+        const auto first = prog->index_of(fn.entry);
+        if (first == vm::no_id || fn.insns.empty()) {
+            function_proof skipped;
+            skipped.name = fn.name;
+            result.functions.push_back(std::move(skipped));
+            continue;
+        }
+        function_checker checker{*prog, graph, fn, first, abort_addrs, owf_addrs};
+        result.functions.push_back(checker.run());
+    }
+    return result;
+}
+
+std::uint16_t expected_sources(core::scheme_kind kind, std::size_t canary_count) {
+    using core::scheme_kind;
+    switch (kind) {
+        case scheme_kind::none:
+            return 0;
+        case scheme_kind::ssp:
+        case scheme_kind::raf_ssp:
+            return bit(canary_source::tls_canary);
+        case scheme_kind::dynaguard:
+            // The CAB registration stores the slot *address* through the
+            // fs-held top pointer; no canary material flows through it, so
+            // the observable mask matches stock SSP.
+            return bit(canary_source::tls_canary);
+        case scheme_kind::dcr:
+            return bit(canary_source::tls_canary) | bit(canary_source::tls_dcr);
+        case scheme_kind::p_ssp:
+            return bit(canary_source::tls_canary) | bit(canary_source::tls_shadow_c0) |
+                   bit(canary_source::tls_shadow_c1);
+        case scheme_kind::p_ssp_nt:
+            return bit(canary_source::tls_canary) | bit(canary_source::hw_random);
+        case scheme_kind::p_ssp_lv:
+            return bit(canary_source::tls_canary) |
+                   (canary_count > 1 ? bit(canary_source::hw_random) : 0);
+        case scheme_kind::p_ssp_owf:
+            return bit(canary_source::timestamp) | bit(canary_source::owf);
+        case scheme_kind::p_ssp32:
+            return bit(canary_source::tls_canary) | bit(canary_source::tls_shadow_c0);
+        case scheme_kind::p_ssp_gb:
+            return bit(canary_source::tls_canary) | bit(canary_source::hw_random) |
+                   bit(canary_source::tls_gbuf);
+        case scheme_kind::p_ssp_c0tls:
+            return bit(canary_source::tls_canary) | bit(canary_source::tls_shadow_c0);
+    }
+    return 0;
+}
+
+}  // namespace pssp::analysis

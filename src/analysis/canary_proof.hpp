@@ -1,0 +1,128 @@
+// Canary-protocol proof engine: per-function abstract interpretation over
+// the recovered CFG.
+//
+// For every application function the checker proves the protocol the
+// paper's instrumentation promises (Codes 1-9): every path from the
+// prologue to every `ret` installs the scheme's canary material into its
+// frame slot(s), compares it against the TLS canary (or re-derives it
+// through the OWF helper) under a conditional that guards an abort path,
+// and never writes a canary slot with non-canary data in between.
+//
+// The abstract domain tracks, per path:
+//   * a stack-depth lattice (push/pop/sub rsp/leave; joins of unequal
+//     depths go to "unknown", and a `ret` at a known non-zero depth is a
+//     violation);
+//   * register/xmm/flags taint: whether a value derives from a canary
+//     source (TLS slots, rdrand, rdtsc, the OWF helper) and which recorded
+//     frame slots fed it;
+//   * a per-slot state machine `untracked -> installed -> checked` (with
+//     `clobbered` for a non-canary store into a live slot), min-joined at
+//     merge points so "checked" survives only when it holds on all paths.
+//
+// Violations carry the function, block id, absolute op index, and the
+// abstract state that broke — e.g. "ret reachable with canary
+// state=installed, never checked".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "binfmt/image.hpp"
+#include "core/scheme.hpp"
+
+namespace pssp::analysis {
+
+// Where canary material originates. Powers of two: function_proof::sources
+// is the union bitmask over every install and check the checker saw.
+enum class canary_source : std::uint16_t {
+    tls_canary = 1u << 0,     // %fs:0x28 (C)
+    tls_shadow_c0 = 1u << 1,  // %fs:0x2a8
+    tls_shadow_c1 = 1u << 2,  // %fs:0x2b0
+    tls_cab = 1u << 3,        // DynaGuard CAB top pointer
+    tls_dcr = 1u << 4,        // DCR list-head pointer
+    tls_gbuf = 1u << 5,       // P-SSP-GB buffer top pointer
+    tls_owf_key = 1u << 6,    // OWF key backup words
+    hw_random = 1u << 7,      // rdrand
+    timestamp = 1u << 8,      // rdtsc (the OWF nonce)
+    owf = 1u << 9,            // result of the AES/SHA1 helper call
+};
+
+[[nodiscard]] std::string source_names(std::uint16_t mask);
+
+enum class check_kind : std::uint8_t {
+    inline_guard,   // compiled shape: flags produced inline, jcc guards abort
+    checking_call,  // rewritten shape: __stack_chk_fail verifies rdi (Fig 3)
+};
+
+struct violation {
+    std::string function;
+    std::uint32_t block = 0;     // cfg block id
+    std::uint32_t op_index = 0;  // absolute instruction index in the program
+    std::string message;         // includes the abstract state that broke
+};
+
+// One canary frame slot, keyed by its rbp-relative offset (negative).
+struct slot_record {
+    std::int32_t offset = 0;
+    std::int32_t bytes = 8;
+
+    friend bool operator==(const slot_record&, const slot_record&) = default;
+};
+
+struct install_record {
+    std::uint32_t op_index = 0;  // absolute index of the installing store
+    std::int32_t slot = 0;
+};
+
+struct check_record {
+    std::uint32_t guard_index = 0;    // the jcc consuming the comparison
+    std::uint32_t compare_index = 0;  // last flags producer (or the call)
+    check_kind kind = check_kind::inline_guard;
+};
+
+struct function_proof {
+    std::string name;
+    std::uint32_t first_index = 0;  // program index of the entry instruction
+    std::uint32_t insn_count = 0;
+    bool analyzed = false;   // libc/appended functions are skipped by default
+    bool is_protected = false;  // any canary install proven
+    std::vector<slot_record> slots;  // sorted by offset
+    std::uint16_t sources = 0;       // canary_source union (installs + checks)
+    std::vector<install_record> installs;
+    std::vector<check_record> checks;
+    int rets = 0;
+    std::vector<violation> violations;
+
+    [[nodiscard]] bool clean() const noexcept { return violations.empty(); }
+    [[nodiscard]] bool saw_inline_check() const noexcept;
+    [[nodiscard]] bool saw_checking_call() const noexcept;
+};
+
+struct proof_result {
+    std::vector<function_proof> functions;  // layout order
+
+    [[nodiscard]] bool clean() const noexcept;
+    [[nodiscard]] const function_proof* find(const std::string& name) const noexcept;
+    [[nodiscard]] std::vector<violation> all_violations() const;
+};
+
+struct proof_options {
+    bool include_libc = false;  // also analyze from_libc / appended functions
+};
+
+// Analyzes every function of `binary`. Builds the program + CFG once;
+// each function is interpreted intra-procedurally (calls apply a
+// caller-saved clobber summary; calls to __stack_chk_fail and the OWF
+// helpers get protocol-aware transfer functions).
+[[nodiscard]] proof_result prove_canary_protocol(const binfmt::linked_binary& binary,
+                                                 const proof_options& options = {});
+
+// The sources a scheme's instrumentation must exhibit, given how many
+// canary slots its frame plan allocated — the profile half of the matrix
+// gate (violations are the protocol half).
+[[nodiscard]] std::uint16_t expected_sources(core::scheme_kind kind,
+                                             std::size_t canary_count);
+
+}  // namespace pssp::analysis

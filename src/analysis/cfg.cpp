@@ -1,0 +1,173 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+#include "vm/dispatch.hpp"
+
+namespace pssp::analysis {
+
+namespace {
+
+using vm::opcode;
+
+[[nodiscard]] bool is_cond_branch(opcode op) noexcept {
+    switch (op) {
+        case opcode::je:
+        case opcode::jne:
+        case opcode::jb:
+        case opcode::jae:
+        case opcode::jl:
+        case opcode::jge:
+        case opcode::jnc:
+            return true;
+        default:
+            return false;
+    }
+}
+
+// Opcodes that end a basic block. `leave` does not: it only edits the
+// frame registers; control continues to the next instruction.
+[[nodiscard]] bool is_terminator(opcode op) noexcept {
+    switch (op) {
+        case opcode::jmp:
+        case opcode::call:
+        case opcode::ret:
+        case opcode::hlt:
+        case opcode::trap_abort:
+            return true;
+        default:
+            return is_cond_branch(op);
+    }
+}
+
+}  // namespace
+
+cfg cfg::recover(const vm::program& prog) {
+    const auto n = static_cast<std::uint32_t>(prog.insns.size());
+    cfg g;
+    g.block_of_.assign(n, vm::no_id);
+    if (n == 0) return g;
+
+    // ---- Leader discovery ----------------------------------------------
+    std::vector<char> leader(n, 0);
+    leader.at(0) = 1;
+    for (const auto& [name, addr] : prog.symbols) {
+        (void)name;
+        const auto idx = prog.index_of(addr);
+        if (idx != vm::no_id) leader[idx] = 1;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const auto op = prog.insns[i].op;
+        if (!is_terminator(op)) continue;
+        if (i + 1 < n) leader[i + 1] = 1;
+        const auto target = prog.flow[i].target;
+        if (target != vm::no_id && target < n) leader[target] = 1;
+        if (op == opcode::call) {
+            const auto cont = prog.index_of(prog.flow[i].return_addr);
+            if (cont != vm::no_id) leader[cont] = 1;
+        }
+    }
+
+    // ---- Block formation -----------------------------------------------
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (leader[i]) {
+            basic_block b;
+            b.first = i;
+            g.blocks_.push_back(b);
+        }
+        auto& cur = g.blocks_.back();
+        ++cur.count;
+        g.block_of_[i] = static_cast<std::uint32_t>(g.blocks_.size() - 1);
+    }
+
+    // ---- Fused-pair walls (vm::handler_width metadata) -------------------
+    const bool have_code = prog.code.size() == n + 1;
+    for (auto& b : g.blocks_) {
+        if (!have_code) break;
+        if (vm::handler_width(prog.code[b.last()].handler) == 2) b.fused_tail = true;
+        if (b.first > 0 && vm::handler_width(prog.code[b.first - 1].handler) == 2)
+            b.fused_entry = true;
+    }
+
+    // ---- Successor edges -------------------------------------------------
+    const auto add_edge = [&](basic_block& from, std::uint32_t to_index,
+                              edge_kind kind) {
+        if (to_index >= n) return;
+        const auto to_block = g.block_of_[to_index];
+        for (const auto& e : from.succs)
+            if (e.to == to_block && e.kind == kind) return;
+        from.succs.push_back({to_block, kind});
+    };
+
+    for (auto& b : g.blocks_) {
+        const auto i = b.last();
+        const auto op = prog.insns[i].op;
+        const auto target = prog.flow[i].target;
+        if (op == opcode::jmp) {
+            if (target != vm::no_id)
+                add_edge(b, target, edge_kind::branch_taken);
+            else
+                b.unknown_successors = true;
+        } else if (is_cond_branch(op)) {
+            if (target != vm::no_id)
+                add_edge(b, target, edge_kind::branch_taken);
+            else
+                b.unknown_successors = true;
+            if (i + 1 < n)
+                add_edge(b, i + 1, edge_kind::fallthrough);
+            else
+                b.unknown_successors = true;  // falls onto the sentinel trap
+        } else if (op == opcode::call) {
+            if (target != vm::no_id) add_edge(b, target, edge_kind::call_target);
+            const auto cont = prog.index_of(prog.flow[i].return_addr);
+            if (cont != vm::no_id)
+                add_edge(b, cont, edge_kind::call_return);
+            else
+                b.unknown_successors = true;
+        } else if (op == opcode::ret || op == opcode::hlt ||
+                   op == opcode::trap_abort) {
+            b.unknown_successors = true;
+        } else {
+            // A non-terminator last instruction: the block ends only because
+            // the next instruction is a leader (or the stream ends).
+            if (i + 1 < n)
+                add_edge(b, i + 1, edge_kind::fallthrough);
+            else
+                b.unknown_successors = true;  // falls onto the sentinel trap
+        }
+    }
+
+    for (std::uint32_t id = 0; id < g.blocks_.size(); ++id)
+        for (const auto& e : g.blocks_[id].succs) g.blocks_[e.to].preds.push_back(id);
+    for (auto& b : g.blocks_) {
+        std::sort(b.preds.begin(), b.preds.end());
+        b.preds.erase(std::unique(b.preds.begin(), b.preds.end()), b.preds.end());
+    }
+    return g;
+}
+
+bool cfg::covers_transfer(std::uint32_t from, std::uint32_t to) const {
+    if (from >= block_of_.size() || to >= block_of_.size()) return false;
+    const auto& b = blocks_[block_of_[from]];
+    if (from != b.last()) return to == from + 1;  // interior: straight line only
+    // ret (and friends): the graph claims nothing — any valid instruction
+    // start is admissible, and the machine validates the address itself.
+    if (b.unknown_successors) return true;
+    // A non-terminator block tail can also step straight into the next
+    // leader; that edge is recorded, so the generic scan below covers it.
+    for (const auto& e : b.succs)
+        if (blocks_[e.to].first == to) return true;
+    return false;
+}
+
+std::vector<std::uint32_t> cfg::blocks_in_range(std::uint32_t first,
+                                                std::uint32_t end) const {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
+        const auto& b = blocks_[id];
+        if (b.first >= first && b.first + b.count <= end) out.push_back(id);
+    }
+    return out;
+}
+
+}  // namespace pssp::analysis

@@ -1,0 +1,92 @@
+// Control-flow-graph recovery over the decoded-op stream.
+//
+// program::finalize() already resolved every direct transfer (jmp/jcc
+// targets, call targets and return continuations) into `flow`, so block
+// discovery is a pure partitioning problem: leaders are symbol entries,
+// resolved flow targets, call return continuations, and the instruction
+// after any terminator; terminators are the branches, call, and the
+// opcodes whose successors the stream cannot name (`ret`, whose target
+// comes off the — possibly attacker-controlled — simulated stack, plus
+// hlt/trap_abort and unresolved jumps).
+//
+// Fused superinstruction pairs never move a block wall. Fusion only swaps
+// the handler id at the pair's first position; position i+1 keeps its
+// standalone lowering, so a jump into the middle of a pair executes
+// exactly as the one-instruction stepper would (vm/dispatch.hpp). The
+// recovered graph therefore works at instruction granularity and merely
+// *annotates* where pairs sit relative to walls (`fused_tail` /
+// `fused_entry`) — the block-selection metadata a baseline JIT needs to
+// decide where a superinstruction may be compiled as one unit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace pssp::analysis {
+
+enum class edge_kind : std::uint8_t {
+    fallthrough,   // straight-line into the next leader
+    branch_taken,  // jcc/jmp resolved target
+    call_target,   // call into a VM function
+    call_return,   // call's return continuation (the instruction after it)
+};
+
+struct cfg_edge {
+    std::uint32_t to = 0;  // successor block id
+    edge_kind kind = edge_kind::fallthrough;
+};
+
+struct basic_block {
+    std::uint32_t first = 0;  // index of the leader instruction
+    std::uint32_t count = 0;  // instructions in the block
+    std::vector<cfg_edge> succs;
+    std::vector<std::uint32_t> preds;  // predecessor block ids
+    // ret / hlt / trap_abort / unresolved target: the stream cannot name
+    // the successors, so the graph claims nothing about them.
+    bool unknown_successors = false;
+    // The last instruction carries a fused handler whose second half is the
+    // next block's leader — the pair executes across this wall when entered
+    // at its first half.
+    bool fused_tail = false;
+    // The leader is the second half of a fused pair: entering here (a jump
+    // into the pair middle) runs the standalone record kept at this slot.
+    bool fused_entry = false;
+
+    [[nodiscard]] std::uint32_t last() const noexcept { return first + count - 1; }
+};
+
+class cfg {
+  public:
+    // Recovers the graph from a finalized program (flow and code present).
+    [[nodiscard]] static cfg recover(const vm::program& prog);
+
+    [[nodiscard]] const std::vector<basic_block>& blocks() const noexcept {
+        return blocks_;
+    }
+
+    // Block containing instruction `index`; vm::no_id when out of range.
+    [[nodiscard]] std::uint32_t block_of(std::uint32_t index) const noexcept {
+        return index < block_of_.size() ? block_of_[index] : vm::no_id;
+    }
+
+    // True when the dynamic transfer `from` -> `to` (two executed
+    // instruction indices, consecutive in a trace) is consistent with the
+    // recovered graph: a straight-line step inside a block, an edge between
+    // blocks, or any valid target of an instruction whose successors are
+    // unknown (ret / indirect flow). The differential oracle's random
+    // programs assert this for every executed edge.
+    [[nodiscard]] bool covers_transfer(std::uint32_t from, std::uint32_t to) const;
+
+    // Ids of every block whose instructions lie within [first, end) — the
+    // per-function view the canary checker walks.
+    [[nodiscard]] std::vector<std::uint32_t> blocks_in_range(std::uint32_t first,
+                                                             std::uint32_t end) const;
+
+  private:
+    std::vector<basic_block> blocks_;
+    std::vector<std::uint32_t> block_of_;  // instruction index -> block id
+};
+
+}  // namespace pssp::analysis

@@ -1,0 +1,184 @@
+#include "analysis/mutate.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "binfmt/stdlib.hpp"
+#include "vm/isa.hpp"
+
+namespace pssp::analysis {
+
+using vm::opcode;
+using namespace vm::isa;
+
+namespace {
+
+[[nodiscard]] std::set<std::uint64_t> abort_addresses(
+    const binfmt::linked_binary& binary) {
+    std::set<std::uint64_t> addrs;
+    for (const char* sym : {binfmt::sym_stack_chk_fail, binfmt::sym_fortify_fail,
+                            "__pssp_stack_chk_fail"}) {
+        const auto it = binary.symbols.find(sym);
+        if (it != binary.symbols.end()) addrs.insert(it->second);
+    }
+    return addrs;
+}
+
+// Profile drift between the clean and mutated proof of one function: the
+// catch criterion for mutants that stay protocol-consistent but no longer
+// implement the *same* protocol (e.g. an install retargeted onto the
+// neighboring slot of a pair).
+[[nodiscard]] std::string drift(const function_proof& clean,
+                                const function_proof& mutated) {
+    if (clean.is_protected != mutated.is_protected)
+        return "protection profile drifted: function no longer proves as protected";
+    if (clean.slots != mutated.slots)
+        return "protection profile drifted: canary slot set changed";
+    if (clean.sources != mutated.sources)
+        return "protection profile drifted: canary source mask changed (" +
+               source_names(clean.sources) + " -> " + source_names(mutated.sources) +
+               ")";
+    if (mutated.checks.size() < clean.checks.size())
+        return "protection profile drifted: a canary check disappeared";
+    if (mutated.installs.size() < clean.installs.size())
+        return "protection profile drifted: a canary install disappeared";
+    return {};
+}
+
+}  // namespace
+
+std::string to_string(mutation_kind kind) {
+    switch (kind) {
+        case mutation_kind::drop_install: return "drop_install";
+        case mutation_kind::drop_check_compare: return "drop_check_compare";
+        case mutation_kind::bypass_guard: return "bypass_guard";
+        case mutation_kind::drop_abort_arm: return "drop_abort_arm";
+        case mutation_kind::clobber_slot: return "clobber_slot";
+        case mutation_kind::retarget_install: return "retarget_install";
+    }
+    return "?";
+}
+
+std::vector<mutation_site> enumerate_mutation_sites(
+    const binfmt::linked_binary& binary, const proof_result& clean_proof) {
+    const auto prog = binary.make_program();
+    const auto aborts = abort_addresses(binary);
+
+    std::vector<mutation_site> sites;
+    std::set<std::tuple<mutation_kind, std::string, std::uint32_t>> seen;
+    const auto add = [&](mutation_kind kind, const std::string& fn,
+                         std::uint32_t rel, std::int32_t slot) {
+        if (seen.emplace(kind, fn, rel).second)
+            sites.push_back({kind, fn, rel, slot});
+    };
+
+    for (const auto& f : clean_proof.functions) {
+        if (!f.analyzed || !f.is_protected) continue;
+        std::uint32_t last_install_rel = 0;
+        for (const auto& inst : f.installs) {
+            const auto rel = inst.op_index - f.first_index;
+            add(mutation_kind::drop_install, f.name, rel, inst.slot);
+            add(mutation_kind::retarget_install, f.name, rel, inst.slot);
+            last_install_rel = std::max(last_install_rel, rel);
+        }
+        if (!f.installs.empty() && last_install_rel + 1 < f.insn_count)
+            add(mutation_kind::clobber_slot, f.name, last_install_rel + 1,
+                f.slots.front().offset);
+        for (const auto& check : f.checks) {
+            const auto guard_rel = check.guard_index - f.first_index;
+            add(mutation_kind::bypass_guard, f.name, guard_rel, 0);
+            if (check.compare_index != vm::no_id &&
+                check.compare_index >= f.first_index)
+                add(mutation_kind::drop_check_compare, f.name,
+                    check.compare_index - f.first_index, 0);
+            // The abort arm our instrumentation shapes use is always the
+            // guard's fall-through (je past the failure call / trap).
+            const auto arm = check.guard_index + 1;
+            if (arm < prog->insns.size()) {
+                const auto& insn = prog->insns[arm];
+                const bool is_abort =
+                    insn.op == opcode::trap_abort ||
+                    (insn.op == opcode::call && aborts.contains(insn.imm));
+                if (is_abort && arm - f.first_index < f.insn_count)
+                    add(mutation_kind::drop_abort_arm, f.name, arm - f.first_index, 0);
+            }
+        }
+    }
+    return sites;
+}
+
+binfmt::linked_binary apply_mutation(const binfmt::linked_binary& binary,
+                                     const mutation_site& site) {
+    binfmt::linked_binary mutated = binary;
+    auto* fn = mutated.find(site.function);
+    if (fn == nullptr || site.insn_index >= fn->insns.size())
+        throw std::out_of_range{"apply_mutation: bad site " + site.function + "@" +
+                                std::to_string(site.insn_index)};
+    auto& insn = fn->insns[site.insn_index];
+    switch (site.kind) {
+        case mutation_kind::drop_install:
+        case mutation_kind::drop_check_compare:
+        case mutation_kind::drop_abort_arm:
+            insn = nop();
+            break;
+        case mutation_kind::bypass_guard: {
+            // Same resolved target, condition gone. The stored address maps
+            // stay untouched (no relayout), so the target remains valid.
+            auto j = jmp(0);
+            j.label = vm::no_id;
+            j.imm = insn.imm;
+            insn = j;
+            break;
+        }
+        case mutation_kind::clobber_slot:
+            insn = mov_mi(mem(vm::reg::rbp, site.slot), 0x41);
+            break;
+        case mutation_kind::retarget_install:
+            insn.mem.disp -= 8;
+            break;
+    }
+    return mutated;
+}
+
+bool mutation_report::all_caught() const noexcept {
+    return std::all_of(outcomes.begin(), outcomes.end(),
+                       [](const mutation_outcome& o) { return o.caught; });
+}
+
+int mutation_report::missed() const noexcept {
+    return static_cast<int>(std::count_if(
+        outcomes.begin(), outcomes.end(),
+        [](const mutation_outcome& o) { return !o.caught; }));
+}
+
+mutation_report run_mutation_self_test(const binfmt::linked_binary& binary) {
+    mutation_report report;
+    const auto clean = prove_canary_protocol(binary);
+    report.clean_violations = static_cast<int>(clean.all_violations().size());
+
+    for (const auto& site : enumerate_mutation_sites(binary, clean)) {
+        const auto mutated_binary = apply_mutation(binary, site);
+        const auto mutated = prove_canary_protocol(mutated_binary);
+
+        mutation_outcome outcome;
+        outcome.site = site;
+        const auto* clean_fn = clean.find(site.function);
+        const auto* mutated_fn = mutated.find(site.function);
+        if (clean_fn == nullptr || mutated_fn == nullptr) {
+            outcome.how = "function vanished from proof";
+        } else if (!mutated_fn->violations.empty()) {
+            outcome.caught = true;
+            outcome.how = mutated_fn->violations.front().message;
+        } else if (auto d = drift(*clean_fn, *mutated_fn); !d.empty()) {
+            outcome.caught = true;
+            outcome.how = std::move(d);
+        } else {
+            outcome.how = "mutant proved clean with an unchanged profile";
+        }
+        report.outcomes.push_back(std::move(outcome));
+    }
+    return report;
+}
+
+}  // namespace pssp::analysis

@@ -1,0 +1,73 @@
+// Mutation self-test: seeded single-op corruptions of the instrumentation
+// the checker is supposed to prove, each of which the checker must catch.
+//
+// A static verifier that never fires is indistinguishable from one that
+// cannot fire. This harness enumerates, from a *clean* proof of a binary,
+// every point where one instruction edit breaks the canary protocol —
+// dropping an install, dropping the final comparison, inverting a guard
+// into an unconditional jump, removing the abort arm, clobbering a live
+// slot, retargeting an install — applies each in isolation (same-length,
+// no relayout: every address and resolved target stays valid), re-proves,
+// and demands a violation or a profile drift for every single site.
+// Zero false negatives on mutants, zero findings on the clean build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/canary_proof.hpp"
+#include "binfmt/image.hpp"
+
+namespace pssp::analysis {
+
+enum class mutation_kind : std::uint8_t {
+    drop_install,        // installing store -> nop
+    drop_check_compare,  // final flags producer of a check -> nop
+    bypass_guard,        // guard jcc -> unconditional jmp to its target
+    drop_abort_arm,      // the trap/call abort arm next to a guard -> nop
+    clobber_slot,        // insn after the last install -> mov [rbp-slot], 0x41
+    retarget_install,    // installing store displaced one word down
+};
+
+[[nodiscard]] std::string to_string(mutation_kind kind);
+
+struct mutation_site {
+    mutation_kind kind = mutation_kind::drop_install;
+    std::string function;
+    std::uint32_t insn_index = 0;  // function-relative instruction index
+    std::int32_t slot = 0;         // the canary slot involved (when any)
+};
+
+struct mutation_outcome {
+    mutation_site site;
+    bool caught = false;       // re-proof flagged the mutant
+    std::string how;           // first violation message / drift description
+};
+
+struct mutation_report {
+    std::vector<mutation_outcome> outcomes;
+    int clean_violations = 0;  // findings on the unmutated binary (must be 0)
+
+    [[nodiscard]] bool all_caught() const noexcept;
+    [[nodiscard]] int missed() const noexcept;
+};
+
+// Enumerates every single-op mutation site for `binary`, derived from a
+// clean proof of it (install/check records give the exact indices).
+[[nodiscard]] std::vector<mutation_site> enumerate_mutation_sites(
+    const binfmt::linked_binary& binary, const proof_result& clean_proof);
+
+// Applies `site` to a copy of `binary`. Never relayouts: the replacement
+// occupies the same instruction slot, so all addresses stay valid.
+[[nodiscard]] binfmt::linked_binary apply_mutation(
+    const binfmt::linked_binary& binary, const mutation_site& site);
+
+// Runs the whole self-test: prove clean, enumerate, mutate, re-prove each.
+// A mutant counts as caught when its function gains a violation or its
+// proof profile drifts from the clean one (protection lost, slot set or
+// source mask changed, a check gone).
+[[nodiscard]] mutation_report run_mutation_self_test(
+    const binfmt::linked_binary& binary);
+
+}  // namespace pssp::analysis

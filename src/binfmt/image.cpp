@@ -278,4 +278,30 @@ std::shared_ptr<const vm::program> image::linked_binary::make_program() const {
     return prog;
 }
 
+layout_snapshot take_layout_snapshot(const linked_binary& binary) {
+    layout_snapshot snap;
+    snap.functions.reserve(binary.functions.size());
+    for (const auto& fn : binary.functions)
+        snap.functions.push_back({fn.name, fn.entry, fn.size_bytes()});
+    snap.symbols.assign(binary.symbols.begin(), binary.symbols.end());
+    std::sort(snap.symbols.begin(), snap.symbols.end());
+    return snap;
+}
+
+bool layout_preserved(const layout_snapshot& pre, const layout_snapshot& post) {
+    if (post.functions.size() < pre.functions.size()) return false;
+    for (std::size_t i = 0; i < pre.functions.size(); ++i)
+        if (!(post.functions[i] == pre.functions[i])) return false;
+    // Every pre symbol must resolve to the same address; new symbols (the
+    // appended-section entries) are allowed.
+    for (const auto& [name, addr] : pre.symbols) {
+        const auto it = std::lower_bound(
+            post.symbols.begin(), post.symbols.end(), name,
+            [](const auto& entry, const std::string& key) { return entry.first < key; });
+        if (it == post.symbols.end() || it->first != name || it->second != addr)
+            return false;
+    }
+    return true;
+}
+
 }  // namespace pssp::binfmt

@@ -171,6 +171,35 @@ struct image::linked_binary {
 
 using linked_binary = image::linked_binary;
 
+// One row of a layout snapshot: where a function sits and how many bytes
+// it occupies, plus every symbol address. Two snapshots compare equal iff
+// nothing the rewriter must preserve has moved.
+struct layout_entry {
+    std::string name;
+    std::uint64_t entry = 0;
+    std::uint64_t bytes = 0;
+
+    friend bool operator==(const layout_entry&, const layout_entry&) = default;
+};
+
+struct layout_snapshot {
+    std::vector<layout_entry> functions;          // layout order
+    std::vector<std::pair<std::string, std::uint64_t>> symbols;  // sorted
+
+    friend bool operator==(const layout_snapshot&, const layout_snapshot&) = default;
+};
+
+// Captures the address layout of `binary`. The rewriter's in-place edits
+// must leave the snapshot of the pre-existing entries bit-identical;
+// static-mode appends may only *extend* it (audit::layout_preserved).
+[[nodiscard]] layout_snapshot take_layout_snapshot(const linked_binary& binary);
+
+// True when `post` equals `pre` up to appended additions: every pre entry
+// unchanged (same name/entry/bytes at the same rank; same symbol
+// addresses) and anything new strictly after/extra.
+[[nodiscard]] bool layout_preserved(const layout_snapshot& pre,
+                                    const layout_snapshot& post);
+
 // Default virtual layout.
 inline constexpr std::uint64_t default_text_base = 0x0000000000401000ull;
 inline constexpr std::uint64_t default_plt_base = 0x0000000000400100ull;

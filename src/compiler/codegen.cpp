@@ -22,18 +22,26 @@ constexpr reg arg_regs[] = {reg::rdi, reg::rsi, reg::rdx, reg::rcx};
     return insn;
 }
 
+[[nodiscard]] core::frame_plan unprotected_plan(
+    const std::vector<core::local_desc>& descs) {
+    core::frame_plan plan;
+    plan.local_offsets.resize(descs.size());
+    std::int32_t cursor = 0;
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+        cursor += static_cast<std::int32_t>((descs[i].size + 7) & ~7u);
+        plan.local_offsets[i] = -cursor;
+    }
+    plan.frame_bytes = (cursor + 15) & ~15;
+    return plan;
+}
+
 // Per-function lowering context.
 class function_lowering {
   public:
     function_lowering(const ir_function& fn, const core::scheme& sch,
                       binfmt::image& img)
-        : fn_{fn}, scheme_{sch}, img_{img}, out_{img.add_function(fn.name)} {
-        std::vector<core::local_desc> descs;
-        descs.reserve(fn.locals.size());
-        for (const auto& local : fn.locals)
-            descs.push_back({local.size, local.is_buffer, local.is_critical});
-        plan_ = fn.never_protect ? unprotected_plan(descs) : scheme_.plan_frame(descs);
-    }
+        : fn_{fn}, scheme_{sch}, img_{img}, out_{img.add_function(fn.name)},
+          plan_{plan_for_function(fn, sch)} {}
 
     void lower() {
         // Frame setup (Code 1, lines 1-3).
@@ -57,19 +65,6 @@ class function_lowering {
     binfmt::image& img_;
     binfmt::bin_function& out_;
     core::frame_plan plan_;
-
-    [[nodiscard]] static core::frame_plan unprotected_plan(
-        const std::vector<core::local_desc>& descs) {
-        core::frame_plan plan;
-        plan.local_offsets.resize(descs.size());
-        std::int32_t cursor = 0;
-        for (std::size_t i = 0; i < descs.size(); ++i) {
-            cursor += static_cast<std::int32_t>((descs[i].size + 7) & ~7u);
-            plan.local_offsets[i] = -cursor;
-        }
-        plan.frame_bytes = (cursor + 15) & ~15;
-        return plan;
-    }
 
     [[nodiscard]] std::int32_t slot(int local) const {
         if (local < 0 || static_cast<std::size_t>(local) >= plan_.local_offsets.size())
@@ -213,6 +208,14 @@ class function_lowering {
 };
 
 }  // namespace
+
+core::frame_plan plan_for_function(const ir_function& fn, const core::scheme& sch) {
+    std::vector<core::local_desc> descs;
+    descs.reserve(fn.locals.size());
+    for (const auto& local : fn.locals)
+        descs.push_back({local.size, local.is_buffer, local.is_critical});
+    return fn.never_protect ? unprotected_plan(descs) : sch.plan_frame(descs);
+}
 
 codegen::codegen(std::shared_ptr<const core::scheme> sch) : scheme_{std::move(sch)} {
     if (!scheme_) throw std::invalid_argument{"codegen requires a scheme"};

@@ -38,6 +38,13 @@ class codegen {
     std::shared_ptr<const core::scheme> scheme_;
 };
 
+// The frame plan codegen will use for `fn` under `sch` (never_protect
+// honored). Exposed so the static analyzer can derive the *expected*
+// canary-slot layout for a function independently of the emitted code and
+// cross-check the two.
+[[nodiscard]] core::frame_plan plan_for_function(const ir_function& fn,
+                                                const core::scheme& sch);
+
 // Convenience one-stop build: compile `mod` under `sch`, add the standard
 // library, link. The returned binary is ready for process_manager.
 [[nodiscard]] binfmt::linked_binary build_module(

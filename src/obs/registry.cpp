@@ -32,6 +32,7 @@ constexpr std::size_t kHistogramBuckets = 64;
 // 1024 named metrics is an order of magnitude above current usage; running
 // out is a programming error worth a loud message, not silent wraparound.
 constexpr std::size_t kMaxMetrics = 1024;
+constexpr std::size_t kMaxHistograms = 256;
 
 struct histogram_slot {
     std::atomic<std::uint64_t> count{0};
@@ -42,12 +43,15 @@ struct histogram_slot {
 struct registry_state {
     std::mutex mutex;  // registration + snapshot only, never the hot path
     std::unordered_map<std::string, metric_id> by_name;
-    std::vector<std::string> names;     // indexed by metric_id
-    std::vector<metric_type> types;     // indexed by metric_id
+    std::vector<std::string> names;     // indexed by metric_id, mutex-only
+    std::vector<metric_type> types;     // indexed by metric_id, mutex-only
     std::array<std::atomic<std::uint64_t>, kMaxMetrics> scalars{};
     // Histograms get a second, sparse arena; hist_index[id] points into it.
-    std::vector<std::uint32_t> hist_index;
-    std::vector<std::unique_ptr<histogram_slot>> histograms;
+    // Both sides are fixed arrays: late registration (fork-server reboots
+    // register lazily) must never reallocate under a lock-free observe().
+    std::array<std::uint32_t, kMaxMetrics> hist_index{};
+    std::uint32_t histogram_count = 0;  // mutex-only
+    std::array<histogram_slot, kMaxHistograms> histograms{};
 };
 
 registry_state& state() {
@@ -70,10 +74,14 @@ metric_id register_metric(std::string_view name, metric_type type) {
     const auto id = static_cast<metric_id>(s.names.size());
     s.names.emplace_back(name);
     s.types.push_back(type);
-    s.hist_index.push_back(0);
     if (type == metric_type::histogram) {
-        s.hist_index.back() = static_cast<std::uint32_t>(s.histograms.size());
-        s.histograms.push_back(std::make_unique<histogram_slot>());
+        if (s.histogram_count >= kMaxHistograms) {
+            std::fprintf(stderr,
+                         "obs: histogram arena exhausted registering '%.*s'\n",
+                         static_cast<int>(name.size()), name.data());
+            std::abort();
+        }
+        s.hist_index[id] = s.histogram_count++;
     }
     s.by_name.emplace(std::string{name}, id);
     return id;
@@ -109,7 +117,7 @@ void observe(metric_id id, std::uint64_t sample) noexcept {
     auto& s = state();
     // hist_index is written before the id escapes register_metric, so an
     // id in hand implies the slot exists.
-    auto& h = *s.histograms[s.hist_index[id]];
+    auto& h = s.histograms[s.hist_index[id]];
     h.count.fetch_add(1, std::memory_order_relaxed);
     h.sum.fetch_add(sample, std::memory_order_relaxed);
     h.buckets[bucket_for(sample)].fetch_add(1, std::memory_order_relaxed);
@@ -129,7 +137,7 @@ std::vector<metric_snapshot> snapshot() {
         m.name = s.names[id];
         m.type = s.types[id];
         if (m.type == metric_type::histogram) {
-            const auto& h = *s.histograms[s.hist_index[id]];
+            const auto& h = s.histograms[s.hist_index[id]];
             m.count = h.count.load(std::memory_order_relaxed);
             m.sum = h.sum.load(std::memory_order_relaxed);
             m.buckets.reserve(kHistogramBuckets);
@@ -196,9 +204,9 @@ void reset_all_for_test() {
     std::lock_guard lock{s.mutex};
     for (auto& slot : s.scalars) slot.store(0, std::memory_order_relaxed);
     for (auto& h : s.histograms) {
-        h->count.store(0, std::memory_order_relaxed);
-        h->sum.store(0, std::memory_order_relaxed);
-        for (auto& b : h->buckets) b.store(0, std::memory_order_relaxed);
+        h.count.store(0, std::memory_order_relaxed);
+        h.sum.store(0, std::memory_order_relaxed);
+        for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
     }
 }
 

@@ -103,7 +103,8 @@ void hook_entry(binfmt::linked_binary& binary, binfmt::linked_function& fn,
 
 }  // namespace
 
-int binary_rewriter::patch_prologues(binfmt::linked_binary& binary) const {
+int binary_rewriter::patch_prologues(binfmt::linked_binary& binary,
+                                     std::map<std::string, int>* per_function) const {
     int patched = 0;
     for (auto& fn : binary.functions) {
         if (fn.from_libc || fn.appended) continue;
@@ -115,12 +116,14 @@ int binary_rewriter::patch_prologues(binfmt::linked_binary& binary) const {
             repl.mem.disp = core::tls_shadow_c0;
             binary.replace_range(fn, i, 1, {repl});
             ++patched;
+            if (per_function) ++(*per_function)[fn.name];
         }
     }
     return patched;
 }
 
-int binary_rewriter::patch_epilogues(binfmt::linked_binary& binary) const {
+int binary_rewriter::patch_epilogues(binfmt::linked_binary& binary,
+                                     std::map<std::string, int>* per_function) const {
     const auto chk_it = binary.symbols.find(binfmt::sym_stack_chk_fail);
     if (chk_it == binary.symbols.end())
         throw std::runtime_error{"rewriter: binary lacks __stack_chk_fail"};
@@ -150,6 +153,7 @@ int binary_rewriter::patch_epilogues(binfmt::linked_binary& binary) const {
                                   chk_call, pop_r(reg::rdi), taken_je, trap_abort(),
                                   nop()});
             ++patched;
+            if (per_function) ++(*per_function)[fn.name];
         }
     }
     return patched;
@@ -182,10 +186,11 @@ std::uint64_t binary_rewriter::append_static_support(binfmt::linked_binary& bina
 
 rewrite_report binary_rewriter::upgrade_to_pssp(binfmt::linked_binary& binary) const {
     rewrite_report report;
-    report.prologues_patched = patch_prologues(binary);
-    report.epilogues_patched = patch_epilogues(binary);
+    std::map<std::string, int> patched_fns;
+    report.prologues_patched = patch_prologues(binary, &patched_fns);
+    report.epilogues_patched = patch_epilogues(binary, &patched_fns);
     for (const auto& fn : binary.functions)
-        if (!fn.from_libc && !fn.appended && report.prologues_patched == 0)
+        if (!fn.from_libc && !fn.appended && !patched_fns.contains(fn.name))
             report.skipped_functions.push_back(fn.name);
     if (binary.mode == binfmt::link_mode::static_glibc)
         report.bytes_added = append_static_support(binary, report);

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -38,7 +39,10 @@ struct rewrite_report {
     bool stack_chk_fail_hooked = false;  // static mode only
     bool fork_hooked = false;            // static mode only
     std::uint64_t bytes_added = 0;       // appended-section size
-    std::vector<std::string> skipped_functions;  // no SSP pattern found
+    // Application functions in which *neither* pass matched an SSP
+    // pattern — i.e. functions the upgrade leaves genuinely unprotected.
+    // Per-function, so one patched function never masks a skipped one.
+    std::vector<std::string> skipped_functions;
 };
 
 class binary_rewriter {
@@ -47,9 +51,13 @@ class binary_rewriter {
     // binary's own link mode. Throws if a patch would change the layout.
     rewrite_report upgrade_to_pssp(binfmt::linked_binary& binary) const;
 
-    // Individual passes, exposed for tests.
-    int patch_prologues(binfmt::linked_binary& binary) const;
-    int patch_epilogues(binfmt::linked_binary& binary) const;
+    // Individual passes, exposed for tests. When `per_function` is given,
+    // each pass records its per-function patch count into it (keyed by
+    // function name; untouched functions get no entry).
+    int patch_prologues(binfmt::linked_binary& binary,
+                        std::map<std::string, int>* per_function = nullptr) const;
+    int patch_epilogues(binfmt::linked_binary& binary,
+                        std::map<std::string, int>* per_function = nullptr) const;
     // Appends the P-SSP __stack_chk_fail / fork and hooks the originals.
     std::uint64_t append_static_support(binfmt::linked_binary& binary,
                                         rewrite_report& report) const;

@@ -118,6 +118,26 @@ struct exec_profile {
 // X-macro-generated twin of the jump table; "?" past hop::count.
 [[nodiscard]] const char* handler_name(std::uint16_t handler) noexcept;
 
+// ---- Lowering metadata ------------------------------------------------------
+// True for superinstruction handler ids: the record at this position
+// executes its own instruction AND the next one in a single dispatch. The
+// sentinel is not fused — it consumes nothing.
+[[nodiscard]] constexpr bool is_fused_handler(std::uint16_t handler) noexcept {
+    return handler >= opcode_count && handler != hop::sentinel &&
+           handler < hop::count;
+}
+
+// Number of instruction-stream slots one dispatch of `handler` retires:
+// 2 for fused pairs, 1 otherwise (sentinel included — it traps in place).
+// CFG recovery uses this to place block walls: a fused position i implies
+// positions i and i+1 execute back-to-back *when entered at i*, while an
+// entry at i+1 (a jump into the pair middle) runs the standalone record
+// kept there — so fusion never changes reachable block boundaries, only
+// annotates them.
+[[nodiscard]] constexpr unsigned handler_width(std::uint16_t handler) noexcept {
+    return is_fused_handler(handler) ? 2u : 1u;
+}
+
 // One decoded op: everything a handler touches, in one 48-byte record
 // (instruction operands + resolved flow live in three parallel arrays on
 // the legacy path). Fused handlers read their second half from the next

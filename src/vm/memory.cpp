@@ -70,12 +70,14 @@ void memory::store64(std::uint64_t addr, std::uint64_t value) {
 }
 
 void memory::read_bytes(std::uint64_t addr, std::span<std::uint8_t> out) const {
+    if (out.empty()) return;  // empty span may carry a null data()
     const std::uint8_t* p = try_at(addr, out.size());
     if (p == nullptr) throw mem_fault{addr, out.size(), "read_bytes: unmapped range"};
     std::memcpy(out.data(), p, out.size());
 }
 
 void memory::write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data) {
+    if (data.empty()) return;  // empty span may carry a null data()
     std::uint8_t* p = try_at_mut(addr, data.size());
     if (p == nullptr) throw mem_fault{addr, data.size(), "write_bytes: unmapped range"};
     std::memcpy(p, data.data(), data.size());

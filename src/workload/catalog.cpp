@@ -1,0 +1,39 @@
+#include "workload/catalog.hpp"
+
+#include <stdexcept>
+
+#include "workload/database.hpp"
+#include "workload/spec.hpp"
+#include "workload/webserver.hpp"
+
+namespace pssp::workload {
+
+const std::vector<catalog_entry>& workload_catalog() {
+    static const std::vector<catalog_entry> entries{
+        {"nginx", "nginx-shaped request loop (Section VI-B web server)"},
+        {"apache", "httpd-shaped request loop, larger header buffers"},
+        {"ali", "production-trace profile (Section VI-D Ali deployment)"},
+        {"mysql", "sysbench-oltp-ish point queries"},
+        {"sqlite", "threadtest3-ish batch statements"},
+        {"spec_int", "representative CINT2006 benchmark"},
+        {"spec_fp", "representative CFP2006 benchmark"},
+    };
+    return entries;
+}
+
+compiler::ir_module make_catalog_module(const std::string& name) {
+    if (name == "nginx") return make_server_module(nginx_profile());
+    if (name == "apache") return make_server_module(apache_profile());
+    if (name == "ali") return make_server_module(ali_profile());
+    if (name == "mysql") return make_db_module(mysql_profile());
+    if (name == "sqlite") return make_db_module(sqlite_profile());
+    if (name == "spec_int" || name == "spec_fp") {
+        const bool want_int = name == "spec_int";
+        for (const auto& profile : spec2006_profiles())
+            if (profile.integer_suite == want_int) return make_spec_module(profile);
+        throw std::runtime_error{"spec2006_profiles missing suite for " + name};
+    }
+    throw std::invalid_argument{"unknown workload: " + name};
+}
+
+}  // namespace pssp::workload

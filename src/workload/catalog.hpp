@@ -1,0 +1,28 @@
+// Named workload registry: one place that maps the workload names used on
+// tool command lines (tools_analyze, CI matrices) to the IR modules the
+// factories in this directory build. Keeps "nginx" meaning the same
+// module in every tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.hpp"
+
+namespace pssp::workload {
+
+struct catalog_entry {
+    std::string name;         // CLI name ("nginx", "mysql", "spec_int", ...)
+    std::string description;  // one line for --help output
+};
+
+// All named workloads, in presentation order.
+[[nodiscard]] const std::vector<catalog_entry>& workload_catalog();
+
+// Builds the named workload's module. Throws std::invalid_argument for
+// names not in the catalog. "spec_int" / "spec_fp" build the first
+// benchmark of the respective SPEC2006 half — a representative member,
+// since every profile lowers through the same module shape.
+[[nodiscard]] compiler::ir_module make_catalog_module(const std::string& name);
+
+}  // namespace pssp::workload

@@ -1,0 +1,188 @@
+// Rewriter audit mode: the upgrade must prove clean pre and post, the
+// skipped-function accounting must match the analyzer's independent view
+// exactly, prologue/epilogue patches must pair, and nothing may move.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "analysis/audit.hpp"
+#include "binfmt/stdlib.hpp"
+#include "compiler/codegen.hpp"
+#include "core/scheme.hpp"
+#include "core/tls_layout.hpp"
+#include "workload/webserver.hpp"
+
+namespace pssp {
+namespace {
+
+using namespace vm::isa;
+using vm::reg;
+
+binfmt::linked_binary server_ssp_binary(binfmt::link_mode mode) {
+    const auto mod = workload::make_server_module(workload::nginx_profile());
+    const auto sch = std::shared_ptr<const core::scheme>(
+        core::make_scheme(core::scheme_kind::ssp));
+    return compiler::build_module(mod, sch, mode);
+}
+
+bool has_issue_containing(const analysis::audit_result& audit,
+                          const std::string& needle) {
+    return std::any_of(audit.issues.begin(), audit.issues.end(),
+                       [&](const analysis::audit_issue& i) {
+                           return i.message.find(needle) != std::string::npos;
+                       });
+}
+
+TEST(audit, upgrade_is_clean_in_both_link_modes) {
+    for (const auto mode : {binfmt::link_mode::dynamic_glibc,
+                            binfmt::link_mode::static_glibc}) {
+        const auto audit = analysis::audit_rewrite(server_ssp_binary(mode));
+        EXPECT_TRUE(audit.clean())
+            << binfmt::to_string(mode) << ": "
+            << (audit.issues.empty() ? "" : audit.issues.front().message);
+        EXPECT_GT(audit.report.prologues_patched, 0);
+        EXPECT_GT(audit.report.epilogues_patched, 0);
+    }
+}
+
+TEST(audit, skipped_functions_equal_the_analyzer_unprotected_set) {
+    const auto binary = server_ssp_binary(binfmt::link_mode::dynamic_glibc);
+    const auto audit = analysis::audit_rewrite(binary);
+    ASSERT_TRUE(audit.clean());
+
+    std::set<std::string> analyzer_unprotected;
+    for (const auto& fn : audit.pre.functions)
+        if (fn.analyzed && !fn.is_protected) analyzer_unprotected.insert(fn.name);
+    const std::set<std::string> skipped{audit.report.skipped_functions.begin(),
+                                        audit.report.skipped_functions.end()};
+    EXPECT_EQ(skipped, analyzer_unprotected);
+    // The server module's unprotected leaf must be in there — the old
+    // all-or-nothing accounting reported an empty set whenever anything
+    // else got patched.
+    EXPECT_FALSE(skipped.empty());
+}
+
+// Hand-built victims exercising each audit failure family. `make_check`
+// emits the epilogue comparison; `make_install` the prologue spill.
+binfmt::linked_binary custom_victim(
+    const std::function<void(binfmt::bin_function&)>& make_install,
+    const std::function<void(binfmt::bin_function&, binfmt::image&)>& make_check) {
+    binfmt::image img;
+    auto& f = img.add_function("victim");
+    f.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp), sub_ri(reg::rsp, 32)});
+    make_install(f);
+    make_check(f, img);
+    f.emit({mov_ri(reg::rax, 0), leave(), ret()});
+    binfmt::add_standard_library(img, binfmt::link_mode::dynamic_glibc);
+    return img.link(binfmt::link_mode::dynamic_glibc);
+}
+
+void standard_install(binfmt::bin_function& f) {
+    f.emit({mov_rm(reg::rax, fs(core::tls_canary)),
+            mov_mr(mem(reg::rbp, -8), reg::rax)});
+}
+
+void standard_check(binfmt::bin_function& f, binfmt::image& img) {
+    const auto ok = f.new_label();
+    f.emit({mov_rm(reg::rdx, mem(reg::rbp, -8)),
+            xor_rm(reg::rdx, fs(core::tls_canary)), je(ok),
+            call_sym(img.sym(binfmt::sym_stack_chk_fail))});
+    f.place(ok);
+}
+
+TEST(audit, patched_prologue_with_unpatched_epilogue_is_a_hard_error) {
+    // The check uses xor_rr through a register copy of C — protocol-valid,
+    // so the pre proof is clean, but the rewriter's epilogue pattern does
+    // not match. The prologue DOES match, so the upgrade patches only half.
+    const auto binary =
+        custom_victim(standard_install, [](auto& f, auto& img) {
+            const auto ok = f.new_label();
+            f.emit({mov_rm(reg::rdx, mem(reg::rbp, -8)),
+                    mov_rm(reg::rcx, fs(core::tls_canary)),
+                    xor_rr(reg::rdx, reg::rcx), je(ok),
+                    call_sym(img.sym(binfmt::sym_stack_chk_fail))});
+            f.place(ok);
+        });
+    const auto audit = analysis::audit_rewrite(binary);
+    EXPECT_FALSE(audit.clean());
+    EXPECT_TRUE(has_issue_containing(audit,
+                                     "patched prologue with unpatched epilogue"));
+}
+
+TEST(audit, patched_epilogue_with_unpatched_prologue_is_a_hard_error) {
+    // Install goes through a register copy, so the prologue pattern does
+    // not match; the standard epilogue does.
+    const auto binary = custom_victim(
+        [](auto& f) {
+            f.emit({mov_rm(reg::rax, fs(core::tls_canary)),
+                    mov_rr(reg::rcx, reg::rax),
+                    mov_mr(mem(reg::rbp, -8), reg::rcx)});
+        },
+        standard_check);
+    const auto audit = analysis::audit_rewrite(binary);
+    EXPECT_FALSE(audit.clean());
+    EXPECT_TRUE(has_issue_containing(audit,
+                                     "patched epilogue with unpatched prologue"));
+}
+
+TEST(audit, analyzer_protected_function_reported_skipped_is_flagged) {
+    // Neither rewriter pattern matches, but the protocol is fully present:
+    // the rewriter (correctly) lists the function as skipped, and the audit
+    // must flag the disagreement with the analyzer's protected verdict.
+    const auto binary = custom_victim(
+        [](auto& f) {
+            f.emit({mov_rm(reg::rax, fs(core::tls_canary)),
+                    mov_rr(reg::rcx, reg::rax),
+                    mov_mr(mem(reg::rbp, -8), reg::rcx)});
+        },
+        [](auto& f, auto& img) {
+            const auto ok = f.new_label();
+            f.emit({mov_rm(reg::rdx, mem(reg::rbp, -8)),
+                    mov_rm(reg::rcx, fs(core::tls_canary)),
+                    xor_rr(reg::rdx, reg::rcx), je(ok),
+                    call_sym(img.sym(binfmt::sym_stack_chk_fail))});
+            f.place(ok);
+        });
+    const auto audit = analysis::audit_rewrite(binary);
+    EXPECT_FALSE(audit.clean());
+    EXPECT_TRUE(has_issue_containing(
+        audit, "skips a function the analyzer proves protected"));
+}
+
+TEST(audit, layout_snapshot_detects_any_move) {
+    const auto binary = server_ssp_binary(binfmt::link_mode::dynamic_glibc);
+    const auto pre = binfmt::take_layout_snapshot(binary);
+
+    auto same = pre;
+    EXPECT_TRUE(binfmt::layout_preserved(pre, same));
+
+    auto moved = pre;
+    moved.functions.front().entry += 8;
+    EXPECT_FALSE(binfmt::layout_preserved(pre, moved));
+
+    auto resized = pre;
+    resized.functions.back().bytes += 1;
+    EXPECT_FALSE(binfmt::layout_preserved(pre, resized));
+
+    auto extended = pre;  // appended additions are fine
+    extended.functions.push_back({"__pssp_stack_chk_fail", 0x999000, 64});
+    EXPECT_TRUE(binfmt::layout_preserved(pre, extended));
+}
+
+TEST(audit, static_upgrade_appends_without_moving_anything) {
+    const auto binary = server_ssp_binary(binfmt::link_mode::static_glibc);
+    const auto pre = binfmt::take_layout_snapshot(binary);
+    auto upgraded = binary;
+    const auto report = rewriter::binary_rewriter{}.upgrade_to_pssp(upgraded);
+    const auto post = binfmt::take_layout_snapshot(upgraded);
+    EXPECT_GT(report.bytes_added, 0u);
+    EXPECT_GT(post.functions.size(), pre.functions.size());
+    EXPECT_TRUE(binfmt::layout_preserved(pre, post));
+}
+
+}  // namespace
+}  // namespace pssp

@@ -1,0 +1,203 @@
+// Canary-protocol proof engine: clean proofs over every scheme's compiler
+// output, and adversarial hand-built programs pinned to their exact
+// diagnostics — a checker that cannot name what broke cannot be trusted
+// when it says nothing broke.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "analysis/canary_proof.hpp"
+#include "binfmt/stdlib.hpp"
+#include "compiler/codegen.hpp"
+#include "core/scheme.hpp"
+#include "core/tls_layout.hpp"
+#include "workload/webserver.hpp"
+
+namespace pssp {
+namespace {
+
+using namespace vm::isa;
+using vm::reg;
+
+// A hand-built single-function image; `body` is emitted between the frame
+// setup and nothing else — the function provides its own epilogue/ret.
+binfmt::linked_binary victim_image(
+    const std::function<void(binfmt::bin_function&, binfmt::image&)>& emit_body) {
+    binfmt::image img;
+    auto& f = img.add_function("victim");
+    f.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp), sub_ri(reg::rsp, 32)});
+    emit_body(f, img);
+    binfmt::add_standard_library(img, binfmt::link_mode::dynamic_glibc);
+    return img.link(binfmt::link_mode::dynamic_glibc);
+}
+
+void emit_ssp_install(binfmt::bin_function& f) {
+    f.emit({mov_rm(reg::rax, fs(core::tls_canary)),
+            mov_mr(mem(reg::rbp, -8), reg::rax)});
+}
+
+void emit_ssp_check(binfmt::bin_function& f, binfmt::image& img) {
+    const auto ok = f.new_label();
+    f.emit({mov_rm(reg::rdx, mem(reg::rbp, -8)),
+            xor_rm(reg::rdx, fs(core::tls_canary)), je(ok),
+            call_sym(img.sym(binfmt::sym_stack_chk_fail))});
+    f.place(ok);
+}
+
+const analysis::function_proof& victim_proof(const analysis::proof_result& proof) {
+    const auto* fn = proof.find("victim");
+    EXPECT_NE(fn, nullptr);
+    return *fn;
+}
+
+bool has_violation_containing(const analysis::function_proof& fn,
+                              const std::string& needle) {
+    for (const auto& v : fn.violations)
+        if (v.message.find(needle) != std::string::npos) return true;
+    return false;
+}
+
+TEST(canary_proof, every_scheme_proves_clean_on_the_server_workload) {
+    const auto mod = workload::make_server_module(workload::nginx_profile());
+    for (const auto kind : core::all_scheme_kinds()) {
+        const auto sch =
+            std::shared_ptr<const core::scheme>(core::make_scheme(kind));
+        for (const auto mode : {binfmt::link_mode::dynamic_glibc,
+                                binfmt::link_mode::static_glibc}) {
+            const auto binary = compiler::build_module(mod, sch, mode);
+            const auto proof = analysis::prove_canary_protocol(binary);
+            EXPECT_TRUE(proof.clean())
+                << core::to_string(kind) << "/" << binfmt::to_string(mode) << ": "
+                << (proof.all_violations().empty()
+                        ? ""
+                        : proof.all_violations().front().message);
+        }
+    }
+}
+
+TEST(canary_proof, proven_sources_match_the_scheme_contract) {
+    const auto mod = workload::make_server_module(workload::nginx_profile());
+    for (const auto kind : core::all_scheme_kinds()) {
+        const auto sch =
+            std::shared_ptr<const core::scheme>(core::make_scheme(kind));
+        const auto binary = compiler::build_module(mod, sch);
+        const auto proof = analysis::prove_canary_protocol(binary);
+        for (const auto& fn : mod.functions) {
+            const auto* proven = proof.find(fn.name);
+            ASSERT_NE(proven, nullptr) << fn.name;
+            const auto plan = compiler::plan_for_function(fn, *sch);
+            ASSERT_EQ(plan.protected_frame, proven->is_protected)
+                << core::to_string(kind) << "/" << fn.name;
+            if (!proven->is_protected) continue;
+            EXPECT_EQ(proven->sources,
+                      analysis::expected_sources(kind, plan.canaries.size()))
+                << core::to_string(kind) << "/" << fn.name << ": got "
+                << analysis::source_names(proven->sources);
+        }
+    }
+}
+
+TEST(canary_proof, ret_reachable_without_check_is_pinned) {
+    const auto binary = victim_image([](auto& f, auto&) {
+        emit_ssp_install(f);
+        f.emit({mov_ri(reg::rax, 0), leave(), ret()});  // no check at all
+    });
+    const auto proof = analysis::prove_canary_protocol(binary);
+    const auto& fn = victim_proof(proof);
+    EXPECT_TRUE(fn.is_protected);
+    EXPECT_TRUE(has_violation_containing(
+        fn, "ret reachable with canary state=installed, never checked"))
+        << (fn.violations.empty() ? "no violations"
+                                  : fn.violations.front().message);
+}
+
+TEST(canary_proof, canary_slot_store_between_install_and_check_is_pinned) {
+    const auto binary = victim_image([](auto& f, auto& img) {
+        emit_ssp_install(f);
+        f.emit(mov_mi(mem(reg::rbp, -8), 0x41));  // the clobber
+        emit_ssp_check(f, img);
+        f.emit({mov_ri(reg::rax, 0), leave(), ret()});
+    });
+    const auto proof = analysis::prove_canary_protocol(binary);
+    EXPECT_TRUE(has_violation_containing(
+        victim_proof(proof),
+        "canary slot [rbp-8] written with non-canary value between install "
+        "and check"));
+}
+
+TEST(canary_proof, check_not_guarding_an_abort_path_is_pinned) {
+    const auto binary = victim_image([](auto& f, auto&) {
+        emit_ssp_install(f);
+        const auto ok = f.new_label();
+        // Comparison is real, but both arms are harmless.
+        f.emit({mov_rm(reg::rdx, mem(reg::rbp, -8)),
+                xor_rm(reg::rdx, fs(core::tls_canary)), je(ok),
+                mov_ri(reg::rax, 1)});
+        f.place(ok);
+        f.emit({mov_ri(reg::rax, 0), leave(), ret()});
+    });
+    const auto proof = analysis::prove_canary_protocol(binary);
+    EXPECT_TRUE(has_violation_containing(
+        victim_proof(proof), "canary comparison does not guard an abort path"));
+}
+
+TEST(canary_proof, check_on_one_path_only_flags_the_unchecked_ret) {
+    const auto binary = victim_image([](auto& f, auto& img) {
+        emit_ssp_install(f);
+        const auto skip = f.new_label();
+        f.emit({cmp_ri(reg::rdi, 0), je(skip)});
+        emit_ssp_check(f, img);
+        f.place(skip);  // the je path bypasses the check entirely
+        f.emit({mov_ri(reg::rax, 0), leave(), ret()});
+    });
+    const auto proof = analysis::prove_canary_protocol(binary);
+    // Min-join at the merge: "checked" survives only if every path checked.
+    EXPECT_TRUE(has_violation_containing(
+        victim_proof(proof),
+        "ret reachable with canary state=installed, never checked"));
+}
+
+TEST(canary_proof, unprotected_leaf_is_clean_and_unprotected) {
+    const auto binary = victim_image([](auto& f, auto&) {
+        f.emit({mov_ri(reg::rax, 42), leave(), ret()});
+    });
+    const auto proof = analysis::prove_canary_protocol(binary);
+    const auto& fn = victim_proof(proof);
+    EXPECT_FALSE(fn.is_protected);
+    EXPECT_TRUE(fn.clean());
+    EXPECT_TRUE(fn.slots.empty());
+    EXPECT_EQ(fn.sources, 0u);
+}
+
+TEST(canary_proof, libc_functions_are_skipped_by_default) {
+    const auto binary = victim_image([](auto& f, auto&) {
+        f.emit({mov_ri(reg::rax, 0), leave(), ret()});
+    });
+    const auto proof = analysis::prove_canary_protocol(binary);
+    for (const auto& fn : proof.functions) {
+        if (fn.name != "victim") {
+            EXPECT_FALSE(fn.analyzed) << fn.name;
+        }
+    }
+}
+
+TEST(canary_proof, violations_carry_function_block_and_op_index) {
+    const auto binary = victim_image([](auto& f, auto&) {
+        emit_ssp_install(f);
+        f.emit({mov_ri(reg::rax, 0), leave(), ret()});
+    });
+    const auto proof = analysis::prove_canary_protocol(binary);
+    const auto& fn = victim_proof(proof);
+    ASSERT_FALSE(fn.violations.empty());
+    const auto& v = fn.violations.front();
+    EXPECT_EQ(v.function, "victim");
+    EXPECT_GE(v.op_index, fn.first_index);
+    EXPECT_LT(v.op_index, fn.first_index + fn.insn_count);
+    EXPECT_NE(v.block, vm::no_id);
+}
+
+}  // namespace
+}  // namespace pssp

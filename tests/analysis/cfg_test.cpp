@@ -1,0 +1,166 @@
+// CFG recovery: block partitioning, edges, fused-pair walls, and the
+// dynamic round-trip — every transfer the switch stepper actually executes
+// on the differential oracle's random programs must be covered by the
+// recovered graph.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/cfg.hpp"
+#include "binfmt/image.hpp"
+#include "vm/dispatch.hpp"
+#include "vm/machine.hpp"
+#include "vm/random_program.hpp"
+
+namespace pssp {
+namespace {
+
+using namespace vm::isa;
+using vm::reg;
+
+TEST(cfg, straight_line_is_one_block) {
+    binfmt::image img;
+    auto& f = img.add_function("f");
+    f.emit({mov_ri(reg::rax, 1), add_ri(reg::rax, 2), ret()});
+    const auto binary = img.link(binfmt::link_mode::dynamic_glibc);
+    const auto prog = binary.make_program();
+    const auto g = analysis::cfg::recover(*prog);
+
+    ASSERT_EQ(g.blocks().size(), 1u);
+    EXPECT_EQ(g.blocks()[0].first, 0u);
+    EXPECT_EQ(g.blocks()[0].count, 3u);
+    EXPECT_TRUE(g.blocks()[0].unknown_successors);  // ends in ret
+    EXPECT_TRUE(g.blocks()[0].succs.empty());
+}
+
+TEST(cfg, diamond_has_branch_and_fallthrough_edges) {
+    binfmt::image img;
+    auto& f = img.add_function("f");
+    const auto other = f.new_label();
+    const auto join = f.new_label();
+    f.emit({cmp_ri(reg::rdi, 0), je(other),      // block A
+            mov_ri(reg::rax, 1), jmp(join)});    // block B (fallthrough arm)
+    f.place(other);
+    f.emit(mov_ri(reg::rax, 2));                 // block C (taken arm)
+    f.place(join);
+    f.emit(ret());                               // block D
+    const auto binary = img.link(binfmt::link_mode::dynamic_glibc);
+    const auto prog = binary.make_program();
+    const auto g = analysis::cfg::recover(*prog);
+
+    ASSERT_EQ(g.blocks().size(), 4u);
+    const auto& a = g.blocks()[0];
+    ASSERT_EQ(a.succs.size(), 2u);
+    std::set<analysis::edge_kind> kinds;
+    for (const auto& e : a.succs) kinds.insert(e.kind);
+    EXPECT_TRUE(kinds.contains(analysis::edge_kind::branch_taken));
+    EXPECT_TRUE(kinds.contains(analysis::edge_kind::fallthrough));
+    // The join block has both arms as predecessors.
+    const auto join_id = g.block_of(prog->insns.size() - 1);
+    EXPECT_EQ(g.blocks()[join_id].preds.size(), 2u);
+}
+
+TEST(cfg, call_blocks_get_target_and_return_edges) {
+    binfmt::image img;
+    auto& leaf = img.add_function("leaf");
+    leaf.emit({add_ri(reg::rax, 1), ret()});
+    auto& f = img.add_function("f");
+    f.emit({call_sym(img.sym("leaf")), mov_ri(reg::rcx, 7), ret()});
+    const auto binary = img.link(binfmt::link_mode::dynamic_glibc);
+    const auto prog = binary.make_program();
+    const auto g = analysis::cfg::recover(*prog);
+
+    const auto call_block = g.block_of(prog->index_of(binary.symbols.at("f")));
+    std::set<analysis::edge_kind> kinds;
+    for (const auto& e : g.blocks()[call_block].succs) kinds.insert(e.kind);
+    EXPECT_TRUE(kinds.contains(analysis::edge_kind::call_target));
+    EXPECT_TRUE(kinds.contains(analysis::edge_kind::call_return));
+}
+
+TEST(cfg, jump_into_fused_pair_middle_splits_at_annotated_wall) {
+    // cmp+je at the loop head is a fusable pair; a branch from below lands
+    // exactly on the je — the pair's second half. Fusion must not change
+    // the recovered blocks: the je starts its own block, annotated as a
+    // fused entry, and the block ending at the cmp is a fused tail.
+    binfmt::image img;
+    auto& f = img.add_function("f");
+    const auto mid = f.new_label();
+    const auto out = f.new_label();
+    f.emit(cmp_rr(reg::rax, reg::rcx));  // first half of the fused pair
+    f.place(mid);
+    f.emit({je(out),                     // second half; also a jump target
+            add_ri(reg::rax, 1), jmp(mid)});
+    f.place(out);
+    f.emit(ret());
+    const auto binary = img.link(binfmt::link_mode::dynamic_glibc);
+    const auto prog = binary.make_program();
+
+    const auto first = prog->index_of(binary.symbols.at("f"));
+    ASSERT_TRUE(vm::is_fused_handler(prog->code[first].handler))
+        << "generator no longer fuses cmp_rr+je; test premise broken";
+
+    const auto g = analysis::cfg::recover(*prog);
+    const auto cmp_block = g.block_of(first);
+    const auto je_block = g.block_of(first + 1);
+    ASSERT_NE(cmp_block, je_block) << "jump target inside the pair must split";
+    EXPECT_EQ(g.blocks()[je_block].first, first + 1);
+    EXPECT_TRUE(g.blocks()[cmp_block].fused_tail);
+    EXPECT_TRUE(g.blocks()[je_block].fused_entry);
+}
+
+TEST(cfg, covers_straight_line_and_rejects_wild_block_exits) {
+    binfmt::image img;
+    auto& f = img.add_function("f");
+    const auto out = f.new_label();
+    f.emit({mov_ri(reg::rax, 1), cmp_ri(reg::rax, 0), je(out), add_ri(reg::rax, 1)});
+    f.place(out);
+    f.emit(ret());
+    const auto binary = img.link(binfmt::link_mode::dynamic_glibc);
+    const auto prog = binary.make_program();
+    const auto g = analysis::cfg::recover(*prog);
+
+    EXPECT_TRUE(g.covers_transfer(0, 1));    // interior straight line
+    EXPECT_FALSE(g.covers_transfer(0, 3));   // interior cannot skip
+    EXPECT_TRUE(g.covers_transfer(2, 3));    // je fallthrough edge
+    EXPECT_TRUE(g.covers_transfer(2, 4));    // je taken edge
+    EXPECT_FALSE(g.covers_transfer(2, 0));   // je cannot go backwards here
+}
+
+// The round-trip gate: execute the differential oracle's random programs
+// one instruction at a time and demand the recovered graph covers every
+// dynamic transfer — including wild rets into block interiors, which the
+// graph must classify as unknown-successor exits.
+TEST(cfg, random_programs_every_executed_edge_is_covered) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        auto img = testing::random_image(seed, /*body_len=*/60);
+        const auto binary = img.link(binfmt::link_mode::dynamic_glibc);
+        const auto prog = binary.make_program();
+        const auto g = analysis::cfg::recover(*prog);
+
+        vm::machine m{prog, vm::memory::layout{}, /*entropy_seed=*/seed};
+        m.set_dispatch(vm::dispatch_mode::switch_loop);
+        m.set(reg::rdi, 5);
+        m.set(reg::rsi, 9);
+        m.call_function(binary.symbols.at("f"));
+        m.set_fuel(3000);
+
+        auto prev = prog->index_of(m.current_address());
+        std::size_t transfers = 0;
+        while (true) {
+            const auto r = m.step();
+            if (r.status != vm::exec_status::running) break;
+            const auto cur = prog->index_of(m.current_address());
+            ASSERT_NE(cur, vm::no_id) << "seed " << seed;
+            EXPECT_TRUE(g.covers_transfer(prev, cur))
+                << "seed " << seed << ": executed transfer " << prev << " -> "
+                << cur << " missing from recovered CFG";
+            prev = cur;
+            ++transfers;
+        }
+        EXPECT_GT(transfers, 0u) << "seed " << seed;
+    }
+}
+
+}  // namespace
+}  // namespace pssp

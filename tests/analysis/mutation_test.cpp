@@ -1,0 +1,108 @@
+// Mutation self-test of the proof engine: every seeded single-op
+// corruption of an install/check sequence must be caught, and the clean
+// builds must stay finding-free — 0 false negatives, 0 false positives.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "analysis/mutate.hpp"
+#include "compiler/codegen.hpp"
+#include "core/scheme.hpp"
+#include "rewriter/rewriter.hpp"
+#include "workload/webserver.hpp"
+
+namespace pssp {
+namespace {
+
+binfmt::linked_binary server_binary(core::scheme_kind kind) {
+    const auto mod = workload::make_server_module(workload::nginx_profile());
+    const auto sch = std::shared_ptr<const core::scheme>(core::make_scheme(kind));
+    return compiler::build_module(mod, sch);
+}
+
+TEST(mutation, every_scheme_catches_every_mutant) {
+    for (const auto kind : core::all_scheme_kinds()) {
+        if (kind == core::scheme_kind::none) continue;
+        const auto report = analysis::run_mutation_self_test(server_binary(kind));
+        EXPECT_GT(report.outcomes.size(), 0u) << core::to_string(kind);
+        EXPECT_EQ(report.clean_violations, 0) << core::to_string(kind);
+        EXPECT_TRUE(report.all_caught())
+            << core::to_string(kind) << ": missed " << report.missed();
+        for (const auto& o : report.outcomes)
+            EXPECT_TRUE(o.caught)
+                << core::to_string(kind) << " "
+                << analysis::to_string(o.site.kind) << " " << o.site.function
+                << "@" << o.site.insn_index << ": " << o.how;
+    }
+}
+
+TEST(mutation, rewritten_static_binary_catches_every_mutant) {
+    auto binary = server_binary(core::scheme_kind::ssp);
+    auto upgraded = binary;
+    rewriter::binary_rewriter{}.upgrade_to_pssp(upgraded);
+    const auto report = analysis::run_mutation_self_test(upgraded);
+    EXPECT_GT(report.outcomes.size(), 0u);
+    EXPECT_EQ(report.clean_violations, 0);
+    EXPECT_TRUE(report.all_caught()) << "missed " << report.missed();
+}
+
+TEST(mutation, site_enumeration_covers_every_kind) {
+    const auto binary = server_binary(core::scheme_kind::ssp);
+    const auto clean = analysis::prove_canary_protocol(binary);
+    const auto sites = analysis::enumerate_mutation_sites(binary, clean);
+    std::set<analysis::mutation_kind> kinds;
+    for (const auto& s : sites) kinds.insert(s.kind);
+    EXPECT_TRUE(kinds.contains(analysis::mutation_kind::drop_install));
+    EXPECT_TRUE(kinds.contains(analysis::mutation_kind::drop_check_compare));
+    EXPECT_TRUE(kinds.contains(analysis::mutation_kind::bypass_guard));
+    EXPECT_TRUE(kinds.contains(analysis::mutation_kind::drop_abort_arm));
+    EXPECT_TRUE(kinds.contains(analysis::mutation_kind::clobber_slot));
+    EXPECT_TRUE(kinds.contains(analysis::mutation_kind::retarget_install));
+}
+
+TEST(mutation, mutants_preserve_the_address_layout) {
+    // apply_mutation never relayouts: every function entry and symbol keeps
+    // its address (a replaced instruction may encode to a different byte
+    // width, so sizes can drift — addresses must not).
+    const auto binary = server_binary(core::scheme_kind::p_ssp);
+    const auto clean = analysis::prove_canary_protocol(binary);
+    const auto pre = binfmt::take_layout_snapshot(binary);
+    for (const auto& site : analysis::enumerate_mutation_sites(binary, clean)) {
+        const auto mutated = analysis::apply_mutation(binary, site);
+        const auto post = binfmt::take_layout_snapshot(mutated);
+        ASSERT_EQ(pre.functions.size(), post.functions.size());
+        for (std::size_t i = 0; i < pre.functions.size(); ++i) {
+            EXPECT_EQ(pre.functions[i].name, post.functions[i].name);
+            EXPECT_EQ(pre.functions[i].entry, post.functions[i].entry)
+                << analysis::to_string(site.kind) << " moved "
+                << pre.functions[i].name;
+        }
+        EXPECT_EQ(pre.symbols, post.symbols)
+            << analysis::to_string(site.kind) << " moved a symbol";
+        EXPECT_NE(mutated.make_program(), nullptr);
+    }
+}
+
+TEST(mutation, dropped_install_yields_the_pinned_diagnostic) {
+    const auto binary = server_binary(core::scheme_kind::ssp);
+    const auto clean = analysis::prove_canary_protocol(binary);
+    for (const auto& site : analysis::enumerate_mutation_sites(binary, clean)) {
+        if (site.kind != analysis::mutation_kind::drop_install) continue;
+        const auto mutated_proof =
+            analysis::prove_canary_protocol(analysis::apply_mutation(binary, site));
+        const auto* fn = mutated_proof.find(site.function);
+        ASSERT_NE(fn, nullptr);
+        // Either the slot is now never installed (profile drift to
+        // unprotected) or a surviving sibling install leaves a path where
+        // the check reads an uninstalled slot — both must be flagged.
+        const bool flagged = !fn->clean() || !fn->is_protected ||
+                             fn->slots != clean.find(site.function)->slots;
+        EXPECT_TRUE(flagged) << site.function << "@" << site.insn_index;
+        break;  // one site suffices for the pinned shape
+    }
+}
+
+}  // namespace
+}  // namespace pssp

@@ -16,6 +16,7 @@
 #include "binfmt/image.hpp"
 #include "crypto/prng.hpp"
 #include "vm/machine.hpp"
+#include "vm/random_program.hpp"
 
 namespace pssp {
 namespace {
@@ -86,127 +87,11 @@ void expect_same(const boundary_state& a, const boundary_state& b,
     EXPECT_EQ(a.output, b.output) << where << " seed " << seed;
 }
 
-// Generates a random function: a frame prologue, then `body_len` random
-// instructions biased toward the fusable pairs, forward conditional
-// branches, in-frame memory traffic, and the occasional wild pointer or
-// runaway back-edge. Crashing programs are good programs here — traps are
-// events the two engines must agree on.
-binfmt::image random_image(std::uint64_t seed, std::size_t body_len) {
-    std::uint64_t s = seed;
-    const auto next = [&s] { return crypto::splitmix64_next(s); };
-
-    binfmt::image img;
-    auto& leaf = img.add_function("leaf");
-    leaf.emit({add_ri(reg::rax, 3), ret()});
-    const auto leaf_sym = img.sym("leaf");
-
-    auto& f = img.add_function("f");
-    f.emit({push_r(reg::rbp), mov_rr(reg::rbp, reg::rsp), sub_ri(reg::rsp, 64)});
-
-    // Forward labels: emitted jumps target one of these; each is placed
-    // at a random later point (or at the epilogue if never placed).
-    std::vector<std::uint32_t> labels;
-    std::vector<bool> placed;
-    for (int i = 0; i < 4; ++i) {
-        labels.push_back(f.new_label());
-        placed.push_back(false);
-    }
-    const auto back_edge = f.new_label();
-    f.place(back_edge);
-
-    const reg regs[] = {reg::rax, reg::rcx, reg::rdx, reg::rsi, reg::rdi,
-                        reg::r8, reg::r9, reg::r10};
-    const auto rnd_reg = [&] { return regs[next() % std::size(regs)]; };
-    const auto frame_slot = [&] {
-        return mem(reg::rbp, -8 - static_cast<std::int32_t>(next() % 7) * 8);
-    };
-
-    for (std::size_t i = 0; i < body_len; ++i) {
-        // Place a pending label at a random spot so forward jumps land.
-        if (next() % 5 == 0) {
-            for (std::size_t l = 0; l < labels.size(); ++l) {
-                if (!placed[l] && next() % 2 == 0) {
-                    f.place(labels[l]);
-                    placed[l] = true;
-                    break;
-                }
-            }
-        }
-        switch (next() % 24) {
-            case 0: f.emit(mov_ri(rnd_reg(), next() % 4096)); break;
-            case 1: f.emit(add_rr(rnd_reg(), rnd_reg())); break;
-            case 2: f.emit(sub_ri(rnd_reg(), static_cast<std::int32_t>(next() % 64))); break;
-            case 3: f.emit(xor_rr(rnd_reg(), rnd_reg())); break;
-            case 4: f.emit(and_ri(rnd_reg(), static_cast<std::int32_t>(next() % 1024))); break;
-            case 5: f.emit(shl_ri(rnd_reg(), static_cast<std::uint8_t>(next() % 8))); break;
-            case 6: f.emit(imul_ri(rnd_reg(), static_cast<std::int32_t>(1 + next() % 7))); break;
-            case 7: f.emit(mov_mr(frame_slot(), rnd_reg())); break;
-            case 8: f.emit(mov_rm(rnd_reg(), frame_slot())); break;
-            case 9: f.emit(movzx8_rm(rnd_reg(), frame_slot())); break;
-            case 10: f.emit(lea(rnd_reg(), frame_slot())); break;
-            case 11: f.emit(push_r(rnd_reg())); break;
-            case 12: f.emit(pop_r(rnd_reg())); break;
-            // The fusable diets, emitted as real adjacent pairs.
-            case 13:
-                f.emit({cmp_ri(rnd_reg(), static_cast<std::int32_t>(next() % 16)),
-                        (next() % 2 != 0) ? je(labels[next() % labels.size()])
-                                          : jne(labels[next() % labels.size()])});
-                break;
-            case 14:
-                f.emit({cmp_rr(rnd_reg(), rnd_reg()),
-                        (next() % 2 != 0) ? jb(labels[next() % labels.size()])
-                                          : jge(labels[next() % labels.size()])});
-                break;
-            case 15:
-                f.emit({test_rr(rnd_reg(), rnd_reg()),
-                        je(labels[next() % labels.size()])});
-                break;
-            case 16:
-                f.emit({sub_ri(reg::rdi, 1), cmp_ri(reg::rdi, 0),
-                        jne(labels[next() % labels.size()])});
-                break;
-            case 17:
-                f.emit({mov_rm(rnd_reg(), frame_slot()), add_rr(rnd_reg(), rnd_reg())});
-                break;
-            case 18:
-                f.emit({mov_mr(frame_slot(), rnd_reg()),
-                        xor_ri(rnd_reg(), static_cast<std::int32_t>(next() % 4096))});
-                break;
-            case 19: f.emit({push_r(rnd_reg()), push_r(rnd_reg())}); break;
-            case 20: f.emit(call_sym(leaf_sym)); break;
-            case 21:
-                // Rare wild load: usually faults (segfault event).
-                if (next() % 8 == 0) {
-                    f.emit(mov_ri(reg::r10, 0x10 + next() % 4096));
-                    f.emit(mov_rm(reg::r11, mem(reg::r10, 0)));
-                }
-                break;
-            case 22:
-                // Rare runaway back-edge: the fuel cap turns it into an
-                // out_of_fuel event both engines must time identically.
-                if (next() % 16 == 0) f.emit(jmp(back_edge));
-                break;
-            case 23:
-                // Rare return-address clobber: ret then trap or wander.
-                if (next() % 16 == 0) {
-                    f.emit(mov_ri(reg::r11, next() % 2 ? 0x123456 : 0));
-                    f.emit(mov_mr(mem(reg::rsp, 0), reg::r11));
-                    f.emit(ret());
-                }
-                break;
-        }
-    }
-    for (std::size_t l = 0; l < labels.size(); ++l)
-        if (!placed[l]) f.place(labels[l]);
-    f.emit({mov_ri(reg::rax, 0), leave(), ret()});
-    return img;
-}
-
 // Drives one generated program through both engines. The stepper side
 // advances one instruction per step() call; every non-`running` return is
 // an event boundary, which must match the threaded side's next event.
 void run_differential(std::uint64_t seed) {
-    auto img = random_image(seed, /*body_len=*/60);
+    auto img = testing::random_image(seed, /*body_len=*/60);
     const auto binary = img.link(binfmt::link_mode::dynamic_glibc);
     const auto prog = binary.make_program();
 
