@@ -8,30 +8,45 @@ namespace pssp::dist {
 
 namespace {
 
+[[noreturn]] void fail(std::size_t entry, const std::string& why) {
+    throw std::invalid_argument{"fault plan: entry " + std::to_string(entry) +
+                                ": " + why};
+}
+
 // One ":"-separated field of a rule: an integer coordinate or "*".
 // `any` and `value` are outputs; throws on anything else.
-void parse_coordinate(std::string_view token, std::string_view rule,
-                      bool& any, std::uint64_t& value) {
+void parse_coordinate(std::size_t entry, std::string_view token,
+                      std::string_view rule, bool& any, std::uint64_t& value) {
     if (token == "*") {
         any = true;
         return;
     }
     if (token.empty())
-        throw std::invalid_argument{"fault plan: empty coordinate in rule \"" +
-                                    std::string{rule} + "\""};
+        fail(entry, "empty coordinate in rule \"" + std::string{rule} + "\"");
     std::uint64_t parsed = 0;
     for (const char c : token) {
         if (c < '0' || c > '9')
-            throw std::invalid_argument{
-                "fault plan: bad coordinate \"" + std::string{token} +
-                "\" in rule \"" + std::string{rule} + "\""};
+            fail(entry, "bad coordinate \"" + std::string{token} +
+                            "\" in rule \"" + std::string{rule} + "\"");
         parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
     }
     any = false;
     value = parsed;
 }
 
-fault_rule parse_rule(std::string_view rule) {
+// A "name=millis" fault token; `name` includes the '='.
+void parse_millis(std::size_t entry, std::string_view fault,
+                  std::string_view name, std::string_view rule,
+                  std::uint64_t& value) {
+    bool any = false;
+    parse_coordinate(entry, fault.substr(name.size()), rule, any, value);
+    if (any)
+        fail(entry, std::string{name.substr(0, name.size() - 1)} +
+                        " needs a millisecond count in rule \"" +
+                        std::string{rule} + "\"");
+}
+
+fault_rule parse_rule(std::size_t entry, std::string_view rule) {
     // Split on ':' into at most 4 fields: fault[:shard[:round[:attempt]]].
     std::vector<std::string_view> fields;
     std::size_t start = 0;
@@ -42,8 +57,8 @@ fault_rule parse_rule(std::string_view rule) {
         }
     }
     if (fields.empty() || fields.size() > 4)
-        throw std::invalid_argument{"fault plan: rule \"" + std::string{rule} +
-                                    "\" has too many fields"};
+        fail(entry,
+             "rule \"" + std::string{rule} + "\" has too many fields");
 
     fault_rule out;
     std::string_view fault = fields[0];
@@ -61,25 +76,47 @@ fault_rule parse_rule(std::string_view rule) {
         out.kind = fault_kind::wrong_block;
     } else if (fault.substr(0, 5) == "slow=") {
         out.kind = fault_kind::slow;
-        bool any = false;
-        parse_coordinate(fault.substr(5), rule, any, out.param);
-        if (any)
-            throw std::invalid_argument{
-                "fault plan: slow needs a millisecond count in rule \"" +
-                std::string{rule} + "\""};
+        parse_millis(entry, fault, "slow=", rule, out.param);
+    } else if (fault == "net-die") {
+        out.kind = fault_kind::net_die;
+    } else if (fault == "net-drop") {
+        out.kind = fault_kind::net_drop;
+    } else if (fault == "net-garble") {
+        out.kind = fault_kind::net_garble;
+    } else if (fault.substr(0, 10) == "net-delay=") {
+        out.kind = fault_kind::net_delay;
+        parse_millis(entry, fault, "net-delay=", rule, out.param);
+    } else if (fault.substr(0, 14) == "net-partition=") {
+        out.kind = fault_kind::net_partition;
+        parse_millis(entry, fault, "net-partition=", rule, out.param);
+    } else if (fault == "net-stall-hb") {
+        out.kind = fault_kind::net_stall_hb;
     } else {
-        throw std::invalid_argument{"fault plan: unknown fault \"" +
-                                    std::string{fault} + "\" in rule \"" +
-                                    std::string{rule} + "\""};
+        fail(entry, "unknown fault \"" + std::string{fault} + "\" in rule \"" +
+                        std::string{rule} + "\"");
     }
 
     if (fields.size() > 1)
-        parse_coordinate(fields[1], rule, out.any_shard, out.shard);
+        parse_coordinate(entry, fields[1], rule, out.any_shard, out.shard);
     if (fields.size() > 2)
-        parse_coordinate(fields[2], rule, out.any_round, out.round);
+        parse_coordinate(entry, fields[2], rule, out.any_round, out.round);
     if (fields.size() > 3)
-        parse_coordinate(fields[3], rule, out.any_attempt, out.attempt);
+        parse_coordinate(entry, fields[3], rule, out.any_attempt, out.attempt);
     return out;
+}
+
+template <typename Keep>
+fault_rule decide_matching(const fault_plan& plan, std::uint64_t shard,
+                           std::uint64_t round, std::uint64_t attempt,
+                           Keep keep) noexcept {
+    for (const auto& rule : plan.rules) {
+        if (!keep(rule.kind)) continue;
+        if (!rule.any_shard && rule.shard != shard) continue;
+        if (!rule.any_round && rule.round != round) continue;
+        if (!rule.any_attempt && rule.attempt != attempt) continue;
+        return rule;
+    }
+    return fault_rule{};
 }
 
 }  // namespace
@@ -94,18 +131,44 @@ const char* to_string(fault_kind kind) noexcept {
         case fault_kind::corrupt: return "corrupt";
         case fault_kind::wrong_block: return "wrong-block";
         case fault_kind::slow: return "slow";
+        case fault_kind::net_die: return "net-die";
+        case fault_kind::net_drop: return "net-drop";
+        case fault_kind::net_garble: return "net-garble";
+        case fault_kind::net_delay: return "net-delay";
+        case fault_kind::net_partition: return "net-partition";
+        case fault_kind::net_stall_hb: return "net-stall-hb";
     }
     return "?";
 }
 
+bool is_net_fault(fault_kind kind) noexcept {
+    switch (kind) {
+        case fault_kind::net_die:
+        case fault_kind::net_drop:
+        case fault_kind::net_garble:
+        case fault_kind::net_delay:
+        case fault_kind::net_partition:
+        case fault_kind::net_stall_hb:
+            return true;
+        default:
+            return false;
+    }
+}
+
 fault_plan parse_fault_plan(std::string_view text) {
     fault_plan plan;
+    if (text.empty()) return plan;
+    std::size_t entry = 1;
     std::size_t start = 0;
     for (std::size_t i = 0; i <= text.size(); ++i) {
         if (i == text.size() || text[i] == ',') {
             const auto rule = text.substr(start, i - start);
-            if (!rule.empty()) plan.rules.push_back(parse_rule(rule));
+            // An empty entry in a non-empty plan is a typo (stray comma),
+            // and a typo'd chaos plan must never green-run.
+            if (rule.empty()) fail(entry, "empty rule (stray comma?)");
+            plan.rules.push_back(parse_rule(entry, rule));
             start = i + 1;
+            ++entry;
         }
     }
     return plan;
@@ -113,13 +176,22 @@ fault_plan parse_fault_plan(std::string_view text) {
 
 fault_rule decide_fault(const fault_plan& plan, std::uint64_t shard,
                         std::uint64_t round, std::uint64_t attempt) noexcept {
-    for (const auto& rule : plan.rules) {
-        if (!rule.any_shard && rule.shard != shard) continue;
-        if (!rule.any_round && rule.round != round) continue;
-        if (!rule.any_attempt && rule.attempt != attempt) continue;
-        return rule;
-    }
-    return fault_rule{};
+    return decide_matching(plan, shard, round, attempt,
+                           [](fault_kind) { return true; });
+}
+
+fault_rule decide_process_fault(const fault_plan& plan, std::uint64_t shard,
+                                std::uint64_t round,
+                                std::uint64_t attempt) noexcept {
+    return decide_matching(plan, shard, round, attempt,
+                           [](fault_kind k) { return !is_net_fault(k); });
+}
+
+fault_rule decide_net_fault(const fault_plan& plan, std::uint64_t shard,
+                            std::uint64_t round,
+                            std::uint64_t attempt) noexcept {
+    return decide_matching(plan, shard, round, attempt,
+                           [](fault_kind k) { return is_net_fault(k); });
 }
 
 }  // namespace pssp::dist

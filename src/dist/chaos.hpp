@@ -16,6 +16,9 @@
 //   rule    := fault [":" shard [":" round [":" attempt]]]
 //   fault   := "crash" | "crash-late" | "hang" | "trunc" | "corrupt"
 //            | "wrong-block" | "slow=<millis>"
+//            | "net-die" | "net-drop" | "net-garble"
+//            | "net-delay=<millis>" | "net-partition=<millis>"
+//            | "net-stall-hb"
 //   shard   := integer | "*"          (default "*": any shard)
 //   round   := integer | "*"          (default "*": any round; fixed
 //                                      allocation runs are round 0)
@@ -23,7 +26,9 @@
 //                                      the retry heals; "*" = every
 //                                      attempt, for exhaustion tests)
 //
-// Faults, at the point in the worker's life where they strike:
+// Process faults, at the point in the compute worker's life where they
+// strike (local pipe transport AND the compute child a network node
+// forks — the same fault plan behaves identically over both transports):
 //
 //   crash        exit(3) at startup, before reading stdin
 //   crash-late   exit(4) after computing the partial, before emitting it
@@ -37,8 +42,30 @@
 //   slow=N       sleep N milliseconds at startup, then run normally
 //                (exercises the deadline without tripping it)
 //
-// First matching rule wins. A malformed plan throws from parse (the
-// worker exits loudly) — a typo'd chaos run must never pass as clean.
+// Network faults, executed by the *node* daemon when a lease with a
+// matching coordinate arrives (they never reach the compute child):
+//
+//   net-die          exit the whole node process — a worker permanently
+//                    vanishing mid-round; the coordinator requeues its
+//                    lease on the survivors
+//   net-drop         close the TCP connection on lease receipt, then
+//                    reconnect and re-register — the requeued lease
+//                    arrives as attempt 2 and heals
+//   net-garble       compute normally, then send the result frame with a
+//                    corrupted integrity hash — the coordinator detects
+//                    the garble, drops the connection, requeues
+//   net-delay=N      compute normally, delay the result by N milliseconds
+//                    (exercises the lease deadline; expiry requeues)
+//   net-partition=N  go completely silent — no heartbeats, no reads — for
+//                    N milliseconds; the coordinator evicts the worker on
+//                    heartbeat timeout and requeues, the node reconnects
+//                    after the partition lifts
+//   net-stall-hb     stop sending heartbeats (while still reading) until
+//                    the coordinator evicts this worker; then reconnect
+//
+// First matching rule wins. A malformed plan throws from parse with the
+// 1-based entry index and the offending token (the worker exits loudly) —
+// a typo'd chaos run must never pass as clean.
 #pragma once
 
 #include <cstdint>
@@ -56,9 +83,19 @@ enum class fault_kind : std::uint8_t {
     corrupt,
     wrong_block,
     slow,
+    net_die,
+    net_drop,
+    net_garble,
+    net_delay,
+    net_partition,
+    net_stall_hb,
 };
 
 [[nodiscard]] const char* to_string(fault_kind kind) noexcept;
+
+// Network faults are executed by the node daemon's transport loop; every
+// other kind belongs to the compute worker process.
+[[nodiscard]] bool is_net_fault(fault_kind kind) noexcept;
 
 struct fault_rule {
     fault_kind kind = fault_kind::none;
@@ -69,7 +106,7 @@ struct fault_rule {
     std::uint64_t shard = 0;
     std::uint64_t round = 0;
     std::uint64_t attempt = 1;
-    std::uint64_t param = 0;  // slow: sleep milliseconds
+    std::uint64_t param = 0;  // slow/net-delay/net-partition: milliseconds
 };
 
 struct fault_plan {
@@ -79,13 +116,28 @@ struct fault_plan {
 };
 
 // Parses the plan grammar above. Throws std::invalid_argument naming the
-// offending token on any malformed rule.
+// 1-based entry index and the offending token on any malformed rule —
+// including an empty entry ("crash,,hang") in a non-empty plan. An
+// entirely empty plan text parses to an empty plan.
 [[nodiscard]] fault_plan parse_fault_plan(std::string_view text);
 
 // The first rule matching (shard, round, attempt), or a kind-none rule.
 [[nodiscard]] fault_rule decide_fault(const fault_plan& plan,
                                       std::uint64_t shard, std::uint64_t round,
                                       std::uint64_t attempt) noexcept;
+
+// decide_fault restricted to one fault family: the compute worker asks
+// for process faults (net rules must not confuse a pipe worker), the node
+// daemon asks for network faults (and leaves process faults to the
+// compute child it forks).
+[[nodiscard]] fault_rule decide_process_fault(const fault_plan& plan,
+                                              std::uint64_t shard,
+                                              std::uint64_t round,
+                                              std::uint64_t attempt) noexcept;
+[[nodiscard]] fault_rule decide_net_fault(const fault_plan& plan,
+                                          std::uint64_t shard,
+                                          std::uint64_t round,
+                                          std::uint64_t attempt) noexcept;
 
 // Environment variable names shared by the orchestrator (which sets the
 // coordinates per spawned worker) and the worker (which reads them).

@@ -1,0 +1,148 @@
+// The TCP coordinator: lease-based work assignment over framed sockets.
+//
+// dist::coordinator is the network counterpart of supervise_jobs(): it
+// holds the same job vector (block-manifest jobs from build_round_jobs),
+// runs every job to the same terminal job_result, and classifies every
+// finished attempt through the same classify_attempt() — but the attempt
+// executes on a remote worker node (tools_campaign_node) instead of a
+// local fork/exec child. Because the lease payload is the *same*
+// round-job JSON the local pipe transport feeds over stdin, and the
+// result payload is the compute child's raw stdout, the merge downstream
+// cannot tell the transports apart: report bytes are identical to
+// --jobs 1 by construction.
+//
+// Robustness model (the design center):
+//
+//   * lease         each job is leased to exactly one registered worker
+//                   at a time, with a deadline (lease_seconds). Capacity
+//                   is one lease per worker, so in-flight work is bounded
+//                   by the fleet size and a slow worker cannot starve the
+//                   round — idle workers drain the queue around it.
+//   * expiry        an expired lease evicts the worker (its connection is
+//                   closed; a late result must not race a re-lease) and
+//                   requeues the job with attempt+1 under the existing
+//                   at-least-once + dedup-by-block invariant.
+//   * heartbeats    workers must send a frame at least every
+//                   heartbeat_seconds; silence past the grace multiple
+//                   evicts and requeues exactly like an expiry.
+//   * disconnect    a dropped connection (including a garbled frame —
+//                   integrity-hash failure poisons the connection)
+//                   requeues the worker's lease. A worker that
+//                   reconnects re-registers under the same name and
+//                   resumes taking leases.
+//   * vanishing     a worker that never comes back merely shrinks the
+//                   fleet: its requeued lease lands on a survivor. Only
+//                   when *no* worker is registered for
+//                   register_wait_seconds does the run fail loudly.
+//   * retry budget  requeues burn attempts from the same fault_policy as
+//                   the local supervisor; exhaustion fails the job with
+//                   the same aggregated error shape. Exit 127 from the
+//                   compute child is never requeued (missing binaries do
+//                   not heal).
+//   * drain         SIGTERM (or request_drain()) stops new lease
+//                   assignment, lets in-flight leases finish (their
+//                   results are checkpointed by the per-job hooks), sends
+//                   shutdown to the fleet, and throws a "drained" error —
+//                   the run exits non-zero but --resume picks up from the
+//                   checkpoint byte-identically.
+//
+// Fleet mode (fleet_workers > 0): the coordinator self-spawns that many
+// localhost tools_campaign_node daemons pointed back at its own ephemeral
+// port — the tests/CI topology. The children set PR_SET_PDEATHSIG, so a
+// SIGKILLed coordinator (--kill-after-round) cannot leak node processes.
+// With fleet_workers == 0 the coordinator only listens; remote nodes are
+// started out-of-band with `tools_campaign_node --connect host:port`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "dist/frame.hpp"
+#include "dist/supervisor.hpp"
+
+namespace pssp::dist {
+
+struct net_options {
+    // Listen address. Port 0 binds an ephemeral port; on_listen reports
+    // the actual one (tests and --listen 0 depend on this — parallel CI
+    // runs must never race on a fixed port).
+    std::string listen_host = "127.0.0.1";
+    std::uint16_t listen_port = 0;
+    std::function<void(std::uint16_t)> on_listen;
+
+    // Self-spawned localhost fleet size; 0 = external workers only.
+    unsigned fleet_workers = 0;
+    // Node binary for fleet mode; empty resolves the sibling
+    // tools_campaign_node of the running executable.
+    std::string node_path;
+    // Compute worker binary the fleet nodes fork per lease; empty lets
+    // each node resolve its own sibling tools_campaign_worker.
+    std::string worker_path;
+
+    // Lease deadline per attempt, seconds. 0 derives from
+    // fault_policy.timeout_seconds; if that is 0 too, leases never expire
+    // (heartbeats and disconnects still recover lost workers).
+    double lease_seconds = 0.0;
+    // Heartbeat interval the welcome imposes on workers, and the silence
+    // (interval * grace) after which a worker is evicted.
+    double heartbeat_seconds = 0.25;
+    double heartbeat_grace = 8.0;
+    // How long run_jobs() waits with work pending but zero registered
+    // workers before failing the run.
+    double register_wait_seconds = 30.0;
+};
+
+class coordinator {
+  public:
+    // Binds and listens immediately (so on_listen fires with the real
+    // port before any fleet child is spawned), spawns the fleet, and
+    // installs the SIGTERM drain handler. Throws std::runtime_error on
+    // socket/bind/listen failure.
+    coordinator(const net_options& options, const fault_policy& policy,
+                std::uint64_t spec_digest);
+    ~coordinator();
+    coordinator(const coordinator&) = delete;
+    coordinator& operator=(const coordinator&) = delete;
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    // The network counterpart of supervise_jobs(): runs every job to a
+    // terminal job_result over the registered workers. Callable once per
+    // round — workers stay registered between calls. Throws
+    // std::runtime_error on infrastructure failure, a drain request, or
+    // a register-wait timeout.
+    [[nodiscard]] std::vector<job_result> run_jobs(
+        const std::vector<supervised_job>& jobs, const supervise_hooks& hooks,
+        supervise_stats& stats);
+
+    // Stop assigning new leases; run_jobs() finishes in-flight work and
+    // throws. SIGTERM calls this from its handler.
+    void request_drain() noexcept;
+
+    // The exact handshake-rejection message a version-mismatched worker
+    // receives in its error frame (pinned by tests).
+    [[nodiscard]] static std::string version_mismatch_error(
+        std::uint32_t worker_version);
+
+    // Drives accept/handshake/heartbeat once without a job batch —
+    // lets tests register workers (and reject mismatched ones) before or
+    // between rounds. Waits up to wait_ms for socket activity.
+    void pump(int wait_ms);
+
+    // Registered (post-handshake) worker count right now.
+    [[nodiscard]] std::size_t registered_workers() const noexcept;
+
+  private:
+    struct impl;
+    impl* impl_;
+    std::uint16_t port_ = 0;
+};
+
+// The sibling `tools_campaign_node` of the running executable.
+[[nodiscard]] std::string default_node_path();
+
+}  // namespace pssp::dist

@@ -1,0 +1,289 @@
+#include "dist/frame.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "util/bytes.hpp"
+#include "util/json.hpp"
+
+namespace pssp::dist {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+    char b[4];
+    b[0] = static_cast<char>(v & 0xff);
+    b[1] = static_cast<char>((v >> 8) & 0xff);
+    b[2] = static_cast<char>((v >> 16) & 0xff);
+    b[3] = static_cast<char>((v >> 24) & 0xff);
+    out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+    put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const char* p) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+std::uint64_t get_u64(const char* p) {
+    return static_cast<std::uint64_t>(get_u32(p)) |
+           static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
+
+// The trailer hash covers the type byte and the payload, so a frame whose
+// type was flipped in flight is just as detectable as a flipped payload.
+std::uint64_t frame_hash(frame_type type, std::string_view payload) {
+    char t = static_cast<char>(type);
+    std::uint64_t h = util::fnv1a64(std::string_view{&t, 1});
+    // Continue the FNV stream over the payload.
+    for (const char c : payload) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+constexpr std::size_t header_bytes = 5;   // u32 length + u8 type
+constexpr std::size_t trailer_bytes = 8;  // u64 hash
+
+}  // namespace
+
+const char* to_string(frame_type type) noexcept {
+    switch (type) {
+        case frame_type::hello: return "hello";
+        case frame_type::welcome: return "welcome";
+        case frame_type::lease: return "lease";
+        case frame_type::result: return "result";
+        case frame_type::heartbeat: return "heartbeat";
+        case frame_type::shutdown: return "shutdown";
+        case frame_type::error: return "error";
+    }
+    return "?";
+}
+
+std::string encode_frame(frame_type type, std::string_view payload) {
+    if (payload.size() > max_frame_payload)
+        throw std::runtime_error{
+            "frame: refusing to encode a " + std::to_string(payload.size()) +
+            "-byte payload (limit " + std::to_string(max_frame_payload) + ")"};
+    std::string out;
+    out.reserve(header_bytes + payload.size() + trailer_bytes);
+    put_u32(out, static_cast<std::uint32_t>(payload.size()));
+    out.push_back(static_cast<char>(type));
+    out.append(payload);
+    put_u64(out, frame_hash(type, payload));
+    return out;
+}
+
+std::optional<frame> frame_reader::next() {
+    if (buf_.size() < header_bytes) return std::nullopt;
+    const std::uint32_t len = get_u32(buf_.data());
+    if (len > max_frame_payload)
+        throw std::runtime_error{
+            "frame: oversized length prefix (" + std::to_string(len) +
+            " bytes > " + std::to_string(max_frame_payload) + ")"};
+    const std::size_t total = header_bytes + len + trailer_bytes;
+    if (buf_.size() < total) return std::nullopt;
+    frame f;
+    f.type = static_cast<frame_type>(
+        static_cast<unsigned char>(buf_[header_bytes - 1]));
+    f.payload.assign(buf_, header_bytes, len);
+    const std::uint64_t want = get_u64(buf_.data() + header_bytes + len);
+    if (frame_hash(f.type, f.payload) != want)
+        throw std::runtime_error{
+            "frame: integrity hash mismatch (garbled frame)"};
+    buf_.erase(0, total);
+    return f;
+}
+
+std::string closed_mid_frame_error(std::size_t pending_bytes) {
+    return "frame: connection closed mid-frame (" +
+           std::to_string(pending_bytes) + " byte(s) of an incomplete frame)";
+}
+
+// ---- Envelopes ----
+
+std::string encode_lease(const lease_envelope& env, std::string_view job_json) {
+    std::string out;
+    out.reserve(20 + job_json.size());
+    put_u32(out, env.shard);
+    put_u32(out, env.shard_count);
+    put_u32(out, env.attempt);
+    put_u64(out, env.round);
+    out.append(job_json);
+    return out;
+}
+
+lease_envelope decode_lease(std::string_view payload,
+                            std::string_view* job_json) {
+    if (payload.size() < 20)
+        throw std::runtime_error{"lease frame: payload shorter than its "
+                                 "20-byte envelope"};
+    lease_envelope env;
+    env.shard = get_u32(payload.data());
+    env.shard_count = get_u32(payload.data() + 4);
+    env.attempt = get_u32(payload.data() + 8);
+    env.round = get_u64(payload.data() + 12);
+    if (job_json != nullptr) *job_json = payload.substr(20);
+    return env;
+}
+
+std::string encode_result(const result_envelope& env, std::string_view output) {
+    std::string out;
+    out.reserve(16 + output.size());
+    put_u32(out, env.shard);
+    put_u32(out, env.shard_count);
+    put_u32(out, env.attempt);
+    put_u32(out, static_cast<std::uint32_t>(env.wait_status));
+    out.append(output);
+    return out;
+}
+
+result_envelope decode_result(std::string_view payload,
+                              std::string_view* output) {
+    if (payload.size() < 16)
+        throw std::runtime_error{"result frame: payload shorter than its "
+                                 "16-byte envelope"};
+    result_envelope env;
+    env.shard = get_u32(payload.data());
+    env.shard_count = get_u32(payload.data() + 4);
+    env.attempt = get_u32(payload.data() + 8);
+    env.wait_status = static_cast<std::int32_t>(get_u32(payload.data() + 12));
+    if (output != nullptr) *output = payload.substr(16);
+    return env;
+}
+
+// ---- frame_conn ----
+
+frame_conn::frame_conn(frame_conn&& other) noexcept
+    : fd_{other.fd_},
+      reader_{std::move(other.reader_)},
+      wbuf_{std::move(other.wbuf_)},
+      woff_{other.woff_},
+      error_{std::move(other.error_)} {
+    other.fd_ = -1;
+}
+
+frame_conn& frame_conn::operator=(frame_conn&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        reader_ = std::move(other.reader_);
+        wbuf_ = std::move(other.wbuf_);
+        woff_ = other.woff_;
+        error_ = std::move(other.error_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void frame_conn::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+frame_conn::io_status frame_conn::read_frames(std::vector<frame>& out) {
+    char buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd_, buf, sizeof buf);
+        if (n > 0) {
+            reader_.feed(buf, static_cast<std::size_t>(n));
+            try {
+                while (auto f = reader_.next()) out.push_back(std::move(*f));
+            } catch (const std::exception& e) {
+                error_ = e.what();
+                return io_status::failed;
+            }
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return io_status::ok;
+        if (n < 0) {
+            error_ = std::string{"read failed: "} + std::strerror(errno);
+            return io_status::failed;
+        }
+        // EOF. A partial frame left in the buffer means the peer died (or
+        // was cut) mid-transfer — report it as such, not as a clean close.
+        if (reader_.pending_bytes() != 0) {
+            error_ = closed_mid_frame_error(reader_.pending_bytes());
+            return io_status::failed;
+        }
+        return io_status::closed;
+    }
+}
+
+void frame_conn::queue(frame_type type, std::string_view payload) {
+    wbuf_.append(encode_frame(type, payload));
+}
+
+bool frame_conn::pump_writes() {
+    while (woff_ < wbuf_.size()) {
+        const ssize_t n =
+            ::write(fd_, wbuf_.data() + woff_, wbuf_.size() - woff_);
+        if (n > 0) {
+            woff_ += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        error_ = std::string{"write failed: "} + std::strerror(errno);
+        return false;
+    }
+    if (woff_ == wbuf_.size()) {
+        wbuf_.clear();
+        woff_ = 0;
+    } else if (woff_ > (1u << 20)) {
+        // Keep the buffer from growing a long dead prefix.
+        wbuf_.erase(0, woff_);
+        woff_ = 0;
+    }
+    return true;
+}
+
+// ---- Handshake payloads ----
+
+std::string hello_to_json(const hello_msg& msg) {
+    return "{\"hello\": {\"version\": " + std::to_string(msg.version) +
+           ", \"name\": \"" + util::json_escape(msg.name) +
+           "\", \"reconnects\": " + std::to_string(msg.reconnects) + "}}";
+}
+
+hello_msg hello_from_json(std::string_view text) {
+    const auto doc = util::parse_json(text);
+    const auto& h = doc.at("hello");
+    hello_msg msg;
+    msg.version = static_cast<std::uint32_t>(h.at("version").as_u64());
+    msg.name = h.at("name").as_string();
+    msg.reconnects = h.at("reconnects").as_u64();
+    return msg;
+}
+
+std::string welcome_to_json(const welcome_msg& msg) {
+    return "{\"welcome\": {\"version\": " + std::to_string(msg.version) +
+           ", \"heartbeat_ms\": " + std::to_string(msg.heartbeat_ms) +
+           ", \"spec_digest\": " + std::to_string(msg.spec_digest) + "}}";
+}
+
+welcome_msg welcome_from_json(std::string_view text) {
+    const auto doc = util::parse_json(text);
+    const auto& w = doc.at("welcome");
+    welcome_msg msg;
+    msg.version = static_cast<std::uint32_t>(w.at("version").as_u64());
+    msg.heartbeat_ms = w.at("heartbeat_ms").as_u64();
+    msg.spec_digest = w.at("spec_digest").as_u64();
+    return msg;
+}
+
+}  // namespace pssp::dist

@@ -184,6 +184,14 @@ struct round_outcome {
     supervise_stats stats;
 };
 
+// How a round's supervised jobs actually execute: local fork/exec pipes
+// (supervise_jobs) or TCP leases to remote workers (coordinator::run_jobs).
+// Both return the same terminal job_results, so everything downstream —
+// failure aggregation, checkpointing, the merge — is transport-blind.
+using round_executor = std::function<std::vector<job_result>(
+    const std::vector<supervised_job>&, const supervise_hooks&,
+    supervise_stats&)>;
+
 // Runs one round's jobs under supervision. Failed attempts get
 // postmortems and retries; a job that exhausts its budget fails the run
 // with an aggregated error naming every exhausted shard's round, last
@@ -193,10 +201,10 @@ struct round_outcome {
 // per-job hooks, so only the fixed path passes them — the adaptive path
 // persists/ingests whole accepted rounds in its caller instead.
 round_outcome execute_round(
-    const sharded_options& options, const std::string& worker,
-    const campaign::campaign_spec& shard_spec, std::uint64_t digest,
-    std::uint64_t round_number, std::span<const campaign::block_ref> blocks,
-    checkpoint_log* ckpt,
+    const sharded_options& options, const round_executor& exec,
+    const std::string& worker, const campaign::campaign_spec& shard_spec,
+    std::uint64_t digest, std::uint64_t round_number,
+    std::span<const campaign::block_ref> blocks, checkpoint_log* ckpt,
     const std::function<void(std::uint64_t, std::span<const partial_block>)>*
         ingest) {
     const auto jobs =
@@ -216,8 +224,7 @@ round_outcome execute_round(
     round_outcome outcome;
     std::vector<job_result> results;
     try {
-        results = supervise_jobs(worker, jobs, options.faults, hooks,
-                                 outcome.stats);
+        results = exec(jobs, hooks, outcome.stats);
     } catch (...) {
         remove_flight_files(jobs);
         throw;
@@ -239,10 +246,9 @@ round_outcome execute_round(
     outcome.times.reserve(results.size());
     for (std::size_t k = 0; k < results.size(); ++k) {
         outcome.partials.push_back(std::move(results[k].partial));
-        outcome.times.push_back(obs::shard_time{jobs[k].shard,
-                                                results[k].wall_seconds,
-                                                results[k].user_seconds,
-                                                results[k].sys_seconds});
+        outcome.times.push_back(obs::shard_time{
+            jobs[k].shard, results[k].wall_seconds, results[k].user_seconds,
+            results[k].sys_seconds, std::move(results[k].worker_name)});
     }
     return outcome;
 }
@@ -275,8 +281,8 @@ std::optional<checkpoint_log> open_checkpoint(const sharded_options& options,
 // checkpointed rounds rebuilds the allocator state bit for bit.
 campaign::campaign_report run_sharded_adaptive(
     const campaign::campaign_spec& spec, const sharded_options& options,
-    const std::string& worker, obs::telemetry_writer* telemetry,
-    std::optional<checkpoint_log>& ckpt) {
+    const round_executor& exec, const std::string& worker,
+    obs::telemetry_writer* telemetry, std::optional<checkpoint_log>& ckpt) {
     const auto shard_spec = shard_execution_spec(spec, options);
     const auto digest = spec_digest(spec);
     const auto ids = campaign::cells_for(spec);
@@ -307,6 +313,8 @@ campaign::campaign_report run_sharded_adaptive(
         summary.retries = stats.retries;
         summary.requeued_blocks = stats.requeued_blocks;
         summary.timeouts = stats.timeouts;
+        summary.evictions = stats.evictions;
+        summary.reconnects = stats.reconnects;
         summary.resumed = resumed;
         emit_round(options, telemetry, summary);
     };
@@ -342,7 +350,7 @@ campaign::campaign_report run_sharded_adaptive(
         obs::span sp{"campaign.round", "dist",
                      static_cast<std::int64_t>(round_number)};
         const auto round_start = std::chrono::steady_clock::now();
-        auto outcome = execute_round(options, worker, shard_spec, digest,
+        auto outcome = execute_round(options, exec, worker, shard_spec, digest,
                                      round_number, round, /*ckpt=*/nullptr,
                                      /*ingest=*/nullptr);
         allocator.record_round(
@@ -386,8 +394,8 @@ campaign::campaign_report run_sharded_adaptive(
 // validates exactly-once coverage either way.
 campaign::campaign_report run_sharded_fixed(
     const campaign::campaign_spec& spec, const sharded_options& options,
-    const std::string& worker, obs::telemetry_writer* telemetry,
-    std::optional<checkpoint_log>& ckpt) {
+    const round_executor& exec, const std::string& worker,
+    obs::telemetry_writer* telemetry, std::optional<checkpoint_log>& ckpt) {
     obs::span sp{"campaign.run", "dist"};
     const auto start = std::chrono::steady_clock::now();
     const auto shard_spec = shard_execution_spec(spec, options);
@@ -431,7 +439,7 @@ campaign::campaign_report run_sharded_fixed(
 
     round_outcome outcome;
     if (!remaining.empty())
-        outcome = execute_round(options, worker, shard_spec, digest,
+        outcome = execute_round(options, exec, worker, shard_spec, digest,
                                 /*round_number=*/0, remaining,
                                 ckpt.has_value() ? &*ckpt : nullptr,
                                 options.block_ingest ? &options.block_ingest
@@ -478,6 +486,8 @@ campaign::campaign_report run_sharded_fixed(
         summary.retries = outcome.stats.retries;
         summary.requeued_blocks = outcome.stats.requeued_blocks;
         summary.timeouts = outcome.stats.timeouts;
+        summary.evictions = outcome.stats.evictions;
+        summary.reconnects = outcome.stats.reconnects;
         summary.resumed = options.resume;
         emit_round(options, telemetry, summary);
     }
@@ -512,9 +522,37 @@ campaign::campaign_report run_sharded(const campaign::campaign_spec& spec,
         telemetry = &writer;
 
     auto ckpt = open_checkpoint(options, spec_digest(spec));
+
+    // The transport: local fork/exec pipes, or a TCP coordinator whose
+    // workers persist across rounds. Same jobs, same classification, same
+    // merge — the report cannot tell them apart.
+    std::optional<coordinator> coord;
+    sharded_options effective = options;
+    round_executor exec;
+    if (options.net.has_value()) {
+        net_options net = *options.net;
+        if (net.worker_path.empty()) net.worker_path = worker;
+        coord.emplace(net, options.faults, spec_digest(spec));
+        // Flight recording rides the local transport's environment plumbing;
+        // remote compute children are postmortem'd from their wait status
+        // and output alone.
+        effective.flight_recorder = false;
+        exec = [&coord](const std::vector<supervised_job>& jobs,
+                        const supervise_hooks& hooks, supervise_stats& stats) {
+            return coord->run_jobs(jobs, hooks, stats);
+        };
+    } else {
+        exec = [&worker, &options](const std::vector<supervised_job>& jobs,
+                                   const supervise_hooks& hooks,
+                                   supervise_stats& stats) {
+            return supervise_jobs(worker, jobs, options.faults, hooks, stats);
+        };
+    }
+
     if (spec.adaptive)
-        return run_sharded_adaptive(spec, options, worker, telemetry, ckpt);
-    return run_sharded_fixed(spec, options, worker, telemetry, ckpt);
+        return run_sharded_adaptive(spec, effective, exec, worker, telemetry,
+                                    ckpt);
+    return run_sharded_fixed(spec, effective, exec, worker, telemetry, ckpt);
 }
 
 }  // namespace pssp::dist

@@ -38,10 +38,12 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "dist/coordinator.hpp"
 #include "dist/supervisor.hpp"
 #include "obs/telemetry.hpp"
 
@@ -105,6 +107,15 @@ struct sharded_options {
     // one.
     std::string checkpoint_dir;
     bool resume = false;
+
+    // ---- Network transport ----
+    // Engaged: rounds execute over a dist::coordinator (TCP leases to
+    // tools_campaign_node workers) instead of local fork/exec pipes. The
+    // jobs, the classify/requeue loop, the checkpoint log, and the merge
+    // are the same code either way, so the report is byte-identical to
+    // the local path at any worker count or fault schedule. The
+    // fault_policy above governs network retries too.
+    std::optional<net_options> net;
 };
 
 // The sibling `tools_campaign_worker` of the running executable

@@ -41,20 +41,6 @@ const dist_counters& counters() {
     return ids;
 }
 
-std::string describe_exit(int status) {
-    if (WIFEXITED(status)) {
-        const int code = WEXITSTATUS(status);
-        if (code == 0) return {};
-        if (code == 127) return "worker exec failed (bad worker path?)";
-        return "worker exited with status " + std::to_string(code);
-    }
-    if (WIFSIGNALED(status))
-        return std::string{"worker killed by signal "} +
-               std::to_string(WTERMSIG(status)) + " (" +
-               strsignal(WTERMSIG(status)) + ")";
-    return "worker ended abnormally";
-}
-
 [[noreturn]] void exec_worker(const std::string& path,
                               const supervised_job& job, unsigned attempt,
                               int in_fd, int out_fd) {
@@ -110,76 +96,6 @@ struct job_slot {
     steady_clock::time_point deadline{};
     std::uint64_t spawned_ns = 0;
 };
-
-// What one finished attempt amounts to. kind == none means success and
-// `partial` is valid.
-struct classification {
-    failure_kind kind = failure_kind::none;
-    std::string why;
-    partial_report partial;
-};
-
-classification classify_output(const supervised_job& job,
-                               const job_slot& slot) {
-    classification c;
-    try {
-        c.partial = partial_from_json(slot.output);
-    } catch (const std::exception& e) {
-        // Undelivered input is the root cause when both failed.
-        if (!slot.input_error.empty()) {
-            c.kind = failure_kind::input;
-            c.why = slot.input_error;
-        } else {
-            c.kind = failure_kind::bad_partial;
-            c.why = std::string{"emitted a bad partial: "} + e.what();
-        }
-        return c;
-    }
-    if (c.partial.shard_index != job.shard ||
-        c.partial.shard_count != job.shard_count) {
-        c.kind = failure_kind::bad_partial;
-        c.why = "identified as shard " + std::to_string(c.partial.shard_index) +
-                "/" + std::to_string(c.partial.shard_count);
-        return c;
-    }
-    if (c.partial.digest != job.manifest.digest) {
-        c.kind = failure_kind::bad_partial;
-        c.why = "emitted a partial for a different spec (digest mismatch)";
-        return c;
-    }
-    if (c.partial.round != job.manifest.round) {
-        c.kind = failure_kind::bad_partial;
-        c.why = "reported round " + std::to_string(c.partial.round) +
-                ", expected " + std::to_string(job.manifest.round);
-        return c;
-    }
-    if (c.partial.blocks.size() != job.manifest.blocks.size()) {
-        c.kind = failure_kind::wrong_blocks;
-        c.why = "covered " + std::to_string(c.partial.blocks.size()) +
-                " blocks, manifest assigned " +
-                std::to_string(job.manifest.blocks.size());
-        return c;
-    }
-    for (std::size_t i = 0; i < job.manifest.blocks.size(); ++i) {
-        const auto& got = c.partial.blocks[i];
-        const auto& want = job.manifest.blocks[i];
-        if (got.index != want.index || got.cell != want.cell ||
-            got.partial.trials != want.trials) {
-            c.kind = failure_kind::wrong_blocks;
-            c.why = "covered block " + std::to_string(got.index) +
-                    " where the manifest assigned block " +
-                    std::to_string(want.index);
-            return c;
-        }
-    }
-    return c;
-}
-
-double backoff_seconds(const fault_policy& policy, unsigned failed_attempts) {
-    double delay = policy.backoff_base_seconds;
-    for (unsigned i = 1; i < failed_attempts; ++i) delay *= 2.0;
-    return std::min(delay, policy.backoff_cap_seconds);
-}
 
 class pool {
   public:
@@ -409,7 +325,7 @@ class pool {
                        obs::trace_now_ns() - slot.spawned_ns,
                        static_cast<std::int64_t>(job.shard));
 
-        classification c;
+        attempt_classification c;
         bool retryable = true;
         if (slot.timed_out) {
             c.kind = failure_kind::timeout;
@@ -418,16 +334,10 @@ class pool {
                           "worker exceeded the %.1fs deadline (SIGKILLed)",
                           policy_.timeout_seconds);
             c.why = why;
-        } else if (std::string exited = describe_exit(status);
-                   !exited.empty()) {
-            c.kind = failure_kind::crash;
-            c.why = std::move(exited);
-            if (!slot.input_error.empty()) c.why += "; " + slot.input_error;
-            // A missing or unrunnable binary does not heal on retry.
-            if (WIFEXITED(status) && WEXITSTATUS(status) == 127)
-                retryable = false;
         } else {
-            c = classify_output(job, slot);
+            c = classify_attempt(job, status, slot.output, slot.input_error);
+            // A missing or unrunnable binary does not heal on retry.
+            if (is_exec_failure(status)) retryable = false;
         }
         slot.output.clear();
 
@@ -461,8 +371,8 @@ class pool {
             slot.state = job_state::pending;
             slot.release = steady_clock::now() +
                            std::chrono::duration_cast<steady_clock::duration>(
-                               std::chrono::duration<double>(backoff_seconds(
-                                   policy_, slot.attempts_started)));
+                               std::chrono::duration<double>(policy_.backoff_for(
+                                   slot.attempts_started)));
             return;
         }
         slot.state = job_state::finished;  // retry budget exhausted
@@ -489,7 +399,7 @@ class pool {
             }
             slot.pid = -1;
             ++launched;
-            std::string fate = describe_exit(status);
+            std::string fate = describe_wait_status(status);
             if (fate.empty()) fate = "exited cleanly (result discarded)";
             if (!aborted.empty()) aborted += "; ";
             aborted += "shard " + std::to_string(jobs_[k].shard) + ": " + fate;
@@ -511,6 +421,95 @@ class pool {
 };
 
 }  // namespace
+
+double fault_policy::backoff_for(unsigned failed_attempts) const noexcept {
+    double delay = backoff_base_seconds;
+    for (unsigned i = 1; i < failed_attempts; ++i) delay *= 2.0;
+    return std::min(delay, backoff_cap_seconds);
+}
+
+std::string describe_wait_status(int status) {
+    if (WIFEXITED(status)) {
+        const int code = WEXITSTATUS(status);
+        if (code == 0) return {};
+        if (code == 127) return "worker exec failed (bad worker path?)";
+        return "worker exited with status " + std::to_string(code);
+    }
+    if (WIFSIGNALED(status))
+        return std::string{"worker killed by signal "} +
+               std::to_string(WTERMSIG(status)) + " (" +
+               strsignal(WTERMSIG(status)) + ")";
+    return "worker ended abnormally";
+}
+
+bool is_exec_failure(int wait_status) noexcept {
+    return WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 127;
+}
+
+attempt_classification classify_attempt(const supervised_job& job,
+                                        int wait_status,
+                                        std::string_view output,
+                                        std::string_view input_error) {
+    attempt_classification c;
+    if (std::string exited = describe_wait_status(wait_status);
+        !exited.empty()) {
+        c.kind = failure_kind::crash;
+        c.why = std::move(exited);
+        if (!input_error.empty()) c.why += "; " + std::string{input_error};
+        return c;
+    }
+    try {
+        c.partial = partial_from_json(output);
+    } catch (const std::exception& e) {
+        // Undelivered input is the root cause when both failed.
+        if (!input_error.empty()) {
+            c.kind = failure_kind::input;
+            c.why = input_error;
+        } else {
+            c.kind = failure_kind::bad_partial;
+            c.why = std::string{"emitted a bad partial: "} + e.what();
+        }
+        return c;
+    }
+    if (c.partial.shard_index != job.shard ||
+        c.partial.shard_count != job.shard_count) {
+        c.kind = failure_kind::bad_partial;
+        c.why = "identified as shard " + std::to_string(c.partial.shard_index) +
+                "/" + std::to_string(c.partial.shard_count);
+        return c;
+    }
+    if (c.partial.digest != job.manifest.digest) {
+        c.kind = failure_kind::bad_partial;
+        c.why = "emitted a partial for a different spec (digest mismatch)";
+        return c;
+    }
+    if (c.partial.round != job.manifest.round) {
+        c.kind = failure_kind::bad_partial;
+        c.why = "reported round " + std::to_string(c.partial.round) +
+                ", expected " + std::to_string(job.manifest.round);
+        return c;
+    }
+    if (c.partial.blocks.size() != job.manifest.blocks.size()) {
+        c.kind = failure_kind::wrong_blocks;
+        c.why = "covered " + std::to_string(c.partial.blocks.size()) +
+                " blocks, manifest assigned " +
+                std::to_string(job.manifest.blocks.size());
+        return c;
+    }
+    for (std::size_t i = 0; i < job.manifest.blocks.size(); ++i) {
+        const auto& got = c.partial.blocks[i];
+        const auto& want = job.manifest.blocks[i];
+        if (got.index != want.index || got.cell != want.cell ||
+            got.partial.trials != want.trials) {
+            c.kind = failure_kind::wrong_blocks;
+            c.why = "covered block " + std::to_string(got.index) +
+                    " where the manifest assigned block " +
+                    std::to_string(want.index);
+            return c;
+        }
+    }
+    return c;
+}
 
 const char* to_string(failure_kind kind) noexcept {
     switch (kind) {

@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dist/wire.hpp"
@@ -55,6 +56,12 @@ struct fault_policy {
     // Exponential backoff before attempt N+1: base * 2^(N-1), capped.
     double backoff_base_seconds = 0.05;
     double backoff_cap_seconds = 2.0;
+
+    // The backoff before the attempt after `failed_attempts` failures.
+    // Never a blocking sleep: both the local supervisor and the TCP
+    // coordinator fold the release time into their poll() timeout so
+    // every other job's I/O keeps draining through a backoff window.
+    [[nodiscard]] double backoff_for(unsigned failed_attempts) const noexcept;
 };
 
 enum class failure_kind : std::uint8_t {
@@ -98,6 +105,9 @@ struct job_result {
     double wall_seconds = 0.0;
     double user_seconds = 0.0;
     double sys_seconds = 0.0;
+    // Network transport: the registered name of the worker that delivered
+    // the accepted result (empty over local pipes).
+    std::string worker_name;
 };
 
 // Recovery totals for one supervise_jobs call (telemetry side channel;
@@ -107,7 +117,41 @@ struct supervise_stats {
     std::uint64_t retries = 0;          // attempts beyond the first
     std::uint64_t requeued_blocks = 0;  // blocks re-dispatched by retries
     std::uint64_t timeouts = 0;         // deadline SIGKILLs
+    // Network transport only (always 0 over local pipes):
+    std::uint64_t evictions = 0;   // workers dropped for heartbeat silence,
+                                   // disconnect, or a poisoned frame
+    std::uint64_t reconnects = 0;  // re-registrations accepted afterwards
 };
+
+// ---- Attempt classification, shared by both transports ----
+//
+// The local pipe supervisor and the TCP coordinator run the *same*
+// classification on a finished attempt: wait status first, then the
+// emitted output validated against the job's manifest. Factored out so
+// the network path is the same code, not a reimplementation.
+
+// Human description of a raw wait4 status; empty for a clean exit 0.
+[[nodiscard]] std::string describe_wait_status(int status);
+
+// Exit 127 is the exec-failed convention: a missing or unrunnable worker
+// binary never heals on retry, so neither transport requeues it.
+[[nodiscard]] bool is_exec_failure(int wait_status) noexcept;
+
+// What one finished attempt amounts to. kind == none means success and
+// `partial` is valid.
+struct attempt_classification {
+    failure_kind kind = failure_kind::none;
+    std::string why;
+    partial_report partial;
+};
+
+// Classifies one finished attempt: non-zero wait status -> crash;
+// otherwise the output must parse as a partial matching the job's shard
+// identity, spec digest, round, and exact block manifest. `input_error`
+// (the transport's stdin-delivery failure, if any) refines the verdict.
+[[nodiscard]] attempt_classification classify_attempt(
+    const supervised_job& job, int wait_status, std::string_view output,
+    std::string_view input_error = {});
 
 struct supervise_hooks {
     // Called synchronously after each failed attempt, before any retry of

@@ -29,6 +29,10 @@ struct shard_time {
     double wall_seconds = 0.0;
     double user_seconds = 0.0;  // rusage ru_utime of the worker process
     double sys_seconds = 0.0;   // rusage ru_stime of the worker process
+    // Network campaigns: which remote worker ran the shard. Emitted as a
+    // "worker" field only when non-empty, so local runs' telemetry bytes
+    // are unchanged.
+    std::string worker;
 };
 
 struct round_summary {
@@ -48,6 +52,9 @@ struct round_summary {
     std::uint64_t retries = 0;          // worker attempts beyond the first
     std::uint64_t requeued_blocks = 0;  // blocks re-dispatched by retries
     std::uint64_t timeouts = 0;         // deadline SIGKILLs
+    // Network transport only (always 0 over local pipes):
+    std::uint64_t evictions = 0;   // workers dropped mid-round
+    std::uint64_t reconnects = 0;  // re-registrations accepted
     // True when the round was replayed from a checkpoint instead of run.
     bool resumed = false;
 };

@@ -1,0 +1,251 @@
+// The network framing layer, adversarially: every way a TCP stream can
+// arrive broken — dribbled one byte at a time, split by EINTR/short
+// reads, truncated mid-frame, garbled in flight, or led by a scrambled
+// length prefix — must either reassemble to the exact frames sent or
+// fail with the exact pinned error message. The coordinator's
+// partition-tolerance story rests on these errors being loud and
+// classified, never silent corruption.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "dist/frame.hpp"
+
+namespace pssp {
+namespace {
+
+// A connected non-blocking socketpair; index 0 is "ours", 1 is "theirs".
+struct pair_fds {
+    int fd[2];
+    pair_fds() {
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fd), 0);
+        for (int k : {fd[0], fd[1]})
+            EXPECT_EQ(::fcntl(k, F_SETFL, O_NONBLOCK), 0);
+    }
+    ~pair_fds() {
+        // fd[0] is owned by a frame_conn in most tests; fd[1] by us.
+        if (fd[1] >= 0) ::close(fd[1]);
+    }
+    void close_theirs() {
+        ::close(fd[1]);
+        fd[1] = -1;
+    }
+    void send_raw(const std::string& bytes) {
+        ASSERT_EQ(::write(fd[1], bytes.data(), bytes.size()),
+                  static_cast<ssize_t>(bytes.size()));
+    }
+};
+
+TEST(dist_frame, roundtrips_every_type_through_encode_and_reader) {
+    dist::frame_reader reader;
+    const std::string payloads[] = {"", "x", std::string(100000, 'q')};
+    for (const auto& p : payloads) {
+        const auto wire = dist::encode_frame(dist::frame_type::lease, p);
+        reader.feed(wire.data(), wire.size());
+        const auto f = reader.next();
+        ASSERT_TRUE(f.has_value());
+        EXPECT_EQ(f->type, dist::frame_type::lease);
+        EXPECT_EQ(f->payload, p);
+    }
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(dist_frame, reassembles_from_one_byte_dribble) {
+    // The worst fragmentation a short-read/EINTR-split stream can
+    // produce: every byte arrives alone. The decoded frames must be
+    // exactly the ones sent, in order.
+    std::string wire;
+    wire += dist::encode_frame(dist::frame_type::heartbeat, "");
+    wire += dist::encode_frame(dist::frame_type::result, "partial {json}");
+    wire += dist::encode_frame(dist::frame_type::shutdown, "bye");
+    dist::frame_reader reader;
+    std::vector<dist::frame> got;
+    for (char byte : wire) {
+        reader.feed(&byte, 1);
+        while (auto f = reader.next()) got.push_back(std::move(*f));
+    }
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].type, dist::frame_type::heartbeat);
+    EXPECT_EQ(got[1].payload, "partial {json}");
+    EXPECT_EQ(got[2].type, dist::frame_type::shutdown);
+    EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(dist_frame, oversized_length_prefix_throws_the_pinned_error) {
+    // A scrambled prefix claiming 4 GiB must be rejected before any
+    // buffering, with the limit named.
+    std::string wire;
+    const std::uint32_t huge = 0xF0000000u;
+    wire.push_back(static_cast<char>(huge & 0xff));
+    wire.push_back(static_cast<char>((huge >> 8) & 0xff));
+    wire.push_back(static_cast<char>((huge >> 16) & 0xff));
+    wire.push_back(static_cast<char>((huge >> 24) & 0xff));
+    wire.push_back(1);
+    dist::frame_reader reader;
+    reader.feed(wire.data(), wire.size());
+    try {
+        (void)reader.next();
+        FAIL() << "oversized prefix decoded";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(),
+                     "frame: oversized length prefix (4026531840 bytes > "
+                     "67108864)");
+    }
+}
+
+TEST(dist_frame, garbled_frame_throws_the_pinned_hash_mismatch) {
+    // One flipped payload bit → integrity trailer disagrees.
+    auto wire = dist::encode_frame(dist::frame_type::result, "clean bytes");
+    wire[6] ^= 0x01;  // inside the payload (after u32 len + u8 type)
+    dist::frame_reader reader;
+    reader.feed(wire.data(), wire.size());
+    try {
+        (void)reader.next();
+        FAIL() << "garbled frame decoded";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "frame: integrity hash mismatch (garbled frame)");
+    }
+}
+
+TEST(dist_frame, conn_reports_truncated_frame_on_close) {
+    // Peer dies mid-frame: read_frames must fail with the pinned
+    // closed-mid-frame error naming the stranded byte count.
+    pair_fds fds;
+    dist::frame_conn conn{fds.fd[0]};
+    const auto wire = dist::encode_frame(dist::frame_type::lease, "job json");
+    fds.send_raw(wire.substr(0, 7));  // header + 2 payload bytes, no trailer
+    fds.close_theirs();
+    std::vector<dist::frame> frames;
+    EXPECT_EQ(conn.read_frames(frames), dist::frame_conn::io_status::failed);
+    EXPECT_TRUE(frames.empty());
+    EXPECT_EQ(conn.error(), dist::closed_mid_frame_error(7));
+    EXPECT_EQ(conn.error(),
+              "frame: connection closed mid-frame (7 byte(s) of an "
+              "incomplete frame)");
+}
+
+TEST(dist_frame, conn_clean_eof_between_frames_is_closed_not_failed) {
+    pair_fds fds;
+    dist::frame_conn conn{fds.fd[0]};
+    fds.send_raw(dist::encode_frame(dist::frame_type::heartbeat, ""));
+    fds.close_theirs();
+    std::vector<dist::frame> frames;
+    EXPECT_EQ(conn.read_frames(frames), dist::frame_conn::io_status::closed);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].type, dist::frame_type::heartbeat);
+    EXPECT_TRUE(conn.error().empty());
+}
+
+TEST(dist_frame, conn_survives_signal_interrupted_short_reads) {
+    // A writer thread dribbles a large frame in small chunks while
+    // peppering the reading thread with SIGUSR1 (handler installed
+    // without SA_RESTART, so reads really do come back EINTR). The
+    // frame must still reassemble exactly.
+    struct sigaction sa{};
+    sa.sa_handler = [](int) {};
+    struct sigaction old{};
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    pair_fds fds;
+    dist::frame_conn conn{fds.fd[0]};
+    const std::string payload(1 << 20, 'Z');
+    const auto wire = dist::encode_frame(dist::frame_type::result, payload);
+
+    const pthread_t reader_thread = ::pthread_self();
+    std::thread writer{[&] {
+        std::size_t off = 0;
+        while (off < wire.size()) {
+            const std::size_t n = std::min<std::size_t>(4096, wire.size() - off);
+            ssize_t w;
+            do {
+                w = ::write(fds.fd[1], wire.data() + off, n);
+            } while (w < 0 && (errno == EINTR || errno == EAGAIN));
+            ASSERT_GT(w, 0);
+            off += static_cast<std::size_t>(w);
+            ::pthread_kill(reader_thread, SIGUSR1);
+        }
+        fds.close_theirs();
+    }};
+
+    std::vector<dist::frame> frames;
+    for (;;) {
+        const auto status = conn.read_frames(frames);
+        ASSERT_NE(status, dist::frame_conn::io_status::failed) << conn.error();
+        if (status == dist::frame_conn::io_status::closed) break;
+        if (!frames.empty() && frames.back().payload.size() == payload.size())
+            break;
+    }
+    writer.join();
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].type, dist::frame_type::result);
+    EXPECT_EQ(frames[0].payload, payload);
+    ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+}
+
+TEST(dist_frame, envelopes_roundtrip_and_reject_short_payloads) {
+    dist::lease_envelope lease{3, 8, 2, 41};
+    const auto lease_wire = dist::encode_lease(lease, "{\"job\":true}");
+    std::string_view job;
+    const auto lease_back = dist::decode_lease(lease_wire, &job);
+    EXPECT_EQ(lease_back.shard, 3u);
+    EXPECT_EQ(lease_back.shard_count, 8u);
+    EXPECT_EQ(lease_back.attempt, 2u);
+    EXPECT_EQ(lease_back.round, 41u);
+    EXPECT_EQ(job, "{\"job\":true}");
+
+    dist::result_envelope result{3, 8, 2, 0x8b /* SIGSEGV wait status */};
+    const auto result_wire = dist::encode_result(result, "stdout bytes");
+    std::string_view output;
+    const auto result_back = dist::decode_result(result_wire, &output);
+    EXPECT_EQ(result_back.shard, 3u);
+    EXPECT_EQ(result_back.wait_status, 0x8b);
+    EXPECT_EQ(output, "stdout bytes");
+
+    try {
+        (void)dist::decode_lease("short", nullptr);
+        FAIL() << "short lease decoded";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(),
+                     "lease frame: payload shorter than its 20-byte envelope");
+    }
+    try {
+        (void)dist::decode_result("short", nullptr);
+        FAIL() << "short result decoded";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(),
+                     "result frame: payload shorter than its 16-byte envelope");
+    }
+}
+
+TEST(dist_frame, handshake_json_roundtrips) {
+    dist::hello_msg hello;
+    hello.version = dist::net_protocol_version;
+    hello.name = "node-7";
+    hello.reconnects = 3;
+    const auto hello_back = dist::hello_from_json(dist::hello_to_json(hello));
+    EXPECT_EQ(hello_back.version, dist::net_protocol_version);
+    EXPECT_EQ(hello_back.name, "node-7");
+    EXPECT_EQ(hello_back.reconnects, 3u);
+
+    dist::welcome_msg welcome;
+    welcome.heartbeat_ms = 125;
+    welcome.spec_digest = 0xdeadbeefcafef00dull;
+    const auto welcome_back =
+        dist::welcome_from_json(dist::welcome_to_json(welcome));
+    EXPECT_EQ(welcome_back.heartbeat_ms, 125u);
+    EXPECT_EQ(welcome_back.spec_digest, 0xdeadbeefcafef00dull);
+}
+
+}  // namespace
+}  // namespace pssp

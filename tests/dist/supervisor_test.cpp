@@ -271,5 +271,82 @@ TEST(dist_supervisor, zero_max_attempts_is_rejected) {
                  std::invalid_argument);
 }
 
+TEST(dist_supervisor, backoff_for_is_exponential_and_capped) {
+    dist::fault_policy policy;
+    policy.backoff_base_seconds = 0.05;
+    policy.backoff_cap_seconds = 2.0;
+    EXPECT_DOUBLE_EQ(policy.backoff_for(1), 0.05);
+    EXPECT_DOUBLE_EQ(policy.backoff_for(2), 0.10);
+    EXPECT_DOUBLE_EQ(policy.backoff_for(3), 0.20);
+    EXPECT_DOUBLE_EQ(policy.backoff_for(6), 1.60);
+    EXPECT_DOUBLE_EQ(policy.backoff_for(7), 2.0) << "cap must bind";
+    EXPECT_DOUBLE_EQ(policy.backoff_for(30), 2.0)
+        << "large attempt counts must not overflow past the cap";
+}
+
+TEST(dist_supervisor, backoff_never_blocks_a_healthy_shard) {
+    // Backoff is folded into the poll() timeout, never slept: while
+    // shard 1 burns two crashes and two full backoff windows, shard 0's
+    // pipes must keep draining and its job must complete long before
+    // shard 1's retries are even allowed to start. A supervisor that
+    // slept the backoff would delay shard 0 past the windows too.
+    const auto spec = small_spec();
+    const auto blocks = campaign::blocks_for(spec);
+    ASSERT_GE(blocks.size(), 2u);
+    const auto digest = dist::spec_digest(spec);
+
+    std::vector<dist::supervised_job> jobs(2);
+    for (std::uint32_t k = 0; k < 2; ++k) {
+        dist::round_job rj;
+        rj.spec = spec;
+        rj.manifest.round = 1;
+        rj.manifest.digest = digest;
+        for (std::size_t p = k; p < blocks.size(); p += 2)
+            rj.manifest.blocks.push_back(blocks[p]);
+        jobs[k].args = {"--round", "--shard", std::to_string(k), "--shards",
+                        "2"};
+        jobs[k].input = dist::round_job_to_json(rj);
+        jobs[k].manifest = std::move(rj.manifest);
+        jobs[k].shard = k;
+        jobs[k].shard_count = 2;
+    }
+
+    // Crash shard 1 on attempts 1 and 2; with a 1-second backoff window
+    // per failure, its success cannot land before T+2s.
+    scoped_fault_plan plan{"crash:1:*:1,crash:1:*:2"};
+    dist::fault_policy policy;
+    policy.max_attempts = 3;
+    policy.backoff_base_seconds = 1.0;
+    policy.backoff_cap_seconds = 1.0;
+
+    const auto start = std::chrono::steady_clock::now();
+    double success_at[2] = {-1.0, -1.0};
+    dist::supervise_hooks hooks;
+    hooks.on_job_success = [&](const dist::supervised_job& job,
+                               const dist::partial_report&) {
+        success_at[job.shard] = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+    };
+    dist::supervise_stats stats;
+    const auto results =
+        dist::supervise_jobs(dist::default_worker_path(), jobs, policy, hooks,
+                             stats);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_TRUE(results[1].ok);
+    EXPECT_EQ(results[1].attempts, 3u);
+    EXPECT_EQ(stats.retries, 2u);
+    ASSERT_GE(success_at[0], 0.0);
+    ASSERT_GE(success_at[1], 0.0);
+    // Shard 1 must have waited out both windows...
+    EXPECT_GE(success_at[1], 2.0);
+    // ...and healthy shard 0 must have finished well inside the first
+    // one (generous margin for sanitizer-slowed CI; the compute itself
+    // is a handful of milliseconds).
+    EXPECT_LT(success_at[0], 1.5)
+        << "healthy shard was stalled behind another shard's backoff";
+}
+
 }  // namespace
 }  // namespace pssp

@@ -32,8 +32,8 @@ obs::round_summary summary_for(std::uint64_t round) {
     s.widest_cell = "nginx_m/SSP/leak_replay";
     s.wall_seconds = 0.25 * static_cast<double>(round % 7);
     if (round % 2 == 0) {
-        s.shards.push_back({0, 0.5, 0.25, 0.125});
-        s.shards.push_back({1, 0.75, 0.5, 0.125});
+        s.shards.push_back({0, 0.5, 0.25, 0.125, {}});
+        s.shards.push_back({1, 0.75, 0.5, 0.125, {}});
     }
     s.retries = round % 5;
     s.requeued_blocks = round % 4;

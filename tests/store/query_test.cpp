@@ -65,7 +65,7 @@ obs::round_summary sample_summary(std::uint64_t round) {
     s.max_halfwidth = 0.123456789;  // exercises the %.6f wire rounding
     s.widest_cell = "nginx_m/SSP/leak_replay";
     s.wall_seconds = 1.5;
-    s.shards = {{0, 0.75, 0.5, 0.25}, {1, 0.8, 0.6, 0.2}};
+    s.shards = {{0, 0.75, 0.5, 0.25, {}}, {1, 0.8, 0.6, 0.2, {}}};
     s.retries = 2;
     s.requeued_blocks = 3;
     s.timeouts = 1;

@@ -109,7 +109,28 @@ void usage(const char* argv0) {
                  "               segments every N rounds (default 4; 0 =\n"
                  "               only at finalize)\n"
                  "  --metrics-out PATH  dump the obs metric registry as\n"
-                 "               deterministic JSON at exit ('-' = stdout)\n",
+                 "               deterministic JSON at exit ('-' = stdout)\n"
+                 "  --workers N  network fleet mode: run rounds over a TCP\n"
+                 "               coordinator that self-spawns N localhost\n"
+                 "               tools_campaign_node daemons. The report is\n"
+                 "               byte-identical to the local pipe transport\n"
+                 "               at every worker count\n"
+                 "  --listen [HOST:]PORT  network mode with an explicit bind\n"
+                 "               address instead of a self-spawned fleet;\n"
+                 "               start tools_campaign_node --connect HOST:PORT\n"
+                 "               on the workers yourself (0 = ephemeral port,\n"
+                 "               printed on stderr)\n"
+                 "  --lease S    per-lease deadline in seconds before the\n"
+                 "               holder is evicted and the job requeued\n"
+                 "               (default: --timeout, 0 = no deadline)\n"
+                 "  --heartbeat S  worker heartbeat interval in seconds\n"
+                 "               (default 0.25); a worker silent for 8\n"
+                 "               intervals is evicted\n"
+                 "  --register-wait S  seconds to wait for the first worker\n"
+                 "               registration before failing (default 30)\n"
+                 "  --net-json PATH  network transport counters as JSON after\n"
+                 "               the run (connections, leases, heartbeats,\n"
+                 "               evictions, reconnects, requeues)\n",
                  argv0);
 }
 
@@ -159,6 +180,12 @@ int main(int argc, char** argv) {
     const char* store_dir = nullptr;
     unsigned long long store_compact = 4;
     const char* metrics_out_path = nullptr;
+    unsigned net_workers = 0;
+    const char* listen_spec = nullptr;
+    double lease_seconds = 0.0;
+    double heartbeat_seconds = 0.0;
+    double register_wait_seconds = 0.0;
+    const char* net_json_path = nullptr;
 
     for (int i = 1; i < argc; ++i) {
         auto next_value = [&](const char* flag) -> const char* {
@@ -256,6 +283,24 @@ int main(int argc, char** argv) {
                 std::strtoull(next_value("--store-compact"), nullptr, 10);
         } else if (!std::strcmp(argv[i], "--metrics-out")) {
             metrics_out_path = next_value("--metrics-out");
+        } else if (!std::strcmp(argv[i], "--workers")) {
+            net_workers = static_cast<unsigned>(
+                std::strtoul(next_value("--workers"), nullptr, 10));
+            if (net_workers == 0) {
+                std::fprintf(stderr, "--workers must be >= 1\n");
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--listen")) {
+            listen_spec = next_value("--listen");
+        } else if (!std::strcmp(argv[i], "--lease")) {
+            lease_seconds = std::strtod(next_value("--lease"), nullptr);
+        } else if (!std::strcmp(argv[i], "--heartbeat")) {
+            heartbeat_seconds = std::strtod(next_value("--heartbeat"), nullptr);
+        } else if (!std::strcmp(argv[i], "--register-wait")) {
+            register_wait_seconds =
+                std::strtod(next_value("--register-wait"), nullptr);
+        } else if (!std::strcmp(argv[i], "--net-json")) {
+            net_json_path = next_value("--net-json");
         } else {
             usage(argv[0]);
             return 2;
@@ -282,6 +327,47 @@ int main(int argc, char** argv) {
         // one campaign execution.
         std::fprintf(stderr, "--store cannot be combined with --scaling\n");
         return 2;
+    }
+    if (net_workers != 0 && listen_spec != nullptr) {
+        std::fprintf(stderr,
+                     "--workers (self-spawned fleet) and --listen (external "
+                     "workers) are mutually exclusive\n");
+        return 2;
+    }
+    if (net_workers != 0 || listen_spec != nullptr) {
+        if (!scaling.empty()) {
+            std::fprintf(stderr, "--scaling is a local-transport benchmark; "
+                                 "run network counts separately\n");
+            return 2;
+        }
+        dist::net_options net;
+        if (listen_spec != nullptr) {
+            // [HOST:]PORT — split on the last ':' so a future bracketed v6
+            // literal parses as one host token.
+            const std::string text = listen_spec;
+            const auto colon = text.rfind(':');
+            const std::string port_text =
+                colon == std::string::npos ? text : text.substr(colon + 1);
+            if (colon != std::string::npos) net.listen_host = text.substr(0, colon);
+            char* end = nullptr;
+            const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+            if (end == port_text.c_str() || *end != '\0' || port > 65535) {
+                std::fprintf(stderr, "--listen needs [HOST:]PORT, got \"%s\"\n",
+                             listen_spec);
+                return 2;
+            }
+            net.listen_port = static_cast<std::uint16_t>(port);
+        }
+        net.fleet_workers = net_workers;
+        net.on_listen = [host = net.listen_host](std::uint16_t port) {
+            std::fprintf(stderr, "coordinator listening on %s:%u\n",
+                         host.c_str(), static_cast<unsigned>(port));
+        };
+        if (lease_seconds > 0.0) net.lease_seconds = lease_seconds;
+        if (heartbeat_seconds > 0.0) net.heartbeat_seconds = heartbeat_seconds;
+        if (register_wait_seconds > 0.0)
+            net.register_wait_seconds = register_wait_seconds;
+        options.net = std::move(net);
     }
 
     if (trace_path != nullptr) obs::enable_tracing(true);
@@ -464,6 +550,33 @@ int main(int argc, char** argv) {
                 count("dist.timeouts"), count("dist.crashes"),
                 count("dist.bad_partials"));
             if (!write_text(faults_json_path, buf)) return 1;
+        }
+        if (net_json_path != nullptr) {
+            // Network transport counters (obs registry side channel; all
+            // names registered idempotently by the coordinator). A clean
+            // fleet run shows connections == workers and zero evictions.
+            auto count = [](const char* name) {
+                return static_cast<unsigned long long>(
+                    obs::value(obs::counter(name)));
+            };
+            char buf[512];
+            std::snprintf(
+                buf, sizeof buf,
+                "{\n  \"bench\": \"dist_net\",\n"
+                "  \"wall_seconds\": %.3f,\n"
+                "  \"shards\": %u,\n  \"workers\": %u,\n"
+                "  \"connections\": %llu,\n  \"leases\": %llu,\n"
+                "  \"heartbeats\": %llu,\n  \"evictions\": %llu,\n"
+                "  \"reconnects\": %llu,\n  \"retries\": %llu,\n"
+                "  \"requeued_blocks\": %llu,\n  \"timeouts\": %llu,\n"
+                "  \"crashes\": %llu\n}\n",
+                run_seconds, options.shards, net_workers,
+                count("dist.net.connections"), count("dist.net.leases"),
+                count("dist.net.heartbeats"), count("dist.net.evictions"),
+                count("dist.net.reconnects"), count("dist.retries"),
+                count("dist.requeued_blocks"), count("dist.timeouts"),
+                count("dist.crashes"));
+            if (!write_text(net_json_path, buf)) return 1;
         }
         return dump_trace() && dump_metrics() ? 0 : 1;
     } catch (const std::exception& e) {

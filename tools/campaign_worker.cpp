@@ -197,7 +197,9 @@ int main(int argc, char** argv) {
             const auto plan = pssp::dist::parse_fault_plan(plan_text);
             const char* round_env = std::getenv(pssp::dist::fault_round_env);
             const char* attempt_env = std::getenv(pssp::dist::fault_attempt_env);
-            fault = pssp::dist::decide_fault(
+            // Process faults only: net-* rules in a mixed plan belong to
+            // the node daemon's transport loop, never to this process.
+            fault = pssp::dist::decide_process_fault(
                 plan, static_cast<std::uint64_t>(shard),
                 round_env != nullptr ? std::strtoull(round_env, nullptr, 10) : 0,
                 attempt_env != nullptr ? std::strtoull(attempt_env, nullptr, 10)
